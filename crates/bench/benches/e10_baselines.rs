@@ -1,0 +1,109 @@
+//! E10 — The §1 rejected alternatives as baselines: polling and embedded
+//! situation checks vs the ECA agent, on an identical monitoring workload.
+//!
+//! Time is only half the story — the experiments binary reports the wasted
+//! queries and the missed/collapsed detections; here we measure the cost
+//! of achieving detection per approach.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use eca_bench::{agent_fixture, insert_workload, passive_server};
+use eca_core::{EmbeddedCheckClient, PollingMonitor, Situation};
+
+const EVENTS: usize = 50;
+
+fn situation() -> Situation {
+    Situation {
+        name: "stock-activity".into(),
+        probe_sql: "select count(*) from stock".into(),
+        action_sql: "insert alerts values (1)".into(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_baselines");
+    g.sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(EVENTS as u64));
+
+    let stmts = insert_workload(EVENTS, 23);
+
+    // ECA agent: detection is push-based, action per event.
+    g.bench_function("eca_agent", |b| {
+        b.iter_batched(
+            || {
+                let (agent, client) = agent_fixture();
+                client.execute("create table alerts (n int)").unwrap();
+                client
+                    .execute(
+                        "create trigger tr on stock for insert event e \
+                         as insert alerts values (1)",
+                    )
+                    .unwrap();
+                (agent, client)
+            },
+            |(_agent, client)| {
+                for s in &stmts {
+                    client.execute(s).unwrap();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Polling at different duty cycles: poll every k application statements.
+    for poll_every in [1usize, 10, 50] {
+        g.bench_with_input(
+            BenchmarkId::new("polling_every", poll_every),
+            &poll_every,
+            |b, &poll_every| {
+                b.iter_batched(
+                    || {
+                        let (server, session) = passive_server();
+                        session.execute("create table alerts (n int)").unwrap();
+                        let monitor = PollingMonitor::new(
+                            server.session("benchdb", "monitor"),
+                            vec![situation()],
+                        );
+                        (server, session, monitor)
+                    },
+                    |(_server, session, mut monitor)| {
+                        monitor.poll().unwrap(); // baseline observation
+                        for (i, s) in stmts.iter().enumerate() {
+                            session.execute(s).unwrap();
+                            if (i + 1) % poll_every == 0 {
+                                monitor.poll().unwrap();
+                            }
+                        }
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+
+    // Embedded situation checks: the application probes after every statement.
+    g.bench_function("embedded_checks", |b| {
+        b.iter_batched(
+            || {
+                let (server, session) = passive_server();
+                session.execute("create table alerts (n int)").unwrap();
+                let _ = session;
+                EmbeddedCheckClient::new(server.session("benchdb", "bench"), vec![situation()])
+            },
+            |mut client| {
+                for s in &stmts {
+                    client.execute(s).unwrap();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E1 — Transparency overhead (Figures 1-2).
+//!
+//! The mediated architecture's core claim: clients "do not feel" the agent.
+//! Measures plain SQL executed directly against the server vs through the
+//! agent (no rules), vs through the agent with an active rule on the table.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use eca_bench::{agent_fixture, insert_workload, passive_server, with_primitive_rule};
+
+const BATCH: usize = 50;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_transparency");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(BATCH as u64));
+
+    let stmts = insert_workload(BATCH, 7);
+
+    g.bench_function("insert_direct_server", |b| {
+        b.iter_batched(
+            passive_server,
+            |(_server, session)| {
+                for s in &stmts {
+                    session.execute(s).unwrap();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.bench_function("insert_via_agent_no_rules", |b| {
+        b.iter_batched(
+            agent_fixture,
+            |(_agent, client)| {
+                for s in &stmts {
+                    client.execute(s).unwrap();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.bench_function("insert_via_agent_primitive_rule", |b| {
+        b.iter_batched(
+            || {
+                let (agent, client) = agent_fixture();
+                with_primitive_rule(&client);
+                (agent, client)
+            },
+            |(_agent, client)| {
+                for s in &stmts {
+                    client.execute(s).unwrap();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Read path: a query against a populated table.
+    g.bench_function("select_direct_server", |b| {
+        let (_server, session) = passive_server();
+        for s in &stmts {
+            session.execute(s).unwrap();
+        }
+        b.iter(|| {
+            for _ in 0..BATCH {
+                session
+                    .execute("select count(*) from stock where price > 250")
+                    .unwrap();
+            }
+        })
+    });
+
+    g.bench_function("select_via_agent", |b| {
+        let (_agent, client) = agent_fixture();
+        for s in &stmts {
+            client.execute(s).unwrap();
+        }
+        b.iter(|| {
+            for _ in 0..BATCH {
+                client
+                    .execute("select count(*) from stock where price > 250")
+                    .unwrap();
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

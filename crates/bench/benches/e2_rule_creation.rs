@@ -1,0 +1,116 @@
+//! E2 — Rule-creation cost (Figure 3's seven-step control flow).
+//!
+//! Creating an ECA rule touches every module: filter, parser, name
+//! expansion, codegen, four SQL installs, persistence and LED
+//! registration. Compared against a native trigger definition, which is a
+//! single server call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eca_bench::agent_fixture;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_rule_creation");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    static N: AtomicUsize = AtomicUsize::new(0);
+
+    // Baseline: native trigger definition (pass-through, one server call).
+    g.bench_function("native_trigger", |b| {
+        let (_agent, client) = agent_fixture();
+        b.iter(|| {
+            // Same name every time: Sybase silently overwrites — that is
+            // the restriction, and it makes the bench self-cleaning.
+            client
+                .execute("create trigger nat on stock for insert as print 'x'")
+                .unwrap();
+        })
+    });
+
+    // Primitive ECA rule: event + shadow tables + proc + native trigger +
+    // persistence + LED registration.
+    g.bench_function("primitive_eca_rule", |b| {
+        b.iter_batched(
+            agent_fixture,
+            |(_agent, client)| {
+                let i = N.fetch_add(1, Ordering::Relaxed);
+                client
+                    .execute(&format!(
+                        "create trigger tp{i} on stock for insert event ep{i} as print 'x'"
+                    ))
+                    .unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Additional trigger on an existing event (Figure 10 path): no event
+    // setup, but native-trigger regeneration.
+    g.bench_function("trigger_on_existing_event", |b| {
+        b.iter_batched(
+            || {
+                let f = agent_fixture();
+                f.1.execute("create trigger t0 on stock for insert event ev as print 'x'")
+                    .unwrap();
+                f
+            },
+            |(_agent, client)| {
+                let i = N.fetch_add(1, Ordering::Relaxed);
+                client
+                    .execute(&format!("create trigger tx{i} event ev as print 'x'"))
+                    .unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Composite ECA rule (Figure 12 path): Snoop parse + LED graph build +
+    // context-processing proc.
+    g.bench_function("composite_eca_rule", |b| {
+        b.iter_batched(
+            || {
+                let f = agent_fixture();
+                f.1.execute("create trigger t1 on stock for insert event addStk as print 'a'")
+                    .unwrap();
+                f.1.execute("create trigger t2 on stock for delete event delStk as print 'd'")
+                    .unwrap();
+                f
+            },
+            |(_agent, client)| {
+                let i = N.fetch_add(1, Ordering::Relaxed);
+                client
+                    .execute(&format!(
+                        "create trigger tc{i} event ec{i} = delStk ^ addStk RECENT \
+                         as print 'composite'"
+                    ))
+                    .unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Drop path.
+    g.bench_function("drop_trigger", |b| {
+        b.iter_batched(
+            || {
+                let f = agent_fixture();
+                f.1.execute("create trigger td on stock for insert event ed as print 'x'")
+                    .unwrap();
+                f
+            },
+            |(_agent, client)| {
+                client.execute("drop trigger td").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

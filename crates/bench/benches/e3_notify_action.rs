@@ -1,0 +1,99 @@
+//! E3 — Notification-to-action pipeline (Figure 4's six-step flow).
+//!
+//! End-to-end cost of one DML statement that raises an event, is notified
+//! over the datagram channel, detected in the LED, and answered with a
+//! stored-procedure action — broken down by how much of the pipeline is
+//! engaged.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eca_bench::agent_fixture;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_notify_action");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Stage 0: insert with no event at all.
+    g.bench_function("insert_no_event", |b| {
+        b.iter_batched(
+            agent_fixture,
+            |(_agent, client)| {
+                client.execute("insert stock values ('A', 1.0)").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Stage 1: event raised + notification decoded + LED signal, but no
+    // LED rule (the action runs natively in-server).
+    g.bench_function("insert_native_immediate_action", |b| {
+        b.iter_batched(
+            || {
+                let f = agent_fixture();
+                f.1.execute("create trigger t on stock for insert event e as print 'x'")
+                    .unwrap();
+                f
+            },
+            |(_agent, client)| {
+                client.execute("insert stock values ('A', 1.0)").unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Stage 2: full LED round trip — a composite OR fires on every insert,
+    // the Action Handler refreshes sysContext and executes the proc.
+    g.bench_function("insert_led_composite_action", |b| {
+        b.iter_batched(
+            || {
+                let f = agent_fixture();
+                f.1.execute("create trigger t on stock for insert event e as print 'x'")
+                    .unwrap();
+                f.1.execute(
+                    "create trigger tc event anyE = e as \
+                     select count(*) from stock.inserted",
+                )
+                .unwrap();
+                f
+            },
+            |(_agent, client)| {
+                let resp = client.execute("insert stock values ('A', 1.0)").unwrap();
+                assert!(!resp.actions.is_empty());
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Stage 3: deep composite — a three-level event tree.
+    g.bench_function("insert_nested_composite_action", |b| {
+        b.iter_batched(
+            || {
+                let f = agent_fixture();
+                f.1.execute("create trigger t1 on stock for insert event a as print 'a'")
+                    .unwrap();
+                f.1.execute("create trigger t2 on stock for delete event d as print 'd'")
+                    .unwrap();
+                f.1.execute("create trigger t3 event l1 = a | d as print 'l1'")
+                    .unwrap();
+                f.1.execute("create trigger t4 event l2 = l1 | a as print 'l2'")
+                    .unwrap();
+                f.1.execute("create trigger t5 event l3 = l2 | l1 as print 'l3'")
+                    .unwrap();
+                f
+            },
+            |(_agent, client)| {
+                let resp = client.execute("insert stock values ('A', 1.0)").unwrap();
+                assert!(!resp.actions.is_empty());
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 — Persistent Manager recovery (Figures 5–8).
+//!
+//! On startup the agent restores every ECA rule from the system tables:
+//! re-registers primitives, re-parses composite expressions, rebuilds the
+//! LED graph and re-attaches rules. Measured against the number of
+//! persisted rules.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eca_bench::server_with_rules;
+use eca_core::EcaAgent;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_recovery");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [10usize, 50, 100, 250] {
+        let server = server_with_rules(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("restore_rules", n), &n, |b, &n| {
+            b.iter(|| {
+                let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+                assert_eq!(agent.trigger_names().len(), n);
+                agent
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

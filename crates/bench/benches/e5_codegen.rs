@@ -1,0 +1,89 @@
+//! E5 — Code generation (Figures 9–11): the pure-CPU cost of the ECA
+//! Parser and the SQL generators, separated from server installation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eca_core::codegen::{
+    led_action_proc, native_trigger_sql, rewrite_context_refs, ContextSource,
+};
+use eca_core::parse_eca;
+use eca_core::registry::PrimitiveEventInfo;
+use led::ParameterContext;
+use relsql::ast::TriggerOp;
+
+fn info() -> PrimitiveEventInfo {
+    PrimitiveEventInfo {
+        name: "sentineldb.sharma.addStk".into(),
+        table: "sentineldb.sharma.stock".into(),
+        operation: TriggerOp::Update,
+        shadow_inserted: "sentineldb.sharma.addStk_inserted".into(),
+        shadow_deleted: "sentineldb.sharma.addStk_deleted".into(),
+        version_table: "sentineldb.sharma.addStk_ver".into(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_codegen");
+    g.sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    g.bench_function("parse_eca_primitive", |b| {
+        b.iter(|| {
+            parse_eca(
+                "create trigger t_addStk on stock for insert event addStk \
+                 as print 'x' select * from stock",
+            )
+            .unwrap()
+        })
+    });
+
+    g.bench_function("parse_eca_composite", |b| {
+        b.iter(|| {
+            parse_eca(
+                "create trigger t event e = NOT(a, b, c) ; (d ^ f) PLUS [5 sec] \
+                 CHRONICLE 7 as print 'x'",
+            )
+            .unwrap()
+        })
+    });
+
+    g.bench_function("snoop_parse_deep", |b| {
+        b.iter(|| snoop::parse("a ; b ; c ^ d | A(e, f, g) ; P(h, [1 sec], i)").unwrap())
+    });
+
+    let i = info();
+    let procs: Vec<String> = (0..4).map(|k| format!("db.u.p{k}__Proc")).collect();
+    g.bench_function("native_trigger_sql", |b| {
+        b.iter(|| native_trigger_sql(&i, "stock", "sharma", "128.227.205.215", 10006, &procs))
+    });
+
+    let action = "select symbol, price from stock.inserted \
+                  insert audit select symbol from stock.deleted where price > 100";
+    g.bench_function("rewrite_context_refs", |b| {
+        b.iter(|| rewrite_context_refs(action, |t| format!("sentineldb.sharma.{t}")))
+    });
+
+    let sources: Vec<ContextSource> = (0..3)
+        .map(|k| ContextSource {
+            tmp: format!("db.u.t{k}_inserted_tmp"),
+            shadow: format!("db.u.e{k}_inserted"),
+        })
+        .collect();
+    g.bench_function("led_action_proc", |b| {
+        b.iter(|| led_action_proc("db.u.t__Proc", ParameterContext::Recent, &sources, action))
+    });
+
+    // The generated SQL must itself be parseable — include parse cost for
+    // the full Figure 11 body.
+    g.bench_function("parse_generated_trigger", |b| {
+        let sql = native_trigger_sql(&i, "stock", "sharma", "h", 1, &procs);
+        b.iter(|| relsql::parser::parse_script(&sql).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E6 — Composite-event detection throughput per Snoop operator
+//! (Figures 12–14): raw LED signalling rate for each operator on the same
+//! event stream, plus scaling with stream length.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use eca_bench::{detector_with_expr, event_stream};
+use led::ParameterContext;
+
+const STREAM: usize = 1_000;
+
+fn drive(d: &mut led::Detector, stream: &[(String, i64)]) -> usize {
+    let mut fired = 0;
+    let mut last_ts = 0;
+    for (ev, ts) in stream {
+        fired += d.signal(ev, vec![], *ts).unwrap().len();
+        last_ts = *ts;
+    }
+    // Flush pending timers over a bounded horizon — a still-open periodic
+    // window would otherwise fire forever.
+    fired += d.advance_to(last_ts + 60_000_000).len();
+    fired
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_operators");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(STREAM as u64));
+
+    let stream3 = event_stream(3, STREAM, 11);
+
+    let operators: &[(&str, &str)] = &[
+        ("OR", "p0 | p1"),
+        ("AND", "p0 ^ p1"),
+        ("SEQ", "p0 ; p1"),
+        ("NOT", "NOT(p0, p1, p2)"),
+        ("A", "A(p0, p1, p2)"),
+        ("A_star", "A*(p0, p1, p2)"),
+        ("PLUS", "p0 PLUS [1 sec]"),
+        ("P", "P(p0, [10 sec], p2)"),
+        ("P_star", "P*(p0, [10 sec], p2)"),
+    ];
+
+    for (name, expr) in operators {
+        g.bench_function(BenchmarkId::new("operator", name), |b| {
+            b.iter_batched(
+                || detector_with_expr(3, expr, ParameterContext::Recent),
+                |mut d| drive(&mut d, &stream3),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    // Scaling: AND in chronicle context over growing streams.
+    for n in [100usize, 1_000, 10_000] {
+        let stream = event_stream(2, n, 13);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("and_chronicle_scale", n), &n, |b, _| {
+            b.iter_batched(
+                || detector_with_expr(2, "p0 ^ p1", ParameterContext::Chronicle),
+                |mut d| drive(&mut d, &stream),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E7 — Action Handler scalability and coupling-mode ablation
+//! (Figure 16): k rules firing on one event, dispatched IMMEDIATE
+//! (inline), DEFERRED (queued to commit) or DETACHED (thread per action,
+//! as the paper's SybaseAction).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use eca_bench::agent_fixture;
+use eca_core::{EcaAgent, EcaClient};
+
+/// Fixture with `k` LED-dispatched rules (one composite each) on the same
+/// primitive event, in the given coupling mode.
+fn fixture(k: usize, coupling: &str) -> (EcaAgent, EcaClient) {
+    let (agent, client) = agent_fixture();
+    client
+        .execute("create trigger t0 on stock for insert event e as print 'x'")
+        .unwrap();
+    client.execute("create table sink_rows (n int)").unwrap();
+    for i in 0..k {
+        client
+            .execute(&format!(
+                "create trigger tr{i} event c{i} = e {coupling} \
+                 as insert sink_rows values ({i})"
+            ))
+            .unwrap();
+    }
+    (agent, client)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_actions");
+    g.sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for k in [1usize, 4, 16] {
+        g.throughput(Throughput::Elements(k as u64));
+
+        g.bench_with_input(BenchmarkId::new("immediate", k), &k, |b, &k| {
+            b.iter_batched(
+                || fixture(k, "IMMEDIATE"),
+                |(_agent, client)| {
+                    let resp = client.execute("insert stock values ('A', 1.0)").unwrap();
+                    assert_eq!(resp.actions.len(), k);
+                },
+                BatchSize::PerIteration,
+            )
+        });
+
+        g.bench_with_input(BenchmarkId::new("detached", k), &k, |b, &k| {
+            b.iter_batched(
+                || fixture(k, "DETACHED"),
+                |(agent, client)| {
+                    client.execute("insert stock values ('A', 1.0)").unwrap();
+                    let outcomes = agent.wait_detached();
+                    assert_eq!(outcomes.len(), k);
+                },
+                BatchSize::PerIteration,
+            )
+        });
+
+        g.bench_with_input(BenchmarkId::new("deferred_plus_flush", k), &k, |b, &k| {
+            b.iter_batched(
+                || fixture(k, "DEFERRED"),
+                |(agent, client)| {
+                    client.execute("insert stock values ('A', 1.0)").unwrap();
+                    let resp = agent.flush_deferred().unwrap();
+                    assert_eq!(resp.actions.len(), k);
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E8 — Event Notifier throughput (Figure 15) and loss sensitivity (§6's
+//! socket-reliability remark): datagram encode/decode rate, channel
+//! transport rate, and end-to-end detections under simulated UDP loss.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use eca_core::notifier::decode;
+use eca_core::{AgentConfig, EcaAgent};
+use relsql::notify::{drain, ChannelSink, Datagram, NotificationSink};
+use relsql::SqlServer;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_notifier");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    const N: usize = 1_000;
+    g.throughput(Throughput::Elements(N as u64));
+
+    // Decode rate for well-formed payloads.
+    let datagrams: Vec<Datagram> = (0..N)
+        .map(|i| Datagram {
+            host: "127.0.0.1".into(),
+            port: 10006,
+            payload: format!("sharma stock insert begin sentineldb.sharma.addStk {i}"),
+            seq: i as u64,
+        })
+        .collect();
+    g.bench_function("decode_wellformed", |b| {
+        b.iter(|| {
+            let mut ok = 0;
+            for d in &datagrams {
+                if decode(d).is_some() {
+                    ok += 1;
+                }
+            }
+            assert_eq!(ok, N);
+        })
+    });
+
+    // Channel transport: send + drain N datagrams.
+    g.bench_function("channel_roundtrip", |b| {
+        b.iter_batched(
+            ChannelSink::new,
+            |(sink, rx)| {
+                for d in &datagrams {
+                    sink.send(d.clone());
+                }
+                assert_eq!(drain(&rx).len(), N);
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // End-to-end under loss: 100 inserts through the agent at varying drop
+    // probability; throughput counts attempted events.
+    for loss_pct in [0u32, 10, 50] {
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(
+            BenchmarkId::new("e2e_under_loss_pct", loss_pct),
+            &loss_pct,
+            |b, &loss_pct| {
+                b.iter_batched(
+                    || {
+                        let server = SqlServer::new();
+                        let agent = EcaAgent::new(
+                            Arc::clone(&server),
+                            AgentConfig {
+                                drop_probability: loss_pct as f64 / 100.0,
+                                drop_seed: 17,
+                                ..AgentConfig::default()
+                            },
+                        )
+                        .unwrap();
+                        let client = agent.client("db", "u");
+                        client.execute("create table t (a int)").unwrap();
+                        client
+                            .execute(
+                                "create trigger tr on t for insert event e as print 'x'",
+                            )
+                            .unwrap();
+                        (agent, client)
+                    },
+                    |(_agent, client)| {
+                        for i in 0..100 {
+                            client.execute(&format!("insert t values ({i})")).unwrap();
+                        }
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

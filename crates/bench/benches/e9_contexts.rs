@@ -1,0 +1,89 @@
+//! E9 — Parameter-context comparison (Figure 17, §5.6): the same event
+//! stream detected under RECENT / CHRONICLE / CONTINUOUS / CUMULATIVE, in
+//! the raw LED and through the full agent stack. CONTINUOUS pays for
+//! per-initiator detections; CUMULATIVE pays in parameter volume; RECENT
+//! keeps O(1) state.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use eca_bench::{agent_fixture, detector_with_expr};
+use led::ParameterContext;
+
+const INITIATORS: usize = 200;
+const ROUNDS: usize = 10;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_contexts");
+    g.sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Raw LED: ROUNDS × (INITIATORS p0 then one p1) — a bursty pattern that
+    // stresses the pairing policy.
+    g.throughput(Throughput::Elements((ROUNDS * (INITIATORS + 1)) as u64));
+    for ctx in ParameterContext::ALL {
+        g.bench_function(BenchmarkId::new("led_seq_burst", ctx.as_str()), |b| {
+            b.iter_batched(
+                || detector_with_expr(2, "p0 ; p1", ctx),
+                |mut d| {
+                    let mut ts = 0i64;
+                    let mut fired = 0usize;
+                    for _ in 0..ROUNDS {
+                        for _ in 0..INITIATORS {
+                            ts += 1;
+                            d.signal("p0", vec![], ts).unwrap();
+                        }
+                        ts += 1;
+                        fired += d.signal("p1", vec![], ts).unwrap().len();
+                    }
+                    fired
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    // Full stack: 20 initiators then a terminator, through SQL and the
+    // context tmp-table machinery.
+    g.throughput(Throughput::Elements(21));
+    for ctx in ParameterContext::ALL {
+        g.bench_function(BenchmarkId::new("agent_seq_burst", ctx.as_str()), |b| {
+            b.iter_batched(
+                || {
+                    let (agent, client) = agent_fixture();
+                    client.execute("create table term (y int)").unwrap();
+                    client.execute("create table seen (x float)").unwrap();
+                    client
+                        .execute("create trigger t1 on stock for insert event ea as print 'a'")
+                        .unwrap();
+                    client
+                        .execute("create trigger t2 on term for insert event eb as print 'b'")
+                        .unwrap();
+                    client
+                        .execute(&format!(
+                            "create trigger t3 event pair = ea ; eb {} \
+                             as insert seen select price from stock.inserted",
+                            ctx.as_str()
+                        ))
+                        .unwrap();
+                    (agent, client)
+                },
+                |(_agent, client)| {
+                    for i in 0..20 {
+                        client
+                            .execute(&format!("insert stock values ('S{i}', {i}.0)"))
+                            .unwrap();
+                    }
+                    client.execute("insert term values (1)").unwrap();
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,403 @@
+//! Deterministic experiment harness: regenerates the quantitative rows
+//! recorded in EXPERIMENTS.md (counts, state sizes, waste metrics and
+//! coarse wall-clock numbers). Criterion benches cover the fine-grained
+//! timing; this binary covers everything countable.
+//!
+//! ```text
+//! cargo run -p eca-bench --release --bin experiments
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use eca_bench::{
+    agent_fixture, detector_with_expr, event_stream, insert_workload, passive_server,
+    server_with_rules,
+};
+use eca_core::{AgentConfig, EcaAgent, EmbeddedCheckClient, PollingMonitor, Situation};
+use led::ParameterContext;
+use relsql::{SqlServer, Value};
+
+fn main() {
+    println!("# ECA-Agent experiment harness\n");
+    e1_transparency();
+    e2_rule_creation();
+    e3_pipeline();
+    e4_recovery();
+    e5_codegen();
+    e6_operators();
+    e7_actions();
+    e8_loss();
+    e9_contexts();
+    e10_baselines();
+    x1_ged();
+    println!("\nAll experiments completed.");
+}
+
+/// Extension experiment: the §6 Global Event Detector — cross-site
+/// composite throughput over two agent-fronted servers.
+fn x1_ged() {
+    use eca_core::GlobalEventDetector;
+    use led::ParameterContext as Pc;
+
+    println!("\n## X1 — GED cross-site composites (200 event pairs)");
+    let mk_site = |db: &str| {
+        let server = SqlServer::new();
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        let client = agent.client(db, "u");
+        client.execute("create table t (a int)").unwrap();
+        client
+            .execute("create trigger tr on t for insert event ev as print 'x'")
+            .unwrap();
+        (agent, client)
+    };
+    let (a1, c1) = mk_site("db1");
+    let (a2, c2) = mk_site("db2");
+    let ged = GlobalEventDetector::new();
+    ged.attach_site("s1", &a1).unwrap();
+    ged.attach_site("s2", &a2).unwrap();
+    ged.export_event("s1", "db1.u.ev").unwrap();
+    ged.export_event("s2", "db2.u.ev").unwrap();
+    ged.define_global_event("pair", "db1.u.ev::s1 ^ db2.u.ev::s2", Pc::Chronicle)
+        .unwrap();
+    c2.execute("create table global_log (n int)").unwrap();
+    ged.add_global_rule("gr", "pair", "s2", "insert global_log values (1)")
+        .unwrap();
+    let ms = time(|| {
+        for i in 0..200 {
+            c1.execute(&format!("insert t values ({i})")).unwrap();
+            c2.execute(&format!("insert t values ({i})")).unwrap();
+        }
+    });
+    let st = ged.stats();
+    println!(
+        "  {:.2} ms for 400 site events; ged received {} occurrences, ran {} global actions",
+        ms, st.occurrences, st.actions
+    );
+}
+
+fn time<F: FnMut()>(mut f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn e1_transparency() {
+    println!("## E1 — transparency (50-insert batches, ms)");
+    let stmts = insert_workload(50, 7);
+    let (_s, session) = passive_server();
+    let direct = time(|| {
+        for s in &stmts {
+            session.execute(s).unwrap();
+        }
+    });
+    let (_a, client) = agent_fixture();
+    let via_agent = time(|| {
+        for s in &stmts {
+            client.execute(s).unwrap();
+        }
+    });
+    let (_a2, client2) = agent_fixture();
+    client2
+        .execute("create trigger t on stock for insert event e as print 'x'")
+        .unwrap();
+    let with_rule = time(|| {
+        for s in &stmts {
+            client2.execute(s).unwrap();
+        }
+    });
+    println!("  direct server      : {direct:8.2} ms");
+    println!("  agent, no rules    : {via_agent:8.2} ms  ({:.2}x)", via_agent / direct);
+    println!("  agent, active rule : {with_rule:8.2} ms  ({:.2}x)\n", with_rule / direct);
+}
+
+fn e2_rule_creation() {
+    println!("## E2 — rule creation (ms per rule)");
+    let (_a, client) = agent_fixture();
+    let native = time(|| {
+        client
+            .execute("create trigger nat on stock for insert as print 'x'")
+            .unwrap();
+    });
+    let primitive = time(|| {
+        client
+            .execute("create trigger tp on stock for insert event ep as print 'x'")
+            .unwrap();
+    });
+    let on_existing = time(|| {
+        client
+            .execute("create trigger tq event ep as print 'x'")
+            .unwrap();
+    });
+    client
+        .execute("create trigger td on stock for delete event ed as print 'x'")
+        .unwrap();
+    let composite = time(|| {
+        client
+            .execute("create trigger tc event ec = ep ^ ed RECENT as print 'x'")
+            .unwrap();
+    });
+    println!("  native trigger       : {native:6.3} ms");
+    println!("  primitive ECA rule   : {primitive:6.3} ms");
+    println!("  trigger on existing  : {on_existing:6.3} ms");
+    println!("  composite ECA rule   : {composite:6.3} ms\n");
+}
+
+fn e3_pipeline() {
+    println!("## E3 — notification→action pipeline (1000 inserts)");
+    let (agent, client) = agent_fixture();
+    client
+        .execute("create trigger t on stock for insert event e as print 'x'")
+        .unwrap();
+    client
+        .execute("create trigger tc event anyE = e as select count(*) from stock.inserted")
+        .unwrap();
+    let stmts = insert_workload(1000, 5);
+    let ms = time(|| {
+        for s in &stmts {
+            client.execute(s).unwrap();
+        }
+    });
+    let st = agent.stats();
+    println!(
+        "  {:.2} ms total, {:.1} µs/event; notifications={}, actions={}\n",
+        ms,
+        ms * 1000.0 / 1000.0,
+        st.notifications,
+        st.actions_executed
+    );
+}
+
+fn e4_recovery() {
+    println!("## E4 — recovery time vs persisted rules");
+    for n in [10usize, 50, 100, 250, 500] {
+        let server = server_with_rules(n);
+        let ms = time(|| {
+            let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+            assert_eq!(agent.trigger_names().len(), n);
+        });
+        println!("  {n:4} rules: {ms:8.2} ms ({:.3} ms/rule)", ms / n as f64);
+    }
+    println!();
+}
+
+fn e5_codegen() {
+    println!("## E5 — codegen fidelity counts");
+    let (agent, client) = agent_fixture();
+    client
+        .execute("create trigger t on stock for insert event e as select * from stock.inserted")
+        .unwrap();
+    let tables = agent.server().inspect(|e| e.database().table_names());
+    let shadows = tables.iter().filter(|t| t.contains("_inserted") || t.contains("_deleted")).count();
+    let vers = tables.iter().filter(|t| t.ends_with("_ver")).count();
+    println!("  shadow tables per event: {shadows} (2 shadows + 1 tmp), version tables: {vers}");
+    let gw = agent.gateway_stats();
+    println!(
+        "  gateway batches for one primitive rule: internal={} forwarded={}\n",
+        gw.internal, gw.forwarded
+    );
+}
+
+fn e6_operators() {
+    println!("## E6 — detections per operator (1000-event stream, RECENT)");
+    let stream = event_stream(3, 1000, 11);
+    for (name, expr) in [
+        ("OR", "p0 | p1"),
+        ("AND", "p0 ^ p1"),
+        ("SEQ", "p0 ; p1"),
+        ("NOT", "NOT(p0, p1, p2)"),
+        ("A", "A(p0, p1, p2)"),
+        ("A*", "A*(p0, p1, p2)"),
+        ("PLUS", "p0 PLUS [1 sec]"),
+        ("P", "P(p0, [10 sec], p2)"),
+    ] {
+        let mut d = detector_with_expr(3, expr, ParameterContext::Recent);
+        let mut fired = 0usize;
+        let ms = time(|| {
+            for (ev, ts) in &stream {
+                fired += d.signal(ev, vec![], *ts).unwrap().len();
+            }
+            fired += d.advance_to(1_000_000_000).len();
+        });
+        println!(
+            "  {name:5}: {fired:5} detections, {ms:7.2} ms, residual state {}",
+            d.total_state_size()
+        );
+    }
+    println!();
+}
+
+fn e7_actions() {
+    println!("## E7 — coupling-mode ablation (16 rules on one event)");
+    for coupling in ["IMMEDIATE", "DEFERRED", "DETACHED"] {
+        let (agent, client) = agent_fixture();
+        client
+            .execute("create trigger t0 on stock for insert event e as print 'x'")
+            .unwrap();
+        client.execute("create table sink_rows (n int)").unwrap();
+        for i in 0..16 {
+            client
+                .execute(&format!(
+                    "create trigger tr{i} event c{i} = e {coupling} \
+                     as insert sink_rows values ({i})"
+                ))
+                .unwrap();
+        }
+        let ms = time(|| {
+            client.execute("insert stock values ('A', 1.0)").unwrap();
+            match coupling {
+                "DEFERRED" => {
+                    agent.flush_deferred().unwrap();
+                }
+                "DETACHED" => {
+                    agent.wait_detached();
+                }
+                _ => {}
+            }
+        });
+        let n = client
+            .execute("select count(*) from sink_rows")
+            .unwrap()
+            .server
+            .scalar()
+            .cloned();
+        println!("  {coupling:9}: {ms:7.2} ms, actions completed: {n:?}");
+    }
+    println!();
+}
+
+fn e8_loss() {
+    println!("## E8 — notification loss sensitivity (200 events)");
+    for pct in [0u32, 10, 30, 50, 90] {
+        let server = SqlServer::new();
+        let agent = EcaAgent::new(
+            Arc::clone(&server),
+            AgentConfig {
+                drop_probability: pct as f64 / 100.0,
+                drop_seed: 17,
+                ..AgentConfig::default()
+            },
+        )
+        .unwrap();
+        let client = agent.client("db", "u");
+        client.execute("create table t (a int)").unwrap();
+        client
+            .execute("create trigger tr on t for insert event e as print 'x'")
+            .unwrap();
+        for i in 0..200 {
+            client.execute(&format!("insert t values ({i})")).unwrap();
+        }
+        let st = agent.stats();
+        println!(
+            "  drop {pct:3}%: delivered {:3}/200 notifications",
+            st.notifications
+        );
+    }
+    println!();
+}
+
+fn e9_contexts() {
+    println!("## E9 — contexts on a burst stream (10 rounds × 200 initiators + 1 terminator)");
+    for ctx in ParameterContext::ALL {
+        let mut d = detector_with_expr(2, "p0 ; p1", ctx);
+        let mut ts = 0i64;
+        let mut fired = 0usize;
+        let mut params = 0usize;
+        let mut max_state = 0usize;
+        let ms = time(|| {
+            for _ in 0..10 {
+                for _ in 0..200 {
+                    ts += 1;
+                    d.signal("p0", vec![], ts).unwrap();
+                    max_state = max_state.max(d.total_state_size());
+                }
+                ts += 1;
+                for f in d.signal("p1", vec![], ts).unwrap() {
+                    fired += 1;
+                    params += f.occurrence.params.len();
+                }
+            }
+        });
+        println!(
+            "  {:10}: {fired:5} detections, {params:6} params total, peak state {max_state:4}, {ms:7.2} ms",
+            ctx.as_str()
+        );
+    }
+    println!();
+}
+
+fn e10_baselines() {
+    println!("## E10 — agent vs polling vs embedded checks (50 events)");
+    let stmts = insert_workload(50, 23);
+
+    // Agent.
+    let (agent, client) = agent_fixture();
+    client.execute("create table alerts (n int)").unwrap();
+    client
+        .execute("create trigger tr on stock for insert event e as insert alerts values (1)")
+        .unwrap();
+    let ms = time(|| {
+        for s in &stmts {
+            client.execute(s).unwrap();
+        }
+    });
+    let detections = match client
+        .execute("select count(*) from alerts")
+        .unwrap()
+        .server
+        .scalar()
+    {
+        Some(Value::Int(n)) => *n,
+        _ => 0,
+    };
+    println!(
+        "  agent          : {detections:3}/50 detections, 0 extra queries, {ms:7.2} ms (stats: {} actions)",
+        agent.stats().actions_executed
+    );
+
+    // Polling at several intervals.
+    for poll_every in [1usize, 5, 25] {
+        let (server, session) = passive_server();
+        session.execute("create table alerts (n int)").unwrap();
+        let mut monitor = PollingMonitor::new(
+            server.session("benchdb", "monitor"),
+            vec![Situation {
+                name: "activity".into(),
+                probe_sql: "select count(*) from stock".into(),
+                action_sql: "insert alerts values (1)".into(),
+            }],
+        );
+        monitor.poll().unwrap();
+        let ms = time(|| {
+            for (i, s) in stmts.iter().enumerate() {
+                session.execute(s).unwrap();
+                if (i + 1) % poll_every == 0 {
+                    monitor.poll().unwrap();
+                }
+            }
+        });
+        let (_, queries, detections) = monitor.stats();
+        println!(
+            "  poll every {poll_every:2}  : {detections:3}/50 detections, {queries:3} probe queries, {ms:7.2} ms"
+        );
+    }
+
+    // Embedded checks.
+    let (server, session) = passive_server();
+    session.execute("create table alerts (n int)").unwrap();
+    let mut embedded = EmbeddedCheckClient::new(
+        server.session("benchdb", "bench"),
+        vec![Situation {
+            name: "activity".into(),
+            probe_sql: "select count(*) from stock where price > 0".into(),
+            action_sql: "insert alerts values (1)".into(),
+        }],
+    );
+    let ms = time(|| {
+        for s in &stmts {
+            embedded.execute(s).unwrap();
+        }
+    });
+    let (_, checks, detections) = embedded.stats();
+    println!("  embedded checks: {detections:3}/50 detections, {checks:3} check queries, {ms:7.2} ms");
+}

@@ -1,0 +1,6 @@
+//! Shared fixtures and workload generators for the experiment suite
+//! (E1-E10, see DESIGN.md and EXPERIMENTS.md).
+
+pub mod workload;
+
+pub use workload::*;

@@ -1,0 +1,189 @@
+//! Workload builders used by every benchmark and by the experiments binary.
+
+use std::sync::Arc;
+
+use eca_core::{EcaAgent, EcaClient};
+use led::{Detector, ParameterContext, RuleSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relsql::{Session, SqlServer};
+
+/// A bare passive server with the standard `stock` table.
+pub fn passive_server() -> (Arc<SqlServer>, Session) {
+    let server = SqlServer::new();
+    let session = server.session("benchdb", "bench");
+    session
+        .execute("create table stock (symbol varchar(10), price float)")
+        .unwrap();
+    (server, session)
+}
+
+/// Agent in front of a fresh server, with the `stock` table created.
+pub fn agent_fixture() -> (EcaAgent, EcaClient) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent");
+    let client = agent.client("benchdb", "bench");
+    client
+        .execute("create table stock (symbol varchar(10), price float)")
+        .unwrap();
+    (agent, client)
+}
+
+/// Install the standard primitive rule (`addStk` on stock inserts).
+pub fn with_primitive_rule(client: &EcaClient) {
+    client
+        .execute("create trigger t_add on stock for insert event addStk as print 'add'")
+        .unwrap();
+}
+
+/// Install `addStk` + `delStk` primitives and a composite over them.
+pub fn with_composite_rule(client: &EcaClient, expr: &str, context: &str) {
+    with_primitive_rule(client);
+    client
+        .execute("create trigger t_del on stock for delete event delStk as print 'del'")
+        .unwrap();
+    client
+        .execute(&format!(
+            "create trigger t_comp event comp = {expr} {context} as print 'composite'"
+        ))
+        .unwrap();
+}
+
+/// Deterministic batch of INSERT statements for the stock table.
+pub fn insert_workload(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let price: f64 = rng.gen_range(1.0..500.0);
+            format!("insert stock values ('S{}', {:.2})", i % 100, price)
+        })
+        .collect()
+}
+
+/// Mixed insert/delete workload (for AND/SEQ composites).
+pub fn mixed_workload(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if rng.gen_bool(0.5) {
+                format!("insert stock values ('S{}', {:.2})", i % 100, rng.gen_range(1.0..500.0))
+            } else {
+                format!("delete stock where symbol = 'S{}'", rng.gen_range(0..100))
+            }
+        })
+        .collect()
+}
+
+/// Build a server pre-loaded with `n` ECA rules (half primitive events with
+/// one trigger each, half composites over them), for recovery benchmarks.
+/// Returns the server; a fresh `EcaAgent::new` over it measures recovery.
+pub fn server_with_rules(n: usize) -> Arc<SqlServer> {
+    let server = SqlServer::new();
+    if n == 0 {
+        return server;
+    }
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent");
+    let client = agent.client("benchdb", "bench");
+    let n_tables = n.div_ceil(2).max(1);
+    for i in 0..n_tables {
+        client
+            .execute(&format!("create table t{i} (a int)"))
+            .unwrap();
+        client
+            .execute(&format!(
+                "create trigger tr{i} on t{i} for insert event ev{i} as print 'p{i}'"
+            ))
+            .unwrap();
+    }
+    for i in 0..n.saturating_sub(n_tables) {
+        let a = format!("ev{}", i % n_tables);
+        let b = format!("ev{}", (i + 1) % n_tables);
+        client
+            .execute(&format!(
+                "create trigger ctr{i} event cev{i} = {a} ^ {b} as print 'c{i}'"
+            ))
+            .unwrap();
+    }
+    server
+}
+
+/// A detector with `k` primitive events named `p0..pk`.
+pub fn detector_with_primitives(k: usize) -> Detector {
+    let mut d = Detector::new();
+    for i in 0..k {
+        d.define_primitive(&format!("p{i}")).unwrap();
+    }
+    d
+}
+
+/// Register `expr` as composite `c` with a rule, in the given context.
+pub fn detector_with_expr(k: usize, expr: &str, ctx: ParameterContext) -> Detector {
+    let mut d = detector_with_primitives(k);
+    d.define_composite("c", &snoop::parse(expr).unwrap(), ctx)
+        .unwrap();
+    d.add_rule(RuleSpec::new("r", "c")).unwrap();
+    d
+}
+
+/// A deterministic event stream over `k` primitive names: (event, ts).
+pub fn event_stream(k: usize, n: usize, seed: u64) -> Vec<(String, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| (format!("p{}", rng.gen_range(0..k)), (i as i64 + 1) * 10))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (_server, session) = passive_server();
+        session.execute("select count(*) from stock").unwrap();
+        let (_agent, client) = agent_fixture();
+        with_composite_rule(&client, "delStk ^ addStk", "RECENT");
+        client.execute("insert stock values ('A', 1.0)").unwrap();
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(insert_workload(5, 1), insert_workload(5, 1));
+        assert_ne!(insert_workload(5, 1), insert_workload(5, 2));
+        assert_eq!(mixed_workload(8, 3), mixed_workload(8, 3));
+        assert_eq!(event_stream(4, 6, 9), event_stream(4, 6, 9));
+    }
+
+    #[test]
+    fn server_with_rules_counts() {
+        let server = server_with_rules(6);
+        let agent = EcaAgent::with_defaults(server).unwrap();
+        assert_eq!(agent.trigger_names().len(), 6);
+    }
+
+    #[test]
+    fn server_with_zero_and_one_rule() {
+        let server = server_with_rules(0);
+        let agent = EcaAgent::with_defaults(server).unwrap();
+        assert_eq!(agent.trigger_names().len(), 0);
+        let server = server_with_rules(1);
+        let agent = EcaAgent::with_defaults(server).unwrap();
+        assert_eq!(agent.trigger_names().len(), 1);
+    }
+
+    #[test]
+    fn mixed_workload_statements_are_valid_sql() {
+        let (_server, session) = passive_server();
+        for s in mixed_workload(50, 4) {
+            session.execute(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn detector_fixture_detects() {
+        let mut d = detector_with_expr(2, "p0 ^ p1", ParameterContext::Recent);
+        d.signal("p0", vec![], 1).unwrap();
+        let f = d.signal("p1", vec![], 2).unwrap();
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The Action Handler (§5.5, Figure 16).
+//!
+//! The Rust analogue of the paper's `SybaseAction`/`NotiStr` machinery:
+//! when the LED fires a rule, an [`ActionRequest`] (the `NotiStr` fields —
+//! stored procedure, event name, context) plus the occurrence is executed
+//! against the SQL server: first the `sysContext` rows are refreshed from
+//! the occurrence's parameter list, then the trigger's stored procedure
+//! runs. DETACHED actions get their own thread, exactly as the paper
+//! spawns a thread per `SybaseAction` call.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use led::{CouplingMode, Firing, Occurrence, ParameterContext};
+use parking_lot::Mutex;
+use relsql::{BatchResult, SessionCtx};
+
+use crate::context_proc::sys_context_sql;
+use crate::error::Result;
+use crate::gateway::Gateway;
+
+/// The paper's `NotiStr`: everything needed to invoke one SQL action.
+#[derive(Debug, Clone)]
+pub struct ActionRequest {
+    /// `store_proc` — stored procedure implementing the action.
+    pub proc_name: String,
+    /// `eventName` — the detected event.
+    pub event: String,
+    /// `context` — parameter context used for the `sysContext` rows.
+    pub context: ParameterContext,
+    /// The triggering rule (for reporting).
+    pub rule: String,
+    pub occurrence: Occurrence,
+}
+
+impl ActionRequest {
+    pub fn from_firing(firing: &Firing, proc_name: impl Into<String>) -> Self {
+        ActionRequest {
+            proc_name: proc_name.into(),
+            event: firing.event.clone(),
+            context: firing.context,
+            rule: firing.rule.clone(),
+            occurrence: firing.occurrence.clone(),
+        }
+    }
+}
+
+/// The result of one executed action.
+#[derive(Debug, Clone)]
+pub struct ActionOutcome {
+    pub rule: String,
+    pub event: String,
+    pub coupling: CouplingMode,
+    pub result: std::result::Result<BatchResult, String>,
+}
+
+/// Executes actions; detached ones on their own threads.
+pub struct ActionHandler {
+    gateway: Arc<Gateway>,
+    /// Identity the action SQL runs under.
+    session: SessionCtx,
+    detached: Mutex<Vec<JoinHandle<()>>>,
+    detached_outcomes: Arc<Mutex<Vec<ActionOutcome>>>,
+}
+
+impl ActionHandler {
+    pub fn new(gateway: Arc<Gateway>) -> Self {
+        ActionHandler {
+            gateway,
+            session: SessionCtx::new("master", "eca_agent"),
+            detached: Mutex::new(Vec::new()),
+            detached_outcomes: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Execute an action synchronously (IMMEDIATE and flushed DEFERRED
+    /// rules) and return the outcome.
+    pub fn execute(&self, request: &ActionRequest, coupling: CouplingMode) -> ActionOutcome {
+        let result = self.run(request);
+        ActionOutcome {
+            rule: request.rule.clone(),
+            event: request.event.clone(),
+            coupling,
+            result: result.map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Execute an action on its own thread (DETACHED coupling). The outcome
+    /// lands in the detached-outcome mailbox.
+    pub fn execute_detached(self: &Arc<Self>, request: ActionRequest) {
+        let handler = Arc::clone(self);
+        let outcomes = Arc::clone(&self.detached_outcomes);
+        let handle = std::thread::spawn(move || {
+            let outcome = handler.execute(&request, CouplingMode::Detached);
+            outcomes.lock().push(outcome);
+        });
+        self.detached.lock().push(handle);
+    }
+
+    /// Join all outstanding detached actions and return their outcomes.
+    pub fn wait_detached(&self) -> Vec<ActionOutcome> {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.detached.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        std::mem::take(&mut *self.detached_outcomes.lock())
+    }
+
+    /// Number of detached actions not yet joined.
+    pub fn detached_pending(&self) -> usize {
+        self.detached.lock().len()
+    }
+
+    fn run(&self, request: &ActionRequest) -> Result<BatchResult> {
+        // Step 3 of §5.6: refresh sysContext from the LED's parameter list.
+        let ctx_sql = sys_context_sql(&request.occurrence, request.context);
+        if !ctx_sql.is_empty() {
+            self.gateway.internal(&ctx_sql, &self.session)?;
+        }
+        // Step 4: run the stored procedure (context join + action).
+        self.gateway
+            .internal(&format!("execute {}", request.proc_name), &self.session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use led::Param;
+    use relsql::{SqlEndpoint, SqlServer};
+
+    fn setup() -> (Arc<Gateway>, SessionCtx) {
+        let server = SqlServer::new();
+        let ctx = SessionCtx::new("db", "u");
+        server
+            .execute(
+                "create table sysContext (tableName varchar(120) not null, \
+                 context varchar(12) not null, vNo int not null)",
+                &ctx,
+            )
+            .unwrap();
+        (Arc::new(Gateway::new(server)), ctx)
+    }
+
+    fn request(proc_name: &str, occ: Occurrence) -> ActionRequest {
+        ActionRequest {
+            proc_name: proc_name.into(),
+            event: "e".into(),
+            context: ParameterContext::Recent,
+            rule: "r".into(),
+            occurrence: occ,
+        }
+    }
+
+    #[test]
+    fn execute_refreshes_syscontext_then_runs_proc() {
+        let (gw, ctx) = setup();
+        gw.internal("create table log (msg varchar(50))", &ctx).unwrap();
+        gw.internal(
+            "create procedure p as insert log select tableName from sysContext",
+            &ctx,
+        )
+        .unwrap();
+        let handler = ActionHandler::new(Arc::clone(&gw));
+        let occ = Occurrence::point("e", 1, vec![Param::db("e", "shadow1", 5, 1)]);
+        let outcome = handler.execute(&request("p", occ), CouplingMode::Immediate);
+        assert!(outcome.result.is_ok());
+        let r = gw.internal("select msg from log", &ctx).unwrap();
+        assert_eq!(
+            r.scalar(),
+            Some(&relsql::Value::Str("shadow1".into()))
+        );
+    }
+
+    #[test]
+    fn failed_proc_reports_error_outcome() {
+        let (gw, _ctx) = setup();
+        let handler = ActionHandler::new(gw);
+        let occ = Occurrence::point("e", 1, vec![]);
+        let outcome = handler.execute(&request("nosuch_proc", occ), CouplingMode::Immediate);
+        assert!(outcome.result.is_err());
+        assert!(outcome.result.unwrap_err().contains("nosuch_proc"));
+    }
+
+    #[test]
+    fn detached_actions_run_on_threads() {
+        let (gw, ctx) = setup();
+        gw.internal("create table log (a int)", &ctx).unwrap();
+        gw.internal("create procedure p as insert log values (1)", &ctx)
+            .unwrap();
+        let handler = Arc::new(ActionHandler::new(Arc::clone(&gw)));
+        for _ in 0..4 {
+            let occ = Occurrence::point("e", 1, vec![]);
+            handler.execute_detached(request("p", occ));
+        }
+        let outcomes = handler.wait_detached();
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        assert_eq!(handler.detached_pending(), 0);
+        let r = gw.internal("select count(*) from log", &ctx).unwrap();
+        assert_eq!(r.scalar(), Some(&relsql::Value::Int(4)));
+    }
+}

@@ -1,0 +1,1250 @@
+//! The ECA Agent (§3, Figure 2): the Virtual Active SQL Server.
+//!
+//! Wires the seven functional modules together: Gateway Open Server
+//! ([`crate::gateway`]), Language Filter ([`crate::filter`]), ECA Parser
+//! ([`crate::eca_parser`] + [`crate::codegen`]), Local Event Detector
+//! ([`led`]), Persistent Manager ([`crate::persist`]), Event Notifier
+//! ([`crate::notifier`]) and Action Handler ([`crate::action`]).
+//!
+//! Control flow follows Figures 3 and 4: ECA commands are parsed, code is
+//! generated and installed through the gateway, and rules are persisted;
+//! plain SQL passes through, native triggers notify the agent over the
+//! datagram channel, the LED detects (composite) events, and the Action
+//! Handler invokes stored procedures back inside the server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use led::{Condition, CouplingMode, Detector, Firing, Param, ParameterContext, RuleSpec};
+use parking_lot::Mutex;
+use relsql::ast::TriggerOp;
+use relsql::notify::{ChannelSink, Datagram, LossySink, NotificationSink};
+use relsql::{BatchResult, SessionCtx, SqlServer};
+
+use crate::action::{ActionHandler, ActionOutcome, ActionRequest};
+use crate::codegen;
+use crate::eca_parser::{parse_eca, EcaCommand, TriggerClauses};
+use crate::error::{AgentError, Result};
+use crate::filter::{classify, contains_commit, Classification};
+use crate::gateway::Gateway;
+use crate::naming;
+use crate::notifier;
+use crate::persist::PersistentManager;
+use crate::registry::{
+    CompositeEventInfo, PrimitiveEventInfo, Registry, ShadowKind, TriggerInfo, TriggerKind,
+};
+
+/// Agent configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Host/port baked into generated `syb_sendmsg` calls (cosmetic — the
+    /// in-process transport ignores them, like the paper's fixed UDP
+    /// endpoint in Figure 11).
+    pub notify_host: String,
+    pub notify_port: u16,
+    /// Simulated UDP loss probability for the notification channel.
+    pub drop_probability: f64,
+    pub drop_seed: u64,
+    /// Safety cap on cascaded notifications processed per client call.
+    pub max_cascade: usize,
+    /// Per-node LED buffered-occurrence ceiling (circuit breaker for
+    /// unbounded CHRONICLE/CONTINUOUS state — see experiment E9).
+    /// `None` disables the check.
+    pub led_state_limit: Option<usize>,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            notify_host: "128.227.205.215".into(), // the paper's Figure 11 address
+            notify_port: 10006,
+            drop_probability: 0.0,
+            drop_seed: 0,
+            max_cascade: 10_000,
+            led_state_limit: None,
+        }
+    }
+}
+
+/// Counters for the agent's moving parts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    pub eca_commands: u64,
+    pub notifications: u64,
+    pub malformed_notifications: u64,
+    pub actions_executed: u64,
+}
+
+/// What one client call produced.
+#[derive(Debug, Default)]
+pub struct AgentResponse {
+    /// Direct results from the SQL server (pass-through path).
+    pub server: BatchResult,
+    /// Rule actions executed as a consequence of this call (IMMEDIATE and
+    /// flushed DEFERRED rules).
+    pub actions: Vec<ActionOutcome>,
+    /// Agent-level informational messages.
+    pub messages: Vec<String>,
+}
+
+impl AgentResponse {
+    /// Outcome of a specific rule's action, if it ran.
+    pub fn action_of(&self, rule_suffix: &str) -> Option<&ActionOutcome> {
+        self.actions
+            .iter()
+            .find(|a| a.rule.ends_with(rule_suffix))
+    }
+}
+
+/// Callback invoked for every primitive-event occurrence the agent raises
+/// into its LED. Used by the Global Event Detector (§6 future work) to
+/// subscribe to a site's event stream.
+pub type OccurrenceListener = Arc<dyn Fn(&str, &[Param], i64) + Send + Sync>;
+
+struct Inner {
+    gateway: Arc<Gateway>,
+    led: Mutex<Detector>,
+    registry: Mutex<Registry>,
+    persist: PersistentManager,
+    action: Arc<ActionHandler>,
+    rx: Receiver<Datagram>,
+    config: AgentConfig,
+    listeners: Mutex<Vec<OccurrenceListener>>,
+    /// When set, a dedicated notifier thread owns the channel and the
+    /// synchronous per-call pump stands down.
+    async_mode: std::sync::atomic::AtomicBool,
+    /// Stop flag for the notifier thread.
+    notifier_stop: std::sync::atomic::AtomicBool,
+    /// Outcomes produced on the notifier thread, for later collection.
+    async_outcomes: Mutex<Vec<ActionOutcome>>,
+    eca_commands: AtomicU64,
+    notifications: AtomicU64,
+    malformed: AtomicU64,
+    actions_executed: AtomicU64,
+}
+
+/// The agent. Cheap to clone (all state shared).
+#[derive(Clone)]
+pub struct EcaAgent {
+    inner: Arc<Inner>,
+}
+
+impl EcaAgent {
+    /// Stand up an agent in front of `server`: installs the notification
+    /// sink, creates missing system tables, and restores every persisted
+    /// ECA rule (Persistent Manager recovery, Figure 8).
+    pub fn new(server: Arc<SqlServer>, config: AgentConfig) -> Result<Self> {
+        let (sink, rx) = ChannelSink::new();
+        if config.drop_probability > 0.0 {
+            let lossy = LossySink::new(sink, config.drop_probability, config.drop_seed);
+            server.set_sink(lossy as Arc<dyn NotificationSink>);
+        } else {
+            server.set_sink(sink as Arc<dyn NotificationSink>);
+        }
+        let gateway = Arc::new(Gateway::new(Arc::clone(&server)));
+        let persist = PersistentManager::new(&server);
+        persist.ensure_system_tables()?;
+        let mut detector = Detector::new();
+        detector.set_state_limit(config.led_state_limit);
+        let agent = EcaAgent {
+            inner: Arc::new(Inner {
+                action: Arc::new(ActionHandler::new(Arc::clone(&gateway))),
+                gateway,
+                led: Mutex::new(detector),
+                registry: Mutex::new(Registry::new()),
+                persist,
+                rx,
+                config,
+                listeners: Mutex::new(Vec::new()),
+                async_mode: std::sync::atomic::AtomicBool::new(false),
+                notifier_stop: std::sync::atomic::AtomicBool::new(false),
+                async_outcomes: Mutex::new(Vec::new()),
+                eca_commands: AtomicU64::new(0),
+                notifications: AtomicU64::new(0),
+                malformed: AtomicU64::new(0),
+                actions_executed: AtomicU64::new(0),
+            }),
+        };
+        agent.recover()?;
+        Ok(agent)
+    }
+
+    /// Convenience constructor with defaults.
+    pub fn with_defaults(server: Arc<SqlServer>) -> Result<Self> {
+        EcaAgent::new(server, AgentConfig::default())
+    }
+
+    /// Open a client connection through the agent (the transparent
+    /// "Virtual Active SQL Server" interface).
+    pub fn client(&self, database: &str, user: &str) -> EcaClient {
+        EcaClient {
+            agent: self.clone(),
+            ctx: SessionCtx::new(database, user),
+        }
+    }
+
+    pub fn server(&self) -> &Arc<SqlServer> {
+        self.inner.gateway.server()
+    }
+
+    pub fn stats(&self) -> AgentStats {
+        AgentStats {
+            eca_commands: self.inner.eca_commands.load(Ordering::Relaxed),
+            notifications: self.inner.notifications.load(Ordering::Relaxed),
+            malformed_notifications: self.inner.malformed.load(Ordering::Relaxed),
+            actions_executed: self.inner.actions_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn gateway_stats(&self) -> crate::gateway::GatewayStats {
+        self.inner.gateway.stats()
+    }
+
+    pub fn led_stats(&self) -> led::DetectorStats {
+        self.inner.led.lock().stats()
+    }
+
+    /// Total buffered occurrences in the LED (E9 metric).
+    pub fn led_state_size(&self) -> usize {
+        self.inner.led.lock().total_state_size()
+    }
+
+    /// Registered event names (internal form).
+    pub fn event_names(&self) -> Vec<String> {
+        self.inner.led.lock().event_names()
+    }
+
+    /// Registered trigger names (internal form).
+    pub fn trigger_names(&self) -> Vec<String> {
+        self.inner.registry.lock().trigger_names()
+    }
+
+    /// Human-readable operator tree of a registered event, for diagnostics
+    /// (e.g. "SEQ AND PRIMITIVE PRIMITIVE PRIMITIVE").
+    pub fn describe_event(&self, event: &str) -> Option<String> {
+        self.inner.led.lock().describe(event)
+    }
+
+    /// Structured metadata of one registered trigger.
+    pub fn trigger_info(&self, name: &str) -> Option<crate::registry::TriggerInfo> {
+        self.inner.registry.lock().trigger(name).cloned()
+    }
+
+    /// Structured metadata of every registered trigger, by name order.
+    pub fn triggers(&self) -> Vec<crate::registry::TriggerInfo> {
+        let registry = self.inner.registry.lock();
+        let mut v: Vec<crate::registry::TriggerInfo> = registry
+            .trigger_names()
+            .iter()
+            .filter_map(|n| registry.trigger(n).cloned())
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Advance virtual time: temporal events (P, P*, PLUS, absolute) due up
+    /// to the new time fire, and their rule actions execute.
+    pub fn advance_time(&self, micros: i64) -> Result<AgentResponse> {
+        let clock = self.server().clock();
+        clock.advance(micros);
+        let target = clock.peek();
+        let firings = self.inner.led.lock().advance_to(target);
+        let mut resp = AgentResponse::default();
+        self.dispatch(firings, &mut resp)?;
+        self.pump(&mut resp)?;
+        Ok(resp)
+    }
+
+    /// Join all outstanding DETACHED actions and collect their outcomes.
+    pub fn wait_detached(&self) -> Vec<ActionOutcome> {
+        self.inner.action.wait_detached()
+    }
+
+    /// Flush DEFERRED rule actions now (normally driven by COMMIT).
+    pub fn flush_deferred(&self) -> Result<AgentResponse> {
+        let firings = self.inner.led.lock().flush_deferred();
+        let mut resp = AgentResponse::default();
+        self.dispatch(firings, &mut resp)?;
+        self.pump(&mut resp)?;
+        Ok(resp)
+    }
+
+    // ----------------------------------------------------------- recovery
+
+    fn recover(&self) -> Result<()> {
+        let primitives = self.inner.persist.load_primitives()?;
+        let composites = self.inner.persist.load_composites()?;
+        let triggers = self.inner.persist.load_triggers()?;
+        let mut led = self.inner.led.lock();
+        let mut registry = self.inner.registry.lock();
+        for p in &primitives {
+            let op = TriggerOp::parse(&p.operation).ok_or_else(|| {
+                AgentError::Recovery(format!("bad operation '{}' for '{}'", p.operation, p.event))
+            })?;
+            let table_key = self
+                .resolve_table(&p.table, &SessionCtx::new(&p.db, &p.user))
+                .unwrap_or_else(|_| p.table.clone());
+            let info = PrimitiveEventInfo {
+                name: p.event.clone(),
+                table: table_key,
+                operation: op,
+                shadow_inserted: naming::shadow_inserted(&p.event),
+                shadow_deleted: naming::shadow_deleted(&p.event),
+                version_table: naming::version_table(&p.event),
+            };
+            led.define_primitive(&p.event)
+                .map_err(|e| AgentError::Recovery(e.to_string()))?;
+            registry.add_primitive(info)?;
+        }
+        // Composites may reference each other; iterate to a fixpoint.
+        let mut pending: Vec<&crate::persist::PersistedComposite> = composites.iter().collect();
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|c| {
+                let expr = match snoop::parse(&c.expr_src) {
+                    Ok(e) => e,
+                    Err(_) => return true, // reported below
+                };
+                if expr.references().iter().all(|r| led.has_event(&r.key())) {
+                    let ctx: ParameterContext = c.context.parse().unwrap_or_default();
+                    if led.define_composite(&c.event, &expr, ctx).is_ok() {
+                        let _ = registry.add_composite(CompositeEventInfo {
+                            name: c.event.clone(),
+                            expr_src: c.expr_src.clone(),
+                            context: ctx,
+                        });
+                        return false;
+                    }
+                }
+                true
+            });
+            if pending.len() == before {
+                return Err(AgentError::Recovery(format!(
+                    "unresolvable composite events: {:?}",
+                    pending.iter().map(|c| c.event.as_str()).collect::<Vec<_>>()
+                )));
+            }
+        }
+        for t in &triggers {
+            let coupling: CouplingMode = t.coupling.parse().unwrap_or_default();
+            let context: ParameterContext = t.context.parse().unwrap_or_default();
+            let kind = if t.kind.trim() == "native" {
+                TriggerKind::Native
+            } else {
+                TriggerKind::Led
+            };
+            if kind == TriggerKind::Led {
+                led.add_rule(
+                    RuleSpec::new(&t.name, &t.event)
+                        .with_coupling(coupling)
+                        .with_priority(t.priority)
+                        .with_condition(Condition::Always),
+                )
+                .map_err(|e| AgentError::Recovery(e.to_string()))?;
+            }
+            registry.add_trigger(TriggerInfo {
+                name: t.name.clone(),
+                event: t.event.clone(),
+                proc_name: t.proc_name.clone(),
+                kind,
+                coupling,
+                context,
+                priority: t.priority,
+            })?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------ notification pumping
+
+    /// Start the dedicated Event Notifier thread (Figure 15): notifications
+    /// are processed asynchronously and IMMEDIATE/DEFERRED-flushed action
+    /// outcomes accumulate in a mailbox drained via
+    /// [`EcaAgent::take_async_outcomes`]. Returns the thread handle; stop
+    /// it with [`EcaAgent::stop_notifier_thread`].
+    ///
+    /// In this mode client calls no longer process notifications inline, so
+    /// `execute()` responses carry no composite-rule actions — the paper's
+    /// actual asynchronous architecture, traded against the synchronous
+    /// default's determinism.
+    pub fn start_notifier_thread(&self) -> std::thread::JoinHandle<()> {
+        use std::sync::atomic::Ordering as O;
+        self.inner.async_mode.store(true, O::SeqCst);
+        self.inner.notifier_stop.store(false, O::SeqCst);
+        let agent = self.clone();
+        std::thread::spawn(move || {
+            while !agent.inner.notifier_stop.load(O::SeqCst) {
+                let mut resp = AgentResponse::default();
+                let _ = agent.pump_inner(&mut resp);
+                if !resp.actions.is_empty() {
+                    agent.inner.async_outcomes.lock().extend(resp.actions);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        })
+    }
+
+    /// Signal the notifier thread to stop (join the handle afterwards) and
+    /// return to synchronous pumping.
+    pub fn stop_notifier_thread(&self) {
+        use std::sync::atomic::Ordering as O;
+        self.inner.notifier_stop.store(true, O::SeqCst);
+        self.inner.async_mode.store(false, O::SeqCst);
+    }
+
+    /// Drain the action outcomes the notifier thread produced.
+    pub fn take_async_outcomes(&self) -> Vec<ActionOutcome> {
+        std::mem::take(&mut *self.inner.async_outcomes.lock())
+    }
+
+    /// Block until the notification channel is empty and has stayed empty
+    /// for a short settle interval (async mode only). Returns false on
+    /// timeout.
+    pub fn wait_quiescent(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut calm = 0;
+        while std::time::Instant::now() < deadline {
+            if self.inner.rx.is_empty() {
+                calm += 1;
+                if calm >= 3 {
+                    return true;
+                }
+            } else {
+                calm = 0;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        false
+    }
+
+    /// Drain and process pending notifications (Figure 4 steps 2–6),
+    /// including cascades caused by the actions themselves. No-op while the
+    /// dedicated notifier thread owns the channel.
+    fn pump(&self, resp: &mut AgentResponse) -> Result<()> {
+        if self.inner.async_mode.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.pump_inner(resp)
+    }
+
+    fn pump_inner(&self, resp: &mut AgentResponse) -> Result<()> {
+        let mut processed = 0usize;
+        while let Ok(datagram) = self.inner.rx.try_recv() {
+            processed += 1;
+            if processed > self.inner.config.max_cascade {
+                return Err(AgentError::Recovery(format!(
+                    "notification cascade exceeded {} messages",
+                    self.inner.config.max_cascade
+                )));
+            }
+            let note = match notifier::decode(&datagram) {
+                Some(n) => n,
+                None => {
+                    self.inner.malformed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            self.inner.notifications.fetch_add(1, Ordering::Relaxed);
+            let params = {
+                let registry = self.inner.registry.lock();
+                match registry.primitive(&note.event) {
+                    Some(info) => info
+                        .stamped_shadows()
+                        .iter()
+                        .map(|(shadow, _)| {
+                            Param::db(&note.event, *shadow, note.vno, 0)
+                        })
+                        .collect::<Vec<_>>(),
+                    None => continue, // stale notification for a dropped event
+                }
+            };
+            let ts = self.server().clock().now();
+            let params: Vec<Param> = params
+                .into_iter()
+                .map(|mut p| {
+                    p.ts = ts;
+                    p
+                })
+                .collect();
+            let firings = self
+                .inner
+                .led
+                .lock()
+                .signal(&note.event, params.clone(), ts)
+                .map_err(AgentError::from)?;
+            self.dispatch(firings, resp)?;
+            // Publish the occurrence to external subscribers (e.g. a GED)
+            // with no internal locks held.
+            let listeners: Vec<OccurrenceListener> =
+                self.inner.listeners.lock().clone();
+            for l in &listeners {
+                l(&note.event, &params, ts);
+            }
+        }
+        Ok(())
+    }
+
+    /// Subscribe to every primitive-event occurrence this agent raises —
+    /// the hook the Global Event Detector uses (§6 future work).
+    pub fn add_occurrence_listener(&self, listener: OccurrenceListener) {
+        self.inner.listeners.lock().push(listener);
+    }
+
+    fn dispatch(&self, firings: Vec<Firing>, resp: &mut AgentResponse) -> Result<()> {
+        for firing in firings {
+            let proc_name = {
+                let registry = self.inner.registry.lock();
+                match registry.trigger(&firing.rule) {
+                    Some(t) => t.proc_name.clone(),
+                    None => continue,
+                }
+            };
+            let request = ActionRequest::from_firing(&firing, proc_name);
+            self.inner.actions_executed.fetch_add(1, Ordering::Relaxed);
+            match firing.coupling {
+                CouplingMode::Detached => self.inner.action.execute_detached(request),
+                coupling => {
+                    let outcome = self.inner.action.execute(&request, coupling);
+                    resp.actions.push(outcome);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------- helper lookups
+
+    fn resolve_table(&self, name: &str, ctx: &SessionCtx) -> Result<String> {
+        self.server()
+            .inspect(|e| {
+                e.database()
+                    .resolve_table_key(name, Some((&ctx.database, &ctx.user)))
+            })
+            .ok_or_else(|| AgentError::Naming(format!("table '{name}' does not exist")))
+    }
+
+    fn has_server_table(&self, name: &str) -> bool {
+        self.server().inspect(|e| e.database().has_table(name))
+    }
+
+    /// Resolve an event reference: try the §5.1 expansion first, then the
+    /// name as written (it may already be internal).
+    fn resolve_event(&self, name: &str, ctx: &SessionCtx) -> Result<String> {
+        let registry = self.inner.registry.lock();
+        let expanded = naming::internal(ctx, name);
+        if registry.has_event(&expanded) {
+            return Ok(expanded);
+        }
+        if registry.has_event(name) {
+            return Ok(name.to_string());
+        }
+        Err(AgentError::Naming(format!("unknown event '{name}'")))
+    }
+
+    // --------------------------------------------------------- ECA create
+
+    fn handle_eca(&self, sql: &str, ctx: &SessionCtx) -> Result<AgentResponse> {
+        self.inner.eca_commands.fetch_add(1, Ordering::Relaxed);
+        match parse_eca(sql)? {
+            EcaCommand::CreatePrimitive {
+                trigger,
+                table,
+                operation,
+                event,
+                clauses,
+                action,
+            } => self.create_primitive(ctx, &trigger, &table, operation, &event, &clauses, &action),
+            EcaCommand::CreateOnExisting {
+                trigger,
+                event,
+                clauses,
+                action,
+            } => self.create_on_existing(ctx, &trigger, &event, &clauses, &action),
+            EcaCommand::CreateComposite {
+                trigger,
+                event,
+                expr_src,
+                clauses,
+                action,
+            } => self.create_composite(ctx, &trigger, &event, &expr_src, &clauses, &action),
+            EcaCommand::DropTrigger { trigger } => self.drop_trigger(ctx, &trigger),
+            EcaCommand::DropEvent { event } => self.drop_event(ctx, &event),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn create_primitive(
+        &self,
+        ctx: &SessionCtx,
+        trigger: &str,
+        table: &str,
+        operation: TriggerOp,
+        event: &str,
+        clauses: &TriggerClauses,
+        action: &str,
+    ) -> Result<AgentResponse> {
+        let trigger_i = naming::internal(ctx, trigger);
+        let event_i = naming::internal(ctx, event);
+        let table_key = self.resolve_table(table, ctx)?;
+        {
+            let registry = self.inner.registry.lock();
+            if registry.has_event(&event_i) {
+                return Err(AgentError::Naming(format!(
+                    "event '{event_i}' already exists — use the ON-EVENT form to reuse it"
+                )));
+            }
+            if registry.trigger(&trigger_i).is_some() {
+                return Err(AgentError::Naming(format!(
+                    "trigger '{trigger_i}' already exists"
+                )));
+            }
+            if let Some(existing) = registry.primitive_for_slot(&table_key, operation) {
+                return Err(AgentError::Naming(format!(
+                    "event '{}' already watches {operation} on '{table}' — reuse it",
+                    existing.name
+                )));
+            }
+        }
+        let info = PrimitiveEventInfo {
+            name: event_i.clone(),
+            table: table_key.clone(),
+            operation,
+            shadow_inserted: naming::shadow_inserted(&event_i),
+            shadow_deleted: naming::shadow_deleted(&event_i),
+            version_table: naming::version_table(&event_i),
+        };
+        let proc_name = naming::action_proc(&trigger_i);
+        // Rewrite TableName.inserted/.deleted context accessors.
+        let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
+            self.resolve_table(t, ctx).unwrap_or_else(|_| naming::internal(ctx, t))
+        });
+        // --- install in the server (Figure 3 step 5), via the gateway.
+        // On any failure, roll the already-installed artifacts back so the
+        // command can be retried after the user fixes it.
+        let kind = if clauses.coupling == CouplingMode::Immediate {
+            TriggerKind::Native
+        } else {
+            TriggerKind::Led
+        };
+        let install = (|| -> Result<()> {
+            self.inner
+                .gateway
+                .internal(&codegen::primitive_event_setup(&info, table), ctx)?;
+            for r in &refs {
+                self.ensure_tmp_table(r, &info, ctx)?;
+            }
+            self.inner.gateway.internal(
+                &codegen::native_action_proc(&proc_name, &info, &refs, &rewritten),
+                ctx,
+            )?;
+            let immediate_procs = if kind == TriggerKind::Native {
+                vec![proc_name.clone()]
+            } else {
+                Vec::new()
+            };
+            self.inner.gateway.internal(
+                &codegen::native_trigger_sql(
+                    &info,
+                    table,
+                    &ctx.user,
+                    &self.inner.config.notify_host,
+                    self.inner.config.notify_port,
+                    &immediate_procs,
+                ),
+                ctx,
+            )?;
+            Ok(())
+        })();
+        if let Err(e) = install {
+            // Best-effort cleanup; each artifact may or may not exist.
+            for sql in [
+                format!("drop trigger {}", naming::native_trigger(&info.name)),
+                format!("drop procedure {proc_name}"),
+                format!("drop table {}", info.shadow_inserted),
+                format!("drop table {}", info.shadow_deleted),
+                format!("drop table {}", info.version_table),
+            ] {
+                let _ = self.inner.gateway.internal(&sql, ctx);
+            }
+            return Err(e);
+        }
+        // --- persist (Figure 3 step 7).
+        self.inner.persist.run(&codegen::persist_primitive_sql(
+            &ctx.database,
+            &ctx.user,
+            &info,
+            table,
+        ))?;
+        self.inner.persist.run(&codegen::persist_trigger_sql(
+            &ctx.database,
+            &ctx.user,
+            &trigger_i,
+            &proc_name,
+            &event_i,
+            clauses.coupling.as_str(),
+            clauses.context.as_str(),
+            clauses.priority,
+            if kind == TriggerKind::Native { "native" } else { "led" },
+        ))?;
+        // --- register in the LED and registry.
+        {
+            let mut led = self.inner.led.lock();
+            led.define_primitive(&event_i)?;
+            if kind == TriggerKind::Led {
+                led.add_rule(
+                    RuleSpec::new(&trigger_i, &event_i)
+                        .with_coupling(clauses.coupling)
+                        .with_priority(clauses.priority),
+                )?;
+            }
+        }
+        {
+            let mut registry = self.inner.registry.lock();
+            registry.add_primitive(info)?;
+            registry.add_trigger(TriggerInfo {
+                name: trigger_i.clone(),
+                event: event_i.clone(),
+                proc_name,
+                kind,
+                coupling: clauses.coupling,
+                context: clauses.context,
+                priority: clauses.priority,
+            })?;
+        }
+        let mut resp = AgentResponse::default();
+        resp.messages
+            .push(format!("primitive event '{event_i}' created"));
+        resp.messages.push(format!("trigger '{trigger_i}' created"));
+        Ok(resp)
+    }
+
+    fn create_composite(
+        &self,
+        ctx: &SessionCtx,
+        trigger: &str,
+        event: &str,
+        expr_src: &str,
+        clauses: &TriggerClauses,
+        action: &str,
+    ) -> Result<AgentResponse> {
+        let trigger_i = naming::internal(ctx, trigger);
+        let event_i = naming::internal(ctx, event);
+        {
+            let registry = self.inner.registry.lock();
+            if registry.has_event(&event_i) {
+                return Err(AgentError::Naming(format!(
+                    "event '{event_i}' already exists"
+                )));
+            }
+            if registry.trigger(&trigger_i).is_some() {
+                return Err(AgentError::Naming(format!(
+                    "trigger '{trigger_i}' already exists"
+                )));
+            }
+        }
+        // Name checking + expansion (§5.3): every referenced event must
+        // already be defined; user names expand to internal names.
+        let expr = snoop::parse(expr_src)?;
+        let mut unknown: Option<String> = None;
+        let expr_internal = expr.map_names(&mut |n| {
+            match self.resolve_event(&n.key(), ctx) {
+                Ok(internal) => snoop::EventName::simple(internal),
+                Err(_) => {
+                    unknown.get_or_insert_with(|| n.key());
+                    n.clone()
+                }
+            }
+        });
+        if let Some(name) = unknown {
+            return Err(AgentError::Naming(format!(
+                "event '{name}' is not defined"
+            )));
+        }
+        let expr_internal_src = expr_internal.to_string();
+        // Register the composite in the LED first — it validates shape.
+        self.inner
+            .led
+            .lock()
+            .define_composite(&event_i, &expr_internal, clauses.context)?;
+        let result = (|| -> Result<AgentResponse> {
+            let proc_name = naming::action_proc(&trigger_i);
+            let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
+                self.resolve_table(t, ctx).unwrap_or_else(|_| naming::internal(ctx, t))
+            });
+            // Context sources: shadows of the transitive primitive
+            // constituents matching each referenced (table, kind). The new
+            // composite is not in the registry yet, so walk from its
+            // references.
+            let sources = {
+                let registry = self.inner.registry.lock();
+                let mut constituents: Vec<&PrimitiveEventInfo> = Vec::new();
+                for r in expr_internal.references() {
+                    for p in registry.primitive_constituents(&r.key()) {
+                        if !constituents.iter().any(|c| c.name == p.name) {
+                            constituents.push(p);
+                        }
+                    }
+                }
+                let mut sources = Vec::new();
+                for r in &refs {
+                    for p in &constituents {
+                        if !p.table.eq_ignore_ascii_case(&r.table) {
+                            continue;
+                        }
+                        for (shadow, kind) in p.stamped_shadows() {
+                            if kind == r.kind {
+                                sources.push(codegen::ContextSource {
+                                    tmp: match kind {
+                                        ShadowKind::Inserted => naming::tmp_inserted(&r.table),
+                                        ShadowKind::Deleted => naming::tmp_deleted(&r.table),
+                                    },
+                                    shadow: shadow.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+                sources
+            };
+            for r in &refs {
+                self.ensure_tmp_from_refs(r, ctx)?;
+            }
+            self.inner.gateway.internal(
+                &codegen::led_action_proc(&proc_name, clauses.context, &sources, &rewritten),
+                ctx,
+            )?;
+            self.inner.persist.run(&codegen::persist_composite_sql(
+                &ctx.database,
+                &ctx.user,
+                &event_i,
+                &expr_internal_src,
+                clauses.coupling.as_str(),
+                clauses.context.as_str(),
+                clauses.priority,
+            ))?;
+            self.inner.persist.run(&codegen::persist_trigger_sql(
+                &ctx.database,
+                &ctx.user,
+                &trigger_i,
+                &proc_name,
+                &event_i,
+                clauses.coupling.as_str(),
+                clauses.context.as_str(),
+                clauses.priority,
+                "led",
+            ))?;
+            self.inner.led.lock().add_rule(
+                RuleSpec::new(&trigger_i, &event_i)
+                    .with_coupling(clauses.coupling)
+                    .with_priority(clauses.priority),
+            )?;
+            let mut registry = self.inner.registry.lock();
+            registry.add_composite(CompositeEventInfo {
+                name: event_i.clone(),
+                expr_src: expr_internal_src.clone(),
+                context: clauses.context,
+            })?;
+            registry.add_trigger(TriggerInfo {
+                name: trigger_i.clone(),
+                event: event_i.clone(),
+                proc_name,
+                kind: TriggerKind::Led,
+                coupling: clauses.coupling,
+                context: clauses.context,
+                priority: clauses.priority,
+            })?;
+            let mut resp = AgentResponse::default();
+            resp.messages
+                .push(format!("composite event '{event_i}' = {expr_internal_src} created"));
+            resp.messages.push(format!("trigger '{trigger_i}' created"));
+            Ok(resp)
+        })();
+        if result.is_err() {
+            // Roll the LED registration back so a failed command leaves no
+            // half-defined event behind.
+            let _ = self.inner.led.lock().drop_composite(&event_i);
+        }
+        result
+    }
+
+    fn create_on_existing(
+        &self,
+        ctx: &SessionCtx,
+        trigger: &str,
+        event: &str,
+        clauses: &TriggerClauses,
+        action: &str,
+    ) -> Result<AgentResponse> {
+        let trigger_i = naming::internal(ctx, trigger);
+        let event_i = self.resolve_event(event, ctx)?;
+        {
+            let registry = self.inner.registry.lock();
+            if registry.trigger(&trigger_i).is_some() {
+                return Err(AgentError::Naming(format!(
+                    "trigger '{trigger_i}' already exists"
+                )));
+            }
+        }
+        let proc_name = naming::action_proc(&trigger_i);
+        let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
+            self.resolve_table(t, ctx).unwrap_or_else(|_| naming::internal(ctx, t))
+        });
+        let primitive_info = self.inner.registry.lock().primitive(&event_i).cloned();
+        let kind = match (&primitive_info, clauses.coupling) {
+            (Some(_), CouplingMode::Immediate) => TriggerKind::Native,
+            _ => TriggerKind::Led,
+        };
+        match kind {
+            TriggerKind::Native => {
+                let info = primitive_info.expect("checked above");
+                for r in &refs {
+                    self.ensure_tmp_table(r, &info, ctx)?;
+                }
+                self.inner.gateway.internal(
+                    &codegen::native_action_proc(&proc_name, &info, &refs, &rewritten),
+                    ctx,
+                )?;
+                // Regenerate the native trigger with the new proc included,
+                // keeping the EXECUTE lines in priority order.
+                let procs: Vec<String> = {
+                    let registry = self.inner.registry.lock();
+                    let mut entries: Vec<(i32, String, String)> = registry
+                        .native_triggers_on(&event_i)
+                        .iter()
+                        .map(|t| (t.priority, t.name.clone(), t.proc_name.clone()))
+                        .collect();
+                    entries.push((clauses.priority, trigger_i.clone(), proc_name.clone()));
+                    entries.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                    entries.into_iter().map(|(_, _, p)| p).collect()
+                };
+                self.regenerate_native_trigger(&info, ctx, &procs)?;
+            }
+            TriggerKind::Led => {
+                let sources = {
+                    let registry = self.inner.registry.lock();
+                    let constituents = registry.primitive_constituents(&event_i);
+                    let mut sources = Vec::new();
+                    for r in &refs {
+                        for p in &constituents {
+                            if !p.table.eq_ignore_ascii_case(&r.table) {
+                                continue;
+                            }
+                            for (shadow, skind) in p.stamped_shadows() {
+                                if skind == r.kind {
+                                    sources.push(codegen::ContextSource {
+                                        tmp: match skind {
+                                            ShadowKind::Inserted => {
+                                                naming::tmp_inserted(&r.table)
+                                            }
+                                            ShadowKind::Deleted => naming::tmp_deleted(&r.table),
+                                        },
+                                        shadow: shadow.to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    sources
+                };
+                for r in &refs {
+                    self.ensure_tmp_from_refs(r, ctx)?;
+                }
+                let context = {
+                    // Rules on a composite inherit the event's context (it
+                    // is a property of the detection graph).
+                    let registry = self.inner.registry.lock();
+                    registry
+                        .composite(&event_i)
+                        .map(|c| c.context)
+                        .unwrap_or(clauses.context)
+                };
+                self.inner.gateway.internal(
+                    &codegen::led_action_proc(&proc_name, context, &sources, &rewritten),
+                    ctx,
+                )?;
+                self.inner.led.lock().add_rule(
+                    RuleSpec::new(&trigger_i, &event_i)
+                        .with_coupling(clauses.coupling)
+                        .with_priority(clauses.priority),
+                )?;
+            }
+        }
+        self.inner.persist.run(&codegen::persist_trigger_sql(
+            &ctx.database,
+            &ctx.user,
+            &trigger_i,
+            &proc_name,
+            &event_i,
+            clauses.coupling.as_str(),
+            clauses.context.as_str(),
+            clauses.priority,
+            if kind == TriggerKind::Native { "native" } else { "led" },
+        ))?;
+        self.inner.registry.lock().add_trigger(TriggerInfo {
+            name: trigger_i.clone(),
+            event: event_i.clone(),
+            proc_name,
+            kind,
+            coupling: clauses.coupling,
+            context: clauses.context,
+            priority: clauses.priority,
+        })?;
+        let mut resp = AgentResponse::default();
+        resp.messages
+            .push(format!("trigger '{trigger_i}' created on event '{event_i}'"));
+        Ok(resp)
+    }
+
+    fn regenerate_native_trigger(
+        &self,
+        info: &PrimitiveEventInfo,
+        ctx: &SessionCtx,
+        procs: &[String],
+    ) -> Result<()> {
+        // Creating a trigger on the same (table, op) slot silently replaces
+        // the previous definition — the one Sybase restriction (§2.2) the
+        // agent exploits rather than works around.
+        self.inner.gateway.internal(
+            &codegen::native_trigger_sql(
+                info,
+                &info.table,
+                &ctx.user,
+                &self.inner.config.notify_host,
+                self.inner.config.notify_port,
+                procs,
+            ),
+            ctx,
+        )?;
+        Ok(())
+    }
+
+    fn ensure_tmp_table(
+        &self,
+        r: &codegen::ContextRef,
+        info: &PrimitiveEventInfo,
+        ctx: &SessionCtx,
+    ) -> Result<()> {
+        let (tmp, shadow) = match r.kind {
+            ShadowKind::Inserted => (naming::tmp_inserted(&r.table), &info.shadow_inserted),
+            ShadowKind::Deleted => (naming::tmp_deleted(&r.table), &info.shadow_deleted),
+        };
+        if !self.has_server_table(&tmp) {
+            self.inner
+                .gateway
+                .internal(&codegen::tmp_table_ddl(&tmp, shadow), ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Ensure a context tmp table exists, cloning schema from any shadow of
+    /// a primitive event on the referenced table, or from the table itself.
+    fn ensure_tmp_from_refs(&self, r: &codegen::ContextRef, ctx: &SessionCtx) -> Result<()> {
+        let tmp = match r.kind {
+            ShadowKind::Inserted => naming::tmp_inserted(&r.table),
+            ShadowKind::Deleted => naming::tmp_deleted(&r.table),
+        };
+        if self.has_server_table(&tmp) {
+            return Ok(());
+        }
+        let shadow = {
+            let registry = self.inner.registry.lock();
+            let mut found = None;
+            for op in [TriggerOp::Insert, TriggerOp::Update, TriggerOp::Delete] {
+                if let Some(p) = registry.primitive_for_slot(&r.table, op) {
+                    found = Some(match r.kind {
+                        ShadowKind::Inserted => p.shadow_inserted.clone(),
+                        ShadowKind::Deleted => p.shadow_deleted.clone(),
+                    });
+                    break;
+                }
+            }
+            found
+        };
+        match shadow {
+            Some(shadow) => {
+                self.inner
+                    .gateway
+                    .internal(&codegen::tmp_table_ddl(&tmp, &shadow), ctx)?;
+            }
+            None => {
+                // No event on the table yet: clone the table and add vNo.
+                self.inner.gateway.internal(
+                    &format!(
+                        "select * into {tmp} from {t} where 1=2\n\
+                         alter table {tmp} add vNo int null",
+                        t = r.table
+                    ),
+                    ctx,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- ECA drop
+
+    fn drop_trigger(&self, ctx: &SessionCtx, trigger: &str) -> Result<AgentResponse> {
+        let trigger_i = naming::internal(ctx, trigger);
+        let info = {
+            let registry = self.inner.registry.lock();
+            registry
+                .trigger(&trigger_i)
+                .or_else(|| registry.trigger(trigger))
+                .cloned()
+        };
+        let info = match info {
+            Some(i) => i,
+            None => {
+                // Not agent-managed: forward to the server (it may be a
+                // plain native trigger).
+                let server = self.inner.gateway.forward(&format!("drop trigger {trigger}"), ctx)?;
+                return Ok(AgentResponse {
+                    server,
+                    ..Default::default()
+                });
+            }
+        };
+        match info.kind {
+            TriggerKind::Led => {
+                self.inner.led.lock().drop_rule(&info.name)?;
+            }
+            TriggerKind::Native => {
+                let primitive = self
+                    .inner
+                    .registry
+                    .lock()
+                    .primitive(&info.event)
+                    .cloned()
+                    .ok_or_else(|| {
+                        AgentError::Naming(format!("event '{}' missing for trigger", info.event))
+                    })?;
+                let procs: Vec<String> = {
+                    let registry = self.inner.registry.lock();
+                    registry
+                        .native_triggers_on(&info.event)
+                        .iter()
+                        .filter(|t| t.name != info.name)
+                        .map(|t| t.proc_name.clone())
+                        .collect()
+                };
+                self.regenerate_native_trigger(&primitive, ctx, &procs)?;
+            }
+        }
+        self.inner
+            .gateway
+            .internal(&format!("drop procedure {}", info.proc_name), ctx)?;
+        self.inner.persist.delete_trigger_row(&info.name)?;
+        self.inner.registry.lock().remove_trigger(&info.name);
+        let mut resp = AgentResponse::default();
+        resp.messages.push(format!("trigger '{}' dropped", info.name));
+        Ok(resp)
+    }
+
+    fn drop_event(&self, ctx: &SessionCtx, event: &str) -> Result<AgentResponse> {
+        let event_i = self.resolve_event(event, ctx)?;
+        {
+            let registry = self.inner.registry.lock();
+            let triggers = registry.triggers_on(&event_i);
+            if !triggers.is_empty() {
+                return Err(AgentError::Naming(format!(
+                    "event '{event_i}' still has {} trigger(s)",
+                    triggers.len()
+                )));
+            }
+            let deps = registry.dependents_of(&event_i);
+            if !deps.is_empty() {
+                return Err(AgentError::Naming(format!(
+                    "event '{event_i}' is referenced by {} composite event(s)",
+                    deps.len()
+                )));
+            }
+        }
+        self.inner.led.lock().drop_composite(&event_i)?;
+        let mut registry = self.inner.registry.lock();
+        if let Some(info) = registry.remove_primitive(&event_i) {
+            self.inner.gateway.internal(
+                &format!(
+                    "drop trigger {}\ndrop table {}\ndrop table {}\ndrop table {}",
+                    naming::native_trigger(&info.name),
+                    info.shadow_inserted,
+                    info.shadow_deleted,
+                    info.version_table,
+                ),
+                ctx,
+            )?;
+            self.inner.persist.delete_primitive_row(&event_i)?;
+        } else if registry.remove_composite(&event_i).is_some() {
+            self.inner.persist.delete_composite_row(&event_i)?;
+        }
+        let mut resp = AgentResponse::default();
+        resp.messages.push(format!("event '{event_i}' dropped"));
+        Ok(resp)
+    }
+}
+
+/// A client connection through the agent.
+#[derive(Clone)]
+pub struct EcaClient {
+    agent: EcaAgent,
+    ctx: SessionCtx,
+}
+
+impl EcaClient {
+    /// Execute a batch: ECA commands are interpreted by the agent, plain
+    /// SQL passes through and any resulting event detections run their
+    /// actions before this returns (IMMEDIATE semantics).
+    pub fn execute(&self, sql: &str) -> Result<AgentResponse> {
+        match classify(sql) {
+            Classification::Eca(_) => self.agent.inner_handle(sql, &self.ctx),
+            Classification::PassThrough => {
+                let server = self.agent.inner.gateway.forward(sql, &self.ctx)?;
+                let mut resp = AgentResponse {
+                    server,
+                    ..Default::default()
+                };
+                self.agent.pump(&mut resp)?;
+                if contains_commit(sql) {
+                    let deferred = self.agent.flush_deferred()?;
+                    resp.actions.extend(deferred.actions);
+                }
+                Ok(resp)
+            }
+        }
+    }
+
+    pub fn agent(&self) -> &EcaAgent {
+        &self.agent
+    }
+
+    pub fn ctx(&self) -> &SessionCtx {
+        &self.ctx
+    }
+}
+
+impl EcaAgent {
+    fn inner_handle(&self, sql: &str, ctx: &SessionCtx) -> Result<AgentResponse> {
+        self.handle_eca(sql, ctx)
+    }
+}
+
+/// The transparency claim made concrete: an [`EcaClient`] is a drop-in
+/// [`relsql::SqlEndpoint`], so any code written against the plain server
+/// works unchanged through the agent (and silently gains active
+/// capability). Only the direct server results are surfaced; rule-action
+/// outputs are available through [`EcaClient::execute`].
+impl relsql::SqlEndpoint for EcaClient {
+    fn execute(&self, sql: &str, session: &SessionCtx) -> relsql::Result<BatchResult> {
+        let client = EcaClient {
+            agent: self.agent.clone(),
+            ctx: session.clone(),
+        };
+        client
+            .execute(sql)
+            .map(|resp| resp.server)
+            .map_err(|e| match e {
+                AgentError::Sql(sql_err) => sql_err,
+                other => relsql::Error::exec(other.to_string()),
+            })
+    }
+}

@@ -1,0 +1,212 @@
+//! The rejected alternatives from §1, implemented as baselines for
+//! experiment E10: **polling** and **embedded situation checks**.
+//!
+//! Both monitor the database for situations without any active capability —
+//! polling re-queries on a schedule (wasted queries, bounded detection
+//! latency), embedded checks bolt condition tests onto every application
+//! statement (no modularity, per-statement overhead). The ECA Agent is the
+//! paper's answer to both.
+
+use relsql::{BatchResult, Result, Session, Value};
+
+/// A situation to watch: a query whose result changing (or predicate
+/// becoming true) constitutes "detection".
+#[derive(Debug, Clone)]
+pub struct Situation {
+    /// Identifier for reporting.
+    pub name: String,
+    /// A SELECT whose first scalar is compared across polls.
+    pub probe_sql: String,
+    /// Action executed when the situation is detected.
+    pub action_sql: String,
+}
+
+/// Polling monitor: re-runs every situation probe on each `poll()` call and
+/// fires the action when the probed value changed since the last poll.
+pub struct PollingMonitor {
+    session: Session,
+    situations: Vec<Situation>,
+    last: Vec<Option<Value>>,
+    polls: u64,
+    queries: u64,
+    detections: u64,
+}
+
+impl PollingMonitor {
+    pub fn new(session: Session, situations: Vec<Situation>) -> Self {
+        let n = situations.len();
+        PollingMonitor {
+            session,
+            situations,
+            last: vec![None; n],
+            polls: 0,
+            queries: 0,
+            detections: 0,
+        }
+    }
+
+    /// Run one polling round; returns the names of situations detected.
+    pub fn poll(&mut self) -> Result<Vec<String>> {
+        self.polls += 1;
+        let mut detected = Vec::new();
+        for (i, s) in self.situations.iter().enumerate() {
+            self.queries += 1;
+            let r = self.session.execute(&s.probe_sql)?;
+            let current = r.scalar().cloned();
+            let changed = match (&self.last[i], &current) {
+                (Some(a), Some(b)) => a != b,
+                (None, Some(_)) => false, // first observation is the baseline
+                _ => false,
+            };
+            if changed {
+                self.detections += 1;
+                self.queries += 1;
+                self.session.execute(&s.action_sql)?;
+                detected.push(s.name.clone());
+            }
+            self.last[i] = current;
+        }
+        Ok(detected)
+    }
+
+    /// (polls, probe+action queries issued, detections) — the waste metric.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.polls, self.queries, self.detections)
+    }
+}
+
+/// Embedded situation check: the §1 "extra code in all applications"
+/// approach. Every DML the application issues is followed by explicit
+/// condition checks, inline, in application code.
+pub struct EmbeddedCheckClient {
+    session: Session,
+    checks: Vec<Situation>,
+    statements: u64,
+    check_queries: u64,
+    detections: u64,
+}
+
+impl EmbeddedCheckClient {
+    pub fn new(session: Session, checks: Vec<Situation>) -> Self {
+        EmbeddedCheckClient {
+            session,
+            checks,
+            statements: 0,
+            check_queries: 0,
+            detections: 0,
+        }
+    }
+
+    /// Execute application SQL, then run every situation check inline —
+    /// the condition is re-evaluated whether or not this statement could
+    /// have affected it (the application cannot know, in general).
+    pub fn execute(&mut self, sql: &str) -> Result<(BatchResult, Vec<String>)> {
+        self.statements += 1;
+        let result = self.session.execute(sql)?;
+        let mut detected = Vec::new();
+        for s in &self.checks {
+            self.check_queries += 1;
+            let r = self.session.execute(&s.probe_sql)?;
+            if r.scalar().is_some_and(Value::is_truthy) {
+                self.detections += 1;
+                self.check_queries += 1;
+                self.session.execute(&s.action_sql)?;
+                detected.push(s.name.clone());
+            }
+        }
+        Ok((result, detected))
+    }
+
+    /// (application statements, check queries issued, detections).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.statements, self.check_queries, self.detections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relsql::SqlServer;
+
+    fn setup() -> Session {
+        let server = SqlServer::new();
+        let s = server.session("db", "u");
+        s.execute("create table stock (symbol varchar(8), price float)")
+            .unwrap();
+        s.execute("create table alerts (n int)").unwrap();
+        s
+    }
+
+    #[test]
+    fn polling_detects_only_at_poll_time() {
+        let s = setup();
+        let mut monitor = PollingMonitor::new(
+            s.clone(),
+            vec![Situation {
+                name: "stock_count".into(),
+                probe_sql: "select count(*) from stock".into(),
+                action_sql: "insert alerts values (1)".into(),
+            }],
+        );
+        // Baseline poll.
+        assert!(monitor.poll().unwrap().is_empty());
+        // Change happens between polls — invisible until the next poll.
+        s.execute("insert stock values ('IBM', 1.0)").unwrap();
+        let detected = monitor.poll().unwrap();
+        assert_eq!(detected, vec!["stock_count"]);
+        // No change: poll wastes a query and detects nothing.
+        assert!(monitor.poll().unwrap().is_empty());
+        let (polls, queries, detections) = monitor.stats();
+        assert_eq!(polls, 3);
+        assert_eq!(detections, 1);
+        assert_eq!(queries, 3 + 1); // 3 probes + 1 action
+    }
+
+    #[test]
+    fn embedded_checks_run_after_every_statement() {
+        let s = setup();
+        let mut client = EmbeddedCheckClient::new(
+            s.clone(),
+            vec![Situation {
+                name: "expensive".into(),
+                probe_sql: "select count(*) from stock where price > 100".into(),
+                action_sql: "insert alerts values (1)".into(),
+            }],
+        );
+        let (_, detected) = client
+            .execute("insert stock values ('CHEAP', 1.0)")
+            .unwrap();
+        assert!(detected.is_empty());
+        let (_, detected) = client
+            .execute("insert stock values ('PRICY', 500.0)")
+            .unwrap();
+        assert_eq!(detected, vec!["expensive"]);
+        let (stmts, checks, detections) = client.stats();
+        assert_eq!(stmts, 2);
+        assert_eq!(detections, 1);
+        // One probe per statement plus one action.
+        assert_eq!(checks, 2 + 1);
+    }
+
+    #[test]
+    fn polling_interval_bounds_latency() {
+        // The crux of E10: k changes between two polls collapse into one
+        // detection — polling undercounts bursty events.
+        let s = setup();
+        let mut monitor = PollingMonitor::new(
+            s.clone(),
+            vec![Situation {
+                name: "count".into(),
+                probe_sql: "select count(*) from stock".into(),
+                action_sql: "insert alerts values (1)".into(),
+            }],
+        );
+        monitor.poll().unwrap();
+        for i in 0..5 {
+            s.execute(&format!("insert stock values ('S{i}', 1.0)"))
+                .unwrap();
+        }
+        let detected = monitor.poll().unwrap();
+        assert_eq!(detected.len(), 1, "five events, one detection");
+    }
+}

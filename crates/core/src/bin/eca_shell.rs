@@ -1,0 +1,199 @@
+//! `eca-shell` — an isql-style interactive client for the Virtual Active
+//! SQL Server.
+//!
+//! ```text
+//! cargo run -p eca-core --bin eca_shell
+//! ```
+//!
+//! Every line is a batch sent through the ECA Agent: plain SQL passes
+//! through, the extended `CREATE TRIGGER ... EVENT ...` syntax creates ECA
+//! rules, and rule actions print as they fire. Meta commands:
+//!
+//! - `\events`, `\triggers` — agent introspection
+//! - `\describe <event>` — operator tree of an event
+//! - `\advance <seconds>` — advance virtual time (fires P/P*/PLUS rules)
+//! - `\stats` — agent counters
+//! - `\quit`
+//!
+//! Demo state (a `stock` table and the paper's Example 1/2 rules) is
+//! preloaded with `--demo`.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use eca_core::{AgentResponse, EcaAgent, EcaClient};
+use relsql::{BatchResult, SqlServer};
+
+fn main() {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let client = agent.client("sentineldb", "sharma");
+
+    if std::env::args().any(|a| a == "--demo") {
+        preload_demo(&client);
+        println!("(demo state loaded: table `stock`, events addStk/delStk, composite addDel)");
+    }
+
+    println!("eca-shell — type SQL or ECA commands; \\quit to exit, \\help for meta commands");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("eca> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('\\') {
+            if !handle_meta(meta, &agent) {
+                break;
+            }
+            continue;
+        }
+        match client.execute(line) {
+            Ok(resp) => render_response(&resp),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn preload_demo(client: &EcaClient) {
+    for sql in [
+        "create table stock (symbol varchar(10), price float)",
+        "create trigger t_addStk on stock for insert event addStk \
+         as print 'trigger t_addStk on primitive event addStk occurs'",
+        "create trigger t_delStk on stock for delete event delStk \
+         as print 'trigger t_delStk on primitive event delStk occurs'",
+        "create trigger t_and event addDel = delStk ^ addStk RECENT \
+         as print 'composite addDel detected' select symbol, price from stock.inserted",
+    ] {
+        client.execute(sql).expect("demo preload");
+    }
+}
+
+/// Returns false when the shell should exit.
+fn handle_meta(meta: &str, agent: &EcaAgent) -> bool {
+    let mut parts = meta.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "quit" | "q" | "exit" => return false,
+        "help" => {
+            println!("\\events  \\triggers  \\describe <event>  \\advance <seconds>  \\stats  \\quit");
+        }
+        "events" => {
+            for e in agent.event_names() {
+                println!("  {e}");
+            }
+        }
+        "triggers" => {
+            for t in agent.triggers() {
+                println!(
+                    "  {} on {} [{} {} prio {} via {:?}]",
+                    t.name, t.event, t.coupling, t.context, t.priority, t.kind
+                );
+            }
+        }
+        "describe" => match parts.next() {
+            Some(ev) => {
+                // Try the name as given, then expanded.
+                let expanded = format!("sentineldb.sharma.{ev}");
+                match agent
+                    .describe_event(ev)
+                    .or_else(|| agent.describe_event(&expanded))
+                {
+                    Some(tree) => println!("  {tree}"),
+                    None => println!("  unknown event '{ev}'"),
+                }
+            }
+            None => println!("usage: \\describe <event>"),
+        },
+        "advance" => {
+            let secs: i64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+            match agent.advance_time(secs * 1_000_000) {
+                Ok(resp) => {
+                    println!("  advanced {secs}s; {} rule action(s) fired", resp.actions.len());
+                    render_response(&resp);
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        "stats" => {
+            let s = agent.stats();
+            println!(
+                "  eca commands: {}, notifications: {} (malformed {}), actions: {}",
+                s.eca_commands, s.notifications, s.malformed_notifications, s.actions_executed
+            );
+            let g = agent.gateway_stats();
+            println!("  gateway: {} forwarded, {} internal", g.forwarded, g.internal);
+            println!("  led state size: {}", agent.led_state_size());
+        }
+        other => println!("unknown meta command '\\{other}' — try \\help"),
+    }
+    true
+}
+
+fn render_response(resp: &AgentResponse) {
+    for m in &resp.messages {
+        println!("-- {m}");
+    }
+    render_batch(&resp.server);
+    for action in &resp.actions {
+        println!("== rule {} fired on {} ==", action.rule, action.event);
+        match &action.result {
+            Ok(batch) => render_batch(batch),
+            Err(e) => eprintln!("   action error: {e}"),
+        }
+    }
+}
+
+fn render_batch(batch: &BatchResult) {
+    for m in &batch.messages {
+        println!("{m}");
+    }
+    for result in &batch.results {
+        if result.columns.is_empty() {
+            continue;
+        }
+        render_table(&result.columns, &result.rows);
+    }
+}
+
+fn render_table(columns: &[String], rows: &[Vec<relsql::Value>]) {
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: Vec<String> = columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{c:<w$}"))
+        .collect();
+    println!(" {}", line.join(" | "));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!(" {}", sep.join("-+-"));
+    for row in &rendered {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!(" {}", line.join(" | "));
+    }
+    println!("({} row(s))", rows.len());
+}

@@ -1,0 +1,545 @@
+//! The ECA Parser: the extended trigger syntax of Figures 9, 10 and 12.
+//!
+//! ```text
+//! -- Figure 9: primitive event + trigger in one command
+//! create trigger [owner.]tname on [owner.]table for {insert|update|delete}
+//!   event ename [coupling] [context] [priority]
+//!   as SQL...
+//!
+//! -- Figure 10: trigger on a previously defined event
+//! create trigger [owner.]tname
+//!   event ename [coupling] [context] [priority]
+//!   as SQL...
+//!
+//! -- Figure 12: composite event + trigger
+//! create trigger [owner.]tname
+//!   event ename = <Snoop expression> [coupling] [context] [priority]
+//!   as SQL...
+//! ```
+//!
+//! Note: Figure 9's caption says "the default coupling mode is RECENT, and
+//! the default parameter context is IMMEDIATE" — the two words are clearly
+//! swapped in the paper. We implement the intended defaults: coupling
+//! IMMEDIATE, context RECENT. The modifier keywords are accepted in any
+//! order.
+
+use led::{CouplingMode, ParameterContext};
+use relsql::ast::TriggerOp;
+use relsql::lexer::{tokenize, Token, TokenKind};
+
+use crate::error::{AgentError, Result};
+
+/// Coupling / context / priority modifiers shared by all three forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerClauses {
+    pub coupling: CouplingMode,
+    pub context: ParameterContext,
+    pub priority: i32,
+}
+
+impl Default for TriggerClauses {
+    fn default() -> Self {
+        TriggerClauses {
+            coupling: CouplingMode::Immediate,
+            context: ParameterContext::Recent,
+            priority: 0,
+        }
+    }
+}
+
+/// A parsed ECA command. Names are as written by the user — expansion to
+/// internal names happens in the agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcaCommand {
+    /// Figure 9: defines a primitive event and its first trigger.
+    CreatePrimitive {
+        trigger: String,
+        table: String,
+        operation: TriggerOp,
+        event: String,
+        clauses: TriggerClauses,
+        action: String,
+    },
+    /// Figure 10: a new trigger on an existing (primitive or composite)
+    /// event.
+    CreateOnExisting {
+        trigger: String,
+        event: String,
+        clauses: TriggerClauses,
+        action: String,
+    },
+    /// Figure 12: defines a composite event and a trigger on it.
+    CreateComposite {
+        trigger: String,
+        event: String,
+        /// Snoop expression source (user-level names, unexpanded).
+        expr_src: String,
+        clauses: TriggerClauses,
+        action: String,
+    },
+    DropTrigger {
+        trigger: String,
+    },
+    DropEvent {
+        event: String,
+    },
+}
+
+/// Parse an ECA command that the Language Filter already classified.
+pub fn parse_eca(sql: &str) -> Result<EcaCommand> {
+    let tokens = tokenize(sql).map_err(|e| AgentError::EcaSyntax(e.to_string()))?;
+    let mut p = P {
+        src: sql,
+        toks: tokens,
+        i: 0,
+    };
+    if p.eat_kw("drop") {
+        if p.eat_kw("trigger") {
+            let trigger = p.object_name()?;
+            p.expect_eof()?;
+            return Ok(EcaCommand::DropTrigger { trigger });
+        }
+        if p.eat_kw("event") {
+            let event = p.object_name()?;
+            p.expect_eof()?;
+            return Ok(EcaCommand::DropEvent { event });
+        }
+        return Err(AgentError::EcaSyntax(
+            "expected TRIGGER or EVENT after DROP".into(),
+        ));
+    }
+    p.expect_kw("create")?;
+    p.expect_kw("trigger")?;
+    let trigger = p.object_name()?;
+
+    if p.eat_kw("on") {
+        // Figure 9 form.
+        let table = p.object_name()?;
+        p.expect_kw("for")?;
+        let op_word = p.ident()?;
+        let operation = TriggerOp::parse(&op_word).ok_or_else(|| {
+            AgentError::EcaSyntax(format!("bad trigger operation '{op_word}'"))
+        })?;
+        p.expect_kw("event")?;
+        let event = p.object_name()?;
+        let clauses = p.clauses()?;
+        let action = p.action_body()?;
+        return Ok(EcaCommand::CreatePrimitive {
+            trigger,
+            table,
+            operation,
+            event,
+            clauses,
+            action,
+        });
+    }
+
+    p.expect_kw("event")?;
+    let event = p.object_name()?;
+    if p.eat(&TokenKind::Eq) {
+        // Figure 12 form: capture the Snoop expression verbatim up to the
+        // first clause keyword / priority / AS.
+        let start = p.pos_here();
+        let end = p.scan_expr_end()?;
+        let expr_src = p.src[start..end].trim().to_string();
+        if expr_src.is_empty() {
+            return Err(AgentError::EcaSyntax(
+                "empty event expression after '='".into(),
+            ));
+        }
+        let clauses = p.clauses()?;
+        let action = p.action_body()?;
+        return Ok(EcaCommand::CreateComposite {
+            trigger,
+            event,
+            expr_src,
+            clauses,
+            action,
+        });
+    }
+    let clauses = p.clauses()?;
+    let action = p.action_body()?;
+    Ok(EcaCommand::CreateOnExisting {
+        trigger,
+        event,
+        clauses,
+        action,
+    })
+}
+
+struct P<'a> {
+    src: &'a str,
+    toks: Vec<Token>,
+    i: usize,
+}
+
+const COUPLINGS: &[&str] = &["immediate", "deferred", "defered", "detached"];
+const CONTEXTS: &[&str] = &["recent", "chronicle", "continuous", "cumulative"];
+
+impl<'a> P<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.i].kind
+    }
+
+    fn pos_here(&self) -> usize {
+        self.toks[self.i].pos
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.toks[self.i].kind.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(AgentError::EcaSyntax(format!(
+                "expected '{kw}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(AgentError::EcaSyntax(format!(
+                "unexpected trailing input: {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(AgentError::EcaSyntax(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn object_name(&mut self) -> Result<String> {
+        let mut name = self.ident()?;
+        while matches!(self.peek(), TokenKind::Dot) {
+            self.advance();
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
+        Ok(name)
+    }
+
+    /// Coupling / context / priority, in any order, each at most once.
+    fn clauses(&mut self) -> Result<TriggerClauses> {
+        let mut c = TriggerClauses::default();
+        let (mut saw_coupling, mut saw_context, mut saw_priority) = (false, false, false);
+        loop {
+            match self.peek().clone() {
+                TokenKind::Ident(w)
+                    if COUPLINGS.iter().any(|k| w.eq_ignore_ascii_case(k)) =>
+                {
+                    if saw_coupling {
+                        return Err(AgentError::EcaSyntax("duplicate coupling mode".into()));
+                    }
+                    saw_coupling = true;
+                    c.coupling = w.parse().map_err(AgentError::EcaSyntax)?;
+                    self.advance();
+                }
+                TokenKind::Ident(w)
+                    if CONTEXTS.iter().any(|k| w.eq_ignore_ascii_case(k)) =>
+                {
+                    if saw_context {
+                        return Err(AgentError::EcaSyntax("duplicate parameter context".into()));
+                    }
+                    saw_context = true;
+                    c.context = w.parse().map_err(AgentError::EcaSyntax)?;
+                    self.advance();
+                }
+                TokenKind::Int(n) => {
+                    if saw_priority {
+                        return Err(AgentError::EcaSyntax("duplicate priority".into()));
+                    }
+                    if n < 0 {
+                        return Err(AgentError::EcaSyntax(
+                            "priority must be a positive integer".into(),
+                        ));
+                    }
+                    saw_priority = true;
+                    c.priority = n as i32;
+                    self.advance();
+                }
+                _ => return Ok(c),
+            }
+        }
+    }
+
+    /// Everything after the `as` keyword, verbatim.
+    fn action_body(&mut self) -> Result<String> {
+        self.expect_kw("as")?;
+        let start = self.pos_here();
+        let body = self.src[start..].trim();
+        if body.is_empty() {
+            return Err(AgentError::EcaSyntax("empty action body".into()));
+        }
+        Ok(body.to_string())
+    }
+
+    /// Find the byte offset where a Snoop expression ends: the first
+    /// top-level clause keyword, bare integer priority, or `as`.
+    fn scan_expr_end(&mut self) -> Result<usize> {
+        let mut depth = 0i32;
+        loop {
+            let tok = &self.toks[self.i];
+            match &tok.kind {
+                TokenKind::LParen | TokenKind::LBracket => depth += 1,
+                TokenKind::RParen | TokenKind::RBracket => depth -= 1,
+                TokenKind::Ident(w) if depth == 0
+                    && (w.eq_ignore_ascii_case("as")
+                        || COUPLINGS.iter().any(|k| w.eq_ignore_ascii_case(k))
+                        || CONTEXTS.iter().any(|k| w.eq_ignore_ascii_case(k)))
+                    => {
+                        return Ok(tok.pos);
+                    }
+                TokenKind::Int(_) if depth == 0 => {
+                    // A bare integer at top level is the priority clause —
+                    // unless it is inside brackets (time strings handled by
+                    // the depth counter above).
+                    return Ok(tok.pos);
+                }
+                TokenKind::Eof => {
+                    return Err(AgentError::EcaSyntax(
+                        "missing AS clause after event expression".into(),
+                    ))
+                }
+                _ => {}
+            }
+            self.advance();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_1_primitive() {
+        // Verbatim from §5.2.
+        let cmd = parse_eca(
+            "create trigger t_addStk on stock for insert\n\
+             event addStk\n\
+             as print \" trigger t_addStk on primitive event addStk occurs\"\n\
+             select * from stock",
+        )
+        .unwrap();
+        match cmd {
+            EcaCommand::CreatePrimitive {
+                trigger,
+                table,
+                operation,
+                event,
+                clauses,
+                action,
+            } => {
+                assert_eq!(trigger, "t_addStk");
+                assert_eq!(table, "stock");
+                assert_eq!(operation, TriggerOp::Insert);
+                assert_eq!(event, "addStk");
+                assert_eq!(clauses, TriggerClauses::default());
+                assert!(action.starts_with("print"));
+                assert!(action.contains("select * from stock"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_2_composite() {
+        // Verbatim from §5.3.
+        let cmd = parse_eca(
+            "create trigger t_and\n\
+             event addDel = delStk ^ addStk\n\
+             RECENT\n\
+             as\n\
+             print \"trigger t_and on composite event addDel = delStk ^ addStk\"\n\
+             select symbol, price from stock.inserted",
+        )
+        .unwrap();
+        match cmd {
+            EcaCommand::CreateComposite {
+                trigger,
+                event,
+                expr_src,
+                clauses,
+                action,
+            } => {
+                assert_eq!(trigger, "t_and");
+                assert_eq!(event, "addDel");
+                assert_eq!(expr_src, "delStk ^ addStk");
+                assert_eq!(clauses.context, ParameterContext::Recent);
+                assert_eq!(clauses.coupling, CouplingMode::Immediate);
+                assert!(action.contains("stock.inserted"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure_10_trigger_on_existing_event() {
+        let cmd = parse_eca(
+            "create trigger t2 event addStk DETACHED CHRONICLE 5 as select * from stock",
+        )
+        .unwrap();
+        match cmd {
+            EcaCommand::CreateOnExisting {
+                trigger,
+                event,
+                clauses,
+                ..
+            } => {
+                assert_eq!(trigger, "t2");
+                assert_eq!(event, "addStk");
+                assert_eq!(clauses.coupling, CouplingMode::Detached);
+                assert_eq!(clauses.context, ParameterContext::Chronicle);
+                assert_eq!(clauses.priority, 5);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clauses_any_order_and_paper_spelling() {
+        let cmd = parse_eca(
+            "create trigger t event e 3 CUMULATIVE DEFERED as print 'x'",
+        )
+        .unwrap();
+        match cmd {
+            EcaCommand::CreateOnExisting { clauses, .. } => {
+                assert_eq!(clauses.coupling, CouplingMode::Deferred);
+                assert_eq!(clauses.context, ParameterContext::Cumulative);
+                assert_eq!(clauses.priority, 3);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn composite_with_temporal_expression() {
+        // Time-string brackets must not terminate the expression scan.
+        let cmd = parse_eca(
+            "create trigger t event e = P(open, [5 sec], close) CONTINUOUS as print 'x'",
+        )
+        .unwrap();
+        match cmd {
+            EcaCommand::CreateComposite { expr_src, clauses, .. } => {
+                assert_eq!(expr_src, "P(open, [5 sec], close)");
+                assert_eq!(clauses.context, ParameterContext::Continuous);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn composite_with_priority_after_expr() {
+        let cmd = parse_eca("create trigger t event e = a ; b 7 as print 'x'").unwrap();
+        match cmd {
+            EcaCommand::CreateComposite { expr_src, clauses, .. } => {
+                assert_eq!(expr_src, "a ; b");
+                assert_eq!(clauses.priority, 7);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn owner_qualified_names() {
+        let cmd = parse_eca(
+            "create trigger bob.t on alice.stock for delete event bob.delStk as print 'x'",
+        )
+        .unwrap();
+        match cmd {
+            EcaCommand::CreatePrimitive { trigger, table, event, .. } => {
+                assert_eq!(trigger, "bob.t");
+                assert_eq!(table, "alice.stock");
+                assert_eq!(event, "bob.delStk");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn drop_commands() {
+        assert_eq!(
+            parse_eca("drop trigger t_and").unwrap(),
+            EcaCommand::DropTrigger {
+                trigger: "t_and".into()
+            }
+        );
+        assert_eq!(
+            parse_eca("drop event addDel").unwrap(),
+            EcaCommand::DropEvent {
+                event: "addDel".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        // Missing AS.
+        assert!(parse_eca("create trigger t event e = a ^ b").is_err());
+        // Empty expression.
+        assert!(parse_eca("create trigger t event e = as print 'x'").is_err());
+        // Empty action.
+        assert!(parse_eca("create trigger t event e as   ").is_err());
+        // Bad operation.
+        assert!(parse_eca("create trigger t on x for upsert event e as print 'x'").is_err());
+        // Duplicate clauses.
+        assert!(parse_eca("create trigger t event e RECENT CHRONICLE as print 'x'").is_err());
+        assert!(
+            parse_eca("create trigger t event e IMMEDIATE DETACHED as print 'x'").is_err()
+        );
+        assert!(parse_eca("create trigger t event e 1 2 as print 'x'").is_err());
+        // Drop nonsense.
+        assert!(parse_eca("drop procedure p").is_err());
+    }
+
+    #[test]
+    fn action_preserved_verbatim() {
+        let cmd = parse_eca(
+            "create trigger t event e as update t set a = a + 1 where b = 'as' select 1",
+        )
+        .unwrap();
+        match cmd {
+            EcaCommand::CreateOnExisting { action, .. } => {
+                assert_eq!(
+                    action,
+                    "update t set a = a + 1 where b = 'as' select 1"
+                );
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Agent-level errors.
+
+use std::fmt;
+
+/// Errors surfaced by the ECA Agent to its clients.
+#[derive(Debug)]
+pub enum AgentError {
+    /// Syntax error in an ECA command (extended trigger syntax).
+    EcaSyntax(String),
+    /// Error from the Snoop parser for a composite event expression.
+    Snoop(snoop::Error),
+    /// Error from the Local Event Detector.
+    Led(led::LedError),
+    /// Error from the underlying SQL server.
+    Sql(relsql::Error),
+    /// Name-level problem: duplicates, unknown objects, slot conflicts.
+    Naming(String),
+    /// Recovery failed (corrupt or cyclic persisted state).
+    Recovery(String),
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::EcaSyntax(m) => write!(f, "ECA syntax error: {m}"),
+            AgentError::Snoop(e) => write!(f, "event expression error: {e}"),
+            AgentError::Led(e) => write!(f, "event detector error: {e}"),
+            AgentError::Sql(e) => write!(f, "SQL error: {e}"),
+            AgentError::Naming(m) => write!(f, "naming error: {m}"),
+            AgentError::Recovery(m) => write!(f, "recovery error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl From<snoop::Error> for AgentError {
+    fn from(e: snoop::Error) -> Self {
+        AgentError::Snoop(e)
+    }
+}
+
+impl From<led::LedError> for AgentError {
+    fn from(e: led::LedError) -> Self {
+        AgentError::Led(e)
+    }
+}
+
+impl From<relsql::Error> for AgentError {
+    fn from(e: relsql::Error) -> Self {
+        AgentError::Sql(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, AgentError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(AgentError::EcaSyntax("x".into()).to_string().contains("ECA"));
+        assert!(AgentError::Naming("dup".into()).to_string().contains("dup"));
+        let e: AgentError = led::LedError::UnknownEvent("e".into()).into();
+        assert!(e.to_string().contains("unknown event"));
+        let e: AgentError = relsql::Error::exec("boom").into();
+        assert!(e.to_string().contains("boom"));
+        let e: AgentError = snoop::Error {
+            pos: 0,
+            msg: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("bad"));
+        assert!(AgentError::Recovery("r".into()).to_string().contains("recovery"));
+    }
+}

@@ -1,0 +1,151 @@
+//! The Language Filter (Figure 2).
+//!
+//! All client commands flow through here. ECA commands — the extended
+//! `CREATE TRIGGER ... EVENT ...` syntax, `DROP TRIGGER` on agent-managed
+//! triggers, and the `DROP EVENT` extension — are separated out for the ECA
+//! Parser; everything else passes through to the Gateway Open Server
+//! untouched (full transparency, §3).
+
+use relsql::lexer::{tokenize, TokenKind};
+
+/// Classification of one client batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classification {
+    /// An ECA command the agent must interpret.
+    Eca(EcaKind),
+    /// Plain SQL, forwarded verbatim to the SQL server.
+    PassThrough,
+}
+
+/// Which kind of ECA command was recognized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcaKind {
+    /// `create trigger ... event ...` (any of the Figure 9/10/12 forms).
+    CreateTrigger,
+    /// `drop trigger <name>` — routed to the agent, which falls back to
+    /// pass-through when the trigger is not agent-managed.
+    DropTrigger,
+    /// `drop event <name>` — agent extension.
+    DropEvent,
+}
+
+/// Classify a client batch.
+///
+/// A `create trigger` is an ECA command iff an `event` keyword appears
+/// before the body-introducing `as` (native Sybase trigger syntax has no
+/// EVENT clause). Unlexable input is passed through so the server produces
+/// its own error message.
+pub fn classify(sql: &str) -> Classification {
+    let tokens = match tokenize(sql) {
+        Ok(t) => t,
+        Err(_) => return Classification::PassThrough,
+    };
+    let words: Vec<&TokenKind> = tokens.iter().map(|t| &t.kind).collect();
+    if words.len() < 2 {
+        return Classification::PassThrough;
+    }
+    if words[0].is_kw("create") && words[1].is_kw("trigger") {
+        for w in &words[2..] {
+            if w.is_kw("as") {
+                break;
+            }
+            if w.is_kw("event") {
+                return Classification::Eca(EcaKind::CreateTrigger);
+            }
+        }
+        return Classification::PassThrough;
+    }
+    if words[0].is_kw("drop") && words[1].is_kw("trigger") {
+        return Classification::Eca(EcaKind::DropTrigger);
+    }
+    if words[0].is_kw("drop") && words[1].is_kw("event") {
+        return Classification::Eca(EcaKind::DropEvent);
+    }
+    Classification::PassThrough
+}
+
+/// Does the batch contain a COMMIT at the top level? Used by the agent to
+/// flush DEFERRED rule actions at transaction boundaries.
+pub fn contains_commit(sql: &str) -> bool {
+    match tokenize(sql) {
+        Ok(tokens) => tokens.iter().any(|t| t.kind.is_kw("commit")),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_trigger_passes_through() {
+        // No EVENT clause: native Sybase syntax.
+        assert_eq!(
+            classify("create trigger t on stock for insert as print 'x'"),
+            Classification::PassThrough
+        );
+    }
+
+    #[test]
+    fn primitive_eca_trigger_detected() {
+        // Figure 9 / Example 1.
+        let sql = "create trigger t_addStk on stock for insert\n\
+                   event addStk\n\
+                   as print 'fired' select * from stock";
+        assert_eq!(classify(sql), Classification::Eca(EcaKind::CreateTrigger));
+    }
+
+    #[test]
+    fn composite_eca_trigger_detected() {
+        // Figure 12 / Example 2.
+        let sql = "create trigger t_and event addDel = delStk ^ addStk RECENT as print 'x'";
+        assert_eq!(classify(sql), Classification::Eca(EcaKind::CreateTrigger));
+    }
+
+    #[test]
+    fn event_keyword_inside_body_does_not_confuse() {
+        // `event` appearing only after AS is action SQL, not a clause.
+        let sql = "create trigger t on stock for insert as insert event_log values (1)";
+        assert_eq!(classify(sql), Classification::PassThrough);
+    }
+
+    #[test]
+    fn drop_forms() {
+        assert_eq!(
+            classify("drop trigger t_addStk"),
+            Classification::Eca(EcaKind::DropTrigger)
+        );
+        assert_eq!(
+            classify("drop event addStk"),
+            Classification::Eca(EcaKind::DropEvent)
+        );
+        assert_eq!(classify("drop table t"), Classification::PassThrough);
+    }
+
+    #[test]
+    fn plain_sql_passes_through() {
+        for sql in [
+            "select * from stock",
+            "insert stock values (1)",
+            "create table t (a int)",
+            "",
+            "   ",
+        ] {
+            assert_eq!(classify(sql), Classification::PassThrough, "{sql:?}");
+        }
+    }
+
+    #[test]
+    fn unlexable_input_passes_through() {
+        assert_eq!(classify("select ~~~ garbage"), Classification::PassThrough);
+    }
+
+    #[test]
+    fn commit_detection() {
+        assert!(contains_commit("begin tran insert t values (1) commit"));
+        assert!(contains_commit("COMMIT TRAN"));
+        assert!(!contains_commit("insert t values (1)"));
+        // String literals do not count.
+        assert!(!contains_commit("print 'commit'"));
+    }
+}

@@ -1,0 +1,424 @@
+//! Global Event Detector (GED) — the paper's §6 future work:
+//! "support heterogeneous distributed active capability by using this
+//! approach to enhance native capability and use a global event detector
+//! for events and rules across application/systems."
+//!
+//! Each participating site is an [`EcaAgent`] over its own SQL server. A
+//! site *exports* events; exported occurrences stream into the GED's own
+//! Snoop detector under the global name `event::site` (the
+//! `Eventname::AppId` form the Snoop BNF already provides). Global
+//! composite events combine events from different sites; global rules run
+//! their SQL action on a designated site, through that site's agent — so
+//! cross-site actions enjoy the same transparency as local ones.
+//!
+//! Time: sites have independent clocks, so the GED orders occurrences by
+//! arrival on its own logical counter (a deliberate simplification of
+//! distributed time; see DESIGN.md). Unlike the agents' local rules, global
+//! events and rules are *not* persisted — there is no global system
+//! database to persist them in; re-register them at startup.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use led::{Detector, Firing, Param, ParameterContext, RuleSpec};
+use parking_lot::Mutex;
+use relsql::BatchResult;
+
+use crate::agent::EcaAgent;
+use crate::error::{AgentError, Result};
+
+/// A global rule: event + action SQL + the site the action runs on.
+#[derive(Debug, Clone)]
+struct GlobalRule {
+    action_site: String,
+    action_sql: String,
+}
+
+struct SiteEntry {
+    agent: EcaAgent,
+}
+
+/// GED counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GedStats {
+    /// Occurrences received from all sites.
+    pub occurrences: u64,
+    /// Global rule actions executed.
+    pub actions: u64,
+}
+
+/// A global rule action outcome.
+#[derive(Debug)]
+pub struct GlobalOutcome {
+    pub rule: String,
+    pub event: String,
+    pub site: String,
+    pub result: std::result::Result<BatchResult, String>,
+}
+
+struct GedInner {
+    led: Mutex<Detector>,
+    sites: Mutex<HashMap<String, SiteEntry>>,
+    rules: Mutex<HashMap<String, GlobalRule>>,
+    /// Arrival-order logical clock.
+    clock: AtomicI64,
+    occurrences: AtomicU64,
+    actions: AtomicU64,
+    /// Outcomes of global actions, for inspection by the application.
+    outcomes: Mutex<Vec<GlobalOutcome>>,
+}
+
+/// The Global Event Detector. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct GlobalEventDetector {
+    inner: Arc<GedInner>,
+}
+
+impl Default for GlobalEventDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlobalEventDetector {
+    pub fn new() -> Self {
+        GlobalEventDetector {
+            inner: Arc::new(GedInner {
+                led: Mutex::new(Detector::new()),
+                sites: Mutex::new(HashMap::new()),
+                rules: Mutex::new(HashMap::new()),
+                clock: AtomicI64::new(0),
+                occurrences: AtomicU64::new(0),
+                actions: AtomicU64::new(0),
+                outcomes: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Register a site (an agent + its server) under a global site name.
+    pub fn attach_site(&self, site: &str, agent: &EcaAgent) -> Result<()> {
+        let mut sites = self.inner.sites.lock();
+        if sites.contains_key(site) {
+            return Err(AgentError::Naming(format!(
+                "site '{site}' already attached"
+            )));
+        }
+        sites.insert(
+            site.to_string(),
+            SiteEntry {
+                agent: agent.clone(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Export a site's event to the GED: occurrences of `event_internal`
+    /// on `site` will be raised globally as `event_internal::site`.
+    pub fn export_event(&self, site: &str, event_internal: &str) -> Result<()> {
+        let agent = {
+            let sites = self.inner.sites.lock();
+            sites
+                .get(site)
+                .map(|e| e.agent.clone())
+                .ok_or_else(|| AgentError::Naming(format!("unknown site '{site}'")))?
+        };
+        if !agent.event_names().contains(&event_internal.to_string()) {
+            return Err(AgentError::Naming(format!(
+                "event '{event_internal}' is not defined on site '{site}'"
+            )));
+        }
+        let global_name = global_event_name(event_internal, site);
+        self.inner
+            .led
+            .lock()
+            .define_primitive(&global_name)
+            .map_err(AgentError::from)?;
+        // Subscribe: forward matching occurrences into the global detector.
+        let ged = self.clone();
+        let wanted = event_internal.to_string();
+        let gname = global_name.clone();
+        agent.add_occurrence_listener(Arc::new(move |event, params, _site_ts| {
+            if event == wanted {
+                ged.raise(&gname, params.to_vec());
+            }
+        }));
+        Ok(())
+    }
+
+    /// Define a global composite event over exported (`event::site`) and
+    /// previously defined global events.
+    pub fn define_global_event(
+        &self,
+        name: &str,
+        expr_src: &str,
+        context: ParameterContext,
+    ) -> Result<()> {
+        let expr = snoop::parse(expr_src)?;
+        self.inner
+            .led
+            .lock()
+            .define_composite(name, &expr, context)
+            .map_err(AgentError::from)
+    }
+
+    /// Attach a global rule: when `event` is detected, run `action_sql` on
+    /// `action_site` (through that site's agent, as an ordinary client).
+    pub fn add_global_rule(
+        &self,
+        rule: &str,
+        event: &str,
+        action_site: &str,
+        action_sql: &str,
+    ) -> Result<()> {
+        if !self.inner.sites.lock().contains_key(action_site) {
+            return Err(AgentError::Naming(format!(
+                "unknown action site '{action_site}'"
+            )));
+        }
+        self.inner
+            .led
+            .lock()
+            .add_rule(RuleSpec::new(rule, event))
+            .map_err(AgentError::from)?;
+        self.inner.rules.lock().insert(
+            rule.to_string(),
+            GlobalRule {
+                action_site: action_site.to_string(),
+                action_sql: action_sql.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop a global rule.
+    pub fn drop_global_rule(&self, rule: &str) -> Result<()> {
+        self.inner
+            .led
+            .lock()
+            .drop_rule(rule)
+            .map_err(AgentError::from)?;
+        self.inner.rules.lock().remove(rule);
+        Ok(())
+    }
+
+    fn raise(&self, global_event: &str, params: Vec<Param>) {
+        self.inner.occurrences.fetch_add(1, Ordering::Relaxed);
+        let ts = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        let firings = match self.inner.led.lock().signal(global_event, params, ts) {
+            Ok(f) => f,
+            Err(_) => return, // event not globally registered (stale)
+        };
+        for f in firings {
+            self.execute_global(&f);
+        }
+    }
+
+    fn execute_global(&self, firing: &Firing) {
+        let rule = match self.inner.rules.lock().get(&firing.rule).cloned() {
+            Some(r) => r,
+            None => return,
+        };
+        let agent = match self
+            .inner
+            .sites
+            .lock()
+            .get(&rule.action_site)
+            .map(|e| e.agent.clone())
+        {
+            Some(a) => a,
+            None => return,
+        };
+        self.inner.actions.fetch_add(1, Ordering::Relaxed);
+        let client = agent.client("master", "ged");
+        let result = client
+            .execute(&rule.action_sql)
+            .map(|r| r.server)
+            .map_err(|e| e.to_string());
+        self.inner.outcomes.lock().push(GlobalOutcome {
+            rule: firing.rule.clone(),
+            event: firing.event.clone(),
+            site: rule.action_site,
+            result,
+        });
+    }
+
+    /// Drain the global action outcomes recorded so far.
+    pub fn take_outcomes(&self) -> Vec<GlobalOutcome> {
+        std::mem::take(&mut *self.inner.outcomes.lock())
+    }
+
+    pub fn stats(&self) -> GedStats {
+        GedStats {
+            occurrences: self.inner.occurrences.load(Ordering::Relaxed),
+            actions: self.inner.actions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Globally registered event names.
+    pub fn event_names(&self) -> Vec<String> {
+        self.inner.led.lock().event_names()
+    }
+}
+
+/// The global name of a site's exported event (`Eventname::AppId` form).
+pub fn global_event_name(event_internal: &str, site: &str) -> String {
+    format!("{event_internal}::{site}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relsql::{SqlServer, Value};
+
+    fn site(db: &str) -> (EcaAgent, crate::agent::EcaClient) {
+        let server = SqlServer::new();
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        let client = agent.client(db, "u");
+        client.execute("create table t (a int)").unwrap();
+        client
+            .execute("create trigger tr on t for insert event ev as print 'x'")
+            .unwrap();
+        (agent, client)
+    }
+
+    #[test]
+    fn attach_and_export() {
+        let ged = GlobalEventDetector::new();
+        let (a1, _c1) = site("db1");
+        ged.attach_site("site1", &a1).unwrap();
+        assert!(ged.attach_site("site1", &a1).is_err(), "duplicate site");
+        ged.export_event("site1", "db1.u.ev").unwrap();
+        assert!(ged.event_names().contains(&"db1.u.ev::site1".to_string()));
+        assert!(ged.export_event("site1", "db1.u.nosuch").is_err());
+        assert!(ged.export_event("ghost", "db1.u.ev").is_err());
+    }
+
+    #[test]
+    fn cross_site_composite_fires_action_on_third_site() {
+        let ged = GlobalEventDetector::new();
+        let (a1, c1) = site("db1");
+        let (a2, c2) = site("db2");
+        ged.attach_site("s1", &a1).unwrap();
+        ged.attach_site("s2", &a2).unwrap();
+        ged.export_event("s1", "db1.u.ev").unwrap();
+        ged.export_event("s2", "db2.u.ev").unwrap();
+        // Global AND across the two sites; action lands on site 2.
+        ged.define_global_event(
+            "bothSites",
+            "db1.u.ev::s1 ^ db2.u.ev::s2",
+            ParameterContext::Recent,
+        )
+        .unwrap();
+        c2.execute("create table global_log (n int)").unwrap();
+        ged.add_global_rule(
+            "gr1",
+            "bothSites",
+            "s2",
+            "insert global_log values (1)",
+        )
+        .unwrap();
+
+        c1.execute("insert t values (1)").unwrap();
+        assert_eq!(ged.stats().actions, 0, "one side only");
+        c2.execute("insert t values (2)").unwrap();
+        assert_eq!(ged.stats().actions, 1);
+        let outcomes = ged.take_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].result.is_ok());
+        let r = c2.execute("select count(*) from global_log").unwrap();
+        assert_eq!(r.server.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn global_rule_on_exported_primitive() {
+        let ged = GlobalEventDetector::new();
+        let (a1, c1) = site("db1");
+        ged.attach_site("s1", &a1).unwrap();
+        ged.export_event("s1", "db1.u.ev").unwrap();
+        c1.execute("create table mirror (n int)").unwrap();
+        ged.add_global_rule(
+            "gr",
+            "db1.u.ev::s1",
+            "s1",
+            "insert mirror values (1)",
+        )
+        .unwrap();
+        for _ in 0..3 {
+            c1.execute("insert t values (1)").unwrap();
+        }
+        assert_eq!(ged.stats().occurrences, 3);
+        assert_eq!(ged.stats().actions, 3);
+        let r = c1.execute("select count(*) from mirror").unwrap();
+        assert_eq!(r.server.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn drop_global_rule_stops_actions() {
+        let ged = GlobalEventDetector::new();
+        let (a1, c1) = site("db1");
+        ged.attach_site("s1", &a1).unwrap();
+        ged.export_event("s1", "db1.u.ev").unwrap();
+        ged.add_global_rule("gr", "db1.u.ev::s1", "s1", "print 'x'")
+            .unwrap();
+        c1.execute("insert t values (1)").unwrap();
+        assert_eq!(ged.stats().actions, 1);
+        ged.drop_global_rule("gr").unwrap();
+        c1.execute("insert t values (2)").unwrap();
+        assert_eq!(ged.stats().actions, 1, "no more actions after drop");
+        assert!(ged.drop_global_rule("gr").is_err());
+    }
+
+    #[test]
+    fn unknown_action_site_rejected() {
+        let ged = GlobalEventDetector::new();
+        let (a1, _c1) = site("db1");
+        ged.attach_site("s1", &a1).unwrap();
+        ged.export_event("s1", "db1.u.ev").unwrap();
+        assert!(ged
+            .add_global_rule("gr", "db1.u.ev::s1", "mars", "print 'x'")
+            .is_err());
+    }
+
+    #[test]
+    fn cross_site_sequence_orders_by_arrival() {
+        let ged = GlobalEventDetector::new();
+        let (a1, c1) = site("db1");
+        let (a2, c2) = site("db2");
+        ged.attach_site("s1", &a1).unwrap();
+        ged.attach_site("s2", &a2).unwrap();
+        ged.export_event("s1", "db1.u.ev").unwrap();
+        ged.export_event("s2", "db2.u.ev").unwrap();
+        ged.define_global_event(
+            "s1_then_s2",
+            "db1.u.ev::s1 ; db2.u.ev::s2",
+            ParameterContext::Recent,
+        )
+        .unwrap();
+        ged.add_global_rule("gr", "s1_then_s2", "s1", "print 'seq'")
+            .unwrap();
+        // Wrong order: s2 first.
+        c2.execute("insert t values (1)").unwrap();
+        c1.execute("insert t values (1)").unwrap();
+        assert_eq!(ged.stats().actions, 0);
+        // Right order.
+        c2.execute("insert t values (2)").unwrap();
+        assert_eq!(ged.stats().actions, 1);
+    }
+
+    #[test]
+    fn params_carry_site_shadow_tables() {
+        let ged = GlobalEventDetector::new();
+        let (a1, c1) = site("db1");
+        ged.attach_site("s1", &a1).unwrap();
+        ged.export_event("s1", "db1.u.ev").unwrap();
+        ged.add_global_rule("gr", "db1.u.ev::s1", "s1", "print 'x'")
+            .unwrap();
+        c1.execute("insert t values (9)").unwrap();
+        // The occurrence forwarded to the GED still references the site's
+        // shadow table and vNo, so global actions *could* fetch rows.
+        let outcomes = ged.take_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].site, "s1");
+    }
+}

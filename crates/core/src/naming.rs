@@ -1,0 +1,139 @@
+//! Name expansion (paper §5.1).
+//!
+//! Every user-visible object name is expanded once, at parse time, into the
+//! system-wide internal form `DatabaseName.userName.objectName`; the LED,
+//! the system tables and all generated SQL only ever see internal names.
+//! Derived names (shadow tables, tmp tables, stored procedures, version
+//! tables) follow the paper's conventions: Figure 11 derives
+//! `tablename_inserted` / `tablename_deleted` and `trigger__Proc`.
+
+use relsql::SessionCtx;
+
+/// Expand a user-supplied object name to its internal form.
+///
+/// - `name` → `db.user.name`
+/// - `owner.name` → `db.owner.name` (the `[owner.]` of Figures 9/10/12)
+/// - `a.b.c` (already fully qualified) → unchanged
+pub fn internal(session: &SessionCtx, name: &str) -> String {
+    let parts: Vec<&str> = name.split('.').collect();
+    match parts.len() {
+        1 => format!("{}.{}.{}", session.database, session.user, name),
+        2 => format!("{}.{}.{}", session.database, parts[0], parts[1]),
+        _ => name.to_string(),
+    }
+}
+
+/// The base (unqualified) part of an internal name.
+pub fn base(name: &str) -> &str {
+    name.rsplit('.').next().unwrap_or(name)
+}
+
+/// The `db.user.` prefix of an internal name (without trailing dot parts).
+pub fn prefix(internal_name: &str) -> String {
+    match internal_name.rsplit_once('.') {
+        Some((p, _)) => p.to_string(),
+        None => String::new(),
+    }
+}
+
+/// Shadow table holding inserted tuples for a primitive event
+/// (per-event rather than per-table — see DESIGN.md §5 for why this
+/// deviates from Figure 11's `tablename_inserted`).
+pub fn shadow_inserted(event_internal: &str) -> String {
+    format!("{event_internal}_inserted")
+}
+
+/// Shadow table holding deleted tuples for a primitive event.
+pub fn shadow_deleted(event_internal: &str) -> String {
+    format!("{event_internal}_deleted")
+}
+
+/// The single-row version helper table for an event (the paper's shared
+/// `Version` table, made per-event to avoid cross-event races).
+pub fn version_table(event_internal: &str) -> String {
+    format!("{event_internal}_ver")
+}
+
+/// Stored procedure implementing a trigger's action (Figure 11:
+/// `sentineldb.sharma.t_addStk__Proc`).
+pub fn action_proc(trigger_internal: &str) -> String {
+    format!("{trigger_internal}__Proc")
+}
+
+/// The native SQL trigger the agent installs for a primitive event. One per
+/// event (not per user trigger), because Sybase allows only one trigger per
+/// (table, operation) slot while the agent supports many triggers per event.
+pub fn native_trigger(event_internal: &str) -> String {
+    format!("{event_internal}__evtrig")
+}
+
+/// Context tmp table for `<table>.inserted` references in action SQL
+/// (§5.6); `table_internal` is the internal name of the *user* table.
+pub fn tmp_inserted(table_internal: &str) -> String {
+    format!("{table_internal}_inserted_tmp")
+}
+
+/// Context tmp table for `<table>.deleted` references.
+pub fn tmp_deleted(table_internal: &str) -> String {
+    format!("{table_internal}_deleted_tmp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> SessionCtx {
+        SessionCtx::new("sentineldb", "sharma")
+    }
+
+    #[test]
+    fn expansion_rules() {
+        let s = session();
+        assert_eq!(internal(&s, "addStk"), "sentineldb.sharma.addStk");
+        assert_eq!(internal(&s, "bob.addStk"), "sentineldb.bob.addStk");
+        assert_eq!(
+            internal(&s, "otherdb.alice.addStk"),
+            "otherdb.alice.addStk"
+        );
+    }
+
+    #[test]
+    fn base_and_prefix() {
+        assert_eq!(base("sentineldb.sharma.stock"), "stock");
+        assert_eq!(base("stock"), "stock");
+        assert_eq!(prefix("sentineldb.sharma.stock"), "sentineldb.sharma");
+        assert_eq!(prefix("stock"), "");
+    }
+
+    #[test]
+    fn derived_names_match_paper_conventions() {
+        assert_eq!(
+            action_proc("sentineldb.sharma.t_addStk"),
+            "sentineldb.sharma.t_addStk__Proc"
+        );
+        assert_eq!(
+            shadow_inserted("sentineldb.sharma.addStk"),
+            "sentineldb.sharma.addStk_inserted"
+        );
+        assert_eq!(
+            shadow_deleted("sentineldb.sharma.delStk"),
+            "sentineldb.sharma.delStk_deleted"
+        );
+        assert_eq!(
+            tmp_inserted("sentineldb.sharma.stock"),
+            "sentineldb.sharma.stock_inserted_tmp"
+        );
+        assert_eq!(
+            tmp_deleted("sentineldb.sharma.stock"),
+            "sentineldb.sharma.stock_deleted_tmp"
+        );
+        assert_eq!(
+            version_table("sentineldb.sharma.addStk"),
+            "sentineldb.sharma.addStk_ver"
+        );
+        assert_eq!(
+            native_trigger("sentineldb.sharma.addStk"),
+            "sentineldb.sharma.addStk__evtrig"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! The Event Notifier (§5.4, Figure 15).
+//!
+//! Native triggers call `syb_sendmsg()` with a payload of the form
+//!
+//! ```text
+//! <user> <table> <operation> begin <event> <vNo>
+//! ```
+//!
+//! (the paper's Figure 11 payload, extended with the occurrence number so
+//! the agent never has to read `SysPrimitiveEvent` back — see DESIGN.md).
+//! The Notification Listener decodes datagrams into
+//! [`Notification`]s; the agent turns those into LED signals.
+
+use relsql::notify::Datagram;
+
+/// A decoded primitive-event notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    pub user: String,
+    pub table: String,
+    pub operation: String,
+    /// Internal event name.
+    pub event: String,
+    /// Occurrence number stamped into the shadow rows.
+    pub vno: i64,
+}
+
+/// Decode a datagram payload. Returns `None` for malformed messages —
+/// UDP semantics mean the notifier must tolerate garbage, not crash.
+pub fn decode(datagram: &Datagram) -> Option<Notification> {
+    let fields: Vec<&str> = datagram.payload.split_whitespace().collect();
+    if fields.len() != 6 || fields[3] != "begin" {
+        return None;
+    }
+    Some(Notification {
+        user: fields[0].to_string(),
+        table: fields[1].to_string(),
+        operation: fields[2].to_string(),
+        event: fields[4].to_string(),
+        vno: fields[5].parse().ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dg(payload: &str) -> Datagram {
+        Datagram {
+            host: "127.0.0.1".into(),
+            port: 10006,
+            payload: payload.into(),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn decode_well_formed() {
+        let n = decode(&dg("sharma stock insert begin sentineldb.sharma.addStk 7")).unwrap();
+        assert_eq!(n.user, "sharma");
+        assert_eq!(n.table, "stock");
+        assert_eq!(n.operation, "insert");
+        assert_eq!(n.event, "sentineldb.sharma.addStk");
+        assert_eq!(n.vno, 7);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        for bad in [
+            "",
+            "too few fields",
+            "a b c nobegin e 7",
+            "a b c begin e notanumber",
+            "a b c begin e 7 extra",
+        ] {
+            assert_eq!(decode(&dg(bad)), None, "{bad:?}");
+        }
+    }
+}

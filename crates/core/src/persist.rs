@@ -1,0 +1,291 @@
+//! The Persistent Manager (§4, Figure 8).
+//!
+//! Runs over its own high-privilege connection to the SQL server and owns
+//! the agent's system tables (`SysPrimitiveEvent`, `SysCompositeEvent`,
+//! `SysEcaTrigger`, `sysContext`). All ECA rules are persisted through here
+//! and restored from here when the agent starts over an existing database.
+
+use std::sync::Arc;
+
+use relsql::{BatchResult, Session, SqlServer, Value};
+
+use crate::codegen::{sql_quote, system_tables_ddl};
+use crate::error::{AgentError, Result};
+
+/// A `SysPrimitiveEvent` row, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedPrimitive {
+    pub db: String,
+    pub user: String,
+    pub event: String,
+    pub table: String,
+    pub operation: String,
+    pub vno: i64,
+}
+
+/// A `SysCompositeEvent` row, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedComposite {
+    pub db: String,
+    pub user: String,
+    pub event: String,
+    pub expr_src: String,
+    pub coupling: String,
+    pub context: String,
+    pub priority: i32,
+}
+
+/// A `SysEcaTrigger` row, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedTrigger {
+    pub db: String,
+    pub user: String,
+    pub name: String,
+    pub proc_name: String,
+    pub event: String,
+    pub coupling: String,
+    pub context: String,
+    pub priority: i32,
+    pub kind: String,
+}
+
+/// The Persistent Manager.
+pub struct PersistentManager {
+    session: Session,
+}
+
+impl PersistentManager {
+    /// Open the manager's privileged connection (the paper grants it DBA so
+    /// it can create system tables).
+    pub fn new(server: &Arc<SqlServer>) -> Self {
+        PersistentManager {
+            session: server.session("master", "eca_admin"),
+        }
+    }
+
+    /// Create any missing system tables. Returns how many were created.
+    pub fn ensure_system_tables(&self) -> Result<usize> {
+        let mut created = 0;
+        for (name, ddl) in system_tables_ddl() {
+            let exists = self
+                .session
+                .server()
+                .inspect(|e| e.database().has_table(name));
+            if !exists {
+                self.session.execute(&ddl)?;
+                created += 1;
+            }
+        }
+        Ok(created)
+    }
+
+    /// Run arbitrary SQL on the manager's connection.
+    pub fn run(&self, sql: &str) -> Result<BatchResult> {
+        self.session.execute(sql).map_err(AgentError::from)
+    }
+
+    pub fn delete_trigger_row(&self, trigger: &str) -> Result<()> {
+        self.run(&format!(
+            "delete SysEcaTrigger where triggerName = {}",
+            sql_quote(trigger)
+        ))?;
+        Ok(())
+    }
+
+    pub fn delete_primitive_row(&self, event: &str) -> Result<()> {
+        self.run(&format!(
+            "delete SysPrimitiveEvent where eventName = {}",
+            sql_quote(event)
+        ))?;
+        Ok(())
+    }
+
+    pub fn delete_composite_row(&self, event: &str) -> Result<()> {
+        self.run(&format!(
+            "delete SysCompositeEvent where eventName = {}",
+            sql_quote(event)
+        ))?;
+        Ok(())
+    }
+
+    pub fn load_primitives(&self) -> Result<Vec<PersistedPrimitive>> {
+        let r = self.run(
+            "select dbName, userName, eventName, tableName, operation, vNo \
+             from SysPrimitiveEvent order by eventName",
+        )?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(Vec::new()),
+        };
+        rows.iter()
+            .map(|row| {
+                Ok(PersistedPrimitive {
+                    db: str_at(row, 0)?,
+                    user: str_at(row, 1)?,
+                    event: str_at(row, 2)?,
+                    table: str_at(row, 3)?,
+                    operation: str_at(row, 4)?,
+                    vno: int_at(row, 5)?,
+                })
+            })
+            .collect()
+    }
+
+    pub fn load_composites(&self) -> Result<Vec<PersistedComposite>> {
+        let r = self.run(
+            "select dbName, userName, eventName, eventDescribe, coupling, context, priority \
+             from SysCompositeEvent order by timeStamp",
+        )?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(Vec::new()),
+        };
+        rows.iter()
+            .map(|row| {
+                Ok(PersistedComposite {
+                    db: str_at(row, 0)?,
+                    user: str_at(row, 1)?,
+                    event: str_at(row, 2)?,
+                    expr_src: str_at(row, 3)?,
+                    coupling: str_at(row, 4)?,
+                    context: str_at(row, 5)?,
+                    priority: str_at(row, 6)?.trim().parse().unwrap_or(0),
+                })
+            })
+            .collect()
+    }
+
+    pub fn load_triggers(&self) -> Result<Vec<PersistedTrigger>> {
+        let r = self.run(
+            "select dbName, userName, triggerName, triggerProc, eventName, \
+             coupling, context, priority, kind \
+             from SysEcaTrigger order by timeStamp",
+        )?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(Vec::new()),
+        };
+        rows.iter()
+            .map(|row| {
+                Ok(PersistedTrigger {
+                    db: str_at(row, 0)?,
+                    user: str_at(row, 1)?,
+                    name: str_at(row, 2)?,
+                    proc_name: str_at(row, 3)?,
+                    event: str_at(row, 4)?,
+                    coupling: str_at(row, 5)?,
+                    context: str_at(row, 6)?,
+                    priority: int_at(row, 7)? as i32,
+                    kind: str_at(row, 8)?,
+                })
+            })
+            .collect()
+    }
+}
+
+fn str_at(row: &[Value], i: usize) -> Result<String> {
+    match row.get(i) {
+        Some(Value::Str(s)) => Ok(s.trim().to_string()),
+        Some(Value::Null) => Ok(String::new()),
+        other => Err(AgentError::Recovery(format!(
+            "expected string in system table column {i}, found {other:?}"
+        ))),
+    }
+}
+
+fn int_at(row: &[Value], i: usize) -> Result<i64> {
+    match row.get(i) {
+        Some(Value::Int(n)) => Ok(*n),
+        Some(Value::Null) => Ok(0),
+        other => Err(AgentError::Recovery(format!(
+            "expected int in system table column {i}, found {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_creates_all_four_tables_idempotently() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        assert_eq!(pm.ensure_system_tables().unwrap(), 4);
+        assert_eq!(pm.ensure_system_tables().unwrap(), 0);
+        for t in [
+            "SysPrimitiveEvent",
+            "SysCompositeEvent",
+            "SysEcaTrigger",
+            "sysContext",
+        ] {
+            assert!(server.inspect(|e| e.database().has_table(t)), "{t}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_primitive_rows() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        pm.run(
+            "insert SysPrimitiveEvent values \
+             ('sentineldb', 'sharma', 'sentineldb.sharma.addStk', 'stock', 'insert', getdate(), 4)",
+        )
+        .unwrap();
+        let rows = pm.load_primitives().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].event, "sentineldb.sharma.addStk");
+        assert_eq!(rows[0].operation, "insert");
+        assert_eq!(rows[0].vno, 4);
+    }
+
+    #[test]
+    fn roundtrip_composite_rows() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        pm.run(
+            "insert SysCompositeEvent values \
+             ('db', 'u', 'db.u.addDel', '(db.u.delStk ^ db.u.addStk)', getdate(), \
+              'IMMEDIATE', 'RECENT', '3')",
+        )
+        .unwrap();
+        let rows = pm.load_composites().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].expr_src, "(db.u.delStk ^ db.u.addStk)");
+        assert_eq!(rows[0].priority, 3);
+        // char(10) padding is trimmed.
+        assert_eq!(rows[0].context, "RECENT");
+    }
+
+    #[test]
+    fn roundtrip_trigger_rows_and_delete() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        pm.run(
+            "insert SysEcaTrigger values \
+             ('db', 'u', 'db.u.t1', 'db.u.t1__Proc', getdate(), 'db.u.e', \
+              'DETACHED', 'CHRONICLE', 7, 'led')",
+        )
+        .unwrap();
+        let rows = pm.load_triggers().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "db.u.t1");
+        assert_eq!(rows[0].kind, "led");
+        assert_eq!(rows[0].priority, 7);
+        pm.delete_trigger_row("db.u.t1").unwrap();
+        assert!(pm.load_triggers().unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_tables_load_empty() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        assert!(pm.load_primitives().unwrap().is_empty());
+        assert!(pm.load_composites().unwrap().is_empty());
+        assert!(pm.load_triggers().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the agent's parsing/filtering/naming layers.
+
+use eca_core::{classify, naming, Classification};
+use proptest::prelude::*;
+use relsql::SessionCtx;
+
+proptest! {
+    #[test]
+    fn classify_never_panics(s in ".{0,200}") {
+        let _ = classify(&s);
+    }
+
+    #[test]
+    fn plain_dml_always_passes_through(
+        table in "[a-z][a-z0-9_]{0,8}",
+        v in -1000i64..1000,
+    ) {
+        prop_assume!(!["event", "trigger"].contains(&table.as_str()));
+        let sqls = [
+            format!("insert {table} values ({v})"),
+            format!("delete {table} where a = {v}"),
+            format!("update {table} set a = {v}"),
+            format!("select * from {table}"),
+        ];
+        for sql in sqls {
+            prop_assert_eq!(classify(&sql), Classification::PassThrough, "{}", sql);
+        }
+    }
+
+    #[test]
+    fn eca_create_trigger_always_detected(
+        trig in "[a-z][a-z0-9_]{0,8}",
+        tab in "[a-z][a-z0-9_]{0,8}",
+        ev in "[a-z][a-z0-9_]{0,8}",
+    ) {
+        let sql = format!(
+            "create trigger {trig} on {tab} for insert event {ev} as print 'x'"
+        );
+        prop_assert!(matches!(classify(&sql), Classification::Eca(_)));
+    }
+
+    #[test]
+    fn internal_name_expansion_is_idempotent(
+        db in "[a-z]{1,6}",
+        user in "[a-z]{1,6}",
+        name in "[a-z][a-z0-9_]{0,8}",
+    ) {
+        let session = SessionCtx::new(db, user);
+        let once = naming::internal(&session, &name);
+        let twice = naming::internal(&session, &once);
+        prop_assert_eq!(&once, &twice);
+        // Always exactly three dot-separated parts.
+        prop_assert_eq!(once.split('.').count(), 3);
+        let suffix = format!(".{name}");
+        prop_assert!(once.ends_with(&suffix));
+    }
+
+    #[test]
+    fn base_inverts_internal(
+        db in "[a-z]{1,6}",
+        user in "[a-z]{1,6}",
+        name in "[a-z][a-z0-9_]{0,8}",
+    ) {
+        let session = SessionCtx::new(db, user);
+        let internal = naming::internal(&session, &name);
+        prop_assert_eq!(naming::base(&internal), name.as_str());
+        prop_assert_eq!(naming::prefix(&internal), format!("{}.{}", session.database, session.user));
+    }
+
+    #[test]
+    fn rewrite_without_context_refs_is_identity(
+        cols in prop::collection::vec("[a-z]{1,6}", 1..4),
+        table in "[a-z]{1,8}",
+    ) {
+        prop_assume!(!table.eq_ignore_ascii_case("inserted") && !table.eq_ignore_ascii_case("deleted"));
+        prop_assume!(cols.iter().all(|c| !c.eq_ignore_ascii_case("inserted") && !c.eq_ignore_ascii_case("deleted")));
+        let sql = format!("select {} from {table}", cols.join(", "));
+        let (out, refs) = eca_core::codegen::rewrite_context_refs(&sql, |t| t.to_string());
+        prop_assert_eq!(out, sql);
+        prop_assert!(refs.is_empty());
+    }
+
+    #[test]
+    fn rewrite_finds_every_context_ref(tables in prop::collection::vec("[a-z]{2,6}", 1..5)) {
+        prop_assume!(tables.iter().all(|t| t != "inserted" && t != "deleted" && t != "from"));
+        let froms: Vec<String> = tables.iter().map(|t| format!("{t}.inserted")).collect();
+        let sql = format!("select a from {}", froms.join(", "));
+        let (out, refs) = eca_core::codegen::rewrite_context_refs(&sql, |t| format!("db.u.{t}"));
+        // Every distinct table produced a ref, and no raw `.inserted`
+        // survives in the output.
+        let mut distinct: Vec<&String> = tables.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(refs.len(), distinct.len());
+        prop_assert!(!out.contains(".inserted "), "{}", out);
+        for t in &tables {
+            let tmp = format!("db.u.{t}_inserted_tmp");
+            prop_assert!(out.contains(&tmp));
+        }
+    }
+
+    #[test]
+    fn parse_eca_never_panics(s in ".{0,200}") {
+        let _ = eca_core::parse_eca(&s);
+    }
+
+    #[test]
+    fn sql_quote_roundtrips_through_lexer(s in "[^\\x00]{0,40}") {
+        let quoted = eca_core::codegen::sql_quote(&s);
+        let toks = relsql::lexer::tokenize(&quoted).unwrap();
+        match &toks[0].kind {
+            relsql::lexer::TokenKind::Str(out) => prop_assert_eq!(out, &s),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Parameter contexts and coupling modes (paper §2.1, §5.6).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Snoop parameter contexts, defined via initiator/terminator pairing
+/// (paper §2.1):
+///
+/// - **Recent** — only the *most recent* initiator is used; it keeps
+///   initiating until a newer initiator replaces it.
+/// - **Chronicle** — initiators pair with terminators in FIFO (oldest
+///   first) order and are consumed.
+/// - **Continuous** — every initiator opens a window; one terminator can
+///   detect one occurrence per open window, consuming them all.
+/// - **Cumulative** — all occurrences accumulate and are flushed into a
+///   single detection at the terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParameterContext {
+    /// The paper's default context (§5, Figure 9).
+    #[default]
+    Recent,
+    Chronicle,
+    Continuous,
+    Cumulative,
+}
+
+impl ParameterContext {
+    pub const ALL: [ParameterContext; 4] = [
+        ParameterContext::Recent,
+        ParameterContext::Chronicle,
+        ParameterContext::Continuous,
+        ParameterContext::Cumulative,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ParameterContext::Recent => "RECENT",
+            ParameterContext::Chronicle => "CHRONICLE",
+            ParameterContext::Continuous => "CONTINUOUS",
+            ParameterContext::Cumulative => "CUMULATIVE",
+        }
+    }
+}
+
+impl fmt::Display for ParameterContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ParameterContext {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "RECENT" => Ok(ParameterContext::Recent),
+            "CHRONICLE" => Ok(ParameterContext::Chronicle),
+            "CONTINUOUS" => Ok(ParameterContext::Continuous),
+            "CUMULATIVE" => Ok(ParameterContext::Cumulative),
+            other => Err(format!("unknown parameter context '{other}'")),
+        }
+    }
+}
+
+/// When a triggered rule's action runs relative to the triggering
+/// transaction. The paper implements IMMEDIATE and lists DEFERRED/DETACHED
+/// as future work (§6); this reproduction implements all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CouplingMode {
+    #[default]
+    Immediate,
+    /// Queued until the end of the triggering transaction/batch.
+    Deferred,
+    /// Executed in a separate thread of control.
+    Detached,
+}
+
+impl CouplingMode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CouplingMode::Immediate => "IMMEDIATE",
+            CouplingMode::Deferred => "DEFERRED",
+            CouplingMode::Detached => "DETACHED",
+        }
+    }
+}
+
+impl fmt::Display for CouplingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CouplingMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "IMMEDIATE" => Ok(CouplingMode::Immediate),
+            // The paper's Figure 9 spells it "DEFERED"; accept both.
+            "DEFERRED" | "DEFERED" => Ok(CouplingMode::Deferred),
+            "DETACHED" => Ok(CouplingMode::Detached),
+            other => Err(format!("unknown coupling mode '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_parse_roundtrip() {
+        for c in ParameterContext::ALL {
+            assert_eq!(c.as_str().parse::<ParameterContext>().unwrap(), c);
+            assert_eq!(
+                c.as_str().to_lowercase().parse::<ParameterContext>().unwrap(),
+                c
+            );
+        }
+        assert!("bogus".parse::<ParameterContext>().is_err());
+    }
+
+    #[test]
+    fn default_context_is_recent() {
+        assert_eq!(ParameterContext::default(), ParameterContext::Recent);
+    }
+
+    #[test]
+    fn coupling_parse_accepts_paper_spelling() {
+        assert_eq!(
+            "DEFERED".parse::<CouplingMode>().unwrap(),
+            CouplingMode::Deferred
+        );
+        assert_eq!(
+            "deferred".parse::<CouplingMode>().unwrap(),
+            CouplingMode::Deferred
+        );
+        assert_eq!(
+            "IMMEDIATE".parse::<CouplingMode>().unwrap(),
+            CouplingMode::Immediate
+        );
+        assert_eq!(
+            "detached".parse::<CouplingMode>().unwrap(),
+            CouplingMode::Detached
+        );
+        assert!("sometime".parse::<CouplingMode>().is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # led — the Local Event Detector
+//!
+//! A from-scratch implementation of Sentinel's Local Event Detector as the
+//! ECA Agent paper uses it (§2, §5.3–§5.6): an event graph over the Snoop
+//! operators with all four parameter contexts (RECENT, CHRONICLE,
+//! CONTINUOUS, CUMULATIVE), rule management with priorities and coupling
+//! modes (IMMEDIATE, DEFERRED, DETACHED), and deterministic virtual-time
+//! temporal operators (`P`, `P*`, `PLUS`, absolute time events).
+//!
+//! ```
+//! use led::{Detector, RuleSpec, ParameterContext};
+//!
+//! let mut led = Detector::new();
+//! led.define_primitive("delStk").unwrap();
+//! led.define_primitive("addStk").unwrap();
+//! // The paper's Example 2: addDel = delStk ^ addStk, RECENT context.
+//! led.define_composite(
+//!     "addDel",
+//!     &snoop::parse("delStk ^ addStk").unwrap(),
+//!     ParameterContext::Recent,
+//! ).unwrap();
+//! led.add_rule(RuleSpec::new("t_and", "addDel")).unwrap();
+//!
+//! led.signal("delStk", vec![], 1).unwrap();
+//! let firings = led.signal("addStk", vec![], 2).unwrap();
+//! assert_eq!(firings.len(), 1);
+//! assert_eq!(firings[0].rule, "t_and");
+//! ```
+
+pub mod context;
+pub mod detector;
+pub mod occurrence;
+mod operators;
+pub mod rule;
+
+pub use context::{CouplingMode, ParameterContext};
+pub use detector::{Detector, DetectorStats, LedError};
+pub use occurrence::{Occurrence, Param};
+pub use rule::{Condition, Firing, RuleSpec};

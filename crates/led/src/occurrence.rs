@@ -1,0 +1,145 @@
+//! Event occurrences and their parameters.
+//!
+//! In the ECA Agent a primitive event's parameters are the `(tableName,
+//! vNo)` pair identifying the shadow-table rows the firing stamped
+//! (Figure 11); composite occurrences carry the concatenation of their
+//! constituents' parameters, which the Action Handler turns into
+//! `sysContext` rows (Figure 17).
+
+/// One constituent parameter of an occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The (internal) name of the event this parameter came from.
+    pub event: String,
+    /// Shadow table holding the affected rows, if database-sourced.
+    pub table: Option<String>,
+    /// The event-occurrence version number stamped into the shadow table.
+    pub vno: Option<i64>,
+    /// Free-form payload (used by temporal events for fire timestamps).
+    pub data: Option<String>,
+    /// Timestamp of the constituent occurrence.
+    pub ts: i64,
+}
+
+impl Param {
+    /// A database parameter: `(table, vNo)` at time `ts`.
+    pub fn db(event: impl Into<String>, table: impl Into<String>, vno: i64, ts: i64) -> Self {
+        Param {
+            event: event.into(),
+            table: Some(table.into()),
+            vno: Some(vno),
+            data: None,
+            ts,
+        }
+    }
+
+    /// A bare (parameter-less) event marker.
+    pub fn marker(event: impl Into<String>, ts: i64) -> Self {
+        Param {
+            event: event.into(),
+            table: None,
+            vno: None,
+            data: None,
+            ts,
+        }
+    }
+
+    /// A temporal parameter carrying a fire timestamp.
+    pub fn time(event: impl Into<String>, ts: i64) -> Self {
+        Param {
+            event: event.into(),
+            table: None,
+            vno: None,
+            data: Some(ts.to_string()),
+            ts,
+        }
+    }
+}
+
+/// One occurrence of a (primitive or composite) event.
+///
+/// Composite occurrences span an interval: `t_start` is the initiator's
+/// start and `t_end` the terminator's (detection) time. For primitive
+/// events the two coincide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Occurrence {
+    pub event: String,
+    pub t_start: i64,
+    pub t_end: i64,
+    pub params: Vec<Param>,
+}
+
+impl Occurrence {
+    /// A primitive (point) occurrence.
+    pub fn point(event: impl Into<String>, ts: i64, params: Vec<Param>) -> Self {
+        Occurrence {
+            event: event.into(),
+            t_start: ts,
+            t_end: ts,
+            params,
+        }
+    }
+
+    /// Combine constituent occurrences into a composite occurrence named
+    /// `event`, terminating at `t_end`. Parameters concatenate in argument
+    /// order; `t_start` is the earliest constituent start.
+    pub fn combine<'a>(
+        event: impl Into<String>,
+        parts: impl IntoIterator<Item = &'a Occurrence>,
+        t_end: i64,
+    ) -> Self {
+        let mut t_start = t_end;
+        let mut params = Vec::new();
+        for p in parts {
+            t_start = t_start.min(p.t_start);
+            params.extend(p.params.iter().cloned());
+        }
+        Occurrence {
+            event: event.into(),
+            t_start,
+            t_end,
+            params,
+        }
+    }
+
+    /// Number of constituent parameters (state-size metric for E9).
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_occurrence_has_zero_span() {
+        let o = Occurrence::point("e", 5, vec![Param::marker("e", 5)]);
+        assert_eq!(o.t_start, 5);
+        assert_eq!(o.t_end, 5);
+        assert_eq!(o.param_count(), 1);
+    }
+
+    #[test]
+    fn combine_takes_earliest_start_and_concatenates() {
+        let a = Occurrence::point("a", 10, vec![Param::db("a", "ta", 1, 10)]);
+        let b = Occurrence::point("b", 3, vec![Param::db("b", "tb", 2, 3)]);
+        let c = Occurrence::combine("ab", [&a, &b], 10);
+        assert_eq!(c.t_start, 3);
+        assert_eq!(c.t_end, 10);
+        assert_eq!(c.params.len(), 2);
+        assert_eq!(c.params[0].event, "a");
+        assert_eq!(c.params[1].event, "b");
+    }
+
+    #[test]
+    fn param_constructors() {
+        let p = Param::db("e", "stock", 7, 100);
+        assert_eq!(p.table.as_deref(), Some("stock"));
+        assert_eq!(p.vno, Some(7));
+        let m = Param::marker("e", 1);
+        assert!(m.table.is_none());
+        let t = Param::time("timer", 42);
+        assert_eq!(t.data.as_deref(), Some("42"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Binary Snoop operators: AND (`^`) and SEQ (`;`). OR is stateless and
+//! handled directly by the graph.
+//!
+//! Context semantics (see [`crate::context::ParameterContext`]):
+//! the side arriving second acts as the terminator. In RECENT the stored
+//! occurrence survives pairing (the most recent initiator keeps
+//! initiating); in CHRONICLE pairing is FIFO and consuming; in CONTINUOUS a
+//! terminator detects once per buffered initiator and consumes them; in
+//! CUMULATIVE a terminator flushes everything into a single detection.
+
+use crate::context::ParameterContext;
+use crate::occurrence::Occurrence;
+use crate::operators::buffer::Buffer;
+
+/// State for `E1 AND E2` (conjunction in any order).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct AndState {
+    left: Buffer,
+    right: Buffer,
+}
+
+impl AndState {
+    /// `slot` 0 = left child, 1 = right child.
+    pub fn on_child(
+        &mut self,
+        slot: usize,
+        occ: &Occurrence,
+        ctx: ParameterContext,
+        out: &str,
+    ) -> Vec<Occurrence> {
+        let arriving_left = slot == 0;
+        let other = if arriving_left {
+            &mut self.right
+        } else {
+            &mut self.left
+        };
+        if other.is_empty() {
+            let own = if arriving_left {
+                &mut self.left
+            } else {
+                &mut self.right
+            };
+            own.store(ctx, occ.clone());
+            return Vec::new();
+        }
+        // Helper keeping parameter order (left-constituents, right-constituents).
+        let pair = |mate: &Occurrence, term: &Occurrence| {
+            let (l, r) = if arriving_left { (term, mate) } else { (mate, term) };
+            Occurrence::combine(out, [l, r], term.t_end)
+        };
+        match ctx {
+            ParameterContext::Recent => {
+                let mate = other.latest().expect("non-empty").clone();
+                let emitted = vec![pair(&mate, occ)];
+                // The arriving occurrence becomes its side's most recent
+                // initiator; the mate also stays (recent initiators persist).
+                let own = if arriving_left {
+                    &mut self.left
+                } else {
+                    &mut self.right
+                };
+                own.store(ParameterContext::Recent, occ.clone());
+                emitted
+            }
+            ParameterContext::Chronicle => {
+                let mate = other.pop_oldest().expect("non-empty");
+                vec![pair(&mate, occ)]
+            }
+            ParameterContext::Continuous => other
+                .drain_all()
+                .iter()
+                .map(|mate| pair(mate, occ))
+                .collect(),
+            ParameterContext::Cumulative => {
+                let mates = other.drain_all();
+                let mut parts: Vec<&Occurrence> = Vec::with_capacity(mates.len() + 1);
+                if arriving_left {
+                    parts.push(occ);
+                    parts.extend(mates.iter());
+                } else {
+                    parts.extend(mates.iter());
+                    parts.push(occ);
+                }
+                vec![Occurrence::combine(out, parts, occ.t_end)]
+            }
+        }
+    }
+
+    pub fn state_size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    pub fn clear_state(&mut self) {
+        self.left.clear();
+        self.right.clear();
+    }
+}
+
+/// State for `E1 SEQ E2` (E1 strictly before E2, by interval order:
+/// the initiator must have *ended* before the terminator *starts*).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SeqState {
+    left: Buffer,
+}
+
+impl SeqState {
+    pub fn on_child(
+        &mut self,
+        slot: usize,
+        occ: &Occurrence,
+        ctx: ParameterContext,
+        out: &str,
+    ) -> Vec<Occurrence> {
+        if slot == 0 {
+            self.left.store(ctx, occ.clone());
+            return Vec::new();
+        }
+        let before = |o: &Occurrence| o.t_end < occ.t_start;
+        match ctx {
+            ParameterContext::Recent => match self.left.latest() {
+                Some(latest) if before(latest) => {
+                    vec![Occurrence::combine(out, [latest, occ], occ.t_end)]
+                }
+                _ => Vec::new(),
+            },
+            ParameterContext::Chronicle => match self.left.pop_oldest_where(before) {
+                Some(mate) => vec![Occurrence::combine(out, [&mate, occ], occ.t_end)],
+                None => Vec::new(),
+            },
+            ParameterContext::Continuous => self
+                .left
+                .drain_where(before)
+                .iter()
+                .map(|mate| Occurrence::combine(out, [mate, occ], occ.t_end))
+                .collect(),
+            ParameterContext::Cumulative => {
+                let mates = self.left.drain_where(before);
+                if mates.is_empty() {
+                    Vec::new()
+                } else {
+                    let parts: Vec<&Occurrence> =
+                        mates.iter().chain(std::iter::once(occ)).collect();
+                    vec![Occurrence::combine(out, parts, occ.t_end)]
+                }
+            }
+        }
+    }
+
+    pub fn state_size(&self) -> usize {
+        self.left.len()
+    }
+
+    pub fn clear_state(&mut self) {
+        self.left.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(name: &str, ts: i64) -> Occurrence {
+        Occurrence::point(name, ts, vec![crate::occurrence::Param::marker(name, ts)])
+    }
+
+    fn first_params(v: &[Occurrence]) -> Vec<(String, i64)> {
+        v[0].params.iter().map(|p| (p.event.clone(), p.ts)).collect()
+    }
+
+    // ------------------------------------------------------------- AND
+
+    #[test]
+    fn and_recent_latest_pairs_and_persists() {
+        let mut s = AndState::default();
+        let ctx = ParameterContext::Recent;
+        assert!(s.on_child(0, &occ("l", 1), ctx, "x").is_empty());
+        let e = s.on_child(1, &occ("r", 2), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(first_params(&e), vec![("l".into(), 1), ("r".into(), 2)]);
+        // l1 persists as most recent left; a new right pairs again.
+        let e = s.on_child(1, &occ("r", 3), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(first_params(&e), vec![("l".into(), 1), ("r".into(), 3)]);
+        // A newer left replaces l1.
+        let e = s.on_child(0, &occ("l", 4), ctx, "x");
+        assert_eq!(first_params(&e), vec![("l".into(), 4), ("r".into(), 3)]);
+    }
+
+    #[test]
+    fn and_chronicle_fifo_consumes() {
+        let mut s = AndState::default();
+        let ctx = ParameterContext::Chronicle;
+        s.on_child(0, &occ("l", 1), ctx, "x");
+        s.on_child(0, &occ("l", 2), ctx, "x");
+        let e = s.on_child(1, &occ("r", 3), ctx, "x");
+        assert_eq!(first_params(&e), vec![("l".into(), 1), ("r".into(), 3)]);
+        let e = s.on_child(1, &occ("r", 4), ctx, "x");
+        assert_eq!(first_params(&e), vec![("l".into(), 2), ("r".into(), 4)]);
+        // Both consumed now: a third right is buffered, not paired.
+        assert!(s.on_child(1, &occ("r", 5), ctx, "x").is_empty());
+        assert_eq!(s.state_size(), 1);
+    }
+
+    #[test]
+    fn and_continuous_one_terminator_many_detections() {
+        let mut s = AndState::default();
+        let ctx = ParameterContext::Continuous;
+        s.on_child(0, &occ("l", 1), ctx, "x");
+        s.on_child(0, &occ("l", 2), ctx, "x");
+        let e = s.on_child(1, &occ("r", 3), ctx, "x");
+        assert_eq!(e.len(), 2);
+        assert_eq!(s.state_size(), 0, "initiators consumed");
+    }
+
+    #[test]
+    fn and_cumulative_single_detection_with_all_params() {
+        let mut s = AndState::default();
+        let ctx = ParameterContext::Cumulative;
+        s.on_child(0, &occ("l", 1), ctx, "x");
+        s.on_child(0, &occ("l", 2), ctx, "x");
+        let e = s.on_child(1, &occ("r", 3), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].params.len(), 3);
+        assert_eq!(e[0].t_start, 1);
+        assert_eq!(e[0].t_end, 3);
+        assert_eq!(s.state_size(), 0);
+    }
+
+    #[test]
+    fn and_is_symmetric() {
+        // Right side arriving first works the same way.
+        let mut s = AndState::default();
+        let ctx = ParameterContext::Chronicle;
+        s.on_child(1, &occ("r", 1), ctx, "x");
+        let e = s.on_child(0, &occ("l", 2), ctx, "x");
+        assert_eq!(e.len(), 1);
+        // Parameter order is still left-then-right.
+        assert_eq!(first_params(&e), vec![("l".into(), 2), ("r".into(), 1)]);
+    }
+
+    // ------------------------------------------------------------- SEQ
+
+    #[test]
+    fn seq_requires_strict_order() {
+        let mut s = SeqState::default();
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("a", 5), ctx, "x");
+        // Simultaneous termination start is NOT after: no detection.
+        assert!(s.on_child(1, &occ("b", 5), ctx, "x").is_empty());
+        let e = s.on_child(1, &occ("b", 6), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].t_start, 5);
+        assert_eq!(e[0].t_end, 6);
+    }
+
+    #[test]
+    fn seq_right_before_left_never_fires() {
+        let mut s = SeqState::default();
+        let ctx = ParameterContext::Chronicle;
+        assert!(s.on_child(1, &occ("b", 1), ctx, "x").is_empty());
+        s.on_child(0, &occ("a", 2), ctx, "x");
+        // b at t=1 was not buffered; only a new later b fires.
+        let e = s.on_child(1, &occ("b", 3), ctx, "x");
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn seq_recent_initiator_reused() {
+        let mut s = SeqState::default();
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("a", 1), ctx, "x");
+        assert_eq!(s.on_child(1, &occ("b", 2), ctx, "x").len(), 1);
+        assert_eq!(s.on_child(1, &occ("b", 3), ctx, "x").len(), 1);
+        assert_eq!(s.state_size(), 1);
+    }
+
+    #[test]
+    fn seq_chronicle_oldest_first() {
+        let mut s = SeqState::default();
+        let ctx = ParameterContext::Chronicle;
+        s.on_child(0, &occ("a", 1), ctx, "x");
+        s.on_child(0, &occ("a", 2), ctx, "x");
+        let e = s.on_child(1, &occ("b", 3), ctx, "x");
+        assert_eq!(e[0].t_start, 1);
+        let e = s.on_child(1, &occ("b", 4), ctx, "x");
+        assert_eq!(e[0].t_start, 2);
+        assert!(s.on_child(1, &occ("b", 5), ctx, "x").is_empty());
+    }
+
+    #[test]
+    fn seq_continuous_all_initiators() {
+        let mut s = SeqState::default();
+        let ctx = ParameterContext::Continuous;
+        s.on_child(0, &occ("a", 1), ctx, "x");
+        s.on_child(0, &occ("a", 2), ctx, "x");
+        let e = s.on_child(1, &occ("b", 3), ctx, "x");
+        assert_eq!(e.len(), 2);
+        assert_eq!(s.state_size(), 0);
+    }
+
+    #[test]
+    fn seq_cumulative_merges() {
+        let mut s = SeqState::default();
+        let ctx = ParameterContext::Cumulative;
+        s.on_child(0, &occ("a", 1), ctx, "x");
+        s.on_child(0, &occ("a", 2), ctx, "x");
+        let e = s.on_child(1, &occ("b", 3), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].params.len(), 3);
+    }
+
+    #[test]
+    fn seq_continuous_keeps_unqualified_initiators() {
+        let mut s = SeqState::default();
+        let ctx = ParameterContext::Continuous;
+        s.on_child(0, &occ("a", 1), ctx, "x");
+        s.on_child(0, &occ("a", 10), ctx, "x");
+        // Terminator at t=5: only the t=1 initiator qualifies.
+        let e = s.on_child(1, &occ("b", 5), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(s.state_size(), 1, "t=10 initiator still open");
+    }
+}

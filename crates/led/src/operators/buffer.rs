@@ -1,0 +1,142 @@
+//! Shared occurrence buffer with context-aware storage and pairing.
+
+use crate::context::ParameterContext;
+use crate::occurrence::Occurrence;
+
+/// An ordered buffer of open (unconsumed) occurrences for one operand of a
+/// composite operator. Oldest first.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Buffer {
+    items: Vec<Occurrence>,
+}
+
+impl Buffer {
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Store an occurrence under the given context. In RECENT only the most
+    /// recent occurrence is retained (it replaces any previous one); in all
+    /// other contexts occurrences accumulate in arrival order.
+    pub fn store(&mut self, ctx: ParameterContext, occ: Occurrence) {
+        if ctx == ParameterContext::Recent {
+            self.items.clear();
+        }
+        self.items.push(occ);
+    }
+
+    /// The most recent occurrence, if any.
+    pub fn latest(&self) -> Option<&Occurrence> {
+        self.items.last()
+    }
+
+    /// The oldest occurrence, if any.
+    pub fn oldest(&self) -> Option<&Occurrence> {
+        self.items.first()
+    }
+
+    /// Remove and return the oldest occurrence satisfying `pred`.
+    pub fn pop_oldest_where(&mut self, pred: impl Fn(&Occurrence) -> bool) -> Option<Occurrence> {
+        let idx = self.items.iter().position(pred)?;
+        Some(self.items.remove(idx))
+    }
+
+    /// Remove the oldest occurrence unconditionally.
+    pub fn pop_oldest(&mut self) -> Option<Occurrence> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items.remove(0))
+        }
+    }
+
+    /// Remove and return all occurrences satisfying `pred`, oldest first.
+    pub fn drain_where(&mut self, pred: impl Fn(&Occurrence) -> bool) -> Vec<Occurrence> {
+        let mut kept = Vec::with_capacity(self.items.len());
+        let mut taken = Vec::new();
+        for o in self.items.drain(..) {
+            if pred(&o) {
+                taken.push(o);
+            } else {
+                kept.push(o);
+            }
+        }
+        self.items = kept;
+        taken
+    }
+
+    /// Remove and return everything, oldest first.
+    pub fn drain_all(&mut self) -> Vec<Occurrence> {
+        std::mem::take(&mut self.items)
+    }
+
+    /// Immutable view of the open occurrences, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Occurrence> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occurrence::Occurrence;
+
+    fn occ(ts: i64) -> Occurrence {
+        Occurrence::point("e", ts, vec![])
+    }
+
+    #[test]
+    fn recent_keeps_only_latest() {
+        let mut b = Buffer::default();
+        b.store(ParameterContext::Recent, occ(1));
+        b.store(ParameterContext::Recent, occ(2));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.latest().unwrap().t_end, 2);
+    }
+
+    #[test]
+    fn other_contexts_accumulate() {
+        for ctx in [
+            ParameterContext::Chronicle,
+            ParameterContext::Continuous,
+            ParameterContext::Cumulative,
+        ] {
+            let mut b = Buffer::default();
+            b.store(ctx, occ(1));
+            b.store(ctx, occ(2));
+            assert_eq!(b.len(), 2);
+            assert_eq!(b.oldest().unwrap().t_end, 1);
+        }
+    }
+
+    #[test]
+    fn pop_oldest_where_respects_predicate() {
+        let mut b = Buffer::default();
+        b.store(ParameterContext::Chronicle, occ(1));
+        b.store(ParameterContext::Chronicle, occ(5));
+        let got = b.pop_oldest_where(|o| o.t_end > 2).unwrap();
+        assert_eq!(got.t_end, 5);
+        assert_eq!(b.len(), 1);
+        assert!(b.pop_oldest_where(|o| o.t_end > 100).is_none());
+    }
+
+    #[test]
+    fn drain_where_preserves_rest() {
+        let mut b = Buffer::default();
+        for t in [1, 2, 3, 4] {
+            b.store(ParameterContext::Continuous, occ(t));
+        }
+        let taken = b.drain_where(|o| o.t_end % 2 == 0);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.oldest().unwrap().t_end, 1);
+    }
+}

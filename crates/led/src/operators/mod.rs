@@ -1,0 +1,148 @@
+//! Operator state machines for the event graph, one per Snoop operator.
+
+pub(crate) mod binary;
+pub(crate) mod buffer;
+pub(crate) mod temporal;
+pub(crate) mod window;
+
+use crate::context::ParameterContext;
+use crate::occurrence::Occurrence;
+
+use binary::{AndState, SeqState};
+use temporal::{PeriodicState, PlusState, TemporalState};
+use window::{AperiodicState, AperiodicStarState, NotState};
+
+/// The per-node operator state. `Primitive` nodes have no state — they just
+/// fan occurrences out to their subscribers.
+#[derive(Debug, Clone)]
+pub(crate) enum OpState {
+    Primitive,
+    Or,
+    And(AndState),
+    Seq(SeqState),
+    Not(NotState),
+    Aperiodic(AperiodicState),
+    AperiodicStar(AperiodicStarState),
+    Periodic(PeriodicState),
+    Plus(PlusState),
+    Temporal(TemporalState),
+}
+
+impl OpState {
+    pub fn and() -> Self {
+        OpState::And(AndState::default())
+    }
+    pub fn seq() -> Self {
+        OpState::Seq(SeqState::default())
+    }
+    pub fn not() -> Self {
+        OpState::Not(NotState::default())
+    }
+    pub fn aperiodic() -> Self {
+        OpState::Aperiodic(AperiodicState::default())
+    }
+    pub fn aperiodic_star() -> Self {
+        OpState::AperiodicStar(AperiodicStarState::default())
+    }
+    pub fn periodic(period: i64, param: Option<String>, star: bool) -> Self {
+        OpState::Periodic(PeriodicState::new(period, param, star))
+    }
+    pub fn plus(delta: i64) -> Self {
+        OpState::Plus(PlusState::new(delta))
+    }
+    pub fn temporal(due: i64) -> Self {
+        OpState::Temporal(TemporalState::new(due))
+    }
+
+    /// Deliver a child occurrence to slot `slot`; returns this node's
+    /// resulting emissions.
+    pub fn on_child(
+        &mut self,
+        slot: usize,
+        occ: &Occurrence,
+        ctx: ParameterContext,
+        out: &str,
+    ) -> Vec<Occurrence> {
+        match self {
+            OpState::Primitive => Vec::new(),
+            OpState::Or => {
+                // OR re-emits every constituent occurrence under its name.
+                vec![Occurrence::combine(out, [occ], occ.t_end)]
+            }
+            OpState::And(s) => s.on_child(slot, occ, ctx, out),
+            OpState::Seq(s) => s.on_child(slot, occ, ctx, out),
+            OpState::Not(s) => s.on_child(slot, occ, ctx, out),
+            OpState::Aperiodic(s) => s.on_child(slot, occ, ctx, out),
+            OpState::AperiodicStar(s) => s.on_child(slot, occ, ctx, out),
+            OpState::Periodic(s) => s.on_child(slot, occ, ctx, out),
+            OpState::Plus(s) => s.on_child(occ),
+            OpState::Temporal(_) => Vec::new(),
+        }
+    }
+
+    /// Earliest pending timer, if this node is temporal.
+    pub fn next_due(&self) -> Option<i64> {
+        match self {
+            OpState::Periodic(s) => s.next_due(),
+            OpState::Plus(s) => s.next_due(),
+            OpState::Temporal(s) => s.next_due(),
+            _ => None,
+        }
+    }
+
+    /// Fire all timers due at or before `ts`.
+    pub fn fire_due(&mut self, ts: i64, out: &str) -> Vec<Occurrence> {
+        match self {
+            OpState::Periodic(s) => s.fire_due(ts, out),
+            OpState::Plus(s) => s.fire_due(ts, out),
+            OpState::Temporal(s) => s.fire_due(ts, out),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of buffered occurrences (memory metric for experiment E9).
+    pub fn state_size(&self) -> usize {
+        match self {
+            OpState::Primitive | OpState::Or => 0,
+            OpState::And(s) => s.state_size(),
+            OpState::Seq(s) => s.state_size(),
+            OpState::Not(s) => s.state_size(),
+            OpState::Aperiodic(s) => s.state_size(),
+            OpState::AperiodicStar(s) => s.state_size(),
+            OpState::Periodic(s) => s.state_size(),
+            OpState::Plus(s) => s.state_size(),
+            OpState::Temporal(s) => s.state_size(),
+        }
+    }
+
+    /// Discard all buffered occurrences (windows, pairings, pending
+    /// timers). One-shot temporal events keep their fired flag.
+    pub fn clear_state(&mut self) {
+        match self {
+            OpState::Primitive | OpState::Or | OpState::Temporal(_) => {}
+            OpState::And(s) => s.clear_state(),
+            OpState::Seq(s) => s.clear_state(),
+            OpState::Not(s) => s.clear_state(),
+            OpState::Aperiodic(s) => s.clear_state(),
+            OpState::AperiodicStar(s) => s.clear_state(),
+            OpState::Periodic(s) => s.clear_state(),
+            OpState::Plus(s) => s.clear_state(),
+        }
+    }
+
+    /// Operator name for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            OpState::Primitive => "PRIMITIVE",
+            OpState::Or => "OR",
+            OpState::And(_) => "AND",
+            OpState::Seq(_) => "SEQ",
+            OpState::Not(_) => "NOT",
+            OpState::Aperiodic(_) => "A",
+            OpState::AperiodicStar(_) => "A*",
+            OpState::Periodic(_) => "P",
+            OpState::Plus(_) => "PLUS",
+            OpState::Temporal(_) => "TEMPORAL",
+        }
+    }
+}

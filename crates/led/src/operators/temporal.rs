@@ -1,0 +1,369 @@
+//! Temporal operators: `P`, `P*`, `PLUS` and standalone time events.
+//!
+//! These are timer-driven: the detector advances a virtual clock and asks
+//! each temporal node for its earliest due time (`next_due`), then fires
+//! the due occurrences in timestamp order (`fire_due`).
+
+use crate::context::ParameterContext;
+use crate::occurrence::{Occurrence, Param};
+
+/// One open periodic window.
+#[derive(Debug, Clone)]
+struct PWindow {
+    start: Occurrence,
+    next_fire: i64,
+    /// Fire timestamps collected so far (used by `P*`).
+    fires: Vec<i64>,
+}
+
+/// `P(E1, [t], E3)` — fires every `t` microseconds inside `[E1, E3]`.
+#[derive(Debug, Clone)]
+pub(crate) struct PeriodicState {
+    period: i64,
+    /// Collector parameter name from `[t]:param`, if given.
+    param: Option<String>,
+    /// When true, accumulate fires and emit once at E3 (`P*` behaviour).
+    star: bool,
+    windows: Vec<PWindow>,
+}
+
+impl PeriodicState {
+    pub fn new(period: i64, param: Option<String>, star: bool) -> Self {
+        PeriodicState {
+            period: period.max(1),
+            param,
+            star,
+            windows: Vec::new(),
+        }
+    }
+
+    /// slot 0 = E1 (open window), slot 2 = E3 (close window). There is no
+    /// slot 1: the "middle" of a periodic operator is the clock itself.
+    pub fn on_child(
+        &mut self,
+        slot: usize,
+        occ: &Occurrence,
+        ctx: ParameterContext,
+        out: &str,
+    ) -> Vec<Occurrence> {
+        match slot {
+            0 => {
+                if ctx == ParameterContext::Recent {
+                    self.windows.clear();
+                }
+                self.windows.push(PWindow {
+                    start: occ.clone(),
+                    next_fire: occ.t_end + self.period,
+                    fires: Vec::new(),
+                });
+                Vec::new()
+            }
+            _ => {
+                // E3: close windows per context; P* emits its accumulation.
+                let closed: Vec<PWindow> = match ctx {
+                    ParameterContext::Recent
+                    | ParameterContext::Continuous
+                    | ParameterContext::Cumulative => std::mem::take(&mut self.windows),
+                    ParameterContext::Chronicle => {
+                        if self.windows.is_empty() {
+                            Vec::new()
+                        } else {
+                            vec![self.windows.remove(0)]
+                        }
+                    }
+                };
+                if !self.star || closed.is_empty() {
+                    return Vec::new();
+                }
+                let emit_one = |w: &PWindow| {
+                    let mut o = Occurrence::combine(out, [&w.start, occ], occ.t_end);
+                    let insert_at = o.params.len() - occ.params.len();
+                    for (k, ts) in w.fires.iter().enumerate() {
+                        o.params.insert(
+                            insert_at + k,
+                            self.time_param(out, *ts),
+                        );
+                    }
+                    o
+                };
+                match ctx {
+                    ParameterContext::Cumulative => {
+                        let mut o = Occurrence::combine(
+                            out,
+                            closed.iter().map(|w| &w.start).chain(std::iter::once(occ)),
+                            occ.t_end,
+                        );
+                        let insert_at = o.params.len() - occ.params.len();
+                        let mut k = 0;
+                        for w in &closed {
+                            for ts in &w.fires {
+                                o.params.insert(insert_at + k, self.time_param(out, *ts));
+                                k += 1;
+                            }
+                        }
+                        vec![o]
+                    }
+                    _ => closed.iter().map(emit_one).collect(),
+                }
+            }
+        }
+    }
+
+    fn time_param(&self, out: &str, ts: i64) -> Param {
+        let mut p = Param::time(out, ts);
+        if let Some(name) = &self.param {
+            p.data = Some(format!("{name}={ts}"));
+        }
+        p
+    }
+
+    pub fn next_due(&self) -> Option<i64> {
+        self.windows.iter().map(|w| w.next_fire).min()
+    }
+
+    /// Fire all windows due exactly at `ts`.
+    pub fn fire_due(&mut self, ts: i64, out: &str) -> Vec<Occurrence> {
+        let mut emitted = Vec::new();
+        let period = self.period;
+        let star = self.star;
+        let param = self.param.clone();
+        for w in &mut self.windows {
+            while w.next_fire <= ts {
+                let fire_ts = w.next_fire;
+                w.next_fire += period;
+                if star {
+                    w.fires.push(fire_ts);
+                } else {
+                    let mut o = Occurrence::combine(out, [&w.start], fire_ts);
+                    let mut p = Param::time(out, fire_ts);
+                    if let Some(name) = &param {
+                        p.data = Some(format!("{name}={fire_ts}"));
+                    }
+                    o.params.push(p);
+                    o.t_end = fire_ts;
+                    emitted.push(o);
+                }
+            }
+        }
+        emitted
+    }
+
+    pub fn state_size(&self) -> usize {
+        self.windows.iter().map(|w| 1 + w.fires.len()).sum()
+    }
+
+    pub fn clear_state(&mut self) {
+        self.windows.clear();
+    }
+}
+
+/// `E PLUS [t]` — one delayed occurrence per constituent occurrence.
+#[derive(Debug, Clone)]
+pub(crate) struct PlusState {
+    delta: i64,
+    pending: Vec<(Occurrence, i64)>,
+}
+
+impl PlusState {
+    pub fn new(delta: i64) -> Self {
+        PlusState {
+            delta: delta.max(1),
+            pending: Vec::new(),
+        }
+    }
+
+    pub fn on_child(&mut self, occ: &Occurrence) -> Vec<Occurrence> {
+        self.pending.push((occ.clone(), occ.t_end + self.delta));
+        Vec::new()
+    }
+
+    pub fn next_due(&self) -> Option<i64> {
+        self.pending.iter().map(|(_, due)| *due).min()
+    }
+
+    pub fn fire_due(&mut self, ts: i64, out: &str) -> Vec<Occurrence> {
+        let mut emitted = Vec::new();
+        let mut still = Vec::with_capacity(self.pending.len());
+        for (occ, due) in self.pending.drain(..) {
+            if due <= ts {
+                let mut o = Occurrence::combine(out, [&occ], due);
+                o.params.push(Param::time(out, due));
+                emitted.push(o);
+            } else {
+                still.push((occ, due));
+            }
+        }
+        self.pending = still;
+        emitted
+    }
+
+    pub fn state_size(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn clear_state(&mut self) {
+        self.pending.clear();
+    }
+}
+
+/// Standalone temporal event: fires exactly once at an absolute time.
+#[derive(Debug, Clone)]
+pub(crate) struct TemporalState {
+    due: i64,
+    fired: bool,
+}
+
+impl TemporalState {
+    pub fn new(due: i64) -> Self {
+        TemporalState { due, fired: false }
+    }
+
+    pub fn next_due(&self) -> Option<i64> {
+        if self.fired {
+            None
+        } else {
+            Some(self.due)
+        }
+    }
+
+    pub fn fire_due(&mut self, ts: i64, out: &str) -> Vec<Occurrence> {
+        if self.fired || ts < self.due {
+            return Vec::new();
+        }
+        self.fired = true;
+        vec![Occurrence::point(
+            out,
+            self.due,
+            vec![Param::time(out, self.due)],
+        )]
+    }
+
+    pub fn state_size(&self) -> usize {
+        usize::from(!self.fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(name: &str, ts: i64) -> Occurrence {
+        Occurrence::point(name, ts, vec![Param::marker(name, ts)])
+    }
+
+    #[test]
+    fn periodic_fires_every_period() {
+        let mut s = PeriodicState::new(10, None, false);
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("start", 100), ctx, "p");
+        assert_eq!(s.next_due(), Some(110));
+        let e = s.fire_due(110, "p");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].t_end, 110);
+        assert_eq!(s.next_due(), Some(120));
+        // Catch-up: firing at t=145 emits 120, 130, 140.
+        let e = s.fire_due(145, "p");
+        assert_eq!(e.len(), 3);
+        assert_eq!(s.next_due(), Some(150));
+    }
+
+    #[test]
+    fn periodic_close_stops_firing() {
+        let mut s = PeriodicState::new(10, None, false);
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("start", 100), ctx, "p");
+        s.on_child(2, &occ("stop", 115), ctx, "p");
+        assert_eq!(s.next_due(), None);
+    }
+
+    #[test]
+    fn periodic_star_accumulates_until_close() {
+        let mut s = PeriodicState::new(10, Some("ts".into()), true);
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("start", 100), ctx, "p");
+        assert!(s.fire_due(110, "p").is_empty());
+        assert!(s.fire_due(120, "p").is_empty());
+        let e = s.on_child(2, &occ("stop", 125), ctx, "p");
+        assert_eq!(e.len(), 1);
+        // start + 2 fires + stop.
+        assert_eq!(e[0].params.len(), 4);
+        assert_eq!(e[0].params[1].data.as_deref(), Some("ts=110"));
+        assert_eq!(e[0].params[2].data.as_deref(), Some("ts=120"));
+    }
+
+    #[test]
+    fn periodic_chronicle_closes_oldest_window_only() {
+        let mut s = PeriodicState::new(10, None, false);
+        let ctx = ParameterContext::Chronicle;
+        s.on_child(0, &occ("a", 100), ctx, "p");
+        s.on_child(0, &occ("b", 105), ctx, "p");
+        s.on_child(2, &occ("stop", 106), ctx, "p");
+        assert_eq!(s.state_size(), 1);
+        assert_eq!(s.next_due(), Some(115));
+    }
+
+    #[test]
+    fn periodic_continuous_multiple_windows_fire() {
+        let mut s = PeriodicState::new(10, None, false);
+        let ctx = ParameterContext::Continuous;
+        s.on_child(0, &occ("a", 100), ctx, "p");
+        s.on_child(0, &occ("b", 105), ctx, "p");
+        let e = s.fire_due(115, "p");
+        assert_eq!(e.len(), 2); // 110 from a, 115 from b.
+    }
+
+    #[test]
+    fn plus_fires_once_per_occurrence() {
+        let mut s = PlusState::new(50);
+        s.on_child(&occ("e", 100));
+        s.on_child(&occ("e", 120));
+        assert_eq!(s.next_due(), Some(150));
+        let e = s.fire_due(150, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].t_end, 150);
+        assert_eq!(s.next_due(), Some(170));
+        let e = s.fire_due(200, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(s.next_due(), None);
+    }
+
+    #[test]
+    fn plus_carries_constituent_params() {
+        let mut s = PlusState::new(10);
+        s.on_child(&Occurrence::point(
+            "e",
+            5,
+            vec![Param::db("e", "stock", 3, 5)],
+        ));
+        let e = s.fire_due(15, "x");
+        assert_eq!(e[0].params.len(), 2);
+        assert_eq!(e[0].params[0].vno, Some(3));
+    }
+
+    #[test]
+    fn temporal_fires_once() {
+        let mut s = TemporalState::new(500);
+        assert_eq!(s.next_due(), Some(500));
+        assert!(s.fire_due(499, "t").is_empty());
+        let e = s.fire_due(500, "t");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].t_end, 500);
+        assert_eq!(s.next_due(), None);
+        assert!(s.fire_due(600, "t").is_empty());
+    }
+
+    #[test]
+    fn state_sizes() {
+        let mut p = PeriodicState::new(10, None, true);
+        p.on_child(0, &occ("s", 0), ParameterContext::Recent, "p");
+        p.fire_due(10, "p");
+        assert_eq!(p.state_size(), 2); // window + one accumulated fire
+
+        let mut plus = PlusState::new(5);
+        plus.on_child(&occ("e", 0));
+        assert_eq!(plus.state_size(), 1);
+
+        let t = TemporalState::new(1);
+        assert_eq!(t.state_size(), 1);
+    }
+}

@@ -1,0 +1,458 @@
+//! Window operators: `NOT(E1,E2,E3)`, `A(E1,E2,E3)` and `A*(E1,E2,E3)`.
+//!
+//! Slot convention (matches the Snoop argument order used in
+//! `snoop::ast`): slot 0 = E1 (initiator / window opener), slot 1 = E2
+//! (the "middle" event), slot 2 = E3 (terminator / window closer).
+
+use crate::context::ParameterContext;
+use crate::occurrence::Occurrence;
+use crate::operators::buffer::Buffer;
+
+/// `NOT(E1, E2, E3)` — detected at E3 when no E2 occurred since the
+/// pairing E1. Any E2 occurrence cancels all currently open initiators
+/// (they all precede it, so none of them can satisfy the non-occurrence
+/// condition with any later terminator).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct NotState {
+    starts: Buffer,
+}
+
+impl NotState {
+    pub fn on_child(
+        &mut self,
+        slot: usize,
+        occ: &Occurrence,
+        ctx: ParameterContext,
+        out: &str,
+    ) -> Vec<Occurrence> {
+        match slot {
+            0 => {
+                self.starts.store(ctx, occ.clone());
+                Vec::new()
+            }
+            1 => {
+                self.starts.clear();
+                Vec::new()
+            }
+            _ => {
+                let before = |o: &Occurrence| o.t_end < occ.t_start;
+                match ctx {
+                    ParameterContext::Recent => match self.starts.latest() {
+                        Some(latest) if before(latest) => {
+                            vec![Occurrence::combine(out, [latest, occ], occ.t_end)]
+                        }
+                        _ => Vec::new(),
+                    },
+                    ParameterContext::Chronicle => {
+                        match self.starts.pop_oldest_where(before) {
+                            Some(mate) => {
+                                vec![Occurrence::combine(out, [&mate, occ], occ.t_end)]
+                            }
+                            None => Vec::new(),
+                        }
+                    }
+                    ParameterContext::Continuous => self
+                        .starts
+                        .drain_where(before)
+                        .iter()
+                        .map(|mate| Occurrence::combine(out, [mate, occ], occ.t_end))
+                        .collect(),
+                    ParameterContext::Cumulative => {
+                        let mates = self.starts.drain_where(before);
+                        if mates.is_empty() {
+                            Vec::new()
+                        } else {
+                            let parts: Vec<&Occurrence> =
+                                mates.iter().chain(std::iter::once(occ)).collect();
+                            vec![Occurrence::combine(out, parts, occ.t_end)]
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn state_size(&self) -> usize {
+        self.starts.len()
+    }
+
+    pub fn clear_state(&mut self) {
+        self.starts.clear();
+    }
+}
+
+/// `A(E1, E2, E3)` — detected at *each* E2 occurring inside an open window
+/// `[E1, E3]`. E3 closes windows (per context) without emitting.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct AperiodicState {
+    starts: Buffer,
+}
+
+impl AperiodicState {
+    pub fn on_child(
+        &mut self,
+        slot: usize,
+        occ: &Occurrence,
+        ctx: ParameterContext,
+        out: &str,
+    ) -> Vec<Occurrence> {
+        match slot {
+            0 => {
+                self.starts.store(ctx, occ.clone());
+                Vec::new()
+            }
+            1 => {
+                // E2: emit per context; windows stay open until E3.
+                let inside = |o: &Occurrence| o.t_end < occ.t_start;
+                match ctx {
+                    ParameterContext::Recent => match self.starts.latest() {
+                        Some(latest) if inside(latest) => {
+                            vec![Occurrence::combine(out, [latest, occ], occ.t_end)]
+                        }
+                        _ => Vec::new(),
+                    },
+                    ParameterContext::Chronicle => match self.starts.oldest() {
+                        Some(oldest) if inside(oldest) => {
+                            vec![Occurrence::combine(out, [oldest, occ], occ.t_end)]
+                        }
+                        _ => Vec::new(),
+                    },
+                    ParameterContext::Continuous => self
+                        .starts
+                        .iter()
+                        .filter(|o| inside(o))
+                        .map(|mate| Occurrence::combine(out, [mate, occ], occ.t_end))
+                        .collect(),
+                    ParameterContext::Cumulative => {
+                        let mates: Vec<&Occurrence> =
+                            self.starts.iter().filter(|o| inside(o)).collect();
+                        if mates.is_empty() {
+                            Vec::new()
+                        } else {
+                            let parts: Vec<&Occurrence> =
+                                mates.into_iter().chain(std::iter::once(occ)).collect();
+                            vec![Occurrence::combine(out, parts, occ.t_end)]
+                        }
+                    }
+                }
+            }
+            _ => {
+                // E3 closes windows: the most recent one (RECENT), the
+                // oldest (CHRONICLE), or all (CONTINUOUS/CUMULATIVE).
+                match ctx {
+                    ParameterContext::Recent => self.starts.clear(),
+                    ParameterContext::Chronicle => {
+                        let _ = self.starts.pop_oldest();
+                    }
+                    ParameterContext::Continuous | ParameterContext::Cumulative => {
+                        self.starts.clear()
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    pub fn state_size(&self) -> usize {
+        self.starts.len()
+    }
+
+    pub fn clear_state(&mut self) {
+        self.starts.clear();
+    }
+}
+
+/// One open `A*` window: the initiator plus the E2s accumulated so far.
+#[derive(Debug, Clone)]
+struct StarWindow {
+    start: Occurrence,
+    mids: Vec<Occurrence>,
+}
+
+/// `A*(E1, E2, E3)` — accumulates E2 occurrences inside the window and
+/// detects exactly once, at E3, with everything collected (possibly zero
+/// E2s — A* is a windowed collector, so an empty window still detects).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct AperiodicStarState {
+    windows: Vec<StarWindow>,
+}
+
+impl AperiodicStarState {
+    pub fn on_child(
+        &mut self,
+        slot: usize,
+        occ: &Occurrence,
+        ctx: ParameterContext,
+        out: &str,
+    ) -> Vec<Occurrence> {
+        match slot {
+            0 => {
+                if ctx == ParameterContext::Recent {
+                    self.windows.clear();
+                }
+                self.windows.push(StarWindow {
+                    start: occ.clone(),
+                    mids: Vec::new(),
+                });
+                Vec::new()
+            }
+            1 => {
+                for w in &mut self.windows {
+                    if w.start.t_end < occ.t_start {
+                        w.mids.push(occ.clone());
+                    }
+                }
+                Vec::new()
+            }
+            _ => {
+                let emit = |w: &StarWindow| {
+                    let parts: Vec<&Occurrence> = std::iter::once(&w.start)
+                        .chain(w.mids.iter())
+                        .chain(std::iter::once(occ))
+                        .collect();
+                    Occurrence::combine(out, parts, occ.t_end)
+                };
+                let qualifying = |w: &StarWindow| w.start.t_end < occ.t_start;
+                match ctx {
+                    ParameterContext::Recent => {
+                        let result = match self.windows.last() {
+                            Some(w) if qualifying(w) => vec![emit(w)],
+                            _ => Vec::new(),
+                        };
+                        self.windows.clear();
+                        result
+                    }
+                    ParameterContext::Chronicle => {
+                        match self.windows.iter().position(qualifying) {
+                            Some(i) => {
+                                let w = self.windows.remove(i);
+                                vec![emit(&w)]
+                            }
+                            None => Vec::new(),
+                        }
+                    }
+                    ParameterContext::Continuous => {
+                        let (ready, open): (Vec<_>, Vec<_>) =
+                            std::mem::take(&mut self.windows)
+                                .into_iter()
+                                .partition(|w| qualifying(w));
+                        self.windows = open;
+                        ready.iter().map(emit).collect()
+                    }
+                    ParameterContext::Cumulative => {
+                        let (ready, open): (Vec<_>, Vec<_>) =
+                            std::mem::take(&mut self.windows)
+                                .into_iter()
+                                .partition(|w| qualifying(w));
+                        self.windows = open;
+                        if ready.is_empty() {
+                            Vec::new()
+                        } else {
+                            let mut parts: Vec<&Occurrence> = Vec::new();
+                            for w in &ready {
+                                parts.push(&w.start);
+                                parts.extend(w.mids.iter());
+                            }
+                            parts.push(occ);
+                            vec![Occurrence::combine(out, parts, occ.t_end)]
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn state_size(&self) -> usize {
+        self.windows
+            .iter()
+            .map(|w| 1 + w.mids.len())
+            .sum()
+    }
+
+    pub fn clear_state(&mut self) {
+        self.windows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(name: &str, ts: i64) -> Occurrence {
+        Occurrence::point(name, ts, vec![crate::occurrence::Param::marker(name, ts)])
+    }
+
+    // ------------------------------------------------------------- NOT
+
+    #[test]
+    fn not_fires_without_mid() {
+        let mut s = NotState::default();
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("open", 1), ctx, "x");
+        let e = s.on_child(2, &occ("close", 3), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].t_start, 1);
+        assert_eq!(e[0].t_end, 3);
+    }
+
+    #[test]
+    fn not_cancelled_by_mid() {
+        let mut s = NotState::default();
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("open", 1), ctx, "x");
+        s.on_child(1, &occ("cancel", 2), ctx, "x");
+        assert!(s.on_child(2, &occ("close", 3), ctx, "x").is_empty());
+        // A fresh initiator after the cancel works again.
+        s.on_child(0, &occ("open", 4), ctx, "x");
+        assert_eq!(s.on_child(2, &occ("close", 5), ctx, "x").len(), 1);
+    }
+
+    #[test]
+    fn not_mid_cancels_all_open_initiators() {
+        let mut s = NotState::default();
+        let ctx = ParameterContext::Continuous;
+        s.on_child(0, &occ("open", 1), ctx, "x");
+        s.on_child(0, &occ("open", 2), ctx, "x");
+        s.on_child(1, &occ("cancel", 3), ctx, "x");
+        assert!(s.on_child(2, &occ("close", 4), ctx, "x").is_empty());
+        assert_eq!(s.state_size(), 0);
+    }
+
+    #[test]
+    fn not_chronicle_consumes_oldest() {
+        let mut s = NotState::default();
+        let ctx = ParameterContext::Chronicle;
+        s.on_child(0, &occ("open", 1), ctx, "x");
+        s.on_child(0, &occ("open", 2), ctx, "x");
+        let e = s.on_child(2, &occ("close", 3), ctx, "x");
+        assert_eq!(e[0].t_start, 1);
+        let e = s.on_child(2, &occ("close", 4), ctx, "x");
+        assert_eq!(e[0].t_start, 2);
+    }
+
+    // --------------------------------------------------------------- A
+
+    #[test]
+    fn aperiodic_fires_per_mid_in_window() {
+        let mut s = AperiodicState::default();
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        assert_eq!(s.on_child(1, &occ("tick", 2), ctx, "x").len(), 1);
+        assert_eq!(s.on_child(1, &occ("tick", 3), ctx, "x").len(), 1);
+        s.on_child(2, &occ("stop", 4), ctx, "x");
+        assert!(s.on_child(1, &occ("tick", 5), ctx, "x").is_empty());
+    }
+
+    #[test]
+    fn aperiodic_no_window_no_fire() {
+        let mut s = AperiodicState::default();
+        let ctx = ParameterContext::Recent;
+        assert!(s.on_child(1, &occ("tick", 1), ctx, "x").is_empty());
+    }
+
+    #[test]
+    fn aperiodic_continuous_fires_per_open_window() {
+        let mut s = AperiodicState::default();
+        let ctx = ParameterContext::Continuous;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        s.on_child(0, &occ("start", 2), ctx, "x");
+        let e = s.on_child(1, &occ("tick", 3), ctx, "x");
+        assert_eq!(e.len(), 2);
+        // Windows still open: another tick fires twice more.
+        assert_eq!(s.on_child(1, &occ("tick", 4), ctx, "x").len(), 2);
+    }
+
+    #[test]
+    fn aperiodic_cumulative_merges_open_windows() {
+        let mut s = AperiodicState::default();
+        let ctx = ParameterContext::Cumulative;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        s.on_child(0, &occ("start", 2), ctx, "x");
+        let e = s.on_child(1, &occ("tick", 3), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].params.len(), 3);
+    }
+
+    #[test]
+    fn aperiodic_chronicle_close_removes_oldest_window() {
+        let mut s = AperiodicState::default();
+        let ctx = ParameterContext::Chronicle;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        s.on_child(0, &occ("start", 2), ctx, "x");
+        s.on_child(2, &occ("stop", 3), ctx, "x");
+        assert_eq!(s.state_size(), 1);
+        let e = s.on_child(1, &occ("tick", 4), ctx, "x");
+        assert_eq!(e[0].t_start, 2, "remaining window is the newer one");
+    }
+
+    // -------------------------------------------------------------- A*
+
+    #[test]
+    fn astar_accumulates_and_fires_once_at_end() {
+        let mut s = AperiodicStarState::default();
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        assert!(s.on_child(1, &occ("tick", 2), ctx, "x").is_empty());
+        assert!(s.on_child(1, &occ("tick", 3), ctx, "x").is_empty());
+        let e = s.on_child(2, &occ("stop", 4), ctx, "x");
+        assert_eq!(e.len(), 1);
+        // start + 2 ticks + stop.
+        assert_eq!(e[0].params.len(), 4);
+        assert_eq!(s.state_size(), 0);
+    }
+
+    #[test]
+    fn astar_empty_window_still_detects() {
+        let mut s = AperiodicStarState::default();
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        let e = s.on_child(2, &occ("stop", 2), ctx, "x");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].params.len(), 2);
+    }
+
+    #[test]
+    fn astar_without_initiator_does_not_detect() {
+        let mut s = AperiodicStarState::default();
+        let ctx = ParameterContext::Recent;
+        assert!(s.on_child(2, &occ("stop", 1), ctx, "x").is_empty());
+    }
+
+    #[test]
+    fn astar_continuous_one_per_window() {
+        let mut s = AperiodicStarState::default();
+        let ctx = ParameterContext::Continuous;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        s.on_child(0, &occ("start", 2), ctx, "x");
+        s.on_child(1, &occ("tick", 3), ctx, "x");
+        let e = s.on_child(2, &occ("stop", 4), ctx, "x");
+        assert_eq!(e.len(), 2);
+        // Each window accumulated the same tick.
+        assert_eq!(e[0].params.len(), 3);
+        assert_eq!(e[1].params.len(), 3);
+    }
+
+    #[test]
+    fn astar_cumulative_single_merged_detection() {
+        let mut s = AperiodicStarState::default();
+        let ctx = ParameterContext::Cumulative;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        s.on_child(0, &occ("start", 2), ctx, "x");
+        s.on_child(1, &occ("tick", 3), ctx, "x");
+        let e = s.on_child(2, &occ("stop", 4), ctx, "x");
+        assert_eq!(e.len(), 1);
+        // start1 + tick, start2 + tick, stop = 5 params.
+        assert_eq!(e[0].params.len(), 5);
+    }
+
+    #[test]
+    fn astar_recent_newer_start_resets() {
+        let mut s = AperiodicStarState::default();
+        let ctx = ParameterContext::Recent;
+        s.on_child(0, &occ("start", 1), ctx, "x");
+        s.on_child(1, &occ("tick", 2), ctx, "x");
+        s.on_child(0, &occ("start", 3), ctx, "x"); // resets accumulation
+        let e = s.on_child(2, &occ("stop", 4), ctx, "x");
+        assert_eq!(e[0].params.len(), 2, "old tick discarded");
+    }
+}

@@ -1,0 +1,140 @@
+//! ECA rules attached to event-graph nodes.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::context::{CouplingMode, ParameterContext};
+use crate::occurrence::Occurrence;
+
+/// A rule condition, evaluated against the triggering occurrence.
+///
+/// The paper's rules carry their condition into the SQL action (the stored
+/// procedure's WHERE clauses), so `Always` is the common case; the richer
+/// variants support in-agent filtering.
+#[derive(Clone)]
+pub enum Condition {
+    Always,
+    Never,
+    /// Fires only when the occurrence carries at least this many params.
+    MinParams(usize),
+    /// Arbitrary predicate.
+    Predicate(Arc<dyn Fn(&Occurrence) -> bool + Send + Sync>),
+}
+
+impl Condition {
+    pub fn eval(&self, occurrence: &Occurrence) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::Never => false,
+            Condition::MinParams(n) => occurrence.params.len() >= *n,
+            Condition::Predicate(f) => f(occurrence),
+        }
+    }
+}
+
+impl fmt::Debug for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Always => f.write_str("Always"),
+            Condition::Never => f.write_str("Never"),
+            Condition::MinParams(n) => write!(f, "MinParams({n})"),
+            Condition::Predicate(_) => f.write_str("Predicate(..)"),
+        }
+    }
+}
+
+/// Specification of a rule to attach to an event.
+#[derive(Debug, Clone)]
+pub struct RuleSpec {
+    /// Unique rule name (the paper's internal `db.user.trigger` name).
+    pub name: String,
+    /// Name of the (registered) event this rule triggers on.
+    pub event: String,
+    pub condition: Condition,
+    pub coupling: CouplingMode,
+    /// Larger numbers fire first among simultaneous detections.
+    pub priority: i32,
+}
+
+impl RuleSpec {
+    pub fn new(name: impl Into<String>, event: impl Into<String>) -> Self {
+        RuleSpec {
+            name: name.into(),
+            event: event.into(),
+            condition: Condition::Always,
+            coupling: CouplingMode::Immediate,
+            priority: 0,
+        }
+    }
+
+    pub fn with_condition(mut self, condition: Condition) -> Self {
+        self.condition = condition;
+        self
+    }
+
+    pub fn with_coupling(mut self, coupling: CouplingMode) -> Self {
+        self.coupling = coupling;
+        self
+    }
+
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// A rule whose event was detected and whose condition held.
+#[derive(Debug, Clone)]
+pub struct Firing {
+    pub rule: String,
+    pub event: String,
+    pub coupling: CouplingMode,
+    pub priority: i32,
+    pub context: ParameterContext,
+    pub occurrence: Occurrence,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occurrence::Param;
+
+    fn occ(n_params: usize) -> Occurrence {
+        Occurrence::point(
+            "e",
+            1,
+            (0..n_params).map(|i| Param::marker("e", i as i64)).collect(),
+        )
+    }
+
+    #[test]
+    fn condition_eval() {
+        assert!(Condition::Always.eval(&occ(0)));
+        assert!(!Condition::Never.eval(&occ(5)));
+        assert!(Condition::MinParams(2).eval(&occ(2)));
+        assert!(!Condition::MinParams(3).eval(&occ(2)));
+        let pred = Condition::Predicate(Arc::new(|o: &Occurrence| o.t_end == 1));
+        assert!(pred.eval(&occ(0)));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let r = RuleSpec::new("r1", "e1")
+            .with_coupling(CouplingMode::Detached)
+            .with_priority(5)
+            .with_condition(Condition::MinParams(1));
+        assert_eq!(r.name, "r1");
+        assert_eq!(r.coupling, CouplingMode::Detached);
+        assert_eq!(r.priority, 5);
+        assert!(matches!(r.condition, Condition::MinParams(1)));
+    }
+
+    #[test]
+    fn condition_debug_format() {
+        assert_eq!(format!("{:?}", Condition::Always), "Always");
+        assert_eq!(
+            format!("{:?}", Condition::Predicate(Arc::new(|_| true))),
+            "Predicate(..)"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Golden-table tests: every Snoop operator crossed with every parameter
+//! context on one canonical scenario each. These tables *are* the
+//! executable specification of the reproduction's detection semantics.
+
+use led::{Detector, ParameterContext, RuleSpec};
+
+fn det(expr: &str, ctx: ParameterContext) -> Detector {
+    let mut d = Detector::new();
+    for p in ["s", "m", "e"] {
+        d.define_primitive(p).unwrap();
+    }
+    d.define_composite("c", &snoop::parse(expr).unwrap(), ctx)
+        .unwrap();
+    d.add_rule(RuleSpec::new("r", "c")).unwrap();
+    d
+}
+
+/// Drive a space-separated scenario ("s s m e"), returning per-step
+/// detection counts.
+fn drive(d: &mut Detector, scenario: &str) -> Vec<usize> {
+    scenario
+        .split_whitespace()
+        .enumerate()
+        .map(|(i, ev)| d.signal(ev, vec![], (i as i64 + 1) * 10).unwrap().len())
+        .collect()
+}
+
+fn totals(expr: &str, scenario: &str) -> [usize; 4] {
+    let mut out = [0usize; 4];
+    for (i, ctx) in ParameterContext::ALL.iter().enumerate() {
+        let mut d = det(expr, *ctx);
+        out[i] = drive(&mut d, scenario).iter().sum();
+    }
+    out
+}
+
+// Context order in all tables: [RECENT, CHRONICLE, CONTINUOUS, CUMULATIVE].
+
+#[test]
+fn and_matrix() {
+    // Scenario: three s then two m.
+    // RECENT: m1 pairs with s3; m1 stays recent on its side, s3 on its —
+    //         m2 pairs with s3 again → 2.
+    // CHRONICLE: FIFO pairs (s1,m1), (s2,m2) → 2.
+    // CONTINUOUS: m1 consumes all three s → 3; m2 finds none, buffers → 3.
+    // CUMULATIVE: m1 flushes everything → 1; m2 buffers → 1.
+    assert_eq!(totals("s ^ m", "s s s m m"), [2, 2, 3, 1]);
+}
+
+#[test]
+fn seq_matrix() {
+    // Same scenario, but SEQ consumes nothing on the initiator side in
+    // RECENT (latest persists) and requires order.
+    assert_eq!(totals("s ; m", "s s s m m"), [2, 2, 3, 1]);
+    // Terminators before any initiator never fire.
+    assert_eq!(totals("s ; m", "m m s"), [0, 0, 0, 0]);
+}
+
+#[test]
+fn or_matrix() {
+    // OR is context-insensitive: every constituent occurrence detects.
+    assert_eq!(totals("s | m", "s m s m m"), [5, 5, 5, 5]);
+}
+
+#[test]
+fn not_matrix() {
+    // s .. e with no m in between.
+    assert_eq!(totals("NOT(s, m, e)", "s e"), [1, 1, 1, 1]);
+    // m cancels every open window.
+    assert_eq!(totals("NOT(s, m, e)", "s m e"), [0, 0, 0, 0]);
+    // Two initiators, one clean terminator.
+    // RECENT: latest s pairs → 1. CHRONICLE: oldest consumed → 1.
+    // CONTINUOUS: both → 2. CUMULATIVE: merged → 1.
+    assert_eq!(totals("NOT(s, m, e)", "s s e"), [1, 1, 2, 1]);
+}
+
+#[test]
+fn aperiodic_matrix() {
+    // Window s..e containing two m.
+    assert_eq!(totals("A(s, m, e)", "s m m e"), [2, 2, 2, 2]);
+    // m outside any window never fires.
+    assert_eq!(totals("A(s, m, e)", "m s e m"), [0, 0, 0, 0]);
+    // Two nested windows, one m:
+    // RECENT: latest window only → 1. CHRONICLE: oldest → 1.
+    // CONTINUOUS: one per open window → 2. CUMULATIVE: merged → 1.
+    assert_eq!(totals("A(s, m, e)", "s s m e"), [1, 1, 2, 1]);
+}
+
+#[test]
+fn aperiodic_star_matrix() {
+    // A* fires once per window close, with everything accumulated.
+    assert_eq!(totals("A*(s, m, e)", "s m m e"), [1, 1, 1, 1]);
+    // Two windows closed by one terminator.
+    assert_eq!(totals("A*(s, m, e)", "s s m e"), [1, 1, 2, 1]);
+    // Close without any window: nothing.
+    assert_eq!(totals("A*(s, m, e)", "e m e"), [0, 0, 0, 0]);
+}
+
+#[test]
+fn and_param_volume_per_context() {
+    // Param counts distinguish CUMULATIVE from the rest.
+    let mut d = det("s ^ m", ParameterContext::Cumulative);
+    d.signal("s", vec![], 10).unwrap();
+    d.signal("s", vec![], 20).unwrap();
+    let f = d.signal("m", vec![], 30).unwrap();
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].occurrence.params.len(), 3, "s1+s2+m merged");
+
+    let mut d = det("s ^ m", ParameterContext::Continuous);
+    d.signal("s", vec![], 10).unwrap();
+    d.signal("s", vec![], 20).unwrap();
+    let f = d.signal("m", vec![], 30).unwrap();
+    assert_eq!(f.len(), 2);
+    assert!(f.iter().all(|x| x.occurrence.params.len() == 2));
+}
+
+#[test]
+fn nested_composites_inherit_their_own_contexts() {
+    // inner (chronicle) feeds outer (recent): each inner detection is a
+    // single occurrence to the outer SEQ.
+    let mut d = Detector::new();
+    for p in ["s", "m", "e"] {
+        d.define_primitive(p).unwrap();
+    }
+    d.define_composite(
+        "inner",
+        &snoop::parse("s ^ m").unwrap(),
+        ParameterContext::Chronicle,
+    )
+    .unwrap();
+    d.define_composite(
+        "outer",
+        &snoop::parse("inner ; e").unwrap(),
+        ParameterContext::Recent,
+    )
+    .unwrap();
+    d.add_rule(RuleSpec::new("r", "outer")).unwrap();
+    d.signal("s", vec![], 10).unwrap();
+    d.signal("m", vec![], 20).unwrap(); // inner fires [10,20]
+    let f = d.signal("e", vec![], 30).unwrap();
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].occurrence.t_start, 10);
+    assert_eq!(f[0].occurrence.params.len(), 3);
+}
+
+#[test]
+fn periodic_matrix_under_contexts() {
+    // Window [s, e], period 10: fires at 20, 30 before e at 35 (s at 10).
+    for ctx in ParameterContext::ALL {
+        let mut d = det("P(s, [10 usec], e)", ctx);
+        d.signal("s", vec![], 10).unwrap();
+        let fired = d.advance_to(35).len();
+        assert_eq!(fired, 2, "context {ctx}: fires at 20 and 30");
+        d.signal("e", vec![], 35).unwrap();
+        assert!(d.advance_to(1000).is_empty(), "closed window stops firing");
+    }
+}
+
+#[test]
+fn periodic_star_accumulates_under_contexts() {
+    for ctx in ParameterContext::ALL {
+        let mut d = det("P*(s, [10 usec], e)", ctx);
+        d.signal("s", vec![], 10).unwrap();
+        assert!(d.advance_to(35).is_empty(), "P* holds until close");
+        let f = d.signal("e", vec![], 40).unwrap();
+        assert_eq!(f.len(), 1, "context {ctx}");
+        // s + fires(20,30,40) + e — the fire at 40 is simultaneous with the
+        // close and processed first.
+        assert!(f[0].occurrence.params.len() >= 4, "context {ctx}");
+    }
+}
+
+#[test]
+fn plus_is_context_insensitive() {
+    for ctx in ParameterContext::ALL {
+        let mut d = det("s PLUS [5 usec]", ctx);
+        d.signal("s", vec![], 10).unwrap();
+        d.signal("s", vec![], 12).unwrap();
+        let fired = d.advance_to(20).len();
+        assert_eq!(fired, 2, "context {ctx}: one delayed firing per s");
+    }
+}

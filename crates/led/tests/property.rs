@@ -1,0 +1,286 @@
+//! Property-based tests for LED detection invariants across contexts.
+
+use led::{Detector, Occurrence, ParameterContext, RuleSpec};
+use proptest::prelude::*;
+
+/// Random L/R event stream (true = left / p0, false = right / p1).
+fn stream() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 0..60)
+}
+
+fn run(expr: &str, ctx: ParameterContext, sides: &[bool]) -> Vec<Occurrence> {
+    let mut d = Detector::new();
+    d.define_primitive("p0").unwrap();
+    d.define_primitive("p1").unwrap();
+    d.define_composite("c", &snoop::parse(expr).unwrap(), ctx)
+        .unwrap();
+    d.add_rule(RuleSpec::new("r", "c")).unwrap();
+    let mut out = Vec::new();
+    for (i, &left) in sides.iter().enumerate() {
+        let ev = if left { "p0" } else { "p1" };
+        for f in d.signal(ev, vec![], (i as i64 + 1) * 10).unwrap() {
+            out.push(f.occurrence);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn or_counts_every_occurrence_in_all_contexts(sides in stream()) {
+        for ctx in ParameterContext::ALL {
+            let fired = run("p0 | p1", ctx, &sides);
+            prop_assert_eq!(fired.len(), sides.len(), "context {}", ctx);
+        }
+    }
+
+    #[test]
+    fn chronicle_and_detects_exactly_min_of_sides(sides in stream()) {
+        let lefts = sides.iter().filter(|&&b| b).count();
+        let rights = sides.len() - lefts;
+        let fired = run("p0 ^ p1", ParameterContext::Chronicle, &sides);
+        prop_assert_eq!(fired.len(), lefts.min(rights));
+        // FIFO pairing consumes each occurrence exactly once: every
+        // detection carries exactly one param from each side.
+        for occ in &fired {
+            prop_assert_eq!(occ.params.len(), 2);
+            prop_assert_eq!(&occ.params[0].event, "p0");
+            prop_assert_eq!(&occ.params[1].event, "p1");
+        }
+    }
+
+    #[test]
+    fn occurrence_intervals_are_well_formed(sides in stream()) {
+        for expr in ["p0 ^ p1", "p0 ; p1", "p0 | p1"] {
+            for ctx in ParameterContext::ALL {
+                for occ in run(expr, ctx, &sides) {
+                    prop_assert!(occ.t_start <= occ.t_end, "{expr} {ctx}");
+                    for p in &occ.params {
+                        prop_assert!(p.ts <= occ.t_end);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seq_constituents_are_strictly_ordered(sides in stream()) {
+        for ctx in ParameterContext::ALL {
+            for occ in run("p0 ; p1", ctx, &sides) {
+                // Every p0 param must precede every p1 param.
+                let max_left = occ.params.iter().filter(|p| p.event == "p0").map(|p| p.ts).max();
+                let min_right = occ.params.iter().filter(|p| p.event == "p1").map(|p| p.ts).min();
+                if let (Some(l), Some(r)) = (max_left, min_right) {
+                    prop_assert!(l < r, "context {ctx}: left {l} not before right {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seq_recent_matches_brute_force_oracle(sides in stream()) {
+        // Oracle: a p1 at position i detects iff some p0 happened strictly
+        // earlier; the initiator is the latest such p0.
+        let fired = run("p0 ; p1", ParameterContext::Recent, &sides);
+        let mut expected = Vec::new();
+        let mut last_left: Option<i64> = None;
+        for (i, &left) in sides.iter().enumerate() {
+            let ts = (i as i64 + 1) * 10;
+            if left {
+                last_left = Some(ts);
+            } else if let Some(l) = last_left {
+                expected.push((l, ts));
+            }
+        }
+        prop_assert_eq!(fired.len(), expected.len());
+        for (occ, (l, r)) in fired.iter().zip(&expected) {
+            prop_assert_eq!(occ.t_start, *l);
+            prop_assert_eq!(occ.t_end, *r);
+        }
+    }
+
+    #[test]
+    fn continuous_seq_consumes_all_open_initiators(sides in stream()) {
+        // Oracle: each p1 pairs with every currently-open earlier p0.
+        let fired = run("p0 ; p1", ParameterContext::Continuous, &sides);
+        let mut expected = 0usize;
+        let mut open = 0usize;
+        for &left in &sides {
+            if left {
+                open += 1;
+            } else {
+                expected += open;
+                open = 0;
+            }
+        }
+        prop_assert_eq!(fired.len(), expected);
+    }
+
+    #[test]
+    fn cumulative_seq_param_conservation(sides in stream()) {
+        // Every p0 occurrence appears in exactly one cumulative detection
+        // (or is still buffered); p1 terminators not preceded by any open
+        // p0 are dropped.
+        let fired = run("p0 ; p1", ParameterContext::Cumulative, &sides);
+        let mut d = Detector::new();
+        d.define_primitive("p0").unwrap();
+        d.define_primitive("p1").unwrap();
+        d.define_composite("c", &snoop::parse("p0 ; p1").unwrap(), ParameterContext::Cumulative).unwrap();
+        d.add_rule(RuleSpec::new("r", "c")).unwrap();
+        let mut residual = 0usize;
+        for (i, &left) in sides.iter().enumerate() {
+            let ev = if left { "p0" } else { "p1" };
+            d.signal(ev, vec![], (i as i64 + 1) * 10).unwrap();
+            residual = d.total_state_size();
+        }
+        let consumed_lefts: usize = fired
+            .iter()
+            .map(|occ| occ.params.iter().filter(|p| p.event == "p0").count())
+            .sum();
+        let total_lefts = sides.iter().filter(|&&b| b).count();
+        prop_assert_eq!(consumed_lefts + residual, total_lefts);
+    }
+
+    #[test]
+    fn state_never_exceeds_signals(sides in stream()) {
+        for expr in ["p0 ^ p1", "p0 ; p1", "NOT(p0, p1, p0)", "A*(p0, p1, p0)"] {
+            for ctx in ParameterContext::ALL {
+                let mut d = Detector::new();
+                d.define_primitive("p0").unwrap();
+                d.define_primitive("p1").unwrap();
+                d.define_composite("c", &snoop::parse(expr).unwrap(), ctx).unwrap();
+                for (i, &left) in sides.iter().enumerate() {
+                    let ev = if left { "p0" } else { "p1" };
+                    d.signal(ev, vec![], (i as i64 + 1) * 10).unwrap();
+                }
+                prop_assert!(
+                    d.total_state_size() <= sides.len() * 2,
+                    "{expr} {ctx}: state {} for {} signals",
+                    d.total_state_size(),
+                    sides.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recent_state_is_bounded_by_constant(sides in stream()) {
+        // RECENT never buffers more than one occurrence per operand.
+        let mut d = Detector::new();
+        d.define_primitive("p0").unwrap();
+        d.define_primitive("p1").unwrap();
+        d.define_composite(
+            "c",
+            &snoop::parse("p0 ^ p1").unwrap(),
+            ParameterContext::Recent,
+        ).unwrap();
+        for (i, &left) in sides.iter().enumerate() {
+            let ev = if left { "p0" } else { "p1" };
+            d.signal(ev, vec![], (i as i64 + 1) * 10).unwrap();
+            prop_assert!(d.total_state_size() <= 2);
+        }
+    }
+
+    #[test]
+    fn detector_never_panics_on_random_expressions(
+        sides in stream(),
+        pick in 0usize..6,
+        ctx_pick in 0usize..4,
+    ) {
+        let exprs = [
+            "p0 ^ (p1 ; p0)",
+            "NOT(p0, p1, p0) | p1",
+            "A(p0, p1, p0) ; p1",
+            "A*(p1, p0, p1)",
+            "(p0 | p1) ; (p0 ^ p1)",
+            "NOT(p0 ^ p1, p0, p1 | p0)",
+        ];
+        let ctx = ParameterContext::ALL[ctx_pick];
+        let _ = run(exprs[pick], ctx, &sides);
+    }
+
+    #[test]
+    fn plus_fires_exactly_once_per_occurrence_at_exact_offset(
+        times in prop::collection::btree_set(1i64..1_000, 0..20),
+        delta in 1i64..100,
+    ) {
+        let expr = format!("p0 PLUS [{delta} usec]");
+        let times: Vec<i64> = times.into_iter().collect();
+        let mut d = Detector::new();
+        d.define_primitive("p0").unwrap();
+        d.define_composite("c", &snoop::parse(&expr).unwrap(), ParameterContext::Recent).unwrap();
+        d.add_rule(RuleSpec::new("r", "c")).unwrap();
+        // Signals arriving after an earlier occurrence's due time flush its
+        // timer first, so firings may surface during `signal` or at the
+        // final advance — collect both.
+        let mut fired: Vec<i64> = Vec::new();
+        for &t in &times {
+            for f in d.signal("p0", vec![], t).unwrap() {
+                fired.push(f.occurrence.t_end);
+            }
+        }
+        for f in d.advance_to(2_000) {
+            fired.push(f.occurrence.t_end);
+        }
+        let mut expected: Vec<i64> = times.iter().map(|t| t + delta).collect();
+        expected.sort_unstable();
+        fired.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    #[test]
+    fn periodic_fire_count_matches_arithmetic(
+        period in 1i64..50,
+        span in 0i64..500,
+    ) {
+        let mut d = Detector::new();
+        d.define_primitive("p0").unwrap();
+        d.define_primitive("p1").unwrap();
+        let expr = format!("P(p0, [{period} usec], p1)");
+        d.define_composite("c", &snoop::parse(&expr).unwrap(), ParameterContext::Recent).unwrap();
+        d.add_rule(RuleSpec::new("r", "c")).unwrap();
+        d.signal("p0", vec![], 0).unwrap();
+        let fired = d.advance_to(span).len();
+        prop_assert_eq!(fired as i64, span / period);
+        // Closing the window stops everything.
+        d.signal("p1", vec![], span + 1).unwrap();
+        prop_assert!(d.advance_to(span + 10_000).is_empty());
+    }
+
+    #[test]
+    fn astar_collects_every_mid_in_window(n_mids in 0usize..30) {
+        let mut d = Detector::new();
+        for p in ["s", "m", "e"] {
+            d.define_primitive(p).unwrap();
+        }
+        d.define_composite(
+            "c",
+            &snoop::parse("A*(s, m, e)").unwrap(),
+            ParameterContext::Recent,
+        ).unwrap();
+        d.add_rule(RuleSpec::new("r", "c")).unwrap();
+        d.signal("s", vec![], 1).unwrap();
+        for i in 0..n_mids {
+            d.signal("m", vec![], 10 + i as i64).unwrap();
+        }
+        let f = d.signal("e", vec![], 1_000).unwrap();
+        prop_assert_eq!(f.len(), 1);
+        // start + every mid + end.
+        prop_assert_eq!(f[0].occurrence.params.len(), n_mids + 2);
+    }
+
+    #[test]
+    fn firings_sorted_by_priority(sides in stream(), priorities in prop::collection::vec(-10i32..10, 1..5)) {
+        let mut d = Detector::new();
+        d.define_primitive("p0").unwrap();
+        for (i, p) in priorities.iter().enumerate() {
+            d.add_rule(RuleSpec::new(format!("r{i}"), "p0").with_priority(*p)).unwrap();
+        }
+        for (i, _) in sides.iter().enumerate() {
+            let f = d.signal("p0", vec![], i as i64 + 1).unwrap();
+            for w in f.windows(2) {
+                prop_assert!(w[0].priority >= w[1].priority);
+            }
+        }
+    }
+}

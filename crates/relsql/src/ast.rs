@@ -1,0 +1,377 @@
+//! Abstract syntax tree for the Transact-SQL subset.
+
+use crate::value::{DataType, Value};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    DropTable {
+        name: String,
+    },
+    /// `ALTER TABLE t ADD col type [null]` — used by the codegen of Figure 11
+    /// to add the `vNo` column to shadow tables.
+    AlterTableAdd {
+        table: String,
+        column: ColumnDef,
+    },
+    Insert {
+        table: String,
+        /// Explicit column list, or `None` for positional insert.
+        columns: Option<Vec<String>>,
+        source: InsertSource,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, Expr)>,
+        selection: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        selection: Option<Expr>,
+    },
+    Select(SelectStmt),
+    /// Native trigger: Sybase semantics — one per (table, operation), and a
+    /// new definition silently overwrites the old one (§2.2 of the paper).
+    CreateTrigger {
+        name: String,
+        table: String,
+        operation: TriggerOp,
+        body: Vec<Stmt>,
+        /// Original source text of the body (persisted in the catalog).
+        body_src: String,
+    },
+    DropTrigger {
+        name: String,
+    },
+    CreateProcedure {
+        name: String,
+        body: Vec<Stmt>,
+        body_src: String,
+    },
+    DropProcedure {
+        name: String,
+    },
+    Execute {
+        name: String,
+    },
+    Print(Expr),
+    BeginTran,
+    Commit,
+    Rollback,
+    /// `IF expr statement [ELSE statement]` — minimal T-SQL control flow.
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `WHILE expr statement`.
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    /// `BEGIN stmts END` block for IF/WHILE bodies.
+    Block(Vec<Stmt>),
+    /// `TRUNCATE TABLE t` — delete all rows quickly (no triggers fire, as in
+    /// Sybase).
+    Truncate {
+        table: String,
+    },
+}
+
+/// Source of rows for an INSERT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Select(Box<SelectStmt>),
+}
+
+/// Which DML operation a trigger watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriggerOp {
+    Insert,
+    Update,
+    Delete,
+}
+
+impl TriggerOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TriggerOp::Insert => "insert",
+            TriggerOp::Update => "update",
+            TriggerOp::Delete => "delete",
+        }
+    }
+
+    /// Parse from a keyword (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.eq_ignore_ascii_case("insert") {
+            Some(TriggerOp::Insert)
+        } else if s.eq_ignore_ascii_case("update") {
+            Some(TriggerOp::Update)
+        } else if s.eq_ignore_ascii_case("delete") {
+            Some(TriggerOp::Delete)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for TriggerOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A column definition in CREATE TABLE / ALTER TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+/// A SELECT statement (optionally `SELECT ... INTO newtable`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    /// `SELECT ... INTO t` creates `t` from the result (Figure 11 uses
+    /// `select * into shadow from stock where 1=2`).
+    pub into: Option<String>,
+    pub from: Vec<TableRef>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+}
+
+impl SelectStmt {
+    /// An empty SELECT scaffold.
+    pub fn new(projection: Vec<SelectItem>) -> Self {
+        SelectStmt {
+            distinct: false,
+            projection,
+            into: None,
+            from: Vec::new(),
+            selection: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+        }
+    }
+}
+
+/// One item in a projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// Expression with optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference in FROM (comma joins only, per the paper's generated
+/// SQL in Figure 14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Full (possibly dotted) table name.
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// Column reference, optionally qualified by a (possibly dotted) table
+    /// name or alias.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Function call: scalar (`getdate()`, `syb_sendmsg(...)`) or aggregate
+    /// (`count`, `sum`, `avg`, `min`, `max`).
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        /// `count(*)` marker.
+        star: bool,
+    },
+    IsNull {
+        operand: Box<Expr>,
+        negated: bool,
+    },
+    InList {
+        operand: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Between {
+        operand: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        operand: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    /// `EXISTS (select ...)` — true when the subquery returns any row.
+    Exists(Box<SelectStmt>),
+    /// `(select ...)` in scalar position — must return at most one row of
+    /// one column; empty result evaluates to NULL.
+    Subquery(Box<SelectStmt>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl Expr {
+    /// Build a column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Build a qualified column reference.
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Build a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// True if this expression (transitively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, args, .. } => {
+                is_aggregate_name(name) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Unary { operand, .. } => operand.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::IsNull { operand, .. } => operand.contains_aggregate(),
+            Expr::InList { operand, list, .. } => {
+                operand.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between {
+                operand, low, high, ..
+            } => {
+                operand.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            Expr::Like {
+                operand, pattern, ..
+            } => operand.contains_aggregate() || pattern.contains_aggregate(),
+            _ => false,
+        }
+    }
+}
+
+/// True for the aggregate function names the engine supports.
+pub fn is_aggregate_name(name: &str) -> bool {
+    ["count", "sum", "avg", "min", "max"]
+        .iter()
+        .any(|a| name.eq_ignore_ascii_case(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_op_roundtrip() {
+        for op in [TriggerOp::Insert, TriggerOp::Update, TriggerOp::Delete] {
+            assert_eq!(TriggerOp::parse(op.as_str()), Some(op));
+            assert_eq!(TriggerOp::parse(&op.as_str().to_uppercase()), Some(op));
+        }
+        assert_eq!(TriggerOp::parse("select"), None);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "COUNT".into(),
+            args: vec![],
+            star: true,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(agg),
+            right: Box::new(Expr::lit(3i64)),
+        };
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("a").contains_aggregate());
+        let scalar = Expr::Function {
+            name: "getdate".into(),
+            args: vec![],
+            star: false,
+        };
+        assert!(!scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn expr_builders() {
+        assert_eq!(
+            Expr::qcol("t", "a"),
+            Expr::Column {
+                qualifier: Some("t".into()),
+                name: "a".into()
+            }
+        );
+        assert_eq!(Expr::lit(5i64), Expr::Literal(Value::Int(5)));
+    }
+}

@@ -1,0 +1,413 @@
+//! The system catalog: tables, native triggers, and stored procedures.
+//!
+//! Names are case-insensitive; the catalog is keyed by the lowercased full
+//! (possibly dotted) name while preserving the creation-time spelling for
+//! display. Trigger semantics follow Sybase (§2.2 of the paper): at most one
+//! trigger per (table, operation), and defining a new one **silently
+//! overwrites** the previous one — the exact restriction the ECA Agent is
+//! designed to lift.
+
+use std::collections::HashMap;
+
+use crate::ast::{Stmt, TriggerOp};
+use crate::error::{Error, ObjectKind, Result};
+use crate::table::Table;
+
+/// Canonical catalog key for a name.
+pub fn name_key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+/// A native trigger definition.
+#[derive(Debug, Clone)]
+pub struct TriggerDef {
+    pub name: String,
+    /// Canonical key of the table it watches.
+    pub table_key: String,
+    pub operation: TriggerOp,
+    pub body: Vec<Stmt>,
+    pub body_src: String,
+}
+
+/// A stored procedure definition.
+#[derive(Debug, Clone)]
+pub struct ProcedureDef {
+    pub name: String,
+    pub body: Vec<Stmt>,
+    pub body_src: String,
+}
+
+/// One logical database: the unit the engine executes against.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    triggers: HashMap<String, TriggerDef>,
+    /// (table_key, op) -> trigger name key; enforces the one-per-slot rule.
+    trigger_slots: HashMap<(String, TriggerOp), String>,
+    procedures: HashMap<String, ProcedureDef>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------- tables
+
+    pub fn create_table(&mut self, table: Table) -> Result<()> {
+        let key = name_key(&table.name);
+        if self.tables.contains_key(&key) {
+            return Err(Error::AlreadyExists {
+                kind: ObjectKind::Table,
+                name: table.name,
+            });
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        let key = self
+            .resolve_table_key(name, None)
+            .ok_or_else(|| Error::NotFound {
+                kind: ObjectKind::Table,
+                name: name.to_string(),
+            })?;
+        // Dropping a table drops its triggers, as in Sybase.
+        let dropped: Vec<String> = self
+            .triggers
+            .values()
+            .filter(|t| t.table_key == key)
+            .map(|t| name_key(&t.name))
+            .collect();
+        for tkey in dropped {
+            if let Some(def) = self.triggers.remove(&tkey) {
+                self.trigger_slots.remove(&(def.table_key, def.operation));
+            }
+        }
+        Ok(self.tables.remove(&key).expect("key was resolved"))
+    }
+
+    pub fn table(&self, key: &str) -> Option<&Table> {
+        self.tables.get(key)
+    }
+
+    pub fn table_mut(&mut self, key: &str) -> Option<&mut Table> {
+        self.tables.get_mut(key)
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name_key(name))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.values().map(|t| t.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Resolve a table reference to its catalog key.
+    ///
+    /// Resolution order: exact match; `db.user.name` expansion (when a
+    /// session prefix is supplied); unique dotted-suffix match. The last rule
+    /// lets the paper's examples say `stock` while the catalog holds
+    /// `sentineldb.sharma.stock`.
+    pub fn resolve_table_key(&self, name: &str, prefix: Option<(&str, &str)>) -> Option<String> {
+        let key = name_key(name);
+        if self.tables.contains_key(&key) {
+            return Some(key);
+        }
+        if let Some((db, user)) = prefix {
+            let expanded = name_key(&format!("{db}.{user}.{name}"));
+            if self.tables.contains_key(&expanded) {
+                return Some(expanded);
+            }
+        }
+        let suffix = format!(".{key}");
+        let mut matches = self.tables.keys().filter(|k| k.ends_with(&suffix));
+        match (matches.next(), matches.next()) {
+            (Some(k), None) => Some(k.clone()),
+            _ => None,
+        }
+    }
+
+    // ----------------------------------------------------------- triggers
+
+    /// Install a trigger with Sybase overwrite semantics: if a trigger
+    /// already exists for the same (table, operation) slot it is silently
+    /// replaced — no error, no warning (paper §2.2).
+    pub fn create_trigger(&mut self, def: TriggerDef) -> Result<()> {
+        let name_k = name_key(&def.name);
+        // A different trigger (on another slot) may not reuse the name.
+        if let Some(existing) = self.triggers.get(&name_k) {
+            let same_slot =
+                existing.table_key == def.table_key && existing.operation == def.operation;
+            if !same_slot {
+                return Err(Error::AlreadyExists {
+                    kind: ObjectKind::Trigger,
+                    name: def.name,
+                });
+            }
+        }
+        let slot = (def.table_key.clone(), def.operation);
+        if let Some(old_name) = self.trigger_slots.insert(slot, name_k.clone()) {
+            if old_name != name_k {
+                self.triggers.remove(&old_name);
+            }
+        }
+        self.triggers.insert(name_k, def);
+        Ok(())
+    }
+
+    pub fn drop_trigger(&mut self, name: &str) -> Result<TriggerDef> {
+        let key = name_key(name);
+        let def = self.triggers.remove(&key).ok_or_else(|| Error::NotFound {
+            kind: ObjectKind::Trigger,
+            name: name.to_string(),
+        })?;
+        self.trigger_slots
+            .remove(&(def.table_key.clone(), def.operation));
+        Ok(def)
+    }
+
+    pub fn trigger(&self, name: &str) -> Option<&TriggerDef> {
+        self.triggers.get(&name_key(name))
+    }
+
+    pub fn trigger_for(&self, table_key: &str, op: TriggerOp) -> Option<&TriggerDef> {
+        self.trigger_slots
+            .get(&(table_key.to_string(), op))
+            .and_then(|n| self.triggers.get(n))
+    }
+
+    pub fn trigger_count(&self) -> usize {
+        self.triggers.len()
+    }
+
+    // --------------------------------------------------------- procedures
+
+    pub fn create_procedure(&mut self, def: ProcedureDef) -> Result<()> {
+        let key = name_key(&def.name);
+        if self.procedures.contains_key(&key) {
+            return Err(Error::AlreadyExists {
+                kind: ObjectKind::Procedure,
+                name: def.name,
+            });
+        }
+        self.procedures.insert(key, def);
+        Ok(())
+    }
+
+    pub fn drop_procedure(&mut self, name: &str) -> Result<ProcedureDef> {
+        self.procedures
+            .remove(&name_key(name))
+            .ok_or_else(|| Error::NotFound {
+                kind: ObjectKind::Procedure,
+                name: name.to_string(),
+            })
+    }
+
+    /// Look up a procedure: exact name, then `db.user.name` expansion, then
+    /// unique suffix match.
+    pub fn procedure(&self, name: &str, prefix: Option<(&str, &str)>) -> Option<&ProcedureDef> {
+        let key = name_key(name);
+        if let Some(p) = self.procedures.get(&key) {
+            return Some(p);
+        }
+        if let Some((db, user)) = prefix {
+            if let Some(p) = self.procedures.get(&name_key(&format!("{db}.{user}.{name}"))) {
+                return Some(p);
+            }
+        }
+        let suffix = format!(".{key}");
+        let mut matches = self.procedures.values().filter(|p| {
+            name_key(&p.name).ends_with(&suffix)
+        });
+        match (matches.next(), matches.next()) {
+            (Some(p), None) => Some(p),
+            _ => None,
+        }
+    }
+
+    pub fn procedure_count(&self) -> usize {
+        self.procedures.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Schema;
+
+    fn t(name: &str) -> Table {
+        Table::new(
+            name,
+            Schema::new(vec![crate::table::Column {
+                name: "a".into(),
+                data_type: crate::value::DataType::Int,
+                nullable: true,
+            }]),
+        )
+    }
+
+    fn trig(name: &str, table_key: &str, op: TriggerOp) -> TriggerDef {
+        TriggerDef {
+            name: name.into(),
+            table_key: table_key.into(),
+            operation: op,
+            body: vec![],
+            body_src: String::new(),
+        }
+    }
+
+    #[test]
+    fn table_lifecycle() {
+        let mut db = Database::new();
+        db.create_table(t("Stock")).unwrap();
+        assert!(db.has_table("stock"));
+        assert!(db.has_table("STOCK"));
+        assert!(db.create_table(t("STOCK")).is_err());
+        db.drop_table("Stock").unwrap();
+        assert!(!db.has_table("stock"));
+        assert!(db.drop_table("stock").is_err());
+    }
+
+    #[test]
+    fn resolve_exact_prefix_suffix() {
+        let mut db = Database::new();
+        db.create_table(t("sentineldb.sharma.stock")).unwrap();
+        assert_eq!(
+            db.resolve_table_key("sentineldb.sharma.stock", None).as_deref(),
+            Some("sentineldb.sharma.stock")
+        );
+        assert_eq!(
+            db.resolve_table_key("stock", Some(("sentineldb", "sharma")))
+                .as_deref(),
+            Some("sentineldb.sharma.stock")
+        );
+        // Unique suffix works even without a prefix.
+        assert_eq!(
+            db.resolve_table_key("stock", None).as_deref(),
+            Some("sentineldb.sharma.stock")
+        );
+    }
+
+    #[test]
+    fn ambiguous_suffix_fails() {
+        let mut db = Database::new();
+        db.create_table(t("db1.u.stock")).unwrap();
+        db.create_table(t("db2.u.stock")).unwrap();
+        assert_eq!(db.resolve_table_key("stock", None), None);
+        // But the session prefix disambiguates.
+        assert_eq!(
+            db.resolve_table_key("stock", Some(("db1", "u"))).as_deref(),
+            Some("db1.u.stock")
+        );
+    }
+
+    #[test]
+    fn sybase_trigger_overwrite_is_silent() {
+        let mut db = Database::new();
+        db.create_table(t("stock")).unwrap();
+        db.create_trigger(trig("t1", "stock", TriggerOp::Insert))
+            .unwrap();
+        assert!(db.trigger("t1").is_some());
+        // Second trigger on the same slot replaces the first without error.
+        db.create_trigger(trig("t2", "stock", TriggerOp::Insert))
+            .unwrap();
+        assert!(db.trigger("t1").is_none(), "old trigger silently dropped");
+        assert_eq!(
+            db.trigger_for("stock", TriggerOp::Insert).unwrap().name,
+            "t2"
+        );
+        assert_eq!(db.trigger_count(), 1);
+    }
+
+    #[test]
+    fn trigger_redefine_same_name_same_slot() {
+        let mut db = Database::new();
+        let mut d = trig("t1", "stock", TriggerOp::Insert);
+        db.create_trigger(d.clone()).unwrap();
+        d.body_src = "print 'v2'".into();
+        db.create_trigger(d).unwrap();
+        assert_eq!(db.trigger("t1").unwrap().body_src, "print 'v2'");
+    }
+
+    #[test]
+    fn trigger_name_collision_on_other_slot_errors() {
+        let mut db = Database::new();
+        db.create_trigger(trig("t1", "stock", TriggerOp::Insert))
+            .unwrap();
+        assert!(db
+            .create_trigger(trig("t1", "stock", TriggerOp::Delete))
+            .is_err());
+    }
+
+    #[test]
+    fn different_ops_coexist() {
+        let mut db = Database::new();
+        db.create_trigger(trig("ti", "stock", TriggerOp::Insert))
+            .unwrap();
+        db.create_trigger(trig("td", "stock", TriggerOp::Delete))
+            .unwrap();
+        db.create_trigger(trig("tu", "stock", TriggerOp::Update))
+            .unwrap();
+        assert_eq!(db.trigger_count(), 3);
+    }
+
+    #[test]
+    fn drop_table_drops_its_triggers() {
+        let mut db = Database::new();
+        db.create_table(t("stock")).unwrap();
+        db.create_trigger(trig("t1", "stock", TriggerOp::Insert))
+            .unwrap();
+        db.drop_table("stock").unwrap();
+        assert_eq!(db.trigger_count(), 0);
+        assert!(db.trigger_for("stock", TriggerOp::Insert).is_none());
+    }
+
+    #[test]
+    fn drop_trigger() {
+        let mut db = Database::new();
+        db.create_trigger(trig("t1", "stock", TriggerOp::Insert))
+            .unwrap();
+        db.drop_trigger("T1").unwrap();
+        assert_eq!(db.trigger_count(), 0);
+        assert!(db.drop_trigger("t1").is_err());
+    }
+
+    #[test]
+    fn procedures() {
+        let mut db = Database::new();
+        db.create_procedure(ProcedureDef {
+            name: "sentineldb.sharma.p1".into(),
+            body: vec![],
+            body_src: String::new(),
+        })
+        .unwrap();
+        assert!(db.procedure("sentineldb.sharma.p1", None).is_some());
+        assert!(db.procedure("p1", Some(("sentineldb", "sharma"))).is_some());
+        assert!(db.procedure("p1", None).is_some(), "unique suffix");
+        assert!(db
+            .create_procedure(ProcedureDef {
+                name: "SENTINELDB.sharma.P1".into(),
+                body: vec![],
+                body_src: String::new(),
+            })
+            .is_err());
+        db.drop_procedure("sentineldb.sharma.p1").unwrap();
+        assert_eq!(db.procedure_count(), 0);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = Database::new();
+        db.create_table(t("zeta")).unwrap();
+        db.create_table(t("alpha")).unwrap();
+        assert_eq!(db.table_names(), vec!["alpha", "zeta"]);
+    }
+}

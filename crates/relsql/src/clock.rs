@@ -1,0 +1,93 @@
+//! Deterministic logical clock backing `getdate()` and event timestamps.
+//!
+//! Every read advances the clock by one microsecond, so timestamps are
+//! strictly monotonic and runs are reproducible — important because the
+//! LED's SEQ operator and the parameter contexts are defined over event
+//! timestamps.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A monotonically increasing logical clock (microsecond granularity).
+#[derive(Debug)]
+pub struct LogicalClock {
+    now: AtomicI64,
+}
+
+impl LogicalClock {
+    /// Start at `epoch` microseconds.
+    pub fn new(epoch: i64) -> Self {
+        LogicalClock {
+            now: AtomicI64::new(epoch),
+        }
+    }
+
+    /// Read the clock and advance it by one tick (strictly monotonic reads).
+    pub fn now(&self) -> i64 {
+        self.now.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Read without advancing.
+    pub fn peek(&self) -> i64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    /// Jump the clock forward by `micros` (no-op for non-positive values).
+    pub fn advance(&self, micros: i64) {
+        if micros > 0 {
+            self.now.fetch_add(micros, Ordering::SeqCst);
+        }
+    }
+
+    /// Set the clock to an absolute time. Only moves forward; attempts to
+    /// move backwards are ignored to preserve monotonicity.
+    pub fn set(&self, micros: i64) {
+        self.now.fetch_max(micros, Ordering::SeqCst);
+    }
+}
+
+impl Default for LogicalClock {
+    fn default() -> Self {
+        // An arbitrary fixed epoch: 1999-01-01 00:00:00 in seconds * 1e6,
+        // a nod to the paper's publication year.
+        LogicalClock::new(915_148_800_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_strictly_monotonic() {
+        let c = LogicalClock::new(0);
+        let a = c.now();
+        let b = c.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let c = LogicalClock::new(10);
+        assert_eq!(c.peek(), 10);
+        assert_eq!(c.peek(), 10);
+    }
+
+    #[test]
+    fn advance_and_set() {
+        let c = LogicalClock::new(0);
+        c.advance(100);
+        assert_eq!(c.peek(), 100);
+        c.advance(-5); // ignored
+        assert_eq!(c.peek(), 100);
+        c.set(500);
+        assert_eq!(c.peek(), 500);
+        c.set(50); // backwards ignored
+        assert_eq!(c.peek(), 500);
+    }
+
+    #[test]
+    fn default_epoch_is_1999() {
+        let c = LogicalClock::default();
+        assert_eq!(c.peek(), 915_148_800_000_000);
+    }
+}

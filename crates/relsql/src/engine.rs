@@ -1,0 +1,1258 @@
+//! The execution engine: statement dispatch, DML with native trigger firing,
+//! stored procedures, transactions and control flow.
+//!
+//! Native trigger behaviour intentionally replicates Sybase's restrictions
+//! (paper §2.2): statement-level triggers, one per (table, operation) with
+//! silent overwrite, `inserted`/`deleted` pseudo-tables, and a nesting
+//! limit. The ECA Agent builds full active-database semantics on top of
+//! exactly this machinery.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use crate::ast::{InsertSource, Stmt, TriggerOp};
+use crate::catalog::{Database, ProcedureDef, TriggerDef};
+use crate::clock::LogicalClock;
+use crate::error::{Error, ObjectKind, Result};
+use crate::eval::{eval_expr, PseudoFrame, QueryCtx, RowEnv, SessionCtx};
+use crate::eval::Frame;
+use crate::lexer::split_batches;
+use crate::notify::NotificationSink;
+use crate::parser::parse_script;
+use crate::select::{run_select, run_select_typed};
+use crate::table::{Row, Schema, Table};
+use crate::value::Value;
+
+/// The result of one SELECT or DML statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    fn affected(n: usize) -> Self {
+        QueryResult {
+            rows_affected: n,
+            ..Default::default()
+        }
+    }
+
+    /// First value of the first row, if any.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// Everything a batch produced, in statement order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchResult {
+    pub results: Vec<QueryResult>,
+    /// PRINT output, including prints from triggers and procedures.
+    pub messages: Vec<String>,
+}
+
+impl BatchResult {
+    /// The last result set that actually has columns (i.e. came from a
+    /// SELECT), which is usually what a client wants to inspect.
+    pub fn last_select(&self) -> Option<&QueryResult> {
+        self.results.iter().rev().find(|r| !r.columns.is_empty())
+    }
+
+    /// Scalar of the last SELECT.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.last_select().and_then(QueryResult::scalar)
+    }
+
+    /// Total rows affected across all DML statements.
+    pub fn total_affected(&self) -> usize {
+        self.results.iter().map(|r| r.rows_affected).sum()
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum trigger/procedure nesting depth (Sybase default: 16).
+    pub max_depth: usize,
+    /// Global switch for native trigger firing.
+    pub fire_triggers: bool,
+    /// Safety valve for `WHILE` loops.
+    pub max_while_iterations: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_depth: 16,
+            fire_triggers: true,
+            max_while_iterations: 100_000,
+        }
+    }
+}
+
+/// The in-memory SQL engine ("the SQL Server" of Figure 1).
+pub struct Engine {
+    db: Database,
+    config: EngineConfig,
+    clock: Arc<LogicalClock>,
+    sink: Option<Arc<dyn NotificationSink>>,
+    datagram_seq: AtomicU64,
+    scope: Vec<PseudoFrame>,
+    tx_snapshot: Option<Database>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine {
+            db: Database::new(),
+            config,
+            clock: Arc::new(LogicalClock::default()),
+            sink: None,
+            datagram_seq: AtomicU64::new(0),
+            scope: Vec::new(),
+            tx_snapshot: None,
+        }
+    }
+
+    /// Register the notification sink that `syb_sendmsg()` posts to.
+    pub fn set_sink(&mut self, sink: Arc<dyn NotificationSink>) {
+        self.sink = Some(sink);
+    }
+
+    pub fn clock(&self) -> Arc<LogicalClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Read-only catalog access for introspection and tests.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Execute a script: batches split on `go` lines, statements within a
+    /// batch run in order. Execution stops at the first error (effects of
+    /// earlier statements persist, as on a real server without an explicit
+    /// transaction).
+    pub fn execute(&mut self, script: &str, session: &SessionCtx) -> Result<BatchResult> {
+        let mut out = BatchResult::default();
+        for batch in split_batches(script) {
+            let stmts = parse_script(batch)?;
+            for stmt in &stmts {
+                self.exec_stmt(stmt, session, &mut out, 0)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn qctx(&self) -> QueryCtx<'_> {
+        QueryCtx {
+            db: &self.db,
+            session: &DEFAULT_SESSION, // overwritten by callers via with_session
+            scope: &self.scope,
+            clock: &self.clock,
+            sink: self.sink.as_deref(),
+            datagram_seq: &self.datagram_seq,
+        }
+    }
+
+    fn ctx_for<'e>(&'e self, session: &'e SessionCtx) -> QueryCtx<'e> {
+        QueryCtx {
+            session,
+            ..self.qctx()
+        }
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        session: &SessionCtx,
+        out: &mut BatchResult,
+        depth: usize,
+    ) -> Result<()> {
+        if depth > self.config.max_depth {
+            return Err(Error::TriggerDepth {
+                limit: self.config.max_depth,
+            });
+        }
+        match stmt {
+            Stmt::CreateTable { name, columns } => {
+                let table = Table::from_defs(name.clone(), columns)?;
+                self.db.create_table(table)?;
+                out.results.push(QueryResult::affected(0));
+                Ok(())
+            }
+            Stmt::DropTable { name } => {
+                self.db.drop_table(name)?;
+                out.results.push(QueryResult::affected(0));
+                Ok(())
+            }
+            Stmt::AlterTableAdd { table, column } => {
+                let key = self.resolve_table_key(table, session)?;
+                self.db
+                    .table_mut(&key)
+                    .expect("resolved")
+                    .add_column(column)?;
+                out.results.push(QueryResult::affected(0));
+                Ok(())
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                source,
+            } => self.exec_insert(table, columns.as_deref(), source, session, out, depth),
+            Stmt::Update {
+                table,
+                assignments,
+                selection,
+            } => self.exec_update(table, assignments, selection.as_ref(), session, out, depth),
+            Stmt::Delete { table, selection } => {
+                self.exec_delete(table, selection.as_ref(), session, out, depth)
+            }
+            Stmt::Truncate { table } => {
+                let key = self.resolve_table_key(table, session)?;
+                let t = self.db.table_mut(&key).expect("resolved");
+                let n = t.rows.len();
+                t.rows.clear();
+                out.results.push(QueryResult::affected(n));
+                Ok(())
+            }
+            Stmt::Select(sel) => {
+                if let Some(into) = &sel.into {
+                    let (names, rows, cols) = {
+                        let ctx = self.ctx_for(session);
+                        run_select_typed(&ctx, sel, None)?
+                    };
+                    if self.db.has_table(into) {
+                        return Err(Error::AlreadyExists {
+                            kind: ObjectKind::Table,
+                            name: into.clone(),
+                        });
+                    }
+                    let mut unique = cols;
+                    // Disambiguate duplicate output names (e.g. vNo from two
+                    // joined tables) by suffixing.
+                    let mut seen: Vec<String> = Vec::new();
+                    for c in &mut unique {
+                        let mut candidate = c.name.clone();
+                        let mut n = 1;
+                        while seen.iter().any(|s| s.eq_ignore_ascii_case(&candidate)) {
+                            n += 1;
+                            candidate = format!("{}{n}", c.name);
+                        }
+                        seen.push(candidate.clone());
+                        c.name = candidate;
+                    }
+                    let mut table = Table::new(into.clone(), Schema::new(unique));
+                    let n = rows.len();
+                    for row in rows {
+                        table.insert_row(row)?;
+                    }
+                    self.db.create_table(table)?;
+                    let _ = names;
+                    out.results.push(QueryResult::affected(n));
+                } else {
+                    let ctx = self.ctx_for(session);
+                    let (columns, rows) = run_select(&ctx, sel, None)?;
+                    let affected = rows.len();
+                    out.results.push(QueryResult {
+                        columns,
+                        rows,
+                        rows_affected: affected,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::CreateTrigger {
+                name,
+                table,
+                operation,
+                body,
+                body_src,
+            } => {
+                let table_key = self.resolve_table_key(table, session)?;
+                self.db.create_trigger(TriggerDef {
+                    name: name.clone(),
+                    table_key,
+                    operation: *operation,
+                    body: body.clone(),
+                    body_src: body_src.clone(),
+                })?;
+                out.results.push(QueryResult::affected(0));
+                Ok(())
+            }
+            Stmt::DropTrigger { name } => {
+                self.db.drop_trigger(name)?;
+                out.results.push(QueryResult::affected(0));
+                Ok(())
+            }
+            Stmt::CreateProcedure {
+                name,
+                body,
+                body_src,
+            } => {
+                self.db.create_procedure(ProcedureDef {
+                    name: name.clone(),
+                    body: body.clone(),
+                    body_src: body_src.clone(),
+                })?;
+                out.results.push(QueryResult::affected(0));
+                Ok(())
+            }
+            Stmt::DropProcedure { name } => {
+                self.db.drop_procedure(name)?;
+                out.results.push(QueryResult::affected(0));
+                Ok(())
+            }
+            Stmt::Execute { name } => {
+                let proc = self
+                    .db
+                    .procedure(name, Some(session.prefix()))
+                    .ok_or_else(|| Error::NotFound {
+                        kind: ObjectKind::Procedure,
+                        name: name.clone(),
+                    })?
+                    .clone();
+                for s in &proc.body {
+                    self.exec_stmt(s, session, out, depth + 1)?;
+                }
+                Ok(())
+            }
+            Stmt::Print(expr) => {
+                let v = {
+                    let ctx = self.ctx_for(session);
+                    eval_expr(&ctx, &RowEnv::empty(), expr)?
+                };
+                out.messages.push(v.to_string());
+                Ok(())
+            }
+            Stmt::BeginTran => {
+                if self.tx_snapshot.is_some() {
+                    return Err(Error::Transaction {
+                        msg: "nested transactions are not supported".into(),
+                    });
+                }
+                self.tx_snapshot = Some(self.db.clone());
+                Ok(())
+            }
+            Stmt::Commit => {
+                if self.tx_snapshot.take().is_none() {
+                    return Err(Error::Transaction {
+                        msg: "COMMIT without BEGIN TRAN".into(),
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Rollback => match self.tx_snapshot.take() {
+                Some(snapshot) => {
+                    self.db = snapshot;
+                    Ok(())
+                }
+                None => Err(Error::Transaction {
+                    msg: "ROLLBACK without BEGIN TRAN".into(),
+                }),
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let truthy = {
+                    let ctx = self.ctx_for(session);
+                    eval_expr(&ctx, &RowEnv::empty(), cond)?.is_truthy()
+                };
+                if truthy {
+                    self.exec_stmt(then_branch, session, out, depth)?;
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, session, out, depth)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let mut iterations = 0usize;
+                loop {
+                    let truthy = {
+                        let ctx = self.ctx_for(session);
+                        eval_expr(&ctx, &RowEnv::empty(), cond)?.is_truthy()
+                    };
+                    if !truthy {
+                        break;
+                    }
+                    iterations += 1;
+                    if iterations > self.config.max_while_iterations {
+                        return Err(Error::exec(format!(
+                            "WHILE exceeded {} iterations",
+                            self.config.max_while_iterations
+                        )));
+                    }
+                    self.exec_stmt(body, session, out, depth)?;
+                }
+                Ok(())
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(s, session, out, depth)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn resolve_table_key(&self, name: &str, session: &SessionCtx) -> Result<String> {
+        // Pseudo-tables can never be DML'd into by name in this engine.
+        self.db
+            .resolve_table_key(name, Some(session.prefix()))
+            .ok_or_else(|| Error::NotFound {
+                kind: ObjectKind::Table,
+                name: name.to_string(),
+            })
+    }
+
+    fn exec_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+        session: &SessionCtx,
+        out: &mut BatchResult,
+        depth: usize,
+    ) -> Result<()> {
+        // `INSERT inserted/deleted` is nonsense we reject early.
+        if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
+            return Err(Error::exec("cannot modify trigger pseudo-tables"));
+        }
+        let key = self.resolve_table_key(table, session)?;
+        // Immutable phase: compute the source rows.
+        let source_rows: Vec<Row> = {
+            let ctx = self.ctx_for(session);
+            match source {
+                InsertSource::Values(rows) => {
+                    let env = RowEnv::empty();
+                    let mut acc = Vec::with_capacity(rows.len());
+                    for exprs in rows {
+                        let mut row = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            row.push(eval_expr(&ctx, &env, e)?);
+                        }
+                        acc.push(row);
+                    }
+                    acc
+                }
+                InsertSource::Select(sel) => run_select(&ctx, sel, None)?.1,
+            }
+        };
+        // Shape the rows to the full schema.
+        let schema = self.db.table(&key).expect("resolved").schema.clone();
+        let mut shaped = Vec::with_capacity(source_rows.len());
+        for row in source_rows {
+            let full = match columns {
+                None => row,
+                Some(cols) => {
+                    if cols.len() != row.len() {
+                        return Err(Error::Shape {
+                            msg: format!(
+                                "INSERT lists {} columns but supplies {} values",
+                                cols.len(),
+                                row.len()
+                            ),
+                        });
+                    }
+                    let mut full = vec![Value::Null; schema.len()];
+                    for (c, v) in cols.iter().zip(row) {
+                        let idx = schema.index_of(c).ok_or_else(|| Error::NotFound {
+                            kind: ObjectKind::Column,
+                            name: c.clone(),
+                        })?;
+                        full[idx] = v;
+                    }
+                    full
+                }
+            };
+            shaped.push(full);
+        }
+        // Validate all rows before mutating anything (statement atomicity).
+        let table_ref = self.db.table(&key).expect("resolved");
+        let mut checked = Vec::with_capacity(shaped.len());
+        for row in shaped {
+            checked.push(table_ref.check_row(row)?);
+        }
+        let n = checked.len();
+        {
+            let t = self.db.table_mut(&key).expect("resolved");
+            t.rows.extend(checked.iter().cloned());
+        }
+        out.results.push(QueryResult::affected(n));
+        self.fire_trigger(&key, TriggerOp::Insert, checked, Vec::new(), session, out, depth)
+    }
+
+    fn exec_update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, crate::ast::Expr)],
+        selection: Option<&crate::ast::Expr>,
+        session: &SessionCtx,
+        out: &mut BatchResult,
+        depth: usize,
+    ) -> Result<()> {
+        if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
+            return Err(Error::exec("cannot modify trigger pseudo-tables"));
+        }
+        let key = self.resolve_table_key(table, session)?;
+        // Immutable phase: find matching rows and compute replacements.
+        let (updates, old_rows, new_rows) = {
+            let ctx = self.ctx_for(session);
+            let t = self.db.table(&key).expect("resolved");
+            let mut updates: Vec<(usize, Row)> = Vec::new();
+            let mut old_rows = Vec::new();
+            let mut new_rows = Vec::new();
+            for (i, row) in t.rows.iter().enumerate() {
+                let env = RowEnv {
+                    frames: vec![Frame {
+                        alias: None,
+                        table_name: t.name.clone(),
+                        schema: &t.schema,
+                        row,
+                    }],
+                    parent: None,
+                };
+                let matches = match selection {
+                    Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
+                    None => true,
+                };
+                if !matches {
+                    continue;
+                }
+                let mut new_row = row.clone();
+                for (col, e) in assignments {
+                    let idx = t.schema.index_of(col).ok_or_else(|| Error::NotFound {
+                        kind: ObjectKind::Column,
+                        name: col.clone(),
+                    })?;
+                    new_row[idx] = eval_expr(&ctx, &env, e)?;
+                }
+                let new_row = t.check_row(new_row)?;
+                old_rows.push(row.clone());
+                new_rows.push(new_row.clone());
+                updates.push((i, new_row));
+            }
+            (updates, old_rows, new_rows)
+        };
+        let n = updates.len();
+        {
+            let t = self.db.table_mut(&key).expect("resolved");
+            for (i, new_row) in updates {
+                t.rows[i] = new_row;
+            }
+        }
+        out.results.push(QueryResult::affected(n));
+        self.fire_trigger(&key, TriggerOp::Update, new_rows, old_rows, session, out, depth)
+    }
+
+    fn exec_delete(
+        &mut self,
+        table: &str,
+        selection: Option<&crate::ast::Expr>,
+        session: &SessionCtx,
+        out: &mut BatchResult,
+        depth: usize,
+    ) -> Result<()> {
+        if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
+            return Err(Error::exec("cannot modify trigger pseudo-tables"));
+        }
+        let key = self.resolve_table_key(table, session)?;
+        let doomed: Vec<usize> = {
+            let ctx = self.ctx_for(session);
+            let t = self.db.table(&key).expect("resolved");
+            let mut doomed = Vec::new();
+            for (i, row) in t.rows.iter().enumerate() {
+                let env = RowEnv {
+                    frames: vec![Frame {
+                        alias: None,
+                        table_name: t.name.clone(),
+                        schema: &t.schema,
+                        row,
+                    }],
+                    parent: None,
+                };
+                let matches = match selection {
+                    Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
+                    None => true,
+                };
+                if matches {
+                    doomed.push(i);
+                }
+            }
+            doomed
+        };
+        let removed: Vec<Row> = {
+            let t = self.db.table_mut(&key).expect("resolved");
+            let mut removed = Vec::with_capacity(doomed.len());
+            for &i in doomed.iter().rev() {
+                removed.push(t.rows.remove(i));
+            }
+            removed.reverse();
+            removed
+        };
+        let n = removed.len();
+        out.results.push(QueryResult::affected(n));
+        self.fire_trigger(&key, TriggerOp::Delete, Vec::new(), removed, session, out, depth)
+    }
+
+    /// Fire the native trigger for (table, op), if any. Statement-level:
+    /// fires once per statement even when zero rows were affected, matching
+    /// Sybase.
+    #[allow(clippy::too_many_arguments)]
+    fn fire_trigger(
+        &mut self,
+        table_key: &str,
+        op: TriggerOp,
+        inserted: Vec<Row>,
+        deleted: Vec<Row>,
+        session: &SessionCtx,
+        out: &mut BatchResult,
+        depth: usize,
+    ) -> Result<()> {
+        if !self.config.fire_triggers {
+            return Ok(());
+        }
+        let def = match self.db.trigger_for(table_key, op) {
+            Some(d) => d.clone(),
+            None => return Ok(()),
+        };
+        if depth + 1 > self.config.max_depth {
+            return Err(Error::TriggerDepth {
+                limit: self.config.max_depth,
+            });
+        }
+        let schema = self.db.table(table_key).expect("table exists").schema.clone();
+        let mut ins = Table::new("inserted", schema.clone());
+        ins.rows = inserted;
+        let mut del = Table::new("deleted", schema);
+        del.rows = deleted;
+        self.scope.push(PseudoFrame {
+            inserted: ins,
+            deleted: del,
+        });
+        let result = (|| {
+            for s in &def.body {
+                self.exec_stmt(s, session, out, depth + 1)?;
+            }
+            Ok(())
+        })();
+        self.scope.pop();
+        result
+    }
+}
+
+static DEFAULT_SESSION: SessionCtx = SessionCtx {
+    database: String::new(),
+    user: String::new(),
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> (Engine, SessionCtx) {
+        (Engine::new(), SessionCtx::new("sentineldb", "sharma"))
+    }
+
+    fn run(e: &mut Engine, s: &SessionCtx, sql: &str) -> BatchResult {
+        e.execute(sql, s).unwrap_or_else(|err| panic!("{sql}: {err}"))
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table stock (symbol varchar(10), price float)");
+        run(&mut e, &s, "insert stock values ('IBM', 100.0), ('HP', 50.5)");
+        let r = run(&mut e, &s, "select symbol, price from stock order by symbol");
+        let sel = r.last_select().unwrap();
+        assert_eq!(sel.columns, vec!["symbol", "price"]);
+        assert_eq!(sel.rows.len(), 2);
+        assert_eq!(sel.rows[0][0], Value::Str("HP".into()));
+    }
+
+    #[test]
+    fn where_filters() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int, b int)");
+        run(&mut e, &s, "insert t values (1, 10), (2, 20), (3, 30)");
+        let r = run(&mut e, &s, "select a from t where b >= 20");
+        assert_eq!(r.last_select().unwrap().rows.len(), 2);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int, b int)");
+        run(&mut e, &s, "insert t values (1, 10), (2, 20)");
+        let r = run(&mut e, &s, "update t set b = b + 1 where a = 1");
+        assert_eq!(r.total_affected(), 1);
+        let r = run(&mut e, &s, "select b from t where a = 1");
+        assert_eq!(r.scalar(), Some(&Value::Int(11)));
+        let r = run(&mut e, &s, "delete t where a = 2");
+        assert_eq!(r.total_affected(), 1);
+        let r = run(&mut e, &s, "select count(*) from t");
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn select_into_clones_schema_with_zero_rows() {
+        // The Figure 11 idiom.
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table stock (symbol varchar(10), price float)");
+        run(&mut e, &s, "insert stock values ('IBM', 1.0)");
+        run(
+            &mut e,
+            &s,
+            "select * into sentineldb.sharma.stock_inserted from stock where 1=2",
+        );
+        run(
+            &mut e,
+            &s,
+            "alter table sentineldb.sharma.stock_inserted add vNo int null",
+        );
+        let t = e
+            .database()
+            .table("sentineldb.sharma.stock_inserted")
+            .unwrap();
+        assert_eq!(t.schema.len(), 3);
+        assert_eq!(t.rows.len(), 0);
+        assert_eq!(t.schema.columns[2].name, "vNo");
+    }
+
+    #[test]
+    fn insert_select_star_from_join() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table a (x int)");
+        run(&mut e, &s, "create table v (vno int)");
+        run(&mut e, &s, "create table shadow (x int, vno int)");
+        run(&mut e, &s, "insert a values (1), (2)");
+        run(&mut e, &s, "insert v values (7)");
+        run(&mut e, &s, "insert shadow select * from a, v");
+        let r = run(&mut e, &s, "select x, vno from shadow order by x");
+        let sel = r.last_select().unwrap();
+        assert_eq!(sel.rows, vec![
+            vec![Value::Int(1), Value::Int(7)],
+            vec![Value::Int(2), Value::Int(7)],
+        ]);
+    }
+
+    #[test]
+    fn native_trigger_fires_and_sees_inserted() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "create table log (a int)");
+        run(
+            &mut e,
+            &s,
+            "create trigger tr on t for insert as insert log select * from inserted print 'fired'",
+        );
+        let r = run(&mut e, &s, "insert t values (5), (6)");
+        assert_eq!(r.messages, vec!["fired"]);
+        let r = run(&mut e, &s, "select count(*) from log");
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn update_trigger_sees_old_and_new() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "create table log (old_a int, new_a int)");
+        run(&mut e, &s, "insert t values (1)");
+        run(
+            &mut e,
+            &s,
+            "create trigger tr on t for update as insert log select deleted.a, inserted.a from deleted, inserted",
+        );
+        run(&mut e, &s, "update t set a = 9");
+        let r = run(&mut e, &s, "select old_a, new_a from log");
+        assert_eq!(r.last_select().unwrap().rows[0], vec![Value::Int(1), Value::Int(9)]);
+    }
+
+    #[test]
+    fn delete_trigger_sees_deleted() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "create table log (a int)");
+        run(&mut e, &s, "insert t values (1), (2)");
+        run(
+            &mut e,
+            &s,
+            "create trigger tr on t for delete as insert log select a from deleted",
+        );
+        run(&mut e, &s, "delete t where a = 1");
+        let r = run(&mut e, &s, "select a from log");
+        assert_eq!(r.last_select().unwrap().rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn trigger_fires_even_for_zero_rows() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(
+            &mut e,
+            &s,
+            "create trigger tr on t for delete as print 'statement trigger'",
+        );
+        let r = run(&mut e, &s, "delete t where a = 999");
+        assert_eq!(r.messages, vec!["statement trigger"]);
+    }
+
+    #[test]
+    fn trigger_nesting_limit() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        // Self-recursive trigger: insert into t fires the trigger, which
+        // inserts into t again.
+        run(
+            &mut e,
+            &s,
+            "create trigger tr on t for insert as insert t values (1)",
+        );
+        let err = e.execute("insert t values (0)", &s).unwrap_err();
+        assert!(matches!(err, Error::TriggerDepth { .. }));
+    }
+
+    #[test]
+    fn procedure_execute() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(
+            &mut e,
+            &s,
+            "create procedure addone as insert t values (1) print 'done'",
+        );
+        let r = run(&mut e, &s, "execute addone");
+        assert_eq!(r.messages, vec!["done"]);
+        let r = run(&mut e, &s, "exec addone");
+        assert_eq!(r.messages, vec!["done"]);
+        let r = run(&mut e, &s, "select count(*) from t");
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn session_prefix_resolution() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table sentineldb.sharma.stock (a int)");
+        run(&mut e, &s, "insert stock values (1)");
+        let r = run(&mut e, &s, "select a from sentineldb.sharma.stock");
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn getdate_is_monotonic() {
+        let (mut e, s) = engine();
+        let r1 = run(&mut e, &s, "select getdate()");
+        let r2 = run(&mut e, &s, "select getdate()");
+        match (r1.scalar(), r2.scalar()) {
+            (Some(Value::DateTime(a)), Some(Value::DateTime(b))) => assert!(b > a),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sendmsg_posts_to_sink() {
+        use crate::notify::CollectingSink;
+        let (mut e, s) = engine();
+        let sink = CollectingSink::new();
+        e.set_sink(sink.clone());
+        run(
+            &mut e,
+            &s,
+            "select syb_sendmsg('128.227.205.215', 10006, 'hello agent')",
+        );
+        let got = sink.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].port, 10006);
+        assert_eq!(got[0].payload, "hello agent");
+    }
+
+    #[test]
+    fn sendmsg_without_sink_is_noop() {
+        let (mut e, s) = engine();
+        let r = run(&mut e, &s, "select syb_sendmsg('h', 1, 'x')");
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn transactions_rollback() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "insert t values (1)");
+        run(&mut e, &s, "begin tran insert t values (2) rollback");
+        let r = run(&mut e, &s, "select count(*) from t");
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+        run(&mut e, &s, "begin tran insert t values (2) commit");
+        let r = run(&mut e, &s, "select count(*) from t");
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn transaction_errors() {
+        let (mut e, s) = engine();
+        assert!(e.execute("commit", &s).is_err());
+        assert!(e.execute("rollback", &s).is_err());
+        run(&mut e, &s, "begin tran");
+        assert!(e.execute("begin tran", &s).is_err());
+    }
+
+    #[test]
+    fn if_and_while() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(
+            &mut e,
+            &s,
+            "while (select count(*) from t) < 3 insert t values (1)",
+        );
+        let r = run(&mut e, &s, "select count(*) from t");
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+        let r = run(
+            &mut e,
+            &s,
+            "if (select count(*) from t) = 3 print 'three' else print 'not three'",
+        );
+        assert_eq!(r.messages, vec!["three"]);
+    }
+
+    #[test]
+    fn while_iteration_guard() {
+        let (mut e, s) = engine();
+        let cfg = EngineConfig {
+            max_while_iterations: 10,
+            ..EngineConfig::default()
+        };
+        let mut e2 = Engine::with_config(cfg);
+        run(&mut e2, &s, "create table t (a int)");
+        assert!(e2.execute("while 1 = 1 insert t values (1)", &s).is_err());
+        let _ = &mut e;
+    }
+
+    #[test]
+    fn group_by_and_having() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table trades (symbol varchar(8), qty int)");
+        run(
+            &mut e,
+            &s,
+            "insert trades values ('IBM', 10), ('IBM', 20), ('HP', 5)",
+        );
+        let r = run(
+            &mut e,
+            &s,
+            "select symbol, sum(qty) total from trades group by symbol having count(*) > 1",
+        );
+        let sel = r.last_select().unwrap();
+        assert_eq!(sel.rows.len(), 1);
+        assert_eq!(sel.rows[0], vec![Value::Str("IBM".into()), Value::Int(30)]);
+    }
+
+    #[test]
+    fn aggregates_over_empty_table() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        let r = run(&mut e, &s, "select count(*), sum(a), avg(a), min(a), max(a) from t");
+        let row = &r.last_select().unwrap().rows[0];
+        assert_eq!(row[0], Value::Int(0));
+        assert!(row[1].is_null());
+        assert!(row[2].is_null());
+    }
+
+    #[test]
+    fn distinct_and_order_desc() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "insert t values (2), (1), (2), (3)");
+        let r = run(&mut e, &s, "select distinct a from t order by a desc");
+        let rows: Vec<i64> = r
+            .last_select()
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(rows, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn exists_and_scalar_subquery() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "insert t values (1), (2)");
+        let r = run(
+            &mut e,
+            &s,
+            "select a from t where exists (select * from t where a = 2) order by a",
+        );
+        assert_eq!(r.last_select().unwrap().rows.len(), 2);
+        let r = run(&mut e, &s, "select a from t where a = (select max(a) from t)");
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn ambiguous_column_is_an_error() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table a (x int)");
+        run(&mut e, &s, "create table b (x int)");
+        run(&mut e, &s, "insert a values (1)");
+        run(&mut e, &s, "insert b values (2)");
+        let err = e.execute("select x from a, b", &s).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        // Qualification resolves it.
+        let r = run(&mut e, &s, "select a.x from a, b");
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn wildcard_with_group_by_rejected() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "insert t values (1)");
+        assert!(e.execute("select * from t group by a", &s).is_err());
+    }
+
+    #[test]
+    fn order_by_ordinal_out_of_range() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "insert t values (1)");
+        assert!(e.execute("select a from t order by 2", &s).is_err());
+        assert!(e.execute("select a from t order by 0", &s).is_err());
+    }
+
+    #[test]
+    fn unknown_function_reports_name() {
+        let (mut e, s) = engine();
+        let err = e.execute("select frobnicate(1)", &s).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn scalar_subquery_cardinality_errors() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int, b int)");
+        run(&mut e, &s, "insert t values (1, 1), (2, 2)");
+        // Too many rows.
+        let err = e
+            .execute("select 1 where 1 = (select a from t)", &s)
+            .unwrap_err();
+        assert!(err.to_string().contains("rows"), "{err}");
+        // Too many columns.
+        let err = e
+            .execute("select 1 where 1 = (select a, b from t where a = 1)", &s)
+            .unwrap_err();
+        assert!(err.to_string().contains("column"), "{err}");
+        // Empty result is NULL (filters everything out, no error).
+        let r = run(&mut e, &s, "select count(*) from t where a = (select a from t where a = 99)");
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn empty_from_select_evaluates_expressions() {
+        let (mut e, s) = engine();
+        let r = run(&mut e, &s, "select 1 + 2, 'a' + 'b', 10 / 4, 10.0 / 4");
+        let row = &r.last_select().unwrap().rows[0];
+        assert_eq!(row[0], Value::Int(3));
+        assert_eq!(row[1], Value::Str("ab".into()));
+        assert_eq!(row[2], Value::Int(2), "integer division truncates");
+        assert_eq!(row[3], Value::Float(2.5));
+    }
+
+    #[test]
+    fn correlated_subquery_sees_outer_row() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table dept (id int, name varchar(10))");
+        run(&mut e, &s, "create table emp (dept_id int, salary int)");
+        run(&mut e, &s, "insert dept values (1, 'eng'), (2, 'ops')");
+        run(&mut e, &s, "insert emp values (1, 100), (1, 200), (2, 50)");
+        let r = run(
+            &mut e,
+            &s,
+            "select name from dept \
+             where (select sum(salary) from emp where emp.dept_id = dept.id) > 150",
+        );
+        assert_eq!(r.scalar(), Some(&Value::Str("eng".into())));
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table a (x int)");
+        run(&mut e, &s, "create table b (x int)");
+        run(&mut e, &s, "insert a values (1), (2), (3)");
+        run(&mut e, &s, "insert b values (2), (3)");
+        let r = run(
+            &mut e,
+            &s,
+            "select a.x from a where exists (select * from b where b.x = a.x) order by x",
+        );
+        assert_eq!(
+            r.last_select().unwrap().rows,
+            vec![vec![Value::Int(2)], vec![Value::Int(3)]]
+        );
+        // NOT EXISTS via `not`.
+        let r = run(
+            &mut e,
+            &s,
+            "select a.x from a where not exists (select * from b where b.x = a.x)",
+        );
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn inner_frame_shadows_outer_in_subquery() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (x int)");
+        run(&mut e, &s, "insert t values (1), (2)");
+        // Unqualified `x` inside the subquery binds to the inner t, so the
+        // subquery is uncorrelated and returns max over all rows.
+        let r = run(
+            &mut e,
+            &s,
+            "select count(*) from t where x = (select max(x) from t)",
+        );
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn batch_go_separators() {
+        let (mut e, s) = engine();
+        let r = run(
+            &mut e,
+            &s,
+            "create table t (a int)\ngo\ninsert t values (1)\ngo\nselect a from t\n",
+        );
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn error_stops_execution() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        let err = e
+            .execute("insert t values (1) insert nosuch values (2)", &s)
+            .unwrap_err();
+        assert!(matches!(err, Error::NotFound { .. }));
+        // First insert persisted (no implicit transaction).
+        let r = run(&mut e, &s, "select count(*) from t");
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn cannot_modify_pseudo_tables() {
+        let (mut e, s) = engine();
+        assert!(e.execute("insert inserted values (1)", &s).is_err());
+        assert!(e.execute("delete deleted", &s).is_err());
+        assert!(e.execute("update inserted set a = 1", &s).is_err());
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int, b int, c varchar(5))");
+        run(&mut e, &s, "insert t (c, a) values ('x', 1)");
+        let r = run(&mut e, &s, "select a, b, c from t");
+        let row = &r.last_select().unwrap().rows[0];
+        assert_eq!(row[0], Value::Int(1));
+        assert!(row[1].is_null());
+        assert_eq!(row[2], Value::Str("x".into()));
+    }
+
+    #[test]
+    fn insert_atomicity_on_bad_row() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int not null)");
+        let err = e.execute("insert t values (1), (null)", &s).unwrap_err();
+        assert!(matches!(err, Error::Constraint { .. }));
+        let r = run(&mut e, &s, "select count(*) from t");
+        assert_eq!(r.scalar(), Some(&Value::Int(0)), "no partial insert");
+    }
+
+    #[test]
+    fn fire_triggers_can_be_disabled() {
+        let s = SessionCtx::new("db", "u");
+        let cfg = EngineConfig {
+            fire_triggers: false,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::with_config(cfg);
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "create trigger tr on t for insert as print 'x'");
+        let r = run(&mut e, &s, "insert t values (1)");
+        assert!(r.messages.is_empty());
+    }
+
+    #[test]
+    fn print_expression() {
+        let (mut e, s) = engine();
+        let r = run(&mut e, &s, "print 'a' + 'b'");
+        assert_eq!(r.messages, vec!["ab"]);
+    }
+
+    #[test]
+    fn db_and_user_name_builtins() {
+        let (mut e, s) = engine();
+        let r = run(&mut e, &s, "select db_name(), user_name()");
+        let row = &r.last_select().unwrap().rows[0];
+        assert_eq!(row[0], Value::Str("sentineldb".into()));
+        assert_eq!(row[1], Value::Str("sharma".into()));
+    }
+
+    #[test]
+    fn comma_join_with_where() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table a (x int)");
+        run(&mut e, &s, "create table b (x int, y varchar(5))");
+        run(&mut e, &s, "insert a values (1), (2)");
+        run(&mut e, &s, "insert b values (1, 'one'), (2, 'two')");
+        let r = run(
+            &mut e,
+            &s,
+            "select b.y from a, b where a.x = b.x and a.x = 2",
+        );
+        assert_eq!(r.scalar(), Some(&Value::Str("two".into())));
+    }
+
+    #[test]
+    fn select_into_duplicate_column_names_get_suffixed() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table a (v int)");
+        run(&mut e, &s, "create table b (v int)");
+        run(&mut e, &s, "insert a values (1)");
+        run(&mut e, &s, "insert b values (2)");
+        run(&mut e, &s, "select * into c from a, b");
+        let t = e.database().table("c").unwrap();
+        assert_eq!(t.schema.columns[0].name, "v");
+        assert_eq!(t.schema.columns[1].name, "v2");
+    }
+
+    #[test]
+    fn truncate_does_not_fire_triggers() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "insert t values (1)");
+        run(&mut e, &s, "create trigger tr on t for delete as print 'x'");
+        let r = run(&mut e, &s, "truncate table t");
+        assert!(r.messages.is_empty());
+        assert_eq!(r.total_affected(), 1);
+    }
+}

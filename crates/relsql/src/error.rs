@@ -1,0 +1,160 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// All errors the engine can produce, from lexing through execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error with position information.
+    Lex { pos: usize, msg: String },
+    /// Syntax error produced by the parser.
+    Parse { msg: String },
+    /// A referenced object (table, column, procedure, trigger) does not exist.
+    NotFound { kind: ObjectKind, name: String },
+    /// An object with this name already exists.
+    AlreadyExists { kind: ObjectKind, name: String },
+    /// Type mismatch or unsupported coercion during evaluation.
+    Type { msg: String },
+    /// Arity / column-count mismatches and similar shape errors.
+    Shape { msg: String },
+    /// Constraint violation (e.g. NOT NULL).
+    Constraint { msg: String },
+    /// Trigger recursion exceeded the engine's nesting limit.
+    TriggerDepth { limit: usize },
+    /// Division by zero during expression evaluation.
+    DivisionByZero,
+    /// Attempted transaction operation in an invalid state.
+    Transaction { msg: String },
+    /// Catch-all execution error.
+    Execution { msg: String },
+}
+
+/// The kinds of schema objects the engine manages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    Table,
+    Column,
+    Trigger,
+    Procedure,
+    Database,
+    Function,
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObjectKind::Table => "table",
+            ObjectKind::Column => "column",
+            ObjectKind::Trigger => "trigger",
+            ObjectKind::Procedure => "procedure",
+            ObjectKind::Database => "database",
+            ObjectKind::Function => "function",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            Error::Parse { msg } => write!(f, "syntax error: {msg}"),
+            Error::NotFound { kind, name } => write!(f, "{kind} '{name}' not found"),
+            Error::AlreadyExists { kind, name } => write!(f, "{kind} '{name}' already exists"),
+            Error::Type { msg } => write!(f, "type error: {msg}"),
+            Error::Shape { msg } => write!(f, "shape error: {msg}"),
+            Error::Constraint { msg } => write!(f, "constraint violation: {msg}"),
+            Error::TriggerDepth { limit } => {
+                write!(f, "trigger nesting exceeded limit of {limit}")
+            }
+            Error::DivisionByZero => f.write_str("division by zero"),
+            Error::Transaction { msg } => write!(f, "transaction error: {msg}"),
+            Error::Execution { msg } => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Error {
+    /// Shorthand for a parse error.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse { msg: msg.into() }
+    }
+
+    /// Shorthand for an execution error.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        Error::Execution { msg: msg.into() }
+    }
+
+    /// Shorthand for a type error.
+    pub fn type_err(msg: impl Into<String>) -> Self {
+        Error::Type { msg: msg.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<(Error, &str)> = vec![
+            (
+                Error::Lex {
+                    pos: 3,
+                    msg: "bad char".into(),
+                },
+                "lex error at byte 3: bad char",
+            ),
+            (Error::parse("oops"), "syntax error: oops"),
+            (
+                Error::NotFound {
+                    kind: ObjectKind::Table,
+                    name: "t".into(),
+                },
+                "table 't' not found",
+            ),
+            (
+                Error::AlreadyExists {
+                    kind: ObjectKind::Trigger,
+                    name: "tr".into(),
+                },
+                "trigger 'tr' already exists",
+            ),
+            (Error::type_err("bad"), "type error: bad"),
+            (
+                Error::Shape { msg: "cols".into() },
+                "shape error: cols",
+            ),
+            (
+                Error::Constraint { msg: "nn".into() },
+                "constraint violation: nn",
+            ),
+            (
+                Error::TriggerDepth { limit: 16 },
+                "trigger nesting exceeded limit of 16",
+            ),
+            (Error::DivisionByZero, "division by zero"),
+            (
+                Error::Transaction { msg: "no tx".into() },
+                "transaction error: no tx",
+            ),
+            (Error::exec("boom"), "execution error: boom"),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn object_kind_display() {
+        assert_eq!(ObjectKind::Database.to_string(), "database");
+        assert_eq!(ObjectKind::Function.to_string(), "function");
+        assert_eq!(ObjectKind::Column.to_string(), "column");
+        assert_eq!(ObjectKind::Procedure.to_string(), "procedure");
+    }
+}

@@ -1,0 +1,633 @@
+//! Scalar expression evaluation with SQL three-valued logic.
+
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+use crate::ast::{is_aggregate_name, BinaryOp, Expr, UnaryOp};
+use crate::catalog::Database;
+use crate::clock::LogicalClock;
+use crate::error::{Error, ObjectKind, Result};
+use crate::notify::{Datagram, NotificationSink};
+use crate::select::run_select;
+use crate::table::{Schema, Table};
+use crate::value::Value;
+
+/// Per-session identity: the `db.user.` prefix used for name resolution and
+/// the `db_name()` / `user_name()` built-ins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionCtx {
+    pub database: String,
+    pub user: String,
+}
+
+impl SessionCtx {
+    pub fn new(database: impl Into<String>, user: impl Into<String>) -> Self {
+        SessionCtx {
+            database: database.into(),
+            user: user.into(),
+        }
+    }
+
+    pub fn prefix(&self) -> (&str, &str) {
+        (&self.database, &self.user)
+    }
+}
+
+impl Default for SessionCtx {
+    fn default() -> Self {
+        SessionCtx::new("sentineldb", "dbo")
+    }
+}
+
+/// The `inserted` / `deleted` pseudo-tables visible inside a trigger body.
+#[derive(Debug, Clone)]
+pub struct PseudoFrame {
+    pub inserted: Table,
+    pub deleted: Table,
+}
+
+/// Read-only context threaded through query evaluation.
+pub(crate) struct QueryCtx<'e> {
+    pub db: &'e Database,
+    pub session: &'e SessionCtx,
+    /// Trigger scope stack; the innermost frame wins for `inserted`/`deleted`.
+    pub scope: &'e [PseudoFrame],
+    pub clock: &'e LogicalClock,
+    pub sink: Option<&'e dyn NotificationSink>,
+    pub datagram_seq: &'e AtomicU64,
+}
+
+impl<'e> QueryCtx<'e> {
+    /// Resolve a table reference, honouring trigger pseudo-tables first.
+    pub fn resolve_table(&self, name: &str) -> Result<&'e Table> {
+        if let Some(frame) = self.scope.last() {
+            if name.eq_ignore_ascii_case("inserted") {
+                // SAFETY of lifetime: scope lives as long as 'e.
+                return Ok(&frame.inserted);
+            }
+            if name.eq_ignore_ascii_case("deleted") {
+                return Ok(&frame.deleted);
+            }
+        }
+        let key = self
+            .db
+            .resolve_table_key(name, Some(self.session.prefix()))
+            .ok_or_else(|| Error::NotFound {
+                kind: ObjectKind::Table,
+                name: name.to_string(),
+            })?;
+        Ok(self.db.table(&key).expect("resolved key exists"))
+    }
+}
+
+/// One table's slice of the current joined row.
+pub(crate) struct Frame<'r> {
+    pub alias: Option<String>,
+    /// Canonical table name (`inserted`/`deleted` for pseudo-tables).
+    pub table_name: String,
+    pub schema: &'r Schema,
+    pub row: &'r [Value],
+}
+
+impl Frame<'_> {
+    /// Does `qualifier` denote this frame?
+    fn matches_qualifier(&self, qualifier: &str, session: &SessionCtx) -> bool {
+        if let Some(alias) = &self.alias {
+            if alias.eq_ignore_ascii_case(qualifier) {
+                return true;
+            }
+            // An explicit alias hides the underlying table name in Sybase,
+            // but generated code never aliases, so we stay permissive and
+            // fall through to name matching as well.
+        }
+        if self.table_name.eq_ignore_ascii_case(qualifier) {
+            return true;
+        }
+        let tn = self.table_name.to_ascii_lowercase();
+        let q = qualifier.to_ascii_lowercase();
+        if tn.ends_with(&format!(".{q}")) {
+            return true;
+        }
+        let (db, user) = session.prefix();
+        tn == format!("{}.{}.{}", db.to_ascii_lowercase(), user.to_ascii_lowercase(), q)
+    }
+}
+
+/// The set of frames a row expression can see. `parent` chains to the
+/// enclosing query's environment, enabling correlated subqueries: a name
+/// not found in the inner query's frames resolves against the outer row
+/// (inner frames shadow outer ones, as in standard SQL).
+pub(crate) struct RowEnv<'r> {
+    pub frames: Vec<Frame<'r>>,
+    pub parent: Option<&'r RowEnv<'r>>,
+}
+
+impl<'r> RowEnv<'r> {
+    pub fn empty() -> Self {
+        RowEnv {
+            frames: Vec::new(),
+            parent: None,
+        }
+    }
+
+    /// Look up a column value.
+    pub fn lookup(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+        session: &SessionCtx,
+    ) -> Result<Value> {
+        let mut found: Option<Value> = None;
+        for frame in &self.frames {
+            if let Some(q) = qualifier {
+                if !frame.matches_qualifier(q, session) {
+                    continue;
+                }
+            }
+            if let Some(idx) = frame.schema.index_of(name) {
+                if found.is_some() {
+                    return Err(Error::exec(format!("ambiguous column name '{name}'")));
+                }
+                found = Some(frame.row[idx].clone());
+            }
+        }
+        if let Some(v) = found {
+            return Ok(v);
+        }
+        if let Some(parent) = self.parent {
+            return parent.lookup(qualifier, name, session);
+        }
+        Err(Error::NotFound {
+            kind: ObjectKind::Column,
+            name: match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            },
+        })
+    }
+}
+
+/// Evaluate an expression against one row environment.
+pub(crate) fn eval_expr(ctx: &QueryCtx<'_>, env: &RowEnv<'_>, expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { qualifier, name } => env.lookup(qualifier.as_deref(), name, ctx.session),
+        Expr::Unary { op, operand } => {
+            let v = eval_expr(ctx, env, operand)?;
+            match op {
+                UnaryOp::Not => Ok(match v {
+                    Value::Null => Value::Null,
+                    other => Value::Int(i64::from(!other.is_truthy())),
+                }),
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(Error::type_err(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        Expr::Binary { op, left, right } => eval_binary(ctx, env, *op, left, right),
+        Expr::Function { name, args, star } => eval_function(ctx, env, name, args, *star),
+        Expr::IsNull { operand, negated } => {
+            let v = eval_expr(ctx, env, operand)?;
+            let is_null = v.is_null();
+            Ok(Value::Int(i64::from(is_null != *negated)))
+        }
+        Expr::InList {
+            operand,
+            list,
+            negated,
+        } => {
+            let v = eval_expr(ctx, env, operand)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval_expr(ctx, env, item)?;
+                if iv.is_null() {
+                    saw_null = true;
+                    continue;
+                }
+                if v.sql_cmp(&iv) == Some(std::cmp::Ordering::Equal) {
+                    return Ok(Value::Int(i64::from(!*negated)));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Int(i64::from(*negated)))
+            }
+        }
+        Expr::Between {
+            operand,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_expr(ctx, env, operand)?;
+            let lo = eval_expr(ctx, env, low)?;
+            let hi = eval_expr(ctx, env, high)?;
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+                    Ok(Value::Int(i64::from(inside != *negated)))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::Like {
+            operand,
+            pattern,
+            negated,
+        } => {
+            let v = eval_expr(ctx, env, operand)?;
+            let p = eval_expr(ctx, env, pattern)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    Ok(Value::Int(i64::from(like_match(&s, &pat) != *negated)))
+                }
+                (a, b) => Err(Error::type_err(format!("LIKE requires strings, got {a} LIKE {b}"))),
+            }
+        }
+        Expr::Exists(sub) => {
+            let (_, rows) = run_select(ctx, sub, Some(env))?;
+            Ok(Value::Int(i64::from(!rows.is_empty())))
+        }
+        Expr::Subquery(sub) => {
+            let (cols, rows) = run_select(ctx, sub, Some(env))?;
+            if cols.len() != 1 {
+                return Err(Error::exec(format!(
+                    "scalar subquery must return one column, got {}",
+                    cols.len()
+                )));
+            }
+            match rows.len() {
+                0 => Ok(Value::Null),
+                1 => Ok(rows.into_iter().next().unwrap().into_iter().next().unwrap()),
+                n => Err(Error::exec(format!(
+                    "scalar subquery returned {n} rows"
+                ))),
+            }
+        }
+    }
+}
+
+fn eval_binary(
+    ctx: &QueryCtx<'_>,
+    env: &RowEnv<'_>,
+    op: BinaryOp,
+    left: &Expr,
+    right: &Expr,
+) -> Result<Value> {
+    // AND / OR use three-valued logic with short-circuit where sound.
+    match op {
+        BinaryOp::And => {
+            let l = eval_expr(ctx, env, left)?;
+            if !l.is_null() && !l.is_truthy() {
+                return Ok(Value::Int(0));
+            }
+            let r = eval_expr(ctx, env, right)?;
+            return Ok(match (l.is_null(), r.is_null()) {
+                (false, false) => Value::Int(i64::from(l.is_truthy() && r.is_truthy())),
+                _ => {
+                    if !r.is_null() && !r.is_truthy() {
+                        Value::Int(0)
+                    } else {
+                        Value::Null
+                    }
+                }
+            });
+        }
+        BinaryOp::Or => {
+            let l = eval_expr(ctx, env, left)?;
+            if !l.is_null() && l.is_truthy() {
+                return Ok(Value::Int(1));
+            }
+            let r = eval_expr(ctx, env, right)?;
+            return Ok(match (l.is_null(), r.is_null()) {
+                (false, false) => Value::Int(i64::from(l.is_truthy() || r.is_truthy())),
+                _ => {
+                    if !r.is_null() && r.is_truthy() {
+                        Value::Int(1)
+                    } else {
+                        Value::Null
+                    }
+                }
+            });
+        }
+        _ => {}
+    }
+    let l = eval_expr(ctx, env, left)?;
+    let r = eval_expr(ctx, env, right)?;
+    apply_binary_values(op, l, r)
+}
+
+/// Apply a binary operator to two already-evaluated values (no
+/// short-circuiting). Used both by [`eval_expr`] and by the grouped
+/// aggregate evaluator in the SELECT executor.
+pub(crate) fn apply_binary_values(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+    match op {
+        BinaryOp::And => Ok(match (l.is_null(), r.is_null()) {
+            (false, false) => Value::Int(i64::from(l.is_truthy() && r.is_truthy())),
+            _ => {
+                if (!l.is_null() && !l.is_truthy()) || (!r.is_null() && !r.is_truthy()) {
+                    Value::Int(0)
+                } else {
+                    Value::Null
+                }
+            }
+        }),
+        BinaryOp::Or => Ok(match (l.is_null(), r.is_null()) {
+            (false, false) => Value::Int(i64::from(l.is_truthy() || r.is_truthy())),
+            _ => {
+                if (!l.is_null() && l.is_truthy()) || (!r.is_null() && r.is_truthy()) {
+                    Value::Int(1)
+                } else {
+                    Value::Null
+                }
+            }
+        }),
+        BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+            let ord = match l.sql_cmp(&r) {
+                Some(o) => o,
+                None => return Ok(Value::Null),
+            };
+            use std::cmp::Ordering::*;
+            let truth = match op {
+                BinaryOp::Eq => ord == Equal,
+                BinaryOp::Neq => ord != Equal,
+                BinaryOp::Lt => ord == Less,
+                BinaryOp::Le => ord != Greater,
+                BinaryOp::Gt => ord == Greater,
+                BinaryOp::Ge => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(i64::from(truth)))
+        }
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+            arith(op, l, r)
+        }
+    }
+}
+
+fn arith(op: BinaryOp, l: Value, r: Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // String concatenation with `+`, as in Transact-SQL.
+    if op == BinaryOp::Add {
+        if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+    }
+    // DateTime arithmetic: datetime ± int microseconds.
+    if let (Value::DateTime(t), Value::Int(d)) = (&l, &r) {
+        return match op {
+            BinaryOp::Add => Ok(Value::DateTime(t + d)),
+            BinaryOp::Sub => Ok(Value::DateTime(t - d)),
+            _ => Err(Error::type_err("unsupported datetime arithmetic")),
+        };
+    }
+    if let (Value::DateTime(a), Value::DateTime(b)) = (&l, &r) {
+        if op == BinaryOp::Sub {
+            return Ok(Value::Int(a - b));
+        }
+    }
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            match op {
+                BinaryOp::Add => Ok(Value::Int(a.wrapping_add(b))),
+                BinaryOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
+                BinaryOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                BinaryOp::Div => {
+                    if b == 0 {
+                        Err(Error::DivisionByZero)
+                    } else {
+                        Ok(Value::Int(a / b))
+                    }
+                }
+                BinaryOp::Mod => {
+                    if b == 0 {
+                        Err(Error::DivisionByZero)
+                    } else {
+                        Ok(Value::Int(a % b))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => {
+            let fa = to_f64(&l)?;
+            let fb = to_f64(&r)?;
+            match op {
+                BinaryOp::Add => Ok(Value::Float(fa + fb)),
+                BinaryOp::Sub => Ok(Value::Float(fa - fb)),
+                BinaryOp::Mul => Ok(Value::Float(fa * fb)),
+                BinaryOp::Div => {
+                    if fb == 0.0 {
+                        Err(Error::DivisionByZero)
+                    } else {
+                        Ok(Value::Float(fa / fb))
+                    }
+                }
+                BinaryOp::Mod => {
+                    if fb == 0.0 {
+                        Err(Error::DivisionByZero)
+                    } else {
+                        Ok(Value::Float(fa % fb))
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn to_f64(v: &Value) -> Result<f64> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(f) => Ok(*f),
+        Value::DateTime(t) => Ok(*t as f64),
+        other => Err(Error::type_err(format!("expected number, got {other}"))),
+    }
+}
+
+fn eval_function(
+    ctx: &QueryCtx<'_>,
+    env: &RowEnv<'_>,
+    name: &str,
+    args: &[Expr],
+    star: bool,
+) -> Result<Value> {
+    if is_aggregate_name(name) {
+        return Err(Error::exec(format!(
+            "aggregate '{name}' is not allowed in this position"
+        )));
+    }
+    let lname = name.to_ascii_lowercase();
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n && !star {
+            Ok(())
+        } else {
+            Err(Error::exec(format!("{name}() expects {n} argument(s)")))
+        }
+    };
+    match lname.as_str() {
+        "getdate" => {
+            need(0)?;
+            Ok(Value::DateTime(ctx.clock.now()))
+        }
+        "db_name" => {
+            need(0)?;
+            Ok(Value::Str(ctx.session.database.clone()))
+        }
+        "user_name" => {
+            need(0)?;
+            Ok(Value::Str(ctx.session.user.clone()))
+        }
+        // The paper's notification built-in (Figure 11): sends a UDP
+        // datagram; returns 0 on success, as Sybase does.
+        "syb_sendmsg" => {
+            need(3)?;
+            let host = eval_expr(ctx, env, &args[0])?;
+            let port = eval_expr(ctx, env, &args[1])?;
+            let payload = eval_expr(ctx, env, &args[2])?;
+            let port = match port.coerce_to(crate::value::DataType::Int)? {
+                Value::Int(p) if (0..=65535).contains(&p) => p as u16,
+                other => return Err(Error::exec(format!("bad port {other}"))),
+            };
+            if let Some(sink) = ctx.sink {
+                let seq = ctx.datagram_seq.fetch_add(1, AtomicOrdering::Relaxed);
+                sink.send(Datagram {
+                    host: host.to_string(),
+                    port,
+                    payload: payload.to_string(),
+                    seq,
+                });
+            }
+            Ok(Value::Int(0))
+        }
+        "upper" => {
+            need(1)?;
+            match eval_expr(ctx, env, &args[0])? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Str(v.to_string().to_uppercase())),
+            }
+        }
+        "lower" => {
+            need(1)?;
+            match eval_expr(ctx, env, &args[0])? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Str(v.to_string().to_lowercase())),
+            }
+        }
+        "len" | "char_length" => {
+            need(1)?;
+            match eval_expr(ctx, env, &args[0])? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Int(v.to_string().chars().count() as i64)),
+            }
+        }
+        "abs" => {
+            need(1)?;
+            match eval_expr(ctx, env, &args[0])? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(Error::type_err(format!("abs() on {other}"))),
+            }
+        }
+        "round" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(Error::exec("round() expects 1 or 2 arguments"));
+            }
+            let v = eval_expr(ctx, env, &args[0])?;
+            let digits = if args.len() == 2 {
+                match eval_expr(ctx, env, &args[1])? {
+                    Value::Int(d) => d,
+                    other => return Err(Error::type_err(format!("round() digits {other}"))),
+                }
+            } else {
+                0
+            };
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i)),
+                Value::Float(f) => {
+                    let m = 10f64.powi(digits as i32);
+                    Ok(Value::Float((f * m).round() / m))
+                }
+                other => Err(Error::type_err(format!("round() on {other}"))),
+            }
+        }
+        "isnull" | "coalesce" => {
+            if args.is_empty() {
+                return Err(Error::exec("isnull() expects arguments"));
+            }
+            for a in args {
+                let v = eval_expr(ctx, env, a)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        "str" | "convert_str" => {
+            need(1)?;
+            Ok(Value::Str(eval_expr(ctx, env, &args[0])?.to_string()))
+        }
+        other => Err(Error::NotFound {
+            kind: ObjectKind::Function,
+            name: other.to_string(),
+        }),
+    }
+}
+
+/// SQL LIKE pattern matching: `%` matches any sequence, `_` any single
+/// character. Case-sensitive, as Sybase's default sort order.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn inner(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try consuming 0..=len chars.
+                (0..=s.len()).any(|k| inner(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && inner(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && inner(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    inner(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_basic() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%o"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "H%"));
+        assert!(!like_match("hello", "h_lo"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn like_multiple_percents() {
+        assert!(like_match("abcdef", "a%c%f"));
+        assert!(!like_match("abcdef", "a%c%g"));
+        assert!(like_match("aaa", "%a%a%"));
+    }
+}

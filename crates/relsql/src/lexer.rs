@@ -1,0 +1,468 @@
+//! SQL lexer shared by the engine's parser and the ECA Agent's extended
+//! trigger parser.
+//!
+//! Transact-SQL flavoured: keywords are case-insensitive, string literals use
+//! single or double quotes, comments are `/* ... */` or `-- ...`, and
+//! statements need no terminating semicolon (the paper's generated code in
+//! Figure 11 runs statements together on consecutive lines).
+
+use crate::error::{Error, Result};
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `^` — used by Snoop for AND in the agent's event expressions.
+    Caret,
+    /// `|` — used by Snoop for OR.
+    Pipe,
+    /// `[` / `]` — used by Snoop time-string brackets.
+    LBracket,
+    RBracket,
+    /// `::` — Snoop `Eventname::AppId` qualifier.
+    DoubleColon,
+    /// `:` — Snoop parameter separator.
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// If this token is an identifier, return its text.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `src` into a vector of tokens terminated by [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment.
+        if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            i += 2;
+            let mut depth = 1;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(Error::Lex {
+                    pos: start,
+                    msg: "unterminated block comment".into(),
+                });
+            }
+            continue;
+        }
+        // String literals: '...' or "..."; doubled quote escapes itself.
+        if c == b'\'' || c == b'"' {
+            let quote = c;
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(Error::Lex {
+                        pos: start,
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                if bytes[i] == quote {
+                    if bytes.get(i + 1) == Some(&quote) {
+                        s.push(quote as char);
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                // Multi-byte UTF-8 pass-through.
+                let ch_len = utf8_len(bytes[i]);
+                s.push_str(&src[i..i + ch_len]);
+                i += ch_len;
+            }
+            out.push(Token {
+                kind: TokenKind::Str(s),
+                pos: start,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &src[start..i];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| Error::Lex {
+                    pos: start,
+                    msg: format!("bad float literal '{text}'"),
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| Error::Lex {
+                    pos: start,
+                    msg: format!("bad int literal '{text}'"),
+                })?)
+            };
+            out.push(Token { kind, pos: start });
+            continue;
+        }
+        // Identifiers (letters, digits, '_', '@', '#').
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'@' || c == b'#' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'@'
+                    || bytes[i] == b'#'
+                    || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident(src[start..i].to_string()),
+                pos: start,
+            });
+            continue;
+        }
+        // Operators / punctuation.
+        let start = i;
+        let (kind, len) = match c {
+            b'(' => (TokenKind::LParen, 1),
+            b')' => (TokenKind::RParen, 1),
+            b',' => (TokenKind::Comma, 1),
+            b'.' => (TokenKind::Dot, 1),
+            b';' => (TokenKind::Semi, 1),
+            b'*' => (TokenKind::Star, 1),
+            b'+' => (TokenKind::Plus, 1),
+            b'-' => (TokenKind::Minus, 1),
+            b'/' => (TokenKind::Slash, 1),
+            b'%' => (TokenKind::Percent, 1),
+            b'^' => (TokenKind::Caret, 1),
+            b'|' => (TokenKind::Pipe, 1),
+            b'[' => (TokenKind::LBracket, 1),
+            b']' => (TokenKind::RBracket, 1),
+            b'=' => (TokenKind::Eq, 1),
+            b':' if bytes.get(i + 1) == Some(&b':') => (TokenKind::DoubleColon, 2),
+            b':' => (TokenKind::Colon, 1),
+            b'!' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Neq, 2),
+            b'<' if bytes.get(i + 1) == Some(&b'>') => (TokenKind::Neq, 2),
+            b'<' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Le, 2),
+            b'<' => (TokenKind::Lt, 1),
+            b'>' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Ge, 2),
+            b'>' => (TokenKind::Gt, 1),
+            _ => {
+                return Err(Error::Lex {
+                    pos: i,
+                    msg: format!("unexpected character '{}'", src[i..].chars().next().unwrap()),
+                })
+            }
+        };
+        out.push(Token { kind, pos: start });
+        i += len;
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
+    Ok(out)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+/// Split a script into batches on lines containing only `go`
+/// (case-insensitive), mirroring Sybase's isql batch separator.
+pub fn split_batches(script: &str) -> Vec<&str> {
+    let mut batches = Vec::new();
+    let mut start = 0usize;
+    let mut offset = 0usize;
+    for line in script.split_inclusive('\n') {
+        let trimmed = line.trim();
+        if trimmed.eq_ignore_ascii_case("go") {
+            batches.push(&script[start..offset]);
+            start = offset + line.len();
+        }
+        offset += line.len();
+    }
+    if start <= script.len() {
+        batches.push(&script[start..]);
+    }
+    batches.into_iter().filter(|b| !b.trim().is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("select * from t where a = 1"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Star,
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Ident("where".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_both_quotes() {
+        assert_eq!(
+            kinds(r#"'abc' "def""#),
+            vec![
+                TokenKind::Str("abc".into()),
+                TokenKind::Str("def".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn doubled_quote_escape() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("12 3.5"),
+            vec![TokenKind::Int(12), TokenKind::Float(3.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn dotted_names_lex_as_ident_chains() {
+        assert_eq!(
+            kinds("sentineldb.sharma.stock"),
+            vec![
+                TokenKind::Ident("sentineldb".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("sharma".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("stock".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("select /* comment */ 1 -- trailing\n+ 2"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Int(1),
+                TokenKind::Plus,
+                TokenKind::Int(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(kinds("/* a /* b */ c */ 1"), vec![TokenKind::Int(1), TokenKind::Eof]);
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <> b != c <= d >= e < f > g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Neq,
+                TokenKind::Ident("b".into()),
+                TokenKind::Neq,
+                TokenKind::Ident("c".into()),
+                TokenKind::Le,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn snoop_symbols() {
+        assert_eq!(
+            kinds("e1 ^ e2 | e3 ; [5 sec] a::b x:y"),
+            vec![
+                TokenKind::Ident("e1".into()),
+                TokenKind::Caret,
+                TokenKind::Ident("e2".into()),
+                TokenKind::Pipe,
+                TokenKind::Ident("e3".into()),
+                TokenKind::Semi,
+                TokenKind::LBracket,
+                TokenKind::Int(5),
+                TokenKind::Ident("sec".into()),
+                TokenKind::RBracket,
+                TokenKind::Ident("a".into()),
+                TokenKind::DoubleColon,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn is_kw_case_insensitive() {
+        let toks = tokenize("SELECT").unwrap();
+        assert!(toks[0].kind.is_kw("select"));
+        assert!(toks[0].kind.is_kw("SELECT"));
+        assert!(!toks[0].kind.is_kw("insert"));
+    }
+
+    #[test]
+    fn split_batches_on_go() {
+        let script = "create table t (a int)\ngo\ninsert t values (1)\nGO\nselect * from t\n";
+        let batches = split_batches(script);
+        assert_eq!(batches.len(), 3);
+        assert!(batches[0].contains("create table"));
+        assert!(batches[1].contains("insert"));
+        assert!(batches[2].contains("select"));
+    }
+
+    #[test]
+    fn split_batches_no_go() {
+        let batches = split_batches("select 1");
+        assert_eq!(batches, vec!["select 1"]);
+    }
+
+    #[test]
+    fn split_batches_ignores_empty() {
+        let batches = split_batches("go\n\ngo\nselect 1\ngo\n");
+        assert_eq!(batches.len(), 1);
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = tokenize("select ~").unwrap_err();
+        match err {
+            Error::Lex { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn at_and_hash_identifiers() {
+        assert_eq!(
+            kinds("@var #temp"),
+            vec![
+                TokenKind::Ident("@var".into()),
+                TokenKind::Ident("#temp".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # relsql — an in-memory relational engine with Sybase-style triggers
+//!
+//! This crate is the *substrate* of the ECA-Agent reproduction: it plays the
+//! role of the Sybase SQL Server in Chakravarthy & Li, "An Agent-Based
+//! Approach to Extending the Native Active Capability of Relational Database
+//! Systems" (ICDE 1999). It deliberately implements the **limited** native
+//! trigger model the paper describes in §2.2 — one statement-level trigger
+//! per (table, operation) with silent overwrite, no named events, no
+//! composite events — because the whole point of the ECA Agent is to build
+//! full active-database semantics on top of exactly those limitations using
+//! only plain SQL.
+//!
+//! ## What's inside
+//!
+//! - A Transact-SQL subset: `CREATE/DROP/ALTER TABLE`, `SELECT` (comma
+//!   joins, aggregates, `GROUP BY`/`HAVING`/`ORDER BY`, `DISTINCT`,
+//!   `SELECT ... INTO`), `INSERT`/`UPDATE`/`DELETE`, `CREATE TRIGGER`,
+//!   `CREATE PROCEDURE`/`EXECUTE`, `PRINT`, `IF`/`WHILE`, transactions and
+//!   `go` batch separators.
+//! - Trigger pseudo-tables `inserted` / `deleted`.
+//! - The built-ins the paper's generated code uses: `getdate()` (on a
+//!   deterministic logical clock) and `syb_sendmsg(host, port, msg)` (posts
+//!   a datagram to a pluggable [`notify::NotificationSink`]).
+//! - A thread-safe [`server::SqlServer`] with per-identity sessions, behind
+//!   the [`server::SqlEndpoint`] trait that the ECA Agent proxies.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use relsql::server::SqlServer;
+//! use relsql::value::Value;
+//!
+//! let server = SqlServer::new();
+//! let session = server.session("sentineldb", "sharma");
+//! session.execute("create table stock (symbol varchar(10), price float)").unwrap();
+//! session.execute("insert stock values ('IBM', 104.5)").unwrap();
+//! let r = session.execute("select price from stock where symbol = 'IBM'").unwrap();
+//! assert_eq!(r.scalar(), Some(&Value::Float(104.5)));
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod clock;
+pub mod engine;
+pub mod error;
+mod eval;
+pub mod lexer;
+pub mod notify;
+pub mod parser;
+mod select;
+pub mod server;
+pub mod table;
+pub mod value;
+
+pub use engine::{BatchResult, Engine, EngineConfig, QueryResult};
+pub use error::{Error, Result};
+pub use eval::{like_match, SessionCtx};
+pub use server::{Session, SqlEndpoint, SqlServer};
+pub use value::{DataType, Value};

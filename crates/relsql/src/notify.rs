@@ -1,0 +1,227 @@
+//! Notification transport — the stand-in for Sybase's `syb_sendmsg()` UDP
+//! built-in (Figure 11 / §5.4 of the paper).
+//!
+//! The engine posts a [`Datagram`] to a registered [`NotificationSink`]
+//! whenever generated trigger code calls `syb_sendmsg(host, port, payload)`.
+//! The default sink is an in-process channel with UDP's fire-and-forget
+//! semantics; [`LossySink`] adds configurable drop probability so tests and
+//! benchmarks can explore the reliability concern the paper raises in §6.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A UDP-datagram-shaped notification message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    pub host: String,
+    pub port: u16,
+    pub payload: String,
+    /// Monotonic send sequence number, useful for loss accounting.
+    pub seq: u64,
+}
+
+/// Anything that can receive notifications from the engine.
+///
+/// Sends are fire-and-forget: a sink must never block the engine and never
+/// report errors back into SQL execution, matching UDP semantics.
+pub trait NotificationSink: Send + Sync {
+    fn send(&self, datagram: Datagram);
+}
+
+/// Channel-backed sink; the receiving side is typically the ECA Agent's
+/// Event Notifier thread.
+pub struct ChannelSink {
+    tx: Sender<Datagram>,
+    sent: AtomicU64,
+}
+
+impl ChannelSink {
+    /// Create the sink plus the receiver end.
+    pub fn new() -> (Arc<Self>, Receiver<Datagram>) {
+        let (tx, rx) = unbounded();
+        (
+            Arc::new(ChannelSink {
+                tx,
+                sent: AtomicU64::new(0),
+            }),
+            rx,
+        )
+    }
+
+    /// Total datagrams sent through this sink.
+    pub fn sent_count(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+}
+
+impl NotificationSink for ChannelSink {
+    fn send(&self, datagram: Datagram) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        // Fire-and-forget: a disconnected receiver is a silent drop,
+        // exactly like UDP with nobody listening.
+        let _ = self.tx.send(datagram);
+    }
+}
+
+/// Sink wrapper that drops datagrams with a fixed probability, simulating
+/// UDP loss (failure injection for experiment E8).
+pub struct LossySink<S> {
+    inner: Arc<S>,
+    drop_probability: f64,
+    rng: Mutex<StdRng>,
+    dropped: AtomicU64,
+}
+
+impl<S: NotificationSink> LossySink<S> {
+    pub fn new(inner: Arc<S>, drop_probability: f64, seed: u64) -> Arc<Self> {
+        Arc::new(LossySink {
+            inner,
+            drop_probability: drop_probability.clamp(0.0, 1.0),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// How many datagrams were dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: NotificationSink> NotificationSink for LossySink<S> {
+    fn send(&self, datagram: Datagram) {
+        let roll: f64 = self.rng.lock().gen();
+        if roll < self.drop_probability {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.inner.send(datagram);
+    }
+}
+
+/// Sink that records every datagram, for assertions in tests.
+#[derive(Default)]
+pub struct CollectingSink {
+    received: Mutex<Vec<Datagram>>,
+}
+
+impl CollectingSink {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn take(&self) -> Vec<Datagram> {
+        std::mem::take(&mut self.received.lock())
+    }
+
+    pub fn len(&self) -> usize {
+        self.received.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.received.lock().is_empty()
+    }
+}
+
+impl NotificationSink for CollectingSink {
+    fn send(&self, datagram: Datagram) {
+        self.received.lock().push(datagram);
+    }
+}
+
+/// Drain everything currently queued on a receiver without blocking.
+pub fn drain(rx: &Receiver<Datagram>) -> Vec<Datagram> {
+    let mut out = Vec::new();
+    while let Ok(d) = rx.try_recv() {
+        out.push(d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dg(seq: u64) -> Datagram {
+        Datagram {
+            host: "127.0.0.1".into(),
+            port: 10006,
+            payload: format!("msg {seq}"),
+            seq,
+        }
+    }
+
+    #[test]
+    fn channel_sink_delivers_in_order() {
+        let (sink, rx) = ChannelSink::new();
+        for i in 0..5 {
+            sink.send(dg(i));
+        }
+        let got = drain(&rx);
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].payload, "msg 0");
+        assert_eq!(got[4].seq, 4);
+        assert_eq!(sink.sent_count(), 5);
+    }
+
+    #[test]
+    fn channel_sink_survives_disconnected_receiver() {
+        let (sink, rx) = ChannelSink::new();
+        drop(rx);
+        sink.send(dg(0)); // must not panic — UDP semantics
+        assert_eq!(sink.sent_count(), 1);
+    }
+
+    #[test]
+    fn lossy_sink_zero_probability_drops_nothing() {
+        let inner = CollectingSink::new();
+        let lossy = LossySink::new(inner.clone(), 0.0, 42);
+        for i in 0..100 {
+            lossy.send(dg(i));
+        }
+        assert_eq!(inner.len(), 100);
+        assert_eq!(lossy.dropped_count(), 0);
+    }
+
+    #[test]
+    fn lossy_sink_one_probability_drops_everything() {
+        let inner = CollectingSink::new();
+        let lossy = LossySink::new(inner.clone(), 1.0, 42);
+        for i in 0..100 {
+            lossy.send(dg(i));
+        }
+        assert!(inner.is_empty());
+        assert_eq!(lossy.dropped_count(), 100);
+    }
+
+    #[test]
+    fn lossy_sink_partial_drop_is_deterministic_per_seed() {
+        let run = |seed| {
+            let inner = CollectingSink::new();
+            let lossy = LossySink::new(inner.clone(), 0.3, seed);
+            for i in 0..1000 {
+                lossy.send(dg(i));
+            }
+            (inner.len(), lossy.dropped_count())
+        };
+        let (a_recv, a_drop) = run(7);
+        let (b_recv, b_drop) = run(7);
+        assert_eq!((a_recv, a_drop), (b_recv, b_drop));
+        assert_eq!(a_recv as u64 + a_drop, 1000);
+        // Roughly 30% loss.
+        assert!((200..400).contains(&(a_drop as usize)), "dropped {a_drop}");
+    }
+
+    #[test]
+    fn collecting_sink_take_resets() {
+        let sink = CollectingSink::new();
+        sink.send(dg(1));
+        assert_eq!(sink.take().len(), 1);
+        assert!(sink.is_empty());
+    }
+}

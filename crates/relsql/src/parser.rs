@@ -1,0 +1,1290 @@
+//! Recursive-descent parser for the Transact-SQL subset.
+//!
+//! Mirrors Sybase conventions the paper's generated code relies on
+//! (Figures 11 and 14): no statement terminators, `CREATE TRIGGER`/`CREATE
+//! PROCEDURE` bodies extending to the end of the batch, `SELECT ... INTO`,
+//! comma joins, and double-quoted string literals.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::value::{DataType, Value};
+
+/// Words that can never be a table alias or column name in this dialect.
+const RESERVED: &[&str] = &[
+    "select", "insert", "update", "delete", "create", "drop", "alter", "print", "execute",
+    "exec", "begin", "commit", "rollback", "if", "while", "end", "else", "truncate", "where",
+    "group", "order", "having", "from", "into", "set", "values", "on", "as", "union", "go",
+    "and", "or", "not", "in", "between", "like", "is", "null", "exists", "distinct", "tran",
+    "transaction", "desc", "asc", "by", "add", "table", "trigger", "procedure", "proc", "for",
+    "join", "inner",
+];
+
+fn is_reserved(word: &str) -> bool {
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+/// Parse a full batch into statements.
+pub fn parse_script(src: &str) -> Result<Vec<Stmt>> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        src,
+        tokens,
+        pos: 0,
+    };
+    let mut stmts = Vec::new();
+    loop {
+        p.skip_semis();
+        if p.at_eof() {
+            break;
+        }
+        stmts.push(p.parse_stmt()?);
+    }
+    Ok(stmts)
+}
+
+/// Parse a single expression (used by tests and the ECA condition evaluator).
+pub fn parse_expr_str(src: &str) -> Result<Expr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        src,
+        tokens,
+        pos: 0,
+    };
+    let e = p.parse_expr()?;
+    if !p.at_eof() {
+        return Err(Error::parse(format!(
+            "trailing input after expression near '{}'",
+            p.peek_text()
+        )));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn peek_text(&self) -> String {
+        match self.peek() {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Str(s) => format!("'{s}'"),
+            TokenKind::Int(i) => i.to_string(),
+            TokenKind::Float(f) => f.to_string(),
+            TokenKind::Eof => "<end of input>".into(),
+            k => format!("{k:?}"),
+        }
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn skip_semis(&mut self) {
+        while matches!(self.peek(), TokenKind::Semi) {
+            self.advance();
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected '{kw}', found '{}'",
+                self.peek_text()
+            )))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected {what}, found '{}'",
+                self.peek_text()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(Error::parse(format!(
+                "expected {what}, found '{}'",
+                self.peek_text()
+            ))),
+        }
+    }
+
+    /// Parse a possibly dotted object name: `a`, `a.b`, `a.b.c`, ...
+    fn parse_object_name(&mut self) -> Result<String> {
+        let mut name = self.expect_ident("object name")?;
+        while matches!(self.peek(), TokenKind::Dot) {
+            // Only continue if the next token is an identifier.
+            if let TokenKind::Ident(_) = self.peek_at(1) {
+                self.advance(); // dot
+                let part = self.expect_ident("name part")?;
+                name.push('.');
+                name.push_str(&part);
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    // ---------------------------------------------------------- statements
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let kw = match self.peek() {
+            TokenKind::Ident(s) => s.to_ascii_lowercase(),
+            _ => {
+                return Err(Error::parse(format!(
+                    "expected statement, found '{}'",
+                    self.peek_text()
+                )))
+            }
+        };
+        match kw.as_str() {
+            "select" => Ok(Stmt::Select(self.parse_select()?)),
+            "insert" => self.parse_insert(),
+            "update" => self.parse_update(),
+            "delete" => self.parse_delete(),
+            "create" => self.parse_create(),
+            "drop" => self.parse_drop(),
+            "alter" => self.parse_alter(),
+            "print" => {
+                self.advance();
+                let e = self.parse_expr()?;
+                Ok(Stmt::Print(e))
+            }
+            "execute" | "exec" => {
+                self.advance();
+                let name = self.parse_object_name()?;
+                Ok(Stmt::Execute { name })
+            }
+            "truncate" => {
+                self.advance();
+                self.expect_kw("table")?;
+                let table = self.parse_object_name()?;
+                Ok(Stmt::Truncate { table })
+            }
+            "begin" => {
+                self.advance();
+                if self.eat_kw("tran") || self.eat_kw("transaction") {
+                    Ok(Stmt::BeginTran)
+                } else {
+                    // BEGIN ... END block.
+                    let mut body = Vec::new();
+                    loop {
+                        self.skip_semis();
+                        if self.eat_kw("end") {
+                            break;
+                        }
+                        if self.at_eof() {
+                            return Err(Error::parse("unterminated BEGIN block"));
+                        }
+                        body.push(self.parse_stmt()?);
+                    }
+                    Ok(Stmt::Block(body))
+                }
+            }
+            "commit" => {
+                self.advance();
+                let _ = self.eat_kw("tran") || self.eat_kw("transaction");
+                Ok(Stmt::Commit)
+            }
+            "rollback" => {
+                self.advance();
+                let _ = self.eat_kw("tran") || self.eat_kw("transaction");
+                Ok(Stmt::Rollback)
+            }
+            "if" => {
+                self.advance();
+                let cond = self.parse_expr()?;
+                let then_branch = Box::new(self.parse_stmt()?);
+                let else_branch = if self.eat_kw("else") {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            "while" => {
+                self.advance();
+                let cond = self.parse_expr()?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::While { cond, body })
+            }
+            other => Err(Error::parse(format!("unknown statement '{other}'"))),
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<Stmt> {
+        self.expect_kw("create")?;
+        if self.eat_kw("table") {
+            let name = self.parse_object_name()?;
+            self.expect(&TokenKind::LParen, "'('")?;
+            let mut columns = Vec::new();
+            loop {
+                columns.push(self.parse_column_def()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "')'")?;
+            Ok(Stmt::CreateTable { name, columns })
+        } else if self.eat_kw("trigger") {
+            let name = self.parse_object_name()?;
+            self.expect_kw("on")?;
+            let table = self.parse_object_name()?;
+            self.expect_kw("for")?;
+            let op_word = self.expect_ident("trigger operation")?;
+            let operation = TriggerOp::parse(&op_word)
+                .ok_or_else(|| Error::parse(format!("bad trigger operation '{op_word}'")))?;
+            self.expect_kw("as")?;
+            let (body, body_src) = self.parse_body_to_eof()?;
+            Ok(Stmt::CreateTrigger {
+                name,
+                table,
+                operation,
+                body,
+                body_src,
+            })
+        } else if self.eat_kw("procedure") || self.eat_kw("proc") {
+            let name = self.parse_object_name()?;
+            self.expect_kw("as")?;
+            let (body, body_src) = self.parse_body_to_eof()?;
+            Ok(Stmt::CreateProcedure {
+                name,
+                body,
+                body_src,
+            })
+        } else {
+            Err(Error::parse(format!(
+                "expected TABLE, TRIGGER or PROCEDURE after CREATE, found '{}'",
+                self.peek_text()
+            )))
+        }
+    }
+
+    /// Trigger / procedure bodies run to the end of the batch (Sybase rule).
+    fn parse_body_to_eof(&mut self) -> Result<(Vec<Stmt>, String)> {
+        let start = self.tokens[self.pos].pos;
+        let mut body = Vec::new();
+        loop {
+            self.skip_semis();
+            if self.at_eof() {
+                break;
+            }
+            body.push(self.parse_stmt()?);
+        }
+        let src = self.src[start..].trim().to_string();
+        Ok((body, src))
+    }
+
+    fn parse_drop(&mut self) -> Result<Stmt> {
+        self.expect_kw("drop")?;
+        if self.eat_kw("table") {
+            Ok(Stmt::DropTable {
+                name: self.parse_object_name()?,
+            })
+        } else if self.eat_kw("trigger") {
+            Ok(Stmt::DropTrigger {
+                name: self.parse_object_name()?,
+            })
+        } else if self.eat_kw("procedure") || self.eat_kw("proc") {
+            Ok(Stmt::DropProcedure {
+                name: self.parse_object_name()?,
+            })
+        } else {
+            Err(Error::parse(format!(
+                "expected TABLE, TRIGGER or PROCEDURE after DROP, found '{}'",
+                self.peek_text()
+            )))
+        }
+    }
+
+    fn parse_alter(&mut self) -> Result<Stmt> {
+        self.expect_kw("alter")?;
+        self.expect_kw("table")?;
+        let table = self.parse_object_name()?;
+        self.expect_kw("add")?;
+        let column = self.parse_column_def()?;
+        Ok(Stmt::AlterTableAdd { table, column })
+    }
+
+    fn parse_column_def(&mut self) -> Result<ColumnDef> {
+        let name = self.expect_ident("column name")?;
+        let ty_word = self.expect_ident("column type")?;
+        let data_type = match ty_word.to_ascii_lowercase().as_str() {
+            "int" | "integer" | "bigint" | "smallint" | "tinyint" => DataType::Int,
+            "float" | "real" | "double" | "numeric" | "decimal" | "money" => DataType::Float,
+            "text" => DataType::Text,
+            "datetime" => DataType::DateTime,
+            "varchar" | "char" | "nvarchar" | "nchar" => {
+                let n = if self.eat(&TokenKind::LParen) {
+                    let n = match self.advance() {
+                        TokenKind::Int(n) if n > 0 => n as usize,
+                        _ => return Err(Error::parse("expected length in varchar(n)")),
+                    };
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    n
+                } else {
+                    // Sybase char defaults to length 1; we allow a generous
+                    // default to keep generated DDL simple.
+                    255
+                };
+                DataType::Varchar(n)
+            }
+            other => return Err(Error::parse(format!("unknown column type '{other}'"))),
+        };
+        let nullable = if self.eat_kw("not") {
+            self.expect_kw("null")?;
+            false
+        } else {
+            let _ = self.eat_kw("null");
+            true
+        };
+        Ok(ColumnDef {
+            name,
+            data_type,
+            nullable,
+        })
+    }
+
+    fn parse_insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("insert")?;
+        let _ = self.eat_kw("into");
+        let table = self.parse_object_name()?;
+        // Optional column list: disambiguate from VALUES by lookahead.
+        let mut columns = None;
+        if matches!(self.peek(), TokenKind::LParen) {
+            // `insert t (a, b) values ...` — a paren directly after the table
+            // name is always a column list in this dialect.
+            self.advance();
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_ident("column name")?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "')'")?;
+            columns = Some(cols);
+        }
+        let source = if self.eat_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&TokenKind::LParen, "'('")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.parse_expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, "')'")?;
+                rows.push(row);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.peek().is_kw("select") {
+            InsertSource::Select(Box::new(self.parse_select()?))
+        } else {
+            return Err(Error::parse(format!(
+                "expected VALUES or SELECT in INSERT, found '{}'",
+                self.peek_text()
+            )));
+        };
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            source,
+        })
+    }
+
+    fn parse_update(&mut self) -> Result<Stmt> {
+        self.expect_kw("update")?;
+        let table = self.parse_object_name()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident("column name")?;
+            self.expect(&TokenKind::Eq, "'='")?;
+            let e = self.parse_expr()?;
+            assignments.push((col, e));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let selection = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            assignments,
+            selection,
+        })
+    }
+
+    fn parse_delete(&mut self) -> Result<Stmt> {
+        self.expect_kw("delete")?;
+        let _ = self.eat_kw("from");
+        let table = self.parse_object_name()?;
+        let selection = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete { table, selection })
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.parse_select_item()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let into = if self.eat_kw("into") {
+            Some(self.parse_object_name()?)
+        } else {
+            None
+        };
+        let mut from = Vec::new();
+        // `[INNER] JOIN ... ON ...` desugars to a comma join whose ON
+        // predicates are conjoined into the WHERE clause.
+        let mut join_conditions: Vec<Expr> = Vec::new();
+        if self.eat_kw("from") {
+            let name = self.parse_object_name()?;
+            let alias = self.maybe_alias();
+            from.push(TableRef { name, alias });
+            loop {
+                if self.eat(&TokenKind::Comma) {
+                    let name = self.parse_object_name()?;
+                    let alias = self.maybe_alias();
+                    from.push(TableRef { name, alias });
+                    continue;
+                }
+                if self.peek().is_kw("inner") || self.peek().is_kw("join") {
+                    let _ = self.eat_kw("inner");
+                    self.expect_kw("join")?;
+                    let name = self.parse_object_name()?;
+                    let alias = self.maybe_alias();
+                    from.push(TableRef { name, alias });
+                    self.expect_kw("on")?;
+                    join_conditions.push(self.parse_expr()?);
+                    continue;
+                }
+                break;
+            }
+        }
+        let mut selection = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        for cond in join_conditions {
+            selection = Some(match selection {
+                Some(existing) => Expr::Binary {
+                    op: BinaryOp::And,
+                    left: Box::new(cond),
+                    right: Box::new(existing),
+                },
+                None => cond,
+            });
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    let _ = self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(SelectStmt {
+            distinct,
+            projection,
+            into,
+            from,
+            selection,
+            group_by,
+            having,
+            order_by,
+        })
+    }
+
+    fn maybe_alias(&mut self) -> Option<String> {
+        if self.eat_kw("as") {
+            return self.expect_ident("alias").ok();
+        }
+        if let TokenKind::Ident(s) = self.peek() {
+            if !is_reserved(s) {
+                let alias = s.clone();
+                self.advance();
+                return Some(alias);
+            }
+        }
+        None
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Qualified wildcard `t.*` (qualifier may be dotted).
+        if let TokenKind::Ident(_) = self.peek() {
+            let save = self.pos;
+            let name = self.parse_object_name()?;
+            if matches!(self.peek(), TokenKind::Dot)
+                && matches!(self.peek_at(1), TokenKind::Star)
+            {
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+            self.pos = save;
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident("alias")?)
+        } else if let TokenKind::Ident(s) = self.peek() {
+            if !is_reserved(s) {
+                let a = s.clone();
+                self.advance();
+                Some(a)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // --------------------------------------------------------- expressions
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.peek().is_kw("or") {
+            self.advance();
+            let right = self.parse_and()?;
+            left = Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.peek().is_kw("and") {
+            self.advance();
+            let right = self.parse_not()?;
+            left = Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.peek().is_kw("not") {
+            self.advance();
+            let operand = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.peek().is_kw("is") {
+            self.advance();
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                operand: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN / BETWEEN / LIKE
+        let negated = if self.peek().is_kw("not")
+            && (self.peek_at(1).is_kw("in")
+                || self.peek_at(1).is_kw("between")
+                || self.peek_at(1).is_kw("like"))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.peek().is_kw("in") {
+            self.advance();
+            self.expect(&TokenKind::LParen, "'('")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "')'")?;
+            return Ok(Expr::InList {
+                operand: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.peek().is_kw("between") {
+            self.advance();
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                operand: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.peek().is_kw("like") {
+            self.advance();
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                operand: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinaryOp::Eq,
+            TokenKind::Neq => BinaryOp::Neq,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::Le => BinaryOp::Le,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::Ge => BinaryOp::Ge,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+            });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                if self.peek().is_kw("select") {
+                    let sub = self.parse_select()?;
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    return Ok(Expr::Subquery(Box::new(sub)));
+                }
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Ident(word) => {
+                if word.eq_ignore_ascii_case("null") {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if word.eq_ignore_ascii_case("exists") {
+                    self.advance();
+                    self.expect(&TokenKind::LParen, "'('")?;
+                    let sub = self.parse_select()?;
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    return Ok(Expr::Exists(Box::new(sub)));
+                }
+                // Reserved words cannot start an operand; this catches
+                // malformed statements like `select from t` early.
+                if is_reserved(&word) {
+                    return Err(Error::parse(format!(
+                        "expected expression, found reserved word '{word}'"
+                    )));
+                }
+                // Function call?
+                if matches!(self.peek_at(1), TokenKind::LParen) {
+                    self.advance();
+                    self.advance();
+                    let mut args = Vec::new();
+                    let mut star = false;
+                    if self.eat(&TokenKind::Star) {
+                        star = true;
+                    } else if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    return Ok(Expr::Function {
+                        name: word,
+                        args,
+                        star,
+                    });
+                }
+                // Column reference, possibly with a dotted qualifier.
+                let chain = self.parse_object_name()?;
+                match chain.rsplit_once('.') {
+                    Some((qual, col)) => Ok(Expr::Column {
+                        qualifier: Some(qual.to_string()),
+                        name: col.to_string(),
+                    }),
+                    None => Ok(Expr::Column {
+                        qualifier: None,
+                        name: chain,
+                    }),
+                }
+            }
+            other => Err(Error::parse(format!(
+                "expected expression, found '{other:?}'"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Stmt {
+        let stmts = parse_script(src).unwrap();
+        assert_eq!(stmts.len(), 1, "expected one statement in {src:?}");
+        stmts.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn create_table() {
+        let s = one("create table stock (symbol varchar(10) not null, price float, ts datetime null)");
+        match s {
+            Stmt::CreateTable { name, columns } => {
+                assert_eq!(name, "stock");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[0].data_type, DataType::Varchar(10));
+                assert!(!columns[0].nullable);
+                assert!(columns[1].nullable);
+                assert_eq!(columns[2].data_type, DataType::DateTime);
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dotted_table_names() {
+        let s = one("create table sentineldb.sharma.stock_inserted (a int)");
+        match s {
+            Stmt::CreateTable { name, .. } => {
+                assert_eq!(name, "sentineldb.sharma.stock_inserted")
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn insert_values_multi_row() {
+        let s = one("insert into t (a, b) values (1, 'x'), (2, 'y')");
+        match s {
+            Stmt::Insert {
+                table,
+                columns,
+                source: InsertSource::Values(rows),
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns, Some(vec!["a".to_string(), "b".to_string()]));
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_select_no_into_keyword() {
+        // Fig 11: `insert sentineldb.sharma.stock_inserted select * from inserted,Version`
+        let s = one("insert sentineldb.sharma.stock_inserted select * from inserted, Version");
+        match s {
+            Stmt::Insert {
+                table,
+                source: InsertSource::Select(sel),
+                ..
+            } => {
+                assert_eq!(table, "sentineldb.sharma.stock_inserted");
+                assert_eq!(sel.from.len(), 2);
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_into_where_1_eq_2() {
+        let s = one("select * into shadow from stock where 1=2");
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.into.as_deref(), Some("shadow"));
+                assert!(sel.selection.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn multiple_statements_without_separators() {
+        // Fig 11 runs statements together with no semicolons.
+        let stmts = parse_script(
+            "update SysPrimitiveEvent set vNo=vNo+1 where eventName = 'e1'\n\
+             delete Version insert Version select vNo from SysPrimitiveEvent where eventName = 'e1'",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Stmt::Update { .. }));
+        assert!(matches!(stmts[1], Stmt::Delete { .. }));
+        assert!(matches!(stmts[2], Stmt::Insert { .. }));
+    }
+
+    #[test]
+    fn trigger_body_extends_to_end_of_batch() {
+        let s = one(
+            "create trigger t_addstk on stock for insert as\n\
+             insert shadow select * from inserted\n\
+             print 'fired'",
+        );
+        match s {
+            Stmt::CreateTrigger {
+                name,
+                table,
+                operation,
+                body,
+                body_src,
+            } => {
+                assert_eq!(name, "t_addstk");
+                assert_eq!(table, "stock");
+                assert_eq!(operation, TriggerOp::Insert);
+                assert_eq!(body.len(), 2);
+                assert!(body_src.contains("print"));
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn procedure_parse() {
+        let s = one("create procedure p1 as select * from t");
+        match s {
+            Stmt::CreateProcedure { name, body, .. } => {
+                assert_eq!(name, "p1");
+                assert_eq!(body.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn execute_forms() {
+        assert!(matches!(one("execute p1"), Stmt::Execute { .. }));
+        assert!(matches!(one("exec db.u.p1"), Stmt::Execute { .. }));
+    }
+
+    #[test]
+    fn update_with_qualified_where() {
+        let s = one("update t set a = a + 1, b = 'x' where t.a > 3 and b <> 'y'");
+        match s {
+            Stmt::Update { assignments, selection, .. } => {
+                assert_eq!(assignments.len(), 2);
+                assert!(selection.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn delete_without_from() {
+        let s = one("delete Version");
+        assert!(matches!(s, Stmt::Delete { ref table, .. } if table == "version" || table == "Version"));
+    }
+
+    #[test]
+    fn qualified_column_with_dotted_table() {
+        // Fig 14 joins on `sentineldb.sharma.stock_inserted.vNo = sysContext.vNo`
+        let e = parse_expr_str("sentineldb.sharma.stock_inserted.vNo = sysContext.vNo").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Eq, left, right } => {
+                match *left {
+                    Expr::Column { qualifier, name } => {
+                        assert_eq!(qualifier.as_deref(), Some("sentineldb.sharma.stock_inserted"));
+                        assert_eq!(name, "vNo");
+                    }
+                    _ => panic!(),
+                }
+                match *right {
+                    Expr::Column { qualifier, name } => {
+                        assert_eq!(qualifier.as_deref(), Some("sysContext"));
+                        assert_eq!(name, "vNo");
+                    }
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr_str("1 + 2 * 3 = 7 and not 0 > 1").unwrap();
+        // Just check the top is AND.
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+    }
+
+    #[test]
+    fn in_between_like_isnull() {
+        assert!(matches!(
+            parse_expr_str("a in (1, 2, 3)").unwrap(),
+            Expr::InList { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr_str("a not in (1)").unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr_str("a between 1 and 10").unwrap(),
+            Expr::Between { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr_str("a like 'x%'").unwrap(),
+            Expr::Like { .. }
+        ));
+        assert!(matches!(
+            parse_expr_str("a is not null").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn function_calls() {
+        let e = parse_expr_str("syb_sendmsg('128.227.205.215', 10006, 'msg')").unwrap();
+        match e {
+            Expr::Function { name, args, star } => {
+                assert_eq!(name, "syb_sendmsg");
+                assert_eq!(args.len(), 3);
+                assert!(!star);
+            }
+            _ => panic!(),
+        }
+        assert!(matches!(
+            parse_expr_str("count(*)").unwrap(),
+            Expr::Function { star: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr_str("getdate()").unwrap(),
+            Expr::Function { .. }
+        ));
+    }
+
+    #[test]
+    fn group_by_having_order_by() {
+        let s = one(
+            "select symbol, count(*) n from trades group by symbol having count(*) > 2 order by n desc, symbol",
+        );
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.group_by.len(), 1);
+                assert!(sel.having.is_some());
+                assert_eq!(sel.order_by.len(), 2);
+                assert!(sel.order_by[0].desc);
+                assert!(!sel.order_by[1].desc);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn join_on_desugars_to_comma_join_plus_where() {
+        let a = parse_script("select * from a join b on a.x = b.x where a.y > 1").unwrap();
+        let b = parse_script("select * from a, b where a.x = b.x and a.y > 1").unwrap();
+        assert_eq!(a, b);
+        // INNER keyword accepted; multiple joins chain.
+        let c = parse_script(
+            "select * from a inner join b on a.x = b.x join c on b.z = c.z",
+        )
+        .unwrap();
+        match &c[0] {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.from.len(), 3);
+                assert!(sel.selection.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn join_requires_on() {
+        assert!(parse_script("select * from a join b").is_err());
+    }
+
+    #[test]
+    fn table_alias_does_not_swallow_keywords() {
+        let stmts =
+            parse_script("select * from inserted, Version select getdate()").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn if_else_and_blocks() {
+        let s = one("if a > 1 begin print 'big' delete t end else print 'small'");
+        match s {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert!(matches!(*then_branch, Stmt::Block(ref b) if b.len() == 2));
+                assert!(else_branch.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn while_loop() {
+        let s = one("while (select count(*) from t) < 5 insert t values (1)");
+        assert!(matches!(s, Stmt::While { .. }));
+    }
+
+    #[test]
+    fn transactions() {
+        let stmts = parse_script("begin tran insert t values (1) commit").unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Stmt::BeginTran));
+        assert!(matches!(stmts[2], Stmt::Commit));
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let e = parse_expr_str("exists (select * from t where a = 1)").unwrap();
+        assert!(matches!(e, Expr::Exists(_)));
+    }
+
+    #[test]
+    fn scalar_subquery_in_comparison() {
+        let e = parse_expr_str("(select count(*) from t) > 5").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::Gt, .. }));
+    }
+
+    #[test]
+    fn double_quoted_strings_are_literals() {
+        // Fig 11 uses double quotes for string literals.
+        let s = one(r#"update SysPrimitiveEvent set vNo=vNo+1 where eventName ="sentineldb.sharma.addStk""#);
+        assert!(matches!(s, Stmt::Update { .. }));
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let s = one("select t.* from t");
+        match s {
+            Stmt::Select(sel) => {
+                assert!(matches!(sel.projection[0], SelectItem::QualifiedWildcard(ref q) if q == "t"))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn truncate_table() {
+        assert!(matches!(one("truncate table t"), Stmt::Truncate { .. }));
+    }
+
+    #[test]
+    fn drop_statements() {
+        assert!(matches!(one("drop table t"), Stmt::DropTable { .. }));
+        assert!(matches!(one("drop trigger tr"), Stmt::DropTrigger { .. }));
+        assert!(matches!(one("drop procedure p"), Stmt::DropProcedure { .. }));
+    }
+
+    #[test]
+    fn parse_error_messages() {
+        assert!(parse_script("create frobnicate x").is_err());
+        assert!(parse_script("insert t frobnicate").is_err());
+        assert!(parse_script("select from").is_err());
+        assert!(parse_expr_str("1 +").is_err());
+        assert!(parse_expr_str("1 2").is_err());
+    }
+
+    #[test]
+    fn select_expr_alias() {
+        let s = one("select price * 2 as double_price from stock");
+        match s {
+            Stmt::Select(sel) => match &sel.projection[0] {
+                SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("double_price")),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn negative_numbers_and_unary() {
+        let e = parse_expr_str("-3 + +2").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::Add, .. }));
+    }
+}

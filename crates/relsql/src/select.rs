@@ -1,0 +1,568 @@
+//! SELECT execution: comma joins, filtering, grouping/aggregates, HAVING,
+//! projection, DISTINCT and ORDER BY.
+
+use crate::ast::{is_aggregate_name, Expr, OrderByItem, SelectItem, SelectStmt, UnaryOp};
+use crate::error::{Error, Result};
+use crate::eval::{apply_binary_values, eval_expr, Frame, QueryCtx, RowEnv};
+use crate::table::{Column, Row, Schema};
+use crate::value::{DataType, Value};
+
+/// Metadata for one FROM-table's slice of the joined row.
+struct JoinedMeta {
+    alias: Option<String>,
+    table_name: String,
+    schema: Schema,
+    offset: usize,
+    width: usize,
+}
+
+fn build_env<'r>(
+    metas: &'r [JoinedMeta],
+    row: &'r [Value],
+    parent: Option<&'r RowEnv<'r>>,
+) -> RowEnv<'r> {
+    RowEnv {
+        frames: metas
+            .iter()
+            .map(|m| Frame {
+                alias: m.alias.clone(),
+                table_name: m.table_name.clone(),
+                schema: &m.schema,
+                row: &row[m.offset..m.offset + m.width],
+            })
+            .collect(),
+        parent,
+    }
+}
+
+/// Execute a SELECT and return (column names, rows). `INTO` is handled by
+/// the engine, not here.
+pub(crate) fn run_select(
+    ctx: &QueryCtx<'_>,
+    stmt: &SelectStmt,
+    outer: Option<&RowEnv<'_>>,
+) -> Result<(Vec<String>, Vec<Row>)> {
+    let (columns, rows, _) = run_select_typed(ctx, stmt, outer)?;
+    Ok((columns, rows))
+}
+
+/// Like [`run_select`] but also returns an inferred output schema, used by
+/// `SELECT ... INTO` to create the target table even when zero rows match
+/// (the paper's `where 1=2` shadow-table idiom in Figure 11).
+pub(crate) fn run_select_typed<'r>(
+    ctx: &QueryCtx<'_>,
+    stmt: &SelectStmt,
+    outer: Option<&'r RowEnv<'r>>,
+) -> Result<(Vec<String>, Vec<Row>, Vec<Column>)> {
+    // ---- FROM: materialize the cartesian product of the named tables.
+    let mut metas: Vec<JoinedMeta> = Vec::with_capacity(stmt.from.len());
+    let mut tables = Vec::with_capacity(stmt.from.len());
+    let mut offset = 0usize;
+    for tref in &stmt.from {
+        let table = ctx.resolve_table(&tref.name)?;
+        metas.push(JoinedMeta {
+            alias: tref.alias.clone(),
+            table_name: table.name.clone(),
+            schema: table.schema.clone(),
+            offset,
+            width: table.schema.len(),
+        });
+        offset += table.schema.len();
+        tables.push(table);
+    }
+
+    let mut joined: Vec<Row> = Vec::new();
+    if tables.is_empty() {
+        joined.push(Vec::new());
+    } else {
+        // Odometer over row indices of each table.
+        let sizes: Vec<usize> = tables.iter().map(|t| t.rows.len()).collect();
+        if sizes.iter().all(|&n| n > 0) {
+            let mut idx = vec![0usize; tables.len()];
+            'outer: loop {
+                let mut row = Vec::with_capacity(offset);
+                for (t, &i) in tables.iter().zip(&idx) {
+                    row.extend(t.rows[i].iter().cloned());
+                }
+                joined.push(row);
+                // Advance odometer.
+                for k in (0..idx.len()).rev() {
+                    idx[k] += 1;
+                    if idx[k] < sizes[k] {
+                        continue 'outer;
+                    }
+                    idx[k] = 0;
+                    if k == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- WHERE.
+    let filtered: Vec<Row> = match &stmt.selection {
+        Some(cond) => {
+            let mut keep = Vec::new();
+            for row in joined {
+                let env = build_env(&metas, &row, outer);
+                if eval_expr(ctx, &env, cond)?.is_truthy() {
+                    keep.push(row);
+                }
+            }
+            keep
+        }
+        None => joined,
+    };
+
+    // ---- Output column names + static types.
+    let (out_names, out_types) = output_columns(&metas, &stmt.projection)?;
+
+    let has_aggregates = !stmt.group_by.is_empty()
+        || stmt
+            .projection
+            .iter()
+            .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || stmt.having.as_ref().is_some_and(Expr::contains_aggregate);
+
+    // Each output row is paired with its ORDER BY sort key.
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+
+    if has_aggregates {
+        // ---- GROUP BY: sort row indices by group key, partition runs.
+        let mut keys: Vec<Vec<Value>> = Vec::with_capacity(filtered.len());
+        for row in &filtered {
+            let env = build_env(&metas, row, outer);
+            let mut key = Vec::with_capacity(stmt.group_by.len());
+            for g in &stmt.group_by {
+                key.push(eval_expr(ctx, &env, g)?);
+            }
+            keys.push(key);
+        }
+        let mut order: Vec<usize> = (0..filtered.len()).collect();
+        order.sort_by(|&a, &b| cmp_key(&keys[a], &keys[b]));
+
+        let mut groups: Vec<Vec<&Row>> = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let mut j = i + 1;
+            while j < order.len()
+                && cmp_key(&keys[order[i]], &keys[order[j]]) == std::cmp::Ordering::Equal
+            {
+                j += 1;
+            }
+            groups.push(order[i..j].iter().map(|&k| &filtered[k]).collect());
+            i = j;
+        }
+        // A global aggregate over zero rows still yields one group.
+        if groups.is_empty() && stmt.group_by.is_empty() {
+            groups.push(Vec::new());
+        }
+
+        for group in groups {
+            if let Some(having) = &stmt.having {
+                let hv = eval_grouped(ctx, &metas, &group, having)?;
+                if !hv.is_truthy() {
+                    continue;
+                }
+            }
+            let mut out_row = Vec::with_capacity(out_names.len());
+            for item in &stmt.projection {
+                match item {
+                    SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                        return Err(Error::exec(
+                            "wildcard projection is not allowed with GROUP BY/aggregates",
+                        ))
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(eval_grouped(ctx, &metas, &group, expr)?);
+                    }
+                }
+            }
+            let key = order_keys_grouped(ctx, &metas, &group, &stmt.order_by, &out_names, &out_row)?;
+            keyed.push((key, out_row));
+        }
+    } else {
+        for row in &filtered {
+            let env = build_env(&metas, row, outer);
+            let mut out_row = Vec::with_capacity(out_names.len());
+            for item in &stmt.projection {
+                match item {
+                    SelectItem::Wildcard => out_row.extend(row.iter().cloned()),
+                    SelectItem::QualifiedWildcard(q) => {
+                        let m = metas
+                            .iter()
+                            .find(|m| {
+                                m.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q))
+                                    || m.table_name.eq_ignore_ascii_case(q)
+                                    || m.table_name
+                                        .to_ascii_lowercase()
+                                        .ends_with(&format!(".{}", q.to_ascii_lowercase()))
+                            })
+                            .ok_or_else(|| Error::exec(format!("unknown qualifier '{q}.*'")))?;
+                        out_row.extend(row[m.offset..m.offset + m.width].iter().cloned());
+                    }
+                    SelectItem::Expr { expr, .. } => out_row.push(eval_expr(ctx, &env, expr)?),
+                }
+            }
+            let key = order_keys(ctx, &env, &stmt.order_by, &out_names, &out_row)?;
+            keyed.push((key, out_row));
+        }
+    }
+
+    // ---- DISTINCT.
+    if stmt.distinct {
+        keyed.sort_by(|a, b| cmp_key(&a.1, &b.1));
+        keyed.dedup_by(|a, b| cmp_key(&a.1, &b.1) == std::cmp::Ordering::Equal);
+    }
+
+    // ---- ORDER BY (stable sort; DESC flags flip individual key parts).
+    if !stmt.order_by.is_empty() {
+        let descs: Vec<bool> = stmt.order_by.iter().map(|o| o.desc).collect();
+        keyed.sort_by(|a, b| {
+            for ((x, y), desc) in a.0.iter().zip(b.0.iter()).zip(&descs) {
+                let ord = x.total_cmp(y);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+    Ok((out_names, rows, out_types))
+}
+
+fn cmp_key(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Compute ORDER BY keys for a non-aggregate row: ordinals and output
+/// aliases resolve against the output row; everything else evaluates in the
+/// input environment.
+fn order_keys(
+    ctx: &QueryCtx<'_>,
+    env: &RowEnv<'_>,
+    order_by: &[OrderByItem],
+    out_names: &[String],
+    out_row: &[Value],
+) -> Result<Vec<Value>> {
+    let mut keys = Vec::with_capacity(order_by.len());
+    for item in order_by {
+        if let Some(v) = output_ref(&item.expr, out_names, out_row)? {
+            keys.push(v);
+        } else {
+            keys.push(eval_expr(ctx, env, &item.expr)?);
+        }
+    }
+    Ok(keys)
+}
+
+fn order_keys_grouped(
+    ctx: &QueryCtx<'_>,
+    metas: &[JoinedMeta],
+    group: &[&Row],
+    order_by: &[OrderByItem],
+    out_names: &[String],
+    out_row: &[Value],
+) -> Result<Vec<Value>> {
+    let mut keys = Vec::with_capacity(order_by.len());
+    for item in order_by {
+        if let Some(v) = output_ref(&item.expr, out_names, out_row)? {
+            keys.push(v);
+        } else {
+            keys.push(eval_grouped(ctx, metas, group, &item.expr)?);
+        }
+    }
+    Ok(keys)
+}
+
+/// ORDER BY ordinal (`order by 2`) or output-alias reference.
+fn output_ref(expr: &Expr, out_names: &[String], out_row: &[Value]) -> Result<Option<Value>> {
+    match expr {
+        Expr::Literal(Value::Int(n)) => {
+            let idx = *n as usize;
+            if idx == 0 || idx > out_row.len() {
+                return Err(Error::exec(format!("ORDER BY position {n} out of range")));
+            }
+            Ok(Some(out_row[idx - 1].clone()))
+        }
+        Expr::Column {
+            qualifier: None,
+            name,
+        } => {
+            let mut hit = None;
+            for (i, n) in out_names.iter().enumerate() {
+                if n.eq_ignore_ascii_case(name) {
+                    hit = Some(out_row[i].clone());
+                    break;
+                }
+            }
+            Ok(hit)
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Evaluate an expression over a whole group (aggregate context).
+fn eval_grouped(
+    ctx: &QueryCtx<'_>,
+    metas: &[JoinedMeta],
+    group: &[&Row],
+    expr: &Expr,
+) -> Result<Value> {
+    if !expr.contains_aggregate() {
+        // Non-aggregate parts take their value from the group's first row
+        // (Sybase-style leniency; strict SQL would require GROUP BY listing).
+        return match group.first() {
+            Some(row) => {
+                let env = build_env(metas, row, None);
+                eval_expr(ctx, &env, expr)
+            }
+            None => Ok(Value::Null),
+        };
+    }
+    match expr {
+        Expr::Function { name, args, star } if is_aggregate_name(name) => {
+            compute_aggregate(ctx, metas, group, name, args, *star)
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval_grouped(ctx, metas, group, left)?;
+            let r = eval_grouped(ctx, metas, group, right)?;
+            apply_binary_values(*op, l, r)
+        }
+        Expr::Unary { op, operand } => {
+            let v = eval_grouped(ctx, metas, group, operand)?;
+            match op {
+                UnaryOp::Not => Ok(match v {
+                    Value::Null => Value::Null,
+                    other => Value::Int(i64::from(!other.is_truthy())),
+                }),
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(Error::type_err(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        Expr::IsNull { operand, negated } => {
+            let v = eval_grouped(ctx, metas, group, operand)?;
+            Ok(Value::Int(i64::from(v.is_null() != *negated)))
+        }
+        Expr::Function { name, .. } => Err(Error::exec(format!(
+            "cannot nest scalar function '{name}' over aggregates"
+        ))),
+        other => Err(Error::exec(format!(
+            "unsupported aggregate expression: {other:?}"
+        ))),
+    }
+}
+
+fn compute_aggregate(
+    ctx: &QueryCtx<'_>,
+    metas: &[JoinedMeta],
+    group: &[&Row],
+    name: &str,
+    args: &[Expr],
+    star: bool,
+) -> Result<Value> {
+    let lname = name.to_ascii_lowercase();
+    if lname == "count" && star {
+        return Ok(Value::Int(group.len() as i64));
+    }
+    if args.len() != 1 {
+        return Err(Error::exec(format!("{name}() expects one argument")));
+    }
+    let mut vals = Vec::with_capacity(group.len());
+    for row in group {
+        let env = build_env(metas, row, None);
+        let v = eval_expr(ctx, &env, &args[0])?;
+        if !v.is_null() {
+            vals.push(v);
+        }
+    }
+    match lname.as_str() {
+        "count" => Ok(Value::Int(vals.len() as i64)),
+        "min" => Ok(vals
+            .into_iter()
+            .reduce(|a, b| {
+                if a.sql_cmp(&b) == Some(std::cmp::Ordering::Greater) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .unwrap_or(Value::Null)),
+        "max" => Ok(vals
+            .into_iter()
+            .reduce(|a, b| {
+                if a.sql_cmp(&b) == Some(std::cmp::Ordering::Less) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .unwrap_or(Value::Null)),
+        "sum" | "avg" => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut all_int = true;
+            let mut sum_f = 0f64;
+            let mut sum_i = 0i64;
+            let n = vals.len();
+            for v in vals {
+                match v {
+                    Value::Int(i) => {
+                        sum_i = sum_i.wrapping_add(i);
+                        sum_f += i as f64;
+                    }
+                    Value::Float(f) => {
+                        all_int = false;
+                        sum_f += f;
+                    }
+                    other => {
+                        return Err(Error::type_err(format!("{name}() over {other}")));
+                    }
+                }
+            }
+            if lname == "sum" {
+                Ok(if all_int {
+                    Value::Int(sum_i)
+                } else {
+                    Value::Float(sum_f)
+                })
+            } else {
+                Ok(Value::Float(sum_f / n as f64))
+            }
+        }
+        other => Err(Error::exec(format!("unknown aggregate '{other}'"))),
+    }
+}
+
+/// Derive output column names and static types for a projection.
+fn output_columns(
+    metas: &[JoinedMeta],
+    projection: &[SelectItem],
+) -> Result<(Vec<String>, Vec<Column>)> {
+    let mut names = Vec::new();
+    let mut cols = Vec::new();
+    let mut anon = 0usize;
+    for item in projection {
+        match item {
+            SelectItem::Wildcard => {
+                for m in metas {
+                    for c in &m.schema.columns {
+                        names.push(c.name.clone());
+                        cols.push(c.clone());
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let m = metas
+                    .iter()
+                    .find(|m| {
+                        m.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q))
+                            || m.table_name.eq_ignore_ascii_case(q)
+                            || m.table_name
+                                .to_ascii_lowercase()
+                                .ends_with(&format!(".{}", q.to_ascii_lowercase()))
+                    })
+                    .ok_or_else(|| Error::exec(format!("unknown qualifier '{q}.*'")))?;
+                for c in &m.schema.columns {
+                    names.push(c.name.clone());
+                    cols.push(c.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.clone(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        _ => {
+                            anon += 1;
+                            format!("col{anon}")
+                        }
+                    },
+                };
+                let data_type = infer_type(metas, expr);
+                names.push(name.clone());
+                cols.push(Column {
+                    name,
+                    data_type,
+                    nullable: true,
+                });
+            }
+        }
+    }
+    if names.is_empty() {
+        return Err(Error::exec("empty projection"));
+    }
+    Ok((names, cols))
+}
+
+/// Best-effort static type inference for SELECT INTO target columns.
+fn infer_type(metas: &[JoinedMeta], expr: &Expr) -> DataType {
+    match expr {
+        Expr::Literal(v) => v.data_type().unwrap_or(DataType::Text),
+        Expr::Column { name, qualifier } => {
+            for m in metas {
+                if let Some(q) = qualifier {
+                    let qlc = q.to_ascii_lowercase();
+                    let tn = m.table_name.to_ascii_lowercase();
+                    let alias_hit = m
+                        .alias
+                        .as_deref()
+                        .is_some_and(|a| a.eq_ignore_ascii_case(q));
+                    if !(alias_hit || tn == qlc || tn.ends_with(&format!(".{qlc}"))) {
+                        continue;
+                    }
+                }
+                if let Some(c) = m.schema.column(name) {
+                    return c.data_type;
+                }
+            }
+            DataType::Text
+        }
+        Expr::Function { name, .. } => {
+            let lname = name.to_ascii_lowercase();
+            match lname.as_str() {
+                "getdate" => DataType::DateTime,
+                "count" | "len" | "char_length" | "syb_sendmsg" => DataType::Int,
+                "sum" | "min" | "max" | "abs" | "round" | "avg" => DataType::Float,
+                "upper" | "lower" | "str" | "db_name" | "user_name" => DataType::Text,
+                _ => DataType::Text,
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            use crate::ast::BinaryOp::*;
+            match op {
+                And | Or | Eq | Neq | Lt | Le | Gt | Ge => DataType::Int,
+                _ => {
+                    let lt = infer_type(metas, left);
+                    let rt = infer_type(metas, right);
+                    match (lt, rt) {
+                        (DataType::Int, DataType::Int) => DataType::Int,
+                        (DataType::Text, _) | (_, DataType::Text) => DataType::Text,
+                        (DataType::Varchar(_), _) | (_, DataType::Varchar(_)) => DataType::Text,
+                        (DataType::DateTime, _) | (_, DataType::DateTime) => DataType::DateTime,
+                        _ => DataType::Float,
+                    }
+                }
+            }
+        }
+        Expr::Unary { operand, .. } => infer_type(metas, operand),
+        Expr::IsNull { .. } | Expr::InList { .. } | Expr::Between { .. } | Expr::Like { .. }
+        | Expr::Exists(_) => DataType::Int,
+        Expr::Subquery(_) => DataType::Text,
+    }
+}

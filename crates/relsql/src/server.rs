@@ -1,0 +1,159 @@
+//! The server layer: thread-safe sessions over a shared engine.
+//!
+//! This plays the role of Sybase's Open Server / TDS stack: clients (and the
+//! ECA Agent's internal threads) hold [`Session`]s that submit language
+//! batches and get tabular results back. The [`SqlEndpoint`] trait is the
+//! seam the agent's Gateway Open Server is generic over.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::LogicalClock;
+use crate::engine::{BatchResult, Engine, EngineConfig};
+use crate::error::Result;
+use crate::eval::SessionCtx;
+use crate::notify::NotificationSink;
+
+/// Anything that can execute SQL on behalf of a session: a real server, the
+/// ECA Agent (which proxies to one), or a test double.
+pub trait SqlEndpoint: Send + Sync {
+    fn execute(&self, sql: &str, session: &SessionCtx) -> Result<BatchResult>;
+}
+
+/// A thread-safe SQL server wrapping one [`Engine`].
+///
+/// Statements are serialized through a mutex — the engine is a
+/// single-writer system, which is all the paper's architecture requires
+/// (the agent funnels everything through the Gateway Open Server anyway).
+pub struct SqlServer {
+    engine: Mutex<Engine>,
+    clock: Arc<LogicalClock>,
+}
+
+impl SqlServer {
+    pub fn new() -> Arc<Self> {
+        Self::with_config(EngineConfig::default())
+    }
+
+    pub fn with_config(config: EngineConfig) -> Arc<Self> {
+        let engine = Engine::with_config(config);
+        let clock = engine.clock();
+        Arc::new(SqlServer {
+            engine: Mutex::new(engine),
+            clock,
+        })
+    }
+
+    /// Register the notification sink used by `syb_sendmsg()`.
+    pub fn set_sink(&self, sink: Arc<dyn NotificationSink>) {
+        self.engine.lock().set_sink(sink);
+    }
+
+    /// The engine's logical clock (shared, lock-free).
+    pub fn clock(&self) -> Arc<LogicalClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Open a session with the given database/user identity.
+    pub fn session(self: &Arc<Self>, database: &str, user: &str) -> Session {
+        Session {
+            server: Arc::clone(self),
+            ctx: SessionCtx::new(database, user),
+        }
+    }
+
+    /// Run a closure with read access to the engine (for introspection).
+    pub fn inspect<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.engine.lock())
+    }
+}
+
+impl SqlEndpoint for SqlServer {
+    fn execute(&self, sql: &str, session: &SessionCtx) -> Result<BatchResult> {
+        self.engine.lock().execute(sql, session)
+    }
+}
+
+/// A client connection bound to a database/user identity.
+#[derive(Clone)]
+pub struct Session {
+    server: Arc<SqlServer>,
+    ctx: SessionCtx,
+}
+
+impl Session {
+    pub fn execute(&self, sql: &str) -> Result<BatchResult> {
+        self.server.execute(sql, &self.ctx)
+    }
+
+    pub fn ctx(&self) -> &SessionCtx {
+        &self.ctx
+    }
+
+    pub fn server(&self) -> &Arc<SqlServer> {
+        &self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn sessions_share_one_engine() {
+        let server = SqlServer::new();
+        let s1 = server.session("db", "alice");
+        let s2 = server.session("db", "bob");
+        s1.execute("create table t (a int)").unwrap();
+        s2.execute("insert t values (42)").unwrap();
+        let r = s1.execute("select a from t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn sessions_have_distinct_identity() {
+        let server = SqlServer::new();
+        let s1 = server.session("db", "alice");
+        let r = s1.execute("select user_name()").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Str("alice".into())));
+    }
+
+    #[test]
+    fn concurrent_sessions_are_serialized_safely() {
+        let server = SqlServer::new();
+        server
+            .session("db", "u")
+            .execute("create table t (a int)")
+            .unwrap();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let session = server.session("db", &format!("u{i}"));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    session.execute("insert t values (1)").unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = server
+            .session("db", "u")
+            .execute("select count(*) from t")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(400)));
+    }
+
+    #[test]
+    fn inspect_gives_catalog_access() {
+        let server = SqlServer::new();
+        server
+            .session("db", "u")
+            .execute("create table t (a int)")
+            .unwrap();
+        let n = server.inspect(|e| e.database().table_count());
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! In-memory tables: schemas and row storage.
+
+use crate::ast::ColumnDef;
+use crate::error::{Error, ObjectKind, Result};
+use crate::value::{DataType, Value};
+
+/// A single column of a table schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl From<&ColumnDef> for Column {
+    fn from(def: &ColumnDef) -> Self {
+        Column {
+            name: def.name.clone(),
+            data_type: def.data_type,
+            nullable: def.nullable,
+        }
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// A row is a vector of values, positionally matching the schema.
+pub type Row = Vec<Value>;
+
+/// A heap table: schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Canonical (as-created) full name, possibly dotted.
+    pub name: String,
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Build a table from column definitions, validating uniqueness.
+    pub fn from_defs(name: impl Into<String>, defs: &[ColumnDef]) -> Result<Self> {
+        let name = name.into();
+        if defs.is_empty() {
+            return Err(Error::Shape {
+                msg: format!("table '{name}' must have at least one column"),
+            });
+        }
+        let mut columns: Vec<Column> = Vec::with_capacity(defs.len());
+        for def in defs {
+            if columns
+                .iter()
+                .any(|c| c.name.eq_ignore_ascii_case(&def.name))
+            {
+                return Err(Error::AlreadyExists {
+                    kind: ObjectKind::Column,
+                    name: def.name.clone(),
+                });
+            }
+            columns.push(def.into());
+        }
+        Ok(Table::new(name, Schema::new(columns)))
+    }
+
+    /// Coerce and validate a row against the schema, then append it.
+    pub fn insert_row(&mut self, row: Row) -> Result<()> {
+        let coerced = self.check_row(row)?;
+        self.rows.push(coerced);
+        Ok(())
+    }
+
+    /// Validate a row (arity, types, NOT NULL) and return the coerced copy.
+    pub fn check_row(&self, row: Row) -> Result<Row> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Shape {
+                msg: format!(
+                    "table '{}' expects {} values, got {}",
+                    self.name,
+                    self.schema.len(),
+                    row.len()
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, col) in row.into_iter().zip(&self.schema.columns) {
+            let v = v.coerce_to(col.data_type)?;
+            if v.is_null() && !col.nullable {
+                return Err(Error::Constraint {
+                    msg: format!(
+                        "column '{}' of table '{}' does not allow NULL",
+                        col.name, self.name
+                    ),
+                });
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Add a column with NULL backfill (ALTER TABLE ADD).
+    pub fn add_column(&mut self, def: &ColumnDef) -> Result<()> {
+        if self.schema.index_of(&def.name).is_some() {
+            return Err(Error::AlreadyExists {
+                kind: ObjectKind::Column,
+                name: def.name.clone(),
+            });
+        }
+        if !def.nullable {
+            return Err(Error::Constraint {
+                msg: format!(
+                    "cannot add NOT NULL column '{}' to non-empty table",
+                    def.name
+                ),
+            });
+        }
+        self.schema.columns.push(def.into());
+        for row in &mut self.rows {
+            row.push(Value::Null);
+        }
+        Ok(())
+    }
+
+    /// An empty clone of this table (schema only) under a new name — the
+    /// engine's `SELECT * INTO new FROM t WHERE 1=2` building block.
+    pub fn empty_like(&self, name: impl Into<String>) -> Table {
+        Table::new(name, self.schema.clone())
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defs() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef {
+                name: "symbol".into(),
+                data_type: DataType::Varchar(10),
+                nullable: false,
+            },
+            ColumnDef {
+                name: "price".into(),
+                data_type: DataType::Float,
+                nullable: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn from_defs_builds_schema() {
+        let t = Table::from_defs("stock", &defs()).unwrap();
+        assert_eq!(t.schema.len(), 2);
+        assert_eq!(t.schema.index_of("PRICE"), Some(1));
+        assert!(t.schema.column("symbol").is_some());
+        assert!(t.schema.column("missing").is_none());
+    }
+
+    #[test]
+    fn empty_defs_rejected() {
+        assert!(Table::from_defs("t", &[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let mut d = defs();
+        d.push(ColumnDef {
+            name: "SYMBOL".into(),
+            data_type: DataType::Int,
+            nullable: true,
+        });
+        assert!(Table::from_defs("t", &d).is_err());
+    }
+
+    #[test]
+    fn insert_coerces_types() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        t.insert_row(vec![Value::Str("IBM".into()), Value::Int(100)])
+            .unwrap();
+        assert_eq!(t.rows[0][1], Value::Float(100.0));
+    }
+
+    #[test]
+    fn insert_enforces_not_null() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        let err = t
+            .insert_row(vec![Value::Null, Value::Float(1.0)])
+            .unwrap_err();
+        assert!(matches!(err, Error::Constraint { .. }));
+    }
+
+    #[test]
+    fn insert_enforces_arity() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        assert!(t.insert_row(vec![Value::Str("IBM".into())]).is_err());
+    }
+
+    #[test]
+    fn add_column_backfills_null() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        t.insert_row(vec![Value::Str("IBM".into()), Value::Float(1.0)])
+            .unwrap();
+        t.add_column(&ColumnDef {
+            name: "vNo".into(),
+            data_type: DataType::Int,
+            nullable: true,
+        })
+        .unwrap();
+        assert_eq!(t.schema.len(), 3);
+        assert_eq!(t.rows[0][2], Value::Null);
+    }
+
+    #[test]
+    fn add_column_rejects_duplicates_and_not_null() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        assert!(t
+            .add_column(&ColumnDef {
+                name: "price".into(),
+                data_type: DataType::Int,
+                nullable: true,
+            })
+            .is_err());
+        assert!(t
+            .add_column(&ColumnDef {
+                name: "x".into(),
+                data_type: DataType::Int,
+                nullable: false,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn empty_like_copies_schema_only() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        t.insert_row(vec![Value::Str("IBM".into()), Value::Float(1.0)])
+            .unwrap();
+        let shadow = t.empty_like("stock_inserted");
+        assert_eq!(shadow.name, "stock_inserted");
+        assert_eq!(shadow.schema, t.schema);
+        assert_eq!(shadow.row_count(), 0);
+    }
+
+    #[test]
+    fn varchar_truncates_on_insert() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        t.insert_row(vec![
+            Value::Str("VERYLONGSYMBOL".into()),
+            Value::Float(1.0),
+        ])
+        .unwrap();
+        assert_eq!(t.rows[0][0], Value::Str("VERYLONGSY".into()));
+    }
+}

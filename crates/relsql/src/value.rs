@@ -1,0 +1,313 @@
+//! Runtime values and column data types.
+//!
+//! The engine supports the scalar types the paper's generated SQL touches:
+//! `int`, `float`, `varchar(n)`, `text`, and `datetime` (Figures 5-7, 17).
+//! Datetimes are stored as microseconds on the engine's logical clock so
+//! every run is deterministic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// A column's declared type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 64-bit float (`float`).
+    Float,
+    /// Bounded string (`varchar(n)`); values longer than `n` are truncated,
+    /// matching Sybase's silent-truncation default.
+    Varchar(usize),
+    /// Unbounded string (`text`).
+    Text,
+    /// Microseconds on the engine clock (`datetime`).
+    DateTime,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => f.write_str("int"),
+            DataType::Float => f.write_str("float"),
+            DataType::Varchar(n) => write!(f, "varchar({n})"),
+            DataType::Text => f.write_str("text"),
+            DataType::DateTime => f.write_str("datetime"),
+        }
+    }
+}
+
+/// A runtime scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    DateTime(i64),
+}
+
+impl Value {
+    /// SQL three-valued-logic truthiness: NULL is not true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::DateTime(_) => true,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The natural type of this value, if not NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Text),
+            Value::DateTime(_) => Some(DataType::DateTime),
+        }
+    }
+
+    /// Coerce this value to fit a column of type `ty`.
+    ///
+    /// Follows Sybase's permissive conversions: int↔float, anything→string
+    /// by formatting, numeric strings→numbers, and silent varchar truncation.
+    pub fn coerce_to(&self, ty: DataType) -> Result<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(i), DataType::Int) => Ok(Value::Int(*i)),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Int(i), DataType::DateTime) => Ok(Value::DateTime(*i)),
+            (Value::Float(f), DataType::Float) => Ok(Value::Float(*f)),
+            (Value::Float(f), DataType::Int) => Ok(Value::Int(*f as i64)),
+            (Value::Str(s), DataType::Text) => Ok(Value::Str(s.clone())),
+            (Value::Str(s), DataType::Varchar(n)) => {
+                let mut s = s.clone();
+                if s.len() > n {
+                    // Truncate on a char boundary at or below the byte limit.
+                    let mut cut = n;
+                    while !s.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    s.truncate(cut);
+                }
+                Ok(Value::Str(s))
+            }
+            (Value::Str(s), DataType::Int) => s.trim().parse::<i64>().map(Value::Int).map_err(
+                |_| Error::type_err(format!("cannot convert '{s}' to int")),
+            ),
+            (Value::Str(s), DataType::Float) => s.trim().parse::<f64>().map(Value::Float).map_err(
+                |_| Error::type_err(format!("cannot convert '{s}' to float")),
+            ),
+            (Value::DateTime(t), DataType::DateTime) => Ok(Value::DateTime(*t)),
+            (Value::DateTime(t), DataType::Int) => Ok(Value::Int(*t)),
+            (v, DataType::Varchar(n)) => Value::Str(v.to_string()).coerce_to(DataType::Varchar(n)),
+            (v, DataType::Text) => Ok(Value::Str(v.to_string())),
+            (v, ty) => Err(Error::type_err(format!(
+                "cannot convert {v} to {ty}",
+            ))),
+        }
+    }
+
+    /// SQL comparison. Returns `None` when either side is NULL (unknown) or
+    /// the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::DateTime(a), Value::DateTime(b)) => Some(a.cmp(b)),
+            (Value::DateTime(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::DateTime(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used for ORDER BY and GROUP BY grouping: NULLs sort
+    /// first, then by type class, then by value.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) | Value::DateTime(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => match class(self).cmp(&class(other)) {
+                Ordering::Equal => self.sql_cmp(other).unwrap_or(Ordering::Equal),
+                ord => ord,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => f.write_str(s),
+            Value::DateTime(t) => write!(f, "dt:{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(2).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+        assert!(Value::Float(0.5).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(Value::Str("x".into()).is_truthy());
+        assert!(Value::DateTime(0).is_truthy());
+    }
+
+    #[test]
+    fn coerce_int_float() {
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Float(3.9).coerce_to(DataType::Int).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn coerce_string_numeric() {
+        assert_eq!(
+            Value::Str(" 42 ".into()).coerce_to(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert!(Value::Str("abc".into()).coerce_to(DataType::Int).is_err());
+        assert_eq!(
+            Value::Str("2.5".into()).coerce_to(DataType::Float).unwrap(),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn varchar_truncation_is_silent() {
+        let v = Value::Str("abcdefgh".into())
+            .coerce_to(DataType::Varchar(3))
+            .unwrap();
+        assert_eq!(v, Value::Str("abc".into()));
+    }
+
+    #[test]
+    fn varchar_truncation_respects_char_boundary() {
+        let v = Value::Str("héllo".into())
+            .coerce_to(DataType::Varchar(2))
+            .unwrap();
+        // 'é' is two bytes starting at index 1; cut backs off to 1.
+        assert_eq!(v, Value::Str("h".into()));
+    }
+
+    #[test]
+    fn null_coerces_to_anything() {
+        for ty in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Varchar(5),
+            DataType::DateTime,
+        ] {
+            assert_eq!(Value::Null.coerce_to(ty).unwrap(), Value::Null);
+        }
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_mixed_numeric() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn datetime_compares_with_int() {
+        assert_eq!(
+            Value::DateTime(5).sql_cmp(&Value::Int(5)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn total_cmp_sorts_nulls_first() {
+        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals, vec![Value::Null, Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::DateTime(9).to_string(), "dt:9");
+    }
+
+    #[test]
+    fn datatype_display() {
+        assert_eq!(DataType::Varchar(30).to_string(), "varchar(30)");
+        assert_eq!(DataType::DateTime.to_string(), "datetime");
+    }
+}

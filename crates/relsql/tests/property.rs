@@ -1,0 +1,283 @@
+//! Property-based tests for the SQL engine's core invariants.
+
+use proptest::prelude::*;
+use relsql::value::{DataType, Value};
+use relsql::{Engine, SessionCtx};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+proptest! {
+    // ------------------------------------------------------------- values
+
+    #[test]
+    fn varchar_coercion_respects_length(s in ".{0,40}", n in 1usize..20) {
+        let v = Value::Str(s).coerce_to(DataType::Varchar(n)).unwrap();
+        match v {
+            Value::Str(out) => prop_assert!(out.len() <= n),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn int_float_roundtrip(i in -1_000_000i64..1_000_000) {
+        let f = Value::Int(i).coerce_to(DataType::Float).unwrap();
+        let back = f.coerce_to(DataType::Int).unwrap();
+        prop_assert_eq!(back, Value::Int(i));
+    }
+
+    #[test]
+    fn sql_cmp_is_antisymmetric(a in -1000i64..1000, b in -1000i64..1000) {
+        let (va, vb) = (Value::Int(a), Value::Int(b));
+        let ab = va.sql_cmp(&vb).unwrap();
+        let ba = vb.sql_cmp(&va).unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn total_cmp_sorts_consistently(mut vals in prop::collection::vec(-100i64..100, 0..20)) {
+        let mut values: Vec<Value> = vals.drain(..).map(Value::Int).collect();
+        values.push(Value::Null);
+        values.sort_by(|a, b| a.total_cmp(b));
+        // NULLs first, then ascending ints.
+        prop_assert_eq!(&values[0], &Value::Null);
+        for w in values.windows(2) {
+            prop_assert!(w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    // -------------------------------------------------------------- LIKE
+
+    #[test]
+    fn like_self_match_without_wildcards(s in "[a-zA-Z0-9 ]{0,20}") {
+        prop_assert!(relsql::like_match(&s, &s));
+    }
+
+    #[test]
+    fn like_percent_matches_everything(s in ".{0,20}") {
+        prop_assert!(relsql::like_match(&s, "%"));
+    }
+
+    #[test]
+    fn like_prefix_suffix(s in "[a-z]{1,10}", rest in "[a-z]{0,10}") {
+        let hay = format!("{s}{rest}");
+        let pre = format!("{s}%");
+        let suf = format!("%{rest}");
+        prop_assert!(relsql::like_match(&hay, &pre));
+        prop_assert!(relsql::like_match(&hay, &suf));
+    }
+
+    #[test]
+    fn like_underscore_counts_chars(s in "[a-z]{1,15}") {
+        let pattern: String = "_".repeat(s.chars().count());
+        let longer = format!("{pattern}_");
+        prop_assert!(relsql::like_match(&s, &pattern));
+        prop_assert!(!relsql::like_match(&s, &longer));
+    }
+
+    // ------------------------------------------------------------- lexer
+
+    #[test]
+    fn lexer_never_panics(s in ".{0,200}") {
+        let _ = relsql::lexer::tokenize(&s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in ".{0,200}") {
+        let _ = relsql::parser::parse_script(&s);
+    }
+
+    #[test]
+    fn string_literal_roundtrip(s in "[^']{0,30}") {
+        let sql = format!("'{s}'");
+        let toks = relsql::lexer::tokenize(&sql).unwrap();
+        match &toks[0].kind {
+            relsql::lexer::TokenKind::Str(out) => prop_assert_eq!(out, &s),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------ engine
+
+    #[test]
+    fn insert_count_matches(n in 0usize..30) {
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute("create table t (a int)", &s).unwrap();
+        for i in 0..n {
+            e.execute(&format!("insert t values ({i})"), &s).unwrap();
+        }
+        let r = e.execute("select count(*) from t", &s).unwrap();
+        prop_assert_eq!(r.scalar(), Some(&Value::Int(n as i64)));
+    }
+
+    #[test]
+    fn sum_and_avg_agree(vals in prop::collection::vec(-100i64..100, 1..25)) {
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute("create table t (a int)", &s).unwrap();
+        for v in &vals {
+            e.execute(&format!("insert t values ({v})"), &s).unwrap();
+        }
+        let r = e.execute("select sum(a), avg(a), min(a), max(a) from t", &s).unwrap();
+        let row = &r.last_select().unwrap().rows[0];
+        let sum: i64 = vals.iter().sum();
+        prop_assert_eq!(&row[0], &Value::Int(sum));
+        match &row[1] {
+            Value::Float(avg) => {
+                let expected = sum as f64 / vals.len() as f64;
+                prop_assert!((avg - expected).abs() < 1e-9);
+            }
+            other => prop_assert!(false, "avg not float: {other:?}"),
+        }
+        prop_assert_eq!(&row[2], &Value::Int(*vals.iter().min().unwrap()));
+        prop_assert_eq!(&row[3], &Value::Int(*vals.iter().max().unwrap()));
+    }
+
+    #[test]
+    fn where_partition_is_complete(vals in prop::collection::vec(-50i64..50, 0..25), pivot in -50i64..50) {
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute("create table t (a int)", &s).unwrap();
+        for v in &vals {
+            e.execute(&format!("insert t values ({v})"), &s).unwrap();
+        }
+        let lo = e.execute(&format!("select count(*) from t where a < {pivot}"), &s).unwrap();
+        let hi = e.execute(&format!("select count(*) from t where a >= {pivot}"), &s).unwrap();
+        let (lo, hi) = match (lo.scalar(), hi.scalar()) {
+            (Some(Value::Int(a)), Some(Value::Int(b))) => (*a, *b),
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        prop_assert_eq!(lo + hi, vals.len() as i64);
+    }
+
+    #[test]
+    fn order_by_produces_sorted_output(vals in prop::collection::vec(-100i64..100, 0..25)) {
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute("create table t (a int)", &s).unwrap();
+        for v in &vals {
+            e.execute(&format!("insert t values ({v})"), &s).unwrap();
+        }
+        let r = e.execute("select a from t order by a", &s).unwrap();
+        let rows = &r.last_select().unwrap().rows;
+        for w in rows.windows(2) {
+            prop_assert!(w[0][0].sql_cmp(&w[1][0]) != Some(std::cmp::Ordering::Greater));
+        }
+        prop_assert_eq!(rows.len(), vals.len());
+    }
+
+    #[test]
+    fn rollback_restores_row_count(
+        before in 0usize..10,
+        during in 0usize..10,
+    ) {
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute("create table t (a int)", &s).unwrap();
+        for i in 0..before {
+            e.execute(&format!("insert t values ({i})"), &s).unwrap();
+        }
+        e.execute("begin tran", &s).unwrap();
+        for i in 0..during {
+            e.execute(&format!("insert t values ({i})"), &s).unwrap();
+        }
+        e.execute("rollback", &s).unwrap();
+        let r = e.execute("select count(*) from t", &s).unwrap();
+        prop_assert_eq!(r.scalar(), Some(&Value::Int(before as i64)));
+    }
+
+    #[test]
+    fn identifiers_roundtrip_through_catalog(name in ident()) {
+        // Skip reserved words that the parser will reject as table names.
+        prop_assume!(!["select","insert","update","delete","create","drop","alter","print",
+                       "execute","exec","begin","commit","rollback","if","while","end","else",
+                       "truncate","where","group","order","having","from","into","set","values",
+                       "on","as","union","go","and","or","not","in","between","like","is","null",
+                       "exists","distinct","tran","transaction","desc","asc","by","add","table",
+                       "trigger","procedure","proc","for","inserted","deleted"]
+                      .contains(&name.as_str()));
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute(&format!("create table {name} (a int)"), &s).unwrap();
+        e.execute(&format!("insert {name} values (1)"), &s).unwrap();
+        let r = e.execute(&format!("select a from {name}"), &s).unwrap();
+        prop_assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn join_syntax_equivalent_to_comma_join(
+        xs in prop::collection::vec(0i64..10, 0..15),
+        ys in prop::collection::vec(0i64..10, 0..15),
+    ) {
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute("create table a (x int)", &s).unwrap();
+        e.execute("create table b (x int)", &s).unwrap();
+        for x in &xs {
+            e.execute(&format!("insert a values ({x})"), &s).unwrap();
+        }
+        for y in &ys {
+            e.execute(&format!("insert b values ({y})"), &s).unwrap();
+        }
+        let r1 = e
+            .execute("select count(*) from a join b on a.x = b.x", &s)
+            .unwrap();
+        let r2 = e
+            .execute("select count(*) from a, b where a.x = b.x", &s)
+            .unwrap();
+        prop_assert_eq!(r1.scalar(), r2.scalar());
+        // Oracle: pairwise equality count.
+        let expected: i64 = xs
+            .iter()
+            .map(|x| ys.iter().filter(|y| *y == x).count() as i64)
+            .sum();
+        prop_assert_eq!(r1.scalar(), Some(&Value::Int(expected)));
+    }
+
+    #[test]
+    fn group_counts_sum_to_total(vals in prop::collection::vec(0i64..5, 0..30)) {
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute("create table t (a int)", &s).unwrap();
+        for v in &vals {
+            e.execute(&format!("insert t values ({v})"), &s).unwrap();
+        }
+        let r = e
+            .execute("select a, count(*) n from t group by a order by a", &s)
+            .unwrap();
+        let rows = &r.last_select().unwrap().rows;
+        let total: i64 = rows
+            .iter()
+            .map(|row| match row[1] {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(total, vals.len() as i64);
+        // One group per distinct value, in ascending order.
+        let mut distinct: Vec<i64> = vals.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let groups: Vec<i64> = rows
+            .iter()
+            .map(|row| match row[0] {
+                Value::Int(n) => n,
+                _ => -1,
+            })
+            .collect();
+        prop_assert_eq!(groups, distinct);
+    }
+
+    #[test]
+    fn update_then_select_sees_new_values(v0 in -100i64..100, v1 in -100i64..100) {
+        let mut e = Engine::new();
+        let s = SessionCtx::default();
+        e.execute("create table t (a int)", &s).unwrap();
+        e.execute(&format!("insert t values ({v0})"), &s).unwrap();
+        e.execute(&format!("update t set a = {v1}"), &s).unwrap();
+        let r = e.execute("select a from t", &s).unwrap();
+        prop_assert_eq!(r.scalar(), Some(&Value::Int(v1)));
+    }
+}

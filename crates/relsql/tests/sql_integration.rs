@@ -1,0 +1,343 @@
+//! Larger SQL scenarios exercising many engine features together —
+//! the kind of Transact-SQL the paper's generated code and its users'
+//! actions rely on.
+
+use relsql::{SqlServer, Value};
+
+fn server() -> relsql::Session {
+    let s = SqlServer::new();
+    s.session("appdb", "app")
+}
+
+#[test]
+fn order_entry_scenario() {
+    let s = server();
+    s.execute(
+        "create table customers (id int not null, name varchar(20), tier varchar(8))\n\
+         go\n\
+         create table orders (id int, cust_id int, amount float)\n\
+         go\n\
+         insert customers values (1, 'Acme', 'gold'), (2, 'Bob', 'basic'), (3, 'Cyn', 'gold')",
+    )
+    .unwrap();
+    for (id, cust, amount) in [
+        (1, 1, 100.0),
+        (2, 1, 250.0),
+        (3, 2, 75.0),
+        (4, 3, 30.0),
+        (5, 3, 45.0),
+        (6, 3, 60.0),
+    ] {
+        s.execute(&format!("insert orders values ({id}, {cust}, {amount})"))
+            .unwrap();
+    }
+    // Join + aggregate + having + order by.
+    let r = s
+        .execute(
+            "select customers.name, count(*) n, sum(orders.amount) total \
+             from customers, orders \
+             where customers.id = orders.cust_id \
+             group by customers.name \
+             having sum(orders.amount) > 100 \
+             order by total desc",
+        )
+        .unwrap();
+    let sel = r.last_select().unwrap();
+    assert_eq!(sel.rows.len(), 2);
+    assert_eq!(sel.rows[0][0], Value::Str("Acme".into()));
+    assert_eq!(sel.rows[0][2], Value::Float(350.0));
+    assert_eq!(sel.rows[1][0], Value::Str("Cyn".into()));
+    assert_eq!(sel.rows[1][2], Value::Float(135.0));
+
+    // Correlated-ish filtering via scalar subquery.
+    let r = s
+        .execute(
+            "select name from customers \
+             where (select count(*) from orders where orders.cust_id = customers.id) >= 2 \
+             order by name",
+        )
+        .unwrap();
+    let names: Vec<String> = r
+        .last_select()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect();
+    assert_eq!(names, vec!["Acme", "Cyn"]);
+}
+
+#[test]
+fn audit_trigger_chain_with_procedures() {
+    let s = server();
+    s.execute(
+        "create table accounts (id int, balance float)\n\
+         go\n\
+         create table audit (account int, old_balance float, new_balance float)\n\
+         go\n\
+         create table big_moves (account int)\n\
+         go\n\
+         insert accounts values (1, 1000.0), (2, 500.0)",
+    )
+    .unwrap();
+    s.execute(
+        "create trigger audit_upd on accounts for update as \
+         insert audit select deleted.id, deleted.balance, inserted.balance \
+         from deleted, inserted where deleted.id = inserted.id",
+    )
+    .unwrap();
+    s.execute(
+        "create trigger big_move on audit for insert as \
+         insert big_moves select account from inserted \
+         where abs(new_balance - old_balance) > 100",
+    )
+    .unwrap();
+    s.execute("update accounts set balance = balance - 50 where id = 1")
+        .unwrap();
+    s.execute("update accounts set balance = balance + 400 where id = 2")
+        .unwrap();
+    let r = s.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    let r = s.execute("select account from big_moves").unwrap();
+    assert_eq!(r.last_select().unwrap().rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn stored_procedure_with_control_flow() {
+    let s = server();
+    s.execute("create table counters (n int)").unwrap();
+    s.execute("insert counters values (0)").unwrap();
+    s.execute(
+        "create procedure bump_to_ten as \
+         while (select n from counters) < 10 \
+           update counters set n = n + 1 \
+         if (select n from counters) = 10 print 'reached ten'",
+    )
+    .unwrap();
+    let r = s.execute("exec bump_to_ten").unwrap();
+    assert_eq!(r.messages, vec!["reached ten"]);
+    let r = s.execute("select n from counters").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(10)));
+}
+
+#[test]
+fn like_between_in_filters() {
+    let s = server();
+    s.execute("create table parts (code varchar(12), price float)")
+        .unwrap();
+    for (code, price) in [
+        ("GEAR-10", 5.0),
+        ("GEAR-20", 12.0),
+        ("BOLT-10", 0.5),
+        ("BOLT-99", 1.5),
+        ("NUT-01", 0.2),
+    ] {
+        s.execute(&format!("insert parts values ('{code}', {price})"))
+            .unwrap();
+    }
+    let count = |sql: &str| -> i64 {
+        match s.execute(sql).unwrap().scalar() {
+            Some(Value::Int(n)) => *n,
+            other => panic!("{other:?}"),
+        }
+    };
+    assert_eq!(count("select count(*) from parts where code like 'GEAR%'"), 2);
+    assert_eq!(count("select count(*) from parts where code like '%-10'"), 2);
+    assert_eq!(count("select count(*) from parts where code like '____-__'"), 4);
+    assert_eq!(
+        count("select count(*) from parts where price between 0.5 and 5.0"),
+        3
+    );
+    assert_eq!(
+        count("select count(*) from parts where code in ('NUT-01', 'BOLT-10', 'GHOST')"),
+        2
+    );
+    assert_eq!(
+        count("select count(*) from parts where code not like 'BOLT%' and price < 6"),
+        2
+    );
+}
+
+#[test]
+fn select_into_then_evolve() {
+    let s = server();
+    s.execute("create table src (a int, b varchar(8))").unwrap();
+    s.execute("insert src values (1, 'x'), (2, 'y'), (3, 'z')")
+        .unwrap();
+    // Copy with filter.
+    s.execute("select * into dst from src where a >= 2").unwrap();
+    let r = s.execute("select count(*) from dst").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    // Evolve the copy and backfill.
+    s.execute("alter table dst add flag int null").unwrap();
+    s.execute("update dst set flag = a * 10").unwrap();
+    let r = s.execute("select flag from dst order by flag").unwrap();
+    assert_eq!(
+        r.last_select().unwrap().rows,
+        vec![vec![Value::Int(20)], vec![Value::Int(30)]]
+    );
+}
+
+#[test]
+fn null_semantics_in_filters_and_aggregates() {
+    let s = server();
+    s.execute("create table t (a int, b int)").unwrap();
+    s.execute("insert t values (1, 10), (2, null), (3, 30), (null, 40)")
+        .unwrap();
+    let count = |sql: &str| -> i64 {
+        match s.execute(sql).unwrap().scalar() {
+            Some(Value::Int(n)) => *n,
+            other => panic!("{other:?}"),
+        }
+    };
+    // NULL comparisons are unknown, not true.
+    assert_eq!(count("select count(*) from t where b > 5"), 3);
+    assert_eq!(count("select count(*) from t where b is null"), 1);
+    assert_eq!(count("select count(*) from t where a is not null"), 3);
+    // count(col) skips NULLs; count(*) does not.
+    assert_eq!(count("select count(b) from t"), 3);
+    assert_eq!(count("select count(*) from t"), 4);
+    // sum skips NULLs.
+    assert_eq!(count("select sum(b) from t"), 80);
+    // isnull() / coalesce.
+    assert_eq!(count("select sum(isnull(b, 0) + isnull(a, 0)) from t"), 86);
+}
+
+#[test]
+fn batch_script_with_go_separators() {
+    let s = server();
+    let r = s
+        .execute(
+            "create table log (msg varchar(40))\n\
+             go\n\
+             create procedure note as insert log values ('noted')\n\
+             go\n\
+             exec note\n\
+             exec note\n\
+             go\n\
+             select count(*) from log",
+        )
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn transaction_spanning_triggers() {
+    let s = server();
+    s.execute("create table t (a int)").unwrap();
+    s.execute("create table shadow (a int)").unwrap();
+    s.execute("create trigger tr on t for insert as insert shadow select * from inserted")
+        .unwrap();
+    // Rolling back undoes both the base rows AND the trigger's writes.
+    s.execute("begin tran insert t values (1) insert t values (2) rollback")
+        .unwrap();
+    let r = s.execute("select count(*) from t").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    let r = s.execute("select count(*) from shadow").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(0)), "trigger effects rolled back");
+}
+
+#[test]
+fn distinct_and_qualified_wildcards() {
+    let s = server();
+    s.execute("create table a (x int)").unwrap();
+    s.execute("create table b (x int, y int)").unwrap();
+    s.execute("insert a values (1), (1), (2)").unwrap();
+    s.execute("insert b values (1, 100), (2, 200)").unwrap();
+    let r = s
+        .execute("select distinct a.x from a, b where a.x = b.x order by x")
+        .unwrap();
+    assert_eq!(
+        r.last_select().unwrap().rows,
+        vec![vec![Value::Int(1)], vec![Value::Int(2)]]
+    );
+    let r = s
+        .execute("select b.* from a, b where a.x = b.x and a.x = 2")
+        .unwrap();
+    assert_eq!(r.last_select().unwrap().rows, vec![vec![Value::Int(2), Value::Int(200)]]);
+}
+
+#[test]
+fn string_functions_and_concat() {
+    let s = server();
+    s.execute("create table n (name varchar(20))").unwrap();
+    s.execute("insert n values ('chakravarthy')").unwrap();
+    let r = s
+        .execute("select upper(name), len(name), 'dr. ' + name from n")
+        .unwrap();
+    let row = &r.last_select().unwrap().rows[0];
+    assert_eq!(row[0], Value::Str("CHAKRAVARTHY".into()));
+    assert_eq!(row[1], Value::Int(12));
+    assert_eq!(row[2], Value::Str("dr. chakravarthy".into()));
+}
+
+#[test]
+fn order_by_ordinal_and_alias() {
+    let s = server();
+    s.execute("create table t (a int, b int)").unwrap();
+    s.execute("insert t values (1, 30), (2, 10), (3, 20)").unwrap();
+    let r = s.execute("select a, b total from t order by 2").unwrap();
+    let firsts: Vec<i64> = r
+        .last_select()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|row| match row[0] {
+            Value::Int(n) => n,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(firsts, vec![2, 3, 1]);
+    let r = s.execute("select a, b total from t order by total desc").unwrap();
+    let firsts: Vec<i64> = r
+        .last_select()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|row| match row[0] {
+            Value::Int(n) => n,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(firsts, vec![1, 3, 2]);
+}
+
+#[test]
+fn explicit_join_syntax_executes() {
+    let s = server();
+    s.execute("create table d (id int, name varchar(10))").unwrap();
+    s.execute("create table e (did int, who varchar(10))").unwrap();
+    s.execute("insert d values (1, 'eng'), (2, 'ops')").unwrap();
+    s.execute("insert e values (1, 'ann'), (1, 'bob'), (2, 'cyn')")
+        .unwrap();
+    let r = s
+        .execute(
+            "select d.name, e.who from d join e on d.id = e.did \
+             where d.name = 'eng' order by who",
+        )
+        .unwrap();
+    let rows = &r.last_select().unwrap().rows;
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][1], Value::Str("ann".into()));
+    // Three-way chain.
+    s.execute("create table badge (who varchar(10), n int)").unwrap();
+    s.execute("insert badge values ('ann', 7)").unwrap();
+    let r = s
+        .execute(
+            "select badge.n from d inner join e on d.id = e.did \
+             join badge on badge.who = e.who",
+        )
+        .unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(7)));
+}
+
+#[test]
+fn division_by_zero_is_an_error_not_a_panic() {
+    let s = server();
+    s.execute("create table t (a int)").unwrap();
+    s.execute("insert t values (0)").unwrap();
+    let err = s.execute("select 1 / a from t").unwrap_err();
+    assert!(err.to_string().contains("division"));
+    let err = s.execute("select 5 % a from t").unwrap_err();
+    assert!(err.to_string().contains("division"));
+}

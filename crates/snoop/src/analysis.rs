@@ -1,0 +1,99 @@
+//! Static checks over parsed event expressions.
+
+use crate::ast::{EventExpr, EventName};
+use crate::error::{Error, Result};
+
+/// Validate an expression: durations must be positive, and every referenced
+/// name must be present in `known_events` (pass an empty closure-answer to
+/// skip the existence check).
+pub fn validate(expr: &EventExpr, mut event_exists: impl FnMut(&EventName) -> bool) -> Result<()> {
+    let mut problem: Option<String> = None;
+    expr.walk(&mut |e| {
+        if problem.is_some() {
+            return;
+        }
+        match e {
+            EventExpr::Named(n)
+                if !event_exists(n) => {
+                    problem = Some(format!("unknown event '{}'", n.key()));
+                }
+            EventExpr::Periodic { period, .. } | EventExpr::PeriodicStar { period, .. }
+                if period.micros <= 0 => {
+                    problem = Some("periodic interval must be positive".into());
+                }
+            EventExpr::Plus { delta, .. }
+                if delta.micros <= 0 => {
+                    problem = Some("PLUS offset must be positive".into());
+                }
+            _ => {}
+        }
+    });
+    match problem {
+        Some(msg) => Err(Error { pos: 0, msg }),
+        None => Ok(()),
+    }
+}
+
+/// The distinct event names an expression depends on, in first-seen order.
+pub fn constituent_names(expr: &EventExpr) -> Vec<String> {
+    let mut seen = Vec::new();
+    for n in expr.references() {
+        let k = n.key();
+        if !seen.contains(&k) {
+            seen.push(k);
+        }
+    }
+    seen
+}
+
+/// Whether the expression needs clock/timer support (temporal operators).
+pub fn is_temporal(expr: &EventExpr) -> bool {
+    let mut temporal = false;
+    expr.walk(&mut |e| {
+        if matches!(
+            e,
+            EventExpr::Periodic { .. }
+                | EventExpr::PeriodicStar { .. }
+                | EventExpr::Plus { .. }
+                | EventExpr::Temporal(_)
+        ) {
+            temporal = true;
+        }
+    });
+    temporal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn validate_checks_existence() {
+        let e = parse("a ^ b").unwrap();
+        assert!(validate(&e, |_| true).is_ok());
+        let err = validate(&e, |n| n.key() == "a").unwrap_err();
+        assert!(err.msg.contains("unknown event 'b'"));
+    }
+
+    #[test]
+    fn validate_accepts_positive_durations() {
+        let e = parse("P(a, [5 sec], b)").unwrap();
+        assert!(validate(&e, |_| true).is_ok());
+    }
+
+    #[test]
+    fn constituents_deduplicated_in_order() {
+        let e = parse("a ; b ; a ; c").unwrap();
+        assert_eq!(constituent_names(&e), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn temporal_detection() {
+        assert!(!is_temporal(&parse("a ^ b").unwrap()));
+        assert!(is_temporal(&parse("a PLUS [1 sec]").unwrap()));
+        assert!(is_temporal(&parse("P(a, [1 sec], b)").unwrap()));
+        assert!(is_temporal(&parse("[@ 5]").unwrap()));
+        assert!(!is_temporal(&parse("NOT(a, b, c)").unwrap()));
+    }
+}

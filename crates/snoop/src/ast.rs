@@ -1,0 +1,379 @@
+//! Abstract syntax for Snoop event expressions (paper §2.1).
+//!
+//! Operator conventions follow the Snoop papers: in the ternary operators
+//! `NOT(E1, E2, E3)`, `A(E1, E2, E3)` and `A*(E1, E2, E3)`, **E1 is the
+//! initiator, E2 the "middle" event, E3 the terminator**. `A` detects each
+//! occurrence of E2 inside the window `[E1, E3]`; `NOT` detects at E3 when
+//! no E2 occurred inside the window; `A*` accumulates E2 occurrences and
+//! detects once at E3.
+
+use std::fmt;
+
+/// A (possibly qualified) event name: `name`, `name:Object`, `name::AppId`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EventName {
+    pub name: String,
+    /// `Eventname:Objectname` — per-object event restriction.
+    pub object: Option<String>,
+    /// `Eventname::AppId` — event raised in another application.
+    pub app: Option<String>,
+}
+
+impl EventName {
+    pub fn simple(name: impl Into<String>) -> Self {
+        EventName {
+            name: name.into(),
+            object: None,
+            app: None,
+        }
+    }
+
+    /// The flat registry key for this name.
+    pub fn key(&self) -> String {
+        match (&self.object, &self.app) {
+            (Some(o), _) => format!("{}:{}", self.name, o),
+            (None, Some(a)) => format!("{}::{}", self.name, a),
+            (None, None) => self.name.clone(),
+        }
+    }
+}
+
+impl fmt::Display for EventName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+/// A relative duration (the bracketed `[time string]` of the BNF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Duration {
+    pub micros: i64,
+}
+
+impl Duration {
+    pub const fn from_micros(micros: i64) -> Self {
+        Duration { micros }
+    }
+
+    pub const fn from_secs(secs: i64) -> Self {
+        Duration {
+            micros: secs * 1_000_000,
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.micros;
+        if us % 3_600_000_000 == 0 && us != 0 {
+            write!(f, "[{} hour]", us / 3_600_000_000)
+        } else if us % 60_000_000 == 0 && us != 0 {
+            write!(f, "[{} min]", us / 60_000_000)
+        } else if us % 1_000_000 == 0 && us != 0 {
+            write!(f, "[{} sec]", us / 1_000_000)
+        } else if us % 1_000 == 0 && us != 0 {
+            write!(f, "[{} msec]", us / 1_000)
+        } else {
+            write!(f, "[{us} usec]")
+        }
+    }
+}
+
+/// A time point or duration used by the standalone temporal event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeSpec {
+    /// Absolute timestamp in clock microseconds: `[@ 12345]`.
+    Absolute(i64),
+    /// Relative offset from "now": `[5 sec]`.
+    Relative(Duration),
+}
+
+/// A Snoop event expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventExpr {
+    /// Reference to a previously defined (primitive or composite) event.
+    Named(EventName),
+    /// `E1 OR E2` / `E1 | E2` — disjunction.
+    Or(Box<EventExpr>, Box<EventExpr>),
+    /// `E1 AND E2` / `E1 ^ E2` — conjunction in any order.
+    And(Box<EventExpr>, Box<EventExpr>),
+    /// `E1 SEQ E2` / `E1 ; E2` — E1 strictly before E2.
+    Seq(Box<EventExpr>, Box<EventExpr>),
+    /// `NOT(E1, E2, E3)` — E2 does not occur in the window `[E1, E3]`.
+    Not {
+        start: Box<EventExpr>,
+        mid: Box<EventExpr>,
+        end: Box<EventExpr>,
+    },
+    /// `A(E1, E2, E3)` — each E2 inside the window `[E1, E3]`.
+    Aperiodic {
+        start: Box<EventExpr>,
+        mid: Box<EventExpr>,
+        end: Box<EventExpr>,
+    },
+    /// `A*(E1, E2, E3)` — all E2s inside the window, detected at E3.
+    AperiodicStar {
+        start: Box<EventExpr>,
+        mid: Box<EventExpr>,
+        end: Box<EventExpr>,
+    },
+    /// `P(E1, [t], E3)` — fires every `t` inside the window `[E1, E3]`.
+    Periodic {
+        start: Box<EventExpr>,
+        period: Duration,
+        /// Optional `[t]:param` collector name from the BNF.
+        param: Option<String>,
+        end: Box<EventExpr>,
+    },
+    /// `P*(E1, [t], E3)` — accumulates the periodic points, detected at E3.
+    PeriodicStar {
+        start: Box<EventExpr>,
+        period: Duration,
+        param: Option<String>,
+        end: Box<EventExpr>,
+    },
+    /// `E1 PLUS [t]` — fires `t` after each E1.
+    Plus {
+        event: Box<EventExpr>,
+        delta: Duration,
+    },
+    /// `[time string]` alone — a temporal (clock) event.
+    Temporal(TimeSpec),
+}
+
+impl EventExpr {
+    pub fn named(name: impl Into<String>) -> Self {
+        EventExpr::Named(EventName::simple(name))
+    }
+
+    /// All event-name references in the expression, in left-to-right order
+    /// (with duplicates).
+    pub fn references(&self) -> Vec<&EventName> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let EventExpr::Named(n) = e {
+                out.push(n);
+            }
+        });
+        out
+    }
+
+    /// Depth-first pre-order traversal.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a EventExpr)) {
+        f(self);
+        match self {
+            EventExpr::Named(_) | EventExpr::Temporal(_) => {}
+            EventExpr::Or(l, r) | EventExpr::And(l, r) | EventExpr::Seq(l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            EventExpr::Not { start, mid, end }
+            | EventExpr::Aperiodic { start, mid, end }
+            | EventExpr::AperiodicStar { start, mid, end } => {
+                start.walk(f);
+                mid.walk(f);
+                end.walk(f);
+            }
+            EventExpr::Periodic { start, end, .. } | EventExpr::PeriodicStar { start, end, .. } => {
+                start.walk(f);
+                end.walk(f);
+            }
+            EventExpr::Plus { event, .. } => event.walk(f),
+        }
+    }
+
+    /// Rebuild the expression with every event name transformed by `f` —
+    /// used by the ECA Agent to expand user names to internal
+    /// `db.user.name` form (§5.1 of the agent paper).
+    pub fn map_names(&self, f: &mut impl FnMut(&EventName) -> EventName) -> EventExpr {
+        match self {
+            EventExpr::Named(n) => EventExpr::Named(f(n)),
+            EventExpr::Or(l, r) => {
+                EventExpr::Or(Box::new(l.map_names(f)), Box::new(r.map_names(f)))
+            }
+            EventExpr::And(l, r) => {
+                EventExpr::And(Box::new(l.map_names(f)), Box::new(r.map_names(f)))
+            }
+            EventExpr::Seq(l, r) => {
+                EventExpr::Seq(Box::new(l.map_names(f)), Box::new(r.map_names(f)))
+            }
+            EventExpr::Not { start, mid, end } => EventExpr::Not {
+                start: Box::new(start.map_names(f)),
+                mid: Box::new(mid.map_names(f)),
+                end: Box::new(end.map_names(f)),
+            },
+            EventExpr::Aperiodic { start, mid, end } => EventExpr::Aperiodic {
+                start: Box::new(start.map_names(f)),
+                mid: Box::new(mid.map_names(f)),
+                end: Box::new(end.map_names(f)),
+            },
+            EventExpr::AperiodicStar { start, mid, end } => EventExpr::AperiodicStar {
+                start: Box::new(start.map_names(f)),
+                mid: Box::new(mid.map_names(f)),
+                end: Box::new(end.map_names(f)),
+            },
+            EventExpr::Periodic {
+                start,
+                period,
+                param,
+                end,
+            } => EventExpr::Periodic {
+                start: Box::new(start.map_names(f)),
+                period: *period,
+                param: param.clone(),
+                end: Box::new(end.map_names(f)),
+            },
+            EventExpr::PeriodicStar {
+                start,
+                period,
+                param,
+                end,
+            } => EventExpr::PeriodicStar {
+                start: Box::new(start.map_names(f)),
+                period: *period,
+                param: param.clone(),
+                end: Box::new(end.map_names(f)),
+            },
+            EventExpr::Plus { event, delta } => EventExpr::Plus {
+                event: Box::new(event.map_names(f)),
+                delta: *delta,
+            },
+            EventExpr::Temporal(spec) => EventExpr::Temporal(*spec),
+        }
+    }
+
+    /// Number of operator nodes (complexity measure used by benchmarks).
+    pub fn operator_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |e| {
+            if !matches!(e, EventExpr::Named(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+impl fmt::Display for EventExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventExpr::Named(n) => write!(f, "{n}"),
+            EventExpr::Or(l, r) => write!(f, "({l} | {r})"),
+            EventExpr::And(l, r) => write!(f, "({l} ^ {r})"),
+            EventExpr::Seq(l, r) => write!(f, "({l} ; {r})"),
+            EventExpr::Not { start, mid, end } => write!(f, "NOT({start}, {mid}, {end})"),
+            EventExpr::Aperiodic { start, mid, end } => write!(f, "A({start}, {mid}, {end})"),
+            EventExpr::AperiodicStar { start, mid, end } => {
+                write!(f, "A*({start}, {mid}, {end})")
+            }
+            EventExpr::Periodic {
+                start,
+                period,
+                param,
+                end,
+            } => match param {
+                Some(p) => write!(f, "P({start}, {period}:{p}, {end})"),
+                None => write!(f, "P({start}, {period}, {end})"),
+            },
+            EventExpr::PeriodicStar {
+                start,
+                period,
+                param,
+                end,
+            } => match param {
+                Some(p) => write!(f, "P*({start}, {period}:{p}, {end})"),
+                None => write!(f, "P*({start}, {period}, {end})"),
+            },
+            EventExpr::Plus { event, delta } => write!(f, "({event} PLUS {delta})"),
+            EventExpr::Temporal(TimeSpec::Absolute(t)) => write!(f, "[@ {t}]"),
+            EventExpr::Temporal(TimeSpec::Relative(d)) => write!(f, "{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_name_keys() {
+        assert_eq!(EventName::simple("e").key(), "e");
+        let on_obj = EventName {
+            name: "deposit".into(),
+            object: Some("acct1".into()),
+            app: None,
+        };
+        assert_eq!(on_obj.key(), "deposit:acct1");
+        let on_app = EventName {
+            name: "e".into(),
+            object: None,
+            app: Some("site_app".into()),
+        };
+        assert_eq!(on_app.key(), "e::site_app");
+    }
+
+    #[test]
+    fn duration_display_picks_unit() {
+        assert_eq!(Duration::from_secs(5).to_string(), "[5 sec]");
+        assert_eq!(Duration::from_micros(60_000_000).to_string(), "[1 min]");
+        assert_eq!(Duration::from_micros(3_600_000_000).to_string(), "[1 hour]");
+        assert_eq!(Duration::from_micros(1_500).to_string(), "[1500 usec]");
+        assert_eq!(Duration::from_micros(2_000).to_string(), "[2 msec]");
+    }
+
+    #[test]
+    fn references_in_order() {
+        let e = EventExpr::And(
+            Box::new(EventExpr::named("delStk")),
+            Box::new(EventExpr::named("addStk")),
+        );
+        let refs: Vec<String> = e.references().iter().map(|n| n.key()).collect();
+        assert_eq!(refs, vec!["delStk", "addStk"]);
+    }
+
+    #[test]
+    fn operator_count() {
+        let e = EventExpr::Seq(
+            Box::new(EventExpr::Or(
+                Box::new(EventExpr::named("a")),
+                Box::new(EventExpr::named("b")),
+            )),
+            Box::new(EventExpr::named("c")),
+        );
+        assert_eq!(e.operator_count(), 2);
+    }
+
+    #[test]
+    fn map_names_expands_references() {
+        let e = EventExpr::Seq(
+            Box::new(EventExpr::named("a")),
+            Box::new(EventExpr::Aperiodic {
+                start: Box::new(EventExpr::named("b")),
+                mid: Box::new(EventExpr::named("c")),
+                end: Box::new(EventExpr::named("d")),
+            }),
+        );
+        let mapped = e.map_names(&mut |n| EventName::simple(format!("db.u.{}", n.key())));
+        let refs: Vec<String> = mapped.references().iter().map(|n| n.key()).collect();
+        assert_eq!(refs, vec!["db.u.a", "db.u.b", "db.u.c", "db.u.d"]);
+        // Original untouched.
+        assert_eq!(e.references()[0].key(), "a");
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let e = EventExpr::Not {
+            start: Box::new(EventExpr::named("open")),
+            mid: Box::new(EventExpr::named("cancel")),
+            end: Box::new(EventExpr::named("close")),
+        };
+        assert_eq!(e.to_string(), "NOT(open, cancel, close)");
+        let p = EventExpr::Periodic {
+            start: Box::new(EventExpr::named("a")),
+            period: Duration::from_secs(5),
+            param: Some("ts".into()),
+            end: Box::new(EventExpr::named("b")),
+        };
+        assert_eq!(p.to_string(), "P(a, [5 sec]:ts, b)");
+    }
+}

@@ -1,0 +1,20 @@
+//! Error type for Snoop parsing and validation.
+
+use std::fmt;
+
+/// A parse or validation error with a byte position into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snoop error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;

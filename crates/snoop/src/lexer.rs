@@ -1,0 +1,165 @@
+//! Tokenizer for Snoop event expressions.
+
+use crate::error::{Error, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    DoubleColon,
+    Pipe,
+    Caret,
+    Semi,
+    LBracket,
+    RBracket,
+    At,
+    Star,
+    Eq,
+    Eof,
+}
+
+impl Tok {
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a Snoop expression.
+pub fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = src[start..i].parse().map_err(|_| Error {
+                pos: start,
+                msg: format!("bad integer '{}'", &src[start..i]),
+            })?;
+            out.push((Tok::Int(n), start));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                i += 1;
+            }
+            out.push((Tok::Ident(src[start..i].to_string()), start));
+            continue;
+        }
+        let start = i;
+        let (tok, len) = match c {
+            b'(' => (Tok::LParen, 1),
+            b')' => (Tok::RParen, 1),
+            b',' => (Tok::Comma, 1),
+            b'|' => (Tok::Pipe, 1),
+            b'^' => (Tok::Caret, 1),
+            b';' => (Tok::Semi, 1),
+            b'[' => (Tok::LBracket, 1),
+            b']' => (Tok::RBracket, 1),
+            b'@' => (Tok::At, 1),
+            b'*' => (Tok::Star, 1),
+            b'=' => (Tok::Eq, 1),
+            b':' if bytes.get(i + 1) == Some(&b':') => (Tok::DoubleColon, 2),
+            b':' => (Tok::Colon, 1),
+            _ => {
+                return Err(Error {
+                    pos: i,
+                    msg: format!(
+                        "unexpected character '{}'",
+                        src[i..].chars().next().unwrap()
+                    ),
+                })
+            }
+        };
+        out.push((tok, start));
+        i += len;
+    }
+    out.push((Tok::Eof, src.len()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn symbols_and_names() {
+        assert_eq!(
+            toks("delStk ^ addStk"),
+            vec![
+                Tok::Ident("delStk".into()),
+                Tok::Caret,
+                Tok::Ident("addStk".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_names_allowed() {
+        // Internal names like sentineldb.sharma.addStk flow through Snoop.
+        assert_eq!(
+            toks("sentineldb.sharma.addStk"),
+            vec![Tok::Ident("sentineldb.sharma.addStk".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn time_brackets() {
+        assert_eq!(
+            toks("[5 sec]"),
+            vec![
+                Tok::LBracket,
+                Tok::Int(5),
+                Tok::Ident("sec".into()),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn double_colon() {
+        assert_eq!(
+            toks("e::app"),
+            vec![
+                Tok::Ident("e".into()),
+                Tok::DoubleColon,
+                Tok::Ident("app".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn star_after_ident() {
+        assert_eq!(
+            toks("A*(a, b, c)")[0..2],
+            [Tok::Ident("A".into()), Tok::Star]
+        );
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(tokenize("a & b").is_err());
+    }
+}

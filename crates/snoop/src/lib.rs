@@ -1,0 +1,28 @@
+//! # snoop — the Snoop composite-event specification language
+//!
+//! Model-independent event expression language from Sentinel (Chakravarthy &
+//! Mishra), used by the ECA Agent paper (§2.1) to specify composite events.
+//! Supports the full BNF given in the paper:
+//!
+//! - binary operators `OR` (`|`), `AND` (`^`), `SEQ` (`;`),
+//! - ternary window operators `NOT(E1,E2,E3)`, `A(E1,E2,E3)`, `A*(E1,E2,E3)`,
+//! - temporal operators `P(E1,[t],E3)`, `P*(E1,[t]:p,E3)`, `E PLUS [t]`,
+//!   and standalone `[time string]` events,
+//! - qualified names `event:Object` and `event::AppId`.
+//!
+//! ```
+//! use snoop::parse;
+//! let expr = parse("delStk ^ addStk").unwrap();
+//! assert_eq!(expr.to_string(), "(delStk ^ addStk)");
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use analysis::{constituent_names, is_temporal, validate};
+pub use ast::{Duration, EventExpr, EventName, TimeSpec};
+pub use error::{Error, Result};
+pub use parser::{parse, parse_definition};

@@ -1,0 +1,545 @@
+//! Recursive-descent parser for the Snoop BNF of paper §2.1.
+//!
+//! Precedence, loosest to tightest: `OR` < `AND` < `SEQ`, with `PLUS` as a
+//! postfix operator on primaries. Both keyword and symbolic operator forms
+//! are accepted (`OR`/`|`, `AND`/`^`, `SEQ`/`;`), since the paper's Example 2
+//! writes `addDel = delStk ^ addStk`.
+
+use crate::ast::{Duration, EventExpr, EventName, TimeSpec};
+use crate::error::{Error, Result};
+use crate::lexer::{tokenize, Tok};
+
+/// Parse a Snoop event expression.
+pub fn parse(src: &str) -> Result<EventExpr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_or()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parse an event *definition* of the form `name = expr`, the shape used in
+/// the agent's `event addDel = delStk ^ addStk` clause. Returns the new
+/// event's name and its expression.
+pub fn parse_definition(src: &str) -> Result<(EventName, EventExpr)> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let name = p.parse_event_name()?;
+    if !p.eat(&Tok::Eq) {
+        return Err(p.err("expected '=' in event definition"));
+    }
+    let e = p.parse_or()?;
+    p.expect_eof()?;
+    Ok((name, e))
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].0
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].0
+    }
+
+    fn here(&self) -> usize {
+        self.tokens[self.pos].1
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error {
+            pos: self.here(),
+            msg: msg.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<EventExpr> {
+        let mut left = self.parse_and()?;
+        loop {
+            if self.eat(&Tok::Pipe) || self.peek().is_kw("or") {
+                if self.peek().is_kw("or") {
+                    self.advance();
+                }
+                let right = self.parse_and()?;
+                left = EventExpr::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_and(&mut self) -> Result<EventExpr> {
+        let mut left = self.parse_seq()?;
+        loop {
+            if self.eat(&Tok::Caret) || self.peek().is_kw("and") {
+                if self.peek().is_kw("and") {
+                    self.advance();
+                }
+                let right = self.parse_seq()?;
+                left = EventExpr::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<EventExpr> {
+        let mut left = self.parse_postfix()?;
+        loop {
+            if self.eat(&Tok::Semi) || self.peek().is_kw("seq") {
+                if self.peek().is_kw("seq") {
+                    self.advance();
+                }
+                let right = self.parse_postfix()?;
+                left = EventExpr::Seq(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// `primary (PLUS [time])*`
+    fn parse_postfix(&mut self) -> Result<EventExpr> {
+        let mut e = self.parse_primary()?;
+        while self.peek().is_kw("plus") {
+            self.advance();
+            let d = self.parse_duration_brackets()?;
+            e = EventExpr::Plus {
+                event: Box::new(e),
+                delta: d,
+            };
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<EventExpr> {
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.advance();
+                let e = self.parse_or()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                // Standalone temporal event.
+                let spec = self.parse_timespec()?;
+                Ok(EventExpr::Temporal(spec))
+            }
+            Tok::Ident(word) => {
+                // Operator forms: NOT(...), A(...), A*(...), P(...), P*(...)
+                let upper = word.to_ascii_uppercase();
+                let starred = matches!(self.peek_at(1), Tok::Star);
+                let call_after_star = starred && matches!(self.peek_at(2), Tok::LParen);
+                let call = matches!(self.peek_at(1), Tok::LParen);
+                match upper.as_str() {
+                    "NOT" if call => {
+                        self.advance();
+                        self.parse_triple(|s, m, e| EventExpr::Not {
+                            start: s,
+                            mid: m,
+                            end: e,
+                        })
+                    }
+                    "A" if call => {
+                        self.advance();
+                        self.parse_triple(|s, m, e| EventExpr::Aperiodic {
+                            start: s,
+                            mid: m,
+                            end: e,
+                        })
+                    }
+                    "A" if call_after_star => {
+                        self.advance();
+                        self.advance();
+                        self.parse_triple(|s, m, e| EventExpr::AperiodicStar {
+                            start: s,
+                            mid: m,
+                            end: e,
+                        })
+                    }
+                    "P" if call => {
+                        self.advance();
+                        self.parse_periodic(false)
+                    }
+                    "P" if call_after_star => {
+                        self.advance();
+                        self.advance();
+                        self.parse_periodic(true)
+                    }
+                    _ => {
+                        let name = self.parse_event_name()?;
+                        Ok(EventExpr::Named(name))
+                    }
+                }
+            }
+            other => Err(self.err(format!("expected event expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_triple(
+        &mut self,
+        build: impl FnOnce(Box<EventExpr>, Box<EventExpr>, Box<EventExpr>) -> EventExpr,
+    ) -> Result<EventExpr> {
+        self.expect(&Tok::LParen, "'('")?;
+        let a = self.parse_or()?;
+        self.expect(&Tok::Comma, "','")?;
+        let b = self.parse_or()?;
+        self.expect(&Tok::Comma, "','")?;
+        let c = self.parse_or()?;
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(build(Box::new(a), Box::new(b), Box::new(c)))
+    }
+
+    fn parse_periodic(&mut self, star: bool) -> Result<EventExpr> {
+        self.expect(&Tok::LParen, "'('")?;
+        let start = self.parse_or()?;
+        self.expect(&Tok::Comma, "','")?;
+        let period = self.parse_duration_brackets()?;
+        let param = if self.eat(&Tok::Colon) {
+            match self.advance() {
+                Tok::Ident(p) => Some(p),
+                _ => return Err(self.err("expected parameter name after ':'")),
+            }
+        } else {
+            None
+        };
+        self.expect(&Tok::Comma, "','")?;
+        let end = self.parse_or()?;
+        self.expect(&Tok::RParen, "')'")?;
+        if star {
+            Ok(EventExpr::PeriodicStar {
+                start: Box::new(start),
+                period,
+                param,
+                end: Box::new(end),
+            })
+        } else {
+            Ok(EventExpr::Periodic {
+                start: Box::new(start),
+                period,
+                param,
+                end: Box::new(end),
+            })
+        }
+    }
+
+    fn parse_event_name(&mut self) -> Result<EventName> {
+        let name = match self.advance() {
+            Tok::Ident(s) => s,
+            other => return Err(self.err(format!("expected event name, found {other:?}"))),
+        };
+        if self.eat(&Tok::DoubleColon) {
+            let app = match self.advance() {
+                Tok::Ident(s) => s,
+                other => return Err(self.err(format!("expected app id, found {other:?}"))),
+            };
+            return Ok(EventName {
+                name,
+                object: None,
+                app: Some(app),
+            });
+        }
+        if self.eat(&Tok::Colon) {
+            let object = match self.advance() {
+                Tok::Ident(s) => s,
+                other => return Err(self.err(format!("expected object name, found {other:?}"))),
+            };
+            return Ok(EventName {
+                name,
+                object: Some(object),
+                app: None,
+            });
+        }
+        Ok(EventName {
+            name,
+            object: None,
+            app: None,
+        })
+    }
+
+    /// `[5 sec]`, `[1 min 30 sec]`, `[@ 12345]` (absolute) — returns the
+    /// relative duration form or errors for absolute specs.
+    fn parse_duration_brackets(&mut self) -> Result<Duration> {
+        match self.parse_timespec()? {
+            TimeSpec::Relative(d) => Ok(d),
+            TimeSpec::Absolute(_) => Err(self.err("expected a duration, found absolute time")),
+        }
+    }
+
+    fn parse_timespec(&mut self) -> Result<TimeSpec> {
+        self.expect(&Tok::LBracket, "'['")?;
+        if self.eat(&Tok::At) {
+            let t = match self.advance() {
+                Tok::Int(n) => n,
+                other => return Err(self.err(format!("expected timestamp, found {other:?}"))),
+            };
+            self.expect(&Tok::RBracket, "']'")?;
+            return Ok(TimeSpec::Absolute(t));
+        }
+        let mut total: i64 = 0;
+        let mut any = false;
+        loop {
+            match self.peek().clone() {
+                Tok::Int(n) => {
+                    self.advance();
+                    let unit = match self.advance() {
+                        Tok::Ident(u) => u,
+                        other => {
+                            return Err(self.err(format!("expected time unit, found {other:?}")))
+                        }
+                    };
+                    total = total
+                        .checked_add(
+                            n.checked_mul(unit_micros(&unit).ok_or_else(|| Error {
+                                pos: 0,
+                                msg: format!("unknown time unit '{unit}'"),
+                            })?)
+                            .ok_or_else(|| Error {
+                                pos: 0,
+                                msg: "duration overflow".into(),
+                            })?,
+                        )
+                        .ok_or_else(|| Error {
+                            pos: 0,
+                            msg: "duration overflow".into(),
+                        })?;
+                    any = true;
+                }
+                Tok::RBracket => {
+                    self.advance();
+                    break;
+                }
+                other => return Err(self.err(format!("expected time component, found {other:?}"))),
+            }
+        }
+        if !any {
+            return Err(self.err("empty time string"));
+        }
+        Ok(TimeSpec::Relative(Duration::from_micros(total)))
+    }
+}
+
+fn unit_micros(unit: &str) -> Option<i64> {
+    let u = unit.to_ascii_lowercase();
+    Some(match u.as_str() {
+        "usec" | "us" | "microsec" | "microseconds" | "microsecond" => 1,
+        "msec" | "ms" | "millisec" | "milliseconds" | "millisecond" => 1_000,
+        "sec" | "s" | "secs" | "second" | "seconds" => 1_000_000,
+        "min" | "mins" | "minute" | "minutes" => 60_000_000,
+        "hour" | "hours" | "hr" | "hrs" => 3_600_000_000,
+        "day" | "days" => 86_400_000_000,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_2() {
+        // `addDel = delStk ^ addStk`
+        let (name, expr) = parse_definition("addDel = delStk ^ addStk").unwrap();
+        assert_eq!(name.key(), "addDel");
+        assert_eq!(
+            expr,
+            EventExpr::And(
+                Box::new(EventExpr::named("delStk")),
+                Box::new(EventExpr::named("addStk"))
+            )
+        );
+    }
+
+    #[test]
+    fn keyword_and_symbol_forms_agree() {
+        assert_eq!(parse("a AND b").unwrap(), parse("a ^ b").unwrap());
+        assert_eq!(parse("a OR b").unwrap(), parse("a | b").unwrap());
+        assert_eq!(parse("a SEQ b").unwrap(), parse("a ; b").unwrap());
+    }
+
+    #[test]
+    fn precedence_or_lowest() {
+        // a | b ^ c ; d  ==  a | (b ^ (c ; d))
+        let e = parse("a | b ^ c ; d").unwrap();
+        match e {
+            EventExpr::Or(_, r) => match *r {
+                EventExpr::And(_, r2) => assert!(matches!(*r2, EventExpr::Seq(_, _))),
+                other => panic!("expected AND, got {other:?}"),
+            },
+            other => panic!("expected OR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associative() {
+        let e = parse("a ; b ; c").unwrap();
+        match e {
+            EventExpr::Seq(l, _) => assert!(matches!(*l, EventExpr::Seq(_, _))),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = parse("(a | b) ^ c").unwrap();
+        assert!(matches!(e, EventExpr::And(_, _)));
+    }
+
+    #[test]
+    fn ternary_operators() {
+        let e = parse("NOT(open, cancel, close)").unwrap();
+        assert!(matches!(e, EventExpr::Not { .. }));
+        let e = parse("A(start, tick, stop)").unwrap();
+        assert!(matches!(e, EventExpr::Aperiodic { .. }));
+        let e = parse("A*(start, tick, stop)").unwrap();
+        assert!(matches!(e, EventExpr::AperiodicStar { .. }));
+    }
+
+    #[test]
+    fn periodic_with_duration() {
+        let e = parse("P(open, [5 sec], close)").unwrap();
+        match e {
+            EventExpr::Periodic { period, param, .. } => {
+                assert_eq!(period, Duration::from_secs(5));
+                assert!(param.is_none());
+            }
+            _ => panic!(),
+        }
+        let e = parse("P*(open, [1 min 30 sec]:ts, close)").unwrap();
+        match e {
+            EventExpr::PeriodicStar { period, param, .. } => {
+                assert_eq!(period, Duration::from_micros(90_000_000));
+                assert_eq!(param.as_deref(), Some("ts"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn plus_postfix() {
+        let e = parse("e1 PLUS [10 sec]").unwrap();
+        match e {
+            EventExpr::Plus { delta, .. } => assert_eq!(delta, Duration::from_secs(10)),
+            _ => panic!(),
+        }
+        // Binds tighter than SEQ: `a PLUS [1 sec] ; b`
+        let e = parse("a PLUS [1 sec] ; b").unwrap();
+        assert!(matches!(e, EventExpr::Seq(_, _)));
+    }
+
+    #[test]
+    fn temporal_events() {
+        assert_eq!(
+            parse("[@ 12345]").unwrap(),
+            EventExpr::Temporal(TimeSpec::Absolute(12345))
+        );
+        assert_eq!(
+            parse("[2 sec]").unwrap(),
+            EventExpr::Temporal(TimeSpec::Relative(Duration::from_secs(2)))
+        );
+    }
+
+    #[test]
+    fn qualified_names() {
+        let e = parse("deposit:acct1").unwrap();
+        match e {
+            EventExpr::Named(n) => {
+                assert_eq!(n.name, "deposit");
+                assert_eq!(n.object.as_deref(), Some("acct1"));
+            }
+            _ => panic!(),
+        }
+        let e = parse("remote::site_app").unwrap();
+        match e {
+            EventExpr::Named(n) => assert_eq!(n.app.as_deref(), Some("site_app")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn a_and_p_as_plain_event_names() {
+        // `a` not followed by '(' is just an event called "a".
+        let e = parse("a ^ p").unwrap();
+        assert!(matches!(e, EventExpr::And(_, _)));
+    }
+
+    #[test]
+    fn internal_dotted_names() {
+        let (name, expr) = parse_definition(
+            "sentineldb.sharma.addDel = sentineldb.sharma.delStk ^ sentineldb.sharma.addStk",
+        )
+        .unwrap();
+        assert_eq!(name.key(), "sentineldb.sharma.addDel");
+        assert_eq!(expr.references().len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("a ^").is_err());
+        assert!(parse("NOT(a, b)").is_err());
+        assert!(parse("P(a, [0 parsec], b)").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("[ ]").is_err());
+        assert!(parse("a PLUS [@ 5]").is_err(), "PLUS needs a duration");
+        assert!(parse_definition("x delStk ^ addStk").is_err());
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast() {
+        for src in [
+            "a ^ b",
+            "a | b ; c",
+            "NOT(a, b, c)",
+            "A(a, b, c)",
+            "A*(a, b, c)",
+            "P(a, [5 sec], b)",
+            "P*(a, [5 sec]:t, b)",
+            "a PLUS [3 min]",
+            "[@ 99]",
+        ] {
+            let e1 = parse(src).unwrap();
+            let e2 = parse(&e1.to_string()).unwrap();
+            assert_eq!(e1, e2, "round-trip failed for {src}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: arbitrary Snoop expression trees survive a
+//! display → reparse round trip, and the parser never panics.
+
+use proptest::prelude::*;
+use snoop::{Duration, EventExpr, EventName, TimeSpec};
+
+fn name_strategy() -> impl Strategy<Value = EventName> {
+    ("[a-z][a-z0-9_]{0,8}", prop::option::of("[a-z][a-z0-9]{0,5}"))
+        .prop_map(|(name, object)| EventName {
+            name,
+            object,
+            app: None,
+        })
+        .prop_filter("avoid operator keywords", |n| {
+            !["or", "and", "seq", "not", "a", "p", "plus"].contains(&n.name.as_str())
+        })
+}
+
+fn duration_strategy() -> impl Strategy<Value = Duration> {
+    // Whole seconds/minutes so Display picks a clean unit that reparses.
+    prop_oneof![
+        (1i64..1000).prop_map(Duration::from_secs),
+        (1i64..500).prop_map(|ms| Duration::from_micros(ms * 1000)),
+        (1i64..100).prop_map(|m| Duration::from_micros(m * 60_000_000)),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = EventExpr> {
+    let leaf = prop_oneof![
+        name_strategy().prop_map(EventExpr::Named),
+        (1i64..1_000_000).prop_map(|t| EventExpr::Temporal(TimeSpec::Absolute(t))),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| EventExpr::Or(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| EventExpr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| EventExpr::Seq(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
+                EventExpr::Not {
+                    start: Box::new(a),
+                    mid: Box::new(b),
+                    end: Box::new(c),
+                }
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
+                EventExpr::Aperiodic {
+                    start: Box::new(a),
+                    mid: Box::new(b),
+                    end: Box::new(c),
+                }
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
+                EventExpr::AperiodicStar {
+                    start: Box::new(a),
+                    mid: Box::new(b),
+                    end: Box::new(c),
+                }
+            }),
+            (inner.clone(), duration_strategy(), inner.clone()).prop_map(|(s, d, e)| {
+                EventExpr::Periodic {
+                    start: Box::new(s),
+                    period: d,
+                    param: None,
+                    end: Box::new(e),
+                }
+            }),
+            (inner.clone(), duration_strategy(), inner.clone()).prop_map(|(s, d, e)| {
+                EventExpr::PeriodicStar {
+                    start: Box::new(s),
+                    period: d,
+                    param: Some("ts".into()),
+                    end: Box::new(e),
+                }
+            }),
+            (inner, duration_strategy()).prop_map(|(e, d)| EventExpr::Plus {
+                event: Box::new(e),
+                delta: d,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_reparse_roundtrip(expr in expr_strategy()) {
+        let printed = expr.to_string();
+        let reparsed = snoop::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        prop_assert_eq!(expr, reparsed, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn references_preserved_by_roundtrip(expr in expr_strategy()) {
+        let reparsed = snoop::parse(&expr.to_string()).unwrap();
+        let a: Vec<String> = expr.references().iter().map(|n| n.key()).collect();
+        let b: Vec<String> = reparsed.references().iter().map(|n| n.key()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_names_identity(expr in expr_strategy()) {
+        let mapped = expr.map_names(&mut |n| n.clone());
+        prop_assert_eq!(expr, mapped);
+    }
+
+    #[test]
+    fn operator_count_stable(expr in expr_strategy()) {
+        let reparsed = snoop::parse(&expr.to_string()).unwrap();
+        prop_assert_eq!(expr.operator_count(), reparsed.operator_count());
+    }
+
+    #[test]
+    fn parser_never_panics(s in ".{0,100}") {
+        let _ = snoop::parse(&s);
+        let _ = snoop::parse_definition(&s);
+    }
+
+    #[test]
+    fn validate_accepts_roundtripped_expressions(expr in expr_strategy()) {
+        // All generated durations are positive; with an all-knowing
+        // existence oracle, validation must pass.
+        prop_assert!(snoop::validate(&expr, |_| true).is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! Edge cases of the Snoop grammar beyond the unit tests: deep nesting,
+//! pathological whitespace, and boundary forms.
+
+use snoop::{parse, parse_definition, Duration, EventExpr};
+
+#[test]
+fn deeply_left_nested_chain() {
+    // 100-long SEQ chain parses and stays left-associated.
+    let src = (0..100)
+        .map(|i| format!("e{i}"))
+        .collect::<Vec<_>>()
+        .join(" ; ");
+    let e = parse(&src).unwrap();
+    assert_eq!(e.operator_count(), 99);
+    assert_eq!(e.references().len(), 100);
+    let mut cur = &e;
+    let mut depth = 0;
+    while let EventExpr::Seq(l, _) = cur {
+        cur = l;
+        depth += 1;
+    }
+    assert_eq!(depth, 99);
+}
+
+#[test]
+fn deeply_parenthesized() {
+    let mut src = "x".to_string();
+    for _ in 0..200 {
+        src = format!("({src})");
+    }
+    assert_eq!(parse(&src).unwrap(), EventExpr::named("x"));
+}
+
+#[test]
+fn whitespace_is_insignificant() {
+    let a = parse("a^b;c").unwrap();
+    let b = parse("  a   ^\n\tb\n;\n   c  ").unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn nested_ternaries() {
+    let e = parse("NOT(A(a, b, c), A*(d, f, g), P(h, [1 sec], i))").unwrap();
+    match e {
+        EventExpr::Not { start, mid, end } => {
+            assert!(matches!(*start, EventExpr::Aperiodic { .. }));
+            assert!(matches!(*mid, EventExpr::AperiodicStar { .. }));
+            assert!(matches!(*end, EventExpr::Periodic { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn operator_arguments_can_be_full_expressions() {
+    let e = parse("A(a ; b, c | d, f ^ g)").unwrap();
+    match e {
+        EventExpr::Aperiodic { start, mid, end } => {
+            assert!(matches!(*start, EventExpr::Seq(..)));
+            assert!(matches!(*mid, EventExpr::Or(..)));
+            assert!(matches!(*end, EventExpr::And(..)));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn chained_plus_postfix() {
+    // (e PLUS [1 sec]) PLUS [2 sec]
+    let e = parse("e PLUS [1 sec] PLUS [2 sec]").unwrap();
+    match e {
+        EventExpr::Plus { event, delta } => {
+            assert_eq!(delta, Duration::from_secs(2));
+            assert!(matches!(*event, EventExpr::Plus { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn compound_duration_units() {
+    let e = parse("e PLUS [1 hour 2 min 3 sec 4 msec 5 usec]").unwrap();
+    match e {
+        EventExpr::Plus { delta, .. } => {
+            assert_eq!(
+                delta.micros,
+                3_600_000_000 + 2 * 60_000_000 + 3 * 1_000_000 + 4_000 + 5
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn definition_with_complex_rhs() {
+    let (name, expr) =
+        parse_definition("watch = NOT(open, cancel, close) ; done PLUS [10 sec]").unwrap();
+    assert_eq!(name.key(), "watch");
+    assert!(matches!(expr, EventExpr::Seq(..)));
+}
+
+#[test]
+fn case_insensitive_operator_keywords() {
+    assert_eq!(parse("a and b").unwrap(), parse("a AND b").unwrap());
+    assert_eq!(parse("a Or b").unwrap(), parse("a OR b").unwrap());
+    assert_eq!(parse("a seQ b").unwrap(), parse("a SEQ b").unwrap());
+    assert_eq!(
+        parse("not(a, b, c)").unwrap(),
+        parse("NOT(a, b, c)").unwrap()
+    );
+    assert_eq!(
+        parse("e plus [1 sec]").unwrap(),
+        parse("e PLUS [1 sec]").unwrap()
+    );
+}
+
+#[test]
+fn lowercase_a_and_p_stay_event_names_without_parens() {
+    // `a` and `p` alone are events; only `A(`/`P(` are operators.
+    let e = parse("a ; p").unwrap();
+    let refs: Vec<String> = e.references().iter().map(|n| n.key()).collect();
+    assert_eq!(refs, vec!["a", "p"]);
+}
+
+#[test]
+fn duplicate_event_in_triple_is_allowed_syntactically() {
+    // Semantics handled by the LED; the grammar permits it.
+    let e = parse("NOT(e, e, e)").unwrap();
+    assert_eq!(e.references().len(), 3);
+}
+
+#[test]
+fn huge_duration_overflow_is_an_error() {
+    assert!(parse("e PLUS [9999999999999 day]").is_err());
+}
+
+#[test]
+fn trailing_operator_is_an_error() {
+    for bad in ["a ;", "a ^", "a |", "a PLUS", "NOT(a, b, c", "P(a, , b)"] {
+        assert!(parse(bad).is_err(), "{bad:?} should not parse");
+    }
+}

@@ -1,0 +1,122 @@
+//! Network management scenario (paper §1): link failures, recoveries and
+//! maintenance windows, exercising the window operators NOT / A / A* and
+//! the temporal operators P and PLUS on the agent's virtual clock.
+//!
+//! ```text
+//! cargo run --example network_monitor
+//! ```
+
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use relsql::{SqlServer, Value};
+
+fn count(client: &eca_core::EcaClient, table: &str) -> i64 {
+    let r = client
+        .execute(&format!("select count(*) from {table}"))
+        .unwrap();
+    match r.server.scalar() {
+        Some(Value::Int(n)) => *n,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn main() {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let noc = agent.client("netdb", "noc");
+
+    noc.execute(
+        "create table link_down (link varchar(16))\n\
+         go\n\
+         create table link_up (link varchar(16))\n\
+         go\n\
+         create table maintenance (phase varchar(8))\n\
+         go\n\
+         create table pages (note varchar(80))\n\
+         go\n\
+         create table reports (note varchar(80))",
+    )
+    .unwrap();
+
+    // Primitive events.
+    for (trigger, table, event) in [
+        ("t_down", "link_down", "down"),
+        ("t_up", "link_up", "up"),
+        ("t_maint", "maintenance", "maintWindow"),
+    ] {
+        noc.execute(&format!(
+            "create trigger {trigger} on {table} for insert event {event} as print '{event}'"
+        ))
+        .unwrap();
+    }
+
+    // NOT: a link goes down and is NOT back up before the next down —
+    // i.e. two consecutive failures with no recovery in between: page someone.
+    noc.execute(
+        "create trigger t_page \
+         event doubleFailure = NOT(down, up, down) \
+         as insert pages values ('double failure without recovery')",
+    )
+    .unwrap();
+
+    // A: every down *during* a maintenance window is expected; count them
+    // into a report instead of paging.
+    noc.execute(
+        "create trigger t_expected \
+         event downInMaint = A(maintWindow, down, up) \
+         CONTINUOUS \
+         as insert reports values ('down during maintenance (expected)')",
+    )
+    .unwrap();
+
+    // PLUS: 30 virtual seconds after any down, write a follow-up check.
+    noc.execute(
+        "create trigger t_followup \
+         event lateCheck = down PLUS [30 sec] \
+         as insert reports values ('30s follow-up check ran')",
+    )
+    .unwrap();
+
+    println!("== scenario 1: down, recovery, down → no page ==");
+    noc.execute("insert link_down values ('wan0')").unwrap();
+    noc.execute("insert link_up values ('wan0')").unwrap();
+    noc.execute("insert link_down values ('wan0')").unwrap();
+    println!("  pages so far: {}", count(&noc, "pages"));
+
+    println!("== scenario 2: two downs, no recovery → page ==");
+    noc.execute("insert link_down values ('wan1')").unwrap();
+    println!("  pages now: {}", count(&noc, "pages"));
+
+    println!("== scenario 3: downs inside a maintenance window ==");
+    noc.execute("insert maintenance values ('start')").unwrap();
+    noc.execute("insert link_down values ('lan3')").unwrap();
+    noc.execute("insert link_down values ('lan4')").unwrap();
+    noc.execute("insert link_up values ('lan3')").unwrap(); // closes window
+    println!(
+        "  expected-down reports: {}",
+        count(&noc, "reports")
+    );
+
+    println!("== scenario 4: virtual time drives the PLUS follow-ups ==");
+    let before = count(&noc, "reports");
+    let resp = agent.advance_time(31_000_000).unwrap();
+    println!(
+        "  follow-ups fired after +31s: {} (reports {} → {})",
+        resp.actions.len(),
+        before,
+        count(&noc, "reports")
+    );
+
+    let stats = agent.stats();
+    println!(
+        "\nagent: {} notifications, {} actions, LED state size {}",
+        stats.notifications,
+        stats.actions_executed,
+        agent.led_state_size()
+    );
+
+    assert!(count(&noc, "pages") >= 1);
+    assert!(count(&noc, "reports") > before);
+    println!("\nnetwork_monitor example OK");
+}

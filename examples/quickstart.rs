@@ -1,0 +1,89 @@
+//! Quickstart: the paper's Example 1 and Example 2, start to finish.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! A passive SQL server becomes a full active database by standing the ECA
+//! Agent in front of it — no server or client changes, just the extended
+//! `CREATE TRIGGER ... EVENT ...` syntax.
+
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use relsql::SqlServer;
+
+fn main() {
+    // 1. A plain (passive) SQL server.
+    let server = SqlServer::new();
+
+    // 2. The mediator: creates its system tables, restores persisted rules.
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+
+    // 3. Clients connect through the agent — to them it is just a server.
+    let client = agent.client("sentineldb", "sharma");
+    client
+        .execute("create table stock (symbol varchar(10), price float)")
+        .unwrap();
+
+    // ---- Example 1 (paper §5.2): primitive event + trigger -------------
+    client
+        .execute(
+            "create trigger t_addStk on stock for insert \
+             event addStk \
+             as print ' trigger t_addStk on primitive event addStk occurs' \
+             select * from stock",
+        )
+        .unwrap();
+    println!("== Example 1: insert fires the named primitive event ==");
+    let resp = client.execute("insert stock values ('IBM', 104.5)").unwrap();
+    for m in &resp.server.messages {
+        println!("  server message: {m}");
+    }
+
+    // ---- Example 2 (paper §5.3): composite event ------------------------
+    client
+        .execute(
+            "create trigger t_delStk on stock for delete event delStk \
+             as print 'delStk occurs'",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_and \
+             event addDel = delStk ^ addStk \
+             RECENT \
+             as print 'trigger t_and on composite event addDel = delStk ^ addStk' \
+             select symbol, price from stock.inserted",
+        )
+        .unwrap();
+
+    println!("\n== Example 2: delete + insert completes the AND ==");
+    client.execute("delete stock where symbol = 'IBM'").unwrap();
+    let resp = client.execute("insert stock values ('HP', 52.5)").unwrap();
+    for action in &resp.actions {
+        println!("  rule {} fired on {}", action.rule, action.event);
+        if let Ok(result) = &action.result {
+            for m in &result.messages {
+                println!("    action message: {m}");
+            }
+            if let Some(sel) = result.last_select() {
+                println!("    action result {:?}: {:?}", sel.columns, sel.rows);
+            }
+        }
+    }
+
+    // ---- What the agent built under the hood ----------------------------
+    println!("\n== Agent state ==");
+    println!("  events:   {:?}", agent.event_names());
+    println!("  triggers: {:?}", agent.trigger_names());
+    let stats = agent.stats();
+    println!(
+        "  notifications: {}, actions executed: {}",
+        stats.notifications, stats.actions_executed
+    );
+    println!(
+        "  server tables: {:?}",
+        server.inspect(|e| e.database().table_names())
+    );
+}

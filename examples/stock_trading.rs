@@ -1,0 +1,142 @@
+//! Commodity/stock trading scenario (one of the paper's §1 motivating
+//! applications): portfolio risk rules over trades and quotes, showing
+//! composite events across tables, parameter contexts, and all three
+//! coupling modes.
+//!
+//! ```text
+//! cargo run --example stock_trading
+//! ```
+
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use relsql::{SqlServer, Value};
+
+fn count(client: &eca_core::EcaClient, table: &str) -> i64 {
+    let r = client
+        .execute(&format!("select count(*) from {table}"))
+        .unwrap();
+    match r.server.scalar() {
+        Some(Value::Int(n)) => *n,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn main() {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let trader = agent.client("tradedb", "desk1");
+
+    trader
+        .execute(
+            "create table quotes (symbol varchar(8), price float)\n\
+             go\n\
+             create table trades (symbol varchar(8), qty int, side varchar(4))\n\
+             go\n\
+             create table risk_log (note varchar(80))\n\
+             go\n\
+             create table margin_calls (symbol varchar(8))",
+        )
+        .unwrap();
+
+    // -- Primitive events: quote updates and trade executions -------------
+    trader
+        .execute(
+            "create trigger t_quote on quotes for update event quoteMove \
+             as print 'quote moved'",
+        )
+        .unwrap();
+    trader
+        .execute(
+            "create trigger t_trade on trades for insert event tradeDone \
+             as print 'trade executed'",
+        )
+        .unwrap();
+
+    // -- Composite: a quote move followed by a trade (SEQ, CHRONICLE) -----
+    // CHRONICLE pairs each trade with the oldest unconsumed quote move:
+    // classic audit-trail semantics.
+    trader
+        .execute(
+            "create trigger t_reactive \
+             event reactiveTrade = quoteMove ; tradeDone \
+             CHRONICLE \
+             as insert risk_log select symbol + ' traded after move' from trades.inserted",
+        )
+        .unwrap();
+
+    // -- Detached margin-call check: runs on its own thread ---------------
+    trader
+        .execute(
+            "create trigger t_margin event tradeDone DETACHED \
+             as insert margin_calls \
+                select symbol from trades.inserted where qty > 1000",
+        )
+        .unwrap();
+
+    // -- Deferred end-of-batch summary -------------------------------------
+    trader
+        .execute(
+            "create trigger t_eod event quoteMove DEFERRED \
+             as insert risk_log values ('deferred: end-of-tran quote review')",
+        )
+        .unwrap();
+
+    // ---------------- trading session ------------------------------------
+    trader
+        .execute("insert quotes values ('IBM', 100.0), ('HP', 50.0)")
+        .unwrap();
+
+    println!("== session: quote moves and trades ==");
+    trader
+        .execute("update quotes set price = 101.5 where symbol = 'IBM'")
+        .unwrap();
+    let resp = trader
+        .execute("insert trades values ('IBM', 200, 'BUY')")
+        .unwrap();
+    println!(
+        "  reactive-trade rule fired {} time(s)",
+        resp.actions.len()
+    );
+
+    trader
+        .execute("update quotes set price = 49.0 where symbol = 'HP'")
+        .unwrap();
+    trader
+        .execute("insert trades values ('HP', 5000, 'SELL')")
+        .unwrap();
+
+    // Detached actions finish asynchronously; join them.
+    let detached = agent.wait_detached();
+    println!("  detached margin checks completed: {}", detached.len());
+    println!("  margin calls recorded: {}", count(&trader, "margin_calls"));
+
+    // Deferred actions run at commit.
+    let resp = trader
+        .execute("begin tran update quotes set price = 102.0 where symbol = 'IBM' commit")
+        .unwrap();
+    let deferred = resp
+        .actions
+        .iter()
+        .filter(|a| a.coupling == led::CouplingMode::Deferred)
+        .count();
+    println!("  deferred actions flushed at commit: {deferred}");
+
+    println!("\n== risk log ==");
+    let r = trader.execute("select note from risk_log").unwrap();
+    for row in &r.server.last_select().unwrap().rows {
+        println!("  {}", row[0]);
+    }
+
+    let stats = agent.stats();
+    println!(
+        "\nagent: {} notifications, {} actions, led signals {}",
+        stats.notifications,
+        stats.actions_executed,
+        agent.led_stats().signals
+    );
+
+    assert!(count(&trader, "risk_log") >= 2);
+    assert_eq!(count(&trader, "margin_calls"), 1);
+    println!("\nstock_trading example OK");
+}

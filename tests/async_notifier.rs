@@ -1,0 +1,93 @@
+//! The asynchronous Event Notifier thread (Figure 15): the paper's actual
+//! architecture, where notifications are decoded and dispatched on a
+//! dedicated lightweight thread rather than inline with the client call.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eca_core::EcaAgent;
+use relsql::{SqlServer, Value};
+
+fn setup() -> (EcaAgent, eca_core::EcaClient) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client.execute("create table audit (n int)").unwrap();
+    client
+        .execute("create trigger tr on t for insert event e as print 'prim'")
+        .unwrap();
+    client
+        .execute("create trigger tc event ec = e as insert audit values (1)")
+        .unwrap();
+    (agent, client)
+}
+
+#[test]
+fn async_mode_processes_on_the_notifier_thread() {
+    let (agent, client) = setup();
+    let handle = agent.start_notifier_thread();
+
+    // In async mode the client's own response carries no composite actions.
+    let resp = client.execute("insert t values (1)").unwrap();
+    assert!(resp.actions.is_empty(), "actions are asynchronous now");
+
+    for i in 2..=20 {
+        client.execute(&format!("insert t values ({i})")).unwrap();
+    }
+    assert!(
+        agent.wait_quiescent(Duration::from_secs(5)),
+        "notifier thread drains the channel"
+    );
+    // Give the in-flight action batch a moment to land in the mailbox.
+    std::thread::sleep(Duration::from_millis(20));
+
+    agent.stop_notifier_thread();
+    handle.join().unwrap();
+
+    // Every insert was detected and acted on, just asynchronously.
+    let outcomes = agent.take_async_outcomes();
+    assert_eq!(outcomes.len(), 20, "one composite action per insert");
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(20)));
+    assert_eq!(agent.stats().notifications, 20);
+}
+
+#[test]
+fn stopping_the_thread_returns_to_synchronous_mode() {
+    let (agent, client) = setup();
+    let handle = agent.start_notifier_thread();
+    client.execute("insert t values (1)").unwrap();
+    assert!(agent.wait_quiescent(Duration::from_secs(5)));
+    agent.stop_notifier_thread();
+    handle.join().unwrap();
+
+    // Back in sync mode: the response carries the action again.
+    let resp = client.execute("insert t values (2)").unwrap();
+    assert_eq!(resp.actions.len(), 1);
+}
+
+#[test]
+fn concurrent_writers_with_async_notifier() {
+    let (agent, _client) = setup();
+    let handle = agent.start_notifier_thread();
+    let mut writers = Vec::new();
+    for k in 0..4 {
+        let c = agent.client("db", &format!("w{k}"));
+        writers.push(std::thread::spawn(move || {
+            for i in 0..25 {
+                c.execute(&format!("insert t values ({i})")).unwrap();
+            }
+        }));
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert!(agent.wait_quiescent(Duration::from_secs(10)));
+    std::thread::sleep(Duration::from_millis(30));
+    agent.stop_notifier_thread();
+    handle.join().unwrap();
+    let reader = agent.client("db", "u");
+    let r = reader.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(100)));
+}

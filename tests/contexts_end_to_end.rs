@@ -1,0 +1,229 @@
+//! §5.6 / Figure 17: all four parameter contexts exercised through the
+//! whole stack — native triggers stamp vNos, the LED composes parameter
+//! lists per context, the Action Handler fills `sysContext`, and the
+//! generated procedure joins it against the shadow tables.
+
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use relsql::{SqlServer, Value};
+
+/// Build the classic two-event scenario and return a client.
+/// `a` rows are inserted into table `a`; composite = ea-then-eb (SEQ) so
+/// the number of `a` initiators paired per `b` terminator depends on the
+/// context.
+fn setup(context: &str) -> (EcaAgent, eca_core::EcaClient) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table a (x int)").unwrap();
+    client.execute("create table b (y int)").unwrap();
+    // `seen` records which a.x values the action observed per firing.
+    client.execute("create table seen (x int)").unwrap();
+    client
+        .execute("create trigger t1 on a for insert event ea as print 'ea'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on b for insert event eb as print 'eb'")
+        .unwrap();
+    client
+        .execute(&format!(
+            "create trigger t3 event pair = ea ; eb {context} \
+             as insert seen select x from a.inserted"
+        ))
+        .unwrap();
+    (agent, client)
+}
+
+fn seen_values(client: &eca_core::EcaClient) -> Vec<i64> {
+    let r = client.execute("select x from seen order by x").unwrap();
+    r.server
+        .last_select()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|row| match &row[0] {
+            Value::Int(n) => *n,
+            other => panic!("{other:?}"),
+        })
+        .collect()
+}
+
+/// Three a-inserts (x = 10, 20, 30) then one b-insert.
+fn three_a_one_b(client: &eca_core::EcaClient) {
+    for x in [10, 20, 30] {
+        client.execute(&format!("insert a values ({x})")).unwrap();
+    }
+    client.execute("insert b values (1)").unwrap();
+}
+
+#[test]
+fn recent_context_sees_only_latest_initiator() {
+    let (_agent, client) = setup("RECENT");
+    three_a_one_b(&client);
+    assert_eq!(seen_values(&client), vec![30]);
+}
+
+#[test]
+fn chronicle_context_sees_oldest_initiator() {
+    let (_agent, client) = setup("CHRONICLE");
+    three_a_one_b(&client);
+    assert_eq!(seen_values(&client), vec![10]);
+    // A second terminator consumes the next-oldest.
+    client.execute("insert b values (2)").unwrap();
+    assert_eq!(seen_values(&client), vec![10, 20]);
+}
+
+#[test]
+fn continuous_context_fires_once_per_open_initiator() {
+    let (_agent, client) = setup("CONTINUOUS");
+    let resp = {
+        for x in [10, 20, 30] {
+            client.execute(&format!("insert a values ({x})")).unwrap();
+        }
+        client.execute("insert b values (1)").unwrap()
+    };
+    // Three detections from one terminator.
+    assert_eq!(resp.actions.len(), 3);
+    assert_eq!(seen_values(&client), vec![10, 20, 30]);
+}
+
+#[test]
+fn cumulative_context_merges_everything_into_one_detection() {
+    let (_agent, client) = setup("CUMULATIVE");
+    let resp = {
+        for x in [10, 20, 30] {
+            client.execute(&format!("insert a values ({x})")).unwrap();
+        }
+        client.execute("insert b values (1)").unwrap()
+    };
+    assert_eq!(resp.actions.len(), 1, "single merged detection");
+    // Its single action saw all three initiators' rows.
+    assert_eq!(seen_values(&client), vec![10, 20, 30]);
+}
+
+#[test]
+fn recent_initiator_keeps_initiating() {
+    let (_agent, client) = setup("RECENT");
+    client.execute("insert a values (5)").unwrap();
+    client.execute("insert b values (1)").unwrap();
+    client.execute("insert b values (2)").unwrap();
+    // The same (most recent) initiator pairs with both terminators.
+    assert_eq!(seen_values(&client), vec![5, 5]);
+}
+
+#[test]
+fn syscontext_rows_reflect_last_firing() {
+    let (agent, client) = setup("RECENT");
+    three_a_one_b(&client);
+    let r = agent
+        .server()
+        .inspect(|e| e.database().table("syscontext").unwrap().rows.clone());
+    // Two rows: one per constituent shadow table of the occurrence.
+    assert_eq!(r.len(), 2);
+    let ea = r
+        .iter()
+        .find(|row| row[0] == Value::Str("db.u.ea_inserted".into()))
+        .expect("ea shadow row");
+    assert_eq!(ea[1], Value::Str("RECENT".into()));
+    // The ea param carries the vNo of the *third* (most recent) insert.
+    assert_eq!(ea[2], Value::Int(3));
+    let eb = r
+        .iter()
+        .find(|row| row[0] == Value::Str("db.u.eb_inserted".into()))
+        .expect("eb shadow row");
+    assert_eq!(eb[2], Value::Int(1));
+}
+
+#[test]
+fn astar_accumulation_reaches_the_action() {
+    // A*(open, tick, close): the action must see *every* tick row gathered
+    // during the window — accumulated params drive the sysContext join.
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table windows (w int)").unwrap();
+    client.execute("create table ticks (v int)").unwrap();
+    client.execute("create table closes (c int)").unwrap();
+    client.execute("create table gathered (v int)").unwrap();
+    client
+        .execute("create trigger t1 on windows for insert event openw as print 'o'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on ticks for insert event tick as print 't'")
+        .unwrap();
+    client
+        .execute("create trigger t3 on closes for insert event closew as print 'c'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t4 event gathered_ev = A*(openw, tick, closew) \
+             as insert gathered select v from ticks.inserted",
+        )
+        .unwrap();
+    client.execute("insert windows values (1)").unwrap();
+    for v in [10, 20, 30] {
+        client.execute(&format!("insert ticks values ({v})")).unwrap();
+    }
+    let resp = client.execute("insert closes values (1)").unwrap();
+    assert_eq!(resp.actions.len(), 1, "A* detects once at close");
+    let r = client.execute("select v from gathered order by v").unwrap();
+    let vals: Vec<i64> = r
+        .server
+        .last_select()
+        .unwrap()
+        .rows
+        .iter()
+        .map(|row| match row[0] {
+            Value::Int(n) => n,
+            _ => panic!(),
+        })
+        .collect();
+    assert_eq!(vals, vec![10, 20, 30], "all accumulated ticks reached the action");
+    let _ = agent;
+}
+
+#[test]
+fn different_contexts_on_same_constituents_coexist() {
+    // Two composite events over the same primitives, different contexts;
+    // their sysContext rows are keyed by (tableName, context) so they do
+    // not clobber each other.
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table a (x int)").unwrap();
+    client.execute("create table b (y int)").unwrap();
+    client.execute("create table seen_r (x int)").unwrap();
+    client.execute("create table seen_c (x int)").unwrap();
+    client
+        .execute("create trigger t1 on a for insert event ea as print 'ea'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on b for insert event eb as print 'eb'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger tr event pr = ea ; eb RECENT \
+             as insert seen_r select x from a.inserted",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger tc event pc = ea ; eb CUMULATIVE \
+             as insert seen_c select x from a.inserted",
+        )
+        .unwrap();
+    for x in [1, 2] {
+        client.execute(&format!("insert a values ({x})")).unwrap();
+    }
+    client.execute("insert b values (9)").unwrap();
+    let count = |t: &str| {
+        let r = client.execute(&format!("select count(*) from {t}")).unwrap();
+        match r.server.scalar() {
+            Some(Value::Int(n)) => *n,
+            other => panic!("{other:?}"),
+        }
+    };
+    assert_eq!(count("seen_r"), 1, "recent saw only x=2");
+    assert_eq!(count("seen_c"), 2, "cumulative saw both");
+}

@@ -1,0 +1,202 @@
+//! Cross-feature interaction edge cases: drops with pending work, recovery
+//! after drops, update events feeding composites, temporal rules with
+//! non-immediate couplings.
+
+use std::sync::Arc;
+
+use eca_core::{EcaAgent, PersistentManager};
+use relsql::{SqlServer, Value};
+
+fn setup() -> (EcaAgent, eca_core::EcaClient) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client.execute("create table audit (n int)").unwrap();
+    (agent, client)
+}
+
+#[test]
+fn dropping_trigger_discards_its_pending_deferred_actions() {
+    let (agent, client) = setup();
+    client
+        .execute(
+            "create trigger tr on t for insert event e DEFERRED \
+             as insert audit values (1)",
+        )
+        .unwrap();
+    client.execute("insert t values (1)").unwrap();
+    // A deferred action is queued; dropping the trigger must purge it.
+    client.execute("drop trigger tr").unwrap();
+    let resp = agent.flush_deferred().unwrap();
+    assert!(resp.actions.is_empty(), "dropped rule's deferred action purged");
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn recovery_after_drop_leaves_no_ghosts() {
+    let server = SqlServer::new();
+    {
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        let client = agent.client("db", "u");
+        client.execute("create table t (a int)").unwrap();
+        client
+            .execute("create trigger tr on t for insert event e as print 'x'")
+            .unwrap();
+        client
+            .execute("create trigger tc event c = e ; e as print 'c'")
+            .unwrap();
+        client.execute("drop trigger tc").unwrap();
+        client.execute("drop event c").unwrap();
+        client.execute("drop trigger tr").unwrap();
+        client.execute("drop event e").unwrap();
+    }
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    assert!(agent.event_names().is_empty(), "{:?}", agent.event_names());
+    assert!(agent.trigger_names().is_empty());
+    let pm = PersistentManager::new(&server);
+    assert!(pm.load_primitives().unwrap().is_empty());
+    assert!(pm.load_composites().unwrap().is_empty());
+    assert!(pm.load_triggers().unwrap().is_empty());
+}
+
+#[test]
+fn update_event_feeds_composite_with_both_shadows() {
+    let (_agent, client) = setup();
+    client.execute("create table confirms (c int)").unwrap();
+    client.execute("create table seen_old (a int)").unwrap();
+    client.execute("create table seen_new (a int)").unwrap();
+    client
+        .execute("create trigger t1 on t for update event changed as print 'u'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on confirms for insert event confirmed as print 'c'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger tc event audited = changed ; confirmed \
+             as insert seen_old select a from t.deleted \
+                insert seen_new select a from t.inserted",
+        )
+        .unwrap();
+    client.execute("insert t values (1)").unwrap();
+    client.execute("update t set a = 2").unwrap();
+    let resp = client.execute("insert confirms values (1)").unwrap();
+    assert_eq!(resp.actions.len(), 1);
+    let r = client.execute("select a from seen_old").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)), "old row via deleted shadow");
+    let r = client.execute("select a from seen_new").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(2)), "new row via inserted shadow");
+}
+
+#[test]
+fn temporal_rule_with_deferred_coupling() {
+    let (agent, client) = setup();
+    client
+        .execute("create trigger t1 on t for insert event e as print 'x'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger tl event late = e PLUS [5 sec] DEFERRED \
+             as insert audit values (1)",
+        )
+        .unwrap();
+    client.execute("insert t values (1)").unwrap();
+    // Timer fires on advance, but the action defers until flush.
+    let resp = agent.advance_time(6_000_000).unwrap();
+    assert!(resp.actions.is_empty());
+    let resp = agent.flush_deferred().unwrap();
+    assert_eq!(resp.actions.len(), 1);
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn temporal_rule_with_detached_coupling() {
+    let (agent, client) = setup();
+    client
+        .execute("create trigger t1 on t for insert event e as print 'x'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger tl event late = e PLUS [5 sec] DETACHED \
+             as insert audit values (1)",
+        )
+        .unwrap();
+    client.execute("insert t values (1)").unwrap();
+    let resp = agent.advance_time(6_000_000).unwrap();
+    assert!(resp.actions.is_empty());
+    let outcomes = agent.wait_detached();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].result.is_ok());
+}
+
+#[test]
+fn event_recreated_after_drop_starts_fresh_vno() {
+    let (agent, client) = setup();
+    client
+        .execute("create trigger tr on t for insert event e as print 'x'")
+        .unwrap();
+    for i in 0..3 {
+        client.execute(&format!("insert t values ({i})")).unwrap();
+    }
+    client.execute("drop trigger tr").unwrap();
+    client.execute("drop event e").unwrap();
+    // Recreate the same event name on the same slot.
+    client
+        .execute("create trigger tr on t for insert event e as print 'x'")
+        .unwrap();
+    client.execute("insert t values (9)").unwrap();
+    let pm = PersistentManager::new(agent.server());
+    let prims = pm.load_primitives().unwrap();
+    assert_eq!(prims.len(), 1);
+    assert_eq!(prims[0].vno, 1, "fresh occurrence numbering");
+}
+
+#[test]
+fn composite_on_mixed_native_and_led_primitive_rules() {
+    // A primitive event with one IMMEDIATE (native-embedded) and one
+    // DETACHED (LED) trigger, plus a composite over the same event: all
+    // three dispatch paths coexist per occurrence.
+    let (agent, client) = setup();
+    client.execute("create table log_n (n int)").unwrap();
+    client.execute("create table log_d (n int)").unwrap();
+    client.execute("create table log_c (n int)").unwrap();
+    client
+        .execute("create trigger tn on t for insert event e as insert log_n values (1)")
+        .unwrap();
+    client
+        .execute("create trigger td event e DETACHED as insert log_d values (1)")
+        .unwrap();
+    client
+        .execute("create trigger tc event c = e as insert log_c values (1)")
+        .unwrap();
+    client.execute("insert t values (1)").unwrap();
+    agent.wait_detached();
+    for (table, label) in [("log_n", "native"), ("log_d", "detached"), ("log_c", "composite")] {
+        let r = client
+            .execute(&format!("select count(*) from {table}"))
+            .unwrap();
+        assert_eq!(r.server.scalar(), Some(&Value::Int(1)), "{label} path ran");
+    }
+}
+
+#[test]
+fn same_action_table_from_multiple_rules_is_consistent() {
+    let (_agent, client) = setup();
+    // Ten rules all appending to the same audit table from one event.
+    client
+        .execute("create trigger t0 on t for insert event e as print 'x'")
+        .unwrap();
+    for i in 0..10 {
+        client
+            .execute(&format!(
+                "create trigger tr{i} event c{i} = e as insert audit values ({i})"
+            ))
+            .unwrap();
+    }
+    client.execute("insert t values (1)").unwrap();
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(10)));
+}

@@ -1,0 +1,323 @@
+//! Figure 4's "event notification and action" control flow, including
+//! coupling modes (the paper's §6 future work, implemented here), action
+//! cascades, and parameter passing into conditions/actions.
+
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use led::CouplingMode;
+use relsql::{SqlServer, Value};
+
+fn setup() -> (EcaAgent, eca_core::EcaClient) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("sentineldb", "sharma");
+    client
+        .execute("create table stock (symbol varchar(10), price float)")
+        .unwrap();
+    client.execute("create table audit (note varchar(60))").unwrap();
+    (agent, client)
+}
+
+#[test]
+fn notification_counted_per_primitive_firing() {
+    let (agent, client) = setup();
+    client
+        .execute("create trigger t1 on stock for insert event addStk as print 'x'")
+        .unwrap();
+    for i in 0..5 {
+        client
+            .execute(&format!("insert stock values ('S{i}', 1.0)"))
+            .unwrap();
+    }
+    let stats = agent.stats();
+    assert_eq!(stats.notifications, 5);
+    assert_eq!(stats.malformed_notifications, 0);
+    let led = agent.led_stats();
+    assert_eq!(led.signals, 5);
+}
+
+#[test]
+fn composite_action_writes_back_into_the_server() {
+    // The action is SQL invoked *within* the server (paper abstract).
+    let (_agent, client) = setup();
+    client
+        .execute("create trigger t1 on stock for insert event addStk as print 'a'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on stock for delete event delStk as print 'd'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_and event addDel = delStk ^ addStk \
+             as insert audit values ('composite saw it')",
+        )
+        .unwrap();
+    // RECENT-context AND: the insert buffers addStk; the delete pairs with
+    // it (first detection); the retained delStk then pairs with the second
+    // insert (second detection) — recent initiators keep initiating.
+    client.execute("insert stock values ('A', 1.0)").unwrap();
+    let resp = client.execute("delete stock").unwrap();
+    assert_eq!(resp.actions.len(), 1);
+    let resp = client.execute("insert stock values ('B', 1.0)").unwrap();
+    assert_eq!(resp.actions.len(), 1);
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn deferred_coupling_waits_for_commit() {
+    let (agent, client) = setup();
+    client
+        .execute("create trigger t1 on stock for insert event addStk DEFERRED as insert audit values ('deferred ran')")
+        .unwrap();
+    // DML without commit: the rule is detected but its action is deferred.
+    let resp = client.execute("insert stock values ('A', 1.0)").unwrap();
+    assert!(resp.actions.is_empty());
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
+    // COMMIT flushes the deferred queue.
+    let resp = client
+        .execute("begin tran insert stock values ('B', 1.0) commit")
+        .unwrap();
+    assert!(
+        resp.actions
+            .iter()
+            .any(|a| a.coupling == CouplingMode::Deferred),
+        "{:?}",
+        resp.actions
+    );
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(2)), "both deferred actions ran");
+    let _ = agent;
+}
+
+#[test]
+fn detached_coupling_runs_on_separate_thread() {
+    let (agent, client) = setup();
+    client
+        .execute(
+            "create trigger t1 on stock for insert event addStk DETACHED \
+             as insert audit values ('detached ran')",
+        )
+        .unwrap();
+    let resp = client.execute("insert stock values ('A', 1.0)").unwrap();
+    // Not part of the synchronous response...
+    assert!(resp.actions.is_empty());
+    // ...but completes on its own thread.
+    let outcomes = agent.wait_detached();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].result.is_ok());
+    assert_eq!(outcomes[0].coupling, CouplingMode::Detached);
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn action_cascade_triggers_further_rules() {
+    // An action's DML can itself raise events (rule cascades).
+    let (_agent, client) = setup();
+    client
+        .execute("create table tier2 (n int)").unwrap();
+    client
+        .execute(
+            "create trigger t1 on stock for insert event addStk \
+             as insert audit values ('first tier')",
+        )
+        .unwrap();
+    // audit insert raises its own event, whose action writes tier2.
+    client
+        .execute(
+            "create trigger t2 on audit for insert event addAudit \
+             as insert tier2 values (1)",
+        )
+        .unwrap();
+    client.execute("insert stock values ('A', 1.0)").unwrap();
+    let r = client.execute("select count(*) from tier2").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)), "cascade reached tier 2");
+}
+
+#[test]
+fn seq_requires_order_through_full_stack() {
+    let (_agent, client) = setup();
+    client.execute("create table orders (id int)").unwrap();
+    client
+        .execute("create trigger t1 on stock for insert event addStk as print 'a'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on orders for insert event addOrd as print 'o'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_seq event ordered = addStk ; addOrd \
+             as insert audit values ('in order')",
+        )
+        .unwrap();
+    // Wrong order first: no fire.
+    client.execute("insert orders values (1)").unwrap();
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
+    // Right order: fires.
+    client.execute("insert stock values ('A', 1.0)").unwrap();
+    client.execute("insert orders values (2)").unwrap();
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn not_operator_through_full_stack() {
+    let (_agent, client) = setup();
+    client.execute("create table approvals (id int)").unwrap();
+    client.execute("create table shipments (id int)").unwrap();
+    client
+        .execute("create trigger t1 on stock for insert event request as print 'r'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on approvals for insert event approval as print 'a'")
+        .unwrap();
+    client
+        .execute("create trigger t3 on shipments for insert event shipment as print 's'")
+        .unwrap();
+    // Shipment without approval after a request = violation.
+    client
+        .execute(
+            "create trigger t_viol event violation = NOT(request, approval, shipment) \
+             as insert audit values ('unapproved shipment')",
+        )
+        .unwrap();
+    // Request → approval → shipment: no violation.
+    client.execute("insert stock values ('A', 1.0)").unwrap();
+    client.execute("insert approvals values (1)").unwrap();
+    client.execute("insert shipments values (1)").unwrap();
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
+    // Request → shipment with no approval: violation fires.
+    client.execute("insert stock values ('B', 1.0)").unwrap();
+    client.execute("insert shipments values (2)").unwrap();
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn temporal_plus_through_agent_clock() {
+    let (agent, client) = setup();
+    client
+        .execute("create trigger t1 on stock for insert event addStk as print 'a'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_late event late = addStk PLUS [10 sec] \
+             as insert audit values ('ten seconds later')",
+        )
+        .unwrap();
+    client.execute("insert stock values ('A', 1.0)").unwrap();
+    // Nothing yet.
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
+    // Advance virtual time past the PLUS offset.
+    let resp = agent.advance_time(11_000_000).unwrap();
+    assert_eq!(resp.actions.len(), 1);
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn periodic_fires_repeatedly_until_closed() {
+    let (agent, client) = setup();
+    client.execute("create table stops (id int)").unwrap();
+    client
+        .execute("create trigger t1 on stock for insert event openev as print 'o'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on stops for insert event closeev as print 'c'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_p event heartbeat = P(openev, [5 sec], closeev) \
+             as insert audit values ('tick')",
+        )
+        .unwrap();
+    client.execute("insert stock values ('A', 1.0)").unwrap();
+    agent.advance_time(16_000_000).unwrap(); // 3 ticks: 5s, 10s, 15s
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(3)));
+    client.execute("insert stops values (1)").unwrap(); // close window
+    agent.advance_time(60_000_000).unwrap();
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(3)), "no ticks after close");
+}
+
+#[test]
+fn update_event_passes_old_and_new_context() {
+    let (_agent, client) = setup();
+    client
+        .execute(
+            "create trigger t_upd on stock for update event priceChange \
+             as insert audit select symbol from stock.deleted \
+                insert audit select symbol from stock.inserted",
+        )
+        .unwrap();
+    client.execute("insert stock values ('IBM', 100.0)").unwrap();
+    client
+        .execute("update stock set price = 150.0 where symbol = 'IBM'")
+        .unwrap();
+    let r = client
+        .execute("select count(*) from audit")
+        .unwrap();
+    // One row from deleted (old) + one from inserted (new).
+    assert_eq!(r.server.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn led_state_limit_surfaces_as_agent_error() {
+    use eca_core::AgentConfig;
+    let server = SqlServer::new();
+    let agent = EcaAgent::new(
+        Arc::clone(&server),
+        AgentConfig {
+            led_state_limit: Some(3),
+            ..AgentConfig::default()
+        },
+    )
+    .unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client.execute("create table z (a int)").unwrap();
+    client
+        .execute("create trigger t1 on t for insert event e1 as print 'a'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on z for insert event e2 as print 'b'")
+        .unwrap();
+    // CHRONICLE SEQ buffers every unmatched initiator.
+    client
+        .execute("create trigger tc event seqev = e1 ; e2 CHRONICLE as print 'c'")
+        .unwrap();
+    for i in 0..3 {
+        client.execute(&format!("insert t values ({i})")).unwrap();
+    }
+    // Fourth unmatched initiator trips the breaker.
+    let err = client.execute("insert t values (99)").unwrap_err();
+    assert!(
+        err.to_string().contains("over the configured limit"),
+        "{err}"
+    );
+}
+
+#[test]
+fn malformed_notifications_are_tolerated() {
+    // Anything can arrive on a UDP port; the notifier must shrug it off.
+    let (agent, client) = setup();
+    client
+        .execute("create trigger t1 on stock for insert event addStk as print 'x'")
+        .unwrap();
+    // Hand-craft garbage through the engine's own sendmsg.
+    client
+        .execute("select syb_sendmsg('127.0.0.1', 10006, 'complete nonsense')")
+        .unwrap();
+    let stats = agent.stats();
+    assert_eq!(stats.malformed_notifications, 1);
+    // Real traffic still works afterwards.
+    client.execute("insert stock values ('A', 1.0)").unwrap();
+    assert_eq!(agent.stats().notifications, 1);
+}

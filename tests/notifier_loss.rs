@@ -1,0 +1,131 @@
+//! Failure injection on the notification channel (§6's reliability remark):
+//! the `syb_sendmsg` path has UDP semantics, so a lossy channel loses
+//! detections silently — quantified here and benchmarked in E8.
+
+use std::sync::Arc;
+
+use eca_core::{AgentConfig, EcaAgent};
+use relsql::{SqlServer, Value};
+
+fn agent_with_loss(p: f64, seed: u64) -> (EcaAgent, eca_core::EcaClient) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::new(
+        Arc::clone(&server),
+        AgentConfig {
+            drop_probability: p,
+            drop_seed: seed,
+            ..AgentConfig::default()
+        },
+    )
+    .unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client.execute("create table audit (n int)").unwrap();
+    client
+        .execute(
+            "create trigger tr on t for insert event e DETACHED \
+             as insert audit values (1)",
+        )
+        .unwrap();
+    (agent, client)
+}
+
+fn run_inserts(client: &eca_core::EcaClient, n: usize) {
+    for i in 0..n {
+        client.execute(&format!("insert t values ({i})")).unwrap();
+    }
+}
+
+#[test]
+fn lossless_channel_delivers_every_notification() {
+    let (agent, client) = agent_with_loss(0.0, 1);
+    run_inserts(&client, 50);
+    agent.wait_detached();
+    assert_eq!(agent.stats().notifications, 50);
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(50)));
+}
+
+#[test]
+fn full_loss_detects_nothing_silently() {
+    let (agent, client) = agent_with_loss(1.0, 1);
+    run_inserts(&client, 50);
+    agent.wait_detached();
+    // Server-side effects still happened (rows inserted, vNo bumped), but
+    // the agent never heard about them — the UDP failure mode.
+    assert_eq!(agent.stats().notifications, 0);
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
+    let r = client.execute("select count(*) from t").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(50)));
+}
+
+#[test]
+fn partial_loss_loses_proportional_detections() {
+    let (agent, client) = agent_with_loss(0.3, 42);
+    run_inserts(&client, 200);
+    agent.wait_detached();
+    let delivered = agent.stats().notifications;
+    assert!(
+        (100..190).contains(&(delivered as usize)),
+        "≈70% of 200 should survive, got {delivered}"
+    );
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(delivered as i64)));
+}
+
+#[test]
+fn loss_is_deterministic_per_seed() {
+    let run = |seed| {
+        let (agent, client) = agent_with_loss(0.5, seed);
+        run_inserts(&client, 100);
+        agent.wait_detached();
+        agent.stats().notifications
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn composite_detection_degrades_with_loss() {
+    // An AND needs *both* notifications; with loss p each, pairs survive at
+    // roughly (1-p)² — loss hurts composites superlinearly.
+    let server = SqlServer::new();
+    let agent = EcaAgent::new(
+        Arc::clone(&server),
+        AgentConfig {
+            drop_probability: 0.5,
+            drop_seed: 3,
+            ..AgentConfig::default()
+        },
+    )
+    .unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table a (x int)").unwrap();
+    client.execute("create table b (x int)").unwrap();
+    client.execute("create table audit (n int)").unwrap();
+    client
+        .execute("create trigger t1 on a for insert event ea as print 'a'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on b for insert event eb as print 'b'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t3 event pair = ea ^ eb CHRONICLE \
+             as insert audit values (1)",
+        )
+        .unwrap();
+    for i in 0..100 {
+        client.execute(&format!("insert a values ({i})")).unwrap();
+        client.execute(&format!("insert b values ({i})")).unwrap();
+    }
+    let r = client.execute("select count(*) from audit").unwrap();
+    let pairs = match r.server.scalar() {
+        Some(Value::Int(n)) => *n,
+        other => panic!("{other:?}"),
+    };
+    // 100 potential pairs; with 50% loss per side, far fewer survive, but
+    // chronicle pairing still matches some stragglers.
+    assert!(pairs < 80, "loss must reduce composite detections, got {pairs}");
+    assert!(pairs > 0, "some pairs should survive seed 3");
+}

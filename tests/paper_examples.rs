@@ -1,0 +1,193 @@
+//! The paper's two worked examples (§5.2 Example 1, §5.3 Example 2),
+//! end to end through the agent, as literally as the reproduction allows.
+
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use relsql::{SqlServer, Value};
+
+fn setup() -> (EcaAgent, eca_core::EcaClient) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("sentineldb", "sharma");
+    client
+        .execute("create table stock (symbol varchar(10), price float)")
+        .unwrap();
+    (agent, client)
+}
+
+#[test]
+fn example_1_primitive_trigger() {
+    let (agent, client) = setup();
+    // §5.2, verbatim command (double quotes are string literals in T-SQL).
+    client
+        .execute(
+            "create trigger t_addStk on stock for insert\n\
+             event addStk\n\
+             as print \" trigger t_addStk on primitive event addStk occurs\"\n\
+             select * from stock",
+        )
+        .unwrap();
+
+    // Internal names are created per §5.1.
+    assert!(agent
+        .event_names()
+        .contains(&"sentineldb.sharma.addStk".to_string()));
+    assert!(agent
+        .trigger_names()
+        .contains(&"sentineldb.sharma.t_addStk".to_string()));
+
+    // The Figure 11 artifacts exist in the server.
+    for table in [
+        "sentineldb.sharma.addStk_inserted",
+        "sentineldb.sharma.addStk_deleted",
+        "sentineldb.sharma.addStk_ver",
+    ] {
+        assert!(
+            agent.server().inspect(|e| e.database().has_table(table)),
+            "{table} missing"
+        );
+    }
+    assert!(agent.server().inspect(|e| e
+        .database()
+        .procedure("sentineldb.sharma.t_addStk__Proc", None)
+        .is_some()));
+
+    // Inserting fires the native trigger: action runs inside the server and
+    // its output comes back with the client's own result.
+    let resp = client.execute("insert stock values ('IBM', 104.5)").unwrap();
+    assert!(
+        resp.server
+            .messages
+            .iter()
+            .any(|m| m.contains("t_addStk on primitive event addStk occurs")),
+        "messages: {:?}",
+        resp.server.messages
+    );
+    // The action's `select * from stock` produced a result set with the row.
+    let select = resp
+        .server
+        .results
+        .iter()
+        .rev()
+        .find(|r| r.columns.contains(&"symbol".to_string()))
+        .expect("action select results returned to client");
+    assert_eq!(select.rows.len(), 1);
+    assert_eq!(select.rows[0][0], Value::Str("IBM".into()));
+
+    // SysPrimitiveEvent and SysEcaTrigger rows exist (Figure 11's inserts)
+    // and the occurrence counter advanced.
+    let pm = eca_core::PersistentManager::new(agent.server());
+    let prims = pm.load_primitives().unwrap();
+    assert_eq!(prims.len(), 1);
+    assert_eq!(prims[0].event, "sentineldb.sharma.addStk");
+    assert_eq!(prims[0].vno, 1, "one occurrence so far");
+    let trigs = pm.load_triggers().unwrap();
+    assert_eq!(trigs.len(), 1);
+    assert_eq!(trigs[0].proc_name, "sentineldb.sharma.t_addStk__Proc");
+}
+
+#[test]
+fn example_2_composite_trigger() {
+    let (agent, client) = setup();
+    // Both constituent events of Example 2 must exist first (the paper's
+    // name checking step requires delStk and addStk to be defined).
+    client
+        .execute(
+            "create trigger t_addStk on stock for insert event addStk \
+             as print 'addStk occurred'",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_delStk on stock for delete event delStk \
+             as print 'delStk occurred'",
+        )
+        .unwrap();
+
+    // §5.3 Example 2, verbatim shape.
+    client
+        .execute(
+            "create trigger t_and\n\
+             event addDel = delStk ^ addStk\n\
+             RECENT\n\
+             as\n\
+             print \"trigger t_and on composite event addDel = delStk ^ addStk\"\n\
+             select symbol, price from stock.inserted",
+        )
+        .unwrap();
+
+    assert!(agent
+        .event_names()
+        .contains(&"sentineldb.sharma.addDel".to_string()));
+
+    // Seed a row, then the delete + insert pair that forms the AND.
+    client.execute("insert stock values ('HP', 50.0)").unwrap();
+    client.execute("delete stock where symbol = 'HP'").unwrap();
+    let resp = client.execute("insert stock values ('IBM', 104.5)").unwrap();
+
+    // The composite fired exactly once, through the LED → Action Handler.
+    assert_eq!(resp.actions.len(), 1, "actions: {:?}", resp.actions);
+    let outcome = &resp.actions[0];
+    assert!(outcome.rule.ends_with("t_and"));
+    let result = outcome.result.as_ref().unwrap();
+    assert!(result
+        .messages
+        .iter()
+        .any(|m| m.contains("t_and on composite event")));
+    // The context select saw exactly the inserted IBM row (RECENT context).
+    let select = result.last_select().unwrap();
+    assert_eq!(select.columns, vec!["symbol", "price"]);
+    assert_eq!(select.rows.len(), 1);
+    assert_eq!(select.rows[0][0], Value::Str("IBM".into()));
+    assert_eq!(select.rows[0][1], Value::Float(104.5));
+
+    // SysCompositeEvent row persisted with the internal-name expression.
+    let pm = eca_core::PersistentManager::new(agent.server());
+    let comps = pm.load_composites().unwrap();
+    assert_eq!(comps.len(), 1);
+    assert!(comps[0].expr_src.contains("sentineldb.sharma.delStk"));
+    assert!(comps[0].expr_src.contains('^'));
+    assert_eq!(comps[0].context, "RECENT");
+}
+
+#[test]
+fn example_2_does_not_fire_on_insert_alone() {
+    let (_agent, client) = setup();
+    client
+        .execute("create trigger t_addStk on stock for insert event addStk as print 'a'")
+        .unwrap();
+    client
+        .execute("create trigger t_delStk on stock for delete event delStk as print 'd'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_and event addDel = delStk ^ addStk RECENT \
+             as print 'and fired'",
+        )
+        .unwrap();
+    // Insert without any delete: AND incomplete, no composite action.
+    let resp = client.execute("insert stock values ('IBM', 1.0)").unwrap();
+    assert!(resp.actions.is_empty());
+}
+
+#[test]
+fn snoop_or_keyword_form_works_like_example_2() {
+    let (_agent, client) = setup();
+    client
+        .execute("create trigger t1 on stock for insert event addStk as print 'a'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on stock for delete event delStk as print 'd'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_or event anyChange = delStk OR addStk \
+             as print 'or fired'",
+        )
+        .unwrap();
+    let resp = client.execute("insert stock values ('X', 1.0)").unwrap();
+    assert_eq!(resp.actions.len(), 1, "OR fires on either constituent");
+    let resp = client.execute("delete stock").unwrap();
+    assert_eq!(resp.actions.len(), 1);
+}

@@ -1,0 +1,84 @@
+//! Smoke test for the `eca_shell` binary: drive a scripted session through
+//! stdin and check the rendered output.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_shell(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_eca_shell"))
+        .arg("--demo")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn eca_shell");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success(), "shell exited with {:?}", out.status);
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn scripted_session_detects_composite() {
+    let out = run_shell(
+        "insert stock values ('IBM', 104.5)\n\
+         delete stock\n\
+         insert stock values ('HP', 52.5)\n\
+         select * from stock\n\
+         \\quit\n",
+    );
+    // Example 1's primitive action printed.
+    assert!(out.contains("t_addStk on primitive event addStk occurs"), "{out}");
+    // Example 2's composite fired on the delete+insert pair.
+    assert!(out.contains("composite addDel detected"), "{out}");
+    assert!(out.contains("fired on sentineldb.sharma.addDel"), "{out}");
+    // The final select renders a table with the surviving row.
+    assert!(out.contains("symbol | price"), "{out}");
+    assert!(out.contains("HP"), "{out}");
+}
+
+#[test]
+fn meta_commands_render() {
+    let out = run_shell(
+        "\\events\n\
+         \\triggers\n\
+         \\describe addDel\n\
+         \\stats\n\
+         \\help\n\
+         \\nonsense\n\
+         \\quit\n",
+    );
+    assert!(out.contains("sentineldb.sharma.addDel"), "{out}");
+    assert!(out.contains("via Led"), "{out}");
+    assert!(out.contains("AND PRIMITIVE PRIMITIVE"), "{out}");
+    assert!(out.contains("gateway:"), "{out}");
+    assert!(out.contains("unknown meta command"), "{out}");
+}
+
+#[test]
+fn sql_errors_do_not_kill_the_shell() {
+    let out = run_shell(
+        "select * from no_such_table\n\
+         insert stock values ('OK', 1.0)\n\
+         \\quit\n",
+    );
+    // Error reported (on stderr), then the next command still works.
+    assert!(out.contains("t_addStk on primitive event addStk occurs"), "{out}");
+}
+
+#[test]
+fn advance_meta_fires_temporal_rules() {
+    let out = run_shell(
+        "create trigger t_late event late = addStk PLUS [5 sec] as print 'late action ran'\n\
+         insert stock values ('IBM', 1.0)\n\
+         \\advance 6\n\
+         \\quit\n",
+    );
+    assert!(out.contains("advanced 6s; 1 rule action(s) fired"), "{out}");
+    assert!(out.contains("late action ran"), "{out}");
+}

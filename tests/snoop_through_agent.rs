@@ -1,0 +1,171 @@
+//! Every Snoop operator form, written in the agent's `CREATE TRIGGER ...
+//! EVENT name = <expr>` syntax (Figure 12), created and exercised.
+
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use relsql::{SqlServer, Value};
+
+fn setup() -> (EcaAgent, eca_core::EcaClient) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    for t in ["ta", "tb", "tc_tab", "hits"] {
+        client
+            .execute(&format!("create table {t} (v int)"))
+            .unwrap();
+    }
+    client
+        .execute("create trigger t_a on ta for insert event ea as print 'a'")
+        .unwrap();
+    client
+        .execute("create trigger t_b on tb for insert event eb as print 'b'")
+        .unwrap();
+    client
+        .execute("create trigger t_c on tc_tab for insert event ec as print 'c'")
+        .unwrap();
+    (agent, client)
+}
+
+fn hits(client: &eca_core::EcaClient) -> i64 {
+    match client
+        .execute("select count(*) from hits")
+        .unwrap()
+        .server
+        .scalar()
+    {
+        Some(Value::Int(n)) => *n,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn keyword_operators_parse_and_fire() {
+    let (_agent, client) = setup();
+    client
+        .execute(
+            "create trigger tr1 event k_or = ea OR eb as insert hits values (1)",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger tr2 event k_and = ea AND eb as insert hits values (2)",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger tr3 event k_seq = ea SEQ eb as insert hits values (3)",
+        )
+        .unwrap();
+    client.execute("insert ta values (1)").unwrap(); // OR fires
+    assert_eq!(hits(&client), 1);
+    client.execute("insert tb values (1)").unwrap(); // OR + AND + SEQ fire
+    assert_eq!(hits(&client), 4);
+}
+
+#[test]
+fn ternary_operators_through_syntax() {
+    let (agent, client) = setup();
+    client
+        .execute(
+            "create trigger tr1 event w_not = NOT(ea, eb, ec) \
+             as insert hits values (1)",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger tr2 event w_a = A(ea, eb, ec) CONTINUOUS \
+             as insert hits values (2)",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger tr3 event w_astar = A*(ea, eb, ec) \
+             as insert hits values (3)",
+        )
+        .unwrap();
+    assert_eq!(agent.event_names().iter().filter(|e| e.contains("w_")).count(), 3);
+    client.execute("insert ta values (1)").unwrap(); // opens all windows
+    client.execute("insert tb values (1)").unwrap(); // A fires; NOT cancelled
+    assert_eq!(hits(&client), 1, "A fired once");
+    client.execute("insert tc_tab values (1)").unwrap(); // A* fires; NOT stays cancelled
+    assert_eq!(hits(&client), 2, "A* fired at close, NOT suppressed");
+    // A clean window with no mid: NOT fires at close, and A* fires too
+    // (an empty A* window still detects — it is a windowed collector).
+    client.execute("insert ta values (2)").unwrap();
+    client.execute("insert tc_tab values (2)").unwrap();
+    assert_eq!(hits(&client), 4);
+}
+
+#[test]
+fn temporal_operators_through_syntax() {
+    let (agent, client) = setup();
+    client
+        .execute(
+            "create trigger tr1 event t_plus = ea PLUS [2 sec] \
+             as insert hits values (1)",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger tr2 event t_p = P(ea, [1 sec], ec) \
+             as insert hits values (2)",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger tr3 event t_pstar = P*(ea, [1 sec]:ts, ec) \
+             as insert hits values (3)",
+        )
+        .unwrap();
+    client.execute("insert ta values (1)").unwrap();
+    assert_eq!(hits(&client), 0);
+    // +2.5s: PLUS fires once; P fired at 1s and 2s.
+    agent.advance_time(2_500_000).unwrap();
+    assert_eq!(hits(&client), 3);
+    // Closing the window fires P* once (accumulated).
+    client.execute("insert tc_tab values (1)").unwrap();
+    assert_eq!(hits(&client), 4);
+}
+
+#[test]
+fn parenthesized_and_mixed_precedence_expressions() {
+    let (agent, client) = setup();
+    client
+        .execute(
+            "create trigger tr1 event mix = (ea | eb) ; ec CHRONICLE 3 \
+             as insert hits values (1)",
+        )
+        .unwrap();
+    assert_eq!(
+        agent.describe_event("db.u.mix").as_deref(),
+        Some("SEQ OR PRIMITIVE PRIMITIVE PRIMITIVE")
+    );
+    client.execute("insert tb values (1)").unwrap(); // OR side
+    client.execute("insert tc_tab values (1)").unwrap(); // terminator
+    assert_eq!(hits(&client), 1);
+    let info = agent.trigger_info("db.u.tr1").unwrap();
+    assert_eq!(info.priority, 3);
+    assert_eq!(info.context, led::ParameterContext::Chronicle);
+}
+
+#[test]
+fn symbolic_and_keyword_forms_equivalent_through_agent() {
+    let (agent, client) = setup();
+    client
+        .execute("create trigger tr1 event s1 = ea ^ eb as print 'x'")
+        .unwrap();
+    client
+        .execute("create trigger tr2 event s2 = ea AND eb as print 'x'")
+        .unwrap();
+    assert_eq!(
+        agent.describe_event("db.u.s1"),
+        agent.describe_event("db.u.s2")
+    );
+    // Persisted expressions normalize to the same canonical display form.
+    let pm = eca_core::PersistentManager::new(agent.server());
+    let comps = pm.load_composites().unwrap();
+    assert_eq!(comps.len(), 2);
+    assert_eq!(comps[0].expr_src, comps[1].expr_src);
+    assert_eq!(comps[0].expr_src, "(db.u.ea ^ db.u.eb)");
+}

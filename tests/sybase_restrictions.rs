@@ -1,0 +1,178 @@
+//! §2.2: the native trigger restrictions the agent is built around.
+//! Each test demonstrates the restriction on the bare server, then shows
+//! the agent lifting it.
+
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use relsql::{SqlServer, Value};
+
+#[test]
+fn native_trigger_overwrite_is_silent_but_agent_supports_many() {
+    // Restriction: "Each new trigger on a table for the same operation
+    // overwrites the previous one. No warning message is given."
+    let server = SqlServer::new();
+    let s = server.session("db", "u");
+    s.execute("create table t (a int)").unwrap();
+    s.execute("create trigger tr1 on t for insert as print 'first'")
+        .unwrap();
+    // Silently replaced — no error:
+    s.execute("create trigger tr2 on t for insert as print 'second'")
+        .unwrap();
+    let r = s.execute("insert t values (1)").unwrap();
+    assert_eq!(r.messages, vec!["second"], "first trigger silently gone");
+
+    // The agent supports multiple triggers on the same event (contribution #4).
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client
+        .execute("create trigger tr1 on t for insert event e as print 'first'")
+        .unwrap();
+    client
+        .execute("create trigger tr2 event e as print 'second'")
+        .unwrap();
+    let resp = client.execute("insert t values (1)").unwrap();
+    assert!(resp.server.messages.contains(&"first".to_string()));
+    assert!(resp.server.messages.contains(&"second".to_string()));
+}
+
+#[test]
+fn native_events_cannot_be_named_but_agent_events_can() {
+    // Restriction: "An event cannot be named and reused."
+    // Native syntax has no EVENT clause at all; the agent's does, and the
+    // name is reusable across triggers.
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client
+        .execute("create trigger tr1 on t for insert event namedEvent as print 'x'")
+        .unwrap();
+    // Reuse by name from a *different* trigger.
+    client
+        .execute("create trigger tr2 event namedEvent as print 'y'")
+        .unwrap();
+    // And from a composite definition.
+    client
+        .execute("create trigger tr3 event twice = namedEvent ; namedEvent as print 'z'")
+        .unwrap();
+    assert_eq!(agent.trigger_names().len(), 3);
+}
+
+#[test]
+fn composite_events_impossible_natively_but_detected_by_agent() {
+    // Restriction: "Composite events cannot be specified."
+    // Native triggers see single statements only; the agent detects an
+    // AND across two *different tables* — something no single native
+    // trigger can watch ("a trigger cannot be applied to more than one
+    // table").
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table orders (id int)").unwrap();
+    client.execute("create table payments (id int)").unwrap();
+    client.execute("create table matched (id int)").unwrap();
+    client
+        .execute("create trigger t1 on orders for insert event newOrder as print 'o'")
+        .unwrap();
+    client
+        .execute("create trigger t2 on payments for insert event newPayment as print 'p'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t3 event paidOrder = newOrder ^ newPayment \
+             as insert matched values (1)",
+        )
+        .unwrap();
+    client.execute("insert orders values (1)").unwrap();
+    let r = client.execute("select count(*) from matched").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
+    client.execute("insert payments values (1)").unwrap();
+    let r = client.execute("select count(*) from matched").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)), "cross-table composite");
+}
+
+#[test]
+fn dropping_native_trigger_by_name_passes_through() {
+    // Transparency in the other direction: drop of a non-agent trigger is
+    // the server's business.
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client
+        .execute("create trigger plain on t for insert as print 'plain'")
+        .unwrap();
+    client.execute("drop trigger plain").unwrap();
+    let resp = client.execute("insert t values (1)").unwrap();
+    assert!(resp.server.messages.is_empty());
+}
+
+#[test]
+fn agent_keeps_all_native_server_functionality() {
+    // "None of the existing DBMS's functionality would be lost" — a
+    // client doing plain SQL through the agent sees identical behaviour,
+    // including native triggers, procedures and transactions.
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client
+        .execute("create procedure fill as insert t values (7)")
+        .unwrap();
+    client.execute("execute fill").unwrap();
+    client
+        .execute("begin tran insert t values (8) rollback")
+        .unwrap();
+    let r = client.execute("select count(*), sum(a) from t").unwrap();
+    let row = &r.server.last_select().unwrap().rows[0];
+    assert_eq!(row[0], Value::Int(1));
+    assert_eq!(row[1], Value::Int(7));
+}
+
+#[test]
+fn client_is_a_drop_in_sql_endpoint() {
+    // Code written against `SqlEndpoint` cannot tell a bare server from an
+    // agent-fronted one — the transparency claim as a type-level fact.
+    use relsql::{SessionCtx, SqlEndpoint};
+
+    fn app_workload(endpoint: &dyn SqlEndpoint) -> i64 {
+        let ctx = SessionCtx::new("db", "u");
+        endpoint.execute("create table w (a int)", &ctx).unwrap();
+        endpoint.execute("insert w values (1), (2)", &ctx).unwrap();
+        match endpoint
+            .execute("select sum(a) from w", &ctx)
+            .unwrap()
+            .scalar()
+        {
+            Some(Value::Int(n)) => *n,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // Directly against the server...
+    let server = SqlServer::new();
+    let direct = app_workload(server.as_ref());
+
+    // ...and through the agent: identical results.
+    let server2 = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server2)).unwrap();
+    let client = agent.client("db", "u");
+    let via_agent = app_workload(&client);
+    assert_eq!(direct, via_agent);
+}
+
+#[test]
+fn trigger_depth_limit_still_enforced_through_agent() {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client
+        .execute("create trigger looper on t for insert as insert t values (1)")
+        .unwrap();
+    let err = client.execute("insert t values (0)").unwrap_err();
+    assert!(err.to_string().contains("nesting"), "{err}");
+}
