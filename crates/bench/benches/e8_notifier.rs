@@ -71,6 +71,7 @@ fn bench(c: &mut Criterion) {
                             AgentConfig {
                                 drop_probability: loss_pct as f64 / 100.0,
                                 drop_seed: 17,
+                                exactly_once: false,
                                 ..AgentConfig::default()
                             },
                         )

@@ -275,6 +275,7 @@ fn e8_loss() {
             AgentConfig {
                 drop_probability: pct as f64 / 100.0,
                 drop_seed: 17,
+                exactly_once: false,
                 ..AgentConfig::default()
             },
         )

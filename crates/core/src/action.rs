@@ -7,9 +7,22 @@
 //! the occurrence's parameter list, then the trigger's stored procedure
 //! runs. DETACHED actions get their own thread, exactly as the paper
 //! spawns a thread per `SybaseAction` call.
+//!
+//! On top of the paper's fire-and-forget execution this handler layers a
+//! reliability pipeline: transiently failing actions are retried under a
+//! configurable [`RetryPolicy`] (exponential backoff with deterministic
+//! jitter), panicking action paths are caught and reported as failed
+//! outcomes instead of unwinding a thread away, and actions that exhaust
+//! their attempts land in a [`DeadLetter`] queue that can be inspected and
+//! requeued.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use led::{CouplingMode, Firing, Occurrence, ParameterContext};
 use parking_lot::Mutex;
@@ -51,7 +64,86 @@ pub struct ActionOutcome {
     pub rule: String,
     pub event: String,
     pub coupling: CouplingMode,
+    /// How many attempts were made (1 = succeeded or gave up first try).
+    pub attempts: u32,
     pub result: std::result::Result<BatchResult, String>,
+}
+
+/// Retry behaviour for failing actions.
+///
+/// The default makes exactly one attempt and never sleeps — the paper's
+/// original fire-once semantics. Backoff grows exponentially from
+/// `base_backoff`, is capped at `max_backoff`, and carries a deterministic
+/// jitter derived from the rule name and attempt number (so concurrent
+/// retries de-synchronize without nondeterminism in tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    pub fn retries(max_attempts: u32, base_backoff: Duration, max_backoff: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff,
+            max_backoff,
+        }
+    }
+
+    /// The delay to sleep after `failed_attempt` (1-based) before the next
+    /// try: `min(base * 2^(n-1), max)` plus up to 25% deterministic jitter.
+    pub fn backoff_after(&self, rule: &str, failed_attempt: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = failed_attempt.saturating_sub(1).min(16);
+        let raw = self.base_backoff.saturating_mul(1u32 << exp);
+        let capped = raw.min(self.max_backoff.max(self.base_backoff));
+        let span = capped.as_nanos() as u64 / 4;
+        let jitter = if span == 0 {
+            0
+        } else {
+            let mut h = DefaultHasher::new();
+            rule.hash(&mut h);
+            failed_attempt.hash(&mut h);
+            h.finish() % (span + 1)
+        };
+        capped + Duration::from_nanos(jitter)
+    }
+}
+
+/// An action that exhausted its retry budget (or panicked out of every
+/// attempt), parked for inspection and manual requeue.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    pub request: ActionRequest,
+    pub coupling: CouplingMode,
+    pub error: String,
+    pub attempts: u32,
+}
+
+/// Test/chaos hook: invoked before each attempt with the request and the
+/// 1-based attempt number; returning `Some(err)` fails that attempt,
+/// panicking simulates a crashing action path.
+pub type FaultInjector = Arc<dyn Fn(&ActionRequest, u32) -> Option<String> + Send + Sync>;
+
+struct DetachedHandle {
+    handle: JoinHandle<()>,
+    rule: String,
+    event: String,
 }
 
 /// Executes actions; detached ones on their own threads.
@@ -59,29 +151,100 @@ pub struct ActionHandler {
     gateway: Arc<Gateway>,
     /// Identity the action SQL runs under.
     session: SessionCtx,
-    detached: Mutex<Vec<JoinHandle<()>>>,
+    policy: RetryPolicy,
+    injector: Mutex<Option<FaultInjector>>,
+    detached: Mutex<Vec<DetachedHandle>>,
     detached_outcomes: Arc<Mutex<Vec<ActionOutcome>>>,
+    dead_letters: Mutex<Vec<DeadLetter>>,
+    retries: AtomicU64,
+    dead_lettered: AtomicU64,
 }
 
 impl ActionHandler {
     pub fn new(gateway: Arc<Gateway>) -> Self {
+        Self::with_policy(gateway, RetryPolicy::default())
+    }
+
+    pub fn with_policy(gateway: Arc<Gateway>, policy: RetryPolicy) -> Self {
         ActionHandler {
             gateway,
             session: SessionCtx::new("master", "eca_agent"),
+            policy,
+            injector: Mutex::new(None),
             detached: Mutex::new(Vec::new()),
             detached_outcomes: Arc::new(Mutex::new(Vec::new())),
+            dead_letters: Mutex::new(Vec::new()),
+            retries: AtomicU64::new(0),
+            dead_lettered: AtomicU64::new(0),
         }
     }
 
+    /// Install (or clear) the per-attempt fault injector.
+    pub fn set_fault_injector(&self, injector: Option<FaultInjector>) {
+        *self.injector.lock() = injector;
+    }
+
     /// Execute an action synchronously (IMMEDIATE and flushed DEFERRED
-    /// rules) and return the outcome.
+    /// rules) and return the outcome, retrying per the policy. An outcome
+    /// that is still failed after the last attempt is also dead-lettered.
     pub fn execute(&self, request: &ActionRequest, coupling: CouplingMode) -> ActionOutcome {
-        let result = self.run(request);
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        let mut last_err;
+        loop {
+            attempt += 1;
+            match self.attempt(request, attempt) {
+                Ok(batch) => {
+                    return ActionOutcome {
+                        rule: request.rule.clone(),
+                        event: request.event.clone(),
+                        coupling,
+                        attempts: attempt,
+                        result: Ok(batch),
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+            if attempt >= max_attempts {
+                break;
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            let delay = self.policy.backoff_after(&request.rule, attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        self.dead_lettered.fetch_add(1, Ordering::Relaxed);
+        self.dead_letters.lock().push(DeadLetter {
+            request: request.clone(),
+            coupling,
+            error: last_err.clone(),
+            attempts: attempt,
+        });
         ActionOutcome {
             rule: request.rule.clone(),
             event: request.event.clone(),
             coupling,
-            result: result.map_err(|e| e.to_string()),
+            attempts: attempt,
+            result: Err(last_err),
+        }
+    }
+
+    /// One attempt: fault injection, then the real SQL, with panics caught
+    /// and converted into ordinary errors.
+    fn attempt(&self, request: &ActionRequest, attempt: u32) -> std::result::Result<BatchResult, String> {
+        let injector = self.injector.lock().clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inject) = &injector {
+                if let Some(err) = inject(request, attempt) {
+                    return Err(err);
+                }
+            }
+            self.run(request).map_err(|e| e.to_string())
+        }));
+        match outcome {
+            Ok(r) => r,
+            Err(panic) => Err(panic_message(panic)),
         }
     }
 
@@ -90,18 +253,35 @@ impl ActionHandler {
     pub fn execute_detached(self: &Arc<Self>, request: ActionRequest) {
         let handler = Arc::clone(self);
         let outcomes = Arc::clone(&self.detached_outcomes);
+        let rule = request.rule.clone();
+        let event = request.event.clone();
         let handle = std::thread::spawn(move || {
             let outcome = handler.execute(&request, CouplingMode::Detached);
             outcomes.lock().push(outcome);
         });
-        self.detached.lock().push(handle);
+        self.detached.lock().push(DetachedHandle {
+            handle,
+            rule,
+            event,
+        });
     }
 
-    /// Join all outstanding detached actions and return their outcomes.
+    /// Join all outstanding detached actions and return their outcomes. A
+    /// thread that died without reporting (should be unreachable — attempts
+    /// catch panics — but threads can still be killed) yields a failed
+    /// outcome rather than vanishing.
     pub fn wait_detached(&self) -> Vec<ActionOutcome> {
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.detached.lock());
+        let handles: Vec<DetachedHandle> = std::mem::take(&mut *self.detached.lock());
         for h in handles {
-            let _ = h.join();
+            if h.handle.join().is_err() {
+                self.detached_outcomes.lock().push(ActionOutcome {
+                    rule: h.rule,
+                    event: h.event,
+                    coupling: CouplingMode::Detached,
+                    attempts: 0,
+                    result: Err("detached action thread panicked before reporting".into()),
+                });
+            }
         }
         std::mem::take(&mut *self.detached_outcomes.lock())
     }
@@ -109,6 +289,32 @@ impl ActionHandler {
     /// Number of detached actions not yet joined.
     pub fn detached_pending(&self) -> usize {
         self.detached.lock().len()
+    }
+
+    /// Snapshot of the dead-letter queue.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.dead_letters.lock().clone()
+    }
+
+    /// Drain the dead-letter queue and re-execute every entry (with the
+    /// full retry policy again); entries that fail again re-enter the
+    /// queue. Returns the requeue outcomes.
+    pub fn requeue_dead_letters(&self) -> Vec<ActionOutcome> {
+        let letters: Vec<DeadLetter> = std::mem::take(&mut *self.dead_letters.lock());
+        letters
+            .into_iter()
+            .map(|dl| self.execute(&dl.request, dl.coupling))
+            .collect()
+    }
+
+    /// Retries performed (attempts beyond the first, across all actions).
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Actions dead-lettered (cumulative; requeued failures count again).
+    pub fn dead_letter_count(&self) -> u64 {
+        self.dead_lettered.load(Ordering::Relaxed)
     }
 
     fn run(&self, request: &ActionRequest) -> Result<BatchResult> {
@@ -120,6 +326,16 @@ impl ActionHandler {
         // Step 4: run the stored procedure (context join + action).
         self.gateway
             .internal(&format!("execute {}", request.proc_name), &self.session)
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("action panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("action panicked: {s}")
+    } else {
+        "action panicked".to_string()
     }
 }
 
@@ -165,6 +381,7 @@ mod tests {
         let occ = Occurrence::point("e", 1, vec![Param::db("e", "shadow1", 5, 1)]);
         let outcome = handler.execute(&request("p", occ), CouplingMode::Immediate);
         assert!(outcome.result.is_ok());
+        assert_eq!(outcome.attempts, 1);
         let r = gw.internal("select msg from log", &ctx).unwrap();
         assert_eq!(
             r.scalar(),
@@ -173,13 +390,17 @@ mod tests {
     }
 
     #[test]
-    fn failed_proc_reports_error_outcome() {
+    fn failed_proc_reports_error_outcome_and_dead_letters() {
         let (gw, _ctx) = setup();
         let handler = ActionHandler::new(gw);
         let occ = Occurrence::point("e", 1, vec![]);
         let outcome = handler.execute(&request("nosuch_proc", occ), CouplingMode::Immediate);
         assert!(outcome.result.is_err());
         assert!(outcome.result.unwrap_err().contains("nosuch_proc"));
+        let letters = handler.dead_letters();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].attempts, 1);
+        assert_eq!(handler.dead_letter_count(), 1);
     }
 
     #[test]
@@ -199,5 +420,106 @@ mod tests {
         assert_eq!(handler.detached_pending(), 0);
         let r = gw.internal("select count(*) from log", &ctx).unwrap();
         assert_eq!(r.scalar(), Some(&relsql::Value::Int(4)));
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let (gw, ctx) = setup();
+        gw.internal("create table log (a int)", &ctx).unwrap();
+        gw.internal("create procedure p as insert log values (1)", &ctx)
+            .unwrap();
+        let handler = ActionHandler::with_policy(
+            Arc::clone(&gw),
+            RetryPolicy::retries(5, Duration::ZERO, Duration::ZERO),
+        );
+        // Fail the first two attempts, then let the action through.
+        handler.set_fault_injector(Some(Arc::new(|_, attempt| {
+            (attempt <= 2).then(|| format!("transient glitch #{attempt}"))
+        })));
+        let occ = Occurrence::point("e", 1, vec![]);
+        let outcome = handler.execute(&request("p", occ), CouplingMode::Immediate);
+        assert!(outcome.result.is_ok());
+        assert_eq!(outcome.attempts, 3);
+        assert_eq!(handler.retry_count(), 2);
+        assert!(handler.dead_letters().is_empty());
+        // The action ran exactly once: failed attempts never reached SQL.
+        let r = gw.internal("select count(*) from log", &ctx).unwrap();
+        assert_eq!(r.scalar(), Some(&relsql::Value::Int(1)));
+    }
+
+    #[test]
+    fn exhausted_retries_dead_letter_then_requeue_succeeds() {
+        let (gw, ctx) = setup();
+        gw.internal("create table log (a int)", &ctx).unwrap();
+        gw.internal("create procedure p as insert log values (1)", &ctx)
+            .unwrap();
+        let handler = ActionHandler::with_policy(
+            Arc::clone(&gw),
+            RetryPolicy::retries(2, Duration::ZERO, Duration::ZERO),
+        );
+        handler.set_fault_injector(Some(Arc::new(|_, _| Some("outage".into()))));
+        let occ = Occurrence::point("e", 1, vec![]);
+        let outcome = handler.execute(&request("p", occ), CouplingMode::Immediate);
+        assert_eq!(outcome.attempts, 2);
+        assert!(outcome.result.is_err());
+        assert_eq!(handler.dead_letters().len(), 1);
+        // The outage clears; requeue drains the queue and the action runs.
+        handler.set_fault_injector(None);
+        let requeued = handler.requeue_dead_letters();
+        assert_eq!(requeued.len(), 1);
+        assert!(requeued[0].result.is_ok());
+        assert!(handler.dead_letters().is_empty());
+        let r = gw.internal("select count(*) from log", &ctx).unwrap();
+        assert_eq!(r.scalar(), Some(&relsql::Value::Int(1)));
+    }
+
+    #[test]
+    fn panicking_action_yields_failed_outcome_not_a_dead_thread() {
+        let (gw, _ctx) = setup();
+        let handler = Arc::new(ActionHandler::new(gw));
+        handler.set_fault_injector(Some(Arc::new(|req: &ActionRequest, _| {
+            panic!("boom in {}", req.proc_name)
+        })));
+        // Synchronous path.
+        let occ = Occurrence::point("e", 1, vec![]);
+        let outcome = handler.execute(&request("p", occ.clone()), CouplingMode::Immediate);
+        let err = outcome.result.unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert!(err.contains("boom in p"), "{err}");
+        // Detached path: the panic must surface as an outcome, not vanish
+        // in wait_detached (regression for the swallowed-join bug).
+        handler.execute_detached(request("p", occ));
+        let outcomes = handler.wait_detached();
+        assert_eq!(outcomes.len(), 1);
+        let err = outcomes[0].result.as_ref().unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert_eq!(handler.dead_letter_count(), 2);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy::retries(
+            8,
+            Duration::from_millis(10),
+            Duration::from_millis(40),
+        );
+        let b1 = p.backoff_after("rule", 1);
+        let b2 = p.backoff_after("rule", 2);
+        let b3 = p.backoff_after("rule", 3);
+        let b4 = p.backoff_after("rule", 4);
+        assert!(b1 >= Duration::from_millis(10) && b1 < Duration::from_millis(13));
+        assert!(b2 >= Duration::from_millis(20) && b2 < Duration::from_millis(25));
+        assert!(b3 >= Duration::from_millis(40) && b3 < Duration::from_millis(50));
+        assert!(b4 >= Duration::from_millis(40) && b4 < Duration::from_millis(50), "capped");
+        assert_eq!(b2, p.backoff_after("rule", 2), "deterministic");
+        assert_ne!(
+            p.backoff_after("rule_a", 2),
+            p.backoff_after("rule_b", 2),
+            "jitter varies by rule"
+        );
+        assert_eq!(
+            RetryPolicy::default().backoff_after("r", 1),
+            Duration::ZERO
+        );
     }
 }

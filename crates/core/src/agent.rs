@@ -19,10 +19,12 @@ use crossbeam::channel::Receiver;
 use led::{Condition, CouplingMode, Detector, Firing, Param, ParameterContext, RuleSpec};
 use parking_lot::Mutex;
 use relsql::ast::TriggerOp;
-use relsql::notify::{ChannelSink, Datagram, LossySink, NotificationSink};
+use relsql::notify::{ChannelSink, ChaosSink, Datagram, FaultPlan, NotificationSink};
 use relsql::{BatchResult, SessionCtx, SqlServer};
 
-use crate::action::{ActionHandler, ActionOutcome, ActionRequest};
+use crate::action::{
+    ActionHandler, ActionOutcome, ActionRequest, DeadLetter, FaultInjector, RetryPolicy,
+};
 use crate::codegen;
 use crate::eca_parser::{parse_eca, EcaCommand, TriggerClauses};
 use crate::error::{AgentError, Result};
@@ -34,6 +36,7 @@ use crate::persist::PersistentManager;
 use crate::registry::{
     CompositeEventInfo, PrimitiveEventInfo, Registry, ShadowKind, TriggerInfo, TriggerKind,
 };
+use crate::reliability::{Admission, ReliabilityTracker};
 
 /// Agent configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +49,19 @@ pub struct AgentConfig {
     /// Simulated UDP loss probability for the notification channel.
     pub drop_probability: f64,
     pub drop_seed: u64,
+    /// Full fault plan (drop, duplicate, reorder, delay bursts) for the
+    /// notification channel. When set it takes precedence over
+    /// `drop_probability`/`drop_seed` (which remain as a drop-only
+    /// shorthand).
+    pub fault_plan: Option<FaultPlan>,
+    /// Exactly-once notification semantics: suppress duplicate
+    /// `(event, vNo)` deliveries, repair gaps from the durable occurrence
+    /// counters, and replay occurrences missed while the agent was down.
+    /// Disable to get the paper's honest fire-and-forget UDP behaviour
+    /// (events lost on the channel stay lost).
+    pub exactly_once: bool,
+    /// Retry policy for failing rule actions (default: single attempt).
+    pub retry: RetryPolicy,
     /// Safety cap on cascaded notifications processed per client call.
     pub max_cascade: usize,
     /// Per-node LED buffered-occurrence ceiling (circuit breaker for
@@ -61,6 +77,9 @@ impl Default for AgentConfig {
             notify_port: 10006,
             drop_probability: 0.0,
             drop_seed: 0,
+            fault_plan: None,
+            exactly_once: true,
+            retry: RetryPolicy::default(),
             max_cascade: 10_000,
             led_state_limit: None,
         }
@@ -74,6 +93,16 @@ pub struct AgentStats {
     pub notifications: u64,
     pub malformed_notifications: u64,
     pub actions_executed: u64,
+    /// Occurrences repaired whose datagram never arrived (channel drops).
+    pub drops_detected: u64,
+    /// Occurrences synthesized from the durable tables (drops + delays).
+    pub gaps_repaired: u64,
+    /// Re-delivered `(event, vNo)` datagrams suppressed.
+    pub duplicates_suppressed: u64,
+    /// Action attempts beyond the first.
+    pub retries: u64,
+    /// Actions parked in the dead-letter queue (cumulative).
+    pub dead_lettered: u64,
 }
 
 /// What one client call produced.
@@ -109,6 +138,11 @@ struct Inner {
     persist: PersistentManager,
     action: Arc<ActionHandler>,
     rx: Receiver<Datagram>,
+    /// The chaos sink, when a fault plan is active — kept so tests and the
+    /// shell can flush held datagrams and read channel fault counters.
+    chaos: Option<Arc<ChaosSink<ChannelSink>>>,
+    /// Per-event high-water marks for exactly-once admission.
+    tracker: Mutex<ReliabilityTracker>,
     config: AgentConfig,
     listeners: Mutex<Vec<OccurrenceListener>>,
     /// When set, a dedicated notifier thread owns the channel and the
@@ -136,12 +170,18 @@ impl EcaAgent {
     /// ECA rule (Persistent Manager recovery, Figure 8).
     pub fn new(server: Arc<SqlServer>, config: AgentConfig) -> Result<Self> {
         let (sink, rx) = ChannelSink::new();
-        if config.drop_probability > 0.0 {
-            let lossy = LossySink::new(sink, config.drop_probability, config.drop_seed);
-            server.set_sink(lossy as Arc<dyn NotificationSink>);
-        } else {
+        let plan = config
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| FaultPlan::lossy(config.drop_probability, config.drop_seed));
+        let chaos = if plan.is_noop() {
             server.set_sink(sink as Arc<dyn NotificationSink>);
-        }
+            None
+        } else {
+            let chaos = ChaosSink::new(sink, plan);
+            server.set_sink(Arc::clone(&chaos) as Arc<dyn NotificationSink>);
+            Some(chaos)
+        };
         let gateway = Arc::new(Gateway::new(Arc::clone(&server)));
         let persist = PersistentManager::new(&server);
         persist.ensure_system_tables()?;
@@ -149,12 +189,17 @@ impl EcaAgent {
         detector.set_state_limit(config.led_state_limit);
         let agent = EcaAgent {
             inner: Arc::new(Inner {
-                action: Arc::new(ActionHandler::new(Arc::clone(&gateway))),
+                action: Arc::new(ActionHandler::with_policy(
+                    Arc::clone(&gateway),
+                    config.retry.clone(),
+                )),
                 gateway,
                 led: Mutex::new(detector),
                 registry: Mutex::new(Registry::new()),
                 persist,
                 rx,
+                chaos,
+                tracker: Mutex::new(ReliabilityTracker::new()),
                 config,
                 listeners: Mutex::new(Vec::new()),
                 async_mode: std::sync::atomic::AtomicBool::new(false),
@@ -167,6 +212,7 @@ impl EcaAgent {
             }),
         };
         agent.recover()?;
+        agent.recovery_replay()?;
         Ok(agent)
     }
 
@@ -189,12 +235,54 @@ impl EcaAgent {
     }
 
     pub fn stats(&self) -> AgentStats {
+        let tracker = self.inner.tracker.lock();
         AgentStats {
             eca_commands: self.inner.eca_commands.load(Ordering::Relaxed),
             notifications: self.inner.notifications.load(Ordering::Relaxed),
             malformed_notifications: self.inner.malformed.load(Ordering::Relaxed),
             actions_executed: self.inner.actions_executed.load(Ordering::Relaxed),
+            drops_detected: tracker.drops_detected(),
+            gaps_repaired: tracker.gaps_repaired(),
+            duplicates_suppressed: tracker.duplicates_suppressed(),
+            retries: self.inner.action.retry_count(),
+            dead_lettered: self.inner.action.dead_letter_count(),
         }
+    }
+
+    /// Snapshot of the action dead-letter queue.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.inner.action.dead_letters()
+    }
+
+    /// Drain the dead-letter queue and re-execute every parked action.
+    pub fn requeue_dead_letters(&self) -> Vec<ActionOutcome> {
+        self.inner.action.requeue_dead_letters()
+    }
+
+    /// Install (or clear) a per-attempt action fault injector (chaos hook).
+    pub fn set_action_fault_injector(&self, injector: Option<FaultInjector>) {
+        self.inner.action.set_fault_injector(injector)
+    }
+
+    /// Release any datagrams the chaos sink is still holding (reorder
+    /// buffer / delay burst) into the channel. No-op without a fault plan.
+    pub fn flush_notification_channel(&self) {
+        if let Some(chaos) = &self.inner.chaos {
+            chaos.flush();
+        }
+    }
+
+    /// Channel fault counters `(dropped, duplicated, delayed, forwarded)`
+    /// from the chaos sink, if a fault plan is active.
+    pub fn channel_fault_counts(&self) -> Option<(u64, u64, u64, u64)> {
+        self.inner.chaos.as_ref().map(|c| {
+            (
+                c.dropped_count(),
+                c.duplicated_count(),
+                c.delayed_count(),
+                c.forwarded_count(),
+            )
+        })
     }
 
     pub fn gateway_stats(&self) -> crate::gateway::GatewayStats {
@@ -276,6 +364,16 @@ impl EcaAgent {
         let primitives = self.inner.persist.load_primitives()?;
         let composites = self.inner.persist.load_composites()?;
         let triggers = self.inner.persist.load_triggers()?;
+        // Validate the enum columns up front: a corrupted system-table row
+        // must fail recovery loudly, not silently fall back to the default
+        // coupling/context and change rule semantics.
+        for c in &composites {
+            parse_recovered_context(&c.context, "SysCompositeEvent", &c.event)?;
+        }
+        for t in &triggers {
+            parse_recovered_coupling(&t.coupling, &t.name)?;
+            parse_recovered_context(&t.context, "SysEcaTrigger", &t.name)?;
+        }
         let mut led = self.inner.led.lock();
         let mut registry = self.inner.registry.lock();
         for p in &primitives {
@@ -307,6 +405,7 @@ impl EcaAgent {
                     Err(_) => return true, // reported below
                 };
                 if expr.references().iter().all(|r| led.has_event(&r.key())) {
+                    // Validated above; the parse cannot fail here.
                     let ctx: ParameterContext = c.context.parse().unwrap_or_default();
                     if led.define_composite(&c.event, &expr, ctx).is_ok() {
                         let _ = registry.add_composite(CompositeEventInfo {
@@ -327,8 +426,8 @@ impl EcaAgent {
             }
         }
         for t in &triggers {
-            let coupling: CouplingMode = t.coupling.parse().unwrap_or_default();
-            let context: ParameterContext = t.context.parse().unwrap_or_default();
+            let coupling = parse_recovered_coupling(&t.coupling, &t.name)?;
+            let context = parse_recovered_context(&t.context, "SysEcaTrigger", &t.name)?;
             let kind = if t.kind.trim() == "native" {
                 TriggerKind::Native
             } else {
@@ -352,6 +451,50 @@ impl EcaAgent {
                 context,
                 priority: t.priority,
             })?;
+        }
+        Ok(())
+    }
+
+    /// Anti-entropy at startup: replay occurrences that happened while the
+    /// agent was down. The durable `SysPrimitiveEvent.vNo` counters kept
+    /// advancing (native triggers run with or without an agent listening);
+    /// everything between the persisted watermark and the durable counter
+    /// is raised now, in `vNo` order. Rule-action outcomes land in the
+    /// async-outcome mailbox. Skipped when `exactly_once` is off.
+    fn recovery_replay(&self) -> Result<()> {
+        if !self.inner.config.exactly_once {
+            return Ok(());
+        }
+        let watermarks = self.inner.persist.load_watermarks()?;
+        let durables = self.inner.persist.load_durable_vnos()?;
+        let mut resp = AgentResponse::default();
+        let mut raised = 0usize;
+        for (event, durable) in durables {
+            if self.inner.registry.lock().primitive(&event).is_none() {
+                continue;
+            }
+            let hwm = match watermarks.get(&event) {
+                Some(&h) => h.min(durable),
+                None => {
+                    // Database predates the watermark table (or the row was
+                    // lost): assume caught up rather than replaying history
+                    // of unknown age.
+                    self.inner.persist.save_watermark(&event, durable)?;
+                    durable
+                }
+            };
+            let missing = {
+                let mut tracker = self.inner.tracker.lock();
+                tracker.seed_event(&event, hwm);
+                tracker.observe_durable(&event, durable)
+            };
+            for vno in missing {
+                self.raise_occurrence(&event, vno, &mut raised, &mut resp)?;
+            }
+        }
+        self.flush_watermarks()?;
+        if !resp.actions.is_empty() {
+            self.inner.async_outcomes.lock().extend(resp.actions);
         }
         Ok(())
     }
@@ -429,6 +572,94 @@ impl EcaAgent {
     }
 
     fn pump_inner(&self, resp: &mut AgentResponse) -> Result<()> {
+        if self.inner.config.exactly_once {
+            self.pump_exactly_once(resp)
+        } else {
+            self.pump_lossy(resp)
+        }
+    }
+
+    /// Exactly-once pump: drain the channel through the admission tracker
+    /// (duplicates suppressed, gaps synthesized in `vNo` order), then
+    /// reconcile against the durable occurrence counters so occurrences
+    /// whose datagram was dropped outright are repaired too. Loops until a
+    /// full pass makes no progress, then write-behinds the watermarks.
+    fn pump_exactly_once(&self, resp: &mut AgentResponse) -> Result<()> {
+        let mut raised = 0usize;
+        loop {
+            let mut progressed = false;
+            // Phase 1: the channel (wake-up hints, UDP semantics).
+            while let Ok(datagram) = self.inner.rx.try_recv() {
+                progressed = true;
+                let note = match notifier::decode(&datagram) {
+                    Some(n) => n,
+                    None => {
+                        self.inner.malformed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                if self.inner.registry.lock().primitive(&note.event).is_none() {
+                    // Stale notification for a dropped event: received but
+                    // not raisable (matches the legacy pump's accounting).
+                    self.inner.notifications.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let admission = self.inner.tracker.lock().admit(&note.event, note.vno);
+                match admission {
+                    Admission::Duplicate | Admission::LateArrival => continue,
+                    Admission::Fresh { missing } => {
+                        for vno in missing {
+                            self.raise_occurrence(&note.event, vno, &mut raised, resp)?;
+                        }
+                        self.raise_occurrence(&note.event, note.vno, &mut raised, resp)?;
+                    }
+                }
+            }
+            // Phase 2: anti-entropy against the durable counters. Also the
+            // rollback reconciliation point: a counter *below* the mark
+            // means a transaction rolled back after its datagram went out,
+            // and the tracker regresses so re-used numbers stay admissible.
+            //
+            // The durable read happens *inside* the tracker lock: with the
+            // read outside it, a concurrent admit could advance the mark
+            // between read and reconcile, making the stale counter look
+            // like a rollback and re-raising already-raised occurrences.
+            // Only tracker-seeded events are reconciled (the tracker
+            // mirrors registry membership for primitives), which keeps the
+            // registry lock out of this section — `drop_event` nests
+            // registry → tracker, so the reverse order here would deadlock.
+            let repairs: Vec<(String, Vec<i64>)> = {
+                let mut tracker = self.inner.tracker.lock();
+                let mut repairs = Vec::new();
+                for (event, durable) in self.inner.persist.load_durable_vnos()? {
+                    if tracker.hwm(&event).is_none() {
+                        continue;
+                    }
+                    let missing = tracker.observe_durable(&event, durable);
+                    if !missing.is_empty() {
+                        repairs.push((event, missing));
+                    }
+                }
+                repairs
+            };
+            for (event, missing) in repairs {
+                for vno in missing {
+                    progressed = true;
+                    self.raise_occurrence(&event, vno, &mut raised, resp)?;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.flush_watermarks()
+    }
+
+    /// The paper's honest fire-and-forget pump: every datagram that arrives
+    /// is signalled as-is; dropped datagrams are silently lost, duplicates
+    /// are raised twice. Kept verbatim behind `exactly_once: false` for the
+    /// loss-sensitivity tests and benchmarks (E8).
+    fn pump_lossy(&self, resp: &mut AgentResponse) -> Result<()> {
         let mut processed = 0usize;
         while let Ok(datagram) = self.inner.rx.try_recv() {
             processed += 1;
@@ -445,42 +676,77 @@ impl EcaAgent {
                     continue;
                 }
             };
-            self.inner.notifications.fetch_add(1, Ordering::Relaxed);
-            let params = {
-                let registry = self.inner.registry.lock();
-                match registry.primitive(&note.event) {
-                    Some(info) => info
-                        .stamped_shadows()
-                        .iter()
-                        .map(|(shadow, _)| {
-                            Param::db(&note.event, *shadow, note.vno, 0)
-                        })
-                        .collect::<Vec<_>>(),
-                    None => continue, // stale notification for a dropped event
-                }
-            };
-            let ts = self.server().clock().now();
-            let params: Vec<Param> = params
-                .into_iter()
-                .map(|mut p| {
-                    p.ts = ts;
-                    p
-                })
-                .collect();
-            let firings = self
-                .inner
-                .led
-                .lock()
-                .signal(&note.event, params.clone(), ts)
-                .map_err(AgentError::from)?;
-            self.dispatch(firings, resp)?;
-            // Publish the occurrence to external subscribers (e.g. a GED)
-            // with no internal locks held.
-            let listeners: Vec<OccurrenceListener> =
-                self.inner.listeners.lock().clone();
-            for l in &listeners {
-                l(&note.event, &params, ts);
+            if self.inner.registry.lock().primitive(&note.event).is_none() {
+                // Stale notification for a dropped event: received, counted,
+                // not raisable.
+                self.inner.notifications.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
+            // The cascade cap was already enforced per datagram above.
+            let mut raised = 0usize;
+            self.raise_occurrence(&note.event, note.vno, &mut raised, resp)?;
+        }
+        Ok(())
+    }
+
+    /// Raise one primitive-event occurrence into the LED: build the shadow
+    /// params, signal, dispatch the firings, publish to listeners. `raised`
+    /// guards the per-call cascade cap.
+    fn raise_occurrence(
+        &self,
+        event: &str,
+        vno: i64,
+        raised: &mut usize,
+        resp: &mut AgentResponse,
+    ) -> Result<()> {
+        *raised += 1;
+        if *raised > self.inner.config.max_cascade {
+            return Err(AgentError::Recovery(format!(
+                "notification cascade exceeded {} messages",
+                self.inner.config.max_cascade
+            )));
+        }
+        let params = {
+            let registry = self.inner.registry.lock();
+            match registry.primitive(event) {
+                Some(info) => info
+                    .stamped_shadows()
+                    .iter()
+                    .map(|(shadow, _)| Param::db(event, *shadow, vno, 0))
+                    .collect::<Vec<_>>(),
+                None => return Ok(()), // dropped concurrently
+            }
+        };
+        self.inner.notifications.fetch_add(1, Ordering::Relaxed);
+        let ts = self.server().clock().now();
+        let params: Vec<Param> = params
+            .into_iter()
+            .map(|mut p| {
+                p.ts = ts;
+                p
+            })
+            .collect();
+        let firings = self
+            .inner
+            .led
+            .lock()
+            .signal(event, params.clone(), ts)
+            .map_err(AgentError::from)?;
+        self.dispatch(firings, resp)?;
+        // Publish the occurrence to external subscribers (e.g. a GED)
+        // with no internal locks held.
+        let listeners: Vec<OccurrenceListener> = self.inner.listeners.lock().clone();
+        for l in &listeners {
+            l(event, &params, ts);
+        }
+        Ok(())
+    }
+
+    /// Write-behind the high-water marks that changed since the last flush.
+    fn flush_watermarks(&self) -> Result<()> {
+        let dirty = self.inner.tracker.lock().take_dirty();
+        for (event, hwm) in dirty {
+            self.inner.persist.save_watermark(&event, hwm)?;
         }
         Ok(())
     }
@@ -687,6 +953,9 @@ impl EcaAgent {
             clauses.priority,
             if kind == TriggerKind::Native { "native" } else { "led" },
         ))?;
+        // A fresh event starts with watermark 0 (no occurrences raised).
+        self.inner.persist.save_watermark(&event_i, 0)?;
+        self.inner.tracker.lock().seed_event(&event_i, 0);
         // --- register in the LED and registry.
         {
             let mut led = self.inner.led.lock();
@@ -1174,6 +1443,8 @@ impl EcaAgent {
                 ctx,
             )?;
             self.inner.persist.delete_primitive_row(&event_i)?;
+            self.inner.persist.delete_watermark_row(&event_i)?;
+            self.inner.tracker.lock().forget_event(&event_i);
         } else if registry.remove_composite(&event_i).is_some() {
             self.inner.persist.delete_composite_row(&event_i)?;
         }
@@ -1181,6 +1452,25 @@ impl EcaAgent {
         resp.messages.push(format!("event '{event_i}' dropped"));
         Ok(resp)
     }
+}
+
+/// Strict parse of a persisted coupling mode — a corrupted system-table
+/// row must fail recovery, not silently become the default mode.
+fn parse_recovered_coupling(raw: &str, trigger: &str) -> Result<CouplingMode> {
+    raw.trim().parse().map_err(|_| {
+        AgentError::Recovery(format!(
+            "corrupted SysEcaTrigger row for '{trigger}': bad coupling '{raw}'"
+        ))
+    })
+}
+
+/// Strict parse of a persisted parameter context (see above).
+fn parse_recovered_context(raw: &str, table: &str, name: &str) -> Result<ParameterContext> {
+    raw.trim().parse().map_err(|_| {
+        AgentError::Recovery(format!(
+            "corrupted {table} row for '{name}': bad context '{raw}'"
+        ))
+    })
 }
 
 /// A client connection through the agent.

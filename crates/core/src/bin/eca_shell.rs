@@ -12,7 +12,9 @@
 //! - `\events`, `\triggers` — agent introspection
 //! - `\describe <event>` — operator tree of an event
 //! - `\advance <seconds>` — advance virtual time (fires P/P*/PLUS rules)
-//! - `\stats` — agent counters
+//! - `\stats` — agent counters (including reliability repairs)
+//! - `\deadletters` — inspect the action dead-letter queue
+//! - `\requeue` — re-execute everything in the dead-letter queue
 //! - `\quit`
 //!
 //! Demo state (a `stock` table and the paper's Example 1/2 rules) is
@@ -86,7 +88,7 @@ fn handle_meta(meta: &str, agent: &EcaAgent) -> bool {
     match parts.next().unwrap_or("") {
         "quit" | "q" | "exit" => return false,
         "help" => {
-            println!("\\events  \\triggers  \\describe <event>  \\advance <seconds>  \\stats  \\quit");
+            println!("\\events  \\triggers  \\describe <event>  \\advance <seconds>  \\stats  \\deadletters  \\requeue  \\quit");
         }
         "events" => {
             for e in agent.event_names() {
@@ -131,9 +133,44 @@ fn handle_meta(meta: &str, agent: &EcaAgent) -> bool {
                 "  eca commands: {}, notifications: {} (malformed {}), actions: {}",
                 s.eca_commands, s.notifications, s.malformed_notifications, s.actions_executed
             );
+            println!(
+                "  reliability: {} drops detected, {} gaps repaired, {} duplicates suppressed",
+                s.drops_detected, s.gaps_repaired, s.duplicates_suppressed
+            );
+            println!(
+                "  actions: {} retries, {} dead-lettered",
+                s.retries, s.dead_lettered
+            );
+            if let Some((dropped, duplicated, delayed, forwarded)) = agent.channel_fault_counts() {
+                println!(
+                    "  chaos sink: {dropped} dropped, {duplicated} duplicated, \
+                     {delayed} delayed, {forwarded} forwarded"
+                );
+            }
             let g = agent.gateway_stats();
             println!("  gateway: {} forwarded, {} internal", g.forwarded, g.internal);
             println!("  led state size: {}", agent.led_state_size());
+        }
+        "deadletters" => {
+            let letters = agent.dead_letters();
+            if letters.is_empty() {
+                println!("  dead-letter queue is empty");
+            }
+            for (i, dl) in letters.iter().enumerate() {
+                println!(
+                    "  [{i}] rule {} on {} ({:?}, {} attempt(s)): {}",
+                    dl.request.rule, dl.request.event, dl.coupling, dl.attempts, dl.error
+                );
+            }
+        }
+        "requeue" => {
+            let outcomes = agent.requeue_dead_letters();
+            let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+            println!(
+                "  requeued {} dead letter(s): {} succeeded, {failed} failed",
+                outcomes.len(),
+                outcomes.len() - failed
+            );
         }
         other => println!("unknown meta command '\\{other}' — try \\help"),
     }

@@ -65,6 +65,12 @@ pub fn system_tables_ddl() -> Vec<(&'static str, String)> {
              vNo int not null)"
                 .to_string(),
         ),
+        (
+            "SysAgentWatermark",
+            "create table SysAgentWatermark (\
+             eventName varchar(120) not null, hwm int not null)"
+                .to_string(),
+        ),
     ]
 }
 

@@ -46,6 +46,8 @@ pub struct GedStats {
     pub occurrences: u64,
     /// Global rule actions executed.
     pub actions: u64,
+    /// Re-delivered occurrences (same global event + `vNo`) suppressed.
+    pub duplicates_suppressed: u64,
 }
 
 /// A global rule action outcome.
@@ -63,8 +65,14 @@ struct GedInner {
     rules: Mutex<HashMap<String, GlobalRule>>,
     /// Arrival-order logical clock.
     clock: AtomicI64,
+    /// Per-global-event `vNo` high-water marks: if a site's agent (or the
+    /// link to it) re-delivers an occurrence, the GED suppresses it rather
+    /// than firing global rules twice. Gap *repair* stays with the site
+    /// agents — only they can read their durable tables.
+    seen_vnos: Mutex<HashMap<String, i64>>,
     occurrences: AtomicU64,
     actions: AtomicU64,
+    duplicates_suppressed: AtomicU64,
     /// Outcomes of global actions, for inspection by the application.
     outcomes: Mutex<Vec<GlobalOutcome>>,
 }
@@ -89,8 +97,10 @@ impl GlobalEventDetector {
                 sites: Mutex::new(HashMap::new()),
                 rules: Mutex::new(HashMap::new()),
                 clock: AtomicI64::new(0),
+                seen_vnos: Mutex::new(HashMap::new()),
                 occurrences: AtomicU64::new(0),
                 actions: AtomicU64::new(0),
+                duplicates_suppressed: AtomicU64::new(0),
                 outcomes: Mutex::new(Vec::new()),
             }),
         }
@@ -204,6 +214,17 @@ impl GlobalEventDetector {
 
     fn raise(&self, global_event: &str, params: Vec<Param>) {
         self.inner.occurrences.fetch_add(1, Ordering::Relaxed);
+        if let Some(vno) = params.first().and_then(|p| p.vno) {
+            let mut seen = self.inner.seen_vnos.lock();
+            let hwm = seen.entry(global_event.to_string()).or_insert(0);
+            if vno <= *hwm {
+                self.inner
+                    .duplicates_suppressed
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            *hwm = vno;
+        }
         let ts = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
         let firings = match self.inner.led.lock().signal(global_event, params, ts) {
             Ok(f) => f,
@@ -252,6 +273,7 @@ impl GlobalEventDetector {
         GedStats {
             occurrences: self.inner.occurrences.load(Ordering::Relaxed),
             actions: self.inner.actions.load(Ordering::Relaxed),
+            duplicates_suppressed: self.inner.duplicates_suppressed.load(Ordering::Relaxed),
         }
     }
 
@@ -367,6 +389,26 @@ mod tests {
         c1.execute("insert t values (2)").unwrap();
         assert_eq!(ged.stats().actions, 1, "no more actions after drop");
         assert!(ged.drop_global_rule("gr").is_err());
+    }
+
+    #[test]
+    fn duplicate_site_delivery_is_suppressed() {
+        let ged = GlobalEventDetector::new();
+        let (a1, c1) = site("db1");
+        ged.attach_site("s1", &a1).unwrap();
+        ged.export_event("s1", "db1.u.ev").unwrap();
+        ged.add_global_rule("gr", "db1.u.ev::s1", "s1", "print 'x'")
+            .unwrap();
+        c1.execute("insert t values (1)").unwrap();
+        assert_eq!(ged.stats().actions, 1);
+        // A flaky link re-delivers the same occurrence (same vNo).
+        ged.raise(
+            "db1.u.ev::s1",
+            vec![Param::db("db1.u.ev", "shadow", 1, 0)],
+        );
+        assert_eq!(ged.stats().occurrences, 2, "received and counted");
+        assert_eq!(ged.stats().duplicates_suppressed, 1);
+        assert_eq!(ged.stats().actions, 1, "but not fired twice");
     }
 
     #[test]

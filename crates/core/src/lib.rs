@@ -49,9 +49,13 @@ pub mod naming;
 pub mod notifier;
 pub mod persist;
 pub mod registry;
+pub mod reliability;
 
-pub use action::{ActionHandler, ActionOutcome, ActionRequest};
+pub use action::{
+    ActionHandler, ActionOutcome, ActionRequest, DeadLetter, FaultInjector, RetryPolicy,
+};
 pub use agent::{AgentConfig, AgentResponse, AgentStats, EcaAgent, EcaClient};
+pub use relsql::notify::FaultPlan;
 pub use baseline::{EmbeddedCheckClient, PollingMonitor, Situation};
 pub use eca_parser::{parse_eca, EcaCommand, TriggerClauses};
 pub use error::{AgentError, Result};
@@ -59,3 +63,4 @@ pub use filter::{classify, Classification, EcaKind};
 pub use ged::{GedStats, GlobalEventDetector, GlobalOutcome};
 pub use persist::PersistentManager;
 pub use registry::{Registry, TriggerKind};
+pub use reliability::{Admission, ReliabilityTracker};

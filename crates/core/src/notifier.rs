@@ -25,6 +25,16 @@ pub struct Notification {
     pub vno: i64,
 }
 
+/// Encode a notification into the Figure 11 payload form — the inverse of
+/// [`decode`], used by the agent when it synthesizes an occurrence that
+/// was repaired from the durable tables rather than received off the wire.
+pub fn encode(n: &Notification) -> String {
+    format!(
+        "{} {} {} begin {} {}",
+        n.user, n.table, n.operation, n.event, n.vno
+    )
+}
+
 /// Decode a datagram payload. Returns `None` for malformed messages —
 /// UDP semantics mean the notifier must tolerate garbage, not crash.
 pub fn decode(datagram: &Datagram) -> Option<Notification> {
@@ -62,6 +72,18 @@ mod tests {
         assert_eq!(n.operation, "insert");
         assert_eq!(n.event, "sentineldb.sharma.addStk");
         assert_eq!(n.vno, 7);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let n = Notification {
+            user: "sharma".into(),
+            table: "stock".into(),
+            operation: "insert".into(),
+            event: "sentineldb.sharma.addStk".into(),
+            vno: 42,
+        };
+        assert_eq!(decode(&dg(&encode(&n))), Some(n));
     }
 
     #[test]

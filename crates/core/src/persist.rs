@@ -2,8 +2,11 @@
 //!
 //! Runs over its own high-privilege connection to the SQL server and owns
 //! the agent's system tables (`SysPrimitiveEvent`, `SysCompositeEvent`,
-//! `SysEcaTrigger`, `sysContext`). All ECA rules are persisted through here
-//! and restored from here when the agent starts over an existing database.
+//! `SysEcaTrigger`, `sysContext`, `SysAgentWatermark`). All ECA rules are
+//! persisted through here and restored from here when the agent starts
+//! over an existing database; the watermark table additionally records,
+//! per event, the highest occurrence number the agent has raised, so a
+//! restarted agent can replay occurrences it missed while down.
 
 use std::sync::Arc;
 
@@ -108,6 +111,51 @@ impl PersistentManager {
         Ok(())
     }
 
+    /// Load the per-event notification high-water marks.
+    pub fn load_watermarks(&self) -> Result<std::collections::HashMap<String, i64>> {
+        let r = self.run("select eventName, hwm from SysAgentWatermark")?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(std::collections::HashMap::new()),
+        };
+        rows.iter()
+            .map(|row| Ok((str_at(row, 0)?, int_at(row, 1)?)))
+            .collect()
+    }
+
+    /// Upsert one event's high-water mark (delete-then-insert — relsql has
+    /// no UPDATE..WHERE upsert idiom the agent can rely on being atomic,
+    /// and the manager's connection serializes writes anyway).
+    pub fn save_watermark(&self, event: &str, hwm: i64) -> Result<()> {
+        self.run(&format!(
+            "delete SysAgentWatermark where eventName = {ev}\n\
+             insert SysAgentWatermark values ({ev}, {hwm})",
+            ev = sql_quote(event),
+        ))?;
+        Ok(())
+    }
+
+    pub fn delete_watermark_row(&self, event: &str) -> Result<()> {
+        self.run(&format!(
+            "delete SysAgentWatermark where eventName = {}",
+            sql_quote(event)
+        ))?;
+        Ok(())
+    }
+
+    /// The durable occurrence counters — the reliability layer's source of
+    /// truth for anti-entropy sweeps.
+    pub fn load_durable_vnos(&self) -> Result<Vec<(String, i64)>> {
+        let r = self.run("select eventName, vNo from SysPrimitiveEvent order by eventName")?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(Vec::new()),
+        };
+        rows.iter()
+            .map(|row| Ok((str_at(row, 0)?, int_at(row, 1)?)))
+            .collect()
+    }
+
     pub fn load_primitives(&self) -> Result<Vec<PersistedPrimitive>> {
         let r = self.run(
             "select dbName, userName, eventName, tableName, operation, vNo \
@@ -208,19 +256,53 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ensure_creates_all_four_tables_idempotently() {
+    fn ensure_creates_all_five_tables_idempotently() {
         let server = SqlServer::new();
         let pm = PersistentManager::new(&server);
-        assert_eq!(pm.ensure_system_tables().unwrap(), 4);
+        assert_eq!(pm.ensure_system_tables().unwrap(), 5);
         assert_eq!(pm.ensure_system_tables().unwrap(), 0);
         for t in [
             "SysPrimitiveEvent",
             "SysCompositeEvent",
             "SysEcaTrigger",
             "sysContext",
+            "SysAgentWatermark",
         ] {
             assert!(server.inspect(|e| e.database().has_table(t)), "{t}");
         }
+    }
+
+    #[test]
+    fn watermark_upsert_load_delete_roundtrip() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        assert!(pm.load_watermarks().unwrap().is_empty());
+        pm.save_watermark("db.u.e", 3).unwrap();
+        pm.save_watermark("db.u.e", 7).unwrap(); // upsert replaces
+        pm.save_watermark("db.u.f", 1).unwrap();
+        let wm = pm.load_watermarks().unwrap();
+        assert_eq!(wm.len(), 2);
+        assert_eq!(wm.get("db.u.e"), Some(&7));
+        assert_eq!(wm.get("db.u.f"), Some(&1));
+        pm.delete_watermark_row("db.u.e").unwrap();
+        assert_eq!(pm.load_watermarks().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn durable_vnos_read_back_from_primitive_rows() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        pm.run(
+            "insert SysPrimitiveEvent values \
+             ('db', 'u', 'db.u.e', 'stock', 'insert', getdate(), 4)",
+        )
+        .unwrap();
+        assert_eq!(
+            pm.load_durable_vnos().unwrap(),
+            vec![("db.u.e".to_string(), 4)]
+        );
     }
 
     #[test]

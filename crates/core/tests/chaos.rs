@@ -1,0 +1,228 @@
+//! Chaos suite for the exactly-once pump (ISSUE 1 acceptance criteria).
+//!
+//! A fixed-seed [`FaultPlan`] injects drops, duplicates, and reordering
+//! into the `syb_sendmsg` channel while a 500-operation workload runs over
+//! primitive and composite (SEQ / AND) triggers. The agent must produce
+//! exactly the same rule firings as the zero-fault run — no losses, no
+//! duplicate firings — while its reliability counters record the repairs.
+
+use std::sync::{Arc, Mutex};
+
+use eca_core::{AgentConfig, AgentStats, EcaAgent, FaultPlan};
+use relsql::{SqlServer, Value};
+
+/// Everything observable from one workload run, for baseline/chaos diffing.
+struct RunResult {
+    /// `(internal event name, vNo)` in raise order, from an occurrence
+    /// listener — the ground truth for "same firings, same order".
+    occurrences: Vec<(String, i64)>,
+    /// Rows in each audit table: (primitive, SEQ, AND).
+    audits: (i64, i64, i64),
+    stats: AgentStats,
+    fault_counts: Option<(u64, u64, u64, u64)>,
+}
+
+/// 250 interleaved insert pairs into `a` and `b` (500 operations) driving:
+///   - `t_ea`  — primitive, DETACHED action into `audit_prim`
+///   - `t_eb`  — primitive, print only
+///   - `t_seq` — `ea ; eb` CHRONICLE into `audit_seq`
+///   - `t_and` — `ea ^ eb` CHRONICLE into `audit_and`
+fn run_workload(plan: Option<FaultPlan>) -> RunResult {
+    let server = SqlServer::new();
+    let agent = EcaAgent::new(
+        Arc::clone(&server),
+        AgentConfig {
+            fault_plan: plan,
+            ..AgentConfig::default()
+        },
+    )
+    .unwrap();
+
+    let occurrences = Arc::new(Mutex::new(Vec::new()));
+    {
+        let occurrences = Arc::clone(&occurrences);
+        agent.add_occurrence_listener(Arc::new(move |event, params, _ts| {
+            let vno = params.first().and_then(|p| p.vno).unwrap_or(-1);
+            occurrences.lock().unwrap().push((event.to_string(), vno));
+        }));
+    }
+
+    let client = agent.client("db", "u");
+    client.execute("create table a (x int)").unwrap();
+    client.execute("create table b (x int)").unwrap();
+    client.execute("create table audit_prim (n int)").unwrap();
+    client.execute("create table audit_seq (n int)").unwrap();
+    client.execute("create table audit_and (n int)").unwrap();
+    client
+        .execute(
+            "create trigger t_ea on a for insert event ea DETACHED \
+             as insert audit_prim values (1)",
+        )
+        .unwrap();
+    client
+        .execute("create trigger t_eb on b for insert event eb as print 'eb'")
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_seq event eseq = ea ; eb CHRONICLE \
+             as insert audit_seq values (1)",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_and event eand = ea ^ eb CHRONICLE \
+             as insert audit_and values (1)",
+        )
+        .unwrap();
+
+    for i in 0..250 {
+        client.execute(&format!("insert a values ({i})")).unwrap();
+        client.execute(&format!("insert b values ({i})")).unwrap();
+    }
+
+    // Release anything still held in the reorder/delay buffers, then pump
+    // once more so late arrivals get classified (and suppressed).
+    agent.flush_notification_channel();
+    client.execute("select count(*) from a").unwrap();
+    agent.wait_detached();
+
+    let count = |table: &str| -> i64 {
+        let r = client.execute(&format!("select count(*) from {table}")).unwrap();
+        match r.server.scalar() {
+            Some(Value::Int(n)) => *n,
+            other => panic!("count({table}) returned {other:?}"),
+        }
+    };
+
+    let recorded = occurrences.lock().unwrap().clone();
+    RunResult {
+        occurrences: recorded,
+        audits: (count("audit_prim"), count("audit_seq"), count("audit_and")),
+        stats: agent.stats(),
+        fault_counts: agent.channel_fault_counts(),
+    }
+}
+
+fn suffix_vnos(run: &RunResult, suffix: &str) -> Vec<i64> {
+    run.occurrences
+        .iter()
+        .filter(|(e, _)| e.ends_with(suffix))
+        .map(|(_, v)| *v)
+        .collect()
+}
+
+#[test]
+fn acceptance_chaos_run_matches_zero_fault_run() {
+    let baseline = run_workload(None);
+    let chaos = run_workload(Some(FaultPlan {
+        drop: 0.5,
+        duplicate: 0.2,
+        reorder_window: 8,
+        seed: 20260806,
+        ..FaultPlan::default()
+    }));
+
+    // The zero-fault run is the reference: every insert detected once,
+    // every pair composed once.
+    assert_eq!(baseline.audits, (250, 250, 250));
+    assert_eq!(baseline.occurrences.len(), 500);
+
+    // Exactly the same rule firings, in the same order, despite the chaos.
+    assert_eq!(chaos.occurrences, baseline.occurrences, "firings diverged");
+    assert_eq!(chaos.audits, baseline.audits, "audit rows diverged");
+
+    // Zero duplicate firings: per-event vNos are exactly 1..=250 ascending.
+    for suffix in [".ea", ".eb"] {
+        let vnos = suffix_vnos(&chaos, suffix);
+        assert_eq!(vnos, (1..=250).collect::<Vec<i64>>(), "vNos for {suffix}");
+    }
+
+    // The channel really did misbehave...
+    let (dropped, duplicated, _, _) = chaos.fault_counts.unwrap();
+    assert!(dropped > 0, "plan should have dropped datagrams");
+    assert!(duplicated > 0, "plan should have duplicated datagrams");
+
+    // ...and the agent noticed and repaired it.
+    assert!(chaos.stats.drops_detected > 0);
+    assert!(chaos.stats.gaps_repaired > 0);
+    assert!(chaos.stats.duplicates_suppressed > 0);
+
+    // The clean run repaired nothing.
+    assert_eq!(baseline.stats.drops_detected, 0);
+    assert_eq!(baseline.stats.gaps_repaired, 0);
+    assert_eq!(baseline.stats.duplicates_suppressed, 0);
+    assert_eq!(baseline.stats.retries, 0);
+    assert_eq!(baseline.stats.dead_lettered, 0);
+}
+
+#[test]
+fn chaos_is_invariant_across_seeds_and_rates() {
+    let baseline = run_workload(None);
+    for (drop, duplicate, reorder_window, seed) in [
+        (0.1, 0.0, 0, 1u64),
+        (0.5, 0.5, 4, 99),
+        (0.9, 0.2, 8, 7),
+        (0.0, 1.0, 0, 12),
+        (0.3, 0.3, 16, 31337),
+    ] {
+        let chaos = run_workload(Some(FaultPlan {
+            drop,
+            duplicate,
+            reorder_window,
+            seed,
+            ..FaultPlan::default()
+        }));
+        assert_eq!(
+            chaos.occurrences, baseline.occurrences,
+            "drop={drop} dup={duplicate} window={reorder_window} seed={seed}"
+        );
+        assert_eq!(chaos.audits, baseline.audits);
+    }
+}
+
+#[test]
+fn delay_bursts_are_repaired_from_durable_state() {
+    let baseline = run_workload(None);
+    let chaos = run_workload(Some(FaultPlan {
+        delay_burst_every: 5,
+        delay_burst_len: 3,
+        seed: 4,
+        ..FaultPlan::default()
+    }));
+    assert_eq!(chaos.occurrences, baseline.occurrences);
+    assert_eq!(chaos.audits, baseline.audits);
+    let (_, _, delayed, _) = chaos.fault_counts.unwrap();
+    assert!(delayed > 0, "bursts should have held datagrams back");
+    // Held-back datagrams were synthesized from the durable tables first,
+    // so their eventual arrival is a suppressed late arrival.
+    assert!(chaos.stats.gaps_repaired > 0);
+}
+
+mod roundtrip {
+    use eca_core::notifier::{decode, encode, Notification};
+    use proptest::prelude::*;
+    use relsql::notify::Datagram;
+
+    proptest! {
+        /// Any notification built from whitespace-free fields survives an
+        /// encode → datagram → decode round trip — the property the
+        /// gap-repair path relies on when it synthesizes payloads.
+        #[test]
+        fn encode_decode_roundtrip(
+            user in "[a-zA-Z0-9_.]{1,12}",
+            table in "[a-zA-Z0-9_.]{1,12}",
+            operation in "insert|delete|update",
+            event in "[a-zA-Z0-9_.]{1,30}",
+            vno in 0i64..i64::MAX,
+        ) {
+            let n = Notification { user, table, operation, event, vno };
+            let dg = Datagram {
+                host: "127.0.0.1".into(),
+                port: 10006,
+                payload: encode(&n),
+                seq: 0,
+            };
+            prop_assert_eq!(decode(&dg), Some(n));
+        }
+    }
+}

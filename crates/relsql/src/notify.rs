@@ -4,8 +4,10 @@
 //! The engine posts a [`Datagram`] to a registered [`NotificationSink`]
 //! whenever generated trigger code calls `syb_sendmsg(host, port, payload)`.
 //! The default sink is an in-process channel with UDP's fire-and-forget
-//! semantics; [`LossySink`] adds configurable drop probability so tests and
-//! benchmarks can explore the reliability concern the paper raises in §6.
+//! semantics; [`ChaosSink`] injects the full UDP failure spectrum — drops,
+//! duplicates, reordering, and delay bursts, all seed-deterministic — so
+//! tests and benchmarks can explore the reliability concern the paper
+//! raises in §6 and exercise the agent's exactly-once recovery layer.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,39 +70,209 @@ impl NotificationSink for ChannelSink {
     }
 }
 
-/// Sink wrapper that drops datagrams with a fixed probability, simulating
-/// UDP loss (failure injection for experiment E8).
-pub struct LossySink<S> {
-    inner: Arc<S>,
-    drop_probability: f64,
-    rng: Mutex<StdRng>,
-    dropped: AtomicU64,
+/// A fault-injection plan for [`ChaosSink`]: the UDP failure spectrum the
+/// paper's §6 worries about, each dimension independently tunable. All
+/// randomness derives from `seed`, so a given plan over a given send
+/// sequence misbehaves identically on every run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a datagram is dropped outright.
+    pub drop: f64,
+    /// Probability a surviving datagram is delivered twice.
+    pub duplicate: f64,
+    /// Surviving datagrams pass through a holding buffer of this size and
+    /// leave it in random order (0 = in-order delivery).
+    pub reorder_window: usize,
+    /// Every N sends (0 = never), start a delay burst: the next
+    /// `delay_burst_len` datagrams are held back and released together.
+    pub delay_burst_every: u64,
+    pub delay_burst_len: u64,
+    pub seed: u64,
 }
 
-impl<S: NotificationSink> LossySink<S> {
-    pub fn new(inner: Arc<S>, drop_probability: f64, seed: u64) -> Arc<Self> {
-        Arc::new(LossySink {
+impl FaultPlan {
+    /// Drop-only plan — the old `LossySink` behaviour.
+    pub fn lossy(drop: f64, seed: u64) -> Self {
+        FaultPlan {
+            drop,
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Does this plan inject any fault at all?
+    pub fn is_noop(&self) -> bool {
+        self.drop <= 0.0
+            && self.duplicate <= 0.0
+            && self.reorder_window == 0
+            && self.delay_burst_every == 0
+    }
+}
+
+struct ChaosState {
+    rng: StdRng,
+    /// Reorder holding buffer (capacity = plan.reorder_window).
+    reorder: Vec<Datagram>,
+    /// Datagrams held back by an active delay burst.
+    burst: Vec<Datagram>,
+    /// Sends remaining in the current delay burst.
+    burst_left: u64,
+    sends: u64,
+}
+
+/// Sink wrapper that injects faults per a [`FaultPlan`], simulating UDP
+/// loss, duplication, reordering and delay (failure injection for
+/// experiment E8 and the exactly-once chaos suite). Generalizes the old
+/// drop-only `LossySink`.
+pub struct ChaosSink<S> {
+    inner: Arc<S>,
+    plan: FaultPlan,
+    state: Mutex<ChaosState>,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    forwarded: AtomicU64,
+}
+
+impl<S: NotificationSink> ChaosSink<S> {
+    pub fn new(inner: Arc<S>, plan: FaultPlan) -> Arc<Self> {
+        let plan = FaultPlan {
+            drop: plan.drop.clamp(0.0, 1.0),
+            duplicate: plan.duplicate.clamp(0.0, 1.0),
+            ..plan
+        };
+        Arc::new(ChaosSink {
             inner,
-            drop_probability: drop_probability.clamp(0.0, 1.0),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            state: Mutex::new(ChaosState {
+                rng: StdRng::seed_from_u64(plan.seed),
+                reorder: Vec::new(),
+                burst: Vec::new(),
+                burst_left: 0,
+                sends: 0,
+            }),
+            plan,
             dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
         })
+    }
+
+    /// Drop-only constructor — the old `LossySink::new` signature.
+    pub fn lossy(inner: Arc<S>, drop_probability: f64, seed: u64) -> Arc<Self> {
+        ChaosSink::new(inner, FaultPlan::lossy(drop_probability, seed))
     }
 
     /// How many datagrams were dropped so far.
     pub fn dropped_count(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// How many extra (duplicate) deliveries were injected so far.
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// How many datagrams were held back (reorder buffer or delay burst)
+    /// at least once before delivery.
+    pub fn delayed_count(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+    }
+
+    /// How many datagrams reached the inner sink.
+    pub fn forwarded_count(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams currently held back (not yet delivered, not dropped).
+    pub fn in_flight(&self) -> usize {
+        let st = self.state.lock();
+        st.reorder.len() + st.burst.len()
+    }
+
+    /// Release everything still held in the reorder/burst buffers, in the
+    /// order it was buffered (the faults already happened; flushing just
+    /// ends the delay).
+    pub fn flush(&self) {
+        let held: Vec<Datagram> = {
+            let mut st = self.state.lock();
+            st.burst_left = 0;
+            let mut held = std::mem::take(&mut st.burst);
+            held.append(&mut st.reorder);
+            held
+        };
+        for d in held {
+            self.deliver(d);
+        }
+    }
+
+    fn deliver(&self, d: Datagram) {
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+        self.inner.send(d);
+    }
 }
 
-impl<S: NotificationSink> NotificationSink for LossySink<S> {
+impl<S: NotificationSink> NotificationSink for ChaosSink<S> {
     fn send(&self, datagram: Datagram) {
-        let roll: f64 = self.rng.lock().gen();
-        if roll < self.drop_probability {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
+        let mut ready: Vec<Datagram> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            st.sends += 1;
+            if self.plan.delay_burst_every > 0
+                && st.burst_left == 0
+                && st.sends.is_multiple_of(self.plan.delay_burst_every)
+            {
+                st.burst_left = self.plan.delay_burst_len;
+            }
+            // Two rolls per send, always, so the random stream stays
+            // aligned with the send sequence regardless of outcomes.
+            let roll_drop: f64 = st.rng.gen();
+            let roll_dup: f64 = st.rng.gen();
+            if roll_drop < self.plan.drop {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let copies = if roll_dup < self.plan.duplicate {
+                    self.duplicated.fetch_add(1, Ordering::Relaxed);
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    let d = datagram.clone();
+                    if st.burst_left > 0 {
+                        self.delayed.fetch_add(1, Ordering::Relaxed);
+                        st.burst.push(d);
+                    } else if self.plan.reorder_window > 0 {
+                        st.reorder.push(d);
+                    } else {
+                        ready.push(d);
+                    }
+                }
+            }
+            if st.burst_left > 0 {
+                st.burst_left -= 1;
+                // Burst over: hand the held datagrams to the reorder
+                // buffer (or straight out) in one batch.
+                if st.burst_left == 0 {
+                    let held = std::mem::take(&mut st.burst);
+                    if self.plan.reorder_window > 0 {
+                        st.reorder.extend(held);
+                    } else {
+                        ready.extend(held);
+                    }
+                }
+            }
+            // The reorder buffer releases a random victim whenever it is
+            // over capacity — later sends can overtake held ones.
+            while st.reorder.len() > self.plan.reorder_window {
+                let len = st.reorder.len();
+                let i = st.rng.gen_range(0..len);
+                ready.push(st.reorder.remove(i));
+            }
         }
-        self.inner.send(datagram);
+        for d in ready {
+            self.deliver(d);
+        }
     }
 }
 
@@ -180,18 +352,21 @@ mod tests {
     #[test]
     fn lossy_sink_zero_probability_drops_nothing() {
         let inner = CollectingSink::new();
-        let lossy = LossySink::new(inner.clone(), 0.0, 42);
+        let lossy = ChaosSink::lossy(inner.clone(), 0.0, 42);
         for i in 0..100 {
             lossy.send(dg(i));
         }
         assert_eq!(inner.len(), 100);
         assert_eq!(lossy.dropped_count(), 0);
+        // A no-fault plan delivers in order.
+        let got = inner.take();
+        assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 
     #[test]
     fn lossy_sink_one_probability_drops_everything() {
         let inner = CollectingSink::new();
-        let lossy = LossySink::new(inner.clone(), 1.0, 42);
+        let lossy = ChaosSink::lossy(inner.clone(), 1.0, 42);
         for i in 0..100 {
             lossy.send(dg(i));
         }
@@ -203,7 +378,7 @@ mod tests {
     fn lossy_sink_partial_drop_is_deterministic_per_seed() {
         let run = |seed| {
             let inner = CollectingSink::new();
-            let lossy = LossySink::new(inner.clone(), 0.3, seed);
+            let lossy = ChaosSink::lossy(inner.clone(), 0.3, seed);
             for i in 0..1000 {
                 lossy.send(dg(i));
             }
@@ -215,6 +390,113 @@ mod tests {
         assert_eq!(a_recv as u64 + a_drop, 1000);
         // Roughly 30% loss.
         assert!((200..400).contains(&(a_drop as usize)), "dropped {a_drop}");
+    }
+
+    #[test]
+    fn chaos_sink_duplicates_inflate_delivery() {
+        let inner = CollectingSink::new();
+        let chaos = ChaosSink::new(
+            inner.clone(),
+            FaultPlan {
+                duplicate: 1.0,
+                seed: 5,
+                ..FaultPlan::default()
+            },
+        );
+        for i in 0..10 {
+            chaos.send(dg(i));
+        }
+        assert_eq!(inner.len(), 20);
+        assert_eq!(chaos.duplicated_count(), 10);
+        assert_eq!(chaos.dropped_count(), 0);
+    }
+
+    #[test]
+    fn chaos_sink_reorder_window_permutes_but_loses_nothing() {
+        let inner = CollectingSink::new();
+        let chaos = ChaosSink::new(
+            inner.clone(),
+            FaultPlan {
+                reorder_window: 8,
+                seed: 11,
+                ..FaultPlan::default()
+            },
+        );
+        for i in 0..200 {
+            chaos.send(dg(i));
+        }
+        chaos.flush();
+        assert_eq!(chaos.in_flight(), 0);
+        let mut seqs: Vec<u64> = inner.take().iter().map(|d| d.seq).collect();
+        assert_eq!(seqs.len(), 200, "no loss");
+        assert!(
+            seqs.windows(2).any(|w| w[0] > w[1]),
+            "window 8 over 200 sends must permute something"
+        );
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chaos_sink_delay_bursts_hold_then_release() {
+        let inner = CollectingSink::new();
+        let chaos = ChaosSink::new(
+            inner.clone(),
+            FaultPlan {
+                delay_burst_every: 10,
+                delay_burst_len: 3,
+                seed: 1,
+                ..FaultPlan::default()
+            },
+        );
+        for i in 0..9 {
+            chaos.send(dg(i));
+        }
+        assert_eq!(inner.len(), 9, "before the burst everything flows");
+        chaos.send(dg(9)); // send #10 starts the burst — held
+        chaos.send(dg(10)); // held
+        assert_eq!(inner.len(), 9);
+        assert_eq!(chaos.in_flight(), 2);
+        chaos.send(dg(11)); // burst of 3 complete — all released
+        assert_eq!(inner.len(), 12);
+        assert_eq!(chaos.delayed_count(), 3);
+    }
+
+    #[test]
+    fn chaos_sink_full_plan_is_deterministic_per_seed() {
+        let run = |seed| {
+            let inner = CollectingSink::new();
+            let chaos = ChaosSink::new(
+                inner.clone(),
+                FaultPlan {
+                    drop: 0.4,
+                    duplicate: 0.3,
+                    reorder_window: 4,
+                    delay_burst_every: 16,
+                    delay_burst_len: 4,
+                    seed,
+                },
+            );
+            for i in 0..500 {
+                chaos.send(dg(i));
+            }
+            chaos.flush();
+            let seqs: Vec<u64> = inner.take().iter().map(|d| d.seq).collect();
+            (seqs, chaos.dropped_count(), chaos.duplicated_count())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0, "different seeds, different chaos");
+    }
+
+    #[test]
+    fn fault_plan_noop_detection() {
+        assert!(FaultPlan::default().is_noop());
+        assert!(!FaultPlan::lossy(0.1, 0).is_noop());
+        assert!(!FaultPlan {
+            reorder_window: 1,
+            ..FaultPlan::default()
+        }
+        .is_noop());
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Failure injection on the notification channel (§6's reliability remark):
 //! the `syb_sendmsg` path has UDP semantics, so a lossy channel loses
 //! detections silently — quantified here and benchmarked in E8.
+//!
+//! These tests run with `exactly_once: false` — the paper's honest
+//! fire-and-forget behaviour. With the default exactly-once mode the agent
+//! repairs every drop from the durable tables (see `crates/core/tests/
+//! chaos.rs` and the counterpart test at the bottom of this file).
 
 use std::sync::Arc;
 
@@ -14,6 +19,7 @@ fn agent_with_loss(p: f64, seed: u64) -> (EcaAgent, eca_core::EcaClient) {
         AgentConfig {
             drop_probability: p,
             drop_seed: seed,
+            exactly_once: false,
             ..AgentConfig::default()
         },
     )
@@ -95,6 +101,7 @@ fn composite_detection_degrades_with_loss() {
         AgentConfig {
             drop_probability: 0.5,
             drop_seed: 3,
+            exactly_once: false,
             ..AgentConfig::default()
         },
     )
@@ -128,4 +135,41 @@ fn composite_detection_degrades_with_loss() {
     // chronicle pairing still matches some stragglers.
     assert!(pairs < 80, "loss must reduce composite detections, got {pairs}");
     assert!(pairs > 0, "some pairs should survive seed 3");
+}
+
+#[test]
+fn exactly_once_mode_repairs_total_loss() {
+    // The same total-loss channel as `full_loss_detects_nothing_silently`,
+    // but with the default exactly-once mode: every occurrence is repaired
+    // from the durable vNo counters even though no datagram ever arrives.
+    let server = SqlServer::new();
+    let agent = EcaAgent::new(
+        Arc::clone(&server),
+        AgentConfig {
+            drop_probability: 1.0,
+            drop_seed: 1,
+            ..AgentConfig::default()
+        },
+    )
+    .unwrap();
+    let client = agent.client("db", "u");
+    client.execute("create table t (a int)").unwrap();
+    client.execute("create table audit (n int)").unwrap();
+    client
+        .execute(
+            "create trigger tr on t for insert event e DETACHED \
+             as insert audit values (1)",
+        )
+        .unwrap();
+    for i in 0..50 {
+        client.execute(&format!("insert t values ({i})")).unwrap();
+    }
+    agent.wait_detached();
+    let stats = agent.stats();
+    assert_eq!(stats.notifications, 50, "all 50 occurrences raised");
+    assert_eq!(stats.gaps_repaired, 50);
+    assert_eq!(stats.drops_detected, 50);
+    assert_eq!(stats.duplicates_suppressed, 0);
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(50)));
 }

@@ -190,6 +190,9 @@ fn system_tables_schema_matches_paper_figures() {
         names("sysContext"),
         vec!["tableName", "context", "vNo"]
     );
+    // Agent extension (not in the paper): per-event delivery high-water
+    // marks backing the exactly-once pump.
+    assert_eq!(names("SysAgentWatermark"), vec!["eventName", "hwm"]);
 }
 
 #[test]
@@ -221,6 +224,100 @@ fn system_tables_are_queryable_by_clients() {
         Some(Value::Str(expr)) => assert!(expr.contains('^'), "{expr}"),
         other => panic!("{other:?}"),
     }
+}
+
+#[test]
+fn corrupted_trigger_row_fails_recovery_loudly() {
+    // Recovery must not silently default a mangled coupling or context to
+    // IMMEDIATE/RECENT — a trigger firing with the wrong semantics is far
+    // worse than an agent that refuses to start.
+    let server = SqlServer::new();
+    build_rules(&server);
+    {
+        // Vandalise the persisted coupling through the front door: the
+        // system tables are ordinary tables, so ordinary SQL can break them.
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        agent
+            .client("sentineldb", "sharma")
+            .execute("update SysEcaTrigger set coupling = 'BOGUS' where triggerName = 'sentineldb.sharma.t_add'")
+            .unwrap();
+    }
+    let msg = match EcaAgent::with_defaults(Arc::clone(&server)) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("recovery should refuse the corrupted row"),
+    };
+    assert!(msg.contains("corrupted"), "{msg}");
+    assert!(msg.contains("t_add"), "names the bad trigger: {msg}");
+}
+
+#[test]
+fn corrupted_composite_context_fails_recovery_loudly() {
+    let server = SqlServer::new();
+    build_rules(&server);
+    {
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        agent
+            .client("sentineldb", "sharma")
+            .execute("update SysCompositeEvent set context = 'garbage'")
+            .unwrap();
+    }
+    let msg = match EcaAgent::with_defaults(Arc::clone(&server)) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("recovery should refuse the corrupted row"),
+    };
+    assert!(msg.contains("corrupted"), "{msg}");
+    assert!(msg.contains("SysCompositeEvent"), "{msg}");
+}
+
+#[test]
+fn occurrences_missed_during_downtime_replay_on_restart() {
+    // Simulate "the agent was down while the server kept committing": run
+    // the first agent fire-and-forget over a total-loss channel so the
+    // durable vNo counters advance without the agent ever hearing about it,
+    // then restart with the default exactly-once config.
+    let server = SqlServer::new();
+    {
+        let agent = EcaAgent::new(
+            Arc::clone(&server),
+            AgentConfig {
+                drop_probability: 1.0,
+                drop_seed: 1,
+                exactly_once: false,
+                ..AgentConfig::default()
+            },
+        )
+        .unwrap();
+        let client = agent.client("db", "u");
+        client.execute("create table t (a int)").unwrap();
+        client.execute("create table audit (n int)").unwrap();
+        // DETACHED so the action goes through the agent's notification
+        // path (a single IMMEDIATE trigger would run natively inside the
+        // server and mask the loss).
+        client
+            .execute(
+                "create trigger tr on t for insert event e DETACHED \
+                 as insert audit values (1)",
+            )
+            .unwrap();
+        for i in 0..3 {
+            client.execute(&format!("insert t values ({i})")).unwrap();
+        }
+        agent.wait_detached();
+        let r = client.execute("select count(*) from audit").unwrap();
+        assert_eq!(r.server.scalar(), Some(&Value::Int(0)), "nothing detected yet");
+    }
+    let agent2 = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    agent2.wait_detached();
+    let client = agent2.client("db", "u");
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(
+        r.server.scalar(),
+        Some(&Value::Int(3)),
+        "anti-entropy replay fired the three missed occurrences"
+    );
+    let stats = agent2.stats();
+    assert_eq!(stats.gaps_repaired, 3);
+    assert_eq!(stats.drops_detected, 3);
 }
 
 #[test]

@@ -49,6 +49,8 @@ fn meta_commands_render() {
          \\triggers\n\
          \\describe addDel\n\
          \\stats\n\
+         \\deadletters\n\
+         \\requeue\n\
          \\help\n\
          \\nonsense\n\
          \\quit\n",
@@ -57,6 +59,9 @@ fn meta_commands_render() {
     assert!(out.contains("via Led"), "{out}");
     assert!(out.contains("AND PRIMITIVE PRIMITIVE"), "{out}");
     assert!(out.contains("gateway:"), "{out}");
+    assert!(out.contains("reliability:"), "{out}");
+    assert!(out.contains("dead-letter queue is empty"), "{out}");
+    assert!(out.contains("requeued 0 dead letter(s)"), "{out}");
     assert!(out.contains("unknown meta command"), "{out}");
 }
 
