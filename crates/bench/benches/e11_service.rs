@@ -1,0 +1,148 @@
+//! E11 — multi-client service throughput: 8 concurrent clients × 1,000
+//! statements each over the `eca_serve` TCP layer, with a serialized
+//! single-client run as the correctness baseline. Reports p50/p99
+//! request latency and aggregate throughput, and verifies **zero lost
+//! firings**: the concurrent run must produce exactly the same number of
+//! rule firings (audit rows, notifications) as the serialized run.
+//!
+//! Plain `fn main` (harness = false): the experiment is a fixed workload
+//! with correctness assertions, not a statistical micro-benchmark.
+//!
+//! ```text
+//! cargo bench -p eca-bench --bench e11_service
+//! E11_CLIENTS=4 E11_STATEMENTS=100 cargo bench -p eca-bench --bench e11_service
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eca_core::{ActiveService, EcaAgent};
+use eca_serve::{EcaServer, ServeClient, ServeConfig, ServeHandle};
+use relsql::SqlServer;
+
+fn main() {
+    let clients: usize = env_or("E11_CLIENTS", 8);
+    let per_client: usize = env_or("E11_STATEMENTS", 1_000);
+    println!("# E11 — service layer: {clients} clients x {per_client} statements over TCP\n");
+
+    // Serialized baseline: the same total workload through one client.
+    let (handle, addr) = start_server();
+    let t0 = Instant::now();
+    let (mut c, _) = ServeClient::connect_as(addr, "db", "serial").unwrap();
+    setup_schema(&mut c);
+    for k in 0..clients {
+        for i in 0..per_client {
+            c.exec(&statement(k, i)).unwrap();
+        }
+    }
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let serial_firings = c.exec("select * from audit").unwrap().rows;
+    let serial_rows = c.exec("select * from t").unwrap().rows;
+    let serial_notifications = c.stat_u64("notifications").unwrap();
+    c.quit().unwrap();
+    let report = handle.shutdown();
+    assert!(report.quiescent, "serialized run must drain clean");
+    println!("## serialized (1 client)");
+    println!(
+        "  {:>7} statements in {serial_secs:7.2} s  ({:8.0} stmt/s)",
+        clients * per_client,
+        (clients * per_client) as f64 / serial_secs
+    );
+    println!("  firings: {serial_firings}, notifications: {serial_notifications}\n");
+
+    // Concurrent run: same workload fanned out over N sessions.
+    let (handle, addr) = start_server();
+    let (mut admin, _) = ServeClient::connect_as(addr, "db", "admin").unwrap();
+    setup_schema(&mut admin);
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for k in 0..clients {
+        threads.push(std::thread::spawn(move || {
+            let (mut c, _) = ServeClient::connect_as(addr, "db", &format!("u{k}")).unwrap();
+            let mut latencies = Vec::with_capacity(per_client);
+            for i in 0..per_client {
+                let t = Instant::now();
+                let r = c.exec(&statement(k, i)).unwrap();
+                latencies.push(t.elapsed());
+                assert_eq!(r.failed, 0, "client {k} statement {i} failed an action");
+            }
+            c.quit().unwrap();
+            latencies
+        }));
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(clients * per_client);
+    for t in threads {
+        latencies.extend(t.join().unwrap());
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    // Zero lost firings: identical counts to the serialized run.
+    let firings = admin.exec("select * from audit").unwrap().rows;
+    let rows = admin.exec("select * from t").unwrap().rows;
+    let notifications = admin.stat_u64("notifications").unwrap();
+    assert_eq!(rows, serial_rows, "lost DML under concurrency");
+    assert_eq!(firings, serial_firings, "lost firings under concurrency");
+    assert_eq!(
+        notifications, serial_notifications,
+        "lost notifications under concurrency"
+    );
+    let stats = handle.serve_stats();
+    admin.quit().unwrap();
+    let report = handle.shutdown();
+    assert!(report.quiescent, "concurrent run must drain clean");
+
+    latencies.sort();
+    let total = latencies.len();
+    let p = |q: f64| latencies[((total as f64 * q) as usize).min(total - 1)];
+    println!("## concurrent ({clients} clients)");
+    println!(
+        "  {total:>7} statements in {wall_secs:7.2} s  ({:8.0} stmt/s, {:.2}x serialized)",
+        total as f64 / wall_secs,
+        serial_secs / wall_secs
+    );
+    println!(
+        "  latency p50 {:7.1} us   p99 {:7.1} us   max {:7.1} us",
+        p(0.50).as_secs_f64() * 1e6,
+        p(0.99).as_secs_f64() * 1e6,
+        latencies[total - 1].as_secs_f64() * 1e6
+    );
+    println!("  firings: {firings} (= serialized: zero lost), notifications: {notifications}");
+    println!(
+        "  serve: {} sessions, {} requests, {} errors",
+        stats.sessions_opened, stats.requests, stats.errors
+    );
+}
+
+fn env_or(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn start_server() -> (ServeHandle, SocketAddr) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let service: Arc<dyn ActiveService> = Arc::new(agent);
+    let handle = EcaServer::start(service, ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+fn setup_schema(c: &mut ServeClient) {
+    c.exec("create table t (k int, i int)").unwrap();
+    c.exec("create table audit (n int)").unwrap();
+    c.exec("create trigger tr on t for insert event e as insert audit values (1)")
+        .unwrap();
+}
+
+/// Statement `i` for client `k`: inserts (which fire the rule) with a read
+/// mixed in every 10th statement.
+fn statement(k: usize, i: usize) -> String {
+    if i % 10 == 9 {
+        format!("select i from t where k = {k} and i = {}", i - 1)
+    } else {
+        format!("insert t values ({k}, {i})")
+    }
+}

@@ -4,9 +4,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use eca_core::codegen::{
-    led_action_proc, native_trigger_sql, rewrite_context_refs, ContextSource,
-};
+use eca_core::codegen::{led_action_proc, native_trigger_sql, rewrite_context_refs, ContextSource};
 use eca_core::parse_eca;
 use eca_core::registry::PrimitiveEventInfo;
 use led::ParameterContext;

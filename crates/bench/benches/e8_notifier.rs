@@ -68,20 +68,16 @@ fn bench(c: &mut Criterion) {
                         let server = SqlServer::new();
                         let agent = EcaAgent::new(
                             Arc::clone(&server),
-                            AgentConfig {
-                                drop_probability: loss_pct as f64 / 100.0,
-                                drop_seed: 17,
-                                exactly_once: false,
-                                ..AgentConfig::default()
-                            },
+                            AgentConfig::builder()
+                                .drop_probability(loss_pct as f64 / 100.0, 17)
+                                .exactly_once(false)
+                                .build(),
                         )
                         .unwrap();
                         let client = agent.client("db", "u");
                         client.execute("create table t (a int)").unwrap();
                         client
-                            .execute(
-                                "create trigger tr on t for insert event e as print 'x'",
-                            )
+                            .execute("create trigger tr on t for insert event e as print 'x'")
                             .unwrap();
                         (agent, client)
                     },

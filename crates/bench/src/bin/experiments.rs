@@ -107,8 +107,14 @@ fn e1_transparency() {
         }
     });
     println!("  direct server      : {direct:8.2} ms");
-    println!("  agent, no rules    : {via_agent:8.2} ms  ({:.2}x)", via_agent / direct);
-    println!("  agent, active rule : {with_rule:8.2} ms  ({:.2}x)\n", with_rule / direct);
+    println!(
+        "  agent, no rules    : {via_agent:8.2} ms  ({:.2}x)",
+        via_agent / direct
+    );
+    println!(
+        "  agent, active rule : {with_rule:8.2} ms  ({:.2}x)\n",
+        with_rule / direct
+    );
 }
 
 fn e2_rule_creation() {
@@ -188,7 +194,10 @@ fn e5_codegen() {
         .execute("create trigger t on stock for insert event e as select * from stock.inserted")
         .unwrap();
     let tables = agent.server().inspect(|e| e.database().table_names());
-    let shadows = tables.iter().filter(|t| t.contains("_inserted") || t.contains("_deleted")).count();
+    let shadows = tables
+        .iter()
+        .filter(|t| t.contains("_inserted") || t.contains("_deleted"))
+        .count();
     let vers = tables.iter().filter(|t| t.ends_with("_ver")).count();
     println!("  shadow tables per event: {shadows} (2 shadows + 1 tmp), version tables: {vers}");
     let gw = agent.gateway_stats();
@@ -272,12 +281,10 @@ fn e8_loss() {
         let server = SqlServer::new();
         let agent = EcaAgent::new(
             Arc::clone(&server),
-            AgentConfig {
-                drop_probability: pct as f64 / 100.0,
-                drop_seed: 17,
-                exactly_once: false,
-                ..AgentConfig::default()
-            },
+            AgentConfig::builder()
+                .drop_probability(pct as f64 / 100.0, 17)
+                .exactly_once(false)
+                .build(),
         )
         .unwrap();
         let client = agent.client("db", "u");
@@ -400,5 +407,7 @@ fn e10_baselines() {
         }
     });
     let (_, checks, detections) = embedded.stats();
-    println!("  embedded checks: {detections:3}/50 detections, {checks:3} check queries, {ms:7.2} ms");
+    println!(
+        "  embedded checks: {detections:3}/50 detections, {checks:3} check queries, {ms:7.2} ms"
+    );
 }

@@ -66,7 +66,11 @@ pub fn mixed_workload(n: usize, seed: u64) -> Vec<String> {
     (0..n)
         .map(|i| {
             if rng.gen_bool(0.5) {
-                format!("insert stock values ('S{}', {:.2})", i % 100, rng.gen_range(1.0..500.0))
+                format!(
+                    "insert stock values ('S{}', {:.2})",
+                    i % 100,
+                    rng.gen_range(1.0..500.0)
+                )
             } else {
                 format!("delete stock where symbol = 'S{}'", rng.gen_range(0..100))
             }

@@ -232,7 +232,11 @@ impl ActionHandler {
 
     /// One attempt: fault injection, then the real SQL, with panics caught
     /// and converted into ordinary errors.
-    fn attempt(&self, request: &ActionRequest, attempt: u32) -> std::result::Result<BatchResult, String> {
+    fn attempt(
+        &self,
+        request: &ActionRequest,
+        attempt: u32,
+    ) -> std::result::Result<BatchResult, String> {
         let injector = self.injector.lock().clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(inject) = &injector {
@@ -371,7 +375,8 @@ mod tests {
     #[test]
     fn execute_refreshes_syscontext_then_runs_proc() {
         let (gw, ctx) = setup();
-        gw.internal("create table log (msg varchar(50))", &ctx).unwrap();
+        gw.internal("create table log (msg varchar(50))", &ctx)
+            .unwrap();
         gw.internal(
             "create procedure p as insert log select tableName from sysContext",
             &ctx,
@@ -383,10 +388,7 @@ mod tests {
         assert!(outcome.result.is_ok());
         assert_eq!(outcome.attempts, 1);
         let r = gw.internal("select msg from log", &ctx).unwrap();
-        assert_eq!(
-            r.scalar(),
-            Some(&relsql::Value::Str("shadow1".into()))
-        );
+        assert_eq!(r.scalar(), Some(&relsql::Value::Str("shadow1".into())));
     }
 
     #[test]
@@ -498,11 +500,7 @@ mod tests {
 
     #[test]
     fn backoff_grows_caps_and_jitters_deterministically() {
-        let p = RetryPolicy::retries(
-            8,
-            Duration::from_millis(10),
-            Duration::from_millis(40),
-        );
+        let p = RetryPolicy::retries(8, Duration::from_millis(10), Duration::from_millis(40));
         let b1 = p.backoff_after("rule", 1);
         let b2 = p.backoff_after("rule", 2);
         let b3 = p.backoff_after("rule", 3);
@@ -510,16 +508,16 @@ mod tests {
         assert!(b1 >= Duration::from_millis(10) && b1 < Duration::from_millis(13));
         assert!(b2 >= Duration::from_millis(20) && b2 < Duration::from_millis(25));
         assert!(b3 >= Duration::from_millis(40) && b3 < Duration::from_millis(50));
-        assert!(b4 >= Duration::from_millis(40) && b4 < Duration::from_millis(50), "capped");
+        assert!(
+            b4 >= Duration::from_millis(40) && b4 < Duration::from_millis(50),
+            "capped"
+        );
         assert_eq!(b2, p.backoff_after("rule", 2), "deterministic");
         assert_ne!(
             p.backoff_after("rule_a", 2),
             p.backoff_after("rule_b", 2),
             "jitter varies by rule"
         );
-        assert_eq!(
-            RetryPolicy::default().backoff_after("r", 1),
-            Duration::ZERO
-        );
+        assert_eq!(RetryPolicy::default().backoff_after("r", 1), Duration::ZERO);
     }
 }

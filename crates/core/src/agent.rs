@@ -39,7 +39,13 @@ use crate::registry::{
 use crate::reliability::{Admission, ReliabilityTracker};
 
 /// Agent configuration.
+///
+/// Construct through [`AgentConfig::builder`]; the struct is
+/// `#[non_exhaustive]` so fields can be added without breaking callers.
+/// The `Default` impl remains as a deprecated construction path for one
+/// release — it produces the same configuration as an unmodified builder.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct AgentConfig {
     /// Host/port baked into generated `syb_sendmsg` calls (cosmetic — the
     /// in-process transport ignores them, like the paper's fixed UDP
@@ -70,19 +76,103 @@ pub struct AgentConfig {
     pub led_state_limit: Option<usize>,
 }
 
+impl AgentConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> AgentConfigBuilder {
+        AgentConfigBuilder {
+            config: AgentConfig {
+                notify_host: "128.227.205.215".into(), // the paper's Figure 11 address
+                notify_port: 10006,
+                drop_probability: 0.0,
+                drop_seed: 0,
+                fault_plan: None,
+                exactly_once: true,
+                retry: RetryPolicy::default(),
+                max_cascade: 10_000,
+                led_state_limit: None,
+            },
+        }
+    }
+}
+
+// Deprecated construction path (one release): prefer
+// `AgentConfig::builder().build()`. Kept because `EcaAgent::with_defaults`
+// and a long tail of tests still go through it.
 impl Default for AgentConfig {
     fn default() -> Self {
-        AgentConfig {
-            notify_host: "128.227.205.215".into(), // the paper's Figure 11 address
-            notify_port: 10006,
-            drop_probability: 0.0,
-            drop_seed: 0,
-            fault_plan: None,
-            exactly_once: true,
-            retry: RetryPolicy::default(),
-            max_cascade: 10_000,
-            led_state_limit: None,
-        }
+        AgentConfig::builder().build()
+    }
+}
+
+/// Builder for [`AgentConfig`]. Every setter mirrors one config field;
+/// unset fields keep their defaults.
+///
+/// ```
+/// use eca_core::AgentConfig;
+/// let config = AgentConfig::builder()
+///     .exactly_once(true)
+///     .max_cascade(50_000)
+///     .build();
+/// assert!(config.exactly_once);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgentConfigBuilder {
+    config: AgentConfig,
+}
+
+impl AgentConfigBuilder {
+    /// Host baked into generated `syb_sendmsg` calls.
+    pub fn notify_host(mut self, host: impl Into<String>) -> Self {
+        self.config.notify_host = host.into();
+        self
+    }
+
+    /// Port baked into generated `syb_sendmsg` calls.
+    pub fn notify_port(mut self, port: u16) -> Self {
+        self.config.notify_port = port;
+        self
+    }
+
+    /// Drop-only channel loss (shorthand for a lossy [`FaultPlan`]).
+    pub fn drop_probability(mut self, probability: f64, seed: u64) -> Self {
+        self.config.drop_probability = probability;
+        self.config.drop_seed = seed;
+        self
+    }
+
+    /// Full channel fault plan (takes precedence over `drop_probability`).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
+    /// Exactly-once notification semantics (on by default).
+    pub fn exactly_once(mut self, on: bool) -> Self {
+        self.config.exactly_once = on;
+        self
+    }
+
+    /// Retry policy for failing rule actions.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Safety cap on cascaded notifications per client call.
+    pub fn max_cascade(mut self, cap: usize) -> Self {
+        self.config.max_cascade = cap;
+        self
+    }
+
+    /// Per-node LED buffered-occurrence ceiling (`None` disables).
+    pub fn led_state_limit(mut self, limit: Option<usize>) -> Self {
+        self.config.led_state_limit = limit;
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> AgentConfig {
+        self.config
     }
 }
 
@@ -105,6 +195,26 @@ pub struct AgentStats {
     pub dead_lettered: u64,
 }
 
+/// Named fault counters from the notification channel's chaos sink.
+///
+/// Replaces the old positional `(u64, u64, u64, u64)` return of
+/// [`EcaAgent::channel_fault_counts`], whose field order was easy to get
+/// wrong at call sites.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ChannelFaultCounts {
+    /// Datagrams dropped outright.
+    pub dropped: u64,
+    /// Extra (duplicate) deliveries injected.
+    pub duplicated: u64,
+    /// Datagrams routed through the reorder holding buffer.
+    pub reordered: u64,
+    /// Datagrams held back by a reorder buffer or delay burst.
+    pub delayed: u64,
+    /// Datagrams that reached the agent's channel.
+    pub forwarded: u64,
+}
+
 /// What one client call produced.
 #[derive(Debug, Default)]
 pub struct AgentResponse {
@@ -120,9 +230,7 @@ pub struct AgentResponse {
 impl AgentResponse {
     /// Outcome of a specific rule's action, if it ran.
     pub fn action_of(&self, rule_suffix: &str) -> Option<&ActionOutcome> {
-        self.actions
-            .iter()
-            .find(|a| a.rule.ends_with(rule_suffix))
+        self.actions.iter().find(|a| a.rule.ends_with(rule_suffix))
     }
 }
 
@@ -150,6 +258,9 @@ struct Inner {
     async_mode: std::sync::atomic::AtomicBool,
     /// Stop flag for the notifier thread.
     notifier_stop: std::sync::atomic::AtomicBool,
+    /// Drain latch: once set, `execute` rejects new statements with
+    /// [`EcaError::Unavailable`] while in-flight work quiesces.
+    draining: std::sync::atomic::AtomicBool,
     /// Outcomes produced on the notifier thread, for later collection.
     async_outcomes: Mutex<Vec<ActionOutcome>>,
     eca_commands: AtomicU64,
@@ -204,6 +315,7 @@ impl EcaAgent {
                 listeners: Mutex::new(Vec::new()),
                 async_mode: std::sync::atomic::AtomicBool::new(false),
                 notifier_stop: std::sync::atomic::AtomicBool::new(false),
+                draining: std::sync::atomic::AtomicBool::new(false),
                 async_outcomes: Mutex::new(Vec::new()),
                 eca_commands: AtomicU64::new(0),
                 notifications: AtomicU64::new(0),
@@ -272,16 +384,15 @@ impl EcaAgent {
         }
     }
 
-    /// Channel fault counters `(dropped, duplicated, delayed, forwarded)`
-    /// from the chaos sink, if a fault plan is active.
-    pub fn channel_fault_counts(&self) -> Option<(u64, u64, u64, u64)> {
-        self.inner.chaos.as_ref().map(|c| {
-            (
-                c.dropped_count(),
-                c.duplicated_count(),
-                c.delayed_count(),
-                c.forwarded_count(),
-            )
+    /// Channel fault counters from the chaos sink, if a fault plan is
+    /// active.
+    pub fn channel_fault_counts(&self) -> Option<ChannelFaultCounts> {
+        self.inner.chaos.as_ref().map(|c| ChannelFaultCounts {
+            dropped: c.dropped_count(),
+            duplicated: c.duplicated_count(),
+            reordered: c.reordered_count(),
+            delayed: c.delayed_count(),
+            forwarded: c.forwarded_count(),
         })
     }
 
@@ -559,6 +670,53 @@ impl EcaAgent {
             std::thread::sleep(std::time::Duration::from_micros(500));
         }
         false
+    }
+
+    /// Gracefully quiesce the agent: reject new statements, release any
+    /// datagrams the chaos sink still holds, pump the notification channel
+    /// dry (or wait for the dedicated notifier thread to do so), join all
+    /// outstanding DETACHED actions, and persist the reliability
+    /// watermarks. Joined/pumped action outcomes land in the async-outcome
+    /// mailbox ([`EcaAgent::take_async_outcomes`]). Statements are
+    /// rejected with [`crate::EcaError::Unavailable`] until
+    /// [`EcaAgent::resume`].
+    pub fn drain(&self, timeout: std::time::Duration) -> crate::service::DrainReport {
+        use std::sync::atomic::Ordering as O;
+        self.inner.draining.store(true, O::SeqCst);
+        self.flush_notification_channel();
+        let quiescent = if self.inner.async_mode.load(O::SeqCst) {
+            self.wait_quiescent(timeout)
+        } else {
+            let mut resp = AgentResponse::default();
+            let pumped = self.pump_inner(&mut resp).is_ok();
+            if !resp.actions.is_empty() {
+                self.inner.async_outcomes.lock().extend(resp.actions);
+            }
+            pumped && self.inner.rx.is_empty()
+        };
+        let detached = self.wait_detached();
+        let detached_joined = detached.len();
+        let async_outcomes = {
+            let mut mailbox = self.inner.async_outcomes.lock();
+            mailbox.extend(detached);
+            mailbox.len()
+        };
+        let _ = self.flush_watermarks();
+        crate::service::DrainReport {
+            quiescent,
+            detached_joined,
+            async_outcomes,
+        }
+    }
+
+    /// Lift the drain latch set by [`EcaAgent::drain`].
+    pub fn resume(&self) {
+        self.inner.draining.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the agent is currently refusing statements (drained).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
     }
 
     /// Drain and process pending notifications (Figure 4 steps 2–6),
@@ -883,7 +1041,8 @@ impl EcaAgent {
         let proc_name = naming::action_proc(&trigger_i);
         // Rewrite TableName.inserted/.deleted context accessors.
         let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
-            self.resolve_table(t, ctx).unwrap_or_else(|_| naming::internal(ctx, t))
+            self.resolve_table(t, ctx)
+                .unwrap_or_else(|_| naming::internal(ctx, t))
         });
         // --- install in the server (Figure 3 step 5), via the gateway.
         // On any failure, roll the already-installed artifacts back so the
@@ -951,7 +1110,11 @@ impl EcaAgent {
             clauses.coupling.as_str(),
             clauses.context.as_str(),
             clauses.priority,
-            if kind == TriggerKind::Native { "native" } else { "led" },
+            if kind == TriggerKind::Native {
+                "native"
+            } else {
+                "led"
+            },
         ))?;
         // A fresh event starts with watermark 0 (no occurrences raised).
         self.inner.persist.save_watermark(&event_i, 0)?;
@@ -1016,19 +1179,15 @@ impl EcaAgent {
         // already be defined; user names expand to internal names.
         let expr = snoop::parse(expr_src)?;
         let mut unknown: Option<String> = None;
-        let expr_internal = expr.map_names(&mut |n| {
-            match self.resolve_event(&n.key(), ctx) {
-                Ok(internal) => snoop::EventName::simple(internal),
-                Err(_) => {
-                    unknown.get_or_insert_with(|| n.key());
-                    n.clone()
-                }
+        let expr_internal = expr.map_names(&mut |n| match self.resolve_event(&n.key(), ctx) {
+            Ok(internal) => snoop::EventName::simple(internal),
+            Err(_) => {
+                unknown.get_or_insert_with(|| n.key());
+                n.clone()
             }
         });
         if let Some(name) = unknown {
-            return Err(AgentError::Naming(format!(
-                "event '{name}' is not defined"
-            )));
+            return Err(AgentError::Naming(format!("event '{name}' is not defined")));
         }
         let expr_internal_src = expr_internal.to_string();
         // Register the composite in the LED first — it validates shape.
@@ -1039,7 +1198,8 @@ impl EcaAgent {
         let result = (|| -> Result<AgentResponse> {
             let proc_name = naming::action_proc(&trigger_i);
             let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
-                self.resolve_table(t, ctx).unwrap_or_else(|_| naming::internal(ctx, t))
+                self.resolve_table(t, ctx)
+                    .unwrap_or_else(|_| naming::internal(ctx, t))
             });
             // Context sources: shadows of the transitive primitive
             // constituents matching each referenced (table, kind). The new
@@ -1124,8 +1284,9 @@ impl EcaAgent {
                 priority: clauses.priority,
             })?;
             let mut resp = AgentResponse::default();
-            resp.messages
-                .push(format!("composite event '{event_i}' = {expr_internal_src} created"));
+            resp.messages.push(format!(
+                "composite event '{event_i}' = {expr_internal_src} created"
+            ));
             resp.messages.push(format!("trigger '{trigger_i}' created"));
             Ok(resp)
         })();
@@ -1157,7 +1318,8 @@ impl EcaAgent {
         }
         let proc_name = naming::action_proc(&trigger_i);
         let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
-            self.resolve_table(t, ctx).unwrap_or_else(|_| naming::internal(ctx, t))
+            self.resolve_table(t, ctx)
+                .unwrap_or_else(|_| naming::internal(ctx, t))
         });
         let primitive_info = self.inner.registry.lock().primitive(&event_i).cloned();
         let kind = match (&primitive_info, clauses.coupling) {
@@ -1203,9 +1365,7 @@ impl EcaAgent {
                                 if skind == r.kind {
                                     sources.push(codegen::ContextSource {
                                         tmp: match skind {
-                                            ShadowKind::Inserted => {
-                                                naming::tmp_inserted(&r.table)
-                                            }
+                                            ShadowKind::Inserted => naming::tmp_inserted(&r.table),
                                             ShadowKind::Deleted => naming::tmp_deleted(&r.table),
                                         },
                                         shadow: shadow.to_string(),
@@ -1248,7 +1408,11 @@ impl EcaAgent {
             clauses.coupling.as_str(),
             clauses.context.as_str(),
             clauses.priority,
-            if kind == TriggerKind::Native { "native" } else { "led" },
+            if kind == TriggerKind::Native {
+                "native"
+            } else {
+                "led"
+            },
         ))?;
         self.inner.registry.lock().add_trigger(TriggerInfo {
             name: trigger_i.clone(),
@@ -1260,8 +1424,9 @@ impl EcaAgent {
             priority: clauses.priority,
         })?;
         let mut resp = AgentResponse::default();
-        resp.messages
-            .push(format!("trigger '{trigger_i}' created on event '{event_i}'"));
+        resp.messages.push(format!(
+            "trigger '{trigger_i}' created on event '{event_i}'"
+        ));
         Ok(resp)
     }
 
@@ -1367,7 +1532,10 @@ impl EcaAgent {
             None => {
                 // Not agent-managed: forward to the server (it may be a
                 // plain native trigger).
-                let server = self.inner.gateway.forward(&format!("drop trigger {trigger}"), ctx)?;
+                let server = self
+                    .inner
+                    .gateway
+                    .forward(&format!("drop trigger {trigger}"), ctx)?;
                 return Ok(AgentResponse {
                     server,
                     ..Default::default()
@@ -1406,7 +1574,8 @@ impl EcaAgent {
         self.inner.persist.delete_trigger_row(&info.name)?;
         self.inner.registry.lock().remove_trigger(&info.name);
         let mut resp = AgentResponse::default();
-        resp.messages.push(format!("trigger '{}' dropped", info.name));
+        resp.messages
+            .push(format!("trigger '{}' dropped", info.name));
         Ok(resp)
     }
 
@@ -1485,22 +1654,7 @@ impl EcaClient {
     /// SQL passes through and any resulting event detections run their
     /// actions before this returns (IMMEDIATE semantics).
     pub fn execute(&self, sql: &str) -> Result<AgentResponse> {
-        match classify(sql) {
-            Classification::Eca(_) => self.agent.inner_handle(sql, &self.ctx),
-            Classification::PassThrough => {
-                let server = self.agent.inner.gateway.forward(sql, &self.ctx)?;
-                let mut resp = AgentResponse {
-                    server,
-                    ..Default::default()
-                };
-                self.agent.pump(&mut resp)?;
-                if contains_commit(sql) {
-                    let deferred = self.agent.flush_deferred()?;
-                    resp.actions.extend(deferred.actions);
-                }
-                Ok(resp)
-            }
-        }
+        self.agent.execute(sql, &self.ctx)
     }
 
     pub fn agent(&self) -> &EcaAgent {
@@ -1513,8 +1667,33 @@ impl EcaClient {
 }
 
 impl EcaAgent {
-    fn inner_handle(&self, sql: &str, ctx: &SessionCtx) -> Result<AgentResponse> {
-        self.handle_eca(sql, ctx)
+    /// Execute a batch on behalf of `ctx` — the single entry point behind
+    /// [`EcaClient::execute`] and [`crate::service::ActiveService`]: ECA
+    /// commands are interpreted by the agent, plain SQL passes through and
+    /// any resulting event detections run their actions before this
+    /// returns (IMMEDIATE semantics).
+    pub fn execute(&self, sql: &str, ctx: &SessionCtx) -> Result<AgentResponse> {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            return Err(AgentError::Unavailable(
+                "agent is draining; no new statements accepted".into(),
+            ));
+        }
+        match classify(sql) {
+            Classification::Eca(_) => self.handle_eca(sql, ctx),
+            Classification::PassThrough => {
+                let server = self.inner.gateway.forward(sql, ctx)?;
+                let mut resp = AgentResponse {
+                    server,
+                    ..Default::default()
+                };
+                self.pump(&mut resp)?;
+                if contains_commit(sql) {
+                    let deferred = self.flush_deferred()?;
+                    resp.actions.extend(deferred.actions);
+                }
+                Ok(resp)
+            }
+        }
     }
 }
 

@@ -5,14 +5,16 @@
 //! cargo run -p eca-core --bin eca_shell
 //! ```
 //!
-//! Every line is a batch sent through the ECA Agent: plain SQL passes
-//! through, the extended `CREATE TRIGGER ... EVENT ...` syntax creates ECA
-//! rules, and rule actions print as they fire. Meta commands:
+//! Every line is a batch sent through the [`ActiveService`] surface — the
+//! same API the `eca-serve` TCP server and the test suite drive: plain SQL
+//! passes through, the extended `CREATE TRIGGER ... EVENT ...` syntax
+//! creates ECA rules, and rule actions print as they fire. Meta commands:
 //!
 //! - `\events`, `\triggers` — agent introspection
 //! - `\describe <event>` — operator tree of an event
 //! - `\advance <seconds>` — advance virtual time (fires P/P*/PLUS rules)
 //! - `\stats` — agent counters (including reliability repairs)
+//! - `\drain` / `\resume` — quiesce the service / accept statements again
 //! - `\deadletters` — inspect the action dead-letter queue
 //! - `\requeue` — re-execute everything in the dead-letter queue
 //! - `\quit`
@@ -22,17 +24,20 @@
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
-use eca_core::{AgentResponse, EcaAgent, EcaClient};
-use relsql::{BatchResult, SqlServer};
+use eca_core::{ActiveService, AgentResponse, EcaAgent};
+use relsql::{BatchResult, SessionCtx, SqlServer};
 
 fn main() {
     let server = SqlServer::new();
     let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
-    let client = agent.client("sentineldb", "sharma");
+    // The shell drives the same service surface as the TCP server.
+    let service: Arc<dyn ActiveService> = Arc::new(agent.clone());
+    let ctx = SessionCtx::new("sentineldb", "sharma");
 
     if std::env::args().any(|a| a == "--demo") {
-        preload_demo(&client);
+        preload_demo(service.as_ref(), &ctx);
         println!("(demo state loaded: table `stock`, events addStk/delStk, composite addDel)");
     }
 
@@ -56,21 +61,23 @@ fn main() {
             continue;
         }
         if let Some(meta) = line.strip_prefix('\\') {
-            if !handle_meta(meta, &agent) {
+            if !handle_meta(meta, &agent, service.as_ref()) {
                 break;
             }
             continue;
         }
-        match client.execute(line) {
+        match service.execute(line, &ctx) {
             Ok(resp) => render_response(&resp),
-            Err(e) => eprintln!("error: {e}"),
+            Err(e) => eprintln!("error [{}]: {e}", e.code()),
         }
     }
 }
 
-fn preload_demo(client: &EcaClient) {
-    for sql in [
-        "create table stock (symbol varchar(10), price float)",
+fn preload_demo(service: &dyn ActiveService, ctx: &SessionCtx) {
+    service
+        .execute("create table stock (symbol varchar(10), price float)", ctx)
+        .expect("demo preload");
+    for ddl in [
         "create trigger t_addStk on stock for insert event addStk \
          as print 'trigger t_addStk on primitive event addStk occurs'",
         "create trigger t_delStk on stock for delete event delStk \
@@ -78,17 +85,20 @@ fn preload_demo(client: &EcaClient) {
         "create trigger t_and event addDel = delStk ^ addStk RECENT \
          as print 'composite addDel detected' select symbol, price from stock.inserted",
     ] {
-        client.execute(sql).expect("demo preload");
+        service.define_trigger(ddl, ctx).expect("demo preload");
     }
 }
 
 /// Returns false when the shell should exit.
-fn handle_meta(meta: &str, agent: &EcaAgent) -> bool {
+fn handle_meta(meta: &str, agent: &EcaAgent, service: &dyn ActiveService) -> bool {
     let mut parts = meta.split_whitespace();
     match parts.next().unwrap_or("") {
         "quit" | "q" | "exit" => return false,
         "help" => {
-            println!("\\events  \\triggers  \\describe <event>  \\advance <seconds>  \\stats  \\deadletters  \\requeue  \\quit");
+            println!(
+                "\\events  \\triggers  \\describe <event>  \\advance <seconds>  \\stats  \
+                 \\drain  \\resume  \\deadletters  \\requeue  \\quit"
+            );
         }
         "events" => {
             for e in agent.event_names() {
@@ -121,14 +131,17 @@ fn handle_meta(meta: &str, agent: &EcaAgent) -> bool {
             let secs: i64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
             match agent.advance_time(secs * 1_000_000) {
                 Ok(resp) => {
-                    println!("  advanced {secs}s; {} rule action(s) fired", resp.actions.len());
+                    println!(
+                        "  advanced {secs}s; {} rule action(s) fired",
+                        resp.actions.len()
+                    );
                     render_response(&resp);
                 }
                 Err(e) => eprintln!("error: {e}"),
             }
         }
         "stats" => {
-            let s = agent.stats();
+            let s = service.stats();
             println!(
                 "  eca commands: {}, notifications: {} (malformed {}), actions: {}",
                 s.eca_commands, s.notifications, s.malformed_notifications, s.actions_executed
@@ -141,15 +154,39 @@ fn handle_meta(meta: &str, agent: &EcaAgent) -> bool {
                 "  actions: {} retries, {} dead-lettered",
                 s.retries, s.dead_lettered
             );
-            if let Some((dropped, duplicated, delayed, forwarded)) = agent.channel_fault_counts() {
+            if let Some(c) = agent.channel_fault_counts() {
                 println!(
-                    "  chaos sink: {dropped} dropped, {duplicated} duplicated, \
-                     {delayed} delayed, {forwarded} forwarded"
+                    "  chaos sink: {} dropped, {} duplicated, {} reordered, {} delayed, \
+                     {} forwarded",
+                    c.dropped, c.duplicated, c.reordered, c.delayed, c.forwarded
                 );
             }
             let g = agent.gateway_stats();
-            println!("  gateway: {} forwarded, {} internal", g.forwarded, g.internal);
+            println!(
+                "  gateway: {} forwarded, {} internal",
+                g.forwarded, g.internal
+            );
+            let sv = agent.server().server_stats();
+            println!(
+                "  server: {} session(s) opened, {} statement(s) executed",
+                sv.sessions_opened, sv.statements
+            );
             println!("  led state size: {}", agent.led_state_size());
+            if service.is_draining() {
+                println!("  service: DRAINING (statements rejected; \\resume to lift)");
+            }
+        }
+        "drain" => {
+            let report = service.drain(Duration::from_secs(2));
+            println!(
+                "  drained: quiescent={}, {} detached action(s) joined, {} outcome(s) in mailbox",
+                report.quiescent, report.detached_joined, report.async_outcomes
+            );
+            println!("  statements are now rejected; \\resume to accept again");
+        }
+        "resume" => {
+            service.resume();
+            println!("  service resumed");
         }
         "deadletters" => {
             let letters = agent.dead_letters();

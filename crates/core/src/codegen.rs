@@ -310,7 +310,12 @@ pub fn native_action_proc(
 
 /// INSERT statements persisting a primitive event (Figure 11's generated
 /// `insert SysPrimitiveEvent ...`).
-pub fn persist_primitive_sql(db: &str, user: &str, info: &PrimitiveEventInfo, table_sql: &str) -> String {
+pub fn persist_primitive_sql(
+    db: &str,
+    user: &str,
+    info: &PrimitiveEventInfo,
+    table_sql: &str,
+) -> String {
     format!(
         "insert SysPrimitiveEvent values ({}, {}, {}, {}, {}, getdate(), 0)",
         sql_quote(db),
@@ -395,8 +400,8 @@ mod tests {
     #[test]
     fn system_tables_parse() {
         for (name, ddl) in system_tables_ddl() {
-            let stmts = relsql::parser::parse_script(&ddl)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let stmts =
+                relsql::parser::parse_script(&ddl).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(stmts.len(), 1);
         }
     }
@@ -405,7 +410,9 @@ mod tests {
     fn setup_sql_parses_and_mentions_figure_11_artifacts() {
         let sql = primitive_event_setup(&info(), "stock");
         relsql::parser::parse_script(&sql).unwrap();
-        assert!(sql.contains("select * into sentineldb.sharma.addStk_inserted from stock where 1=2"));
+        assert!(
+            sql.contains("select * into sentineldb.sharma.addStk_inserted from stock where 1=2")
+        );
         assert!(sql.contains("add vNo int null"));
         assert!(sql.contains("insert sentineldb.sharma.addStk_ver values (0)"));
     }
@@ -444,8 +451,7 @@ mod tests {
     fn rewrite_example_2_action() {
         // §5.3: `select symbol, price from stock.inserted`
         let expand = |t: &str| format!("sentineldb.sharma.{t}");
-        let (out, refs) =
-            rewrite_context_refs("select symbol, price from stock.inserted", expand);
+        let (out, refs) = rewrite_context_refs("select symbol, price from stock.inserted", expand);
         assert_eq!(
             out,
             "select symbol, price from sentineldb.sharma.stock_inserted_tmp"

@@ -117,9 +117,8 @@ pub fn parse_eca(sql: &str) -> Result<EcaCommand> {
         let table = p.object_name()?;
         p.expect_kw("for")?;
         let op_word = p.ident()?;
-        let operation = TriggerOp::parse(&op_word).ok_or_else(|| {
-            AgentError::EcaSyntax(format!("bad trigger operation '{op_word}'"))
-        })?;
+        let operation = TriggerOp::parse(&op_word)
+            .ok_or_else(|| AgentError::EcaSyntax(format!("bad trigger operation '{op_word}'")))?;
         p.expect_kw("event")?;
         let event = p.object_name()?;
         let clauses = p.clauses()?;
@@ -258,9 +257,7 @@ impl<'a> P<'a> {
         let (mut saw_coupling, mut saw_context, mut saw_priority) = (false, false, false);
         loop {
             match self.peek().clone() {
-                TokenKind::Ident(w)
-                    if COUPLINGS.iter().any(|k| w.eq_ignore_ascii_case(k)) =>
-                {
+                TokenKind::Ident(w) if COUPLINGS.iter().any(|k| w.eq_ignore_ascii_case(k)) => {
                     if saw_coupling {
                         return Err(AgentError::EcaSyntax("duplicate coupling mode".into()));
                     }
@@ -268,9 +265,7 @@ impl<'a> P<'a> {
                     c.coupling = w.parse().map_err(AgentError::EcaSyntax)?;
                     self.advance();
                 }
-                TokenKind::Ident(w)
-                    if CONTEXTS.iter().any(|k| w.eq_ignore_ascii_case(k)) =>
-                {
+                TokenKind::Ident(w) if CONTEXTS.iter().any(|k| w.eq_ignore_ascii_case(k)) => {
                     if saw_context {
                         return Err(AgentError::EcaSyntax("duplicate parameter context".into()));
                     }
@@ -316,13 +311,14 @@ impl<'a> P<'a> {
             match &tok.kind {
                 TokenKind::LParen | TokenKind::LBracket => depth += 1,
                 TokenKind::RParen | TokenKind::RBracket => depth -= 1,
-                TokenKind::Ident(w) if depth == 0
-                    && (w.eq_ignore_ascii_case("as")
-                        || COUPLINGS.iter().any(|k| w.eq_ignore_ascii_case(k))
-                        || CONTEXTS.iter().any(|k| w.eq_ignore_ascii_case(k)))
-                    => {
-                        return Ok(tok.pos);
-                    }
+                TokenKind::Ident(w)
+                    if depth == 0
+                        && (w.eq_ignore_ascii_case("as")
+                            || COUPLINGS.iter().any(|k| w.eq_ignore_ascii_case(k))
+                            || CONTEXTS.iter().any(|k| w.eq_ignore_ascii_case(k))) =>
+                {
+                    return Ok(tok.pos);
+                }
                 TokenKind::Int(_) if depth == 0 => {
                     // A bare integer at top level is the priority clause —
                     // unless it is inside brackets (time strings handled by
@@ -409,10 +405,9 @@ mod tests {
 
     #[test]
     fn figure_10_trigger_on_existing_event() {
-        let cmd = parse_eca(
-            "create trigger t2 event addStk DETACHED CHRONICLE 5 as select * from stock",
-        )
-        .unwrap();
+        let cmd =
+            parse_eca("create trigger t2 event addStk DETACHED CHRONICLE 5 as select * from stock")
+                .unwrap();
         match cmd {
             EcaCommand::CreateOnExisting {
                 trigger,
@@ -432,10 +427,7 @@ mod tests {
 
     #[test]
     fn clauses_any_order_and_paper_spelling() {
-        let cmd = parse_eca(
-            "create trigger t event e 3 CUMULATIVE DEFERED as print 'x'",
-        )
-        .unwrap();
+        let cmd = parse_eca("create trigger t event e 3 CUMULATIVE DEFERED as print 'x'").unwrap();
         match cmd {
             EcaCommand::CreateOnExisting { clauses, .. } => {
                 assert_eq!(clauses.coupling, CouplingMode::Deferred);
@@ -449,12 +441,13 @@ mod tests {
     #[test]
     fn composite_with_temporal_expression() {
         // Time-string brackets must not terminate the expression scan.
-        let cmd = parse_eca(
-            "create trigger t event e = P(open, [5 sec], close) CONTINUOUS as print 'x'",
-        )
-        .unwrap();
+        let cmd =
+            parse_eca("create trigger t event e = P(open, [5 sec], close) CONTINUOUS as print 'x'")
+                .unwrap();
         match cmd {
-            EcaCommand::CreateComposite { expr_src, clauses, .. } => {
+            EcaCommand::CreateComposite {
+                expr_src, clauses, ..
+            } => {
                 assert_eq!(expr_src, "P(open, [5 sec], close)");
                 assert_eq!(clauses.context, ParameterContext::Continuous);
             }
@@ -466,7 +459,9 @@ mod tests {
     fn composite_with_priority_after_expr() {
         let cmd = parse_eca("create trigger t event e = a ; b 7 as print 'x'").unwrap();
         match cmd {
-            EcaCommand::CreateComposite { expr_src, clauses, .. } => {
+            EcaCommand::CreateComposite {
+                expr_src, clauses, ..
+            } => {
                 assert_eq!(expr_src, "a ; b");
                 assert_eq!(clauses.priority, 7);
             }
@@ -481,7 +476,12 @@ mod tests {
         )
         .unwrap();
         match cmd {
-            EcaCommand::CreatePrimitive { trigger, table, event, .. } => {
+            EcaCommand::CreatePrimitive {
+                trigger,
+                table,
+                event,
+                ..
+            } => {
                 assert_eq!(trigger, "bob.t");
                 assert_eq!(table, "alice.stock");
                 assert_eq!(event, "bob.delStk");
@@ -518,9 +518,7 @@ mod tests {
         assert!(parse_eca("create trigger t on x for upsert event e as print 'x'").is_err());
         // Duplicate clauses.
         assert!(parse_eca("create trigger t event e RECENT CHRONICLE as print 'x'").is_err());
-        assert!(
-            parse_eca("create trigger t event e IMMEDIATE DETACHED as print 'x'").is_err()
-        );
+        assert!(parse_eca("create trigger t event e IMMEDIATE DETACHED as print 'x'").is_err());
         assert!(parse_eca("create trigger t event e 1 2 as print 'x'").is_err());
         // Drop nonsense.
         assert!(parse_eca("drop procedure p").is_err());
@@ -528,16 +526,12 @@ mod tests {
 
     #[test]
     fn action_preserved_verbatim() {
-        let cmd = parse_eca(
-            "create trigger t event e as update t set a = a + 1 where b = 'as' select 1",
-        )
-        .unwrap();
+        let cmd =
+            parse_eca("create trigger t event e as update t set a = a + 1 where b = 'as' select 1")
+                .unwrap();
         match cmd {
             EcaCommand::CreateOnExisting { action, .. } => {
-                assert_eq!(
-                    action,
-                    "update t set a = a + 1 where b = 'as' select 1"
-                );
+                assert_eq!(action, "update t set a = a + 1 where b = 'as' select 1");
             }
             _ => panic!(),
         }

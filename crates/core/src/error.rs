@@ -1,10 +1,19 @@
-//! Agent-level errors.
+//! The agent's unified error surface.
+//!
+//! Every fallible operation in this crate returns [`EcaError`], one enum
+//! covering the gateway, the ECA parser, the Snoop compiler, the LED and
+//! the action handler. Each variant maps to a stable [`EcaErrorKind`]
+//! whose [`EcaErrorKind::code`] is the machine-readable error code carried
+//! by wire-protocol responses (`eca-serve` frames), so remote clients can
+//! branch on failures without parsing display strings.
 
 use std::fmt;
 
 /// Errors surfaced by the ECA Agent to its clients.
+///
+/// `AgentError` remains as a deprecated alias for one release.
 #[derive(Debug)]
-pub enum AgentError {
+pub enum EcaError {
     /// Syntax error in an ECA command (extended trigger syntax).
     EcaSyntax(String),
     /// Error from the Snoop parser for a composite event expression.
@@ -17,61 +26,218 @@ pub enum AgentError {
     Naming(String),
     /// Recovery failed (corrupt or cyclic persisted state).
     Recovery(String),
+    /// The service is draining or shut down and rejects new work.
+    Unavailable(String),
 }
 
-impl fmt::Display for AgentError {
+/// Former name of [`EcaError`]; kept for one release.
+pub type AgentError = EcaError;
+
+/// Stable classification of an [`EcaError`], decoupled from the variant
+/// payloads. The `code()` strings are part of the wire protocol and must
+/// never change meaning once released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EcaErrorKind {
+    /// ECA command syntax.
+    Syntax,
+    /// Snoop event-expression compilation.
+    EventExpr,
+    /// Local Event Detector state machine.
+    Detector,
+    /// Underlying SQL server.
+    Sql,
+    /// Naming: duplicates, unknown objects, slot conflicts.
+    Naming,
+    /// Persisted-state recovery.
+    Recovery,
+    /// Service draining / shut down.
+    Unavailable,
+}
+
+impl EcaErrorKind {
+    /// The stable wire-protocol error code for this kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            EcaErrorKind::Syntax => "SYNTAX",
+            EcaErrorKind::EventExpr => "EVENT_EXPR",
+            EcaErrorKind::Detector => "DETECTOR",
+            EcaErrorKind::Sql => "SQL",
+            EcaErrorKind::Naming => "NAMING",
+            EcaErrorKind::Recovery => "RECOVERY",
+            EcaErrorKind::Unavailable => "UNAVAILABLE",
+        }
+    }
+
+    /// Inverse of [`EcaErrorKind::code`], for wire-protocol clients.
+    pub fn from_code(code: &str) -> Option<Self> {
+        Some(match code {
+            "SYNTAX" => EcaErrorKind::Syntax,
+            "EVENT_EXPR" => EcaErrorKind::EventExpr,
+            "DETECTOR" => EcaErrorKind::Detector,
+            "SQL" => EcaErrorKind::Sql,
+            "NAMING" => EcaErrorKind::Naming,
+            "RECOVERY" => EcaErrorKind::Recovery,
+            "UNAVAILABLE" => EcaErrorKind::Unavailable,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for EcaErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl EcaError {
+    /// Stable classification of this error.
+    pub fn kind(&self) -> EcaErrorKind {
+        match self {
+            EcaError::EcaSyntax(_) => EcaErrorKind::Syntax,
+            EcaError::Snoop(_) => EcaErrorKind::EventExpr,
+            EcaError::Led(_) => EcaErrorKind::Detector,
+            EcaError::Sql(_) => EcaErrorKind::Sql,
+            EcaError::Naming(_) => EcaErrorKind::Naming,
+            EcaError::Recovery(_) => EcaErrorKind::Recovery,
+            EcaError::Unavailable(_) => EcaErrorKind::Unavailable,
+        }
+    }
+
+    /// The wire-protocol error code (shorthand for `kind().code()`).
+    pub fn code(&self) -> &'static str {
+        self.kind().code()
+    }
+}
+
+impl fmt::Display for EcaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AgentError::EcaSyntax(m) => write!(f, "ECA syntax error: {m}"),
-            AgentError::Snoop(e) => write!(f, "event expression error: {e}"),
-            AgentError::Led(e) => write!(f, "event detector error: {e}"),
-            AgentError::Sql(e) => write!(f, "SQL error: {e}"),
-            AgentError::Naming(m) => write!(f, "naming error: {m}"),
-            AgentError::Recovery(m) => write!(f, "recovery error: {m}"),
+            EcaError::EcaSyntax(m) => write!(f, "ECA syntax error: {m}"),
+            EcaError::Snoop(e) => write!(f, "event expression error: {e}"),
+            EcaError::Led(e) => write!(f, "event detector error: {e}"),
+            EcaError::Sql(e) => write!(f, "SQL error: {e}"),
+            EcaError::Naming(m) => write!(f, "naming error: {m}"),
+            EcaError::Recovery(m) => write!(f, "recovery error: {m}"),
+            EcaError::Unavailable(m) => write!(f, "service unavailable: {m}"),
         }
     }
 }
 
-impl std::error::Error for AgentError {}
+impl std::error::Error for EcaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EcaError::Snoop(e) => Some(e),
+            EcaError::Led(e) => Some(e),
+            EcaError::Sql(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<snoop::Error> for AgentError {
+impl From<snoop::Error> for EcaError {
     fn from(e: snoop::Error) -> Self {
-        AgentError::Snoop(e)
+        EcaError::Snoop(e)
     }
 }
 
-impl From<led::LedError> for AgentError {
+impl From<led::LedError> for EcaError {
     fn from(e: led::LedError) -> Self {
-        AgentError::Led(e)
+        EcaError::Led(e)
     }
 }
 
-impl From<relsql::Error> for AgentError {
+impl From<relsql::Error> for EcaError {
     fn from(e: relsql::Error) -> Self {
-        AgentError::Sql(e)
+        EcaError::Sql(e)
     }
 }
 
-pub type Result<T> = std::result::Result<T, AgentError>;
+pub type Result<T> = std::result::Result<T, EcaError>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_variants() {
-        assert!(AgentError::EcaSyntax("x".into()).to_string().contains("ECA"));
-        assert!(AgentError::Naming("dup".into()).to_string().contains("dup"));
-        let e: AgentError = led::LedError::UnknownEvent("e".into()).into();
+        assert!(EcaError::EcaSyntax("x".into()).to_string().contains("ECA"));
+        assert!(EcaError::Naming("dup".into()).to_string().contains("dup"));
+        let e: EcaError = led::LedError::UnknownEvent("e".into()).into();
         assert!(e.to_string().contains("unknown event"));
-        let e: AgentError = relsql::Error::exec("boom").into();
+        let e: EcaError = relsql::Error::exec("boom").into();
         assert!(e.to_string().contains("boom"));
-        let e: AgentError = snoop::Error {
+        let e: EcaError = snoop::Error {
             pos: 0,
             msg: "bad".into(),
         }
         .into();
         assert!(e.to_string().contains("bad"));
-        assert!(AgentError::Recovery("r".into()).to_string().contains("recovery"));
+        assert!(EcaError::Recovery("r".into())
+            .to_string()
+            .contains("recovery"));
+        assert!(EcaError::Unavailable("drained".into())
+            .to_string()
+            .contains("unavailable"));
+    }
+
+    #[test]
+    fn kinds_and_codes_are_stable() {
+        let cases: Vec<(EcaError, EcaErrorKind, &str)> = vec![
+            (
+                EcaError::EcaSyntax("x".into()),
+                EcaErrorKind::Syntax,
+                "SYNTAX",
+            ),
+            (
+                EcaError::Snoop(snoop::Error {
+                    pos: 0,
+                    msg: "bad".into(),
+                }),
+                EcaErrorKind::EventExpr,
+                "EVENT_EXPR",
+            ),
+            (
+                EcaError::Led(led::LedError::UnknownEvent("e".into())),
+                EcaErrorKind::Detector,
+                "DETECTOR",
+            ),
+            (
+                EcaError::Sql(relsql::Error::exec("boom")),
+                EcaErrorKind::Sql,
+                "SQL",
+            ),
+            (
+                EcaError::Naming("dup".into()),
+                EcaErrorKind::Naming,
+                "NAMING",
+            ),
+            (
+                EcaError::Recovery("r".into()),
+                EcaErrorKind::Recovery,
+                "RECOVERY",
+            ),
+            (
+                EcaError::Unavailable("d".into()),
+                EcaErrorKind::Unavailable,
+                "UNAVAILABLE",
+            ),
+        ];
+        for (err, kind, code) in cases {
+            assert_eq!(err.kind(), kind);
+            assert_eq!(err.code(), code);
+            assert_eq!(EcaErrorKind::from_code(code), Some(kind));
+        }
+        assert_eq!(EcaErrorKind::from_code("NOPE"), None);
+    }
+
+    #[test]
+    fn source_chains_to_the_underlying_error() {
+        let e: EcaError = relsql::Error::exec("boom").into();
+        assert!(e.source().is_some());
+        assert!(EcaError::Naming("x".into()).source().is_none());
+        // The legacy alias still names the same type.
+        let _aliased: AgentError = EcaError::Naming("y".into());
     }
 }

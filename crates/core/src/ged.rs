@@ -333,13 +333,8 @@ mod tests {
         )
         .unwrap();
         c2.execute("create table global_log (n int)").unwrap();
-        ged.add_global_rule(
-            "gr1",
-            "bothSites",
-            "s2",
-            "insert global_log values (1)",
-        )
-        .unwrap();
+        ged.add_global_rule("gr1", "bothSites", "s2", "insert global_log values (1)")
+            .unwrap();
 
         c1.execute("insert t values (1)").unwrap();
         assert_eq!(ged.stats().actions, 0, "one side only");
@@ -359,13 +354,8 @@ mod tests {
         ged.attach_site("s1", &a1).unwrap();
         ged.export_event("s1", "db1.u.ev").unwrap();
         c1.execute("create table mirror (n int)").unwrap();
-        ged.add_global_rule(
-            "gr",
-            "db1.u.ev::s1",
-            "s1",
-            "insert mirror values (1)",
-        )
-        .unwrap();
+        ged.add_global_rule("gr", "db1.u.ev::s1", "s1", "insert mirror values (1)")
+            .unwrap();
         for _ in 0..3 {
             c1.execute("insert t values (1)").unwrap();
         }
@@ -402,10 +392,7 @@ mod tests {
         c1.execute("insert t values (1)").unwrap();
         assert_eq!(ged.stats().actions, 1);
         // A flaky link re-delivers the same occurrence (same vNo).
-        ged.raise(
-            "db1.u.ev::s1",
-            vec![Param::db("db1.u.ev", "shadow", 1, 0)],
-        );
+        ged.raise("db1.u.ev::s1", vec![Param::db("db1.u.ev", "shadow", 1, 0)]);
         assert_eq!(ged.stats().occurrences, 2, "received and counted");
         assert_eq!(ged.stats().duplicates_suppressed, 1);
         assert_eq!(ged.stats().actions, 1, "but not fired twice");

@@ -50,17 +50,22 @@ pub mod notifier;
 pub mod persist;
 pub mod registry;
 pub mod reliability;
+pub mod service;
 
 pub use action::{
     ActionHandler, ActionOutcome, ActionRequest, DeadLetter, FaultInjector, RetryPolicy,
 };
-pub use agent::{AgentConfig, AgentResponse, AgentStats, EcaAgent, EcaClient};
-pub use relsql::notify::FaultPlan;
+pub use agent::{
+    AgentConfig, AgentConfigBuilder, AgentResponse, AgentStats, ChannelFaultCounts, EcaAgent,
+    EcaClient,
+};
 pub use baseline::{EmbeddedCheckClient, PollingMonitor, Situation};
 pub use eca_parser::{parse_eca, EcaCommand, TriggerClauses};
-pub use error::{AgentError, Result};
+pub use error::{AgentError, EcaError, EcaErrorKind, Result};
 pub use filter::{classify, Classification, EcaKind};
 pub use ged::{GedStats, GlobalEventDetector, GlobalOutcome};
 pub use persist::PersistentManager;
 pub use registry::{Registry, TriggerKind};
 pub use reliability::{Admission, ReliabilityTracker};
+pub use relsql::notify::FaultPlan;
+pub use service::{ActiveService, DrainReport};

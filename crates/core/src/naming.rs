@@ -91,10 +91,7 @@ mod tests {
         let s = session();
         assert_eq!(internal(&s, "addStk"), "sentineldb.sharma.addStk");
         assert_eq!(internal(&s, "bob.addStk"), "sentineldb.bob.addStk");
-        assert_eq!(
-            internal(&s, "otherdb.alice.addStk"),
-            "otherdb.alice.addStk"
-        );
+        assert_eq!(internal(&s, "otherdb.alice.addStk"), "otherdb.alice.addStk");
     }
 
     #[test]

@@ -294,7 +294,9 @@ mod tests {
         r.add_primitive(prim("e3", "db.u.stock", TriggerOp::Delete))
             .unwrap();
         assert_eq!(
-            r.primitive_for_slot("db.u.stock", TriggerOp::Insert).unwrap().name,
+            r.primitive_for_slot("db.u.stock", TriggerOp::Insert)
+                .unwrap()
+                .name,
             "e1"
         );
     }
@@ -362,16 +364,20 @@ mod tests {
                 context: ParameterContext::Recent,
             })
             .is_err());
-        r.add_trigger(trig("tr", "e", TriggerKind::Native, 0)).unwrap();
+        r.add_trigger(trig("tr", "e", TriggerKind::Native, 0))
+            .unwrap();
         assert!(r.add_trigger(trig("tr", "e", TriggerKind::Led, 0)).is_err());
     }
 
     #[test]
     fn native_triggers_ordered_by_priority() {
         let mut r = Registry::new();
-        r.add_trigger(trig("t_low", "e", TriggerKind::Native, 1)).unwrap();
-        r.add_trigger(trig("t_high", "e", TriggerKind::Native, 9)).unwrap();
-        r.add_trigger(trig("t_led", "e", TriggerKind::Led, 99)).unwrap();
+        r.add_trigger(trig("t_low", "e", TriggerKind::Native, 1))
+            .unwrap();
+        r.add_trigger(trig("t_high", "e", TriggerKind::Native, 9))
+            .unwrap();
+        r.add_trigger(trig("t_led", "e", TriggerKind::Led, 99))
+            .unwrap();
         let order: Vec<&str> = r
             .native_triggers_on("e")
             .iter()
@@ -385,7 +391,8 @@ mod tests {
     fn removal() {
         let mut r = Registry::new();
         r.add_primitive(prim("e", "t", TriggerOp::Insert)).unwrap();
-        r.add_trigger(trig("tr", "e", TriggerKind::Native, 0)).unwrap();
+        r.add_trigger(trig("tr", "e", TriggerKind::Native, 0))
+            .unwrap();
         assert!(r.remove_trigger("tr").is_some());
         assert!(r.remove_trigger("tr").is_none());
         assert!(r.remove_primitive("e").is_some());

@@ -191,7 +191,12 @@ mod tests {
         let mut t = ReliabilityTracker::new();
         t.admit("e", 1);
         // 2 and 3 skipped: their datagrams are in flight or lost.
-        assert_eq!(t.admit("e", 4), Admission::Fresh { missing: vec![2, 3] });
+        assert_eq!(
+            t.admit("e", 4),
+            Admission::Fresh {
+                missing: vec![2, 3]
+            }
+        );
         assert_eq!(t.gaps_repaired(), 2);
         assert_eq!(t.drops_detected(), 2);
         // 3's datagram shows up late: a delay, not a drop.

@@ -1,0 +1,171 @@
+//! The agent's public service surface.
+//!
+//! Historically the TCP server, the interactive `eca_shell` and the test
+//! suite each drove the agent through a different ad-hoc path (raw
+//! [`EcaAgent`] methods, per-call [`crate::agent::EcaClient`]s, direct
+//! gateway pokes). [`ActiveService`] is the one API all of them now share:
+//! execute a batch, define or drop a trigger, read the counters, drain.
+//! Anything implementing it can sit behind the `eca-serve` wire protocol
+//! unchanged — including test doubles.
+
+use std::time::Duration;
+
+use relsql::SessionCtx;
+
+use crate::agent::{AgentResponse, AgentStats, EcaAgent};
+use crate::error::{EcaError, Result};
+use crate::filter::{classify, Classification, EcaKind};
+
+/// What a graceful drain accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DrainReport {
+    /// The notification channel went (and stayed) empty within the
+    /// timeout.
+    pub quiescent: bool,
+    /// Outstanding DETACHED actions joined.
+    pub detached_joined: usize,
+    /// Action outcomes collected from the async notifier mailbox.
+    pub async_outcomes: usize,
+}
+
+/// The redesigned public surface of the active capability: everything a
+/// serving layer needs, nothing tied to the agent's internals.
+///
+/// Semantics:
+/// - [`execute`](ActiveService::execute) runs one batch with IMMEDIATE
+///   coupling semantics: rule actions triggered by the batch complete
+///   before it returns.
+/// - [`define_trigger`](ActiveService::define_trigger) /
+///   [`drop_trigger`](ActiveService::drop_trigger) are the rule-management
+///   subset — `define_trigger` rejects batches that are not ECA
+///   definitions instead of silently passing them through.
+/// - [`drain`](ActiveService::drain) quiesces the notifier pump and
+///   in-flight actions; afterwards `execute` fails with
+///   [`EcaError::Unavailable`] until [`resume`](ActiveService::resume).
+pub trait ActiveService: Send + Sync {
+    /// Execute one batch (SQL or ECA command) on behalf of `ctx`.
+    fn execute(&self, sql: &str, ctx: &SessionCtx) -> Result<AgentResponse>;
+
+    /// Install an ECA trigger definition. Fails with
+    /// [`EcaError::EcaSyntax`] if `ddl` is not an ECA definition batch.
+    fn define_trigger(&self, ddl: &str, ctx: &SessionCtx) -> Result<AgentResponse>;
+
+    /// Drop a previously defined trigger by name.
+    fn drop_trigger(&self, trigger: &str, ctx: &SessionCtx) -> Result<AgentResponse>;
+
+    /// Aggregate counters for the agent's moving parts.
+    fn stats(&self) -> AgentStats;
+
+    /// Quiesce: flush held datagrams, process pending notifications, join
+    /// DETACHED actions, persist watermarks. New statements are rejected
+    /// until [`resume`](ActiveService::resume).
+    fn drain(&self, timeout: Duration) -> DrainReport;
+
+    /// Lift the drain latch and accept statements again.
+    fn resume(&self);
+
+    /// Whether the service is currently draining/drained.
+    fn is_draining(&self) -> bool;
+}
+
+impl ActiveService for EcaAgent {
+    fn execute(&self, sql: &str, ctx: &SessionCtx) -> Result<AgentResponse> {
+        EcaAgent::execute(self, sql, ctx)
+    }
+
+    fn define_trigger(&self, ddl: &str, ctx: &SessionCtx) -> Result<AgentResponse> {
+        match classify(ddl) {
+            Classification::Eca(EcaKind::CreateTrigger) => EcaAgent::execute(self, ddl, ctx),
+            Classification::Eca(_) => Err(EcaError::EcaSyntax(
+                "define_trigger expects a CREATE TRIGGER batch".into(),
+            )),
+            Classification::PassThrough => Err(EcaError::EcaSyntax(
+                "define_trigger expects an ECA definition, got plain SQL".into(),
+            )),
+        }
+    }
+
+    fn drop_trigger(&self, trigger: &str, ctx: &SessionCtx) -> Result<AgentResponse> {
+        EcaAgent::execute(self, &format!("drop trigger {trigger}"), ctx)
+    }
+
+    fn stats(&self) -> AgentStats {
+        EcaAgent::stats(self)
+    }
+
+    fn drain(&self, timeout: Duration) -> DrainReport {
+        EcaAgent::drain(self, timeout)
+    }
+
+    fn resume(&self) {
+        EcaAgent::resume(self)
+    }
+
+    fn is_draining(&self) -> bool {
+        EcaAgent::is_draining(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relsql::SqlServer;
+    use std::sync::Arc;
+
+    fn service() -> (Arc<dyn ActiveService>, SessionCtx) {
+        let server = SqlServer::new();
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        (Arc::new(agent), SessionCtx::new("db", "u"))
+    }
+
+    #[test]
+    fn one_surface_covers_sql_and_rules() {
+        let (svc, ctx) = service();
+        svc.execute("create table t (a int)", &ctx).unwrap();
+        svc.execute("create table audit (n int)", &ctx).unwrap();
+        svc.define_trigger(
+            "create trigger tr on t for insert event e as insert audit values (1)",
+            &ctx,
+        )
+        .unwrap();
+        svc.execute("insert t values (1)", &ctx).unwrap();
+        let r = svc.execute("select count(*) from audit", &ctx).unwrap();
+        assert_eq!(r.server.scalar(), Some(&relsql::Value::Int(1)));
+        assert_eq!(svc.stats().notifications, 1);
+        svc.drop_trigger("tr", &ctx).unwrap();
+        // The primitive event outlives the rule (events are shared), but
+        // the dropped rule's action no longer runs.
+        svc.execute("insert t values (2)", &ctx).unwrap();
+        let r = svc.execute("select count(*) from audit", &ctx).unwrap();
+        assert_eq!(
+            r.server.scalar(),
+            Some(&relsql::Value::Int(1)),
+            "dropped trigger's action must not run"
+        );
+    }
+
+    #[test]
+    fn define_trigger_rejects_non_definitions() {
+        let (svc, ctx) = service();
+        svc.execute("create table t (a int)", &ctx).unwrap();
+        let err = svc.define_trigger("insert t values (1)", &ctx).unwrap_err();
+        assert_eq!(err.kind(), crate::error::EcaErrorKind::Syntax);
+        let err = svc.define_trigger("drop trigger nope", &ctx).unwrap_err();
+        assert_eq!(err.kind(), crate::error::EcaErrorKind::Syntax);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_until_resume() {
+        let (svc, ctx) = service();
+        svc.execute("create table t (a int)", &ctx).unwrap();
+        let report = svc.drain(Duration::from_millis(200));
+        assert!(report.quiescent);
+        assert!(svc.is_draining());
+        let err = svc.execute("insert t values (1)", &ctx).unwrap_err();
+        assert_eq!(err.kind(), crate::error::EcaErrorKind::Unavailable);
+        svc.resume();
+        assert!(!svc.is_draining());
+        svc.execute("insert t values (1)", &ctx).unwrap();
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use eca_core::{AgentConfig, AgentStats, EcaAgent, FaultPlan};
+use eca_core::{AgentConfig, AgentStats, ChannelFaultCounts, EcaAgent, FaultPlan};
 use relsql::{SqlServer, Value};
 
 /// Everything observable from one workload run, for baseline/chaos diffing.
@@ -19,7 +19,7 @@ struct RunResult {
     /// Rows in each audit table: (primitive, SEQ, AND).
     audits: (i64, i64, i64),
     stats: AgentStats,
-    fault_counts: Option<(u64, u64, u64, u64)>,
+    fault_counts: Option<ChannelFaultCounts>,
 }
 
 /// 250 interleaved insert pairs into `a` and `b` (500 operations) driving:
@@ -31,9 +31,9 @@ fn run_workload(plan: Option<FaultPlan>) -> RunResult {
     let server = SqlServer::new();
     let agent = EcaAgent::new(
         Arc::clone(&server),
-        AgentConfig {
-            fault_plan: plan,
-            ..AgentConfig::default()
+        match plan {
+            Some(plan) => AgentConfig::builder().fault_plan(plan).build(),
+            None => AgentConfig::builder().build(),
         },
     )
     .unwrap();
@@ -87,7 +87,9 @@ fn run_workload(plan: Option<FaultPlan>) -> RunResult {
     agent.wait_detached();
 
     let count = |table: &str| -> i64 {
-        let r = client.execute(&format!("select count(*) from {table}")).unwrap();
+        let r = client
+            .execute(&format!("select count(*) from {table}"))
+            .unwrap();
         match r.server.scalar() {
             Some(Value::Int(n)) => *n,
             other => panic!("count({table}) returned {other:?}"),
@@ -138,9 +140,12 @@ fn acceptance_chaos_run_matches_zero_fault_run() {
     }
 
     // The channel really did misbehave...
-    let (dropped, duplicated, _, _) = chaos.fault_counts.unwrap();
-    assert!(dropped > 0, "plan should have dropped datagrams");
-    assert!(duplicated > 0, "plan should have duplicated datagrams");
+    let faults = chaos.fault_counts.unwrap();
+    assert!(faults.dropped > 0, "plan should have dropped datagrams");
+    assert!(
+        faults.duplicated > 0,
+        "plan should have duplicated datagrams"
+    );
 
     // ...and the agent noticed and repaired it.
     assert!(chaos.stats.drops_detected > 0);
@@ -191,8 +196,8 @@ fn delay_bursts_are_repaired_from_durable_state() {
     }));
     assert_eq!(chaos.occurrences, baseline.occurrences);
     assert_eq!(chaos.audits, baseline.audits);
-    let (_, _, delayed, _) = chaos.fault_counts.unwrap();
-    assert!(delayed > 0, "bursts should have held datagrams back");
+    let faults = chaos.fault_counts.unwrap();
+    assert!(faults.delayed > 0, "bursts should have held datagrams back");
     // Held-back datagrams were synthesized from the durable tables first,
     // so their eventual arrival is a suppressed late arrival.
     assert!(chaos.stats.gaps_repaired > 0);

@@ -114,7 +114,10 @@ mod tests {
         for c in ParameterContext::ALL {
             assert_eq!(c.as_str().parse::<ParameterContext>().unwrap(), c);
             assert_eq!(
-                c.as_str().to_lowercase().parse::<ParameterContext>().unwrap(),
+                c.as_str()
+                    .to_lowercase()
+                    .parse::<ParameterContext>()
+                    .unwrap(),
                 c
             );
         }

@@ -244,10 +244,7 @@ impl Detector {
         match expr {
             EventExpr::Named(n) => {
                 let key = n.key();
-                let id = *self
-                    .names
-                    .get(&key)
-                    .ok_or(LedError::UnknownEvent(key))?;
+                let id = *self.names.get(&key).ok_or(LedError::UnknownEvent(key))?;
                 if let Some(alias) = name {
                     // A composite defined as a pure alias of an existing
                     // event gets a pass-through OR node so it has its own
@@ -426,10 +423,7 @@ impl Detector {
                 if size > limit {
                     // Detection state is intact; the firings of this signal
                     // are sacrificed to surface the breaker trip.
-                    return Err(LedError::StateLimitExceeded(
-                        node.out_name.clone(),
-                        size,
-                    ));
+                    return Err(LedError::StateLimitExceeded(node.out_name.clone(), size));
                 }
             }
         }
@@ -506,11 +500,7 @@ impl Detector {
     fn run_timers(&mut self, target: i64, firings: &mut Vec<Firing>) {
         loop {
             // Earliest pending timer across all nodes.
-            let due = self
-                .nodes
-                .iter()
-                .filter_map(|n| n.state.next_due())
-                .min();
+            let due = self.nodes.iter().filter_map(|n| n.state.next_due()).min();
             let due = match due {
                 Some(d) if d <= target => d,
                 _ => break,
@@ -607,9 +597,12 @@ mod tests {
     fn multiple_rules_on_same_event() {
         // Paper contribution #4: multiple triggers on the same event.
         let mut d = det_with(&["e"]);
-        d.add_rule(RuleSpec::new("r1", "e").with_priority(1)).unwrap();
-        d.add_rule(RuleSpec::new("r2", "e").with_priority(9)).unwrap();
-        d.add_rule(RuleSpec::new("r3", "e").with_priority(5)).unwrap();
+        d.add_rule(RuleSpec::new("r1", "e").with_priority(1))
+            .unwrap();
+        d.add_rule(RuleSpec::new("r2", "e").with_priority(9))
+            .unwrap();
+        d.add_rule(RuleSpec::new("r3", "e").with_priority(5))
+            .unwrap();
         let f = fire(&mut d, "e", 1);
         let order: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
         assert_eq!(order, vec!["r2", "r3", "r1"], "priority order");
@@ -651,12 +644,8 @@ mod tests {
         let mut d = det_with(&["a", "b", "c"]);
         d.define_composite("e12", &parse("a ^ b").unwrap(), ParameterContext::Recent)
             .unwrap();
-        d.define_composite(
-            "e3",
-            &parse("e12 ; c").unwrap(),
-            ParameterContext::Recent,
-        )
-        .unwrap();
+        d.define_composite("e3", &parse("e12 ; c").unwrap(), ParameterContext::Recent)
+            .unwrap();
         d.add_rule(RuleSpec::new("r", "e3")).unwrap();
         fire(&mut d, "a", 1);
         fire(&mut d, "b", 2); // e12 occurs [1,2]
@@ -787,12 +776,8 @@ mod tests {
     #[test]
     fn temporal_absolute_event() {
         let mut d = Detector::new();
-        d.define_composite(
-            "at5",
-            &parse("[@ 5000]").unwrap(),
-            ParameterContext::Recent,
-        )
-        .unwrap();
+        d.define_composite("at5", &parse("[@ 5000]").unwrap(), ParameterContext::Recent)
+            .unwrap();
         d.add_rule(RuleSpec::new("r", "at5")).unwrap();
         assert!(d.advance_to(4_999).is_empty());
         assert_eq!(d.advance_to(5_000).len(), 1);
@@ -802,10 +787,8 @@ mod tests {
     #[test]
     fn deferred_rules_queue_until_flush() {
         let mut d = det_with(&["e"]);
-        d.add_rule(
-            RuleSpec::new("r", "e").with_coupling(CouplingMode::Deferred),
-        )
-        .unwrap();
+        d.add_rule(RuleSpec::new("r", "e").with_coupling(CouplingMode::Deferred))
+            .unwrap();
         assert!(fire(&mut d, "e", 1).is_empty());
         assert!(fire(&mut d, "e", 2).is_empty());
         assert_eq!(d.deferred_len(), 2);
@@ -818,10 +801,8 @@ mod tests {
     #[test]
     fn detached_rules_returned_with_flag() {
         let mut d = det_with(&["e"]);
-        d.add_rule(
-            RuleSpec::new("r", "e").with_coupling(CouplingMode::Detached),
-        )
-        .unwrap();
+        d.add_rule(RuleSpec::new("r", "e").with_coupling(CouplingMode::Detached))
+            .unwrap();
         let f = fire(&mut d, "e", 1);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].coupling, CouplingMode::Detached);
@@ -833,7 +814,10 @@ mod tests {
         d.add_rule(RuleSpec::new("r", "e")).unwrap();
         d.drop_rule("r").unwrap();
         assert!(fire(&mut d, "e", 1).is_empty());
-        assert_eq!(d.drop_rule("r").unwrap_err(), LedError::UnknownRule("r".into()));
+        assert_eq!(
+            d.drop_rule("r").unwrap_err(),
+            LedError::UnknownRule("r".into())
+        );
     }
 
     #[test]
@@ -1033,7 +1017,12 @@ mod tests {
         let f = d
             .signal(
                 "addStk",
-                vec![Param::db("addStk", "sentineldb.sharma.stock_inserted", 7, 1)],
+                vec![Param::db(
+                    "addStk",
+                    "sentineldb.sharma.stock_inserted",
+                    7,
+                    1,
+                )],
                 1,
             )
             .unwrap();
@@ -1051,7 +1040,8 @@ mod tests {
             .iter()
             .map(|&ctx| {
                 let mut d = det_with(&["a", "b"]);
-                d.define_composite("ab", &parse("a ^ b").unwrap(), ctx).unwrap();
+                d.define_composite("ab", &parse("a ^ b").unwrap(), ctx)
+                    .unwrap();
                 d.add_rule(RuleSpec::new("r", "ab")).unwrap();
                 let mut n = 0;
                 for t in 0..6 {

@@ -45,7 +45,11 @@ impl AndState {
         }
         // Helper keeping parameter order (left-constituents, right-constituents).
         let pair = |mate: &Occurrence, term: &Occurrence| {
-            let (l, r) = if arriving_left { (term, mate) } else { (mate, term) };
+            let (l, r) = if arriving_left {
+                (term, mate)
+            } else {
+                (mate, term)
+            };
             Occurrence::combine(out, [l, r], term.t_end)
         };
         match ctx {
@@ -164,7 +168,10 @@ mod tests {
     }
 
     fn first_params(v: &[Occurrence]) -> Vec<(String, i64)> {
-        v[0].params.iter().map(|p| (p.event.clone(), p.ts)).collect()
+        v[0].params
+            .iter()
+            .map(|p| (p.event.clone(), p.ts))
+            .collect()
     }
 
     // ------------------------------------------------------------- AND

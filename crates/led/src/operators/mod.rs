@@ -10,7 +10,7 @@ use crate::occurrence::Occurrence;
 
 use binary::{AndState, SeqState};
 use temporal::{PeriodicState, PlusState, TemporalState};
-use window::{AperiodicState, AperiodicStarState, NotState};
+use window::{AperiodicStarState, AperiodicState, NotState};
 
 /// The per-node operator state. `Primitive` nodes have no state — they just
 /// fan occurrences out to their subscribers.

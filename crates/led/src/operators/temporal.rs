@@ -79,10 +79,7 @@ impl PeriodicState {
                     let mut o = Occurrence::combine(out, [&w.start, occ], occ.t_end);
                     let insert_at = o.params.len() - occ.params.len();
                     for (k, ts) in w.fires.iter().enumerate() {
-                        o.params.insert(
-                            insert_at + k,
-                            self.time_param(out, *ts),
-                        );
+                        o.params.insert(insert_at + k, self.time_param(out, *ts));
                     }
                     o
                 };

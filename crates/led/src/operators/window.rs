@@ -43,14 +43,12 @@ impl NotState {
                         }
                         _ => Vec::new(),
                     },
-                    ParameterContext::Chronicle => {
-                        match self.starts.pop_oldest_where(before) {
-                            Some(mate) => {
-                                vec![Occurrence::combine(out, [&mate, occ], occ.t_end)]
-                            }
-                            None => Vec::new(),
+                    ParameterContext::Chronicle => match self.starts.pop_oldest_where(before) {
+                        Some(mate) => {
+                            vec![Occurrence::combine(out, [&mate, occ], occ.t_end)]
                         }
-                    }
+                        None => Vec::new(),
+                    },
                     ParameterContext::Continuous => self
                         .starts
                         .drain_where(before)
@@ -222,28 +220,24 @@ impl AperiodicStarState {
                         self.windows.clear();
                         result
                     }
-                    ParameterContext::Chronicle => {
-                        match self.windows.iter().position(qualifying) {
-                            Some(i) => {
-                                let w = self.windows.remove(i);
-                                vec![emit(&w)]
-                            }
-                            None => Vec::new(),
+                    ParameterContext::Chronicle => match self.windows.iter().position(qualifying) {
+                        Some(i) => {
+                            let w = self.windows.remove(i);
+                            vec![emit(&w)]
                         }
-                    }
+                        None => Vec::new(),
+                    },
                     ParameterContext::Continuous => {
-                        let (ready, open): (Vec<_>, Vec<_>) =
-                            std::mem::take(&mut self.windows)
-                                .into_iter()
-                                .partition(|w| qualifying(w));
+                        let (ready, open): (Vec<_>, Vec<_>) = std::mem::take(&mut self.windows)
+                            .into_iter()
+                            .partition(|w| qualifying(w));
                         self.windows = open;
                         ready.iter().map(emit).collect()
                     }
                     ParameterContext::Cumulative => {
-                        let (ready, open): (Vec<_>, Vec<_>) =
-                            std::mem::take(&mut self.windows)
-                                .into_iter()
-                                .partition(|w| qualifying(w));
+                        let (ready, open): (Vec<_>, Vec<_>) = std::mem::take(&mut self.windows)
+                            .into_iter()
+                            .partition(|w| qualifying(w));
                         self.windows = open;
                         if ready.is_empty() {
                             Vec::new()
@@ -263,10 +257,7 @@ impl AperiodicStarState {
     }
 
     pub fn state_size(&self) -> usize {
-        self.windows
-            .iter()
-            .map(|w| 1 + w.mids.len())
-            .sum()
+        self.windows.iter().map(|w| 1 + w.mids.len()).sum()
     }
 
     pub fn clear_state(&mut self) {

@@ -103,7 +103,9 @@ mod tests {
         Occurrence::point(
             "e",
             1,
-            (0..n_params).map(|i| Param::marker("e", i as i64)).collect(),
+            (0..n_params)
+                .map(|i| Param::marker("e", i as i64))
+                .collect(),
         )
     }
 

@@ -219,14 +219,18 @@ impl Database {
             return Some(p);
         }
         if let Some((db, user)) = prefix {
-            if let Some(p) = self.procedures.get(&name_key(&format!("{db}.{user}.{name}"))) {
+            if let Some(p) = self
+                .procedures
+                .get(&name_key(&format!("{db}.{user}.{name}")))
+            {
                 return Some(p);
             }
         }
         let suffix = format!(".{key}");
-        let mut matches = self.procedures.values().filter(|p| {
-            name_key(&p.name).ends_with(&suffix)
-        });
+        let mut matches = self
+            .procedures
+            .values()
+            .filter(|p| name_key(&p.name).ends_with(&suffix));
         match (matches.next(), matches.next()) {
             (Some(p), None) => Some(p),
             _ => None,
@@ -281,7 +285,8 @@ mod tests {
         let mut db = Database::new();
         db.create_table(t("sentineldb.sharma.stock")).unwrap();
         assert_eq!(
-            db.resolve_table_key("sentineldb.sharma.stock", None).as_deref(),
+            db.resolve_table_key("sentineldb.sharma.stock", None)
+                .as_deref(),
             Some("sentineldb.sharma.stock")
         );
         assert_eq!(

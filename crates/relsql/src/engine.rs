@@ -14,8 +14,8 @@ use crate::ast::{InsertSource, Stmt, TriggerOp};
 use crate::catalog::{Database, ProcedureDef, TriggerDef};
 use crate::clock::LogicalClock;
 use crate::error::{Error, ObjectKind, Result};
-use crate::eval::{eval_expr, PseudoFrame, QueryCtx, RowEnv, SessionCtx};
 use crate::eval::Frame;
+use crate::eval::{eval_expr, PseudoFrame, QueryCtx, RowEnv, SessionCtx};
 use crate::lexer::split_batches;
 use crate::notify::NotificationSink;
 use crate::parser::parse_script;
@@ -496,7 +496,15 @@ impl Engine {
             t.rows.extend(checked.iter().cloned());
         }
         out.results.push(QueryResult::affected(n));
-        self.fire_trigger(&key, TriggerOp::Insert, checked, Vec::new(), session, out, depth)
+        self.fire_trigger(
+            &key,
+            TriggerOp::Insert,
+            checked,
+            Vec::new(),
+            session,
+            out,
+            depth,
+        )
     }
 
     fn exec_update(
@@ -559,7 +567,15 @@ impl Engine {
             }
         }
         out.results.push(QueryResult::affected(n));
-        self.fire_trigger(&key, TriggerOp::Update, new_rows, old_rows, session, out, depth)
+        self.fire_trigger(
+            &key,
+            TriggerOp::Update,
+            new_rows,
+            old_rows,
+            session,
+            out,
+            depth,
+        )
     }
 
     fn exec_delete(
@@ -609,7 +625,15 @@ impl Engine {
         };
         let n = removed.len();
         out.results.push(QueryResult::affected(n));
-        self.fire_trigger(&key, TriggerOp::Delete, Vec::new(), removed, session, out, depth)
+        self.fire_trigger(
+            &key,
+            TriggerOp::Delete,
+            Vec::new(),
+            removed,
+            session,
+            out,
+            depth,
+        )
     }
 
     /// Fire the native trigger for (table, op), if any. Statement-level:
@@ -638,7 +662,12 @@ impl Engine {
                 limit: self.config.max_depth,
             });
         }
-        let schema = self.db.table(table_key).expect("table exists").schema.clone();
+        let schema = self
+            .db
+            .table(table_key)
+            .expect("table exists")
+            .schema
+            .clone();
         let mut ins = Table::new("inserted", schema.clone());
         ins.rows = inserted;
         let mut del = Table::new("deleted", schema);
@@ -672,15 +701,28 @@ mod tests {
     }
 
     fn run(e: &mut Engine, s: &SessionCtx, sql: &str) -> BatchResult {
-        e.execute(sql, s).unwrap_or_else(|err| panic!("{sql}: {err}"))
+        e.execute(sql, s)
+            .unwrap_or_else(|err| panic!("{sql}: {err}"))
     }
 
     #[test]
     fn create_insert_select_roundtrip() {
         let (mut e, s) = engine();
-        run(&mut e, &s, "create table stock (symbol varchar(10), price float)");
-        run(&mut e, &s, "insert stock values ('IBM', 100.0), ('HP', 50.5)");
-        let r = run(&mut e, &s, "select symbol, price from stock order by symbol");
+        run(
+            &mut e,
+            &s,
+            "create table stock (symbol varchar(10), price float)",
+        );
+        run(
+            &mut e,
+            &s,
+            "insert stock values ('IBM', 100.0), ('HP', 50.5)",
+        );
+        let r = run(
+            &mut e,
+            &s,
+            "select symbol, price from stock order by symbol",
+        );
         let sel = r.last_select().unwrap();
         assert_eq!(sel.columns, vec!["symbol", "price"]);
         assert_eq!(sel.rows.len(), 2);
@@ -715,7 +757,11 @@ mod tests {
     fn select_into_clones_schema_with_zero_rows() {
         // The Figure 11 idiom.
         let (mut e, s) = engine();
-        run(&mut e, &s, "create table stock (symbol varchar(10), price float)");
+        run(
+            &mut e,
+            &s,
+            "create table stock (symbol varchar(10), price float)",
+        );
         run(&mut e, &s, "insert stock values ('IBM', 1.0)");
         run(
             &mut e,
@@ -747,10 +793,13 @@ mod tests {
         run(&mut e, &s, "insert shadow select * from a, v");
         let r = run(&mut e, &s, "select x, vno from shadow order by x");
         let sel = r.last_select().unwrap();
-        assert_eq!(sel.rows, vec![
-            vec![Value::Int(1), Value::Int(7)],
-            vec![Value::Int(2), Value::Int(7)],
-        ]);
+        assert_eq!(
+            sel.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(7)],
+                vec![Value::Int(2), Value::Int(7)],
+            ]
+        );
     }
 
     #[test]
@@ -782,7 +831,10 @@ mod tests {
         );
         run(&mut e, &s, "update t set a = 9");
         let r = run(&mut e, &s, "select old_a, new_a from log");
-        assert_eq!(r.last_select().unwrap().rows[0], vec![Value::Int(1), Value::Int(9)]);
+        assert_eq!(
+            r.last_select().unwrap().rows[0],
+            vec![Value::Int(1), Value::Int(9)]
+        );
     }
 
     #[test]
@@ -947,7 +999,11 @@ mod tests {
     #[test]
     fn group_by_and_having() {
         let (mut e, s) = engine();
-        run(&mut e, &s, "create table trades (symbol varchar(8), qty int)");
+        run(
+            &mut e,
+            &s,
+            "create table trades (symbol varchar(8), qty int)",
+        );
         run(
             &mut e,
             &s,
@@ -967,7 +1023,11 @@ mod tests {
     fn aggregates_over_empty_table() {
         let (mut e, s) = engine();
         run(&mut e, &s, "create table t (a int)");
-        let r = run(&mut e, &s, "select count(*), sum(a), avg(a), min(a), max(a) from t");
+        let r = run(
+            &mut e,
+            &s,
+            "select count(*), sum(a), avg(a), min(a), max(a) from t",
+        );
         let row = &r.last_select().unwrap().rows[0];
         assert_eq!(row[0], Value::Int(0));
         assert!(row[1].is_null());
@@ -1004,7 +1064,11 @@ mod tests {
             "select a from t where exists (select * from t where a = 2) order by a",
         );
         assert_eq!(r.last_select().unwrap().rows.len(), 2);
-        let r = run(&mut e, &s, "select a from t where a = (select max(a) from t)");
+        let r = run(
+            &mut e,
+            &s,
+            "select a from t where a = (select max(a) from t)",
+        );
         assert_eq!(r.scalar(), Some(&Value::Int(2)));
     }
 
@@ -1062,7 +1126,11 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("column"), "{err}");
         // Empty result is NULL (filters everything out, no error).
-        let r = run(&mut e, &s, "select count(*) from t where a = (select a from t where a = 99)");
+        let r = run(
+            &mut e,
+            &s,
+            "select count(*) from t where a = (select a from t where a = 99)",
+        );
         assert_eq!(r.scalar(), Some(&Value::Int(0)));
     }
 

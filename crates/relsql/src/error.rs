@@ -126,10 +126,7 @@ mod tests {
                 "trigger 'tr' already exists",
             ),
             (Error::type_err("bad"), "type error: bad"),
-            (
-                Error::Shape { msg: "cols".into() },
-                "shape error: cols",
-            ),
+            (Error::Shape { msg: "cols".into() }, "shape error: cols"),
             (
                 Error::Constraint { msg: "nn".into() },
                 "constraint violation: nn",
@@ -140,7 +137,9 @@ mod tests {
             ),
             (Error::DivisionByZero, "division by zero"),
             (
-                Error::Transaction { msg: "no tx".into() },
+                Error::Transaction {
+                    msg: "no tx".into(),
+                },
                 "transaction error: no tx",
             ),
             (Error::exec("boom"), "execution error: boom"),

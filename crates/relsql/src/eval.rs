@@ -108,7 +108,12 @@ impl Frame<'_> {
             return true;
         }
         let (db, user) = session.prefix();
-        tn == format!("{}.{}.{}", db.to_ascii_lowercase(), user.to_ascii_lowercase(), q)
+        tn == format!(
+            "{}.{}.{}",
+            db.to_ascii_lowercase(),
+            user.to_ascii_lowercase(),
+            q
+        )
     }
 }
 
@@ -248,7 +253,9 @@ pub(crate) fn eval_expr(ctx: &QueryCtx<'_>, env: &RowEnv<'_>, expr: &Expr) -> Re
                 (Value::Str(s), Value::Str(pat)) => {
                     Ok(Value::Int(i64::from(like_match(&s, &pat) != *negated)))
                 }
-                (a, b) => Err(Error::type_err(format!("LIKE requires strings, got {a} LIKE {b}"))),
+                (a, b) => Err(Error::type_err(format!(
+                    "LIKE requires strings, got {a} LIKE {b}"
+                ))),
             }
         }
         Expr::Exists(sub) => {
@@ -266,9 +273,7 @@ pub(crate) fn eval_expr(ctx: &QueryCtx<'_>, env: &RowEnv<'_>, expr: &Expr) -> Re
             match rows.len() {
                 0 => Ok(Value::Null),
                 1 => Ok(rows.into_iter().next().unwrap().into_iter().next().unwrap()),
-                n => Err(Error::exec(format!(
-                    "scalar subquery returned {n} rows"
-                ))),
+                n => Err(Error::exec(format!("scalar subquery returned {n} rows"))),
             }
         }
     }
@@ -349,7 +354,12 @@ pub(crate) fn apply_binary_values(op: BinaryOp, l: Value, r: Value) -> Result<Va
                 }
             }
         }),
-        BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+        BinaryOp::Eq
+        | BinaryOp::Neq
+        | BinaryOp::Lt
+        | BinaryOp::Le
+        | BinaryOp::Gt
+        | BinaryOp::Ge => {
             let ord = match l.sql_cmp(&r) {
                 Some(o) => o,
                 None => return Ok(Value::Null),

@@ -229,7 +229,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             _ => {
                 return Err(Error::Lex {
                     pos: i,
-                    msg: format!("unexpected character '{}'", src[i..].chars().next().unwrap()),
+                    msg: format!(
+                        "unexpected character '{}'",
+                        src[i..].chars().next().unwrap()
+                    ),
                 })
             }
         };
@@ -269,7 +272,10 @@ pub fn split_batches(script: &str) -> Vec<&str> {
     if start <= script.len() {
         batches.push(&script[start..]);
     }
-    batches.into_iter().filter(|b| !b.trim().is_empty()).collect()
+    batches
+        .into_iter()
+        .filter(|b| !b.trim().is_empty())
+        .collect()
 }
 
 #[cfg(test)]
@@ -362,7 +368,10 @@ mod tests {
 
     #[test]
     fn nested_block_comments() {
-        assert_eq!(kinds("/* a /* b */ c */ 1"), vec![TokenKind::Int(1), TokenKind::Eof]);
+        assert_eq!(
+            kinds("/* a /* b */ c */ 1"),
+            vec![TokenKind::Int(1), TokenKind::Eof]
+        );
         assert!(tokenize("/* unterminated").is_err());
     }
 

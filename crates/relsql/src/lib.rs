@@ -55,5 +55,5 @@ pub mod value;
 pub use engine::{BatchResult, Engine, EngineConfig, QueryResult};
 pub use error::{Error, Result};
 pub use eval::{like_match, SessionCtx};
-pub use server::{Session, SqlEndpoint, SqlServer};
+pub use server::{ServerStats, Session, SqlEndpoint, SqlServer};
 pub use value::{DataType, Value};

@@ -130,6 +130,7 @@ pub struct ChaosSink<S> {
     state: Mutex<ChaosState>,
     dropped: AtomicU64,
     duplicated: AtomicU64,
+    reordered: AtomicU64,
     delayed: AtomicU64,
     forwarded: AtomicU64,
 }
@@ -153,6 +154,7 @@ impl<S: NotificationSink> ChaosSink<S> {
             plan,
             dropped: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
+            reordered: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
             forwarded: AtomicU64::new(0),
         })
@@ -171,6 +173,12 @@ impl<S: NotificationSink> ChaosSink<S> {
     /// How many extra (duplicate) deliveries were injected so far.
     pub fn duplicated_count(&self) -> u64 {
         self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// How many datagrams passed through the reorder holding buffer (and
+    /// may therefore have been delivered out of send order).
+    pub fn reordered_count(&self) -> u64 {
+        self.reordered.load(Ordering::Relaxed)
     }
 
     /// How many datagrams were held back (reorder buffer or delay burst)
@@ -243,6 +251,7 @@ impl<S: NotificationSink> NotificationSink for ChaosSink<S> {
                         self.delayed.fetch_add(1, Ordering::Relaxed);
                         st.burst.push(d);
                     } else if self.plan.reorder_window > 0 {
+                        self.reordered.fetch_add(1, Ordering::Relaxed);
                         st.reorder.push(d);
                     } else {
                         ready.push(d);
@@ -256,6 +265,8 @@ impl<S: NotificationSink> NotificationSink for ChaosSink<S> {
                 if st.burst_left == 0 {
                     let held = std::mem::take(&mut st.burst);
                     if self.plan.reorder_window > 0 {
+                        self.reordered
+                            .fetch_add(held.len() as u64, Ordering::Relaxed);
                         st.reorder.extend(held);
                     } else {
                         ready.extend(held);
@@ -427,6 +438,11 @@ mod tests {
         }
         chaos.flush();
         assert_eq!(chaos.in_flight(), 0);
+        assert_eq!(
+            chaos.reordered_count(),
+            200,
+            "every send crossed the buffer"
+        );
         let mut seqs: Vec<u64> = inner.take().iter().map(|d| d.seq).collect();
         assert_eq!(seqs.len(), 200, "no loss");
         assert!(

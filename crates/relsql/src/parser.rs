@@ -12,12 +12,59 @@ use crate::value::{DataType, Value};
 
 /// Words that can never be a table alias or column name in this dialect.
 const RESERVED: &[&str] = &[
-    "select", "insert", "update", "delete", "create", "drop", "alter", "print", "execute",
-    "exec", "begin", "commit", "rollback", "if", "while", "end", "else", "truncate", "where",
-    "group", "order", "having", "from", "into", "set", "values", "on", "as", "union", "go",
-    "and", "or", "not", "in", "between", "like", "is", "null", "exists", "distinct", "tran",
-    "transaction", "desc", "asc", "by", "add", "table", "trigger", "procedure", "proc", "for",
-    "join", "inner",
+    "select",
+    "insert",
+    "update",
+    "delete",
+    "create",
+    "drop",
+    "alter",
+    "print",
+    "execute",
+    "exec",
+    "begin",
+    "commit",
+    "rollback",
+    "if",
+    "while",
+    "end",
+    "else",
+    "truncate",
+    "where",
+    "group",
+    "order",
+    "having",
+    "from",
+    "into",
+    "set",
+    "values",
+    "on",
+    "as",
+    "union",
+    "go",
+    "and",
+    "or",
+    "not",
+    "in",
+    "between",
+    "like",
+    "is",
+    "null",
+    "exists",
+    "distinct",
+    "tran",
+    "transaction",
+    "desc",
+    "asc",
+    "by",
+    "add",
+    "table",
+    "trigger",
+    "procedure",
+    "proc",
+    "for",
+    "join",
+    "inner",
 ];
 
 fn is_reserved(word: &str) -> bool {
@@ -615,9 +662,7 @@ impl<'a> Parser<'a> {
         if let TokenKind::Ident(_) = self.peek() {
             let save = self.pos;
             let name = self.parse_object_name()?;
-            if matches!(self.peek(), TokenKind::Dot)
-                && matches!(self.peek_at(1), TokenKind::Star)
-            {
+            if matches!(self.peek(), TokenKind::Dot) && matches!(self.peek_at(1), TokenKind::Star) {
                 self.advance();
                 self.advance();
                 return Ok(SelectItem::QualifiedWildcard(name));
@@ -918,7 +963,8 @@ mod tests {
 
     #[test]
     fn create_table() {
-        let s = one("create table stock (symbol varchar(10) not null, price float, ts datetime null)");
+        let s =
+            one("create table stock (symbol varchar(10) not null, price float, ts datetime null)");
         match s {
             Stmt::CreateTable { name, columns } => {
                 assert_eq!(name, "stock");
@@ -1005,11 +1051,9 @@ mod tests {
 
     #[test]
     fn trigger_body_extends_to_end_of_batch() {
-        let s = one(
-            "create trigger t_addstk on stock for insert as\n\
+        let s = one("create trigger t_addstk on stock for insert as\n\
              insert shadow select * from inserted\n\
-             print 'fired'",
-        );
+             print 'fired'");
         match s {
             Stmt::CreateTrigger {
                 name,
@@ -1050,7 +1094,11 @@ mod tests {
     fn update_with_qualified_where() {
         let s = one("update t set a = a + 1, b = 'x' where t.a > 3 and b <> 'y'");
         match s {
-            Stmt::Update { assignments, selection, .. } => {
+            Stmt::Update {
+                assignments,
+                selection,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 2);
                 assert!(selection.is_some());
             }
@@ -1061,7 +1109,9 @@ mod tests {
     #[test]
     fn delete_without_from() {
         let s = one("delete Version");
-        assert!(matches!(s, Stmt::Delete { ref table, .. } if table == "version" || table == "Version"));
+        assert!(
+            matches!(s, Stmt::Delete { ref table, .. } if table == "version" || table == "Version")
+        );
     }
 
     #[test]
@@ -1069,10 +1119,17 @@ mod tests {
         // Fig 14 joins on `sentineldb.sharma.stock_inserted.vNo = sysContext.vNo`
         let e = parse_expr_str("sentineldb.sharma.stock_inserted.vNo = sysContext.vNo").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Eq, left, right } => {
+            Expr::Binary {
+                op: BinaryOp::Eq,
+                left,
+                right,
+            } => {
                 match *left {
                     Expr::Column { qualifier, name } => {
-                        assert_eq!(qualifier.as_deref(), Some("sentineldb.sharma.stock_inserted"));
+                        assert_eq!(
+                            qualifier.as_deref(),
+                            Some("sentineldb.sharma.stock_inserted")
+                        );
                         assert_eq!(name, "vNo");
                     }
                     _ => panic!(),
@@ -1093,7 +1150,13 @@ mod tests {
     fn operator_precedence() {
         let e = parse_expr_str("1 + 2 * 3 = 7 and not 0 > 1").unwrap();
         // Just check the top is AND.
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1164,10 +1227,8 @@ mod tests {
         let b = parse_script("select * from a, b where a.x = b.x and a.y > 1").unwrap();
         assert_eq!(a, b);
         // INNER keyword accepted; multiple joins chain.
-        let c = parse_script(
-            "select * from a inner join b on a.x = b.x join c on b.z = c.z",
-        )
-        .unwrap();
+        let c =
+            parse_script("select * from a inner join b on a.x = b.x join c on b.z = c.z").unwrap();
         match &c[0] {
             Stmt::Select(sel) => {
                 assert_eq!(sel.from.len(), 3);
@@ -1184,8 +1245,7 @@ mod tests {
 
     #[test]
     fn table_alias_does_not_swallow_keywords() {
-        let stmts =
-            parse_script("select * from inserted, Version select getdate()").unwrap();
+        let stmts = parse_script("select * from inserted, Version select getdate()").unwrap();
         assert_eq!(stmts.len(), 2);
     }
 
@@ -1228,13 +1288,21 @@ mod tests {
     #[test]
     fn scalar_subquery_in_comparison() {
         let e = parse_expr_str("(select count(*) from t) > 5").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Gt, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Gt,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn double_quoted_strings_are_literals() {
         // Fig 11 uses double quotes for string literals.
-        let s = one(r#"update SysPrimitiveEvent set vNo=vNo+1 where eventName ="sentineldb.sharma.addStk""#);
+        let s = one(
+            r#"update SysPrimitiveEvent set vNo=vNo+1 where eventName ="sentineldb.sharma.addStk""#,
+        );
         assert!(matches!(s, Stmt::Update { .. }));
     }
 
@@ -1243,7 +1311,9 @@ mod tests {
         let s = one("select t.* from t");
         match s {
             Stmt::Select(sel) => {
-                assert!(matches!(sel.projection[0], SelectItem::QualifiedWildcard(ref q) if q == "t"))
+                assert!(
+                    matches!(sel.projection[0], SelectItem::QualifiedWildcard(ref q) if q == "t")
+                )
             }
             _ => panic!(),
         }
@@ -1258,7 +1328,10 @@ mod tests {
     fn drop_statements() {
         assert!(matches!(one("drop table t"), Stmt::DropTable { .. }));
         assert!(matches!(one("drop trigger tr"), Stmt::DropTrigger { .. }));
-        assert!(matches!(one("drop procedure p"), Stmt::DropProcedure { .. }));
+        assert!(matches!(
+            one("drop procedure p"),
+            Stmt::DropProcedure { .. }
+        ));
     }
 
     #[test]
@@ -1275,7 +1348,9 @@ mod tests {
         let s = one("select price * 2 as double_price from stock");
         match s {
             Stmt::Select(sel) => match &sel.projection[0] {
-                SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("double_price")),
+                SelectItem::Expr { alias, .. } => {
+                    assert_eq!(alias.as_deref(), Some("double_price"))
+                }
                 _ => panic!(),
             },
             _ => panic!(),
@@ -1285,6 +1360,12 @@ mod tests {
     #[test]
     fn negative_numbers_and_unary() {
         let e = parse_expr_str("-3 + +2").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Add, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
+        ));
     }
 }

@@ -179,7 +179,8 @@ pub(crate) fn run_select_typed<'r>(
                     }
                 }
             }
-            let key = order_keys_grouped(ctx, &metas, &group, &stmt.order_by, &out_names, &out_row)?;
+            let key =
+                order_keys_grouped(ctx, &metas, &group, &stmt.order_by, &out_names, &out_row)?;
             keyed.push((key, out_row));
         }
     } else {
@@ -193,7 +194,9 @@ pub(crate) fn run_select_typed<'r>(
                         let m = metas
                             .iter()
                             .find(|m| {
-                                m.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q))
+                                m.alias
+                                    .as_deref()
+                                    .is_some_and(|a| a.eq_ignore_ascii_case(q))
                                     || m.table_name.eq_ignore_ascii_case(q)
                                     || m.table_name
                                         .to_ascii_lowercase()
@@ -471,7 +474,9 @@ fn output_columns(
                 let m = metas
                     .iter()
                     .find(|m| {
-                        m.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q))
+                        m.alias
+                            .as_deref()
+                            .is_some_and(|a| a.eq_ignore_ascii_case(q))
                             || m.table_name.eq_ignore_ascii_case(q)
                             || m.table_name
                                 .to_ascii_lowercase()
@@ -561,7 +566,10 @@ fn infer_type(metas: &[JoinedMeta], expr: &Expr) -> DataType {
             }
         }
         Expr::Unary { operand, .. } => infer_type(metas, operand),
-        Expr::IsNull { .. } | Expr::InList { .. } | Expr::Between { .. } | Expr::Like { .. }
+        Expr::IsNull { .. }
+        | Expr::InList { .. }
+        | Expr::Between { .. }
+        | Expr::Like { .. }
         | Expr::Exists(_) => DataType::Int,
         Expr::Subquery(_) => DataType::Text,
     }

@@ -5,6 +5,7 @@
 //! batches and get tabular results back. The [`SqlEndpoint`] trait is the
 //! seam the agent's Gateway Open Server is generic over.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -29,6 +30,17 @@ pub trait SqlEndpoint: Send + Sync {
 pub struct SqlServer {
     engine: Mutex<Engine>,
     clock: Arc<LogicalClock>,
+    /// Sessions handed out so far; doubles as the session id source.
+    sessions_opened: AtomicU64,
+    /// Statement batches executed (all sessions, including internal ones).
+    statements: AtomicU64,
+}
+
+/// Aggregate session-level counters for one [`SqlServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub sessions_opened: u64,
+    pub statements: u64,
 }
 
 impl SqlServer {
@@ -42,6 +54,8 @@ impl SqlServer {
         Arc::new(SqlServer {
             engine: Mutex::new(engine),
             clock,
+            sessions_opened: AtomicU64::new(0),
+            statements: AtomicU64::new(0),
         })
     }
 
@@ -55,11 +69,22 @@ impl SqlServer {
         Arc::clone(&self.clock)
     }
 
-    /// Open a session with the given database/user identity.
+    /// Open a session with the given database/user identity. Each session
+    /// gets a server-unique id, usable as a wire-protocol session handle.
     pub fn session(self: &Arc<Self>, database: &str, user: &str) -> Session {
+        let id = self.sessions_opened.fetch_add(1, Ordering::Relaxed) + 1;
         Session {
             server: Arc::clone(self),
             ctx: SessionCtx::new(database, user),
+            id,
+        }
+    }
+
+    /// Aggregate session counters.
+    pub fn server_stats(&self) -> ServerStats {
+        ServerStats {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            statements: self.statements.load(Ordering::Relaxed),
         }
     }
 
@@ -71,6 +96,7 @@ impl SqlServer {
 
 impl SqlEndpoint for SqlServer {
     fn execute(&self, sql: &str, session: &SessionCtx) -> Result<BatchResult> {
+        self.statements.fetch_add(1, Ordering::Relaxed);
         self.engine.lock().execute(sql, session)
     }
 }
@@ -80,6 +106,7 @@ impl SqlEndpoint for SqlServer {
 pub struct Session {
     server: Arc<SqlServer>,
     ctx: SessionCtx,
+    id: u64,
 }
 
 impl Session {
@@ -89,6 +116,11 @@ impl Session {
 
     pub fn ctx(&self) -> &SessionCtx {
         &self.ctx
+    }
+
+    /// Server-unique session id (1-based, in open order).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     pub fn server(&self) -> &Arc<SqlServer> {
@@ -144,6 +176,20 @@ mod tests {
             .execute("select count(*) from t")
             .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(400)));
+    }
+
+    #[test]
+    fn session_ids_and_stats_track_usage() {
+        let server = SqlServer::new();
+        let s1 = server.session("db", "a");
+        let s2 = server.session("db", "b");
+        assert_eq!(s1.id(), 1);
+        assert_eq!(s2.id(), 2);
+        s1.execute("create table t (a int)").unwrap();
+        s2.execute("insert t values (1)").unwrap();
+        let stats = server.server_stats();
+        assert_eq!(stats.sessions_opened, 2);
+        assert_eq!(stats.statements, 2);
     }
 
     #[test]

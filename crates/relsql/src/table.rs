@@ -286,11 +286,8 @@ mod tests {
     #[test]
     fn varchar_truncates_on_insert() {
         let mut t = Table::from_defs("stock", &defs()).unwrap();
-        t.insert_row(vec![
-            Value::Str("VERYLONGSYMBOL".into()),
-            Value::Float(1.0),
-        ])
-        .unwrap();
+        t.insert_row(vec![Value::Str("VERYLONGSYMBOL".into()), Value::Float(1.0)])
+            .unwrap();
         assert_eq!(t.rows[0][0], Value::Str("VERYLONGSY".into()));
     }
 }

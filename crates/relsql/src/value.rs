@@ -100,19 +100,21 @@ impl Value {
                 }
                 Ok(Value::Str(s))
             }
-            (Value::Str(s), DataType::Int) => s.trim().parse::<i64>().map(Value::Int).map_err(
-                |_| Error::type_err(format!("cannot convert '{s}' to int")),
-            ),
-            (Value::Str(s), DataType::Float) => s.trim().parse::<f64>().map(Value::Float).map_err(
-                |_| Error::type_err(format!("cannot convert '{s}' to float")),
-            ),
+            (Value::Str(s), DataType::Int) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::type_err(format!("cannot convert '{s}' to int"))),
+            (Value::Str(s), DataType::Float) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::type_err(format!("cannot convert '{s}' to float"))),
             (Value::DateTime(t), DataType::DateTime) => Ok(Value::DateTime(*t)),
             (Value::DateTime(t), DataType::Int) => Ok(Value::Int(*t)),
             (v, DataType::Varchar(n)) => Value::Str(v.to_string()).coerce_to(DataType::Varchar(n)),
             (v, DataType::Text) => Ok(Value::Str(v.to_string())),
-            (v, ty) => Err(Error::type_err(format!(
-                "cannot convert {v} to {ty}",
-            ))),
+            (v, ty) => Err(Error::type_err(format!("cannot convert {v} to {ty}",))),
         }
     }
 

@@ -141,9 +141,18 @@ fn like_between_in_filters() {
             other => panic!("{other:?}"),
         }
     };
-    assert_eq!(count("select count(*) from parts where code like 'GEAR%'"), 2);
-    assert_eq!(count("select count(*) from parts where code like '%-10'"), 2);
-    assert_eq!(count("select count(*) from parts where code like '____-__'"), 4);
+    assert_eq!(
+        count("select count(*) from parts where code like 'GEAR%'"),
+        2
+    );
+    assert_eq!(
+        count("select count(*) from parts where code like '%-10'"),
+        2
+    );
+    assert_eq!(
+        count("select count(*) from parts where code like '____-__'"),
+        4
+    );
     assert_eq!(
         count("select count(*) from parts where price between 0.5 and 5.0"),
         3
@@ -165,7 +174,8 @@ fn select_into_then_evolve() {
     s.execute("insert src values (1, 'x'), (2, 'y'), (3, 'z')")
         .unwrap();
     // Copy with filter.
-    s.execute("select * into dst from src where a >= 2").unwrap();
+    s.execute("select * into dst from src where a >= 2")
+        .unwrap();
     let r = s.execute("select count(*) from dst").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(2)));
     // Evolve the copy and backfill.
@@ -234,7 +244,11 @@ fn transaction_spanning_triggers() {
     let r = s.execute("select count(*) from t").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(0)));
     let r = s.execute("select count(*) from shadow").unwrap();
-    assert_eq!(r.scalar(), Some(&Value::Int(0)), "trigger effects rolled back");
+    assert_eq!(
+        r.scalar(),
+        Some(&Value::Int(0)),
+        "trigger effects rolled back"
+    );
 }
 
 #[test]
@@ -254,7 +268,10 @@ fn distinct_and_qualified_wildcards() {
     let r = s
         .execute("select b.* from a, b where a.x = b.x and a.x = 2")
         .unwrap();
-    assert_eq!(r.last_select().unwrap().rows, vec![vec![Value::Int(2), Value::Int(200)]]);
+    assert_eq!(
+        r.last_select().unwrap().rows,
+        vec![vec![Value::Int(2), Value::Int(200)]]
+    );
 }
 
 #[test]
@@ -275,7 +292,8 @@ fn string_functions_and_concat() {
 fn order_by_ordinal_and_alias() {
     let s = server();
     s.execute("create table t (a int, b int)").unwrap();
-    s.execute("insert t values (1, 30), (2, 10), (3, 20)").unwrap();
+    s.execute("insert t values (1, 30), (2, 10), (3, 20)")
+        .unwrap();
     let r = s.execute("select a, b total from t order by 2").unwrap();
     let firsts: Vec<i64> = r
         .last_select()
@@ -288,7 +306,9 @@ fn order_by_ordinal_and_alias() {
         })
         .collect();
     assert_eq!(firsts, vec![2, 3, 1]);
-    let r = s.execute("select a, b total from t order by total desc").unwrap();
+    let r = s
+        .execute("select a, b total from t order by total desc")
+        .unwrap();
     let firsts: Vec<i64> = r
         .last_select()
         .unwrap()
@@ -305,8 +325,10 @@ fn order_by_ordinal_and_alias() {
 #[test]
 fn explicit_join_syntax_executes() {
     let s = server();
-    s.execute("create table d (id int, name varchar(10))").unwrap();
-    s.execute("create table e (did int, who varchar(10))").unwrap();
+    s.execute("create table d (id int, name varchar(10))")
+        .unwrap();
+    s.execute("create table e (did int, who varchar(10))")
+        .unwrap();
     s.execute("insert d values (1, 'eng'), (2, 'ops')").unwrap();
     s.execute("insert e values (1, 'ann'), (1, 'bob'), (2, 'cyn')")
         .unwrap();
@@ -320,7 +342,8 @@ fn explicit_join_syntax_executes() {
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0][1], Value::Str("ann".into()));
     // Three-way chain.
-    s.execute("create table badge (who varchar(10), n int)").unwrap();
+    s.execute("create table badge (who varchar(10), n int)")
+        .unwrap();
     s.execute("insert badge values ('ann', 7)").unwrap();
     let r = s
         .execute(

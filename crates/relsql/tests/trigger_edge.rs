@@ -72,7 +72,8 @@ fn trigger_sees_multi_row_statement_once() {
     s.execute("create table firings (n int)").unwrap();
     s.execute("create trigger tr on t for insert as insert firings values (1)")
         .unwrap();
-    s.execute("insert t values (1), (2), (3), (4), (5)").unwrap();
+    s.execute("insert t values (1), (2), (3), (4), (5)")
+        .unwrap();
     let r = s.execute("select count(*) from firings").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(1)));
 }
@@ -81,7 +82,8 @@ fn trigger_sees_multi_row_statement_once() {
 fn update_trigger_pseudo_tables_are_row_aligned_sets() {
     let s = server();
     s.execute("create table t (id int, v int)").unwrap();
-    s.execute("insert t values (1, 10), (2, 20), (3, 30)").unwrap();
+    s.execute("insert t values (1, 10), (2, 20), (3, 30)")
+        .unwrap();
     s.execute("create table log (id int, old_v int, new_v int)")
         .unwrap();
     s.execute(
@@ -171,7 +173,8 @@ fn rollback_inside_batch_undoes_trigger_side_effects_and_notifications_stand() {
          select syb_sendmsg('h', 1, 'fired')",
     )
     .unwrap();
-    s.execute("begin tran insert t values (1) rollback").unwrap();
+    s.execute("begin tran insert t values (1) rollback")
+        .unwrap();
     let r = s.execute("select count(*) from t").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(0)), "row rolled back");
     assert_eq!(sink.len(), 1, "notification already escaped");

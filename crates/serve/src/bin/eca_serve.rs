@@ -1,0 +1,113 @@
+//! `eca_serve` — serve a fresh ECA agent over TCP.
+//!
+//! ```text
+//! cargo run -p eca-serve --bin eca_serve -- [--addr HOST:PORT] [--demo]
+//!                                           [--max-sessions N] [--queue-depth N]
+//! ```
+//!
+//! The server prints the bound address, then blocks reading stdin; EOF or
+//! a `quit` line triggers the graceful shutdown path (stop accepting,
+//! answer queued frames, drain the agent) and prints the drain report.
+//! Talk to it with anything that speaks the newline protocol, e.g.:
+//!
+//! ```text
+//! printf 'EXEC create table t (a int)\nEXEC insert t values (1)\nQUIT\n' | nc 127.0.0.1 7654
+//! ```
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use eca_core::{ActiveService, EcaAgent};
+use eca_serve::{EcaServer, ServeConfig};
+use relsql::{SessionCtx, SqlServer};
+
+fn main() {
+    let mut config = ServeConfig::default().with_addr("127.0.0.1:7654");
+    let mut demo = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => config.addr = a,
+                None => usage("--addr needs HOST:PORT"),
+            },
+            "--max-sessions" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.max_sessions = n,
+                None => usage("--max-sessions needs a number"),
+            },
+            "--queue-depth" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => config.queue_depth = n,
+                _ => usage("--queue-depth needs a positive number"),
+            },
+            "--demo" => demo = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let service: Arc<dyn ActiveService> = Arc::new(agent);
+    if demo {
+        preload_demo(service.as_ref(), &config);
+        println!("(demo state loaded: table `stock`, events addStk/delStk, composite addDel)");
+    }
+
+    let handle = match EcaServer::start(Arc::clone(&service), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("eca_serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("eca_serve listening on {}", handle.addr());
+    println!("(EOF or 'quit' on stdin shuts down gracefully)");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    let stats = handle.serve_stats();
+    let report = handle.shutdown();
+    println!(
+        "shutdown: {} session(s) served, {} request(s), {} error(s)",
+        stats.sessions_opened, stats.requests, stats.errors
+    );
+    println!(
+        "drain: quiescent={}, {} detached action(s) joined, {} async outcome(s)",
+        report.quiescent, report.detached_joined, report.async_outcomes
+    );
+}
+
+fn preload_demo(service: &dyn ActiveService, config: &ServeConfig) {
+    let ctx = SessionCtx::new(&config.default_db, &config.default_user);
+    service
+        .execute("create table stock (symbol varchar(10), price float)", &ctx)
+        .expect("demo preload");
+    for ddl in [
+        "create trigger t_addStk on stock for insert event addStk \
+         as print 'trigger t_addStk on primitive event addStk occurs'",
+        "create trigger t_delStk on stock for delete event delStk \
+         as print 'trigger t_delStk on primitive event delStk occurs'",
+        "create trigger t_and event addDel = delStk ^ addStk RECENT \
+         as print 'composite addDel detected' select symbol, price from stock.inserted",
+    ] {
+        service.define_trigger(ddl, &ctx).expect("demo preload");
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("eca_serve: {problem}");
+    }
+    eprintln!("usage: eca_serve [--addr HOST:PORT] [--demo] [--max-sessions N] [--queue-depth N]");
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}

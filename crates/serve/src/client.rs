@@ -1,0 +1,224 @@
+//! A small synchronous client for the wire protocol, used by `eca_serve`
+//! tooling, the E11 benchmark and the integration tests.
+//!
+//! Two styles:
+//!
+//! - request/response helpers ([`ServeClient::exec`], [`ServeClient::stats`],
+//!   …) that send one frame and block for its reply;
+//! - raw [`ServeClient::send`] / [`ServeClient::recv`] for pipelining many
+//!   frames before reading any replies — this is what actually exercises
+//!   the server's bounded-queue backpressure.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{ProtoError, Request, Response};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket trouble (includes the server closing the connection).
+    Io(std::io::Error),
+    /// The server sent a frame we cannot parse.
+    Proto(ProtoError),
+    /// The server answered `ERR code message`.
+    Server { code: String, message: String },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            ClientError::Server { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// One connection to an `eca_serve` server.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connect without binding an identity (server defaults apply).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(ServeClient { reader, writer })
+    }
+
+    /// Connect and bind a session identity; returns the server-assigned
+    /// session id.
+    pub fn connect_as(
+        addr: impl ToSocketAddrs,
+        db: &str,
+        user: &str,
+    ) -> Result<(ServeClient, u64), ClientError> {
+        let mut client = ServeClient::connect(addr)?;
+        let session = client.hello(db, user)?;
+        Ok((client, session))
+    }
+
+    /// Send one frame without waiting for the reply (pipelining).
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        writeln!(self.writer, "{}", req.encode())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Block for the next response frame. `ERR` frames are returned as
+    /// `Ok(Response::Err { .. })` here — use the typed helpers to turn them
+    /// into [`ClientError::Server`].
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(Response::parse(line.trim_end_matches(['\n', '\r']))?)
+    }
+
+    /// Send one frame and block for its reply, mapping `ERR` to
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Bind this session's identity; returns the session id.
+    pub fn hello(&mut self, db: &str, user: &str) -> Result<u64, ClientError> {
+        match self.call(&Request::Hello {
+            db: db.into(),
+            user: user.into(),
+        })? {
+            Response::Hello { session } => Ok(session),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Execute one batch (SQL or ECA command).
+    pub fn exec(&mut self, sql: &str) -> Result<ExecResult, ClientError> {
+        match self.call(&Request::Exec { sql: sql.into() })? {
+            Response::Exec {
+                actions,
+                failed,
+                rows,
+                text,
+            } => Ok(ExecResult {
+                actions,
+                failed,
+                rows,
+                text,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Counter snapshot as (key, value) pairs in server order.
+    pub fn stats(&mut self) -> Result<Vec<(String, String)>, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { fields } => Ok(fields),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// One numeric stats field, or an error if absent/non-numeric.
+    pub fn stat_u64(&mut self, key: &str) -> Result<u64, ClientError> {
+        let fields = self.stats()?;
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| {
+                ClientError::Proto(ProtoError::new(format!("no numeric stats field '{key}'")))
+            })
+    }
+
+    /// Ask the service to quiesce; returns (quiescent, detached, outcomes).
+    pub fn drain(&mut self) -> Result<(bool, u64, u64), ClientError> {
+        match self.call(&Request::Drain)? {
+            Response::Drain {
+                quiescent,
+                detached,
+                outcomes,
+            } => Ok((quiescent, detached, outcomes)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Lift the drain latch.
+    pub fn resume(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Resume)? {
+            Response::Resume => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Close the session politely (waits for `BYE`).
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Quit)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    ClientError::Proto(ProtoError::new(format!(
+        "unexpected response frame: {}",
+        resp.encode()
+    )))
+}
+
+/// Decoded `OK EXEC` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Rule actions the batch triggered.
+    pub actions: u64,
+    /// Of those, how many failed (after retries).
+    pub failed: u64,
+    /// Result rows across the batch.
+    pub rows: u64,
+    /// Rendered output (server messages, agent messages, action output).
+    pub text: String,
+}

@@ -1,0 +1,50 @@
+//! # eca-serve — concurrent multi-client service layer for the ECA Agent
+//!
+//! The paper's agent mediates between *clients* and the passive SQL
+//! server: applications connect to the agent, not to Sybase directly
+//! (Chakravarthy & Li, §3 figure 2). Earlier layers of this repo drove the
+//! agent through an in-process handle; this crate adds the missing piece —
+//! a real serving layer that multiplexes N concurrent client connections
+//! onto one [`eca_core::service::ActiveService`]:
+//!
+//! - a newline-delimited request/response **wire protocol** ([`proto`])
+//!   shared by server and client so the grammar cannot drift;
+//! - a **session manager** ([`session`]) with a hard session limit and
+//!   per-session + aggregate counters surfaced through `STATS`;
+//! - a **bounded per-session submission queue** ([`server`]) whose full
+//!   state blocks the socket reader — backpressure reaches the client as
+//!   TCP flow control rather than unbounded memory growth;
+//! - **graceful shutdown** ([`ServeHandle::shutdown`]) that half-closes
+//!   read sides, answers everything already queued, then drains the
+//!   service itself (notifier pump, DETACHED actions, watermarks);
+//! - a synchronous [`client::ServeClient`] with both call/response helpers
+//!   and raw pipelining for throughput work.
+//!
+//! The `eca_serve` binary wires this to a fresh agent; the E11 experiment
+//! in `crates/bench` measures 8 clients × 1,000 statements against it.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use eca_core::{ActiveService, AgentConfig, EcaAgent};
+//! use eca_serve::{EcaServer, ServeConfig, ServeClient};
+//! use relsql::SqlServer;
+//!
+//! let server = SqlServer::new();
+//! let agent = EcaAgent::new(server, AgentConfig::builder().build()).unwrap();
+//! let service: Arc<dyn ActiveService> = Arc::new(agent);
+//! let handle = EcaServer::start(service, ServeConfig::default()).unwrap();
+//! let (mut client, _id) = ServeClient::connect_as(handle.addr(), "db", "me").unwrap();
+//! client.exec("create table t (a int)").unwrap();
+//! let report = handle.shutdown();
+//! assert!(report.quiescent);
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{ClientError, ExecResult, ServeClient};
+pub use proto::{Request, Response, CODE_BUSY, CODE_PROTO};
+pub use server::{EcaServer, ServeConfig, ServeHandle};
+pub use session::{ServeStats, SessionSnapshot};

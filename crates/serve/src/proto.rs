@@ -1,0 +1,443 @@
+//! The wire protocol: newline-delimited request/response frames.
+//!
+//! One frame is one line; embedded newlines, carriage returns and
+//! backslashes in payloads are backslash-escaped so framing never breaks.
+//! The grammar (documented normatively in DESIGN.md §7):
+//!
+//! ```text
+//! request  := "HELLO" SP db SP user
+//!           | "EXEC" SP sql            ; sql is escaped
+//!           | "STATS"
+//!           | "DRAIN"
+//!           | "RESUME"
+//!           | "PING"
+//!           | "QUIT"
+//! response := "OK" SP body
+//!           | "ERR" SP code SP message ; message is escaped
+//! body     := "HELLO" SP "session=" n
+//!           | "EXEC" SP "actions=" n SP "failed=" n SP "rows=" n SP "text=" escaped
+//!           | "STATS" (SP key "=" value)*
+//!           | "DRAIN" SP "quiescent=" bool SP "detached=" n SP "outcomes=" n
+//!           | "RESUME" | "PONG" | "BYE"
+//! ```
+//!
+//! `code` on an `ERR` frame is either a stable agent error code
+//! ([`eca_core::EcaErrorKind::code`]) or one of the serve-layer codes
+//! `PROTO` (malformed frame) and `BUSY` (session limit reached).
+//! Both ends share these encode/parse routines, so the grammar cannot
+//! drift between server and client.
+
+use std::fmt;
+
+/// Serve-layer error code for malformed frames.
+pub const CODE_PROTO: &str = "PROTO";
+/// Serve-layer error code for connections rejected at the session limit.
+pub const CODE_BUSY: &str = "BUSY";
+
+/// Escape a payload for embedding in a single-line frame.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// [`escape`] plus space → `\s`, for values embedded in space-delimited
+/// frame bodies (`STATS` fields).
+pub fn escape_token(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in escape(s).chars() {
+        if c == ' ' {
+            out.push_str("\\s");
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`] (and of [`escape_token`] — `\s` maps back to a
+/// space). Unknown escape sequences pass through verbatim.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('s') => out.push(' '),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// One client→server frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Bind this connection's session identity (optional; defaults apply).
+    Hello { db: String, user: String },
+    /// Execute one batch (SQL or ECA command).
+    Exec { sql: String },
+    /// Read agent + serve counters.
+    Stats,
+    /// Quiesce the service (notifier pump, in-flight actions).
+    Drain,
+    /// Lift the drain latch.
+    Resume,
+    /// Liveness probe.
+    Ping,
+    /// Close this session.
+    Quit,
+}
+
+impl Request {
+    /// Render as a single frame line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Hello { db, user } => format!("HELLO {} {}", escape(db), escape(user)),
+            Request::Exec { sql } => format!("EXEC {}", escape(sql)),
+            Request::Stats => "STATS".into(),
+            Request::Drain => "DRAIN".into(),
+            Request::Resume => "RESUME".into(),
+            Request::Ping => "PING".into(),
+            Request::Quit => "QUIT".into(),
+        }
+    }
+
+    /// Parse one frame line (without its newline).
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        let line = line.trim_end_matches('\r');
+        let (op, rest) = match line.split_once(' ') {
+            Some((op, rest)) => (op, rest),
+            None => (line, ""),
+        };
+        match op {
+            "HELLO" => {
+                let (db, user) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| ProtoError::new("HELLO needs <db> <user>"))?;
+                if db.is_empty() || user.is_empty() || user.contains(' ') {
+                    return Err(ProtoError::new("HELLO needs <db> <user>"));
+                }
+                Ok(Request::Hello {
+                    db: unescape(db),
+                    user: unescape(user),
+                })
+            }
+            "EXEC" => {
+                if rest.is_empty() {
+                    return Err(ProtoError::new("EXEC needs a statement"));
+                }
+                Ok(Request::Exec {
+                    sql: unescape(rest),
+                })
+            }
+            "STATS" if rest.is_empty() => Ok(Request::Stats),
+            "DRAIN" if rest.is_empty() => Ok(Request::Drain),
+            "RESUME" if rest.is_empty() => Ok(Request::Resume),
+            "PING" if rest.is_empty() => Ok(Request::Ping),
+            "QUIT" if rest.is_empty() => Ok(Request::Quit),
+            _ => Err(ProtoError::new(format!("unknown request '{op}'"))),
+        }
+    }
+}
+
+/// A malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    pub message: String,
+}
+
+impl ProtoError {
+    pub fn new(message: impl Into<String>) -> Self {
+        ProtoError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One server→client frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session bound; `session` is the server-unique session id.
+    Hello {
+        session: u64,
+    },
+    /// Batch executed. `actions`/`failed` count rule actions triggered by
+    /// the batch; `rows` counts result rows; `text` carries the rendered
+    /// messages (server + agent + action output), newline-joined.
+    Exec {
+        actions: u64,
+        failed: u64,
+        rows: u64,
+        text: String,
+    },
+    /// Counter snapshot, in stable key order.
+    Stats {
+        fields: Vec<(String, String)>,
+    },
+    /// Drain accomplished.
+    Drain {
+        quiescent: bool,
+        detached: u64,
+        outcomes: u64,
+    },
+    Resume,
+    Pong,
+    Bye,
+    /// Failure; `code` is stable (see module docs).
+    Err {
+        code: String,
+        message: String,
+    },
+}
+
+impl Response {
+    /// Render as a single frame line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Hello { session } => format!("OK HELLO session={session}"),
+            Response::Exec {
+                actions,
+                failed,
+                rows,
+                text,
+            } => format!(
+                "OK EXEC actions={actions} failed={failed} rows={rows} text={}",
+                escape(text)
+            ),
+            Response::Stats { fields } => {
+                let mut line = String::from("OK STATS");
+                for (k, v) in fields {
+                    line.push(' ');
+                    line.push_str(k);
+                    line.push('=');
+                    line.push_str(&escape_token(v));
+                }
+                line
+            }
+            Response::Drain {
+                quiescent,
+                detached,
+                outcomes,
+            } => format!("OK DRAIN quiescent={quiescent} detached={detached} outcomes={outcomes}"),
+            Response::Resume => "OK RESUME".into(),
+            Response::Pong => "OK PONG".into(),
+            Response::Bye => "OK BYE".into(),
+            Response::Err { code, message } => format!("ERR {code} {}", escape(message)),
+        }
+    }
+
+    /// Parse one frame line (without its newline).
+    pub fn parse(line: &str) -> Result<Response, ProtoError> {
+        let line = line.trim_end_matches('\r');
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code, message) = rest
+                .split_once(' ')
+                .ok_or_else(|| ProtoError::new("ERR needs <code> <message>"))?;
+            return Ok(Response::Err {
+                code: code.to_string(),
+                message: unescape(message),
+            });
+        }
+        let rest = line
+            .strip_prefix("OK ")
+            .ok_or_else(|| ProtoError::new("response must start with OK or ERR"))?;
+        let (body, args) = match rest.split_once(' ') {
+            Some((b, a)) => (b, a),
+            None => (rest, ""),
+        };
+        match body {
+            "HELLO" => {
+                let session = field_u64(args, "session")?;
+                Ok(Response::Hello { session })
+            }
+            "EXEC" => {
+                let actions = field_u64(args, "actions")?;
+                let failed = field_u64(args, "failed")?;
+                let rows = field_u64(args, "rows")?;
+                let text = args
+                    .split_once("text=")
+                    .map(|(_, t)| unescape(t))
+                    .ok_or_else(|| ProtoError::new("EXEC response missing text="))?;
+                Ok(Response::Exec {
+                    actions,
+                    failed,
+                    rows,
+                    text,
+                })
+            }
+            "STATS" => {
+                let mut fields = Vec::new();
+                for pair in args.split(' ').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| ProtoError::new(format!("bad stats field '{pair}'")))?;
+                    fields.push((k.to_string(), unescape(v)));
+                }
+                Ok(Response::Stats { fields })
+            }
+            "DRAIN" => Ok(Response::Drain {
+                quiescent: field_str(args, "quiescent")? == "true",
+                detached: field_u64(args, "detached")?,
+                outcomes: field_u64(args, "outcomes")?,
+            }),
+            "RESUME" if args.is_empty() => Ok(Response::Resume),
+            "PONG" if args.is_empty() => Ok(Response::Pong),
+            "BYE" if args.is_empty() => Ok(Response::Bye),
+            _ => Err(ProtoError::new(format!("unknown response body '{body}'"))),
+        }
+    }
+
+    /// The stats snapshot as a lookup, for clients.
+    pub fn stats_field(&self, key: &str) -> Option<&str> {
+        match self {
+            Response::Stats { fields } => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+}
+
+fn field_str<'a>(args: &'a str, key: &str) -> Result<&'a str, ProtoError> {
+    for pair in args.split(' ') {
+        if let Some(v) = pair.strip_prefix(key) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Ok(v);
+            }
+        }
+    }
+    Err(ProtoError::new(format!("missing field '{key}'")))
+}
+
+fn field_u64(args: &str, key: &str) -> Result<u64, ProtoError> {
+    field_str(args, key)?
+        .parse()
+        .map_err(|_| ProtoError::new(format!("field '{key}' is not a number")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_hostile_payloads() {
+        for s in [
+            "plain",
+            "two\nlines",
+            "back\\slash",
+            "cr\r\nlf",
+            "trailing\\",
+            "mix \\n literal",
+        ] {
+            let escaped = escape(s);
+            assert!(!escaped.contains('\n'), "framing intact for {s:?}");
+            assert_eq!(unescape(&escaped), s);
+            let token = escape_token(s);
+            assert!(!token.contains(' '), "token form is space-free for {s:?}");
+            assert_eq!(unescape(&token), s);
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Hello {
+                db: "db".into(),
+                user: "u".into(),
+            },
+            Request::Exec {
+                sql: "insert t values (1)\nselect * from t".into(),
+            },
+            Request::Stats,
+            Request::Drain,
+            Request::Resume,
+            Request::Ping,
+            Request::Quit,
+        ];
+        for req in cases {
+            assert_eq!(Request::parse(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Hello { session: 7 },
+            Response::Exec {
+                actions: 2,
+                failed: 1,
+                rows: 10,
+                text: "rule fired\nrows follow".into(),
+            },
+            Response::Stats {
+                fields: vec![
+                    ("notifications".into(), "12".into()),
+                    ("mode".into(), "exactly once".into()),
+                ],
+            },
+            Response::Drain {
+                quiescent: true,
+                detached: 3,
+                outcomes: 4,
+            },
+            Response::Resume,
+            Response::Pong,
+            Response::Bye,
+            Response::Err {
+                code: "SQL".into(),
+                message: "table 't' does not exist".into(),
+            },
+        ];
+        for resp in cases {
+            assert_eq!(Response::parse(&resp.encode()), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("EXEC").is_err());
+        assert!(Request::parse("HELLO justdb").is_err());
+        assert!(Request::parse("NOSUCH op").is_err());
+        assert!(Response::parse("YES fine").is_err());
+        assert!(Response::parse("OK EXEC actions=x failed=0 rows=0 text=").is_err());
+        assert!(Response::parse("ERR JUSTCODE").is_err());
+    }
+
+    #[test]
+    fn stats_field_lookup() {
+        let resp = Response::Stats {
+            fields: vec![("a".into(), "1".into()), ("b".into(), "2".into())],
+        };
+        assert_eq!(resp.stats_field("b"), Some("2"));
+        assert_eq!(resp.stats_field("c"), None);
+        assert_eq!(Response::Pong.stats_field("a"), None);
+    }
+}

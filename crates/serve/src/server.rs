@@ -1,0 +1,440 @@
+//! The TCP server: an accept loop, two threads per connection (reader /
+//! worker) joined by a bounded submission queue, and a graceful drain.
+//!
+//! Backpressure: the reader parses frames off the socket and pushes them
+//! into a bounded crossbeam channel. When a session outruns the agent the
+//! channel fills, the reader blocks, the kernel receive buffer fills, and
+//! TCP flow control pushes back on the client — no unbounded queue
+//! anywhere. The queue's high-water mark is tracked per session and
+//! surfaced through `STATS`.
+//!
+//! Shutdown ([`ServeHandle::shutdown`]): stop accepting, half-close every
+//! session's read side (readers see EOF, workers finish the frames already
+//! queued and answer them), join all threads, then drain the
+//! [`ActiveService`] itself — quiescing the notifier pump and in-flight
+//! actions — and report what that accomplished.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use eca_core::service::{ActiveService, DrainReport};
+use eca_core::AgentResponse;
+use parking_lot::Mutex;
+use relsql::SessionCtx;
+
+use crate::proto::{ProtoError, Request, Response, CODE_BUSY, CODE_PROTO};
+use crate::session::{ServeStats, SessionCounters, SessionManager, SessionSnapshot};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks a free port (see [`ServeHandle::addr`]).
+    pub addr: String,
+    /// Connections beyond this are answered `ERR BUSY` and closed.
+    pub max_sessions: usize,
+    /// Bounded per-session submission queue depth (backpressure point).
+    pub queue_depth: usize,
+    /// Budget for quiescing the agent during shutdown.
+    pub drain_timeout: Duration,
+    /// Session identity for connections that skip `HELLO`.
+    pub default_db: String,
+    pub default_user: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: 64,
+            queue_depth: 32,
+            drain_timeout: Duration::from_secs(2),
+            default_db: "servedb".into(),
+            default_user: "client".into(),
+        }
+    }
+}
+
+impl ServeConfig {
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    pub fn with_max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n;
+        self
+    }
+
+    pub fn with_queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n.max(1);
+        self
+    }
+
+    pub fn with_drain_timeout(mut self, t: Duration) -> Self {
+        self.drain_timeout = t;
+        self
+    }
+}
+
+/// The serving layer. [`EcaServer::start`] binds, spawns the accept loop
+/// and returns a [`ServeHandle`]; everything else happens on background
+/// threads.
+pub struct EcaServer;
+
+impl EcaServer {
+    pub fn start(
+        service: Arc<dyn ActiveService>,
+        config: ServeConfig,
+    ) -> std::io::Result<ServeHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let manager = Arc::new(SessionManager::new(config.max_sessions));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let manager = Arc::clone(&manager);
+            let workers = Arc::clone(&workers);
+            let service = Arc::clone(&service);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            accept_connection(&service, &manager, &workers, &config, stream);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Listener drops here: further connects are refused.
+            })
+        };
+
+        Ok(ServeHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            manager,
+            workers,
+            service,
+            drain_timeout: config.drain_timeout,
+        })
+    }
+}
+
+fn accept_connection(
+    service: &Arc<dyn ActiveService>,
+    manager: &Arc<SessionManager>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: &ServeConfig,
+    stream: TcpStream,
+) {
+    let Some((id, counters)) = manager.try_open(&stream) else {
+        // Over the session limit: say so and close.
+        let mut w = BufWriter::new(&stream);
+        let _ = writeln!(
+            w,
+            "{}",
+            Response::Err {
+                code: CODE_BUSY.into(),
+                message: "session limit reached".into(),
+            }
+            .encode()
+        );
+        let _ = w.flush();
+        return;
+    };
+    let (tx, rx) = bounded::<Result<Request, ProtoError>>(config.queue_depth);
+    // Reader: socket → bounded queue. Blocks when the queue is full, which
+    // is the backpressure point.
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            manager.close(id);
+            return;
+        }
+    };
+    let reader = {
+        let counters = Arc::clone(&counters);
+        std::thread::spawn(move || read_loop(reader_stream, &tx, &counters))
+    };
+    // Worker: bounded queue → service → socket.
+    let worker = {
+        let service = Arc::clone(service);
+        let manager = Arc::clone(manager);
+        let counters = Arc::clone(&counters);
+        let default_ctx = SessionCtx::new(&config.default_db, &config.default_user);
+        let drain_timeout = config.drain_timeout;
+        let unblock = stream.try_clone().ok();
+        std::thread::spawn(move || {
+            work_loop(
+                stream,
+                &rx,
+                &service,
+                &counters,
+                &manager,
+                id,
+                default_ctx,
+                drain_timeout,
+            );
+            // The reader may be blocked in read_line on a client that never
+            // closes its end; half-close the read side so it sees EOF.
+            if let Some(s) = unblock {
+                let _ = s.shutdown(std::net::Shutdown::Read);
+            }
+            manager.close(id);
+            let _ = reader.join();
+        })
+    };
+    workers.lock().push(worker);
+}
+
+fn read_loop(
+    stream: TcpStream,
+    tx: &Sender<Result<Request, ProtoError>>,
+    counters: &SessionCounters,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or socket gone
+            Ok(_) => {}
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        counters.received.fetch_add(1, Ordering::Relaxed);
+        if tx.send(Request::parse(trimmed)).is_err() {
+            return; // worker gone
+        }
+        counters.observe_queue_depth(tx.len());
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn work_loop(
+    stream: TcpStream,
+    rx: &Receiver<Result<Request, ProtoError>>,
+    service: &Arc<dyn ActiveService>,
+    counters: &SessionCounters,
+    manager: &SessionManager,
+    id: u64,
+    mut ctx: SessionCtx,
+    drain_timeout: Duration,
+) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(frame) = rx.recv() {
+        let (response, quit) = match frame {
+            Err(proto) => (
+                Response::Err {
+                    code: CODE_PROTO.into(),
+                    message: proto.message,
+                },
+                false,
+            ),
+            Ok(req) => process(req, service, counters, manager, id, &mut ctx, drain_timeout),
+        };
+        counters.executed.fetch_add(1, Ordering::Relaxed);
+        if matches!(response, Response::Err { .. }) {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if writeln!(writer, "{}", response.encode()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if quit {
+            return; // socket closes when writer/stream drop
+        }
+    }
+}
+
+/// Execute one well-formed request. Returns the response and whether the
+/// session should close.
+fn process(
+    req: Request,
+    service: &Arc<dyn ActiveService>,
+    counters: &SessionCounters,
+    manager: &SessionManager,
+    id: u64,
+    ctx: &mut SessionCtx,
+    drain_timeout: Duration,
+) -> (Response, bool) {
+    match req {
+        Request::Hello { db, user } => {
+            *ctx = SessionCtx::new(&db, &user);
+            (Response::Hello { session: id }, false)
+        }
+        Request::Exec { sql } => match service.execute(&sql, ctx) {
+            Ok(resp) => (render_exec(&resp), false),
+            Err(e) => (
+                Response::Err {
+                    code: e.code().into(),
+                    message: e.to_string(),
+                },
+                false,
+            ),
+        },
+        Request::Stats => (stats_response(service, counters, manager, id), false),
+        Request::Drain => {
+            let report: DrainReport = service.drain(drain_timeout);
+            (
+                Response::Drain {
+                    quiescent: report.quiescent,
+                    detached: report.detached_joined as u64,
+                    outcomes: report.async_outcomes as u64,
+                },
+                false,
+            )
+        }
+        Request::Resume => {
+            service.resume();
+            (Response::Resume, false)
+        }
+        Request::Ping => (Response::Pong, false),
+        Request::Quit => (Response::Bye, true),
+    }
+}
+
+/// Flatten an [`AgentResponse`] into one `EXEC` frame: counts plus the
+/// rendered messages (agent, server, then per-action output).
+fn render_exec(resp: &AgentResponse) -> Response {
+    let mut text = String::new();
+    for m in &resp.messages {
+        text.push_str(m);
+        text.push('\n');
+    }
+    for m in &resp.server.messages {
+        text.push_str(m);
+        text.push('\n');
+    }
+    let mut rows = 0u64;
+    for r in &resp.server.results {
+        rows += r.rows.len() as u64;
+    }
+    let mut failed = 0u64;
+    for action in &resp.actions {
+        match &action.result {
+            Ok(batch) => {
+                for m in &batch.messages {
+                    text.push_str(&format!("[{}] {m}\n", action.rule));
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                text.push_str(&format!("[{}] action error: {e}\n", action.rule));
+            }
+        }
+    }
+    Response::Exec {
+        actions: resp.actions.len() as u64,
+        failed,
+        rows,
+        text: text.trim_end().to_string(),
+    }
+}
+
+/// The `STATS` frame: agent counters, serve aggregates, and this session's
+/// own counters, in stable key order.
+fn stats_response(
+    service: &Arc<dyn ActiveService>,
+    counters: &SessionCounters,
+    manager: &SessionManager,
+    id: u64,
+) -> Response {
+    let a = service.stats();
+    let s = manager.stats();
+    let fields: Vec<(String, String)> = [
+        ("eca_commands", a.eca_commands),
+        ("notifications", a.notifications),
+        ("malformed_notifications", a.malformed_notifications),
+        ("actions_executed", a.actions_executed),
+        ("drops_detected", a.drops_detected),
+        ("gaps_repaired", a.gaps_repaired),
+        ("duplicates_suppressed", a.duplicates_suppressed),
+        ("retries", a.retries),
+        ("dead_lettered", a.dead_lettered),
+        ("sessions_opened", s.sessions_opened),
+        ("sessions_active", s.sessions_active),
+        ("sessions_rejected", s.sessions_rejected),
+        ("requests", s.requests),
+        ("errors", s.errors),
+        ("session_id", id),
+        (
+            "session_received",
+            counters.received.load(Ordering::Relaxed),
+        ),
+        (
+            "session_executed",
+            counters.executed.load(Ordering::Relaxed),
+        ),
+        ("session_errors", counters.errors.load(Ordering::Relaxed)),
+        (
+            "session_queue_high_water",
+            counters.queue_high_water.load(Ordering::Relaxed) as u64,
+        ),
+        ("draining", service.is_draining() as u64),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect();
+    Response::Stats { fields }
+}
+
+/// Running server handle. Dropping it without calling
+/// [`ServeHandle::shutdown`] aborts the accept loop but leaves sessions to
+/// die with the process — call `shutdown` for the graceful path.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    manager: Arc<SessionManager>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    service: Arc<dyn ActiveService>,
+    drain_timeout: Duration,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve-layer aggregate counters.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.manager.stats()
+    }
+
+    /// Live per-session counter snapshots.
+    pub fn sessions(&self) -> Vec<SessionSnapshot> {
+        self.manager.sessions()
+    }
+
+    /// Graceful shutdown: stop accepting, half-close session read sides so
+    /// queued frames still execute and answer, join every thread, then
+    /// quiesce the service itself (notifier pump, DETACHED actions,
+    /// watermarks). Returns what the final drain accomplished.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.manager.shutdown_sockets();
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+        self.service.drain(self.drain_timeout)
+    }
+}

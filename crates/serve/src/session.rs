@@ -1,0 +1,175 @@
+//! Session bookkeeping: one entry per live TCP connection, plus the
+//! aggregate counters the `STATS` frame reports.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Per-session counters, shared between the session's reader/worker
+/// threads and the stats reporting path.
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    /// Frames read off the socket (well-formed or not).
+    pub received: AtomicU64,
+    /// Frames executed to completion (an `ERR` response still counts as
+    /// executed — the frame was processed).
+    pub executed: AtomicU64,
+    /// Frames answered with an `ERR` response.
+    pub errors: AtomicU64,
+    /// High-water mark of the bounded submission queue — how close this
+    /// session came to blocking its reader (backpressure).
+    pub queue_high_water: AtomicUsize,
+}
+
+impl SessionCounters {
+    /// Record a queue depth observation, keeping the maximum.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// Immutable snapshot of one session's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    pub id: u64,
+    pub received: u64,
+    pub executed: u64,
+    pub errors: u64,
+    pub queue_high_water: usize,
+}
+
+pub(crate) struct SessionEntry {
+    pub id: u64,
+    pub counters: Arc<SessionCounters>,
+    /// Kept so shutdown can close the socket out from under a blocked
+    /// reader.
+    pub stream: TcpStream,
+}
+
+/// Aggregate serve-layer counters (the per-server half of `STATS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sessions accepted over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions currently connected.
+    pub sessions_active: u64,
+    /// Connections turned away at the session limit.
+    pub sessions_rejected: u64,
+    /// Frames processed across all sessions.
+    pub requests: u64,
+    /// Frames answered with `ERR` across all sessions.
+    pub errors: u64,
+}
+
+/// Tracks every live session and the aggregate counters.
+pub struct SessionManager {
+    max_sessions: usize,
+    next_id: AtomicU64,
+    opened: AtomicU64,
+    rejected: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    active: Mutex<HashMap<u64, SessionEntry>>,
+}
+
+impl SessionManager {
+    pub fn new(max_sessions: usize) -> Self {
+        SessionManager {
+            max_sessions,
+            next_id: AtomicU64::new(0),
+            opened: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            active: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admit a connection, or reject it at the session limit. The returned
+    /// counters are shared with the entry kept here for stats/shutdown.
+    pub(crate) fn try_open(&self, stream: &TcpStream) -> Option<(u64, Arc<SessionCounters>)> {
+        let mut active = self.active.lock();
+        if active.len() >= self.max_sessions {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        let counters = Arc::new(SessionCounters::default());
+        let entry = SessionEntry {
+            id,
+            counters: Arc::clone(&counters),
+            stream: stream.try_clone().ok()?,
+        };
+        active.insert(id, entry);
+        Some((id, counters))
+    }
+
+    /// Session finished: fold its counters into the aggregate and forget
+    /// it.
+    pub(crate) fn close(&self, id: u64) {
+        let entry = self.active.lock().remove(&id);
+        if let Some(entry) = entry {
+            self.requests.fetch_add(
+                entry.counters.executed.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            self.errors.fetch_add(
+                entry.counters.errors.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Half-close every live session's read side. Blocked readers see EOF
+    /// and exit; workers still answer the frames already queued, because
+    /// the write side stays open until the worker finishes.
+    pub(crate) fn shutdown_sockets(&self) {
+        for entry in self.active.lock().values() {
+            let _ = entry.stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Aggregate counters. Live sessions' in-progress counts are folded in
+    /// on top of the totals from closed sessions.
+    pub fn stats(&self) -> ServeStats {
+        let active = self.active.lock();
+        let mut requests = self.requests.load(Ordering::Relaxed);
+        let mut errors = self.errors.load(Ordering::Relaxed);
+        for entry in active.values() {
+            requests += entry.counters.executed.load(Ordering::Relaxed);
+            errors += entry.counters.errors.load(Ordering::Relaxed);
+        }
+        ServeStats {
+            sessions_opened: self.opened.load(Ordering::Relaxed),
+            sessions_active: active.len() as u64,
+            sessions_rejected: self.rejected.load(Ordering::Relaxed),
+            requests,
+            errors,
+        }
+    }
+
+    /// Per-session snapshots, id-ordered (for diagnostics).
+    pub fn sessions(&self) -> Vec<SessionSnapshot> {
+        let active = self.active.lock();
+        let mut v: Vec<SessionSnapshot> = active
+            .values()
+            .map(|e| SessionSnapshot {
+                id: e.id,
+                received: e.counters.received.load(Ordering::Relaxed),
+                executed: e.counters.executed.load(Ordering::Relaxed),
+                errors: e.counters.errors.load(Ordering::Relaxed),
+                queue_high_water: e.counters.queue_high_water.load(Ordering::Relaxed),
+            })
+            .collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+}

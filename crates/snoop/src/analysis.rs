@@ -13,18 +13,17 @@ pub fn validate(expr: &EventExpr, mut event_exists: impl FnMut(&EventName) -> bo
             return;
         }
         match e {
-            EventExpr::Named(n)
-                if !event_exists(n) => {
-                    problem = Some(format!("unknown event '{}'", n.key()));
-                }
+            EventExpr::Named(n) if !event_exists(n) => {
+                problem = Some(format!("unknown event '{}'", n.key()));
+            }
             EventExpr::Periodic { period, .. } | EventExpr::PeriodicStar { period, .. }
-                if period.micros <= 0 => {
-                    problem = Some("periodic interval must be positive".into());
-                }
-            EventExpr::Plus { delta, .. }
-                if delta.micros <= 0 => {
-                    problem = Some("PLUS offset must be positive".into());
-                }
+                if period.micros <= 0 =>
+            {
+                problem = Some("periodic interval must be positive".into());
+            }
+            EventExpr::Plus { delta, .. } if delta.micros <= 0 => {
+                problem = Some("PLUS offset must be positive".into());
+            }
             _ => {}
         }
     });

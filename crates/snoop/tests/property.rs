@@ -5,7 +5,10 @@ use proptest::prelude::*;
 use snoop::{Duration, EventExpr, EventName, TimeSpec};
 
 fn name_strategy() -> impl Strategy<Value = EventName> {
-    ("[a-z][a-z0-9_]{0,8}", prop::option::of("[a-z][a-z0-9]{0,5}"))
+    (
+        "[a-z][a-z0-9_]{0,8}",
+        prop::option::of("[a-z][a-z0-9]{0,5}"),
+    )
         .prop_map(|(name, object)| EventName {
             name,
             object,

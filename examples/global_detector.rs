@@ -33,16 +33,15 @@ fn main() {
         .unwrap();
     hq.execute("create table reconciliations (note varchar(60))")
         .unwrap();
-    hq.execute(
-        "create trigger t_ship on shipments for insert event shipped as print 'shipped'",
-    )
-    .unwrap();
+    hq.execute("create trigger t_ship on shipments for insert event shipped as print 'shipped'")
+        .unwrap();
 
     // ---- The GED ties the sites together --------------------------------
     let ged = GlobalEventDetector::new();
     ged.attach_site("branch", &branch_agent).unwrap();
     ged.attach_site("hq", &hq_agent).unwrap();
-    ged.export_event("branch", "branchdb.clerk.orderPlaced").unwrap();
+    ged.export_event("branch", "branchdb.clerk.orderPlaced")
+        .unwrap();
     ged.export_event("hq", "hqdb.warehouse.shipped").unwrap();
 
     // Global composite: an order at the branch followed by a shipment from

@@ -82,7 +82,10 @@ fn main() {
     plant
         .execute("insert consumption values ('gear', 10)")
         .unwrap();
-    println!("  reorders: {}", scalar(&plant, "select count(*) from reorders"));
+    println!(
+        "  reorders: {}",
+        scalar(&plant, "select count(*) from reorders")
+    );
     println!(
         "  expedited (cascaded rule): {}",
         scalar(&plant, "select count(*) from expedited")
@@ -125,7 +128,9 @@ fn main() {
         poller.poll().unwrap();
     }
     let (polls, queries, detections) = poller.stats();
-    println!("  polling:  {polls} polls, {queries} queries, {detections} detections (3 real events)");
+    println!(
+        "  polling:  {polls} polls, {queries} queries, {detections} detections (3 real events)"
+    );
 
     // Embedded checks: every application statement pays the probe.
     let mut embedded = EmbeddedCheckClient::new(

@@ -93,10 +93,7 @@ fn main() {
     noc.execute("insert link_down values ('lan3')").unwrap();
     noc.execute("insert link_down values ('lan4')").unwrap();
     noc.execute("insert link_up values ('lan3')").unwrap(); // closes window
-    println!(
-        "  expected-down reports: {}",
-        count(&noc, "reports")
-    );
+    println!("  expected-down reports: {}", count(&noc, "reports"));
 
     println!("== scenario 4: virtual time drives the PLUS follow-ups ==");
     let before = count(&noc, "reports");

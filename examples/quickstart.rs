@@ -36,7 +36,9 @@ fn main() {
         )
         .unwrap();
     println!("== Example 1: insert fires the named primitive event ==");
-    let resp = client.execute("insert stock values ('IBM', 104.5)").unwrap();
+    let resp = client
+        .execute("insert stock values ('IBM', 104.5)")
+        .unwrap();
     for m in &resp.server.messages {
         println!("  server message: {m}");
     }

@@ -94,10 +94,7 @@ fn main() {
     let resp = trader
         .execute("insert trades values ('IBM', 200, 'BUY')")
         .unwrap();
-    println!(
-        "  reactive-trade rule fired {} time(s)",
-        resp.actions.len()
-    );
+    println!("  reactive-trade rule fired {} time(s)", resp.actions.len());
 
     trader
         .execute("update quotes set price = 49.0 where symbol = 'HP'")
@@ -109,7 +106,10 @@ fn main() {
     // Detached actions finish asynchronously; join them.
     let detached = agent.wait_detached();
     println!("  detached margin checks completed: {}", detached.len());
-    println!("  margin calls recorded: {}", count(&trader, "margin_calls"));
+    println!(
+        "  margin calls recorded: {}",
+        count(&trader, "margin_calls")
+    );
 
     // Deferred actions run at commit.
     let resp = trader

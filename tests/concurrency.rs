@@ -25,9 +25,7 @@ fn many_clients_insert_concurrently() {
         let client = agent.client("db", &format!("user{k}"));
         handles.push(std::thread::spawn(move || {
             for i in 0..per_thread {
-                client
-                    .execute(&format!("insert t values ({i})"))
-                    .unwrap();
+                client.execute(&format!("insert t values ({i})")).unwrap();
             }
         }));
     }
@@ -138,4 +136,61 @@ fn readers_and_writers_interleave() {
     });
     w.join().unwrap();
     r.join().unwrap();
+}
+
+#[test]
+fn rule_creation_races_dml_on_the_same_table() {
+    // One client defines a rule on `t` while another is mid-flight with
+    // inserts on `t`. Requirements: no deadlock (trigger DDL regenerates
+    // the native trigger while DML holds server sessions), and afterwards
+    // the system behaves exactly like a serialized run — every post-create
+    // insert fires the rule exactly once.
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let setup = agent.client("db", "admin");
+    setup.execute("create table t (a int)").unwrap();
+    setup.execute("create table audit (n int)").unwrap();
+
+    let m = 50;
+    let ddl = agent.client("db", "ddl");
+    let dml = agent.client("db", "dml");
+    let creator = std::thread::spawn(move || {
+        ddl.execute("create trigger tr on t for insert event e as insert audit values (1)")
+            .unwrap();
+    });
+    let writer = std::thread::spawn(move || {
+        for i in 0..m {
+            dml.execute(&format!("insert t values ({i})")).unwrap();
+        }
+    });
+    creator.join().unwrap();
+    writer.join().unwrap();
+
+    // Inserts that ran before the trigger existed fired nothing; the rest
+    // fired exactly once. The count is whatever the race produced, but it
+    // must be consistent — and bounded by the insert count.
+    let during = match setup
+        .execute("select count(*) from audit")
+        .unwrap()
+        .server
+        .scalar()
+    {
+        Some(Value::Int(n)) => *n,
+        other => panic!("expected a count, got {other:?}"),
+    };
+    assert!(
+        (0..=m).contains(&during),
+        "audit count {during} out of range"
+    );
+    assert_eq!(agent.stats().notifications, during as u64);
+
+    // From here on the run is equivalent to a serialized one: m more
+    // inserts must fire exactly m more actions.
+    for i in 0..m {
+        setup.execute(&format!("insert t values ({i})")).unwrap();
+    }
+    let r = setup.execute("select count(*) from audit").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(during + m)));
+    let r = setup.execute("select count(*) from t").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(2 * m)));
 }

@@ -163,7 +163,9 @@ fn astar_accumulation_reaches_the_action() {
         .unwrap();
     client.execute("insert windows values (1)").unwrap();
     for v in [10, 20, 30] {
-        client.execute(&format!("insert ticks values ({v})")).unwrap();
+        client
+            .execute(&format!("insert ticks values ({v})"))
+            .unwrap();
     }
     let resp = client.execute("insert closes values (1)").unwrap();
     assert_eq!(resp.actions.len(), 1, "A* detects once at close");
@@ -179,7 +181,11 @@ fn astar_accumulation_reaches_the_action() {
             _ => panic!(),
         })
         .collect();
-    assert_eq!(vals, vec![10, 20, 30], "all accumulated ticks reached the action");
+    assert_eq!(
+        vals,
+        vec![10, 20, 30],
+        "all accumulated ticks reached the action"
+    );
     let _ = agent;
 }
 
@@ -218,7 +224,9 @@ fn different_contexts_on_same_constituents_coexist() {
     }
     client.execute("insert b values (9)").unwrap();
     let count = |t: &str| {
-        let r = client.execute(&format!("select count(*) from {t}")).unwrap();
+        let r = client
+            .execute(&format!("select count(*) from {t}"))
+            .unwrap();
         match r.server.scalar() {
             Some(Value::Int(n)) => *n,
             other => panic!("{other:?}"),

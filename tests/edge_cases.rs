@@ -29,7 +29,10 @@ fn dropping_trigger_discards_its_pending_deferred_actions() {
     // A deferred action is queued; dropping the trigger must purge it.
     client.execute("drop trigger tr").unwrap();
     let resp = agent.flush_deferred().unwrap();
-    assert!(resp.actions.is_empty(), "dropped rule's deferred action purged");
+    assert!(
+        resp.actions.is_empty(),
+        "dropped rule's deferred action purged"
+    );
     let r = client.execute("select count(*) from audit").unwrap();
     assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
 }
@@ -85,9 +88,17 @@ fn update_event_feeds_composite_with_both_shadows() {
     let resp = client.execute("insert confirms values (1)").unwrap();
     assert_eq!(resp.actions.len(), 1);
     let r = client.execute("select a from seen_old").unwrap();
-    assert_eq!(r.server.scalar(), Some(&Value::Int(1)), "old row via deleted shadow");
+    assert_eq!(
+        r.server.scalar(),
+        Some(&Value::Int(1)),
+        "old row via deleted shadow"
+    );
     let r = client.execute("select a from seen_new").unwrap();
-    assert_eq!(r.server.scalar(), Some(&Value::Int(2)), "new row via inserted shadow");
+    assert_eq!(
+        r.server.scalar(),
+        Some(&Value::Int(2)),
+        "new row via inserted shadow"
+    );
 }
 
 #[test]
@@ -174,7 +185,11 @@ fn composite_on_mixed_native_and_led_primitive_rules() {
         .unwrap();
     client.execute("insert t values (1)").unwrap();
     agent.wait_detached();
-    for (table, label) in [("log_n", "native"), ("log_d", "detached"), ("log_c", "composite")] {
+    for (table, label) in [
+        ("log_n", "native"),
+        ("log_d", "detached"),
+        ("log_c", "composite"),
+    ] {
         let r = client
             .execute(&format!("select count(*) from {table}"))
             .unwrap();

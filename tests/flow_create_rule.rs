@@ -21,7 +21,9 @@ fn setup() -> (EcaAgent, eca_core::EcaClient) {
 fn plain_sql_is_untouched_by_the_filter() {
     let (agent, client) = setup();
     // Step 3-4: non-ECA commands go straight through and come straight back.
-    let resp = client.execute("insert stock values ('A', 1.0) select count(*) from stock").unwrap();
+    let resp = client
+        .execute("insert stock values ('A', 1.0) select count(*) from stock")
+        .unwrap();
     assert_eq!(resp.server.scalar(), Some(&relsql::Value::Int(1)));
     assert!(resp.messages.is_empty());
     assert_eq!(agent.stats().eca_commands, 0);
@@ -48,7 +50,10 @@ fn syntax_error_reported_without_side_effects() {
     let err = client
         .execute("create trigger t event e = ^ bogus as print 'x'")
         .unwrap_err();
-    assert!(matches!(err, AgentError::Snoop(_) | AgentError::EcaSyntax(_)));
+    assert!(matches!(
+        err,
+        AgentError::Snoop(_) | AgentError::EcaSyntax(_)
+    ));
     assert!(agent.event_names().is_empty());
     assert!(agent.trigger_names().is_empty());
     let pm = PersistentManager::new(agent.server());
@@ -200,7 +205,9 @@ fn drop_trigger_full_cycle() {
     assert!(resp.server.messages.contains(&"one".to_string()));
     assert!(!resp.server.messages.contains(&"two".to_string()));
     // Dropping the last trigger leaves the event defined and persistent.
-    client.execute("drop trigger t_1_does_not_exist_so_forwarded_fails").unwrap_err();
+    client
+        .execute("drop trigger t_1_does_not_exist_so_forwarded_fails")
+        .unwrap_err();
     client.execute("drop trigger t1").unwrap();
     assert!(agent.trigger_names().is_empty());
     assert!(agent
@@ -259,7 +266,11 @@ fn trigger_info_exposes_structured_metadata() {
     assert_eq!(info.coupling, CouplingMode::Detached);
     assert_eq!(info.context, ParameterContext::Chronicle);
     assert_eq!(info.priority, 7);
-    assert_eq!(info.kind, TriggerKind::Led, "non-immediate goes via the LED");
+    assert_eq!(
+        info.kind,
+        TriggerKind::Led,
+        "non-immediate goes via the LED"
+    );
     assert_eq!(info.proc_name, "sentineldb.sharma.t1__Proc");
     assert_eq!(agent.triggers().len(), 1);
     assert!(agent.trigger_info("ghost").is_none());
@@ -323,7 +334,9 @@ fn failed_composite_creation_rolls_back_led_registration() {
         .unwrap_err();
     assert!(matches!(err, AgentError::Sql(_)), "{err}");
     assert!(
-        !agent.event_names().contains(&"sentineldb.sharma.cc".to_string()),
+        !agent
+            .event_names()
+            .contains(&"sentineldb.sharma.cc".to_string()),
         "half-defined composite must not linger in the LED"
     );
     // Retry with a valid action.

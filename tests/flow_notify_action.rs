@@ -15,7 +15,9 @@ fn setup() -> (EcaAgent, eca_core::EcaClient) {
     client
         .execute("create table stock (symbol varchar(10), price float)")
         .unwrap();
-    client.execute("create table audit (note varchar(60))").unwrap();
+    client
+        .execute("create table audit (note varchar(60))")
+        .unwrap();
     (agent, client)
 }
 
@@ -88,7 +90,11 @@ fn deferred_coupling_waits_for_commit() {
         resp.actions
     );
     let r = client.execute("select count(*) from audit").unwrap();
-    assert_eq!(r.server.scalar(), Some(&Value::Int(2)), "both deferred actions ran");
+    assert_eq!(
+        r.server.scalar(),
+        Some(&Value::Int(2)),
+        "both deferred actions ran"
+    );
     let _ = agent;
 }
 
@@ -117,8 +123,7 @@ fn detached_coupling_runs_on_separate_thread() {
 fn action_cascade_triggers_further_rules() {
     // An action's DML can itself raise events (rule cascades).
     let (_agent, client) = setup();
-    client
-        .execute("create table tier2 (n int)").unwrap();
+    client.execute("create table tier2 (n int)").unwrap();
     client
         .execute(
             "create trigger t1 on stock for insert event addStk \
@@ -134,7 +139,11 @@ fn action_cascade_triggers_further_rules() {
         .unwrap();
     client.execute("insert stock values ('A', 1.0)").unwrap();
     let r = client.execute("select count(*) from tier2").unwrap();
-    assert_eq!(r.server.scalar(), Some(&Value::Int(1)), "cascade reached tier 2");
+    assert_eq!(
+        r.server.scalar(),
+        Some(&Value::Int(1)),
+        "cascade reached tier 2"
+    );
 }
 
 #[test]
@@ -244,7 +253,11 @@ fn periodic_fires_repeatedly_until_closed() {
     client.execute("insert stops values (1)").unwrap(); // close window
     agent.advance_time(60_000_000).unwrap();
     let r = client.execute("select count(*) from audit").unwrap();
-    assert_eq!(r.server.scalar(), Some(&Value::Int(3)), "no ticks after close");
+    assert_eq!(
+        r.server.scalar(),
+        Some(&Value::Int(3)),
+        "no ticks after close"
+    );
 }
 
 #[test]
@@ -257,13 +270,13 @@ fn update_event_passes_old_and_new_context() {
                 insert audit select symbol from stock.inserted",
         )
         .unwrap();
-    client.execute("insert stock values ('IBM', 100.0)").unwrap();
+    client
+        .execute("insert stock values ('IBM', 100.0)")
+        .unwrap();
     client
         .execute("update stock set price = 150.0 where symbol = 'IBM'")
         .unwrap();
-    let r = client
-        .execute("select count(*) from audit")
-        .unwrap();
+    let r = client.execute("select count(*) from audit").unwrap();
     // One row from deleted (old) + one from inserted (new).
     assert_eq!(r.server.scalar(), Some(&Value::Int(2)));
 }
@@ -274,10 +287,7 @@ fn led_state_limit_surfaces_as_agent_error() {
     let server = SqlServer::new();
     let agent = EcaAgent::new(
         Arc::clone(&server),
-        AgentConfig {
-            led_state_limit: Some(3),
-            ..AgentConfig::default()
-        },
+        AgentConfig::builder().led_state_limit(Some(3)).build(),
     )
     .unwrap();
     let client = agent.client("db", "u");

@@ -16,12 +16,10 @@ fn agent_with_loss(p: f64, seed: u64) -> (EcaAgent, eca_core::EcaClient) {
     let server = SqlServer::new();
     let agent = EcaAgent::new(
         Arc::clone(&server),
-        AgentConfig {
-            drop_probability: p,
-            drop_seed: seed,
-            exactly_once: false,
-            ..AgentConfig::default()
-        },
+        AgentConfig::builder()
+            .drop_probability(p, seed)
+            .exactly_once(false)
+            .build(),
     )
     .unwrap();
     let client = agent.client("db", "u");
@@ -98,12 +96,10 @@ fn composite_detection_degrades_with_loss() {
     let server = SqlServer::new();
     let agent = EcaAgent::new(
         Arc::clone(&server),
-        AgentConfig {
-            drop_probability: 0.5,
-            drop_seed: 3,
-            exactly_once: false,
-            ..AgentConfig::default()
-        },
+        AgentConfig::builder()
+            .drop_probability(0.5, 3)
+            .exactly_once(false)
+            .build(),
     )
     .unwrap();
     let client = agent.client("db", "u");
@@ -133,7 +129,10 @@ fn composite_detection_degrades_with_loss() {
     };
     // 100 potential pairs; with 50% loss per side, far fewer survive, but
     // chronicle pairing still matches some stragglers.
-    assert!(pairs < 80, "loss must reduce composite detections, got {pairs}");
+    assert!(
+        pairs < 80,
+        "loss must reduce composite detections, got {pairs}"
+    );
     assert!(pairs > 0, "some pairs should survive seed 3");
 }
 
@@ -145,11 +144,7 @@ fn exactly_once_mode_repairs_total_loss() {
     let server = SqlServer::new();
     let agent = EcaAgent::new(
         Arc::clone(&server),
-        AgentConfig {
-            drop_probability: 1.0,
-            drop_seed: 1,
-            ..AgentConfig::default()
-        },
+        AgentConfig::builder().drop_probability(1.0, 1).build(),
     )
     .unwrap();
     let client = agent.client("db", "u");

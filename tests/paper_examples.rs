@@ -55,7 +55,9 @@ fn example_1_primitive_trigger() {
 
     // Inserting fires the native trigger: action runs inside the server and
     // its output comes back with the client's own result.
-    let resp = client.execute("insert stock values ('IBM', 104.5)").unwrap();
+    let resp = client
+        .execute("insert stock values ('IBM', 104.5)")
+        .unwrap();
     assert!(
         resp.server
             .messages
@@ -124,7 +126,9 @@ fn example_2_composite_trigger() {
     // Seed a row, then the delete + insert pair that forms the AND.
     client.execute("insert stock values ('HP', 50.0)").unwrap();
     client.execute("delete stock where symbol = 'HP'").unwrap();
-    let resp = client.execute("insert stock values ('IBM', 104.5)").unwrap();
+    let resp = client
+        .execute("insert stock values ('IBM', 104.5)")
+        .unwrap();
 
     // The composite fired exactly once, through the LED → Action Handler.
     assert_eq!(resp.actions.len(), 1, "actions: {:?}", resp.actions);

@@ -13,7 +13,9 @@ fn build_rules(server: &Arc<SqlServer>) -> EcaAgent {
     client
         .execute("create table stock (symbol varchar(10), price float)")
         .unwrap();
-    client.execute("create table audit (note varchar(60))").unwrap();
+    client
+        .execute("create table audit (note varchar(60))")
+        .unwrap();
     client
         .execute("create trigger t_add on stock for insert event addStk as print 'add'")
         .unwrap();
@@ -78,10 +80,7 @@ fn vno_counters_continue_across_restart() {
         .unwrap();
     let pm = PersistentManager::new(&server);
     let prims = pm.load_primitives().unwrap();
-    let add = prims
-        .iter()
-        .find(|p| p.event.ends_with("addStk"))
-        .unwrap();
+    let add = prims.iter().find(|p| p.event.ends_with("addStk")).unwrap();
     assert_eq!(add.vno, 4, "occurrence numbering is continuous");
 }
 
@@ -174,22 +173,43 @@ fn system_tables_schema_matches_paper_figures() {
     };
     assert_eq!(
         names("SysPrimitiveEvent"),
-        vec!["dbName", "userName", "eventName", "tableName", "operation", "timeStamp", "vNo"]
+        vec![
+            "dbName",
+            "userName",
+            "eventName",
+            "tableName",
+            "operation",
+            "timeStamp",
+            "vNo"
+        ]
     );
     assert_eq!(
         names("SysCompositeEvent"),
-        vec!["dbName", "userName", "eventName", "eventDescribe", "timeStamp", "coupling", "context", "priority"]
+        vec![
+            "dbName",
+            "userName",
+            "eventName",
+            "eventDescribe",
+            "timeStamp",
+            "coupling",
+            "context",
+            "priority"
+        ]
     );
     // SysEcaTrigger: the paper's six columns plus the four recovery
     // extensions documented in DESIGN.md.
     assert_eq!(
         names("SysEcaTrigger")[..6],
-        ["dbName", "userName", "triggerName", "triggerProc", "timeStamp", "eventName"]
+        [
+            "dbName",
+            "userName",
+            "triggerName",
+            "triggerProc",
+            "timeStamp",
+            "eventName"
+        ]
     );
-    assert_eq!(
-        names("sysContext"),
-        vec!["tableName", "context", "vNo"]
-    );
+    assert_eq!(names("sysContext"), vec!["tableName", "context", "vNo"]);
     // Agent extension (not in the paper): per-event delivery high-water
     // marks backing the exactly-once pump.
     assert_eq!(names("SysAgentWatermark"), vec!["eventName", "hwm"]);
@@ -279,12 +299,10 @@ fn occurrences_missed_during_downtime_replay_on_restart() {
     {
         let agent = EcaAgent::new(
             Arc::clone(&server),
-            AgentConfig {
-                drop_probability: 1.0,
-                drop_seed: 1,
-                exactly_once: false,
-                ..AgentConfig::default()
-            },
+            AgentConfig::builder()
+                .drop_probability(1.0, 1)
+                .exactly_once(false)
+                .build(),
         )
         .unwrap();
         let client = agent.client("db", "u");
@@ -304,7 +322,11 @@ fn occurrences_missed_during_downtime_replay_on_restart() {
         }
         agent.wait_detached();
         let r = client.execute("select count(*) from audit").unwrap();
-        assert_eq!(r.server.scalar(), Some(&Value::Int(0)), "nothing detected yet");
+        assert_eq!(
+            r.server.scalar(),
+            Some(&Value::Int(0)),
+            "nothing detected yet"
+        );
     }
     let agent2 = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
     agent2.wait_detached();
@@ -326,10 +348,7 @@ fn agent_with_config_recovers_too() {
     build_rules(&server);
     let agent = EcaAgent::new(
         Arc::clone(&server),
-        AgentConfig {
-            notify_port: 20000,
-            ..AgentConfig::default()
-        },
+        AgentConfig::builder().notify_port(20000).build(),
     )
     .unwrap();
     assert_eq!(agent.trigger_names().len(), 3);

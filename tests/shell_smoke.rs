@@ -33,7 +33,10 @@ fn scripted_session_detects_composite() {
          \\quit\n",
     );
     // Example 1's primitive action printed.
-    assert!(out.contains("t_addStk on primitive event addStk occurs"), "{out}");
+    assert!(
+        out.contains("t_addStk on primitive event addStk occurs"),
+        "{out}"
+    );
     // Example 2's composite fired on the delete+insert pair.
     assert!(out.contains("composite addDel detected"), "{out}");
     assert!(out.contains("fired on sentineldb.sharma.addDel"), "{out}");
@@ -73,7 +76,10 @@ fn sql_errors_do_not_kill_the_shell() {
          \\quit\n",
     );
     // Error reported (on stderr), then the next command still works.
-    assert!(out.contains("t_addStk on primitive event addStk occurs"), "{out}");
+    assert!(
+        out.contains("t_addStk on primitive event addStk occurs"),
+        "{out}"
+    );
 }
 
 #[test]

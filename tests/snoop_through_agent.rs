@@ -43,19 +43,13 @@ fn hits(client: &eca_core::EcaClient) -> i64 {
 fn keyword_operators_parse_and_fire() {
     let (_agent, client) = setup();
     client
-        .execute(
-            "create trigger tr1 event k_or = ea OR eb as insert hits values (1)",
-        )
+        .execute("create trigger tr1 event k_or = ea OR eb as insert hits values (1)")
         .unwrap();
     client
-        .execute(
-            "create trigger tr2 event k_and = ea AND eb as insert hits values (2)",
-        )
+        .execute("create trigger tr2 event k_and = ea AND eb as insert hits values (2)")
         .unwrap();
     client
-        .execute(
-            "create trigger tr3 event k_seq = ea SEQ eb as insert hits values (3)",
-        )
+        .execute("create trigger tr3 event k_seq = ea SEQ eb as insert hits values (3)")
         .unwrap();
     client.execute("insert ta values (1)").unwrap(); // OR fires
     assert_eq!(hits(&client), 1);
@@ -84,7 +78,14 @@ fn ternary_operators_through_syntax() {
              as insert hits values (3)",
         )
         .unwrap();
-    assert_eq!(agent.event_names().iter().filter(|e| e.contains("w_")).count(), 3);
+    assert_eq!(
+        agent
+            .event_names()
+            .iter()
+            .filter(|e| e.contains("w_"))
+            .count(),
+        3
+    );
     client.execute("insert ta values (1)").unwrap(); // opens all windows
     client.execute("insert tb values (1)").unwrap(); // A fires; NOT cancelled
     assert_eq!(hits(&client), 1, "A fired once");

@@ -91,7 +91,11 @@ fn composite_events_impossible_natively_but_detected_by_agent() {
     assert_eq!(r.server.scalar(), Some(&Value::Int(0)));
     client.execute("insert payments values (1)").unwrap();
     let r = client.execute("select count(*) from matched").unwrap();
-    assert_eq!(r.server.scalar(), Some(&Value::Int(1)), "cross-table composite");
+    assert_eq!(
+        r.server.scalar(),
+        Some(&Value::Int(1)),
+        "cross-table composite"
+    );
 }
 
 #[test]
