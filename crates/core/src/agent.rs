@@ -74,6 +74,13 @@ pub struct AgentConfig {
     /// unbounded CHRONICLE/CONTINUOUS state — see experiment E9).
     /// `None` disables the check.
     pub led_state_limit: Option<usize>,
+    /// Bound on the notification channel feeding the detector stage.
+    /// `None` keeps the channel unbounded; `Some(depth)` makes `syb_sendmsg`
+    /// drop-on-full (UDP semantics, counted in
+    /// [`AgentStats::notify_overflows`]) so a slow detector can never hold
+    /// table locks hostage — the exactly-once anti-entropy sweep repairs
+    /// any overflowed occurrence from the durable version tables.
+    pub notify_queue_depth: Option<usize>,
 }
 
 impl AgentConfig {
@@ -90,6 +97,7 @@ impl AgentConfig {
                 retry: RetryPolicy::default(),
                 max_cascade: 10_000,
                 led_state_limit: None,
+                notify_queue_depth: None,
             },
         }
     }
@@ -170,6 +178,13 @@ impl AgentConfigBuilder {
         self
     }
 
+    /// Bound the notification channel feeding the detector stage (`None`
+    /// keeps it unbounded).
+    pub fn notify_queue_depth(mut self, depth: Option<usize>) -> Self {
+        self.config.notify_queue_depth = depth;
+        self
+    }
+
     /// Finish the build.
     pub fn build(self) -> AgentConfig {
         self.config
@@ -193,6 +208,21 @@ pub struct AgentStats {
     pub retries: u64,
     /// Actions parked in the dead-letter queue (cumulative).
     pub dead_lettered: u64,
+    /// Datagrams dropped because the bounded notification queue was full
+    /// (repaired later by the anti-entropy sweep).
+    pub notify_overflows: u64,
+    /// Server statement-plan cache hits (memoized parses reused).
+    pub plan_cache_hits: u64,
+    /// Server statement-plan cache misses (batches parsed from scratch).
+    pub plan_cache_misses: u64,
+    /// Lock-group acquisitions that blocked on a busy table.
+    pub lock_waits: u64,
+    /// Batches the server scheduled concurrently under per-table locks.
+    pub batches_parallel: u64,
+    /// Batches the server ran exclusively (DDL, transactions).
+    pub batches_exclusive: u64,
+    /// Peak number of footprint-scheduled batches executing at once.
+    pub batches_inflight_peak: u64,
 }
 
 /// Named fault counters from the notification channel's chaos sink.
@@ -246,6 +276,9 @@ struct Inner {
     persist: PersistentManager,
     action: Arc<ActionHandler>,
     rx: Receiver<Datagram>,
+    /// The base channel sink (possibly bounded) — kept for the overflow
+    /// counter even when a chaos sink wraps it.
+    sink: Arc<ChannelSink>,
     /// The chaos sink, when a fault plan is active — kept so tests and the
     /// shell can flush held datagrams and read channel fault counters.
     chaos: Option<Arc<ChaosSink<ChannelSink>>>,
@@ -267,6 +300,12 @@ struct Inner {
     notifications: AtomicU64,
     malformed: AtomicU64,
     actions_executed: AtomicU64,
+    /// Last observed value of the combined loss signal (engine rollbacks +
+    /// channel overflows + malformed datagrams + chaos faults). The
+    /// exactly-once pump runs its durable-counter anti-entropy sweep only
+    /// when this moves — in a loss-free steady state the sweep is pure
+    /// overhead and serializes disjoint-table clients on the tracker lock.
+    last_loss_signal: AtomicU64,
 }
 
 /// The agent. Cheap to clone (all state shared).
@@ -280,16 +319,19 @@ impl EcaAgent {
     /// sink, creates missing system tables, and restores every persisted
     /// ECA rule (Persistent Manager recovery, Figure 8).
     pub fn new(server: Arc<SqlServer>, config: AgentConfig) -> Result<Self> {
-        let (sink, rx) = ChannelSink::new();
+        let (sink, rx) = match config.notify_queue_depth {
+            Some(depth) => ChannelSink::bounded(depth),
+            None => ChannelSink::new(),
+        };
         let plan = config
             .fault_plan
             .clone()
             .unwrap_or_else(|| FaultPlan::lossy(config.drop_probability, config.drop_seed));
         let chaos = if plan.is_noop() {
-            server.set_sink(sink as Arc<dyn NotificationSink>);
+            server.set_sink(Arc::clone(&sink) as Arc<dyn NotificationSink>);
             None
         } else {
-            let chaos = ChaosSink::new(sink, plan);
+            let chaos = ChaosSink::new(Arc::clone(&sink), plan);
             server.set_sink(Arc::clone(&chaos) as Arc<dyn NotificationSink>);
             Some(chaos)
         };
@@ -309,6 +351,7 @@ impl EcaAgent {
                 registry: Mutex::new(Registry::new()),
                 persist,
                 rx,
+                sink,
                 chaos,
                 tracker: Mutex::new(ReliabilityTracker::new()),
                 config,
@@ -321,6 +364,7 @@ impl EcaAgent {
                 notifications: AtomicU64::new(0),
                 malformed: AtomicU64::new(0),
                 actions_executed: AtomicU64::new(0),
+                last_loss_signal: AtomicU64::new(0),
             }),
         };
         agent.recover()?;
@@ -348,6 +392,7 @@ impl EcaAgent {
 
     pub fn stats(&self) -> AgentStats {
         let tracker = self.inner.tracker.lock();
+        let server = self.server().server_stats();
         AgentStats {
             eca_commands: self.inner.eca_commands.load(Ordering::Relaxed),
             notifications: self.inner.notifications.load(Ordering::Relaxed),
@@ -358,6 +403,13 @@ impl EcaAgent {
             duplicates_suppressed: tracker.duplicates_suppressed(),
             retries: self.inner.action.retry_count(),
             dead_lettered: self.inner.action.dead_letter_count(),
+            notify_overflows: self.inner.sink.overflow_count(),
+            plan_cache_hits: server.plan_cache_hits,
+            plan_cache_misses: server.plan_cache_misses,
+            lock_waits: server.lock_waits,
+            batches_parallel: server.batches_parallel,
+            batches_exclusive: server.batches_exclusive,
+            batches_inflight_peak: server.batches_inflight_peak,
         }
     }
 
@@ -737,6 +789,28 @@ impl EcaAgent {
         }
     }
 
+    /// Combined monotonic loss signal: every path that can leave a durable
+    /// occurrence counter out of step with the admission tracker without a
+    /// matching datagram in the channel bumps one of these counters *during
+    /// the statement that caused it* (chaos faults and overflows increment
+    /// at send time, rollbacks inside the ROLLBACK statement), so by the
+    /// time that statement's own pump runs, the signal has already moved.
+    fn loss_signal(&self) -> u64 {
+        let rollbacks = self.server().inspect(|e| e.rollback_count());
+        let chaos = self
+            .inner
+            .chaos
+            .as_ref()
+            .map(|c| {
+                c.dropped_count() + c.duplicated_count() + c.reordered_count() + c.delayed_count()
+            })
+            .unwrap_or(0);
+        rollbacks
+            .wrapping_add(self.inner.sink.overflow_count())
+            .wrapping_add(self.inner.malformed.load(Ordering::SeqCst))
+            .wrapping_add(chaos)
+    }
+
     /// Exactly-once pump: drain the channel through the admission tracker
     /// (duplicates suppressed, gaps synthesized in `vNo` order), then
     /// reconcile against the durable occurrence counters so occurrences
@@ -786,7 +860,19 @@ impl EcaAgent {
             // mirrors registry membership for primitives), which keeps the
             // registry lock out of this section — `drop_event` nests
             // registry → tracker, so the reverse order here would deadlock.
-            let repairs: Vec<(String, Vec<i64>)> = {
+            //
+            // The sweep is gated on the loss signal: in a loss-free steady
+            // state (no faults, no overflow, no rollback) every occurrence
+            // arrives through the channel and the sweep can find nothing,
+            // yet it would serialize disjoint-table clients on the tracker
+            // lock and the durable read. `swap` claims the new signal value;
+            // concurrent pumps racing here at worst both sweep (idempotent
+            // under the tracker lock), never both skip a moved signal.
+            let signal = self.loss_signal();
+            let sweep = signal != self.inner.last_loss_signal.swap(signal, Ordering::SeqCst);
+            let repairs: Vec<(String, Vec<i64>)> = if !sweep {
+                Vec::new()
+            } else {
                 let mut tracker = self.inner.tracker.lock();
                 let mut repairs = Vec::new();
                 for (event, durable) in self.inner.persist.load_durable_vnos()? {

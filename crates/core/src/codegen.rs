@@ -113,13 +113,15 @@ pub fn native_trigger_sql(
         t = table_sql,
         op = info.operation,
     ));
-    // Bump vNo and refresh the version helper first so shadow rows carry
-    // the occurrence number this firing is known by.
+    // Bump the event's own version counter first so shadow rows carry the
+    // occurrence number this firing is known by. Earlier versions routed
+    // the bump through the shared SysPrimitiveEvent table, which would put
+    // that one table in every evented DML's lock footprint and serialize
+    // otherwise-disjoint batches; the per-event `{ver}` single-row table
+    // keeps footprints disjoint (the Persistent Manager reads it back for
+    // durable-vNo recovery).
     body.push_str(&format!(
-        "update SysPrimitiveEvent set vNo = vNo + 1 where eventName = {ev}\n\
-         delete {ver}\n\
-         insert {ver} select vNo from SysPrimitiveEvent where eventName = {ev}\n",
-        ev = sql_quote(&info.name),
+        "update {ver} set vNo = vNo + 1\n",
         ver = info.version_table,
     ));
     for (shadow, kind) in info.stamped_shadows() {
@@ -429,7 +431,10 @@ mod tests {
         );
         relsql::parser::parse_script(&sql).unwrap();
         assert!(sql.contains("create trigger sentineldb.sharma.addStk__evtrig on stock for insert"));
-        assert!(sql.contains("update SysPrimitiveEvent set vNo = vNo + 1"));
+        assert!(sql.contains("update sentineldb.sharma.addStk_ver set vNo = vNo + 1"));
+        // The bump must stay off the shared SysPrimitiveEvent table so DML
+        // on different evented tables keeps disjoint lock footprints.
+        assert!(!sql.contains("update SysPrimitiveEvent"));
         assert!(sql.contains("insert sentineldb.sharma.addStk_inserted select * from inserted"));
         assert!(sql.contains("syb_sendmsg('128.227.205.215', 10006"));
         assert!(sql.contains("begin sentineldb.sharma.addStk "));

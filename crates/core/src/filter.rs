@@ -36,6 +36,12 @@ pub enum EcaKind {
 /// EVENT clause). Unlexable input is passed through so the server produces
 /// its own error message.
 pub fn classify(sql: &str) -> Classification {
+    // Fast path: every ECA command starts with CREATE or DROP, so plain DML
+    // (the hot path under the plan cache) skips the full lex entirely.
+    match first_word(sql) {
+        Some(w) if w.eq_ignore_ascii_case("create") || w.eq_ignore_ascii_case("drop") => {}
+        _ => return Classification::PassThrough,
+    }
     let tokens = match tokenize(sql) {
         Ok(t) => t,
         Err(_) => return Classification::PassThrough,
@@ -67,10 +73,63 @@ pub fn classify(sql: &str) -> Classification {
 /// Does the batch contain a COMMIT at the top level? Used by the agent to
 /// flush DEFERRED rule actions at transaction boundaries.
 pub fn contains_commit(sql: &str) -> bool {
+    // Fast path: no "commit" substring anywhere (case-insensitive) means no
+    // COMMIT token; only near-matches pay for the lex that rules out string
+    // literals and longer identifiers.
+    if !contains_ignore_case(sql, b"commit") {
+        return false;
+    }
     match tokenize(sql) {
         Ok(tokens) => tokens.iter().any(|t| t.kind.is_kw("commit")),
         Err(_) => false,
     }
+}
+
+/// First SQL word of a batch, skipping whitespace and `--` / `/* */`
+/// comments. `None` when the batch opens with something other than a word.
+fn first_word(sql: &str) -> Option<&str> {
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            return Some(&sql[start..i]);
+        } else {
+            return None;
+        }
+    }
+    None
+}
+
+fn contains_ignore_case(haystack: &str, needle: &[u8]) -> bool {
+    haystack
+        .as_bytes()
+        .windows(needle.len())
+        .any(|w| w.eq_ignore_ascii_case(needle))
 }
 
 #[cfg(test)]
@@ -147,5 +206,19 @@ mod tests {
         assert!(!contains_commit("insert t values (1)"));
         // String literals do not count.
         assert!(!contains_commit("print 'commit'"));
+        // Substring near-matches fall through to the lexer and are rejected.
+        assert!(!contains_commit("select c from committee"));
+    }
+
+    #[test]
+    fn fast_path_skips_leading_comments() {
+        // The pre-lex word scan must see through comments, or ECA commands
+        // behind a comment would be misrouted to the server.
+        let sql = "-- rule install\n/* batch 7 */ create trigger t on s for insert\n\
+                   event e\nas print 'x'";
+        assert_eq!(classify(sql), Classification::Eca(EcaKind::CreateTrigger));
+        assert_eq!(first_word("  /* x */ -- y\n  select 1"), Some("select"));
+        assert_eq!(first_word("123"), None);
+        assert_eq!(first_word(""), None);
     }
 }

@@ -123,10 +123,36 @@ impl PersistentManager {
             .collect()
     }
 
-    /// Upsert one event's high-water mark (delete-then-insert — relsql has
-    /// no UPDATE..WHERE upsert idiom the agent can rely on being atomic,
-    /// and the manager's connection serializes writes anyway).
+    /// Upsert one event's high-water mark.
+    ///
+    /// Written through engine state directly rather than as a
+    /// delete-then-insert batch: the exactly-once pump write-behinds a
+    /// watermark after nearly every statement, and `SysAgentWatermark` is
+    /// one shared table — two scheduled batches on it per statement would
+    /// re-serialize every client the per-table lock scheduler just made
+    /// parallel. The table is owned exclusively by this manager, so the
+    /// row lock alone makes the upsert atomic; a missing table (system
+    /// tables not ensured yet) falls back to the SQL path for its error.
     pub fn save_watermark(&self, event: &str, hwm: i64) -> Result<()> {
+        let updated = self.session.server().inspect(|e| {
+            let db = e.database();
+            let t = match db.table("sysagentwatermark") {
+                Some(t) => t,
+                None => return false,
+            };
+            let mut rows = t.rows_mut();
+            match rows
+                .iter_mut()
+                .find(|r| matches!(r.first(), Some(Value::Str(ev)) if ev == event))
+            {
+                Some(row) => row[1] = Value::Int(hwm),
+                None => rows.push(vec![Value::Str(event.to_string()), Value::Int(hwm)]),
+            }
+            true
+        });
+        if updated {
+            return Ok(());
+        }
         self.run(&format!(
             "delete SysAgentWatermark where eventName = {ev}\n\
              insert SysAgentWatermark values ({ev}, {hwm})",
@@ -145,15 +171,55 @@ impl PersistentManager {
 
     /// The durable occurrence counters — the reliability layer's source of
     /// truth for anti-entropy sweeps.
+    ///
+    /// The native trigger bumps each event's single-row `{event}_ver` table
+    /// (not the shared `SysPrimitiveEvent`, which would serialize disjoint
+    /// DML under per-table lock scheduling), so the live counter lives
+    /// there; `SysPrimitiveEvent.vNo` is the definition-time seed and the
+    /// fallback when the version table is missing (e.g. a half-installed
+    /// event).
+    /// Reads engine state directly (like `ensure_system_tables`) instead of
+    /// issuing SQL: the exactly-once pump calls this on every anti-entropy
+    /// pass, and a scheduled `select` per event would both pay per-batch
+    /// scheduling overhead and contend on the very version tables every
+    /// evented DML holds in its lock footprint — serializing the
+    /// disjoint-table batches the scheduler exists to parallelize.
     pub fn load_durable_vnos(&self) -> Result<Vec<(String, i64)>> {
-        let r = self.run("select eventName, vNo from SysPrimitiveEvent order by eventName")?;
-        let rows = match r.last_select() {
-            Some(q) => &q.rows,
-            None => return Ok(Vec::new()),
-        };
-        rows.iter()
-            .map(|row| Ok((str_at(row, 0)?, int_at(row, 1)?)))
-            .collect()
+        Ok(self.session.server().inspect(|e| {
+            let db = e.database();
+            let spe = match db.table("sysprimitiveevent") {
+                Some(t) => t,
+                None => return Vec::new(),
+            };
+            let (ev_i, vno_i) = match (spe.schema.index_of("eventName"), spe.schema.index_of("vNo"))
+            {
+                (Some(e), Some(v)) => (e, v),
+                _ => return Vec::new(),
+            };
+            let seeds: Vec<(String, i64)> = spe
+                .rows()
+                .iter()
+                .filter_map(|row| match (row.get(ev_i), row.get(vno_i)) {
+                    (Some(Value::Str(ev)), Some(Value::Int(seed))) => Some((ev.clone(), *seed)),
+                    _ => None,
+                })
+                .collect();
+            let mut out: Vec<(String, i64)> = seeds
+                .into_iter()
+                .map(|(event, seed)| {
+                    let key = relsql::catalog::name_key(&crate::naming::version_table(&event));
+                    let live = db.table(&key).and_then(|t| {
+                        t.rows().first().and_then(|row| match row.first() {
+                            Some(Value::Int(n)) => Some(*n),
+                            _ => None,
+                        })
+                    });
+                    (event, live.unwrap_or(seed))
+                })
+                .collect();
+            out.sort();
+            out
+        }))
     }
 
     pub fn load_primitives(&self) -> Result<Vec<PersistedPrimitive>> {
@@ -167,13 +233,27 @@ impl PersistentManager {
         };
         rows.iter()
             .map(|row| {
+                let event = str_at(row, 2)?;
+                // Same live-counter-over-seed rule as `load_durable_vnos`.
+                let vno = self
+                    .run(&format!(
+                        "select vNo from {}",
+                        crate::naming::version_table(&event)
+                    ))
+                    .ok()
+                    .and_then(|r| {
+                        r.last_select()
+                            .and_then(|q| q.rows.first())
+                            .and_then(|row| int_at(row, 0).ok())
+                    })
+                    .unwrap_or(int_at(row, 5)?);
                 Ok(PersistedPrimitive {
                     db: str_at(row, 0)?,
                     user: str_at(row, 1)?,
-                    event: str_at(row, 2)?,
+                    event,
                     table: str_at(row, 3)?,
                     operation: str_at(row, 4)?,
-                    vno: int_at(row, 5)?,
+                    vno,
                 })
             })
             .collect()
@@ -302,6 +382,25 @@ mod tests {
         assert_eq!(
             pm.load_durable_vnos().unwrap(),
             vec![("db.u.e".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn durable_vnos_prefer_live_version_table_over_seed() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        pm.run(
+            "insert SysPrimitiveEvent values \
+             ('db', 'u', 'db.u.e', 'stock', 'insert', getdate(), 4)",
+        )
+        .unwrap();
+        // The native trigger bumps db.u.e_ver, not SysPrimitiveEvent.
+        pm.run("create table db.u.e_ver (vNo int not null)\ninsert db.u.e_ver values (9)")
+            .unwrap();
+        assert_eq!(
+            pm.load_durable_vnos().unwrap(),
+            vec![("db.u.e".to_string(), 9)]
         );
     }
 

@@ -196,6 +196,10 @@ pub struct OrderByItem {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     Literal(Value),
+    /// Bound parameter produced by the statement-plan cache: the i-th
+    /// literal masked out of the batch text. Evaluates against
+    /// `QueryCtx::params`, never written by the parser for raw literals.
+    Param(usize),
     /// Column reference, optionally qualified by a (possibly dotted) table
     /// name or alias.
     Column {

@@ -6,9 +6,22 @@
 //! silent overwrite, `inserted`/`deleted` pseudo-tables, and a nesting
 //! limit. The ECA Agent builds full active-database semantics on top of
 //! exactly this machinery.
+//!
+//! The engine is shared (`&self` throughout): the catalog sits behind a
+//! `RwLock`, per-execution state (trigger scope, bound parameters) is
+//! threaded explicitly, and row storage is interior-mutable per table. The
+//! server layer serializes conflicting batches with per-table lock groups;
+//! the engine's own locks only guard individual statements' short critical
+//! sections. A statement's notification (`syb_sendmsg`) is evaluated *after*
+//! the row mutation it describes — the row write-lock release
+//! happens-before the sink enqueue, so a consumer that reads the table in
+//! response to the notification always sees the rows for the vNo it was
+//! handed.
 
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use crate::ast::{InsertSource, Stmt, TriggerOp};
 use crate::catalog::{Database, ProcedureDef, TriggerDef};
@@ -92,20 +105,51 @@ impl Default for EngineConfig {
     }
 }
 
-/// The in-memory SQL engine ("the SQL Server" of Figure 1).
+/// Per-execution state threaded through statement dispatch: the trigger
+/// pseudo-table scope stack and the bound parameters of the current batch.
+struct ExecState<'p> {
+    scope: Vec<PseudoFrame>,
+    params: &'p [Value],
+}
+
+/// The in-memory SQL engine ("the SQL Server" of Figure 1). Shareable
+/// across threads; conflicting batches must be serialized by the caller
+/// (the server's per-table lock groups do this).
 pub struct Engine {
-    db: Database,
+    db: RwLock<Database>,
     config: EngineConfig,
     clock: Arc<LogicalClock>,
-    sink: Option<Arc<dyn NotificationSink>>,
+    sink: RwLock<Option<Arc<dyn NotificationSink>>>,
     datagram_seq: AtomicU64,
-    scope: Vec<PseudoFrame>,
-    tx_snapshot: Option<Database>,
+    tx_snapshot: Mutex<Option<Database>>,
+    rollbacks: AtomicU64,
 }
 
 impl Default for Engine {
     fn default() -> Self {
         Engine::new()
+    }
+}
+
+/// A consistent read view of the engine for the duration of one statement:
+/// catalog read guard plus a pinned sink reference.
+struct EngineRead<'e> {
+    engine: &'e Engine,
+    db: RwLockReadGuard<'e, Database>,
+    sink: Option<Arc<dyn NotificationSink>>,
+}
+
+impl<'e> EngineRead<'e> {
+    fn ctx<'a>(&'a self, session: &'a SessionCtx, state: &'a ExecState<'_>) -> QueryCtx<'a> {
+        QueryCtx {
+            db: &self.db,
+            session,
+            scope: &state.scope,
+            clock: &self.engine.clock,
+            sink: self.sink.as_deref(),
+            datagram_seq: &self.engine.datagram_seq,
+            params: state.params,
+        }
     }
 }
 
@@ -116,71 +160,95 @@ impl Engine {
 
     pub fn with_config(config: EngineConfig) -> Self {
         Engine {
-            db: Database::new(),
+            db: RwLock::new(Database::new()),
             config,
             clock: Arc::new(LogicalClock::default()),
-            sink: None,
+            sink: RwLock::new(None),
             datagram_seq: AtomicU64::new(0),
-            scope: Vec::new(),
-            tx_snapshot: None,
+            tx_snapshot: Mutex::new(None),
+            rollbacks: AtomicU64::new(0),
         }
     }
 
     /// Register the notification sink that `syb_sendmsg()` posts to.
-    pub fn set_sink(&mut self, sink: Arc<dyn NotificationSink>) {
-        self.sink = Some(sink);
+    pub fn set_sink(&self, sink: Arc<dyn NotificationSink>) {
+        *self.sink.write() = Some(sink);
     }
 
     pub fn clock(&self) -> Arc<LogicalClock> {
         Arc::clone(&self.clock)
     }
 
-    /// Read-only catalog access for introspection and tests.
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// Read-only catalog access for introspection and tests. Holds the
+    /// catalog read lock for the guard's lifetime — don't hold it across
+    /// calls back into the engine's DDL paths.
+    pub fn database(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read_recursive()
     }
 
     pub fn config(&self) -> &EngineConfig {
         &self.config
     }
 
+    /// True while an explicit transaction is open.
+    pub fn in_tx(&self) -> bool {
+        self.tx_snapshot.lock().is_some()
+    }
+
+    /// Number of `ROLLBACK` statements that restored a snapshot. Monotonic;
+    /// part of the agent's loss signal (a rollback can rewind event-version
+    /// counters the detector has already observed).
+    pub fn rollback_count(&self) -> u64 {
+        self.rollbacks.load(AtomicOrdering::SeqCst)
+    }
+
+    /// Acquire a consistent read view for one statement.
+    fn read(&self) -> EngineRead<'_> {
+        EngineRead {
+            engine: self,
+            db: self.db.read_recursive(),
+            sink: self.sink.read().clone(),
+        }
+    }
+
     /// Execute a script: batches split on `go` lines, statements within a
     /// batch run in order. Execution stops at the first error (effects of
     /// earlier statements persist, as on a real server without an explicit
     /// transaction).
-    pub fn execute(&mut self, script: &str, session: &SessionCtx) -> Result<BatchResult> {
+    pub fn execute(&self, script: &str, session: &SessionCtx) -> Result<BatchResult> {
         let mut out = BatchResult::default();
         for batch in split_batches(script) {
             let stmts = parse_script(batch)?;
-            for stmt in &stmts {
-                self.exec_stmt(stmt, session, &mut out, 0)?;
-            }
+            self.run_stmts(&stmts, &[], session, &mut out)?;
         }
         Ok(out)
     }
 
-    fn qctx(&self) -> QueryCtx<'_> {
-        QueryCtx {
-            db: &self.db,
-            session: &DEFAULT_SESSION, // overwritten by callers via with_session
-            scope: &self.scope,
-            clock: &self.clock,
-            sink: self.sink.as_deref(),
-            datagram_seq: &self.datagram_seq,
+    /// Execute one pre-parsed batch with bound parameters — the server's
+    /// statement-plan-cache entry point. `params` backs any `Expr::Param`
+    /// placeholders the plan cache masked out of the batch text.
+    pub fn run_stmts(
+        &self,
+        stmts: &[Stmt],
+        params: &[Value],
+        session: &SessionCtx,
+        out: &mut BatchResult,
+    ) -> Result<()> {
+        let mut state = ExecState {
+            scope: Vec::new(),
+            params,
+        };
+        for stmt in stmts {
+            self.exec_stmt(stmt, session, &mut state, out, 0)?;
         }
-    }
-
-    fn ctx_for<'e>(&'e self, session: &'e SessionCtx) -> QueryCtx<'e> {
-        QueryCtx {
-            session,
-            ..self.qctx()
-        }
+        Ok(())
     }
 
     fn exec_stmt(
-        &mut self,
+        &self,
         stmt: &Stmt,
         session: &SessionCtx,
+        state: &mut ExecState<'_>,
         out: &mut BatchResult,
         depth: usize,
     ) -> Result<()> {
@@ -192,21 +260,19 @@ impl Engine {
         match stmt {
             Stmt::CreateTable { name, columns } => {
                 let table = Table::from_defs(name.clone(), columns)?;
-                self.db.create_table(table)?;
+                self.db.write().create_table(table)?;
                 out.results.push(QueryResult::affected(0));
                 Ok(())
             }
             Stmt::DropTable { name } => {
-                self.db.drop_table(name)?;
+                self.db.write().drop_table(name)?;
                 out.results.push(QueryResult::affected(0));
                 Ok(())
             }
             Stmt::AlterTableAdd { table, column } => {
-                let key = self.resolve_table_key(table, session)?;
-                self.db
-                    .table_mut(&key)
-                    .expect("resolved")
-                    .add_column(column)?;
+                let mut db = self.db.write();
+                let key = Self::resolve_in(&db, table, session)?;
+                db.table_mut(&key).expect("resolved").add_column(column)?;
                 out.results.push(QueryResult::affected(0));
                 Ok(())
             }
@@ -214,30 +280,53 @@ impl Engine {
                 table,
                 columns,
                 source,
-            } => self.exec_insert(table, columns.as_deref(), source, session, out, depth),
+            } => self.exec_insert(
+                table,
+                columns.as_deref(),
+                source,
+                session,
+                state,
+                out,
+                depth,
+            ),
             Stmt::Update {
                 table,
                 assignments,
                 selection,
-            } => self.exec_update(table, assignments, selection.as_ref(), session, out, depth),
+            } => self.exec_update(
+                table,
+                assignments,
+                selection.as_ref(),
+                session,
+                state,
+                out,
+                depth,
+            ),
             Stmt::Delete { table, selection } => {
-                self.exec_delete(table, selection.as_ref(), session, out, depth)
+                self.exec_delete(table, selection.as_ref(), session, state, out, depth)
             }
             Stmt::Truncate { table } => {
-                let key = self.resolve_table_key(table, session)?;
-                let t = self.db.table_mut(&key).expect("resolved");
-                let n = t.rows.len();
-                t.rows.clear();
+                let n = {
+                    let rd = self.read();
+                    let key = Self::resolve_in(&rd.db, table, session)?;
+                    let t = rd.db.table(&key).expect("resolved");
+                    let mut rows = t.rows_mut();
+                    let n = rows.len();
+                    rows.clear();
+                    n
+                };
                 out.results.push(QueryResult::affected(n));
                 Ok(())
             }
             Stmt::Select(sel) => {
                 if let Some(into) = &sel.into {
                     let (names, rows, cols) = {
-                        let ctx = self.ctx_for(session);
+                        let rd = self.read();
+                        let ctx = rd.ctx(session, state);
                         run_select_typed(&ctx, sel, None)?
                     };
-                    if self.db.has_table(into) {
+                    let mut db = self.db.write();
+                    if db.has_table(into) {
                         return Err(Error::AlreadyExists {
                             kind: ObjectKind::Table,
                             name: into.clone(),
@@ -262,12 +351,15 @@ impl Engine {
                     for row in rows {
                         table.insert_row(row)?;
                     }
-                    self.db.create_table(table)?;
+                    db.create_table(table)?;
                     let _ = names;
                     out.results.push(QueryResult::affected(n));
                 } else {
-                    let ctx = self.ctx_for(session);
-                    let (columns, rows) = run_select(&ctx, sel, None)?;
+                    let (columns, rows) = {
+                        let rd = self.read();
+                        let ctx = rd.ctx(session, state);
+                        run_select(&ctx, sel, None)?
+                    };
                     let affected = rows.len();
                     out.results.push(QueryResult {
                         columns,
@@ -284,8 +376,9 @@ impl Engine {
                 body,
                 body_src,
             } => {
-                let table_key = self.resolve_table_key(table, session)?;
-                self.db.create_trigger(TriggerDef {
+                let mut db = self.db.write();
+                let table_key = Self::resolve_in(&db, table, session)?;
+                db.create_trigger(TriggerDef {
                     name: name.clone(),
                     table_key,
                     operation: *operation,
@@ -296,7 +389,7 @@ impl Engine {
                 Ok(())
             }
             Stmt::DropTrigger { name } => {
-                self.db.drop_trigger(name)?;
+                self.db.write().drop_trigger(name)?;
                 out.results.push(QueryResult::affected(0));
                 Ok(())
             }
@@ -305,7 +398,7 @@ impl Engine {
                 body,
                 body_src,
             } => {
-                self.db.create_procedure(ProcedureDef {
+                self.db.write().create_procedure(ProcedureDef {
                     name: name.clone(),
                     body: body.clone(),
                     body_src: body_src.clone(),
@@ -314,71 +407,83 @@ impl Engine {
                 Ok(())
             }
             Stmt::DropProcedure { name } => {
-                self.db.drop_procedure(name)?;
+                self.db.write().drop_procedure(name)?;
                 out.results.push(QueryResult::affected(0));
                 Ok(())
             }
             Stmt::Execute { name } => {
-                let proc = self
-                    .db
-                    .procedure(name, Some(session.prefix()))
-                    .ok_or_else(|| Error::NotFound {
-                        kind: ObjectKind::Procedure,
-                        name: name.clone(),
-                    })?
-                    .clone();
+                let proc = {
+                    let db = self.db.read_recursive();
+                    db.procedure(name, Some(session.prefix()))
+                        .ok_or_else(|| Error::NotFound {
+                            kind: ObjectKind::Procedure,
+                            name: name.clone(),
+                        })?
+                        .clone()
+                };
                 for s in &proc.body {
-                    self.exec_stmt(s, session, out, depth + 1)?;
+                    self.exec_stmt(s, session, state, out, depth + 1)?;
                 }
                 Ok(())
             }
             Stmt::Print(expr) => {
                 let v = {
-                    let ctx = self.ctx_for(session);
+                    let rd = self.read();
+                    let ctx = rd.ctx(session, state);
                     eval_expr(&ctx, &RowEnv::empty(), expr)?
                 };
                 out.messages.push(v.to_string());
                 Ok(())
             }
             Stmt::BeginTran => {
-                if self.tx_snapshot.is_some() {
+                let mut tx = self.tx_snapshot.lock();
+                if tx.is_some() {
                     return Err(Error::Transaction {
                         msg: "nested transactions are not supported".into(),
                     });
                 }
-                self.tx_snapshot = Some(self.db.clone());
+                *tx = Some(self.db.read_recursive().clone());
                 Ok(())
             }
             Stmt::Commit => {
-                if self.tx_snapshot.take().is_none() {
+                if self.tx_snapshot.lock().take().is_none() {
                     return Err(Error::Transaction {
                         msg: "COMMIT without BEGIN TRAN".into(),
                     });
                 }
                 Ok(())
             }
-            Stmt::Rollback => match self.tx_snapshot.take() {
-                Some(snapshot) => {
-                    self.db = snapshot;
-                    Ok(())
+            Stmt::Rollback => {
+                let snapshot = self.tx_snapshot.lock().take();
+                match snapshot {
+                    Some(snapshot) => {
+                        *self.db.write() = snapshot;
+                        // A rollback can regress durable event-version
+                        // counters below watermarks an observer has already
+                        // recorded; the SeqCst bump is the observer's cue to
+                        // re-reconcile against durable state.
+                        self.rollbacks.fetch_add(1, AtomicOrdering::SeqCst);
+                        Ok(())
+                    }
+                    None => Err(Error::Transaction {
+                        msg: "ROLLBACK without BEGIN TRAN".into(),
+                    }),
                 }
-                None => Err(Error::Transaction {
-                    msg: "ROLLBACK without BEGIN TRAN".into(),
-                }),
-            },
+            }
             Stmt::If {
                 cond,
                 then_branch,
                 else_branch,
             } => {
                 let truthy = {
-                    let ctx = self.ctx_for(session);
+                    let rd = self.read();
+                    let ctx = rd.ctx(session, state);
                     eval_expr(&ctx, &RowEnv::empty(), cond)?.is_truthy()
                 };
                 if truthy {
-                    self.exec_stmt(then_branch, session, out, depth)?;
+                    self.exec_stmt(then_branch, session, state, out, depth)?;
                 } else if let Some(e) = else_branch {
-                    self.exec_stmt(e, session, out, depth)?;
+                    self.exec_stmt(e, session, state, out, depth)?;
                 }
                 Ok(())
             }
@@ -386,7 +491,8 @@ impl Engine {
                 let mut iterations = 0usize;
                 loop {
                     let truthy = {
-                        let ctx = self.ctx_for(session);
+                        let rd = self.read();
+                        let ctx = rd.ctx(session, state);
                         eval_expr(&ctx, &RowEnv::empty(), cond)?.is_truthy()
                     };
                     if !truthy {
@@ -399,35 +505,36 @@ impl Engine {
                             self.config.max_while_iterations
                         )));
                     }
-                    self.exec_stmt(body, session, out, depth)?;
+                    self.exec_stmt(body, session, state, out, depth)?;
                 }
                 Ok(())
             }
             Stmt::Block(stmts) => {
                 for s in stmts {
-                    self.exec_stmt(s, session, out, depth)?;
+                    self.exec_stmt(s, session, state, out, depth)?;
                 }
                 Ok(())
             }
         }
     }
 
-    fn resolve_table_key(&self, name: &str, session: &SessionCtx) -> Result<String> {
+    fn resolve_in(db: &Database, name: &str, session: &SessionCtx) -> Result<String> {
         // Pseudo-tables can never be DML'd into by name in this engine.
-        self.db
-            .resolve_table_key(name, Some(session.prefix()))
+        db.resolve_table_key(name, Some(session.prefix()))
             .ok_or_else(|| Error::NotFound {
                 kind: ObjectKind::Table,
                 name: name.to_string(),
             })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_insert(
-        &mut self,
+        &self,
         table: &str,
         columns: Option<&[String]>,
         source: &InsertSource,
         session: &SessionCtx,
+        state: &mut ExecState<'_>,
         out: &mut BatchResult,
         depth: usize,
     ) -> Result<()> {
@@ -435,202 +542,218 @@ impl Engine {
         if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
             return Err(Error::exec("cannot modify trigger pseudo-tables"));
         }
-        let key = self.resolve_table_key(table, session)?;
-        // Immutable phase: compute the source rows.
-        let source_rows: Vec<Row> = {
-            let ctx = self.ctx_for(session);
-            match source {
-                InsertSource::Values(rows) => {
-                    let env = RowEnv::empty();
-                    let mut acc = Vec::with_capacity(rows.len());
-                    for exprs in rows {
-                        let mut row = Vec::with_capacity(exprs.len());
-                        for e in exprs {
-                            row.push(eval_expr(&ctx, &env, e)?);
+        let (key, checked) = {
+            let rd = self.read();
+            let key = Self::resolve_in(&rd.db, table, session)?;
+            // Immutable phase: compute the source rows.
+            let source_rows: Vec<Row> = {
+                let ctx = rd.ctx(session, state);
+                match source {
+                    InsertSource::Values(rows) => {
+                        let env = RowEnv::empty();
+                        let mut acc = Vec::with_capacity(rows.len());
+                        for exprs in rows {
+                            let mut row = Vec::with_capacity(exprs.len());
+                            for e in exprs {
+                                row.push(eval_expr(&ctx, &env, e)?);
+                            }
+                            acc.push(row);
                         }
-                        acc.push(row);
+                        acc
                     }
-                    acc
-                }
-                InsertSource::Select(sel) => run_select(&ctx, sel, None)?.1,
-            }
-        };
-        // Shape the rows to the full schema.
-        let schema = self.db.table(&key).expect("resolved").schema.clone();
-        let mut shaped = Vec::with_capacity(source_rows.len());
-        for row in source_rows {
-            let full = match columns {
-                None => row,
-                Some(cols) => {
-                    if cols.len() != row.len() {
-                        return Err(Error::Shape {
-                            msg: format!(
-                                "INSERT lists {} columns but supplies {} values",
-                                cols.len(),
-                                row.len()
-                            ),
-                        });
-                    }
-                    let mut full = vec![Value::Null; schema.len()];
-                    for (c, v) in cols.iter().zip(row) {
-                        let idx = schema.index_of(c).ok_or_else(|| Error::NotFound {
-                            kind: ObjectKind::Column,
-                            name: c.clone(),
-                        })?;
-                        full[idx] = v;
-                    }
-                    full
+                    InsertSource::Select(sel) => run_select(&ctx, sel, None)?.1,
                 }
             };
-            shaped.push(full);
-        }
-        // Validate all rows before mutating anything (statement atomicity).
-        let table_ref = self.db.table(&key).expect("resolved");
-        let mut checked = Vec::with_capacity(shaped.len());
-        for row in shaped {
-            checked.push(table_ref.check_row(row)?);
-        }
-        let n = checked.len();
-        {
-            let t = self.db.table_mut(&key).expect("resolved");
-            t.rows.extend(checked.iter().cloned());
-        }
-        out.results.push(QueryResult::affected(n));
+            let t = rd.db.table(&key).expect("resolved");
+            // Shape the rows to the full schema.
+            let schema = &t.schema;
+            let mut shaped = Vec::with_capacity(source_rows.len());
+            for row in source_rows {
+                let full = match columns {
+                    None => row,
+                    Some(cols) => {
+                        if cols.len() != row.len() {
+                            return Err(Error::Shape {
+                                msg: format!(
+                                    "INSERT lists {} columns but supplies {} values",
+                                    cols.len(),
+                                    row.len()
+                                ),
+                            });
+                        }
+                        let mut full = vec![Value::Null; schema.len()];
+                        for (c, v) in cols.iter().zip(row) {
+                            let idx = schema.index_of(c).ok_or_else(|| Error::NotFound {
+                                kind: ObjectKind::Column,
+                                name: c.clone(),
+                            })?;
+                            full[idx] = v;
+                        }
+                        full
+                    }
+                };
+                shaped.push(full);
+            }
+            // Validate all rows before mutating anything (statement
+            // atomicity).
+            let mut checked = Vec::with_capacity(shaped.len());
+            for row in shaped {
+                checked.push(t.check_row(row)?);
+            }
+            // Mutation phase: all row-read guards from the compute phase
+            // have been released; the rows write-lock release below
+            // happens-before any notification the trigger will enqueue.
+            t.rows_mut().extend(checked.iter().cloned());
+            (key, checked)
+        };
+        out.results.push(QueryResult::affected(checked.len()));
         self.fire_trigger(
             &key,
             TriggerOp::Insert,
             checked,
             Vec::new(),
             session,
+            state,
             out,
             depth,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_update(
-        &mut self,
+        &self,
         table: &str,
         assignments: &[(String, crate::ast::Expr)],
         selection: Option<&crate::ast::Expr>,
         session: &SessionCtx,
+        state: &mut ExecState<'_>,
         out: &mut BatchResult,
         depth: usize,
     ) -> Result<()> {
         if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
             return Err(Error::exec("cannot modify trigger pseudo-tables"));
         }
-        let key = self.resolve_table_key(table, session)?;
-        // Immutable phase: find matching rows and compute replacements.
-        let (updates, old_rows, new_rows) = {
-            let ctx = self.ctx_for(session);
-            let t = self.db.table(&key).expect("resolved");
+        let (key, old_rows, new_rows) = {
+            let rd = self.read();
+            let key = Self::resolve_in(&rd.db, table, session)?;
+            let t = rd.db.table(&key).expect("resolved");
+            // Immutable phase: find matching rows and compute replacements.
             let mut updates: Vec<(usize, Row)> = Vec::new();
             let mut old_rows = Vec::new();
             let mut new_rows = Vec::new();
-            for (i, row) in t.rows.iter().enumerate() {
-                let env = RowEnv {
-                    frames: vec![Frame {
-                        alias: None,
-                        table_name: t.name.clone(),
-                        schema: &t.schema,
-                        row,
-                    }],
-                    parent: None,
-                };
-                let matches = match selection {
-                    Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
-                    None => true,
-                };
-                if !matches {
-                    continue;
+            {
+                let ctx = rd.ctx(session, state);
+                let rows = t.rows();
+                for (i, row) in rows.iter().enumerate() {
+                    let env = RowEnv {
+                        frames: vec![Frame {
+                            alias: None,
+                            table_name: t.name.clone(),
+                            schema: &t.schema,
+                            row,
+                        }],
+                        parent: None,
+                    };
+                    let matches = match selection {
+                        Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
+                        None => true,
+                    };
+                    if !matches {
+                        continue;
+                    }
+                    let mut new_row = row.clone();
+                    for (col, e) in assignments {
+                        let idx = t.schema.index_of(col).ok_or_else(|| Error::NotFound {
+                            kind: ObjectKind::Column,
+                            name: col.clone(),
+                        })?;
+                        new_row[idx] = eval_expr(&ctx, &env, e)?;
+                    }
+                    let new_row = t.check_row(new_row)?;
+                    old_rows.push(row.clone());
+                    new_rows.push(new_row.clone());
+                    updates.push((i, new_row));
                 }
-                let mut new_row = row.clone();
-                for (col, e) in assignments {
-                    let idx = t.schema.index_of(col).ok_or_else(|| Error::NotFound {
-                        kind: ObjectKind::Column,
-                        name: col.clone(),
-                    })?;
-                    new_row[idx] = eval_expr(&ctx, &env, e)?;
-                }
-                let new_row = t.check_row(new_row)?;
-                old_rows.push(row.clone());
-                new_rows.push(new_row.clone());
-                updates.push((i, new_row));
             }
-            (updates, old_rows, new_rows)
+            {
+                let mut rows = t.rows_mut();
+                for (i, new_row) in updates {
+                    rows[i] = new_row;
+                }
+            }
+            (key, old_rows, new_rows)
         };
-        let n = updates.len();
-        {
-            let t = self.db.table_mut(&key).expect("resolved");
-            for (i, new_row) in updates {
-                t.rows[i] = new_row;
-            }
-        }
-        out.results.push(QueryResult::affected(n));
+        out.results.push(QueryResult::affected(new_rows.len()));
         self.fire_trigger(
             &key,
             TriggerOp::Update,
             new_rows,
             old_rows,
             session,
+            state,
             out,
             depth,
         )
     }
 
     fn exec_delete(
-        &mut self,
+        &self,
         table: &str,
         selection: Option<&crate::ast::Expr>,
         session: &SessionCtx,
+        state: &mut ExecState<'_>,
         out: &mut BatchResult,
         depth: usize,
     ) -> Result<()> {
         if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
             return Err(Error::exec("cannot modify trigger pseudo-tables"));
         }
-        let key = self.resolve_table_key(table, session)?;
-        let doomed: Vec<usize> = {
-            let ctx = self.ctx_for(session);
-            let t = self.db.table(&key).expect("resolved");
+        let (key, removed) = {
+            let rd = self.read();
+            let key = Self::resolve_in(&rd.db, table, session)?;
+            let t = rd.db.table(&key).expect("resolved");
             let mut doomed = Vec::new();
-            for (i, row) in t.rows.iter().enumerate() {
-                let env = RowEnv {
-                    frames: vec![Frame {
-                        alias: None,
-                        table_name: t.name.clone(),
-                        schema: &t.schema,
-                        row,
-                    }],
-                    parent: None,
-                };
-                let matches = match selection {
-                    Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
-                    None => true,
-                };
-                if matches {
-                    doomed.push(i);
+            {
+                let ctx = rd.ctx(session, state);
+                let rows = t.rows();
+                for (i, row) in rows.iter().enumerate() {
+                    let env = RowEnv {
+                        frames: vec![Frame {
+                            alias: None,
+                            table_name: t.name.clone(),
+                            schema: &t.schema,
+                            row,
+                        }],
+                        parent: None,
+                    };
+                    let matches = match selection {
+                        Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
+                        None => true,
+                    };
+                    if matches {
+                        doomed.push(i);
+                    }
                 }
             }
-            doomed
+            let removed: Vec<Row> = {
+                let mut rows = t.rows_mut();
+                let mut removed = Vec::with_capacity(doomed.len());
+                for &i in doomed.iter().rev() {
+                    removed.push(rows.remove(i));
+                }
+                removed.reverse();
+                removed
+            };
+            (key, removed)
         };
-        let removed: Vec<Row> = {
-            let t = self.db.table_mut(&key).expect("resolved");
-            let mut removed = Vec::with_capacity(doomed.len());
-            for &i in doomed.iter().rev() {
-                removed.push(t.rows.remove(i));
-            }
-            removed.reverse();
-            removed
-        };
-        let n = removed.len();
-        out.results.push(QueryResult::affected(n));
+        out.results.push(QueryResult::affected(removed.len()));
         self.fire_trigger(
             &key,
             TriggerOp::Delete,
             Vec::new(),
             removed,
             session,
+            state,
             out,
             depth,
         )
@@ -638,59 +761,53 @@ impl Engine {
 
     /// Fire the native trigger for (table, op), if any. Statement-level:
     /// fires once per statement even when zero rows were affected, matching
-    /// Sybase.
+    /// Sybase. Called only after the triggering statement's mutation is
+    /// fully visible (its rows write-lock has been released), so any
+    /// `syb_sendmsg` the body evaluates is ordered after row visibility.
     #[allow(clippy::too_many_arguments)]
     fn fire_trigger(
-        &mut self,
+        &self,
         table_key: &str,
         op: TriggerOp,
         inserted: Vec<Row>,
         deleted: Vec<Row>,
         session: &SessionCtx,
+        state: &mut ExecState<'_>,
         out: &mut BatchResult,
         depth: usize,
     ) -> Result<()> {
         if !self.config.fire_triggers {
             return Ok(());
         }
-        let def = match self.db.trigger_for(table_key, op) {
-            Some(d) => d.clone(),
-            None => return Ok(()),
+        let (def, schema) = {
+            let db = self.db.read_recursive();
+            match db.trigger_for(table_key, op) {
+                Some(d) => {
+                    let schema = db.table(table_key).expect("table exists").schema.clone();
+                    (d.clone(), schema)
+                }
+                None => return Ok(()),
+            }
         };
         if depth + 1 > self.config.max_depth {
             return Err(Error::TriggerDepth {
                 limit: self.config.max_depth,
             });
         }
-        let schema = self
-            .db
-            .table(table_key)
-            .expect("table exists")
-            .schema
-            .clone();
-        let mut ins = Table::new("inserted", schema.clone());
-        ins.rows = inserted;
-        let mut del = Table::new("deleted", schema);
-        del.rows = deleted;
-        self.scope.push(PseudoFrame {
-            inserted: ins,
-            deleted: del,
+        state.scope.push(PseudoFrame {
+            inserted: Table::with_rows("inserted", schema.clone(), inserted),
+            deleted: Table::with_rows("deleted", schema, deleted),
         });
         let result = (|| {
             for s in &def.body {
-                self.exec_stmt(s, session, out, depth + 1)?;
+                self.exec_stmt(s, session, state, out, depth + 1)?;
             }
             Ok(())
         })();
-        self.scope.pop();
+        state.scope.pop();
         result
     }
 }
-
-static DEFAULT_SESSION: SessionCtx = SessionCtx {
-    database: String::new(),
-    user: String::new(),
-};
 
 #[cfg(test)]
 mod tests {
@@ -773,12 +890,10 @@ mod tests {
             &s,
             "alter table sentineldb.sharma.stock_inserted add vNo int null",
         );
-        let t = e
-            .database()
-            .table("sentineldb.sharma.stock_inserted")
-            .unwrap();
+        let db = e.database();
+        let t = db.table("sentineldb.sharma.stock_inserted").unwrap();
         assert_eq!(t.schema.len(), 3);
-        assert_eq!(t.rows.len(), 0);
+        assert_eq!(t.row_count(), 0);
         assert_eq!(t.schema.columns[2].name, "vNo");
     }
 
@@ -1105,7 +1220,7 @@ mod tests {
 
     #[test]
     fn unknown_function_reports_name() {
-        let (mut e, s) = engine();
+        let (e, s) = engine();
         let err = e.execute("select frobnicate(1)", &s).unwrap_err();
         assert!(err.to_string().contains("frobnicate"), "{err}");
     }
@@ -1227,7 +1342,7 @@ mod tests {
 
     #[test]
     fn cannot_modify_pseudo_tables() {
-        let (mut e, s) = engine();
+        let (e, s) = engine();
         assert!(e.execute("insert inserted values (1)", &s).is_err());
         assert!(e.execute("delete deleted", &s).is_err());
         assert!(e.execute("update inserted set a = 1", &s).is_err());
@@ -1308,7 +1423,8 @@ mod tests {
         run(&mut e, &s, "insert a values (1)");
         run(&mut e, &s, "insert b values (2)");
         run(&mut e, &s, "select * into c from a, b");
-        let t = e.database().table("c").unwrap();
+        let db = e.database();
+        let t = db.table("c").unwrap();
         assert_eq!(t.schema.columns[0].name, "v");
         assert_eq!(t.schema.columns[1].name, "v2");
     }
@@ -1322,5 +1438,56 @@ mod tests {
         let r = run(&mut e, &s, "truncate table t");
         assert!(r.messages.is_empty());
         assert_eq!(r.total_affected(), 1);
+    }
+
+    #[test]
+    fn params_bind_in_run_stmts() {
+        let (e, s) = engine();
+        e.execute("create table t (a int, b varchar(5))", &s)
+            .unwrap();
+        // Simulate what the plan cache does: parse a masked batch and run
+        // it twice with different bindings.
+        let masked = crate::parser::parse_script("insert t values (0, '')").unwrap();
+        let stmts: Vec<Stmt> = masked
+            .into_iter()
+            .map(|st| match st {
+                Stmt::Insert { table, columns, .. } => Stmt::Insert {
+                    table,
+                    columns,
+                    source: InsertSource::Values(vec![vec![
+                        crate::ast::Expr::Param(0),
+                        crate::ast::Expr::Param(1),
+                    ]]),
+                },
+                other => other,
+            })
+            .collect();
+        let mut out = BatchResult::default();
+        e.run_stmts(
+            &stmts,
+            &[Value::Int(1), Value::Str("one".into())],
+            &s,
+            &mut out,
+        )
+        .unwrap();
+        e.run_stmts(
+            &stmts,
+            &[Value::Int(2), Value::Str("two".into())],
+            &s,
+            &mut out,
+        )
+        .unwrap();
+        let r = e.execute("select a, b from t order by a", &s).unwrap();
+        let sel = r.last_select().unwrap();
+        assert_eq!(
+            sel.rows,
+            vec![
+                vec![Value::Int(1), Value::Str("one".into())],
+                vec![Value::Int(2), Value::Str("two".into())],
+            ]
+        );
+        // Unbound parameter is a hard error, not silent NULL.
+        let mut out = BatchResult::default();
+        assert!(e.run_stmts(&stmts, &[Value::Int(9)], &s, &mut out).is_err());
     }
 }

@@ -54,6 +54,9 @@ pub(crate) struct QueryCtx<'e> {
     pub clock: &'e LogicalClock,
     pub sink: Option<&'e dyn NotificationSink>,
     pub datagram_seq: &'e AtomicU64,
+    /// Literals masked out of the batch text by the statement-plan cache;
+    /// `Expr::Param(i)` reads slot `i`. Empty for unparameterized plans.
+    pub params: &'e [Value],
 }
 
 impl<'e> QueryCtx<'e> {
@@ -175,6 +178,11 @@ impl<'r> RowEnv<'r> {
 pub(crate) fn eval_expr(ctx: &QueryCtx<'_>, env: &RowEnv<'_>, expr: &Expr) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(i) => ctx
+            .params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::exec(format!("unbound statement parameter ${i}"))),
         Expr::Column { qualifier, name } => env.lookup(qualifier.as_deref(), name, ctx.session),
         Expr::Unary { op, operand } => {
             let v = eval_expr(ctx, env, operand)?;

@@ -1,0 +1,402 @@
+//! Batch footprint analysis: which tables will a batch touch?
+//!
+//! The server's per-table lock scheduler runs each batch under either an
+//! exclusive schedule lock (DDL, transactions, anything unresolvable) or a
+//! canonical-order group of per-table locks. The footprint walk covers every
+//! statement, every expression subquery, procedure bodies reachable through
+//! `EXECUTE`, and — crucially — the bodies of native triggers the batch's
+//! DML will fire, so the shadow (`_inserted`/`_deleted`) and version
+//! (`_ver`) tables a generated trigger touches are part of the footprint
+//! and same-event batches stay strictly serialized (vNo sequencing and
+//! Sybase trigger-order semantics preserved).
+//!
+//! The analysis is deliberately conservative: when in doubt (unknown table,
+//! unknown procedure, recursion deeper than the walker tracks), it answers
+//! [`Footprint::Exclusive`] and the batch runs alone — correctness never
+//! depends on the analysis being sharp, only on it never *missing* a table.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::ast::{Expr, InsertSource, SelectStmt, Stmt, TriggerOp};
+use crate::catalog::Database;
+use crate::eval::SessionCtx;
+
+/// What a batch will touch, as decided by static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Footprint {
+    /// The batch must run alone (DDL, transaction control, unresolvable
+    /// names, or analysis gave up).
+    Exclusive,
+    /// The batch touches exactly these catalog table keys. `BTreeSet` gives
+    /// the canonical (sorted) acquisition order that makes lock grouping
+    /// deadlock-free.
+    Tables(BTreeSet<String>),
+}
+
+/// Maximum trigger/procedure recursion the walker follows before giving up
+/// and answering Exclusive. Matches the engine's default nesting limit.
+const MAX_WALK_DEPTH: usize = 16;
+
+/// Analyze a parsed batch against the current catalog.
+pub fn analyze_batch(db: &Database, stmts: &[Stmt], session: &SessionCtx) -> Footprint {
+    let mut w = Walker {
+        db,
+        session,
+        keys: BTreeSet::new(),
+        exclusive: false,
+        seen_triggers: HashSet::new(),
+        seen_procs: HashSet::new(),
+    };
+    for s in stmts {
+        w.stmt(s, 0);
+        if w.exclusive {
+            return Footprint::Exclusive;
+        }
+    }
+    Footprint::Tables(w.keys)
+}
+
+struct Walker<'a> {
+    db: &'a Database,
+    session: &'a SessionCtx,
+    keys: BTreeSet<String>,
+    exclusive: bool,
+    seen_triggers: HashSet<(String, TriggerOp)>,
+    seen_procs: HashSet<String>,
+}
+
+impl Walker<'_> {
+    fn give_up(&mut self) {
+        self.exclusive = true;
+    }
+
+    /// Resolve and record a table name; pseudo-tables resolve to nothing
+    /// (they only exist inside a trigger scope and need no lock of their
+    /// own — the triggering table is already in the footprint).
+    fn table(&mut self, name: &str, depth: usize) -> Option<String> {
+        if name.eq_ignore_ascii_case("inserted") || name.eq_ignore_ascii_case("deleted") {
+            return None;
+        }
+        if depth > MAX_WALK_DEPTH {
+            self.give_up();
+            return None;
+        }
+        match self.db.resolve_table_key(name, Some(self.session.prefix())) {
+            Some(key) => {
+                self.keys.insert(key.clone());
+                Some(key)
+            }
+            None => {
+                self.give_up();
+                None
+            }
+        }
+    }
+
+    /// Record a DML target and recurse into the native trigger it fires.
+    fn dml(&mut self, name: &str, op: TriggerOp, depth: usize) {
+        let Some(key) = self.table(name, depth) else {
+            return;
+        };
+        if self.exclusive {
+            return;
+        }
+        if let Some(def) = self.db.trigger_for(&key, op) {
+            if !self.seen_triggers.insert((key, op)) {
+                return;
+            }
+            if depth + 1 > MAX_WALK_DEPTH {
+                self.give_up();
+                return;
+            }
+            // Clone-free walk over the stored body.
+            let body: Vec<Stmt> = def.body.clone();
+            for s in &body {
+                self.stmt(s, depth + 1);
+                if self.exclusive {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, depth: usize) {
+        if self.exclusive {
+            return;
+        }
+        if depth > MAX_WALK_DEPTH {
+            self.give_up();
+            return;
+        }
+        match stmt {
+            // DDL and transaction control always schedule exclusively: they
+            // mutate the catalog (or the whole-database snapshot) rather
+            // than any one table's rows.
+            Stmt::CreateTable { .. }
+            | Stmt::DropTable { .. }
+            | Stmt::AlterTableAdd { .. }
+            | Stmt::CreateTrigger { .. }
+            | Stmt::DropTrigger { .. }
+            | Stmt::CreateProcedure { .. }
+            | Stmt::DropProcedure { .. }
+            | Stmt::Truncate { .. }
+            | Stmt::BeginTran
+            | Stmt::Commit
+            | Stmt::Rollback => self.give_up(),
+            Stmt::Insert {
+                table,
+                columns: _,
+                source,
+            } => {
+                match source {
+                    InsertSource::Values(rows) => {
+                        for row in rows {
+                            for e in row {
+                                self.expr(e, depth);
+                            }
+                        }
+                    }
+                    InsertSource::Select(sel) => self.select(sel, depth),
+                }
+                self.dml(table, TriggerOp::Insert, depth);
+            }
+            Stmt::Update {
+                table,
+                assignments,
+                selection,
+            } => {
+                for (_, e) in assignments {
+                    self.expr(e, depth);
+                }
+                if let Some(e) = selection {
+                    self.expr(e, depth);
+                }
+                self.dml(table, TriggerOp::Update, depth);
+            }
+            Stmt::Delete { table, selection } => {
+                if let Some(e) = selection {
+                    self.expr(e, depth);
+                }
+                self.dml(table, TriggerOp::Delete, depth);
+            }
+            Stmt::Select(sel) => {
+                if sel.into.is_some() {
+                    // SELECT INTO creates a table: catalog mutation.
+                    self.give_up();
+                } else {
+                    self.select(sel, depth);
+                }
+            }
+            Stmt::Execute { name } => {
+                let Some(def) = self.db.procedure(name, Some(self.session.prefix())) else {
+                    self.give_up();
+                    return;
+                };
+                let key = def.name.to_ascii_lowercase();
+                if !self.seen_procs.insert(key) {
+                    return;
+                }
+                let body: Vec<Stmt> = def.body.clone();
+                for s in &body {
+                    self.stmt(s, depth + 1);
+                    if self.exclusive {
+                        return;
+                    }
+                }
+            }
+            Stmt::Print(e) => self.expr(e, depth),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond, depth);
+                self.stmt(then_branch, depth);
+                if let Some(e) = else_branch {
+                    self.stmt(e, depth);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.expr(cond, depth);
+                self.stmt(body, depth);
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.stmt(s, depth);
+                    if self.exclusive {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn select(&mut self, sel: &SelectStmt, depth: usize) {
+        for tref in &sel.from {
+            self.table(&tref.name, depth);
+        }
+        for item in &sel.projection {
+            if let crate::ast::SelectItem::Expr { expr, .. } = item {
+                self.expr(expr, depth);
+            }
+        }
+        if let Some(e) = &sel.selection {
+            self.expr(e, depth);
+        }
+        for e in &sel.group_by {
+            self.expr(e, depth);
+        }
+        if let Some(e) = &sel.having {
+            self.expr(e, depth);
+        }
+        for o in &sel.order_by {
+            self.expr(&o.expr, depth);
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr, depth: usize) {
+        if self.exclusive {
+            return;
+        }
+        match expr {
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+            Expr::Unary { operand, .. } => self.expr(operand, depth),
+            Expr::Binary { left, right, .. } => {
+                self.expr(left, depth);
+                self.expr(right, depth);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    self.expr(a, depth);
+                }
+            }
+            Expr::IsNull { operand, .. } => self.expr(operand, depth),
+            Expr::InList { operand, list, .. } => {
+                self.expr(operand, depth);
+                for e in list {
+                    self.expr(e, depth);
+                }
+            }
+            Expr::Between {
+                operand, low, high, ..
+            } => {
+                self.expr(operand, depth);
+                self.expr(low, depth);
+                self.expr(high, depth);
+            }
+            Expr::Like {
+                operand, pattern, ..
+            } => {
+                self.expr(operand, depth);
+                self.expr(pattern, depth);
+            }
+            Expr::Exists(sub) | Expr::Subquery(sub) => self.select(sub, depth),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::parser::parse_script;
+
+    fn setup() -> (Engine, SessionCtx) {
+        let e = Engine::new();
+        let s = SessionCtx::new("db", "u");
+        for sql in [
+            "create table t1 (a int)",
+            "create table t2 (a int)",
+            "create table audit (n int)",
+            "create trigger tr1 on t1 for insert as insert audit values (1)",
+            "create procedure p1 as insert t2 values (1)",
+        ] {
+            e.execute(sql, &s).unwrap();
+        }
+        (e, s)
+    }
+
+    fn fp(e: &Engine, s: &SessionCtx, sql: &str) -> Footprint {
+        let stmts = parse_script(sql).unwrap();
+        let db = e.database();
+        analyze_batch(&db, &stmts, s)
+    }
+
+    fn tables(f: Footprint) -> Vec<String> {
+        match f {
+            Footprint::Tables(t) => t.into_iter().collect(),
+            Footprint::Exclusive => panic!("expected table footprint"),
+        }
+    }
+
+    #[test]
+    fn plain_dml_lists_its_table() {
+        let (e, s) = setup();
+        assert_eq!(tables(fp(&e, &s, "insert t2 values (1)")), vec!["t2"]);
+        assert_eq!(
+            tables(fp(&e, &s, "select a from t2 where a > 1")),
+            vec!["t2"]
+        );
+    }
+
+    #[test]
+    fn dml_footprint_includes_trigger_body_tables() {
+        let (e, s) = setup();
+        // Inserting into t1 fires tr1, which writes audit.
+        assert_eq!(
+            tables(fp(&e, &s, "insert t1 values (1)")),
+            vec!["audit", "t1"]
+        );
+    }
+
+    #[test]
+    fn execute_recurses_into_procedure() {
+        let (e, s) = setup();
+        assert_eq!(tables(fp(&e, &s, "execute p1")), vec!["t2"]);
+    }
+
+    #[test]
+    fn subqueries_are_walked() {
+        let (e, s) = setup();
+        assert_eq!(
+            tables(fp(
+                &e,
+                &s,
+                "select a from t1 where a = (select max(a) from t2)"
+            )),
+            vec!["t1", "t2"]
+        );
+    }
+
+    #[test]
+    fn ddl_tx_and_unknowns_are_exclusive() {
+        let (e, s) = setup();
+        for sql in [
+            "create table x (a int)",
+            "drop table t1",
+            "alter table t1 add b int null",
+            "truncate table t1",
+            "begin tran",
+            "commit",
+            "rollback",
+            "select * into x from t1",
+            "insert nosuch values (1)",
+            "execute nosuchproc",
+            "create trigger trx on t1 for delete as print 'x'",
+        ] {
+            assert_eq!(fp(&e, &s, sql), Footprint::Exclusive, "{sql}");
+        }
+    }
+
+    #[test]
+    fn self_recursive_trigger_terminates() {
+        let (e, s) = setup();
+        e.execute("create table r (a int)", &s).unwrap();
+        e.execute(
+            "create trigger trr on r for insert as insert r values (1)",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(tables(fp(&e, &s, "insert r values (0)")), vec!["r"]);
+    }
+}

@@ -27,6 +27,10 @@ pub enum TokenKind {
     Float(f64),
     /// String literal (quotes stripped, escapes resolved).
     Str(String),
+    /// Placeholder for a masked-out literal (statement-plan cache). Never
+    /// produced by [`tokenize`]; injected by the plan cache before parsing
+    /// so repeated batches that differ only in literals share one plan.
+    Param(usize),
     // Punctuation and operators.
     LParen,
     RParen,

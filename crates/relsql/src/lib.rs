@@ -44,6 +44,7 @@ pub mod clock;
 pub mod engine;
 pub mod error;
 mod eval;
+pub mod footprint;
 pub mod lexer;
 pub mod notify;
 pub mod parser;
@@ -55,5 +56,6 @@ pub mod value;
 pub use engine::{BatchResult, Engine, EngineConfig, QueryResult};
 pub use error::{Error, Result};
 pub use eval::{like_match, SessionCtx};
+pub use footprint::{analyze_batch, Footprint};
 pub use server::{ServerStats, Session, SqlEndpoint, SqlServer};
 pub use value::{DataType, Value};

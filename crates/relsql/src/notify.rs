@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,16 +40,36 @@ pub trait NotificationSink: Send + Sync {
 pub struct ChannelSink {
     tx: Sender<Datagram>,
     sent: AtomicU64,
+    overflowed: AtomicU64,
 }
 
 impl ChannelSink {
-    /// Create the sink plus the receiver end.
+    /// Create the sink plus the receiver end (unbounded queue).
     pub fn new() -> (Arc<Self>, Receiver<Datagram>) {
         let (tx, rx) = unbounded();
         (
             Arc::new(ChannelSink {
                 tx,
                 sent: AtomicU64::new(0),
+                overflowed: AtomicU64::new(0),
+            }),
+            rx,
+        )
+    }
+
+    /// Create a sink with a bounded queue of `depth` datagrams — the
+    /// pipelined detector stage's admission buffer. A full queue drops the
+    /// datagram (counted in [`overflow_count`](Self::overflow_count))
+    /// rather than blocking the engine; the agent's exactly-once
+    /// anti-entropy sweep recovers such drops from durable vNo state, the
+    /// same way it recovers UDP loss.
+    pub fn bounded(depth: usize) -> (Arc<Self>, Receiver<Datagram>) {
+        let (tx, rx) = bounded(depth.max(1));
+        (
+            Arc::new(ChannelSink {
+                tx,
+                sent: AtomicU64::new(0),
+                overflowed: AtomicU64::new(0),
             }),
             rx,
         )
@@ -59,14 +79,22 @@ impl ChannelSink {
     pub fn sent_count(&self) -> u64 {
         self.sent.load(Ordering::Relaxed)
     }
+
+    /// Datagrams dropped because the bounded queue was full.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflowed.load(Ordering::Relaxed)
+    }
 }
 
 impl NotificationSink for ChannelSink {
     fn send(&self, datagram: Datagram) {
         self.sent.fetch_add(1, Ordering::Relaxed);
-        // Fire-and-forget: a disconnected receiver is a silent drop,
-        // exactly like UDP with nobody listening.
-        let _ = self.tx.send(datagram);
+        // Fire-and-forget: a disconnected receiver or a full bounded queue
+        // is a silent drop, exactly like UDP with nobody listening (the
+        // reliability layer repairs it).
+        if let Err(TrySendError::Full(_)) = self.tx.try_send(datagram) {
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 

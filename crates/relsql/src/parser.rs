@@ -73,7 +73,15 @@ fn is_reserved(word: &str) -> bool {
 
 /// Parse a full batch into statements.
 pub fn parse_script(src: &str) -> Result<Vec<Stmt>> {
-    let tokens = tokenize(src)?;
+    parse_script_with_tokens(src, tokenize(src)?)
+}
+
+/// Parse a batch from a pre-built token stream. The statement-plan cache
+/// uses this with literal tokens masked to `TokenKind::Param` so that
+/// batches differing only in literals parse to one shared plan. `src` must
+/// be the original text the tokens were lexed from (body slices for
+/// trigger/procedure definitions come from it).
+pub fn parse_script_with_tokens(src: &str, tokens: Vec<Token>) -> Result<Vec<Stmt>> {
     let mut p = Parser {
         src,
         tokens,
@@ -877,6 +885,10 @@ impl<'a> Parser<'a> {
             TokenKind::Str(s) => {
                 self.advance();
                 Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Param(i) => {
+                self.advance();
+                Ok(Expr::Param(i))
             }
             TokenKind::LParen => {
                 self.advance();

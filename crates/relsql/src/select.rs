@@ -75,14 +75,18 @@ pub(crate) fn run_select_typed<'r>(
     if tables.is_empty() {
         joined.push(Vec::new());
     } else {
+        // Take row-read guards for the whole materialization; recursive
+        // reads keep self-joins and re-reads of a table already being
+        // scanned deadlock-free.
+        let guards: Vec<_> = tables.iter().map(|t| t.rows()).collect();
         // Odometer over row indices of each table.
-        let sizes: Vec<usize> = tables.iter().map(|t| t.rows.len()).collect();
+        let sizes: Vec<usize> = guards.iter().map(|g| g.len()).collect();
         if sizes.iter().all(|&n| n > 0) {
             let mut idx = vec![0usize; tables.len()];
             'outer: loop {
                 let mut row = Vec::with_capacity(offset);
-                for (t, &i) in tables.iter().zip(&idx) {
-                    row.extend(t.rows[i].iter().cloned());
+                for (g, &i) in guards.iter().zip(&idx) {
+                    row.extend(g[i].iter().cloned());
                 }
                 joined.push(row);
                 // Advance odometer.
@@ -571,6 +575,6 @@ fn infer_type(metas: &[JoinedMeta], expr: &Expr) -> DataType {
         | Expr::Between { .. }
         | Expr::Like { .. }
         | Expr::Exists(_) => DataType::Int,
-        Expr::Subquery(_) => DataType::Text,
+        Expr::Subquery(_) | Expr::Param(_) => DataType::Text,
     }
 }

@@ -1,4 +1,14 @@
 //! In-memory tables: schemas and row storage.
+//!
+//! Row storage is interior-mutable (`RwLock<Vec<Row>>`) so the engine can be
+//! shared (`&Engine`) across sessions: the server's per-table lock groups
+//! serialize conflicting *batches*, while the row lock only guards the short
+//! critical section of a single statement's read or mutation. Read paths use
+//! `read_recursive` so a statement that re-reads a table it is already
+//! scanning (e.g. `insert t select * from t`) cannot deadlock against a
+//! queued writer.
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::ast::ColumnDef;
 use crate::error::{Error, ObjectKind, Result};
@@ -60,13 +70,35 @@ impl Schema {
 /// A row is a vector of values, positionally matching the schema.
 pub type Row = Vec<Value>;
 
-/// A heap table: schema plus rows.
-#[derive(Debug, Clone, PartialEq)]
+/// A heap table: schema plus rows behind a per-table row lock.
+#[derive(Debug)]
 pub struct Table {
     /// Canonical (as-created) full name, possibly dotted.
     pub name: String,
     pub schema: Schema,
-    pub rows: Vec<Row>,
+    rows: RwLock<Vec<Row>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: RwLock::new(self.rows.read_recursive().clone()),
+        }
+    }
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        if self.name != other.name || self.schema != other.schema {
+            return false;
+        }
+        if std::ptr::eq(self, other) {
+            return true;
+        }
+        *self.rows.read_recursive() == *other.rows.read_recursive()
+    }
 }
 
 impl Table {
@@ -74,7 +106,17 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            rows: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Build a table pre-populated with rows (used for the trigger
+    /// `inserted`/`deleted` pseudo-tables and SELECT INTO).
+    pub fn with_rows(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: RwLock::new(rows),
         }
     }
 
@@ -102,10 +144,21 @@ impl Table {
         Ok(Table::new(name, Schema::new(columns)))
     }
 
+    /// Shared read access to the rows. Recursive so re-entrant reads within
+    /// one statement never deadlock against a queued writer.
+    pub fn rows(&self) -> RwLockReadGuard<'_, Vec<Row>> {
+        self.rows.read_recursive()
+    }
+
+    /// Exclusive write access to the rows.
+    pub fn rows_mut(&self) -> RwLockWriteGuard<'_, Vec<Row>> {
+        self.rows.write()
+    }
+
     /// Coerce and validate a row against the schema, then append it.
     pub fn insert_row(&mut self, row: Row) -> Result<()> {
         let coerced = self.check_row(row)?;
-        self.rows.push(coerced);
+        self.rows.get_mut().push(coerced);
         Ok(())
     }
 
@@ -154,7 +207,7 @@ impl Table {
             });
         }
         self.schema.columns.push(def.into());
-        for row in &mut self.rows {
+        for row in self.rows.get_mut().iter_mut() {
             row.push(Value::Null);
         }
         Ok(())
@@ -167,7 +220,7 @@ impl Table {
     }
 
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.rows.read_recursive().len()
     }
 }
 
@@ -220,7 +273,7 @@ mod tests {
         let mut t = Table::from_defs("stock", &defs()).unwrap();
         t.insert_row(vec![Value::Str("IBM".into()), Value::Int(100)])
             .unwrap();
-        assert_eq!(t.rows[0][1], Value::Float(100.0));
+        assert_eq!(t.rows()[0][1], Value::Float(100.0));
     }
 
     #[test]
@@ -250,7 +303,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(t.schema.len(), 3);
-        assert_eq!(t.rows[0][2], Value::Null);
+        assert_eq!(t.rows()[0][2], Value::Null);
     }
 
     #[test]
@@ -288,6 +341,18 @@ mod tests {
         let mut t = Table::from_defs("stock", &defs()).unwrap();
         t.insert_row(vec![Value::Str("VERYLONGSYMBOL".into()), Value::Float(1.0)])
             .unwrap();
-        assert_eq!(t.rows[0][0], Value::Str("VERYLONGSY".into()));
+        assert_eq!(t.rows()[0][0], Value::Str("VERYLONGSY".into()));
+    }
+
+    #[test]
+    fn clone_snapshots_rows() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        t.insert_row(vec![Value::Str("IBM".into()), Value::Float(1.0)])
+            .unwrap();
+        let c = t.clone();
+        assert_eq!(c, t);
+        t.rows_mut().clear();
+        assert_eq!(c.row_count(), 1);
+        assert_ne!(c, t);
     }
 }

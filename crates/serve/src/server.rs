@@ -365,6 +365,13 @@ fn stats_response(
         ("duplicates_suppressed", a.duplicates_suppressed),
         ("retries", a.retries),
         ("dead_lettered", a.dead_lettered),
+        ("notify_overflows", a.notify_overflows),
+        ("plan_cache_hits", a.plan_cache_hits),
+        ("plan_cache_misses", a.plan_cache_misses),
+        ("lock_waits", a.lock_waits),
+        ("batches_parallel", a.batches_parallel),
+        ("batches_exclusive", a.batches_exclusive),
+        ("batches_inflight_peak", a.batches_inflight_peak),
         ("sessions_opened", s.sessions_opened),
         ("sessions_active", s.sessions_active),
         ("sessions_rejected", s.sessions_rejected),

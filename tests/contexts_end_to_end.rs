@@ -118,7 +118,7 @@ fn syscontext_rows_reflect_last_firing() {
     three_a_one_b(&client);
     let r = agent
         .server()
-        .inspect(|e| e.database().table("syscontext").unwrap().rows.clone());
+        .inspect(|e| e.database().table("syscontext").unwrap().rows().clone());
     // Two rows: one per constituent shadow table of the occurrence.
     assert_eq!(r.len(), 2);
     let ea = r
