@@ -223,6 +223,12 @@ pub struct AgentStats {
     pub batches_exclusive: u64,
     /// Peak number of footprint-scheduled batches executing at once.
     pub batches_inflight_peak: u64,
+    /// Table accesses the engine served through a secondary index.
+    pub index_hits: u64,
+    /// Table accesses that fell back to a full scan.
+    pub index_misses: u64,
+    /// Candidate rows the engine visited (scans + index probes).
+    pub rows_scanned: u64,
 }
 
 /// Named fault counters from the notification channel's chaos sink.
@@ -410,6 +416,9 @@ impl EcaAgent {
             batches_parallel: server.batches_parallel,
             batches_exclusive: server.batches_exclusive,
             batches_inflight_peak: server.batches_inflight_peak,
+            index_hits: server.index_hits,
+            index_misses: server.index_misses,
+            rows_scanned: server.rows_scanned,
         }
     }
 

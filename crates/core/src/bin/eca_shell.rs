@@ -240,7 +240,7 @@ fn render_batch(batch: &BatchResult) {
     }
 }
 
-fn render_table(columns: &[String], rows: &[Vec<relsql::Value>]) {
+fn render_table(columns: &[std::sync::Arc<str>], rows: &[Vec<relsql::Value>]) {
     let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
     let rendered: Vec<Vec<String>> = rows
         .iter()

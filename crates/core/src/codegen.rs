@@ -36,7 +36,8 @@ pub fn system_tables_ddl() -> Vec<(&'static str, String)> {
             "create table SysPrimitiveEvent (\
              dbName varchar(120) null, userName varchar(120) null, \
              eventName varchar(120) null, tableName varchar(120) null, \
-             operation varchar(20) null, timeStamp datetime null, vNo int null)"
+             operation varchar(20) null, timeStamp datetime null, vNo int null)\n\
+             create hash index ix_SysPrimitiveEvent_event on SysPrimitiveEvent (eventName)"
                 .to_string(),
         ),
         (
@@ -45,7 +46,8 @@ pub fn system_tables_ddl() -> Vec<(&'static str, String)> {
              dbName varchar(120) null, userName varchar(120) null, \
              eventName varchar(120) null, eventDescribe text null, \
              timeStamp datetime null, coupling char(10) null, \
-             context char(10) null, priority char(10) null)"
+             context char(10) null, priority char(10) null)\n\
+             create hash index ix_SysCompositeEvent_event on SysCompositeEvent (eventName)"
                 .to_string(),
         ),
         (
@@ -55,20 +57,23 @@ pub fn system_tables_ddl() -> Vec<(&'static str, String)> {
              triggerName varchar(120) null, triggerProc text null, \
              timeStamp datetime null, eventName varchar(120) null, \
              coupling char(10) null, context char(12) null, \
-             priority int null, kind char(10) null)"
+             priority int null, kind char(10) null)\n\
+             create hash index ix_SysEcaTrigger_name on SysEcaTrigger (triggerName)"
                 .to_string(),
         ),
         (
             "sysContext",
             "create table sysContext (\
              tableName varchar(120) not null, context varchar(12) not null, \
-             vNo int not null)"
+             vNo int not null)\n\
+             create hash index ix_sysContext_table on sysContext (tableName)"
                 .to_string(),
         ),
         (
             "SysAgentWatermark",
             "create table SysAgentWatermark (\
-             eventName varchar(120) not null, hwm int not null)"
+             eventName varchar(120) not null, hwm int not null)\n\
+             create hash index ix_SysAgentWatermark_event on SysAgentWatermark (eventName)"
                 .to_string(),
         ),
     ]
@@ -77,12 +82,19 @@ pub fn system_tables_ddl() -> Vec<(&'static str, String)> {
 /// Setup DDL for a new primitive event: the two shadow tables (Figure 11
 /// creates both), each `= table schema + vNo`, plus the single-row version
 /// helper table initialized to 0.
+///
+/// Each shadow table gets a hash index on `vNo`: every generated action
+/// procedure selects the triggering tuples with `shadow.vNo = <current>`,
+/// and the shadow tables only grow — without the index that equality probe
+/// would degrade into a scan of the event's entire history.
 pub fn primitive_event_setup(info: &PrimitiveEventInfo, table_sql: &str) -> String {
     format!(
         "select * into {ins} from {t} where 1=2\n\
          alter table {ins} add vNo int null\n\
+         create hash index {ins}_vix on {ins} (vNo)\n\
          select * into {del} from {t} where 1=2\n\
          alter table {del} add vNo int null\n\
+         create hash index {del}_vix on {del} (vNo)\n\
          create table {ver} (vNo int not null)\n\
          insert {ver} values (0)",
         ins = info.shadow_inserted,
@@ -404,7 +416,12 @@ mod tests {
         for (name, ddl) in system_tables_ddl() {
             let stmts =
                 relsql::parser::parse_script(&ddl).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert_eq!(stmts.len(), 1);
+            // Each entry carries the CREATE TABLE plus its lookup-key index.
+            assert_eq!(stmts.len(), 2, "{name}");
+            assert!(
+                matches!(stmts[1], relsql::ast::Stmt::CreateIndex { .. }),
+                "{name}: second statement should create the lookup index"
+            );
         }
     }
 

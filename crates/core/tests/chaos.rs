@@ -160,6 +160,61 @@ fn acceptance_chaos_run_matches_zero_fault_run() {
     assert_eq!(baseline.stats.dead_lettered, 0);
 }
 
+/// The agent's generated SQL must ride the auto-created shadow indexes:
+/// every action procedure selects the triggering tuples with
+/// `shadow.vNo = <version>`, and the shadow tables only grow. Run the same
+/// rule set at two workload sizes and require (a) index hits at both, and
+/// (b) rows-visited-per-operation stays flat — the signature of an O(1)
+/// probe where an unindexed engine would scan the event's entire history.
+#[test]
+fn agent_sql_probes_shadow_indexes_as_tables_grow() {
+    let run = |n: i64| -> (u64, f64) {
+        let server = SqlServer::new();
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        let client = agent.client("db", "u");
+        client.execute("create table a (x int)").unwrap();
+        client.execute("create table b (x int)").unwrap();
+        client.execute("create table audit_prim (n int)").unwrap();
+        client.execute("create table audit_and (n int)").unwrap();
+        client
+            .execute("create trigger t_ea on a for insert event ea as insert audit_prim values (1)")
+            .unwrap();
+        client
+            .execute("create trigger t_eb on b for insert event eb as print 'eb'")
+            .unwrap();
+        client
+            .execute(
+                "create trigger t_and event eand = ea ^ eb CHRONICLE \
+                 as insert audit_and values (1)",
+            )
+            .unwrap();
+        let before = agent.stats();
+        for i in 0..n {
+            client.execute(&format!("insert a values ({i})")).unwrap();
+            client.execute(&format!("insert b values ({i})")).unwrap();
+        }
+        agent.flush_notification_channel();
+        agent.wait_detached();
+        let r = client.execute("select count(*) from audit_and").unwrap();
+        assert_eq!(r.server.scalar(), Some(&Value::Int(n)));
+        let after = agent.stats();
+        let hits = after.index_hits - before.index_hits;
+        let per_op = (after.rows_scanned - before.rows_scanned) as f64 / n as f64;
+        (hits, per_op)
+    };
+    let (hits_small, per_op_small) = run(60);
+    let (hits_large, per_op_large) = run(240);
+    assert!(hits_small > 0, "agent SQL never hit an index at n=60");
+    assert!(hits_large > 0, "agent SQL never hit an index at n=240");
+    // A history scan would make per-op visits grow ~linearly with n (4x
+    // here); indexed probes keep it flat. Allow 2x for noise.
+    assert!(
+        per_op_large < per_op_small * 2.0,
+        "rows scanned per operation grew from {per_op_small:.1} to \
+         {per_op_large:.1} — shadow probes are degrading into scans"
+    );
+}
+
 #[test]
 fn chaos_is_invariant_across_seeds_and_rates() {
     let baseline = run_workload(None);

@@ -80,6 +80,20 @@ pub enum Stmt {
     Truncate {
         table: String,
     },
+    /// `CREATE [UNIQUE] [HASH] INDEX name ON table (column)` — secondary
+    /// index. Default kind is ordered (BTree: equality + range); `HASH`
+    /// selects an equality-only hash index.
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+        unique: bool,
+        hash: bool,
+    },
+    /// `DROP INDEX name`.
+    DropIndex {
+        name: String,
+    },
 }
 
 /// Source of rows for an INSERT.

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use crate::ast::{Stmt, TriggerOp};
 use crate::error::{Error, ObjectKind, Result};
+use crate::index::IndexDef;
 use crate::table::Table;
 
 /// Canonical catalog key for a name.
@@ -45,6 +46,10 @@ pub struct Database {
     /// (table_key, op) -> trigger name key; enforces the one-per-slot rule.
     trigger_slots: HashMap<(String, TriggerOp), String>,
     procedures: HashMap<String, ProcedureDef>,
+    /// Secondary-index registry: index name key -> owning table key. Index
+    /// names are database-wide (like trigger names), so `DROP INDEX name`
+    /// can find the table without an `ON table` clause.
+    indexes: HashMap<String, String>,
 }
 
 impl Database {
@@ -85,6 +90,8 @@ impl Database {
                 self.trigger_slots.remove(&(def.table_key, def.operation));
             }
         }
+        // ... and its indexes.
+        self.indexes.retain(|_, table_key| *table_key != key);
         Ok(self.tables.remove(&key).expect("key was resolved"))
     }
 
@@ -133,6 +140,62 @@ impl Database {
             (Some(k), None) => Some(k.clone()),
             _ => None,
         }
+    }
+
+    // ------------------------------------------------------------ indexes
+
+    /// Create a secondary index on `table`. The table reference is resolved
+    /// with the usual session rules; the index name is database-wide.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        def: IndexDef,
+        prefix: Option<(&str, &str)>,
+    ) -> Result<()> {
+        let table_key = self
+            .resolve_table_key(table, prefix)
+            .ok_or_else(|| Error::NotFound {
+                kind: ObjectKind::Table,
+                name: table.to_string(),
+            })?;
+        let index_key = name_key(&def.name);
+        if self.indexes.contains_key(&index_key) {
+            return Err(Error::AlreadyExists {
+                kind: ObjectKind::Index,
+                name: def.name,
+            });
+        }
+        self.tables
+            .get(&table_key)
+            .expect("key was resolved")
+            .create_index(def)?;
+        self.indexes.insert(index_key, table_key);
+        Ok(())
+    }
+
+    /// Drop a secondary index by name.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let index_key = name_key(name);
+        let table_key = self
+            .indexes
+            .remove(&index_key)
+            .ok_or_else(|| Error::NotFound {
+                kind: ObjectKind::Index,
+                name: name.to_string(),
+            })?;
+        if let Some(table) = self.tables.get(&table_key) {
+            table.drop_index(name);
+        }
+        Ok(())
+    }
+
+    /// Catalog key of the table owning the named index, if any.
+    pub fn index_table_key(&self, name: &str) -> Option<&str> {
+        self.indexes.get(&name_key(name)).map(String::as_str)
+    }
+
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
     }
 
     // ----------------------------------------------------------- triggers
@@ -406,6 +469,49 @@ mod tests {
             .is_err());
         db.drop_procedure("sentineldb.sharma.p1").unwrap();
         assert_eq!(db.procedure_count(), 0);
+    }
+
+    #[test]
+    fn index_lifecycle_and_cascade() {
+        use crate::index::{IndexDef, IndexKind};
+        let idx = |name: &str| IndexDef {
+            name: name.into(),
+            column: "a".into(),
+            unique: false,
+            kind: IndexKind::Hash,
+        };
+        let mut db = Database::new();
+        db.create_table(t("sentineldb.sharma.stock")).unwrap();
+        db.create_index("stock", idx("ix_a"), Some(("sentineldb", "sharma")))
+            .unwrap();
+        assert_eq!(
+            db.index_table_key("IX_A"),
+            Some("sentineldb.sharma.stock"),
+            "registry is case-insensitive"
+        );
+        // Duplicate index names are rejected database-wide.
+        assert!(matches!(
+            db.create_index("stock", idx("IX_A"), None),
+            Err(Error::AlreadyExists {
+                kind: ObjectKind::Index,
+                ..
+            })
+        ));
+        // Unknown table.
+        assert!(db.create_index("nope", idx("ix_b"), None).is_err());
+        db.drop_index("ix_a").unwrap();
+        assert_eq!(db.index_count(), 0);
+        assert!(matches!(
+            db.drop_index("ix_a"),
+            Err(Error::NotFound {
+                kind: ObjectKind::Index,
+                ..
+            })
+        ));
+        // Dropping a table drops its registry entries.
+        db.create_index("stock", idx("ix_a"), None).unwrap();
+        db.drop_table("stock").unwrap();
+        assert_eq!(db.index_count(), 0);
     }
 
     #[test]

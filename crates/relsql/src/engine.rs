@@ -29,17 +29,47 @@ use crate::clock::LogicalClock;
 use crate::error::{Error, ObjectKind, Result};
 use crate::eval::Frame;
 use crate::eval::{eval_expr, PseudoFrame, QueryCtx, RowEnv, SessionCtx};
+use crate::index::{IndexDef, IndexKind, IndexSet};
 use crate::lexer::split_batches;
 use crate::notify::NotificationSink;
 use crate::parser::parse_script;
+use crate::plan::{self, SlotMeta};
 use crate::select::{run_select, run_select_typed};
 use crate::table::{Row, Schema, Table};
 use crate::value::Value;
 
-/// The result of one SELECT or DML statement.
+/// Cumulative access-path counters, exposed through the server's STATS
+/// command. `index_hits`/`index_misses` count FROM slots (and DML match
+/// phases) served by an index probe vs. a full scan; `rows_scanned` counts
+/// candidate row visits, so a workload whose `rows_scanned` stays flat as
+/// tables grow is running entirely on point lookups.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    pub index_hits: AtomicU64,
+    pub index_misses: AtomicU64,
+    pub rows_scanned: AtomicU64,
+}
+
+impl ScanStats {
+    pub fn hits(&self) -> u64 {
+        self.index_hits.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.index_misses.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn scanned(&self) -> u64 {
+        self.rows_scanned.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// The result of one SELECT or DML statement. Column names are shared
+/// handles into the table schemas (or interned output aliases) — cloning a
+/// result never copies name strings.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryResult {
-    pub columns: Vec<String>,
+    pub columns: Vec<Arc<str>>,
     pub rows: Vec<Row>,
     pub rows_affected: usize,
 }
@@ -123,6 +153,7 @@ pub struct Engine {
     datagram_seq: AtomicU64,
     tx_snapshot: Mutex<Option<Database>>,
     rollbacks: AtomicU64,
+    scan_stats: ScanStats,
 }
 
 impl Default for Engine {
@@ -149,6 +180,7 @@ impl<'e> EngineRead<'e> {
             sink: self.sink.as_deref(),
             datagram_seq: &self.engine.datagram_seq,
             params: state.params,
+            stats: &self.engine.scan_stats,
         }
     }
 }
@@ -167,7 +199,13 @@ impl Engine {
             datagram_seq: AtomicU64::new(0),
             tx_snapshot: Mutex::new(None),
             rollbacks: AtomicU64::new(0),
+            scan_stats: ScanStats::default(),
         }
+    }
+
+    /// Access-path counters (index hits/misses, rows scanned).
+    pub fn scan_stats(&self) -> &ScanStats {
+        &self.scan_stats
     }
 
     /// Register the notification sink that `syb_sendmsg()` posts to.
@@ -310,12 +348,40 @@ impl Engine {
                     let rd = self.read();
                     let key = Self::resolve_in(&rd.db, table, session)?;
                     let t = rd.db.table(&key).expect("resolved");
-                    let mut rows = t.rows_mut();
-                    let n = rows.len();
-                    rows.clear();
+                    let mut w = t.write();
+                    let n = w.rows().len();
+                    w.truncate();
                     n
                 };
                 out.results.push(QueryResult::affected(n));
+                Ok(())
+            }
+            Stmt::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+                hash,
+            } => {
+                let def = IndexDef {
+                    name: name.clone(),
+                    column: column.clone(),
+                    unique: *unique,
+                    kind: if *hash {
+                        IndexKind::Hash
+                    } else {
+                        IndexKind::Ordered
+                    },
+                };
+                self.db
+                    .write()
+                    .create_index(table, def, Some(session.prefix()))?;
+                out.results.push(QueryResult::affected(0));
+                Ok(())
+            }
+            Stmt::DropIndex { name } => {
+                self.db.write().drop_index(name)?;
+                out.results.push(QueryResult::affected(0));
                 Ok(())
             }
             Stmt::Select(sel) => {
@@ -337,14 +403,16 @@ impl Engine {
                     // joined tables) by suffixing.
                     let mut seen: Vec<String> = Vec::new();
                     for c in &mut unique {
-                        let mut candidate = c.name.clone();
+                        let mut candidate = c.name.to_string();
                         let mut n = 1;
                         while seen.iter().any(|s| s.eq_ignore_ascii_case(&candidate)) {
                             n += 1;
                             candidate = format!("{}{n}", c.name);
                         }
-                        seen.push(candidate.clone());
-                        c.name = candidate;
+                        if *candidate != *c.name {
+                            c.name = Arc::from(candidate.as_str());
+                        }
+                        seen.push(candidate);
                     }
                     let mut table = Table::new(into.clone(), Schema::new(unique));
                     let n = rows.len();
@@ -527,6 +595,49 @@ impl Engine {
             })
     }
 
+    /// Row positions a single-table UPDATE/DELETE must examine, in ascending
+    /// (scan) order. When the WHERE clause is sargable on an indexed column
+    /// the candidates come from an index probe — a *superset* of the matching
+    /// rows; the caller still evaluates the full predicate on each.
+    fn dml_candidates(
+        &self,
+        t: &Table,
+        set: &IndexSet,
+        row_count: usize,
+        selection: Option<&crate::ast::Expr>,
+        session: &SessionCtx,
+        params: &[Value],
+    ) -> Vec<usize> {
+        let slots = [SlotMeta {
+            alias: None,
+            table_name: &t.name,
+            schema: &t.schema,
+        }];
+        let p = plan::plan(selection, &slots, &[set], &[row_count], session, params);
+        let candidates = p
+            .levels
+            .first()
+            .and_then(|(_, access)| plan::static_candidates(access, set));
+        let out = match candidates {
+            Some(positions) => {
+                self.scan_stats
+                    .index_hits
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                positions
+            }
+            None => {
+                self.scan_stats
+                    .index_misses
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                (0..row_count).collect()
+            }
+        };
+        self.scan_stats
+            .rows_scanned
+            .fetch_add(out.len() as u64, AtomicOrdering::Relaxed);
+        out
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn exec_insert(
         &self,
@@ -603,7 +714,8 @@ impl Engine {
             // Mutation phase: all row-read guards from the compute phase
             // have been released; the rows write-lock release below
             // happens-before any notification the trigger will enqueue.
-            t.rows_mut().extend(checked.iter().cloned());
+            // `append` checks unique indexes before any row lands.
+            t.write().append(&checked)?;
             (key, checked)
         };
         out.results.push(QueryResult::affected(checked.len()));
@@ -638,13 +750,19 @@ impl Engine {
             let key = Self::resolve_in(&rd.db, table, session)?;
             let t = rd.db.table(&key).expect("resolved");
             // Immutable phase: find matching rows and compute replacements.
+            // Candidates come from an index probe when the WHERE clause
+            // allows it; the full predicate is still evaluated per candidate.
             let mut updates: Vec<(usize, Row)> = Vec::new();
             let mut old_rows = Vec::new();
             let mut new_rows = Vec::new();
             {
                 let ctx = rd.ctx(session, state);
                 let rows = t.rows();
-                for (i, row) in rows.iter().enumerate() {
+                let set = t.index_set();
+                let candidates =
+                    self.dml_candidates(t, &set, rows.len(), selection, session, state.params);
+                for i in candidates {
+                    let row = &rows[i];
                     let env = RowEnv {
                         frames: vec![Frame {
                             alias: None,
@@ -675,12 +793,7 @@ impl Engine {
                     updates.push((i, new_row));
                 }
             }
-            {
-                let mut rows = t.rows_mut();
-                for (i, new_row) in updates {
-                    rows[i] = new_row;
-                }
-            }
+            t.write().apply_updates(&updates)?;
             (key, old_rows, new_rows)
         };
         out.results.push(QueryResult::affected(new_rows.len()));
@@ -716,7 +829,11 @@ impl Engine {
             {
                 let ctx = rd.ctx(session, state);
                 let rows = t.rows();
-                for (i, row) in rows.iter().enumerate() {
+                let set = t.index_set();
+                let candidates =
+                    self.dml_candidates(t, &set, rows.len(), selection, session, state.params);
+                for i in candidates {
+                    let row = &rows[i];
                     let env = RowEnv {
                         frames: vec![Frame {
                             alias: None,
@@ -736,12 +853,9 @@ impl Engine {
                 }
             }
             let removed: Vec<Row> = {
-                let mut rows = t.rows_mut();
-                let mut removed = Vec::with_capacity(doomed.len());
-                for &i in doomed.iter().rev() {
-                    removed.push(rows.remove(i));
-                }
-                removed.reverse();
+                let mut w = t.write();
+                let removed = doomed.iter().map(|&i| w.rows()[i].clone()).collect();
+                w.delete(&doomed);
                 removed
             };
             (key, removed)
@@ -841,7 +955,8 @@ mod tests {
             "select symbol, price from stock order by symbol",
         );
         let sel = r.last_select().unwrap();
-        assert_eq!(sel.columns, vec!["symbol", "price"]);
+        let names: Vec<&str> = sel.columns.iter().map(|c| &**c).collect();
+        assert_eq!(names, ["symbol", "price"]);
         assert_eq!(sel.rows.len(), 2);
         assert_eq!(sel.rows[0][0], Value::Str("HP".into()));
     }
@@ -894,7 +1009,7 @@ mod tests {
         let t = db.table("sentineldb.sharma.stock_inserted").unwrap();
         assert_eq!(t.schema.len(), 3);
         assert_eq!(t.row_count(), 0);
-        assert_eq!(t.schema.columns[2].name, "vNo");
+        assert_eq!(&*t.schema.columns[2].name, "vNo");
     }
 
     #[test]
@@ -1425,8 +1540,8 @@ mod tests {
         run(&mut e, &s, "select * into c from a, b");
         let db = e.database();
         let t = db.table("c").unwrap();
-        assert_eq!(t.schema.columns[0].name, "v");
-        assert_eq!(t.schema.columns[1].name, "v2");
+        assert_eq!(&*t.schema.columns[0].name, "v");
+        assert_eq!(&*t.schema.columns[1].name, "v2");
     }
 
     #[test]
@@ -1438,6 +1553,95 @@ mod tests {
         let r = run(&mut e, &s, "truncate table t");
         assert!(r.messages.is_empty());
         assert_eq!(r.total_affected(), 1);
+    }
+
+    #[test]
+    fn create_index_ddl_and_point_lookup() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int, b varchar(5))");
+        run(&mut e, &s, "insert t values (1, 'x'), (2, 'y'), (3, 'z')");
+        run(&mut e, &s, "create index ix_a on t (a)");
+        let misses_before = e.scan_stats().misses();
+        let hits_before = e.scan_stats().hits();
+        let r = run(&mut e, &s, "select b from t where a = 2");
+        assert_eq!(r.scalar(), Some(&Value::Str("y".into())));
+        assert!(e.scan_stats().hits() > hits_before, "probe counted as hit");
+        assert_eq!(e.scan_stats().misses(), misses_before);
+        // Range probe through the ordered index.
+        let r = run(&mut e, &s, "select count(*) from t where a between 2 and 3");
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+        run(&mut e, &s, "drop index ix_a");
+        let misses_before = e.scan_stats().misses();
+        let r = run(&mut e, &s, "select b from t where a = 2");
+        assert_eq!(r.scalar(), Some(&Value::Str("y".into())));
+        assert!(e.scan_stats().misses() > misses_before, "back to scanning");
+        assert!(e.execute("drop index ix_a", &s).is_err(), "already gone");
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates_via_sql() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int, b int)");
+        run(&mut e, &s, "insert t values (1, 10)");
+        run(&mut e, &s, "create unique hash index ux_a on t (a)");
+        let err = e.execute("insert t values (1, 99)", &s).unwrap_err();
+        assert!(matches!(err, Error::Constraint { .. }), "{err}");
+        let r = run(&mut e, &s, "select count(*) from t");
+        assert_eq!(r.scalar(), Some(&Value::Int(1)), "no partial insert");
+        // UPDATE into a collision is rejected too ...
+        run(&mut e, &s, "insert t values (2, 20)");
+        let err = e.execute("update t set a = 1 where a = 2", &s).unwrap_err();
+        assert!(matches!(err, Error::Constraint { .. }), "{err}");
+        // ... but an update that vacates and reuses a key within the same
+        // statement is fine.
+        run(&mut e, &s, "update t set a = a + 10");
+        let r = run(&mut e, &s, "select count(*) from t where a = 11");
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn create_unique_index_on_duplicate_data_fails() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "insert t values (1), (1)");
+        let err = e
+            .execute("create unique index ux on t (a)", &s)
+            .unwrap_err();
+        assert!(matches!(err, Error::Constraint { .. }), "{err}");
+        // The failed index was not installed.
+        run(&mut e, &s, "create index ux on t (a)");
+    }
+
+    #[test]
+    fn indexed_update_and_delete_match_scan_semantics() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int, b int)");
+        run(&mut e, &s, "insert t values (1, 1), (2, 2), (3, 3), (2, 4)");
+        run(&mut e, &s, "create index ix on t (a)");
+        let r = run(&mut e, &s, "update t set b = 0 where a = 2");
+        assert_eq!(r.total_affected(), 2);
+        let r = run(&mut e, &s, "delete t where a = 2");
+        assert_eq!(r.total_affected(), 2);
+        let r = run(&mut e, &s, "select a from t order by a");
+        assert_eq!(
+            r.last_select().unwrap().rows,
+            vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn index_survives_transaction_rollback() {
+        let (mut e, s) = engine();
+        run(&mut e, &s, "create table t (a int)");
+        run(&mut e, &s, "create index ix on t (a)");
+        run(&mut e, &s, "insert t values (1)");
+        run(&mut e, &s, "begin tran insert t values (2) rollback");
+        // The snapshot restore must leave a consistent index: the probe
+        // below must not see the rolled-back row.
+        let r = run(&mut e, &s, "select count(*) from t where a = 2");
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+        let r = run(&mut e, &s, "select count(*) from t where a = 1");
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
     }
 
     #[test]

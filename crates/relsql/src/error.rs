@@ -38,6 +38,7 @@ pub enum ObjectKind {
     Procedure,
     Database,
     Function,
+    Index,
 }
 
 impl fmt::Display for ObjectKind {
@@ -49,6 +50,7 @@ impl fmt::Display for ObjectKind {
             ObjectKind::Procedure => "procedure",
             ObjectKind::Database => "database",
             ObjectKind::Function => "function",
+            ObjectKind::Index => "index",
         };
         f.write_str(s)
     }

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use crate::ast::{is_aggregate_name, BinaryOp, Expr, UnaryOp};
 use crate::catalog::Database;
 use crate::clock::LogicalClock;
+use crate::engine::ScanStats;
 use crate::error::{Error, ObjectKind, Result};
 use crate::notify::{Datagram, NotificationSink};
 use crate::select::run_select;
@@ -57,6 +58,8 @@ pub(crate) struct QueryCtx<'e> {
     /// Literals masked out of the batch text by the statement-plan cache;
     /// `Expr::Param(i)` reads slot `i`. Empty for unparameterized plans.
     pub params: &'e [Value],
+    /// Access-path counters (index hits/misses, rows scanned).
+    pub stats: &'e ScanStats,
 }
 
 impl<'e> QueryCtx<'e> {

@@ -139,6 +139,8 @@ impl Walker<'_> {
             | Stmt::DropTrigger { .. }
             | Stmt::CreateProcedure { .. }
             | Stmt::DropProcedure { .. }
+            | Stmt::CreateIndex { .. }
+            | Stmt::DropIndex { .. }
             | Stmt::Truncate { .. }
             | Stmt::BeginTran
             | Stmt::Commit
@@ -383,6 +385,9 @@ mod tests {
             "insert nosuch values (1)",
             "execute nosuchproc",
             "create trigger trx on t1 for delete as print 'x'",
+            "create index i1 on t1 (a)",
+            "create unique hash index i2 on t2 (a)",
+            "drop index i1",
         ] {
             assert_eq!(fp(&e, &s, sql), Footprint::Exclusive, "{sql}");
         }

@@ -45,9 +45,11 @@ pub mod engine;
 pub mod error;
 mod eval;
 pub mod footprint;
+pub mod index;
 pub mod lexer;
 pub mod notify;
 pub mod parser;
+mod plan;
 mod select;
 pub mod server;
 pub mod table;

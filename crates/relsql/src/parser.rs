@@ -362,9 +362,29 @@ impl<'a> Parser<'a> {
                 body,
                 body_src,
             })
+        } else if self.peek().is_kw("unique")
+            || self.peek().is_kw("hash")
+            || self.peek().is_kw("index")
+        {
+            let unique = self.eat_kw("unique");
+            let hash = self.eat_kw("hash");
+            self.expect_kw("index")?;
+            let name = self.parse_object_name()?;
+            self.expect_kw("on")?;
+            let table = self.parse_object_name()?;
+            self.expect(&TokenKind::LParen, "'('")?;
+            let column = self.expect_ident("index column")?;
+            self.expect(&TokenKind::RParen, "')'")?;
+            Ok(Stmt::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+                hash,
+            })
         } else {
             Err(Error::parse(format!(
-                "expected TABLE, TRIGGER or PROCEDURE after CREATE, found '{}'",
+                "expected TABLE, TRIGGER, PROCEDURE or INDEX after CREATE, found '{}'",
                 self.peek_text()
             )))
         }
@@ -399,9 +419,13 @@ impl<'a> Parser<'a> {
             Ok(Stmt::DropProcedure {
                 name: self.parse_object_name()?,
             })
+        } else if self.eat_kw("index") {
+            Ok(Stmt::DropIndex {
+                name: self.parse_object_name()?,
+            })
         } else {
             Err(Error::parse(format!(
-                "expected TABLE, TRIGGER or PROCEDURE after DROP, found '{}'",
+                "expected TABLE, TRIGGER, PROCEDURE or INDEX after DROP, found '{}'",
                 self.peek_text()
             )))
         }

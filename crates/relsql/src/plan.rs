@@ -1,0 +1,701 @@
+//! Access-path planning: route WHERE conjuncts through table indexes.
+//!
+//! The planner inspects the top-level AND conjuncts of a WHERE clause and,
+//! per FROM table, picks at most one **access path**:
+//!
+//! - `col = lit` / `col IN (lits)` — equality probe (hash or ordered index);
+//! - `col BETWEEN lo AND hi`, `col < / <= / > / >= lit` — range probe
+//!   (ordered index only);
+//! - `col = other_table.col` — **join probe**: once the other table's row
+//!   is bound during enumeration, the key is read from it and probed, turning
+//!   a nested-loop join into an index nested-loop join.
+//!
+//! Everything else stays in the residual WHERE, which is always re-evaluated
+//! in full against every candidate row — an index access only has to produce
+//! a *superset* of the matching rows, so the planner can be (and is)
+//! aggressively conservative: any doubt about how a column binds, or how a
+//! literal normalizes, simply disqualifies the conjunct.
+//!
+//! Column binding mirrors `RowEnv::lookup` exactly: a conjunct is only used
+//! when its column resolves to **exactly one** FROM table. Zero matches means
+//! a correlated outer reference, two means an ambiguity error — both are left
+//! to the residual evaluation so visible semantics (including errors on
+//! matched rows) are unchanged.
+
+use std::ops::Bound;
+
+use crate::ast::{BinaryOp, Expr};
+use crate::eval::SessionCtx;
+use crate::index::{key_of, range_key_of, IndexKey, IndexSet};
+use crate::table::Schema;
+use crate::value::Value;
+
+/// What the planner needs to know about one FROM slot.
+pub(crate) struct SlotMeta<'a> {
+    pub alias: Option<&'a str>,
+    pub table_name: &'a str,
+    pub schema: &'a Schema,
+}
+
+impl SlotMeta<'_> {
+    /// Mirror of `Frame::matches_qualifier`.
+    fn matches_qualifier(&self, qualifier: &str, session: &SessionCtx) -> bool {
+        if let Some(alias) = self.alias {
+            if alias.eq_ignore_ascii_case(qualifier) {
+                return true;
+            }
+        }
+        if self.table_name.eq_ignore_ascii_case(qualifier) {
+            return true;
+        }
+        let tn = self.table_name.to_ascii_lowercase();
+        let q = qualifier.to_ascii_lowercase();
+        if tn.ends_with(&format!(".{q}")) {
+            return true;
+        }
+        let (db, user) = session.prefix();
+        tn == format!(
+            "{}.{}.{}",
+            db.to_ascii_lowercase(),
+            user.to_ascii_lowercase(),
+            q
+        )
+    }
+}
+
+/// A column reference resolved to exactly one slot, or disqualified.
+fn bind_column(
+    slots: &[SlotMeta<'_>],
+    qualifier: Option<&str>,
+    name: &str,
+    session: &SessionCtx,
+) -> Option<(usize, usize)> {
+    let mut found: Option<(usize, usize)> = None;
+    for (slot, meta) in slots.iter().enumerate() {
+        if let Some(q) = qualifier {
+            if !meta.matches_qualifier(q, session) {
+                continue;
+            }
+        }
+        if let Some(col) = meta.schema.index_of(name) {
+            if found.is_some() {
+                return None; // ambiguous — leave to residual eval
+            }
+            found = Some((slot, col));
+        }
+    }
+    found
+}
+
+/// A non-column probe operand normalized to an index key at plan time.
+/// `None` means the conjunct is unusable (NULL/NaN literal, unbound param,
+/// or not a literal/param at all).
+fn const_key(expr: &Expr, params: &[Value]) -> Option<IndexKey> {
+    const_value(expr, params).as_ref().and_then(key_of)
+}
+
+fn const_value<'a>(expr: &'a Expr, params: &'a [Value]) -> Option<Value> {
+    match expr {
+        Expr::Literal(v) => Some(v.clone()),
+        Expr::Param(i) => params.get(*i).cloned(),
+        _ => None,
+    }
+}
+
+/// One sargable conjunct, normalized.
+enum Sarg {
+    /// `slot.col = key`
+    EqConst {
+        slot: usize,
+        col: usize,
+        key: IndexKey,
+    },
+    /// `slot.col IN (keys)` — NULL items dropped (they can never match).
+    EqSet {
+        slot: usize,
+        col: usize,
+        keys: Vec<IndexKey>,
+    },
+    /// `slot.col = dep_slot.dep_col`
+    EqJoin {
+        slot: usize,
+        col: usize,
+        dep_slot: usize,
+        dep_col: usize,
+    },
+    /// One- or two-sided range on `slot.col`. `Unbounded` marks a side that
+    /// is absent or widened away (saturating whole-float literal).
+    Range {
+        slot: usize,
+        col: usize,
+        lo: Bound<IndexKey>,
+        hi: Bound<IndexKey>,
+    },
+}
+
+/// Split the top-level AND tree into conjuncts.
+fn conjuncts<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match expr {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
+            conjuncts(left, out);
+            conjuncts(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// A range bound from a comparison literal: `Ok(None)` means "no constraint
+/// on this side" (saturated literal), `Err(())` means conjunct unusable.
+fn range_bound(expr: &Expr, params: &[Value], inclusive: bool) -> Result<Bound<IndexKey>, ()> {
+    let v = const_value(expr, params).ok_or(())?;
+    match range_key_of(&v) {
+        None => Err(()),
+        Some(None) => Ok(Bound::Unbounded),
+        Some(Some(k)) => Ok(if inclusive {
+            Bound::Included(k)
+        } else {
+            Bound::Excluded(k)
+        }),
+    }
+}
+
+fn classify(
+    expr: &Expr,
+    slots: &[SlotMeta<'_>],
+    session: &SessionCtx,
+    params: &[Value],
+) -> Option<Sarg> {
+    match expr {
+        Expr::Binary { op, left, right } => {
+            let (col_side, other, op) = match (&**left, op) {
+                (Expr::Column { .. }, _) => (&**left, &**right, *op),
+                _ => match &**right {
+                    // Flip `lit <op> col` into `col <flipped-op> lit`.
+                    Expr::Column { .. } => {
+                        let flipped = match op {
+                            BinaryOp::Eq => BinaryOp::Eq,
+                            BinaryOp::Lt => BinaryOp::Gt,
+                            BinaryOp::Le => BinaryOp::Ge,
+                            BinaryOp::Gt => BinaryOp::Lt,
+                            BinaryOp::Ge => BinaryOp::Le,
+                            _ => return None,
+                        };
+                        (&**right, &**left, flipped)
+                    }
+                    _ => return None,
+                },
+            };
+            let (qualifier, name) = match col_side {
+                Expr::Column { qualifier, name } => (qualifier.as_deref(), name.as_str()),
+                _ => unreachable!(),
+            };
+            let (slot, col) = bind_column(slots, qualifier, name, session)?;
+            match op {
+                BinaryOp::Eq => {
+                    if let Expr::Column {
+                        qualifier: dq,
+                        name: dn,
+                    } = other
+                    {
+                        let (dep_slot, dep_col) = bind_column(slots, dq.as_deref(), dn, session)?;
+                        if dep_slot == slot {
+                            return None; // same-table col = col: not a probe
+                        }
+                        return Some(Sarg::EqJoin {
+                            slot,
+                            col,
+                            dep_slot,
+                            dep_col,
+                        });
+                    }
+                    let key = const_key(other, params)?;
+                    Some(Sarg::EqConst { slot, col, key })
+                }
+                BinaryOp::Lt | BinaryOp::Le => {
+                    let hi = range_bound(other, params, op == BinaryOp::Le).ok()?;
+                    Some(Sarg::Range {
+                        slot,
+                        col,
+                        lo: Bound::Unbounded,
+                        hi,
+                    })
+                }
+                BinaryOp::Gt | BinaryOp::Ge => {
+                    let lo = range_bound(other, params, op == BinaryOp::Ge).ok()?;
+                    Some(Sarg::Range {
+                        slot,
+                        col,
+                        lo,
+                        hi: Bound::Unbounded,
+                    })
+                }
+                _ => None,
+            }
+        }
+        Expr::InList {
+            operand,
+            list,
+            negated: false,
+        } => {
+            let (qualifier, name) = match &**operand {
+                Expr::Column { qualifier, name } => (qualifier.as_deref(), name.as_str()),
+                _ => return None,
+            };
+            let (slot, col) = bind_column(slots, qualifier, name, session)?;
+            let mut keys = Vec::with_capacity(list.len());
+            for item in list {
+                match const_value(item, params) {
+                    // A NULL item can never equal anything; drop it.
+                    Some(v) => {
+                        if let Some(k) = key_of(&v) {
+                            keys.push(k);
+                        }
+                    }
+                    None => return None, // non-literal item: unusable
+                }
+            }
+            Some(Sarg::EqSet { slot, col, keys })
+        }
+        Expr::Between {
+            operand,
+            low,
+            high,
+            negated: false,
+        } => {
+            let (qualifier, name) = match &**operand {
+                Expr::Column { qualifier, name } => (qualifier.as_deref(), name.as_str()),
+                _ => return None,
+            };
+            let (slot, col) = bind_column(slots, qualifier, name, session)?;
+            let lo = range_bound(low, params, true).ok()?;
+            let hi = range_bound(high, params, true).ok()?;
+            Some(Sarg::Range { slot, col, lo, hi })
+        }
+        _ => None,
+    }
+}
+
+/// The chosen access for one FROM slot.
+pub(crate) enum Access {
+    /// Enumerate every row position.
+    Full,
+    /// Probe index on `col` with the fixed key set.
+    Keys { col: usize, keys: Vec<IndexKey> },
+    /// Probe index on `col` with the key read from an already-bound slot.
+    Join {
+        col: usize,
+        dep_slot: usize,
+        dep_col: usize,
+    },
+    /// Range-scan the ordered index on `col`.
+    Range {
+        col: usize,
+        lo: Bound<IndexKey>,
+        hi: Bound<IndexKey>,
+    },
+}
+
+/// An accumulated range constraint on one column: `(col, lo, hi)`.
+type ColRange = (usize, Bound<IndexKey>, Bound<IndexKey>);
+
+/// The full access plan: one `(slot, access)` per FROM table, in the order
+/// the nested-loop enumeration should bind them.
+pub(crate) struct AccessPlan {
+    pub levels: Vec<(usize, Access)>,
+    /// True when at least one slot is served by an index.
+    pub any_index: bool,
+}
+
+/// Resolve a static (`Keys`/`Range`) access into ascending candidate
+/// positions via the index set. `None` for `Full`/`Join` accesses, or if the
+/// index the planner saw is unexpectedly gone — callers fall back to a scan.
+pub(crate) fn static_candidates(access: &Access, set: &IndexSet) -> Option<Vec<usize>> {
+    match access {
+        Access::Keys { col, keys } => {
+            let ix = set.best_for(*col, false)?;
+            let mut out: Vec<usize> = Vec::new();
+            for k in keys {
+                out.extend_from_slice(ix.probe_eq(k));
+            }
+            out.sort_unstable();
+            out.dedup();
+            Some(out)
+        }
+        Access::Range { col, lo, hi } => {
+            let ix = set.best_for(*col, true)?;
+            let mut out = Vec::new();
+            if !ix.probe_range(lo.as_ref(), hi.as_ref(), &mut out) {
+                return None;
+            }
+            out.sort_unstable();
+            Some(out)
+        }
+        Access::Full | Access::Join { .. } => None,
+    }
+}
+
+/// Keep the tightest lower bound of two.
+fn tighten_lo(cur: Bound<IndexKey>, new: Bound<IndexKey>) -> Bound<IndexKey> {
+    use Bound::*;
+    match (&cur, &new) {
+        (Unbounded, _) => new,
+        (_, Unbounded) => cur,
+        (Included(a) | Excluded(a), Included(b) | Excluded(b)) => match a.cmp(b) {
+            std::cmp::Ordering::Less => new,
+            std::cmp::Ordering::Greater => cur,
+            std::cmp::Ordering::Equal => {
+                if matches!(cur, Excluded(_)) {
+                    cur
+                } else {
+                    new
+                }
+            }
+        },
+    }
+}
+
+fn tighten_hi(cur: Bound<IndexKey>, new: Bound<IndexKey>) -> Bound<IndexKey> {
+    use Bound::*;
+    match (&cur, &new) {
+        (Unbounded, _) => new,
+        (_, Unbounded) => cur,
+        (Included(a) | Excluded(a), Included(b) | Excluded(b)) => match a.cmp(b) {
+            std::cmp::Ordering::Greater => new,
+            std::cmp::Ordering::Less => cur,
+            std::cmp::Ordering::Equal => {
+                if matches!(cur, Excluded(_)) {
+                    cur
+                } else {
+                    new
+                }
+            }
+        },
+    }
+}
+
+/// Plan table accesses for a SELECT/UPDATE/DELETE. `sets[slot]` is the
+/// (clean) index set of each FROM table, `sizes[slot]` its row count.
+pub(crate) fn plan(
+    selection: Option<&Expr>,
+    slots: &[SlotMeta<'_>],
+    sets: &[&IndexSet],
+    sizes: &[usize],
+    session: &SessionCtx,
+    params: &[Value],
+) -> AccessPlan {
+    let n = slots.len();
+    let mut eq_const: Vec<Option<(usize, Vec<IndexKey>, bool)>> = (0..n).map(|_| None).collect();
+    let mut ranges: Vec<Option<ColRange>> = (0..n).map(|_| None).collect();
+    let mut joins: Vec<Vec<(usize, usize, usize)>> = (0..n).map(|_| Vec::new()).collect();
+
+    if let Some(cond) = selection {
+        let mut parts = Vec::new();
+        conjuncts(cond, &mut parts);
+        for part in parts {
+            match classify(part, slots, session, params) {
+                Some(Sarg::EqConst { slot, col, key }) => {
+                    if sets[slot].best_for(col, false).is_none() {
+                        continue;
+                    }
+                    let unique = sets[slot]
+                        .best_for(col, false)
+                        .is_some_and(|ix| ix.def.unique);
+                    let replace = match &eq_const[slot] {
+                        None => true,
+                        // Prefer a unique-indexed equality, then fewer keys.
+                        Some((_, keys, was_unique)) => !was_unique && (unique || keys.len() > 1),
+                    };
+                    if replace {
+                        eq_const[slot] = Some((col, vec![key], unique));
+                    }
+                }
+                Some(Sarg::EqSet { slot, col, keys }) => {
+                    if sets[slot].best_for(col, false).is_none() {
+                        continue;
+                    }
+                    if eq_const[slot].is_none() {
+                        eq_const[slot] = Some((col, keys, false));
+                    }
+                }
+                Some(Sarg::EqJoin {
+                    slot,
+                    col,
+                    dep_slot,
+                    dep_col,
+                }) => {
+                    if sets[slot].best_for(col, false).is_some() {
+                        joins[slot].push((col, dep_slot, dep_col));
+                    }
+                    // The symmetric direction is usable too.
+                    if sets[dep_slot].best_for(dep_col, false).is_some() {
+                        joins[dep_slot].push((dep_col, slot, col));
+                    }
+                }
+                Some(Sarg::Range { slot, col, lo, hi }) => {
+                    if sets[slot].best_for(col, true).is_none() {
+                        continue;
+                    }
+                    match ranges[slot].take() {
+                        Some((c, cur_lo, cur_hi)) if c == col => {
+                            ranges[slot] =
+                                Some((c, tighten_lo(cur_lo, lo), tighten_hi(cur_hi, hi)));
+                        }
+                        Some(other) => ranges[slot] = Some(other),
+                        None => ranges[slot] = Some((col, lo, hi)),
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+
+    // Greedy enumeration order: tables that can be probed statically first,
+    // then any table whose join probe is satisfied by an already-bound one,
+    // then (to seed join chains cheaply) the smallest remaining table.
+    let mut bound = vec![false; n];
+    let mut levels: Vec<(usize, Access)> = Vec::with_capacity(n);
+    let mut any_index = false;
+    while levels.len() < n {
+        let next_static =
+            (0..n).find(|&s| !bound[s] && (eq_const[s].is_some() || ranges[s].is_some()));
+        let chosen = if let Some(s) = next_static {
+            let access = if let Some((col, keys, _)) = eq_const[s].take() {
+                Access::Keys { col, keys }
+            } else {
+                let (col, lo, hi) = ranges[s].take().expect("checked");
+                Access::Range { col, lo, hi }
+            };
+            any_index = true;
+            (s, access)
+        } else if let Some((s, &(col, dep_slot, dep_col))) =
+            (0..n).filter(|&s| !bound[s]).find_map(|s| {
+                joins[s]
+                    .iter()
+                    .find(|&&(_, dep, _)| bound[dep])
+                    .map(|j| (s, j))
+            })
+        {
+            any_index = true;
+            (
+                s,
+                Access::Join {
+                    col,
+                    dep_slot,
+                    dep_col,
+                },
+            )
+        } else {
+            let s = (0..n)
+                .filter(|&s| !bound[s])
+                .min_by_key(|&s| sizes[s])
+                .expect("levels.len() < n");
+            (s, Access::Full)
+        };
+        bound[chosen.0] = true;
+        levels.push(chosen);
+    }
+    AccessPlan { levels, any_index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexDef, IndexKind};
+    use crate::table::Column;
+    use crate::value::DataType;
+
+    fn schema(names: &[&str]) -> Schema {
+        Schema::new(
+            names
+                .iter()
+                .map(|n| Column::new(n, DataType::Int, true))
+                .collect(),
+        )
+    }
+
+    fn indexed(schema: &Schema, col_name: &str) -> IndexSet {
+        let mut set = IndexSet::default();
+        set.create(
+            IndexDef {
+                name: format!("ix_{col_name}"),
+                column: col_name.into(),
+                unique: false,
+                kind: IndexKind::Ordered,
+            },
+            schema,
+            &[],
+        )
+        .unwrap();
+        set
+    }
+
+    fn session() -> SessionCtx {
+        SessionCtx {
+            database: "db".into(),
+            user: "u".into(),
+        }
+    }
+
+    fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    fn lit(i: i64) -> Expr {
+        Expr::Literal(Value::Int(i))
+    }
+
+    fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn equality_on_indexed_column_routes() {
+        let s = schema(&["id", "v"]);
+        let set = indexed(&s, "id");
+        let slots = [SlotMeta {
+            alias: None,
+            table_name: "t",
+            schema: &s,
+        }];
+        let cond = eq(col("id"), lit(5));
+        let plan = plan(Some(&cond), &slots, &[&set], &[10], &session(), &[]);
+        assert!(plan.any_index);
+        assert!(matches!(plan.levels[0].1, Access::Keys { col: 0, .. }));
+    }
+
+    #[test]
+    fn unindexed_or_null_literal_falls_back() {
+        let s = schema(&["id", "v"]);
+        let set = IndexSet::default();
+        let slots = [SlotMeta {
+            alias: None,
+            table_name: "t",
+            schema: &s,
+        }];
+        let cond = eq(col("id"), lit(5));
+        let p = plan(Some(&cond), &slots, &[&set], &[10], &session(), &[]);
+        assert!(!p.any_index);
+        let set = indexed(&s, "id");
+        let cond = eq(col("id"), Expr::Literal(Value::Null));
+        let p = plan(Some(&cond), &slots, &[&set], &[10], &session(), &[]);
+        assert!(!p.any_index, "col = NULL matches nothing; stays residual");
+    }
+
+    #[test]
+    fn join_probe_binds_small_table_first() {
+        let s0 = schema(&["vno", "payload"]);
+        let s1 = schema(&["vno"]);
+        let set0 = indexed(&s0, "vno");
+        let set1 = IndexSet::default();
+        let slots = [
+            SlotMeta {
+                alias: None,
+                table_name: "shadow",
+                schema: &s0,
+            },
+            SlotMeta {
+                alias: None,
+                table_name: "ver",
+                schema: &s1,
+            },
+        ];
+        let cond = eq(
+            Expr::Column {
+                qualifier: Some("shadow".into()),
+                name: "vno".into(),
+            },
+            Expr::Column {
+                qualifier: Some("ver".into()),
+                name: "vno".into(),
+            },
+        );
+        let p = plan(
+            Some(&cond),
+            &slots,
+            &[&set0, &set1],
+            &[100_000, 1],
+            &session(),
+            &[],
+        );
+        assert!(p.any_index);
+        assert_eq!(p.levels[0].0, 1, "tiny ver table binds first");
+        assert!(matches!(p.levels[0].1, Access::Full));
+        assert_eq!(p.levels[1].0, 0);
+        assert!(matches!(
+            p.levels[1].1,
+            Access::Join {
+                col: 0,
+                dep_slot: 1,
+                dep_col: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_disqualifies() {
+        let s = schema(&["id"]);
+        let set = indexed(&s, "id");
+        let slots = [
+            SlotMeta {
+                alias: None,
+                table_name: "a",
+                schema: &s,
+            },
+            SlotMeta {
+                alias: None,
+                table_name: "b",
+                schema: &s,
+            },
+        ];
+        let cond = eq(col("id"), lit(1));
+        let p = plan(Some(&cond), &slots, &[&set, &set], &[5, 5], &session(), &[]);
+        assert!(!p.any_index);
+    }
+
+    #[test]
+    fn between_merges_with_comparisons() {
+        let s = schema(&["id"]);
+        let set = indexed(&s, "id");
+        let slots = [SlotMeta {
+            alias: None,
+            table_name: "t",
+            schema: &s,
+        }];
+        let cond = Expr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(Expr::Between {
+                operand: Box::new(col("id")),
+                low: Box::new(lit(1)),
+                high: Box::new(lit(100)),
+                negated: false,
+            }),
+            right: Box::new(Expr::Binary {
+                op: BinaryOp::Lt,
+                left: Box::new(col("id")),
+                right: Box::new(lit(50)),
+            }),
+        };
+        let p = plan(Some(&cond), &slots, &[&set], &[10], &session(), &[]);
+        match &p.levels[0].1 {
+            Access::Range { col: 0, lo, hi } => {
+                assert_eq!(*lo, Bound::Included(IndexKey::Int(1)));
+                assert_eq!(*hi, Bound::Excluded(IndexKey::Int(50)));
+            }
+            other => panic!(
+                "expected range access, got {:?}",
+                std::mem::discriminant(other)
+            ),
+        }
+    }
+}

@@ -1,10 +1,26 @@
 //! SELECT execution: comma joins, filtering, grouping/aggregates, HAVING,
 //! projection, DISTINCT and ORDER BY.
+//!
+//! The FROM/WHERE phase is access-path driven: the planner ([`crate::plan`])
+//! extracts sargable conjuncts from the WHERE clause and routes each FROM
+//! table through an index probe when one applies. Probes only ever produce a
+//! *superset* of the matching rows — the full WHERE is still evaluated
+//! against every candidate — and candidate tuples are re-sorted into
+//! FROM-order row-position order, so the visible results (rows *and* their
+//! order) are identical to the nested-loop scan. The one deliberate
+//! divergence: rows an index proves can't match are never visited, so
+//! evaluation side-effects (errors, `syb_sendmsg`) on such rows don't occur,
+//! exactly as in any indexed database.
+
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::Arc;
 
 use crate::ast::{is_aggregate_name, Expr, OrderByItem, SelectItem, SelectStmt, UnaryOp};
 use crate::error::{Error, Result};
 use crate::eval::{apply_binary_values, eval_expr, Frame, QueryCtx, RowEnv};
-use crate::table::{Column, Row, Schema};
+use crate::index::{key_of, IndexSet};
+use crate::plan::{self, Access, SlotMeta};
+use crate::table::{Column, Row, RowsReadGuard, Schema};
 use crate::value::{DataType, Value};
 
 /// Metadata for one FROM-table's slice of the joined row.
@@ -41,10 +57,77 @@ pub(crate) fn run_select(
     ctx: &QueryCtx<'_>,
     stmt: &SelectStmt,
     outer: Option<&RowEnv<'_>>,
-) -> Result<(Vec<String>, Vec<Row>)> {
+) -> Result<(Vec<Arc<str>>, Vec<Row>)> {
     let (columns, rows, _) = run_select_typed(ctx, stmt, outer)?;
     Ok((columns, rows))
 }
+
+/// Recursively enumerate candidate row-position tuples following the plan's
+/// level order. `current[slot]` holds the position bound for each slot;
+/// complete tuples (in slot order) are collected for re-sorting.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_candidates(
+    level: usize,
+    levels: &[(usize, Access)],
+    static_cands: &[Option<Vec<usize>>],
+    guards: &[RowsReadGuard<'_>],
+    sets: &[Arc<IndexSet>],
+    sizes: &[usize],
+    current: &mut Vec<usize>,
+    tuples: &mut Vec<Vec<usize>>,
+    visited: &mut u64,
+) {
+    if level == levels.len() {
+        tuples.push(current.clone());
+        return;
+    }
+    let (slot, access) = &levels[level];
+    let slot = *slot;
+    macro_rules! descend {
+        ($iter:expr) => {
+            for pos in $iter {
+                *visited += 1;
+                current[slot] = pos;
+                enumerate_candidates(
+                    level + 1,
+                    levels,
+                    static_cands,
+                    guards,
+                    sets,
+                    sizes,
+                    current,
+                    tuples,
+                    visited,
+                );
+            }
+        };
+    }
+    match access {
+        Access::Join {
+            col,
+            dep_slot,
+            dep_col,
+        } => {
+            // The dependency slot is already bound (the planner orders
+            // levels that way); read the live key out of its current row.
+            let dep_row = &guards[*dep_slot][current[*dep_slot]];
+            // A NULL/NaN key equals nothing, so the superset is empty.
+            if let Some(key) = key_of(&dep_row[*dep_col]) {
+                if let Some(ix) = sets[slot].best_for(*col, false) {
+                    descend!(ix.probe_eq(&key).iter().copied());
+                }
+            }
+        }
+        _ => match &static_cands[level] {
+            Some(cands) => descend!(cands.iter().copied()),
+            None => descend!(0..sizes[slot]),
+        },
+    }
+}
+
+/// Output of [`run_select_typed`]: column names, result rows, and the
+/// inferred output schema.
+pub(crate) type TypedRows = (Vec<Arc<str>>, Vec<Row>, Vec<Column>);
 
 /// Like [`run_select`] but also returns an inferred output schema, used by
 /// `SELECT ... INTO` to create the target table even when zero rows match
@@ -53,8 +136,8 @@ pub(crate) fn run_select_typed<'r>(
     ctx: &QueryCtx<'_>,
     stmt: &SelectStmt,
     outer: Option<&'r RowEnv<'r>>,
-) -> Result<(Vec<String>, Vec<Row>, Vec<Column>)> {
-    // ---- FROM: materialize the cartesian product of the named tables.
+) -> Result<TypedRows> {
+    // ---- FROM.
     let mut metas: Vec<JoinedMeta> = Vec::with_capacity(stmt.from.len());
     let mut tables = Vec::with_capacity(stmt.from.len());
     let mut offset = 0usize;
@@ -71,53 +154,136 @@ pub(crate) fn run_select_typed<'r>(
         tables.push(table);
     }
 
-    let mut joined: Vec<Row> = Vec::new();
+    // ---- FROM × WHERE: enumerate candidate joined rows and filter.
+    let mut filtered: Vec<Row> = Vec::new();
     if tables.is_empty() {
-        joined.push(Vec::new());
-    } else {
-        // Take row-read guards for the whole materialization; recursive
-        // reads keep self-joins and re-reads of a table already being
-        // scanned deadlock-free.
-        let guards: Vec<_> = tables.iter().map(|t| t.rows()).collect();
-        // Odometer over row indices of each table.
-        let sizes: Vec<usize> = guards.iter().map(|g| g.len()).collect();
-        if sizes.iter().all(|&n| n > 0) {
-            let mut idx = vec![0usize; tables.len()];
-            'outer: loop {
-                let mut row = Vec::with_capacity(offset);
-                for (g, &i) in guards.iter().zip(&idx) {
-                    row.extend(g[i].iter().cloned());
-                }
-                joined.push(row);
-                // Advance odometer.
-                for k in (0..idx.len()).rev() {
-                    idx[k] += 1;
-                    if idx[k] < sizes[k] {
-                        continue 'outer;
-                    }
-                    idx[k] = 0;
-                    if k == 0 {
-                        break 'outer;
-                    }
-                }
-            }
-        }
-    }
-
-    // ---- WHERE.
-    let filtered: Vec<Row> = match &stmt.selection {
-        Some(cond) => {
-            let mut keep = Vec::new();
-            for row in joined {
+        let row = Vec::new();
+        let keep = match &stmt.selection {
+            Some(cond) => {
                 let env = build_env(&metas, &row, outer);
-                if eval_expr(ctx, &env, cond)?.is_truthy() {
-                    keep.push(row);
+                eval_expr(ctx, &env, cond)?.is_truthy()
+            }
+            None => true,
+        };
+        if keep {
+            filtered.push(row);
+        }
+    } else {
+        // Take row-read guards for the whole enumeration; recursive reads
+        // keep self-joins and re-reads of a table already being scanned
+        // deadlock-free. Index sets are snapshotted after the guards so the
+        // positions they hold match the guarded rows.
+        let guards: Vec<_> = tables.iter().map(|t| t.rows()).collect();
+        let sets: Vec<Arc<IndexSet>> = tables.iter().map(|t| t.index_set()).collect();
+        let sizes: Vec<usize> = guards.iter().map(|g| g.len()).collect();
+        let slots: Vec<SlotMeta<'_>> = metas
+            .iter()
+            .map(|m| SlotMeta {
+                alias: m.alias.as_deref(),
+                table_name: &m.table_name,
+                schema: &m.schema,
+            })
+            .collect();
+        let set_refs: Vec<&IndexSet> = sets.iter().map(|s| s.as_ref()).collect();
+        let aplan = plan::plan(
+            stmt.selection.as_ref(),
+            &slots,
+            &set_refs,
+            &sizes,
+            ctx.session,
+            ctx.params,
+        );
+        let mut visited: u64 = 0;
+        if aplan.any_index {
+            for (_, access) in &aplan.levels {
+                let counter = match access {
+                    Access::Full => &ctx.stats.index_misses,
+                    _ => &ctx.stats.index_hits,
+                };
+                counter.fetch_add(1, AtomicOrdering::Relaxed);
+            }
+            // Static (Keys/Range) candidate lists don't depend on bound
+            // rows; resolve them once per level.
+            let static_cands: Vec<Option<Vec<usize>>> = aplan
+                .levels
+                .iter()
+                .map(|(slot, access)| plan::static_candidates(access, &sets[*slot]))
+                .collect();
+            let mut tuples: Vec<Vec<usize>> = Vec::new();
+            let mut current = vec![0usize; tables.len()];
+            enumerate_candidates(
+                0,
+                &aplan.levels,
+                &static_cands,
+                &guards,
+                &sets,
+                &sizes,
+                &mut current,
+                &mut tuples,
+                &mut visited,
+            );
+            // Restore the scan's output order: tuples are keyed by row
+            // position in FROM order, so a lexicographic sort reproduces
+            // exactly the odometer's sequence.
+            tuples.sort_unstable();
+            for tup in tuples {
+                let mut row = Vec::with_capacity(offset);
+                for (g, &pos) in guards.iter().zip(&tup) {
+                    row.extend(g[pos].iter().cloned());
+                }
+                let keep = match &stmt.selection {
+                    Some(cond) => {
+                        let env = build_env(&metas, &row, outer);
+                        eval_expr(ctx, &env, cond)?.is_truthy()
+                    }
+                    None => true,
+                };
+                if keep {
+                    filtered.push(row);
                 }
             }
-            keep
+        } else {
+            ctx.stats
+                .index_misses
+                .fetch_add(tables.len() as u64, AtomicOrdering::Relaxed);
+            // Odometer over row indices of each table, with the WHERE fused
+            // into the loop so non-matching joined rows are never kept.
+            if sizes.iter().all(|&n| n > 0) {
+                let mut idx = vec![0usize; tables.len()];
+                'outer: loop {
+                    let mut row = Vec::with_capacity(offset);
+                    for (g, &i) in guards.iter().zip(&idx) {
+                        row.extend(g[i].iter().cloned());
+                    }
+                    visited += 1;
+                    let keep = match &stmt.selection {
+                        Some(cond) => {
+                            let env = build_env(&metas, &row, outer);
+                            eval_expr(ctx, &env, cond)?.is_truthy()
+                        }
+                        None => true,
+                    };
+                    if keep {
+                        filtered.push(row);
+                    }
+                    // Advance odometer.
+                    for k in (0..idx.len()).rev() {
+                        idx[k] += 1;
+                        if idx[k] < sizes[k] {
+                            continue 'outer;
+                        }
+                        idx[k] = 0;
+                        if k == 0 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
         }
-        None => joined,
-    };
+        ctx.stats
+            .rows_scanned
+            .fetch_add(visited, AtomicOrdering::Relaxed);
+    }
 
     // ---- Output column names + static types.
     let (out_names, out_types) = output_columns(&metas, &stmt.projection)?;
@@ -259,7 +425,7 @@ fn order_keys(
     ctx: &QueryCtx<'_>,
     env: &RowEnv<'_>,
     order_by: &[OrderByItem],
-    out_names: &[String],
+    out_names: &[Arc<str>],
     out_row: &[Value],
 ) -> Result<Vec<Value>> {
     let mut keys = Vec::with_capacity(order_by.len());
@@ -278,7 +444,7 @@ fn order_keys_grouped(
     metas: &[JoinedMeta],
     group: &[&Row],
     order_by: &[OrderByItem],
-    out_names: &[String],
+    out_names: &[Arc<str>],
     out_row: &[Value],
 ) -> Result<Vec<Value>> {
     let mut keys = Vec::with_capacity(order_by.len());
@@ -293,7 +459,7 @@ fn order_keys_grouped(
 }
 
 /// ORDER BY ordinal (`order by 2`) or output-alias reference.
-fn output_ref(expr: &Expr, out_names: &[String], out_row: &[Value]) -> Result<Option<Value>> {
+fn output_ref(expr: &Expr, out_names: &[Arc<str>], out_row: &[Value]) -> Result<Option<Value>> {
     match expr {
         Expr::Literal(Value::Int(n)) => {
             let idx = *n as usize;
@@ -456,12 +622,15 @@ fn compute_aggregate(
     }
 }
 
-/// Derive output column names and static types for a projection.
+/// Derive output column names and static types for a projection. Names from
+/// wildcards are the schemas' interned handles; a plain column reference
+/// reuses the schema's handle when the query spelled it identically, so the
+/// common output paths never copy a name string per statement.
 fn output_columns(
     metas: &[JoinedMeta],
     projection: &[SelectItem],
-) -> Result<(Vec<String>, Vec<Column>)> {
-    let mut names = Vec::new();
+) -> Result<(Vec<Arc<str>>, Vec<Column>)> {
+    let mut names: Vec<Arc<str>> = Vec::new();
     let mut cols = Vec::new();
     let mut anon = 0usize;
     for item in projection {
@@ -493,13 +662,23 @@ fn output_columns(
                 }
             }
             SelectItem::Expr { expr, alias } => {
-                let name = match alias {
-                    Some(a) => a.clone(),
+                let name: Arc<str> = match alias {
+                    Some(a) => Arc::from(a.as_str()),
                     None => match expr {
-                        Expr::Column { name, .. } => name.clone(),
+                        Expr::Column { name, .. } => {
+                            // Reuse the schema's interned handle when the
+                            // query spelled the name exactly as created
+                            // (output spelling follows the query otherwise).
+                            metas
+                                .iter()
+                                .find_map(|m| m.schema.column(name))
+                                .filter(|c| &*c.name == name)
+                                .map(|c| c.name.clone())
+                                .unwrap_or_else(|| Arc::from(name.as_str()))
+                        }
                         _ => {
                             anon += 1;
-                            format!("col{anon}")
+                            Arc::from(format!("col{anon}").as_str())
                         }
                     },
                 };

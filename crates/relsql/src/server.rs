@@ -344,6 +344,8 @@ fn mutates_catalog(stmts: &[Stmt]) -> bool {
         | Stmt::DropTrigger { .. }
         | Stmt::CreateProcedure { .. }
         | Stmt::DropProcedure { .. }
+        | Stmt::CreateIndex { .. }
+        | Stmt::DropIndex { .. }
         | Stmt::Rollback => true,
         Stmt::Select(sel) => sel.into.is_some(),
         Stmt::If {
@@ -411,6 +413,13 @@ pub struct ServerStats {
     /// disjoint-table work — evidence independent of wall-clock speedup,
     /// which a single-CPU host cannot express.
     pub batches_inflight_peak: u64,
+    /// FROM-slot or DML table accesses served through a secondary index.
+    pub index_hits: u64,
+    /// FROM-slot or DML table accesses that fell back to a full scan.
+    pub index_misses: u64,
+    /// Candidate rows visited by scans and index probes combined. Flat
+    /// growth under a growing table is the signature of indexed access.
+    pub rows_scanned: u64,
 }
 
 impl SqlServer {
@@ -468,6 +477,9 @@ impl SqlServer {
             batches_parallel: self.batches_parallel.load(Ordering::Relaxed),
             batches_exclusive: self.batches_exclusive.load(Ordering::Relaxed),
             batches_inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
+            index_hits: self.engine.scan_stats().hits(),
+            index_misses: self.engine.scan_stats().misses(),
+            rows_scanned: self.engine.scan_stats().scanned(),
         }
     }
 

@@ -1,31 +1,59 @@
-//! In-memory tables: schemas and row storage.
+//! In-memory tables: schemas, row storage, and per-table secondary indexes.
 //!
-//! Row storage is interior-mutable (`RwLock<Vec<Row>>`) so the engine can be
-//! shared (`&Engine`) across sessions: the server's per-table lock groups
-//! serialize conflicting *batches*, while the row lock only guards the short
-//! critical section of a single statement's read or mutation. Read paths use
-//! `read_recursive` so a statement that re-reads a table it is already
-//! scanning (e.g. `insert t select * from t`) cannot deadlock against a
-//! queued writer.
+//! Row storage is interior-mutable (`RwLock<Arc<Vec<Row>>>`) so the engine
+//! can be shared (`&Engine`) across sessions: the server's per-table lock
+//! groups serialize conflicting *batches*, while the row lock only guards
+//! the short critical section of a single statement's read or mutation.
+//! Read paths use `read_recursive` so a statement that re-reads a table it
+//! is already scanning (e.g. `insert t select * from t`) cannot deadlock
+//! against a queued writer.
+//!
+//! The `Arc` makes snapshots copy-on-write: `Table::clone` (used by
+//! `BEGIN TRAN` to snapshot the whole database) is O(1) per table, and the
+//! first mutation after a snapshot pays the one row-vector copy via
+//! `Arc::make_mut`. The old eager `Vec` clone made `BEGIN TRAN` O(total
+//! rows) on every transaction regardless of what it touched.
+//!
+//! Indexes live beside the rows under their own lock ([`IndexState`]).
+//! **Lock order is always rows → indexes**; every path below acquires the
+//! row lock (read or write) before touching the index lock, so the two can
+//! never deadlock against each other. Engine DML maintains indexes
+//! incrementally through [`TableWrite`]; foreign mutators that use the raw
+//! [`Table::rows_mut`] escape hatch just mark the set dirty and the next
+//! probe rebuilds it lazily.
+
+use std::sync::Arc;
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::ast::ColumnDef;
 use crate::error::{Error, ObjectKind, Result};
+use crate::index::{IndexDef, IndexSet, IndexState};
 use crate::value::{DataType, Value};
 
-/// A single column of a table schema.
+/// A single column of a table schema. The name is interned (`Arc<str>`) so
+/// per-statement output paths can reuse it without allocating.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
-    pub name: String,
+    pub name: Arc<str>,
     pub data_type: DataType,
     pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl AsRef<str>, data_type: DataType, nullable: bool) -> Self {
+        Column {
+            name: Arc::from(name.as_ref()),
+            data_type,
+            nullable,
+        }
+    }
 }
 
 impl From<&ColumnDef> for Column {
     fn from(def: &ColumnDef) -> Self {
         Column {
-            name: def.name.clone(),
+            name: Arc::from(def.name.as_str()),
             data_type: def.data_type,
             nullable: def.nullable,
         }
@@ -54,7 +82,8 @@ impl Schema {
         self.index_of(name).map(|i| &self.columns[i])
     }
 
-    pub fn names(&self) -> Vec<String> {
+    /// Column names as shared handles (refcount bumps, no string copies).
+    pub fn names(&self) -> Vec<Arc<str>> {
         self.columns.iter().map(|c| c.name.clone()).collect()
     }
 
@@ -70,26 +99,33 @@ impl Schema {
 /// A row is a vector of values, positionally matching the schema.
 pub type Row = Vec<Value>;
 
-/// A heap table: schema plus rows behind a per-table row lock.
+/// A heap table: schema plus rows behind a per-table row lock, plus the
+/// table's secondary indexes.
 #[derive(Debug)]
 pub struct Table {
     /// Canonical (as-created) full name, possibly dotted.
     pub name: String,
     pub schema: Schema,
-    rows: RwLock<Vec<Row>>,
+    rows: RwLock<Arc<Vec<Row>>>,
+    indexes: RwLock<IndexState>,
 }
 
 impl Clone for Table {
+    /// O(1) copy-on-write snapshot: shares the row vector and the built
+    /// index set; whichever side mutates first pays the copy.
     fn clone(&self) -> Self {
         Table {
             name: self.name.clone(),
             schema: self.schema.clone(),
-            rows: RwLock::new(self.rows.read_recursive().clone()),
+            rows: RwLock::new(Arc::clone(&self.rows.read_recursive())),
+            indexes: RwLock::new(self.indexes.read_recursive().clone()),
         }
     }
 }
 
 impl PartialEq for Table {
+    /// Compares name, schema and rows. Indexes are derived state (they are
+    /// rebuildable from the rows) and deliberately excluded.
     fn eq(&self, other: &Self) -> bool {
         if self.name != other.name || self.schema != other.schema {
             return false;
@@ -106,7 +142,8 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: RwLock::new(Vec::new()),
+            rows: RwLock::new(Arc::new(Vec::new())),
+            indexes: RwLock::new(IndexState::default()),
         }
     }
 
@@ -116,7 +153,8 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: RwLock::new(rows),
+            rows: RwLock::new(Arc::new(rows)),
+            indexes: RwLock::new(IndexState::default()),
         }
     }
 
@@ -146,19 +184,97 @@ impl Table {
 
     /// Shared read access to the rows. Recursive so re-entrant reads within
     /// one statement never deadlock against a queued writer.
-    pub fn rows(&self) -> RwLockReadGuard<'_, Vec<Row>> {
-        self.rows.read_recursive()
+    pub fn rows(&self) -> RowsReadGuard<'_> {
+        RowsReadGuard(self.rows.read_recursive())
     }
 
-    /// Exclusive write access to the rows.
-    pub fn rows_mut(&self) -> RwLockWriteGuard<'_, Vec<Row>> {
-        self.rows.write()
+    /// Exclusive write access to the raw rows — the escape hatch for
+    /// callers outside the engine's DML paths. Marks the index set dirty;
+    /// the next probe rebuilds it. Engine DML uses [`Table::write`]
+    /// instead, which maintains indexes incrementally.
+    pub fn rows_mut(&self) -> RowsWriteGuard<'_> {
+        let guard = self.rows.write();
+        self.indexes.write().dirty = true;
+        RowsWriteGuard(guard)
+    }
+
+    /// Open an index-maintaining write handle (engine DML entry point).
+    /// Must not be called while holding a read guard from [`Table::rows`]
+    /// on the same thread.
+    pub fn write(&self) -> TableWrite<'_> {
+        let rows = self.rows.write();
+        let mut indexes = self.indexes.write();
+        if indexes.dirty {
+            Arc::make_mut(&mut indexes.set).rebuild(&rows);
+            indexes.dirty = false;
+        }
+        TableWrite {
+            table: self,
+            rows,
+            indexes,
+        }
+    }
+
+    /// The table's built index set, rebuilt first if a foreign mutation
+    /// left it stale. The returned handle stays valid after the internal
+    /// locks drop; the row positions inside are only meaningful while the
+    /// caller prevents concurrent mutation (holds a row guard or the
+    /// server-level table lock).
+    pub fn index_set(&self) -> Arc<IndexSet> {
+        let rows = self.rows.read_recursive();
+        {
+            let st = self.indexes.read();
+            if !st.dirty {
+                return Arc::clone(&st.set);
+            }
+        }
+        let mut st = self.indexes.write();
+        if st.dirty {
+            Arc::make_mut(&mut st.set).rebuild(&rows);
+            st.dirty = false;
+        }
+        Arc::clone(&st.set)
+    }
+
+    /// Create and build a secondary index over the current rows.
+    pub fn create_index(&self, def: IndexDef) -> Result<()> {
+        let rows = self.rows.read_recursive();
+        let mut st = self.indexes.write();
+        if st.dirty {
+            Arc::make_mut(&mut st.set).rebuild(&rows);
+            st.dirty = false;
+        }
+        Arc::make_mut(&mut st.set).create(def, &self.schema, &rows)
+    }
+
+    /// Drop an index by name; `false` if this table does not have it.
+    pub fn drop_index(&self, name: &str) -> bool {
+        let _rows = self.rows.read_recursive();
+        let mut st = self.indexes.write();
+        Arc::make_mut(&mut st.set).drop(name)
+    }
+
+    /// Definitions of the table's indexes (catalog introspection).
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        let _rows = self.rows.read_recursive();
+        self.indexes.read().set.defs().cloned().collect()
     }
 
     /// Coerce and validate a row against the schema, then append it.
     pub fn insert_row(&mut self, row: Row) -> Result<()> {
         let coerced = self.check_row(row)?;
-        self.rows.get_mut().push(coerced);
+        let rows = Arc::make_mut(self.rows.get_mut());
+        let st = self.indexes.get_mut();
+        if !st.set.is_empty() {
+            if st.dirty {
+                Arc::make_mut(&mut st.set).rebuild(rows);
+                st.dirty = false;
+            }
+            let set = Arc::make_mut(&mut st.set);
+            set.check_append(std::slice::from_ref(&coerced))?;
+            set.append(rows.len(), std::slice::from_ref(&coerced));
+        }
+        rows.push(coerced);
         Ok(())
     }
 
@@ -190,7 +306,8 @@ impl Table {
         Ok(out)
     }
 
-    /// Add a column with NULL backfill (ALTER TABLE ADD).
+    /// Add a column with NULL backfill (ALTER TABLE ADD). Existing index
+    /// columns keep their positions, so the built maps stay valid.
     pub fn add_column(&mut self, def: &ColumnDef) -> Result<()> {
         if self.schema.index_of(&def.name).is_some() {
             return Err(Error::AlreadyExists {
@@ -207,7 +324,7 @@ impl Table {
             });
         }
         self.schema.columns.push(def.into());
-        for row in self.rows.get_mut().iter_mut() {
+        for row in Arc::make_mut(self.rows.get_mut()).iter_mut() {
             row.push(Value::Null);
         }
         Ok(())
@@ -224,9 +341,111 @@ impl Table {
     }
 }
 
+/// Read guard over a table's rows (copy-on-write aware).
+pub struct RowsReadGuard<'a>(RwLockReadGuard<'a, Arc<Vec<Row>>>);
+
+impl std::ops::Deref for RowsReadGuard<'_> {
+    type Target = Vec<Row>;
+    fn deref(&self) -> &Vec<Row> {
+        &self.0
+    }
+}
+
+/// Write guard over a table's rows. `DerefMut` unshares the copy-on-write
+/// vector on first use (`Arc::make_mut` is a refcount check when unique).
+pub struct RowsWriteGuard<'a>(RwLockWriteGuard<'a, Arc<Vec<Row>>>);
+
+impl std::ops::Deref for RowsWriteGuard<'_> {
+    type Target = Vec<Row>;
+    fn deref(&self) -> &Vec<Row> {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for RowsWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Vec<Row> {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
+/// An exclusive, index-maintaining write handle over one table. Holds both
+/// the row and index locks for the duration of a statement's mutation so
+/// matched row positions cannot go stale between matching and applying.
+pub struct TableWrite<'a> {
+    table: &'a Table,
+    rows: RwLockWriteGuard<'a, Arc<Vec<Row>>>,
+    indexes: RwLockWriteGuard<'a, IndexState>,
+}
+
+impl TableWrite<'_> {
+    /// The rows as they currently stand (matching phase).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The clean, built index set (probe phase for UPDATE/DELETE).
+    pub fn index_set(&self) -> &IndexSet {
+        &self.indexes.set
+    }
+
+    /// Append pre-validated rows; unique indexes are checked before any
+    /// row lands (statement atomicity).
+    pub fn append(&mut self, new_rows: &[Row]) -> Result<()> {
+        if !self.indexes.set.is_empty() {
+            let set = Arc::make_mut(&mut self.indexes.set);
+            set.check_append(new_rows)?;
+            set.append(self.rows.len(), new_rows);
+        }
+        Arc::make_mut(&mut self.rows).extend_from_slice(new_rows);
+        Ok(())
+    }
+
+    /// Replace the rows at the given positions; unique indexes are checked
+    /// before any row changes.
+    pub fn apply_updates(&mut self, updates: &[(usize, Row)]) -> Result<()> {
+        if !self.indexes.set.is_empty() {
+            let rows: &Vec<Row> = &self.rows;
+            self.indexes.set.check_updates(rows, updates)?;
+            let old: Vec<Row> = updates.iter().map(|(p, _)| rows[*p].clone()).collect();
+            Arc::make_mut(&mut self.indexes.set).apply_updates(&old, updates);
+        }
+        let rows = Arc::make_mut(&mut self.rows);
+        for (pos, new_row) in updates {
+            rows[*pos] = new_row.clone();
+        }
+        Ok(())
+    }
+
+    /// Remove the rows at the given (ascending, deduped) positions.
+    /// Positions shift, so the index maps are rebuilt — O(rows), the same
+    /// order as the removal itself.
+    pub fn delete(&mut self, positions: &[usize]) {
+        let rows = Arc::make_mut(&mut self.rows);
+        for pos in positions.iter().rev() {
+            rows.remove(*pos);
+        }
+        if !self.indexes.set.is_empty() {
+            Arc::make_mut(&mut self.indexes.set).rebuild(rows);
+        }
+    }
+
+    /// Remove every row (TRUNCATE); index definitions survive.
+    pub fn truncate(&mut self) {
+        Arc::make_mut(&mut self.rows).clear();
+        if !self.indexes.set.is_empty() {
+            Arc::make_mut(&mut self.indexes.set).clear();
+        }
+    }
+
+    pub fn table(&self) -> &Table {
+        self.table
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::{IndexKey, IndexKind};
 
     fn defs() -> Vec<ColumnDef> {
         vec![
@@ -354,5 +573,92 @@ mod tests {
         t.rows_mut().clear();
         assert_eq!(c.row_count(), 1);
         assert_ne!(c, t);
+    }
+
+    fn ix(name: &str, column: &str, unique: bool, kind: IndexKind) -> IndexDef {
+        IndexDef {
+            name: name.into(),
+            column: column.into(),
+            unique,
+            kind,
+        }
+    }
+
+    #[test]
+    fn write_handle_maintains_indexes_incrementally() {
+        let t = Table::from_defs("stock", &defs()).unwrap();
+        t.create_index(ix("i_sym", "symbol", false, IndexKind::Hash))
+            .unwrap();
+        let mut w = t.write();
+        w.append(&[
+            vec![Value::Str("IBM".into()), Value::Float(1.0)],
+            vec![Value::Str("SUN".into()), Value::Float(2.0)],
+        ])
+        .unwrap();
+        let probe = |w: &TableWrite<'_>, s: &str| {
+            w.index_set()
+                .best_for(0, false)
+                .unwrap()
+                .probe_eq(&IndexKey::Str(s.into()))
+                .to_vec()
+        };
+        assert_eq!(probe(&w, "SUN"), vec![1]);
+        w.apply_updates(&[(1, vec![Value::Str("HP".into()), Value::Float(2.0)])])
+            .unwrap();
+        assert_eq!(probe(&w, "SUN"), Vec::<usize>::new());
+        assert_eq!(probe(&w, "HP"), vec![1]);
+        w.delete(&[0]);
+        assert_eq!(probe(&w, "HP"), vec![0], "rebuild shifted positions");
+        w.truncate();
+        assert_eq!(probe(&w, "HP"), Vec::<usize>::new());
+        drop(w);
+        assert_eq!(t.index_defs().len(), 1, "definitions survive truncate");
+    }
+
+    #[test]
+    fn rows_mut_marks_dirty_and_probe_rebuilds() {
+        let t = Table::from_defs("stock", &defs()).unwrap();
+        t.create_index(ix("i_sym", "symbol", false, IndexKind::Hash))
+            .unwrap();
+        t.rows_mut()
+            .push(vec![Value::Str("IBM".into()), Value::Null]);
+        let set = t.index_set();
+        let hits = set
+            .best_for(0, false)
+            .unwrap()
+            .probe_eq(&IndexKey::Str("IBM".into()));
+        assert_eq!(hits, &[0], "lazy rebuild caught the foreign insert");
+    }
+
+    #[test]
+    fn unique_index_enforced_through_write_handle() {
+        let t = Table::from_defs("stock", &defs()).unwrap();
+        t.create_index(ix("u_sym", "symbol", true, IndexKind::Hash))
+            .unwrap();
+        let mut w = t.write();
+        w.append(&[vec![Value::Str("IBM".into()), Value::Null]])
+            .unwrap();
+        let err = w
+            .append(&[vec![Value::Str("IBM".into()), Value::Null]])
+            .unwrap_err();
+        assert!(matches!(err, Error::Constraint { .. }));
+        assert_eq!(w.rows().len(), 1, "failed append left nothing behind");
+    }
+
+    #[test]
+    fn clone_shares_until_mutation() {
+        let mut t = Table::from_defs("stock", &defs()).unwrap();
+        t.insert_row(vec![Value::Str("IBM".into()), Value::Float(1.0)])
+            .unwrap();
+        let snapshot = t.clone();
+        // Mutating the original must not disturb the snapshot ...
+        t.write()
+            .append(&[vec![Value::Str("SUN".into()), Value::Float(2.0)]])
+            .unwrap();
+        assert_eq!(snapshot.row_count(), 1);
+        assert_eq!(t.row_count(), 2);
+        // ... and vice versa.
+        snapshot.write().truncate();
+        assert_eq!(t.row_count(), 2);
     }
 }

@@ -372,6 +372,9 @@ fn stats_response(
         ("batches_parallel", a.batches_parallel),
         ("batches_exclusive", a.batches_exclusive),
         ("batches_inflight_peak", a.batches_inflight_peak),
+        ("index_hits", a.index_hits),
+        ("index_misses", a.index_misses),
+        ("rows_scanned", a.rows_scanned),
         ("sessions_opened", s.sessions_opened),
         ("sessions_active", s.sessions_active),
         ("sessions_rejected", s.sessions_rejected),

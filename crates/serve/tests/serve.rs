@@ -66,6 +66,11 @@ fn roundtrip_sql_rules_and_firings_over_tcp() {
     assert_eq!(client.stat_u64("session_id").unwrap(), session);
     assert!(client.stat_u64("session_executed").unwrap() >= 5);
     assert_eq!(client.stat_u64("sessions_active").unwrap(), 1);
+    // Engine access-path counters surface on the wire: the action procs'
+    // `shadow.vNo = ver.vNo` probes hit the auto-created shadow indexes.
+    assert!(client.stat_u64("index_hits").unwrap() > 0);
+    assert!(client.stat_u64("index_misses").is_ok());
+    assert!(client.stat_u64("rows_scanned").unwrap() > 0);
 
     client.quit().unwrap();
     let report = handle.shutdown();

@@ -205,6 +205,69 @@ fn rule_creation_races_dml_on_the_same_table() {
     assert_eq!(r.server.scalar(), Some(&Value::Int(2 * m)));
 }
 
+#[test]
+fn index_ddl_races_disjoint_dml_without_deadlock() {
+    // One client churns CREATE/DROP INDEX on `cold` while another hammers
+    // DML on `hot`. Index DDL schedules exclusively (catalog mutation), so
+    // the requirement is liveness — the exclusive writer must drain the
+    // parallel readers and vice versa, never deadlock — plus a consistent
+    // end state.
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    let setup = agent.client("db", "admin");
+    setup.execute("create table hot (k int, v int)").unwrap();
+    setup.execute("create table cold (k int)").unwrap();
+
+    let writer = {
+        let client = agent.client("db", "writer");
+        std::thread::spawn(move || {
+            for i in 0..150 {
+                client
+                    .execute(&format!("insert hot values ({i}, {})", i % 7))
+                    .unwrap();
+                client
+                    .execute(&format!("select v from hot where k = {i}"))
+                    .unwrap();
+            }
+        })
+    };
+    let indexer = {
+        let client = agent.client("db", "indexer");
+        std::thread::spawn(move || {
+            for _ in 0..25 {
+                client.execute("create hash index cix on cold (k)").unwrap();
+                client.execute("drop index cix").unwrap();
+            }
+        })
+    };
+    writer.join().unwrap();
+    indexer.join().unwrap();
+    assert_eq!(scalar_i64(&setup, "select count(*) from hot"), 150);
+
+    // Index DDL is a catalog mutation: it must bump the plan-cache epoch,
+    // so a statement shape that was hot before the CREATE INDEX re-parses
+    // and re-plans — and the fresh plan routes through the new index.
+    setup
+        .execute("select count(*) from hot where k = 1")
+        .unwrap();
+    setup.execute("create index hix on hot (k)").unwrap();
+    let warm = server.server_stats();
+    setup
+        .execute("select count(*) from hot where k = 3")
+        .unwrap();
+    let after = server.server_stats();
+    assert_eq!(after.plan_cache_misses - warm.plan_cache_misses, 1);
+    assert_eq!(after.plan_cache_hits, warm.plan_cache_hits);
+    assert!(
+        after.index_hits > warm.index_hits,
+        "replan should probe hix"
+    );
+    assert_eq!(
+        scalar_i64(&setup, "select count(*) from hot where k = 3"),
+        1
+    );
+}
+
 /// The scheduler's correctness contract under a mixed workload: four
 /// disjoint evented tables written in parallel, one evented table written
 /// by two racing clients, and one table whose rule is created mid-flight —

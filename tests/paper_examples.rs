@@ -72,7 +72,7 @@ fn example_1_primitive_trigger() {
         .results
         .iter()
         .rev()
-        .find(|r| r.columns.contains(&"symbol".to_string()))
+        .find(|r| r.columns.iter().any(|c| &**c == "symbol"))
         .expect("action select results returned to client");
     assert_eq!(select.rows.len(), 1);
     assert_eq!(select.rows[0][0], Value::Str("IBM".into()));
@@ -141,7 +141,8 @@ fn example_2_composite_trigger() {
         .any(|m| m.contains("t_and on composite event")));
     // The context select saw exactly the inserted IBM row (RECENT context).
     let select = result.last_select().unwrap();
-    assert_eq!(select.columns, vec!["symbol", "price"]);
+    let cols: Vec<&str> = select.columns.iter().map(|c| &**c).collect();
+    assert_eq!(cols, ["symbol", "price"]);
     assert_eq!(select.rows.len(), 1);
     assert_eq!(select.rows[0][0], Value::Str("IBM".into()));
     assert_eq!(select.rows[0][1], Value::Float(104.5));

@@ -169,6 +169,9 @@ fn system_tables_schema_matches_paper_figures() {
                 .unwrap()
                 .schema
                 .names()
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
         })
     };
     assert_eq!(
