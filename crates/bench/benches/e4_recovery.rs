@@ -1,16 +1,126 @@
-//! E4 — Persistent Manager recovery (Figures 5–8).
+//! E4 — Persistent Manager recovery (Figures 5–8) and E14 — cold-start
+//! recovery from disk.
 //!
-//! On startup the agent restores every ECA rule from the system tables:
-//! re-registers primitives, re-parses composite expressions, rebuilds the
-//! LED graph and re-attaches rules. Measured against the number of
-//! persisted rules.
+//! Part 1 (E14, plain timing with assertions): recovery time vs WAL
+//! length, with and without a checkpoint. A cold open replays the whole
+//! WAL when no checkpoint was taken; after a checkpoint it must replay
+//! only the suffix written since — that bound is asserted, not just
+//! measured, so the reduced-scale CI smoke enforces it.
+//!
+//! Part 2 (E4, criterion): on startup the agent restores every ECA rule
+//! from the system tables: re-registers primitives, re-parses composite
+//! expressions, rebuilds the LED graph and re-attaches rules. Measured
+//! against the number of persisted rules.
+//!
+//! ```text
+//! cargo bench -p eca-bench --bench e4_recovery
+//! E14_RECORDS=1000 E14_ONLY=1 cargo bench -p eca-bench --bench e4_recovery   # CI smoke
+//! ```
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use eca_bench::server_with_rules;
 use eca_core::EcaAgent;
+use relsql::{
+    DurabilityConfig, EngineConfig, FaultyStorage, FsyncPolicy, SqlServer, Storage, Value,
+};
+
+fn no_sync() -> DurabilityConfig {
+    DurabilityConfig {
+        fsync: FsyncPolicy::Off,
+        checkpoint_bytes: 0,
+    }
+}
+
+fn open(storage: &Arc<FaultyStorage>) -> Arc<SqlServer> {
+    let storage: Arc<dyn Storage> = storage.clone();
+    SqlServer::open_with_storage(storage, no_sync(), EngineConfig::default()).unwrap()
+}
+
+/// Build a durable server, write `n` mutating batches (1 WAL record each
+/// after the schema batch), optionally checkpoint and append `suffix`
+/// more — return the storage holding the surviving WAL/snapshot bytes.
+fn seeded_storage(n: usize, checkpoint_then_suffix: Option<usize>) -> Arc<FaultyStorage> {
+    let storage = FaultyStorage::new();
+    let server = open(&storage);
+    let session = server.session("db", "u");
+    session.execute("create table t (k int, v int)").unwrap();
+    for i in 0..n {
+        session
+            .execute(&format!("insert t values ({i}, {})", i * 7 % 50))
+            .unwrap();
+    }
+    if let Some(suffix) = checkpoint_then_suffix {
+        server.checkpoint().unwrap();
+        for i in 0..suffix {
+            session
+                .execute(&format!("insert t values ({}, 1)", n + i))
+                .unwrap();
+        }
+    }
+    storage
+}
+
+/// Cold-open the surviving bytes; return (open time ms, records replayed,
+/// recovered row count).
+fn cold_open(storage: &Arc<FaultyStorage>) -> (f64, u64, i64) {
+    let t0 = Instant::now();
+    let server = open(storage);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let replayed = server.server_stats().wal_records_replayed;
+    let r = server
+        .session("db", "u")
+        .execute("select count(*) from t")
+        .unwrap();
+    let rows = match r.scalar() {
+        Some(Value::Int(n)) => *n,
+        other => panic!("count(*) returned {other:?}"),
+    };
+    (ms, replayed, rows)
+}
+
+fn e14_cold_start() {
+    let max_records = env_or("E14_RECORDS", 5_000);
+    let suffix = env_or("E14_SUFFIX", 20);
+    println!("# E14 — cold-start recovery: replay time vs WAL length, with/without checkpoint\n");
+    println!(
+        "| WAL records | full replay open (ms) | replayed | checkpointed open (ms) | replayed |"
+    );
+    println!("|---|---|---|---|---|");
+
+    for n in [200usize, 1_000, 5_000] {
+        if n > max_records {
+            continue;
+        }
+        // No checkpoint: a cold open replays every record.
+        let storage = seeded_storage(n, None);
+        let (full_ms, full_replayed, rows) = cold_open(&storage);
+        assert_eq!(full_replayed as usize, n + 1, "schema batch + n inserts");
+        assert_eq!(rows as usize, n, "all committed rows recovered");
+
+        // Checkpointed: the snapshot covers the first n inserts, so the
+        // cold open replays exactly the `suffix` records written since.
+        let storage = seeded_storage(n, Some(suffix));
+        let (ckpt_ms, ckpt_replayed, rows) = cold_open(&storage);
+        assert_eq!(
+            ckpt_replayed as usize, suffix,
+            "a checkpointed restart must replay only the bounded WAL suffix"
+        );
+        assert_eq!(rows as usize, n + suffix);
+
+        println!("| {n} | {full_ms:.2} | {full_replayed} | {ckpt_ms:.2} | {ckpt_replayed} |");
+    }
+    println!("\ncheckpoint bound holds: replayed == suffix ({suffix}) at every scale\n");
+}
+
+fn env_or(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_recovery");
@@ -34,4 +144,10 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+fn main() {
+    e14_cold_start();
+    if std::env::var("E14_ONLY").is_err() {
+        benches();
+    }
+}

@@ -229,6 +229,20 @@ pub struct AgentStats {
     pub index_misses: u64,
     /// Candidate rows the engine visited (scans + index probes).
     pub rows_scanned: u64,
+    /// WAL records appended (0 unless the server was opened durable).
+    pub wal_records: u64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+    /// fsyncs issued by the commit path.
+    pub wal_fsyncs: u64,
+    /// Commit waits covered by a shared fsync (group commit).
+    pub wal_group_commits: u64,
+    /// Checkpoints taken (snapshot written, WAL truncated).
+    pub wal_checkpoints: u64,
+    /// WAL records replayed during recovery at open time.
+    pub wal_records_replayed: u64,
+    /// 1 if recovery trimmed a torn WAL tail (mid-write crash signature).
+    pub wal_torn_tail: u64,
 }
 
 /// Named fault counters from the notification channel's chaos sink.
@@ -378,6 +392,20 @@ impl EcaAgent {
         Ok(agent)
     }
 
+    /// Stand up an agent over a *durable* server rooted at `data_dir`:
+    /// crash recovery (snapshot + WAL replay) restores the database, the
+    /// Sys* tables, and `SysAgentWatermark` before the normal Persistent
+    /// Manager recovery and watermark-driven occurrence replay run — so a
+    /// hard process death loses no rules and fires no action twice.
+    pub fn open(
+        data_dir: impl AsRef<std::path::Path>,
+        durability: relsql::DurabilityConfig,
+        config: AgentConfig,
+    ) -> Result<Self> {
+        let server = SqlServer::open(data_dir, durability)?;
+        Self::new(server, config)
+    }
+
     /// Convenience constructor with defaults.
     pub fn with_defaults(server: Arc<SqlServer>) -> Result<Self> {
         EcaAgent::new(server, AgentConfig::default())
@@ -419,6 +447,13 @@ impl EcaAgent {
             index_hits: server.index_hits,
             index_misses: server.index_misses,
             rows_scanned: server.rows_scanned,
+            wal_records: server.wal_records,
+            wal_bytes: server.wal_bytes,
+            wal_fsyncs: server.wal_fsyncs,
+            wal_group_commits: server.wal_group_commits,
+            wal_checkpoints: server.wal_checkpoints,
+            wal_records_replayed: server.wal_records_replayed,
+            wal_torn_tail: server.wal_torn_tail,
         }
     }
 

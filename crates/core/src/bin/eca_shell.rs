@@ -13,14 +13,17 @@
 //! - `\events`, `\triggers` — agent introspection
 //! - `\describe <event>` — operator tree of an event
 //! - `\advance <seconds>` — advance virtual time (fires P/P*/PLUS rules)
-//! - `\stats` — agent counters (including reliability repairs)
+//! - `\stats` — agent counters (including reliability repairs and, on a
+//!   durable server, WAL/recovery counters)
+//! - `\checkpoint` — snapshot the engine and truncate the WAL (durable only)
 //! - `\drain` / `\resume` — quiesce the service / accept statements again
 //! - `\deadletters` — inspect the action dead-letter queue
 //! - `\requeue` — re-execute everything in the dead-letter queue
 //! - `\quit`
 //!
 //! Demo state (a `stock` table and the paper's Example 1/2 rules) is
-//! preloaded with `--demo`.
+//! preloaded with `--demo`. With `--data-dir PATH` the shell opens a
+//! durable server there: rules and data survive restarts.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -30,7 +33,34 @@ use eca_core::{ActiveService, AgentResponse, EcaAgent};
 use relsql::{BatchResult, SessionCtx, SqlServer};
 
 fn main() {
-    let server = SqlServer::new();
+    let args: Vec<String> = std::env::args().collect();
+    let data_dir = args
+        .iter()
+        .position(|a| a == "--data-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let server = match &data_dir {
+        Some(dir) => match SqlServer::open(dir, relsql::DurabilityConfig::default()) {
+            Ok(server) => {
+                let s = server.server_stats();
+                println!(
+                    "(recovered from {dir}: {} WAL record(s) replayed{})",
+                    s.wal_records_replayed,
+                    if s.wal_torn_tail > 0 {
+                        ", torn tail trimmed"
+                    } else {
+                        ""
+                    }
+                );
+                server
+            }
+            Err(e) => {
+                eprintln!("cannot open data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => SqlServer::new(),
+    };
     let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
     // The shell drives the same service surface as the TCP server.
     let service: Arc<dyn ActiveService> = Arc::new(agent.clone());
@@ -97,7 +127,7 @@ fn handle_meta(meta: &str, agent: &EcaAgent, service: &dyn ActiveService) -> boo
         "help" => {
             println!(
                 "\\events  \\triggers  \\describe <event>  \\advance <seconds>  \\stats  \
-                 \\drain  \\resume  \\deadletters  \\requeue  \\quit"
+                 \\checkpoint  \\drain  \\resume  \\deadletters  \\requeue  \\quit"
             );
         }
         "events" => {
@@ -171,11 +201,36 @@ fn handle_meta(meta: &str, agent: &EcaAgent, service: &dyn ActiveService) -> boo
                 "  server: {} session(s) opened, {} statement(s) executed",
                 sv.sessions_opened, sv.statements
             );
+            if agent.server().is_durable() {
+                println!(
+                    "  wal: {} record(s) / {} byte(s) appended, {} fsync(s), \
+                     {} group commit(s), {} checkpoint(s)",
+                    s.wal_records,
+                    s.wal_bytes,
+                    s.wal_fsyncs,
+                    s.wal_group_commits,
+                    s.wal_checkpoints
+                );
+                println!(
+                    "  recovery: {} record(s) replayed at open, torn tail: {}{}",
+                    s.wal_records_replayed,
+                    if s.wal_torn_tail > 0 { "yes" } else { "no" },
+                    if agent.server().is_read_only() {
+                        " — READ-ONLY after a storage failure"
+                    } else {
+                        ""
+                    }
+                );
+            }
             println!("  led state size: {}", agent.led_state_size());
             if service.is_draining() {
                 println!("  service: DRAINING (statements rejected; \\resume to lift)");
             }
         }
+        "checkpoint" => match agent.server().checkpoint() {
+            Ok(()) => println!("  checkpoint written; WAL truncated"),
+            Err(e) => eprintln!("error: {e}"),
+        },
         "drain" => {
             let report = service.drain(Duration::from_secs(2));
             println!(

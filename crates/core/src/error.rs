@@ -53,6 +53,9 @@ pub enum EcaErrorKind {
     Recovery,
     /// Service draining / shut down.
     Unavailable,
+    /// Storage-layer failure (WAL append/fsync, snapshot I/O). The server
+    /// degrades to read-only; clients can retry reads but not writes.
+    Io,
 }
 
 impl EcaErrorKind {
@@ -66,6 +69,7 @@ impl EcaErrorKind {
             EcaErrorKind::Naming => "NAMING",
             EcaErrorKind::Recovery => "RECOVERY",
             EcaErrorKind::Unavailable => "UNAVAILABLE",
+            EcaErrorKind::Io => "IO",
         }
     }
 
@@ -79,6 +83,7 @@ impl EcaErrorKind {
             "NAMING" => EcaErrorKind::Naming,
             "RECOVERY" => EcaErrorKind::Recovery,
             "UNAVAILABLE" => EcaErrorKind::Unavailable,
+            "IO" => EcaErrorKind::Io,
             _ => return None,
         })
     }
@@ -97,6 +102,9 @@ impl EcaError {
             EcaError::EcaSyntax(_) => EcaErrorKind::Syntax,
             EcaError::Snoop(_) => EcaErrorKind::EventExpr,
             EcaError::Led(_) => EcaErrorKind::Detector,
+            // Storage failures get their own wire code so clients can tell
+            // "the server went read-only" apart from a bad query.
+            EcaError::Sql(relsql::Error::Io { .. }) => EcaErrorKind::Io,
             EcaError::Sql(_) => EcaErrorKind::Sql,
             EcaError::Naming(_) => EcaErrorKind::Naming,
             EcaError::Recovery(_) => EcaErrorKind::Recovery,
@@ -222,6 +230,11 @@ mod tests {
                 EcaError::Unavailable("d".into()),
                 EcaErrorKind::Unavailable,
                 "UNAVAILABLE",
+            ),
+            (
+                EcaError::Sql(relsql::Error::io("disk gone")),
+                EcaErrorKind::Io,
+                "IO",
             ),
         ];
         for (err, kind, code) in cases {

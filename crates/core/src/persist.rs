@@ -133,23 +133,31 @@ impl PersistentManager {
     /// parallel. The table is owned exclusively by this manager, so the
     /// row lock alone makes the upsert atomic; a missing table (system
     /// tables not ensured yet) falls back to the SQL path for its error.
+    ///
+    /// On a *durable* server the direct-write shortcut would bypass the
+    /// WAL — the watermark would vanish on a crash and recovery would
+    /// re-fire actions the agent already acknowledged. There the upsert
+    /// goes through the logged SQL path instead: slower (one exclusive
+    /// batch per save), but the watermark survives hard process death,
+    /// which is the whole point of opening from a data dir.
     pub fn save_watermark(&self, event: &str, hwm: i64) -> Result<()> {
-        let updated = self.session.server().inspect(|e| {
-            let db = e.database();
-            let t = match db.table("sysagentwatermark") {
-                Some(t) => t,
-                None => return false,
-            };
-            let mut rows = t.rows_mut();
-            match rows
-                .iter_mut()
-                .find(|r| matches!(r.first(), Some(Value::Str(ev)) if ev == event))
-            {
-                Some(row) => row[1] = Value::Int(hwm),
-                None => rows.push(vec![Value::Str(event.to_string()), Value::Int(hwm)]),
-            }
-            true
-        });
+        let updated = !self.session.server().is_durable()
+            && self.session.server().inspect(|e| {
+                let db = e.database();
+                let t = match db.table("sysagentwatermark") {
+                    Some(t) => t,
+                    None => return false,
+                };
+                let mut rows = t.rows_mut();
+                match rows
+                    .iter_mut()
+                    .find(|r| matches!(r.first(), Some(Value::Str(ev)) if ev == event))
+                {
+                    Some(row) => row[1] = Value::Int(hwm),
+                    None => rows.push(vec![Value::Str(event.to_string()), Value::Int(hwm)]),
+                }
+                true
+            });
         if updated {
             return Ok(());
         }

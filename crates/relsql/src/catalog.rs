@@ -251,6 +251,13 @@ impl Database {
         self.triggers.len()
     }
 
+    /// All trigger definitions, sorted by name (deterministic snapshots).
+    pub fn trigger_defs(&self) -> Vec<&TriggerDef> {
+        let mut defs: Vec<&TriggerDef> = self.triggers.values().collect();
+        defs.sort_by(|a, b| a.name.cmp(&b.name));
+        defs
+    }
+
     // --------------------------------------------------------- procedures
 
     pub fn create_procedure(&mut self, def: ProcedureDef) -> Result<()> {
@@ -302,6 +309,13 @@ impl Database {
 
     pub fn procedure_count(&self) -> usize {
         self.procedures.len()
+    }
+
+    /// All procedure definitions, sorted by name (deterministic snapshots).
+    pub fn procedure_defs(&self) -> Vec<&ProcedureDef> {
+        let mut defs: Vec<&ProcedureDef> = self.procedures.values().collect();
+        defs.sort_by(|a, b| a.name.cmp(&b.name));
+        defs
     }
 }
 

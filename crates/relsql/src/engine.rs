@@ -228,6 +228,13 @@ impl Engine {
         &self.config
     }
 
+    /// Replace the whole catalog — used by crash recovery to install a
+    /// decoded snapshot before WAL replay. Must not be called while any
+    /// statements are executing.
+    pub fn restore_database(&self, db: Database) {
+        *self.db.write() = db;
+    }
+
     /// True while an explicit transaction is open.
     pub fn in_tx(&self) -> bool {
         self.tx_snapshot.lock().is_some()

@@ -27,6 +27,8 @@ pub enum Error {
     Transaction { msg: String },
     /// Catch-all execution error.
     Execution { msg: String },
+    /// Storage-layer failure (WAL append/fsync, snapshot read/write).
+    Io { msg: String },
 }
 
 /// The kinds of schema objects the engine manages.
@@ -72,6 +74,7 @@ impl fmt::Display for Error {
             Error::DivisionByZero => f.write_str("division by zero"),
             Error::Transaction { msg } => write!(f, "transaction error: {msg}"),
             Error::Execution { msg } => write!(f, "execution error: {msg}"),
+            Error::Io { msg } => write!(f, "io error: {msg}"),
         }
     }
 }
@@ -95,6 +98,11 @@ impl Error {
     /// Shorthand for a type error.
     pub fn type_err(msg: impl Into<String>) -> Self {
         Error::Type { msg: msg.into() }
+    }
+
+    /// Shorthand for a storage-layer error.
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io { msg: msg.into() }
     }
 }
 
@@ -145,6 +153,7 @@ mod tests {
                 "transaction error: no tx",
             ),
             (Error::exec("boom"), "execution error: boom"),
+            (Error::io("disk gone"), "io error: disk gone"),
         ];
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);

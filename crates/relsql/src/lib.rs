@@ -23,6 +23,10 @@
 //!   a datagram to a pluggable [`notify::NotificationSink`]).
 //! - A thread-safe [`server::SqlServer`] with per-identity sessions, behind
 //!   the [`server::SqlEndpoint`] trait that the ECA Agent proxies.
+//! - Optional crash-consistent durability ([`wal`]/[`storage`]): a
+//!   CRC-checksummed write-ahead log of committed batches plus snapshot
+//!   checkpoints, opened via `SqlServer::open(data_dir, ..)`, with a
+//!   fault-injecting [`storage::FaultyStorage`] for torn-write testing.
 //!
 //! ## Quick example
 //!
@@ -52,12 +56,16 @@ pub mod parser;
 mod plan;
 mod select;
 pub mod server;
+pub mod storage;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use engine::{BatchResult, Engine, EngineConfig, QueryResult};
 pub use error::{Error, Result};
 pub use eval::{like_match, SessionCtx};
 pub use footprint::{analyze_batch, Footprint};
 pub use server::{ServerStats, Session, SqlEndpoint, SqlServer};
+pub use storage::{DiskFaultPlan, FaultyStorage, FsStorage, Storage};
 pub use value::{DataType, Value};
+pub use wal::{DurabilityConfig, FsyncPolicy};

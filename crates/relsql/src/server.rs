@@ -47,13 +47,18 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use crate::ast::Stmt;
 use crate::clock::LogicalClock;
 use crate::engine::{BatchResult, Engine, EngineConfig};
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::eval::SessionCtx;
 use crate::footprint::{analyze_batch, Footprint};
 use crate::lexer::{split_batches, tokenize, Token, TokenKind};
 use crate::notify::NotificationSink;
 use crate::parser::{parse_script, parse_script_with_tokens};
+use crate::storage::{FsStorage, Storage};
 use crate::value::Value;
+use crate::wal::{
+    decode_snapshot, encode_record, encode_snapshot, scan_wal, DurabilityConfig, Wal, WalTail,
+    SNAPSHOT_FILE, WAL_FILE,
+};
 
 /// Anything that can execute SQL on behalf of a session: a real server, the
 /// ECA Agent (which proxies to one), or a test double.
@@ -364,6 +369,30 @@ fn mutates_catalog(stmts: &[Stmt]) -> bool {
     })
 }
 
+/// Can this batch change engine state? Only batches that can are logged to
+/// the WAL (and forced through the exclusive schedule in durable mode).
+/// Plain SELECTs and PRINT cannot; procedure calls are conservatively
+/// treated as mutating because we don't analyze their bodies here.
+fn is_readonly(stmts: &[Stmt]) -> bool {
+    stmts.iter().all(|s| match s {
+        Stmt::Select(sel) => sel.into.is_none(),
+        Stmt::Print(_) => true,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            is_readonly(std::slice::from_ref(then_branch))
+                && else_branch
+                    .as_deref()
+                    .is_none_or(|e| is_readonly(std::slice::from_ref(e)))
+        }
+        Stmt::While { body, .. } => is_readonly(std::slice::from_ref(body)),
+        Stmt::Block(inner) => is_readonly(inner),
+        _ => false,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
@@ -391,6 +420,9 @@ pub struct SqlServer {
     inflight: AtomicU64,
     /// High-water mark of `inflight`.
     inflight_peak: AtomicU64,
+    /// Present when the server was opened over storage ([`Self::open`]):
+    /// mutating batches append to this log before results are acknowledged.
+    wal: Option<Wal>,
 }
 
 /// Aggregate session-level counters for one [`SqlServer`].
@@ -420,6 +452,22 @@ pub struct ServerStats {
     /// Candidate rows visited by scans and index probes combined. Flat
     /// growth under a growing table is the signature of indexed access.
     pub rows_scanned: u64,
+    /// WAL records appended this process lifetime (0 without a data dir).
+    pub wal_records: u64,
+    /// WAL bytes appended this process lifetime.
+    pub wal_bytes: u64,
+    /// fsyncs issued by the commit path.
+    pub wal_fsyncs: u64,
+    /// Commit waits satisfied by a neighbouring batch's fsync (or one fsync
+    /// covering several queued commits) — the group-commit win.
+    pub wal_group_commits: u64,
+    /// Checkpoints taken (snapshot written, WAL truncated).
+    pub wal_checkpoints: u64,
+    /// Records replayed during recovery at open time.
+    pub wal_records_replayed: u64,
+    /// 1 if recovery found (and trimmed) a torn tail — the signature of a
+    /// mid-write crash.
+    pub wal_torn_tail: u64,
 }
 
 impl SqlServer {
@@ -442,7 +490,145 @@ impl SqlServer {
             batches_exclusive: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             inflight_peak: AtomicU64::new(0),
+            wal: None,
         })
+    }
+
+    /// Open (or create) a durable server rooted at `dir`: recover from the
+    /// newest snapshot + WAL, then log every mutating batch before
+    /// acknowledging it.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        durability: DurabilityConfig,
+    ) -> Result<Arc<Self>> {
+        let storage = FsStorage::open(dir.as_ref().to_path_buf())?;
+        Self::open_with_storage(storage, durability, EngineConfig::default())
+    }
+
+    /// [`Self::open`] over an arbitrary [`Storage`] — the seam the
+    /// fault-injection tests use (`FaultyStorage`).
+    ///
+    /// Recovery: restore the snapshot (if any), scan the WAL accepting the
+    /// longest valid prefix, replay it, and trim a torn tail back to the
+    /// crash boundary. Damage *before* the last valid record fails the open
+    /// loudly — silently dropping committed work is never an option.
+    pub fn open_with_storage(
+        storage: Arc<dyn Storage>,
+        durability: DurabilityConfig,
+        config: EngineConfig,
+    ) -> Result<Arc<Self>> {
+        let engine = Engine::with_config(config);
+        let clock = engine.clock();
+
+        if let Some(bytes) = storage.load(SNAPSHOT_FILE)? {
+            let (db, snap_clock) = decode_snapshot(&bytes)?;
+            engine.restore_database(db);
+            clock.set(snap_clock);
+        }
+
+        let wal_bytes = storage.load(WAL_FILE)?.unwrap_or_default();
+        let scan = scan_wal(&wal_bytes);
+        if let WalTail::Corrupt { at } = scan.tail {
+            return Err(Error::Io {
+                msg: format!(
+                    "WAL corrupt at byte {at}: valid records follow a damaged one; \
+                     refusing to silently drop committed work"
+                ),
+            });
+        }
+        for r in &scan.records {
+            // Re-seed the clock so getdate() reproduces the original
+            // timestamps, then replay the batch verbatim. Errors are
+            // deliberately ignored: a batch that failed live fails replaying
+            // with the same partial effects (no implicit transaction).
+            clock.set(r.clock);
+            let _ = engine.execute(&r.sql, &SessionCtx::new(&r.db, &r.user));
+        }
+        if engine.in_tx() {
+            // The crash implicitly rolled back whatever transaction was open.
+            let ctx = scan
+                .records
+                .last()
+                .map(|r| SessionCtx::new(&r.db, &r.user))
+                .unwrap_or_else(|| SessionCtx::new("master", "recovery"));
+            engine.execute("rollback", &ctx)?;
+        }
+
+        let torn = matches!(scan.tail, WalTail::Torn { .. });
+        let mut wal_len = wal_bytes.len() as u64;
+        if torn || scan.duplicates_skipped > 0 {
+            // Rewrite the log as the canonical accepted prefix so the next
+            // append lands after well-formed bytes.
+            let mut canonical = Vec::with_capacity(scan.valid_len as usize);
+            for r in &scan.records {
+                canonical.extend(encode_record(
+                    r.seq,
+                    r.clock,
+                    &SessionCtx::new(&r.db, &r.user),
+                    &r.sql,
+                ));
+            }
+            storage.replace(WAL_FILE, &canonical)?;
+            wal_len = canonical.len() as u64;
+        }
+        let next_seq = scan.records.last().map(|r| r.seq + 1).unwrap_or(1);
+
+        let wal = Wal::new(storage, durability, next_seq, wal_len);
+        wal.counters
+            .replayed
+            .store(scan.records.len() as u64, Ordering::Relaxed);
+        wal.counters.torn_tail.store(torn as u64, Ordering::Relaxed);
+
+        Ok(Arc::new(SqlServer {
+            engine,
+            clock,
+            schedule: RwLock::new(()),
+            locks: LockManager::new(),
+            plans: PlanCache::new(1024),
+            sessions_opened: AtomicU64::new(0),
+            statements: AtomicU64::new(0),
+            batches_parallel: AtomicU64::new(0),
+            batches_exclusive: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            inflight_peak: AtomicU64::new(0),
+            wal: Some(wal),
+        }))
+    }
+
+    /// True when the server logs to a WAL (opened via [`Self::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// True when a storage failure has degraded the server to read-only.
+    pub fn is_read_only(&self) -> bool {
+        self.wal.as_ref().is_some_and(|w| w.is_read_only())
+    }
+
+    /// Snapshot the engine and truncate the WAL. Errors inside an open
+    /// transaction (the snapshot would capture uncommitted state) and on
+    /// non-durable servers.
+    pub fn checkpoint(&self) -> Result<()> {
+        let wal = self.wal.as_ref().ok_or_else(|| {
+            Error::exec("checkpoint requires a durable server (opened with a data dir)")
+        })?;
+        let _excl = self.schedule.write();
+        if self.engine.in_tx() {
+            return Err(Error::Transaction {
+                msg: "cannot checkpoint inside an open transaction".into(),
+            });
+        }
+        self.checkpoint_locked(wal)
+    }
+
+    /// Write the snapshot + truncate the log. Caller holds the exclusive
+    /// schedule lock and has verified no transaction is open.
+    fn checkpoint_locked(&self, wal: &Wal) -> Result<()> {
+        let snapshot = {
+            let db = self.engine.database();
+            encode_snapshot(&db, self.clock.peek())
+        };
+        wal.checkpoint(&snapshot)
     }
 
     /// Register the notification sink used by `syb_sendmsg()`.
@@ -480,7 +666,20 @@ impl SqlServer {
             index_hits: self.engine.scan_stats().hits(),
             index_misses: self.engine.scan_stats().misses(),
             rows_scanned: self.engine.scan_stats().scanned(),
+            wal_records: self.wal_counter(|c| &c.records),
+            wal_bytes: self.wal_counter(|c| &c.bytes),
+            wal_fsyncs: self.wal_counter(|c| &c.fsyncs),
+            wal_group_commits: self.wal_counter(|c| &c.group_commits),
+            wal_checkpoints: self.wal_counter(|c| &c.checkpoints),
+            wal_records_replayed: self.wal_counter(|c| &c.replayed),
+            wal_torn_tail: self.wal_counter(|c| &c.torn_tail),
         }
+    }
+
+    fn wal_counter(&self, f: impl Fn(&crate::wal::WalCounters) -> &AtomicU64) -> u64 {
+        self.wal
+            .as_ref()
+            .map_or(0, |w| f(&w.counters).load(Ordering::Relaxed))
     }
 
     /// Run a closure with read access to the engine (for introspection).
@@ -491,14 +690,20 @@ impl SqlServer {
     /// Schedule and run one planned batch.
     fn run_batch(
         &self,
+        batch: &str,
         planned: &Planned,
         session: &SessionCtx,
         out: &mut BatchResult,
     ) -> Result<()> {
+        // Durable servers force every loggable batch through the exclusive
+        // schedule: WAL order then *is* execution order, which is what makes
+        // serial replay reproduce concurrent history (and lets each record
+        // stamp the logical-clock reading its batch actually saw).
+        let log_durably = self.wal.is_some() && !is_readonly(&planned.stmts);
         let sched = self.schedule.read();
         // An open transaction owns the whole database snapshot, so anything
         // running inside it must serialize; the footprint otherwise decides.
-        let footprint = if self.engine.in_tx() {
+        let footprint = if log_durably || self.engine.in_tx() {
             Footprint::Exclusive
         } else {
             let db = self.engine.database();
@@ -507,13 +712,39 @@ impl SqlServer {
         match footprint {
             Footprint::Exclusive => {
                 drop(sched);
-                let _excl = self.schedule.write();
+                let excl = self.schedule.write();
                 self.batches_exclusive.fetch_add(1, Ordering::Relaxed);
+                let mut commit_seq = None;
+                if log_durably {
+                    let wal = self.wal.as_ref().expect("log_durably implies wal");
+                    // Log before executing: if the append fails (read-only
+                    // degradation) no state changes and the client sees Io.
+                    commit_seq = Some(wal.append(self.clock.peek(), session, batch)?);
+                }
                 let r = self
                     .engine
                     .run_stmts(&planned.stmts, &planned.params, session, out);
                 if mutates_catalog(&planned.stmts) {
                     self.plans.invalidate();
+                }
+                if let Some(wal) = &self.wal {
+                    if wal.wants_checkpoint() && !self.engine.in_tx() {
+                        // Best-effort: a failure poisons the WAL (read-only)
+                        // but the batch itself already executed and is
+                        // covered by the log it was appended to.
+                        let _ = self.checkpoint_locked(wal);
+                    }
+                }
+                drop(excl);
+                if let Some(seq) = commit_seq {
+                    // Wait for durability *after* releasing the schedule so
+                    // queued batches can share the fsync (group commit). A
+                    // sync failure outranks an execution error: the client
+                    // must not treat unsynced state as acknowledged.
+                    self.wal
+                        .as_ref()
+                        .expect("commit_seq implies wal")
+                        .commit(seq)?;
                 }
                 r
             }
@@ -541,7 +772,7 @@ impl SqlEndpoint for SqlServer {
             if planned.stmts.is_empty() {
                 continue;
             }
-            self.run_batch(&planned, session, &mut out)?;
+            self.run_batch(batch, &planned, session, &mut out)?;
         }
         Ok(out)
     }
@@ -804,6 +1035,112 @@ mod tests {
             server.server_stats().batches_inflight_peak >= 2,
             "disjoint batch on b should have run while the batch on a was parked"
         );
+    }
+
+    #[test]
+    fn durable_server_survives_reopen() {
+        use crate::storage::FaultyStorage;
+        use crate::wal::{DurabilityConfig, FsyncPolicy};
+        let storage = FaultyStorage::new();
+        let cfg = DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_bytes: 0,
+        };
+        {
+            let server =
+                SqlServer::open_with_storage(storage.clone(), cfg, EngineConfig::default())
+                    .unwrap();
+            let s = server.session("db", "u");
+            s.execute("create table t (a int)").unwrap();
+            s.execute("insert t values (1)").unwrap();
+            s.execute("insert t values (2)").unwrap();
+            let stats = server.server_stats();
+            assert_eq!(stats.wal_records, 3);
+            assert!(stats.wal_bytes > 0);
+            assert!(stats.wal_fsyncs >= 1);
+        }
+        let server = SqlServer::open_with_storage(storage, cfg, EngineConfig::default()).unwrap();
+        let r = server
+            .session("db", "u")
+            .execute("select sum(a) from t")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+        assert_eq!(server.server_stats().wal_records_replayed, 3);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_restores_from_snapshot() {
+        use crate::storage::FaultyStorage;
+        use crate::wal::{DurabilityConfig, FsyncPolicy, WAL_FILE};
+        let storage = FaultyStorage::new();
+        let cfg = DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_bytes: 0,
+        };
+        let server =
+            SqlServer::open_with_storage(storage.clone(), cfg, EngineConfig::default()).unwrap();
+        let s = server.session("db", "u");
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert t values (7)").unwrap();
+        server.checkpoint().unwrap();
+        assert_eq!(storage.visible_len(WAL_FILE), 0);
+        assert_eq!(server.server_stats().wal_checkpoints, 1);
+        s.execute("insert t values (8)").unwrap();
+        drop(s);
+        drop(server);
+        let server = SqlServer::open_with_storage(storage, cfg, EngineConfig::default()).unwrap();
+        let r = server
+            .session("db", "u")
+            .execute("select sum(a) from t")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(15)));
+        // Only the post-checkpoint suffix replayed.
+        assert_eq!(server.server_stats().wal_records_replayed, 1);
+    }
+
+    #[test]
+    fn wal_failure_degrades_to_read_only() {
+        use crate::storage::{DiskFaultPlan, FaultyStorage};
+        use crate::wal::{DurabilityConfig, FsyncPolicy};
+        let storage = FaultyStorage::with_plan(DiskFaultPlan {
+            fail_appends_after: Some(3),
+            ..DiskFaultPlan::default()
+        });
+        let cfg = DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_bytes: 0,
+        };
+        let server = SqlServer::open_with_storage(storage, cfg, EngineConfig::default()).unwrap();
+        let s = server.session("db", "u");
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert t values (1)").unwrap();
+        s.execute("insert t values (2)").unwrap();
+        // Fourth append fails: the batch is rejected before executing.
+        let err = s.execute("insert t values (3)").unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err}");
+        assert!(server.is_read_only());
+        // Reads still work and see only the committed state.
+        let r = s.execute("select count(*) from t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+        // Further writes keep failing fast.
+        assert!(matches!(
+            s.execute("insert t values (4)").unwrap_err(),
+            Error::Io { .. }
+        ));
+    }
+
+    #[test]
+    fn non_durable_server_reports_zero_wal_stats() {
+        let server = SqlServer::new();
+        assert!(!server.is_durable());
+        server
+            .session("db", "u")
+            .execute("create table t (a int)")
+            .unwrap();
+        let stats = server.server_stats();
+        assert_eq!(stats.wal_records, 0);
+        assert_eq!(stats.wal_bytes, 0);
+        assert!(server.checkpoint().is_err());
     }
 
     #[test]

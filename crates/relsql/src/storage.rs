@@ -1,0 +1,437 @@
+//! The storage boundary for the durability subsystem.
+//!
+//! Everything the WAL and checkpointer do to disk goes through the
+//! [`Storage`] trait, so the production `std::fs` implementation
+//! ([`FsStorage`]) and the deterministic fault-injecting test double
+//! ([`FaultyStorage`]) are interchangeable. `FaultyStorage` mirrors the
+//! ChaosSink/FaultPlan design of the notification channel at the disk
+//! layer: it models the gap between *written* and *durable* bytes
+//! explicitly (an `fsync` moves pending bytes into the durable set) and
+//! lets a test crash the "machine" at an arbitrary byte offset — a torn
+//! write — or drop fsyncs and fail writes on cue, all reproducibly.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+
+/// Byte-level file operations the durability layer needs. Implementations
+/// must be safe to call from multiple threads.
+pub trait Storage: Send + Sync {
+    /// Full contents of `name`, or `None` if the file does not exist.
+    fn load(&self, name: &str) -> Result<Option<Vec<u8>>>;
+
+    /// Append `bytes` to `name`, creating it if missing. The bytes are
+    /// *written*, not yet durable — see [`Storage::sync`].
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()>;
+
+    /// Make every byte written to `name` so far durable (fsync).
+    fn sync(&self, name: &str) -> Result<()>;
+
+    /// Atomically replace `name` with `bytes` (write-temp, fsync, rename,
+    /// fsync directory). After this returns the new contents are durable
+    /// and a crash can never expose a half-written file.
+    fn replace(&self, name: &str, bytes: &[u8]) -> Result<()>;
+
+    /// Truncate `name` to empty, durably.
+    fn reset(&self, name: &str) -> Result<()>;
+}
+
+fn io_err(what: &str, name: &str, e: std::io::Error) -> Error {
+    Error::Io {
+        msg: format!("{what} '{name}': {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Production implementation over std::fs
+// ---------------------------------------------------------------------------
+
+/// `std::fs`-backed storage rooted at a data directory. Append handles are
+/// cached so the per-commit WAL append does not reopen the file.
+pub struct FsStorage {
+    dir: PathBuf,
+    handles: Mutex<HashMap<String, std::fs::File>>,
+}
+
+impl FsStorage {
+    /// Open (creating if needed) a data directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Arc<Self>> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| io_err("create data dir", &dir.display().to_string(), e))?;
+        Ok(Arc::new(FsStorage {
+            dir,
+            handles: Mutex::new(HashMap::new()),
+        }))
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// fsync the data directory itself so renames/creations are durable.
+    fn sync_dir(&self) -> Result<()> {
+        let d = std::fs::File::open(&self.dir)
+            .map_err(|e| io_err("open data dir", &self.dir.display().to_string(), e))?;
+        d.sync_all()
+            .map_err(|e| io_err("sync data dir", &self.dir.display().to_string(), e))
+    }
+}
+
+impl Storage for FsStorage {
+    fn load(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", name, e)),
+        }
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let mut handles = self.handles.lock();
+        if !handles.contains_key(name) {
+            let f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.path(name))
+                .map_err(|e| io_err("open for append", name, e))?;
+            handles.insert(name.to_string(), f);
+        }
+        let f = handles.get_mut(name).expect("just inserted");
+        f.write_all(bytes).map_err(|e| io_err("append to", name, e))
+    }
+
+    fn sync(&self, name: &str) -> Result<()> {
+        let handles = self.handles.lock();
+        match handles.get(name) {
+            Some(f) => f.sync_data().map_err(|e| io_err("sync", name, e)),
+            // Nothing appended yet: nothing to make durable.
+            None => Ok(()),
+        }
+    }
+
+    fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        // Drop any cached append handle: it points at the old inode.
+        self.handles.lock().remove(name);
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", name, e))?;
+            f.write_all(bytes).map_err(|e| io_err("write", name, e))?;
+            f.sync_all().map_err(|e| io_err("sync temp for", name, e))?;
+        }
+        std::fs::rename(&tmp, self.path(name)).map_err(|e| io_err("rename into", name, e))?;
+        self.sync_dir()
+    }
+
+    fn reset(&self, name: &str) -> Result<()> {
+        self.replace(name, &[])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injecting in-memory implementation
+// ---------------------------------------------------------------------------
+
+/// Declarative fault schedule for [`FaultyStorage`] — the disk-layer
+/// sibling of the notification channel's `FaultPlan`. All counters are
+/// 1-based calls on the storage as a whole, so a given plan produces the
+/// same fault at the same operation on every run.
+#[derive(Debug, Clone, Default)]
+pub struct DiskFaultPlan {
+    /// Silently drop every fsync: `sync` reports success but nothing moves
+    /// from pending to durable (a lying disk / disabled write cache).
+    pub drop_fsyncs: bool,
+    /// Fail (with an I/O error) every append after this many appends have
+    /// succeeded. `None` disables.
+    pub fail_appends_after: Option<u64>,
+    /// Fail (with an I/O error) every fsync after this many fsyncs have
+    /// succeeded. `None` disables.
+    pub fail_fsyncs_after: Option<u64>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FaultFile {
+    /// Bytes guaranteed to survive a crash.
+    durable: Vec<u8>,
+    /// Bytes written but not fsynced: a crash keeps an arbitrary prefix.
+    pending: Vec<u8>,
+}
+
+impl FaultFile {
+    fn visible(&self) -> Vec<u8> {
+        let mut v = self.durable.clone();
+        v.extend_from_slice(&self.pending);
+        v
+    }
+}
+
+/// In-memory storage that models durability precisely and injects faults
+/// deterministically. With a default (no-op) [`DiskFaultPlan`] it doubles
+/// as a plain memory-backed storage for tests and benchmarks.
+#[derive(Default)]
+pub struct FaultyStorage {
+    files: Mutex<HashMap<String, FaultFile>>,
+    plan: DiskFaultPlan,
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    dropped_fsyncs: AtomicU64,
+}
+
+impl FaultyStorage {
+    /// Fault-free in-memory storage.
+    pub fn new() -> Arc<Self> {
+        Arc::new(FaultyStorage::default())
+    }
+
+    /// In-memory storage with a fault schedule.
+    pub fn with_plan(plan: DiskFaultPlan) -> Arc<Self> {
+        Arc::new(FaultyStorage {
+            plan,
+            ..Default::default()
+        })
+    }
+
+    /// Number of fsyncs the plan silently dropped.
+    pub fn dropped_fsync_count(&self) -> u64 {
+        self.dropped_fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Total written length (durable + pending) of `name`.
+    pub fn visible_len(&self, name: &str) -> u64 {
+        self.files
+            .lock()
+            .get(name)
+            .map(|f| f.visible().len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Length of the durable prefix of `name`.
+    pub fn durable_len(&self, name: &str) -> u64 {
+        self.files
+            .lock()
+            .get(name)
+            .map(|f| f.durable.len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Simulate a hard crash where the machine persisted exactly the first
+    /// `k` bytes of `name`'s written contents — a torn write when `k` lands
+    /// inside a record. Bytes past `k` are gone; pending state is cleared.
+    /// (A real crash cannot lose already-fsynced data, but letting `k` cut
+    /// below the durable boundary is useful for modelling lying hardware.)
+    pub fn crash_at(&self, name: &str, k: u64) {
+        let mut files = self.files.lock();
+        if let Some(f) = files.get_mut(name) {
+            let mut all = f.visible();
+            all.truncate(k as usize);
+            f.durable = all;
+            f.pending.clear();
+        }
+    }
+
+    /// Simulate a hard crash that keeps only fsynced bytes: every file's
+    /// pending tail is dropped.
+    pub fn crash_to_durable(&self) {
+        let mut files = self.files.lock();
+        for f in files.values_mut() {
+            f.pending.clear();
+        }
+    }
+
+    /// Re-append the byte range `[start, end)` of `name`'s current
+    /// contents at the tail — used to inject a duplicated tail frame
+    /// (a storage stack that retried a write it had already completed).
+    pub fn duplicate_range(&self, name: &str, start: u64, end: u64) {
+        let mut files = self.files.lock();
+        if let Some(f) = files.get_mut(name) {
+            let all = f.visible();
+            let (s, e) = (start as usize, (end as usize).min(all.len()));
+            if s < e {
+                let dup = all[s..e].to_vec();
+                f.pending.extend_from_slice(&dup);
+            }
+        }
+    }
+
+    /// Flip one byte of `name` in place (silent media corruption).
+    pub fn corrupt_byte(&self, name: &str, offset: u64) {
+        let mut files = self.files.lock();
+        if let Some(f) = files.get_mut(name) {
+            let mut all = f.visible();
+            if let Some(b) = all.get_mut(offset as usize) {
+                *b ^= 0xFF;
+                let durable_len = f.durable.len().min(all.len());
+                f.durable = all[..durable_len].to_vec();
+                f.pending = all[durable_len..].to_vec();
+            }
+        }
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn load(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self.files.lock().get(name).map(FaultFile::visible))
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        if let Some(limit) = self.plan.fail_appends_after {
+            if self.appends.load(Ordering::Relaxed) >= limit {
+                return Err(Error::Io {
+                    msg: format!("injected append failure on '{name}'"),
+                });
+            }
+        }
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.files
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .pending
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> Result<()> {
+        if let Some(limit) = self.plan.fail_fsyncs_after {
+            if self.fsyncs.load(Ordering::Relaxed) >= limit {
+                return Err(Error::Io {
+                    msg: format!("injected fsync failure on '{name}'"),
+                });
+            }
+        }
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        if self.plan.drop_fsyncs {
+            self.dropped_fsyncs.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // lie: report success, persist nothing
+        }
+        let mut files = self.files.lock();
+        if let Some(f) = files.get_mut(name) {
+            let pending = std::mem::take(&mut f.pending);
+            f.durable.extend_from_slice(&pending);
+        }
+        Ok(())
+    }
+
+    fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        // Atomic rename: all-or-nothing and immediately durable.
+        let mut files = self.files.lock();
+        let f = files.entry(name.to_string()).or_default();
+        f.durable = bytes.to_vec();
+        f.pending.clear();
+        Ok(())
+    }
+
+    fn reset(&self, name: &str) -> Result<()> {
+        self.replace(name, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulty_storage_models_durability() {
+        let s = FaultyStorage::new();
+        s.append("f", b"abc").unwrap();
+        assert_eq!(s.load("f").unwrap().unwrap(), b"abc");
+        assert_eq!(s.durable_len("f"), 0);
+        s.sync("f").unwrap();
+        assert_eq!(s.durable_len("f"), 3);
+        s.append("f", b"defgh").unwrap();
+        // Crash mid-pending: durable prefix plus a torn slice survives.
+        s.crash_at("f", 5);
+        assert_eq!(s.load("f").unwrap().unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn crash_to_durable_drops_pending_only() {
+        let s = FaultyStorage::new();
+        s.append("f", b"abc").unwrap();
+        s.sync("f").unwrap();
+        s.append("f", b"xyz").unwrap();
+        s.crash_to_durable();
+        assert_eq!(s.load("f").unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn dropped_fsyncs_persist_nothing() {
+        let s = FaultyStorage::with_plan(DiskFaultPlan {
+            drop_fsyncs: true,
+            ..Default::default()
+        });
+        s.append("f", b"abc").unwrap();
+        s.sync("f").unwrap();
+        assert_eq!(s.dropped_fsync_count(), 1);
+        s.crash_to_durable();
+        assert_eq!(s.load("f").unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn injected_failures_fire_on_schedule() {
+        let s = FaultyStorage::with_plan(DiskFaultPlan {
+            fail_appends_after: Some(2),
+            fail_fsyncs_after: Some(1),
+            ..Default::default()
+        });
+        s.append("f", b"a").unwrap();
+        s.append("f", b"b").unwrap();
+        assert!(matches!(s.append("f", b"c"), Err(Error::Io { .. })));
+        s.sync("f").unwrap();
+        assert!(matches!(s.sync("f"), Err(Error::Io { .. })));
+    }
+
+    #[test]
+    fn replace_is_atomic_and_durable() {
+        let s = FaultyStorage::new();
+        s.append("f", b"old").unwrap();
+        s.replace("f", b"new").unwrap();
+        s.crash_to_durable();
+        assert_eq!(s.load("f").unwrap().unwrap(), b"new");
+        s.reset("f").unwrap();
+        assert_eq!(s.load("f").unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn duplicate_range_appends_a_copy() {
+        let s = FaultyStorage::new();
+        s.append("f", b"abcdef").unwrap();
+        s.duplicate_range("f", 3, 6);
+        assert_eq!(s.load("f").unwrap().unwrap(), b"abcdefdef");
+    }
+
+    #[test]
+    fn corrupt_byte_flips_in_place() {
+        let s = FaultyStorage::new();
+        s.append("f", b"abc").unwrap();
+        s.sync("f").unwrap();
+        s.corrupt_byte("f", 1);
+        assert_eq!(s.load("f").unwrap().unwrap(), &[b'a', b'b' ^ 0xFF, b'c']);
+    }
+
+    #[test]
+    fn fs_storage_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("relsql_fs_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = FsStorage::open(&dir).unwrap();
+        assert_eq!(s.load("w").unwrap(), None);
+        s.append("w", b"abc").unwrap();
+        s.append("w", b"def").unwrap();
+        s.sync("w").unwrap();
+        assert_eq!(s.load("w").unwrap().unwrap(), b"abcdef");
+        s.replace("snap", b"state").unwrap();
+        assert_eq!(s.load("snap").unwrap().unwrap(), b"state");
+        s.reset("w").unwrap();
+        assert_eq!(s.load("w").unwrap().unwrap(), b"");
+        // Appends still work after the handle cache was invalidated.
+        s.append("w", b"xyz").unwrap();
+        assert_eq!(s.load("w").unwrap().unwrap(), b"xyz");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

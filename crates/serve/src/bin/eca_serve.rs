@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p eca-serve --bin eca_serve -- [--addr HOST:PORT] [--demo]
 //!                                           [--max-sessions N] [--queue-depth N]
+//!                                           [--data-dir PATH]
 //! ```
 //!
 //! The server prints the bound address, then blocks reading stdin; EOF or
@@ -24,12 +25,17 @@ use relsql::{SessionCtx, SqlServer};
 fn main() {
     let mut config = ServeConfig::default().with_addr("127.0.0.1:7654");
     let mut demo = false;
+    let mut data_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => match args.next() {
                 Some(a) => config.addr = a,
                 None => usage("--addr needs HOST:PORT"),
+            },
+            "--data-dir" => match args.next() {
+                Some(d) => data_dir = Some(d),
+                None => usage("--data-dir needs a path"),
             },
             "--max-sessions" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => config.max_sessions = n,
@@ -45,7 +51,28 @@ fn main() {
         }
     }
 
-    let server = SqlServer::new();
+    let server = match &data_dir {
+        Some(dir) => match SqlServer::open(dir, relsql::DurabilityConfig::default()) {
+            Ok(server) => {
+                let s = server.server_stats();
+                println!(
+                    "(recovered from {dir}: {} WAL record(s) replayed{})",
+                    s.wal_records_replayed,
+                    if s.wal_torn_tail > 0 {
+                        ", torn tail trimmed"
+                    } else {
+                        ""
+                    }
+                );
+                server
+            }
+            Err(e) => {
+                eprintln!("eca_serve: cannot open data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => SqlServer::new(),
+    };
     let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
     let service: Arc<dyn ActiveService> = Arc::new(agent);
     if demo {
@@ -108,6 +135,9 @@ fn usage(problem: &str) -> ! {
     if !problem.is_empty() {
         eprintln!("eca_serve: {problem}");
     }
-    eprintln!("usage: eca_serve [--addr HOST:PORT] [--demo] [--max-sessions N] [--queue-depth N]");
+    eprintln!(
+        "usage: eca_serve [--addr HOST:PORT] [--demo] [--max-sessions N] [--queue-depth N] \
+         [--data-dir PATH]"
+    );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

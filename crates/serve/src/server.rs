@@ -375,6 +375,13 @@ fn stats_response(
         ("index_hits", a.index_hits),
         ("index_misses", a.index_misses),
         ("rows_scanned", a.rows_scanned),
+        ("wal_records", a.wal_records),
+        ("wal_bytes", a.wal_bytes),
+        ("wal_fsyncs", a.wal_fsyncs),
+        ("wal_group_commits", a.wal_group_commits),
+        ("wal_checkpoints", a.wal_checkpoints),
+        ("wal_records_replayed", a.wal_records_replayed),
+        ("wal_torn_tail", a.wal_torn_tail),
         ("sessions_opened", s.sessions_opened),
         ("sessions_active", s.sessions_active),
         ("sessions_rejected", s.sessions_rejected),

@@ -269,3 +269,67 @@ fn shutdown_answers_frames_already_queued() {
     let report = shutdown.join().unwrap();
     assert!(report.quiescent);
 }
+
+fn durable_start(storage: Arc<relsql::FaultyStorage>) -> ServeHandle {
+    let server = SqlServer::open_with_storage(
+        storage,
+        relsql::DurabilityConfig {
+            fsync: relsql::FsyncPolicy::Always,
+            checkpoint_bytes: 0,
+        },
+        relsql::EngineConfig::default(),
+    )
+    .expect("open durable");
+    let agent = EcaAgent::with_defaults(server).expect("agent start");
+    EcaServer::start(
+        Arc::new(agent) as Arc<dyn ActiveService>,
+        ServeConfig::default(),
+    )
+    .expect("bind")
+}
+
+#[test]
+fn wal_failure_answers_io_and_degrades_to_read_only() {
+    // Phase 1: a healthy durable run counts the WAL appends consumed by
+    // agent startup plus the setup statements, so phase 2 can cut the
+    // append budget at a precise point mid-session.
+    let probe = relsql::FaultyStorage::new();
+    let handle = durable_start(probe);
+    let (mut c, _) = ServeClient::connect_as(addr(&handle), "db", "u").unwrap();
+    c.exec("create table t (a int)").unwrap();
+    c.exec("insert t values (1)").unwrap();
+    let setup_records = c.stat_u64("wal_records").unwrap();
+    assert!(setup_records >= 2, "setup batches must be logged");
+    c.quit().unwrap();
+    handle.shutdown();
+
+    // Phase 2: the identical run, but the disk dies after one extra
+    // append — the next mutating batch hits the WAL failure while the
+    // session is live.
+    let storage = relsql::FaultyStorage::with_plan(relsql::DiskFaultPlan {
+        fail_appends_after: Some(setup_records + 1),
+        ..Default::default()
+    });
+    let handle = durable_start(storage);
+    let (mut c, _) = ServeClient::connect_as(addr(&handle), "db", "u").unwrap();
+    c.exec("create table t (a int)").unwrap();
+    c.exec("insert t values (1)").unwrap();
+    c.exec("insert t values (2)").unwrap(); // consumes the last good append
+    match c.exec("insert t values (3)") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "IO"),
+        other => panic!("expected IO error over the wire, got {other:?}"),
+    }
+
+    // The connection survived the storage failure: the session still
+    // answers frames, reads are served, and further writes fail fast with
+    // the same stable code instead of touching the engine.
+    c.ping().unwrap();
+    assert_eq!(c.exec("select * from t").unwrap().rows, 2);
+    match c.exec("insert t values (4)") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "IO"),
+        other => panic!("expected read-only IO error, got {other:?}"),
+    }
+
+    c.quit().unwrap();
+    handle.shutdown();
+}

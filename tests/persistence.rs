@@ -356,3 +356,146 @@ fn agent_with_config_recovers_too() {
     .unwrap();
     assert_eq!(agent.trigger_names().len(), 3);
 }
+
+fn durable_server(storage: &Arc<relsql::FaultyStorage>) -> Arc<SqlServer> {
+    let storage: Arc<dyn relsql::Storage> = storage.clone();
+    SqlServer::open_with_storage(
+        storage,
+        relsql::DurabilityConfig {
+            fsync: relsql::FsyncPolicy::Always,
+            checkpoint_bytes: 0,
+        },
+        relsql::EngineConfig::default(),
+    )
+    .expect("open durable server")
+}
+
+#[test]
+fn hard_crash_recovers_rules_and_fires_exactly_once() {
+    // A real crash, not a polite restart: the whole server process dies
+    // (no drain, no shutdown hook), the machine keeps only what was
+    // fsynced, and a cold start must rebuild everything from the data dir.
+    let storage = relsql::FaultyStorage::new();
+
+    // Life 1: a healthy agent defines the rules and processes two
+    // occurrences — the durable watermark advances past them.
+    {
+        let server = durable_server(&storage);
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        let client = agent.client("db", "u");
+        client.execute("create table t (a int)").unwrap();
+        client.execute("create table audit (n int)").unwrap();
+        // DETACHED so the action rides the agent's notification path (an
+        // IMMEDIATE trigger would run natively and mask the crash).
+        client
+            .execute(
+                "create trigger tr on t for insert event e DETACHED \
+                 as insert audit values (1)",
+            )
+            .unwrap();
+        client.execute("insert t values (0)").unwrap();
+        client.execute("insert t values (1)").unwrap();
+        agent.wait_detached();
+        let r = client.execute("select count(*) from audit").unwrap();
+        assert_eq!(r.server.scalar(), Some(&Value::Int(2)));
+    }
+
+    // Life 2: the notification channel goes total-loss, so three more
+    // committed occurrences never reach the agent — then the process dies
+    // hard mid-flight.
+    {
+        let server = durable_server(&storage);
+        assert!(server.server_stats().wal_records_replayed > 0);
+        let agent = EcaAgent::new(
+            Arc::clone(&server),
+            AgentConfig::builder()
+                .drop_probability(1.0, 1)
+                .exactly_once(false)
+                .build(),
+        )
+        .unwrap();
+        let client = agent.client("db", "u");
+        for i in 2..5 {
+            client.execute(&format!("insert t values ({i})")).unwrap();
+        }
+        agent.wait_detached();
+        let r = client.execute("select count(*) from audit").unwrap();
+        assert_eq!(
+            r.server.scalar(),
+            Some(&Value::Int(2)),
+            "the losses are silent before the crash"
+        );
+    }
+    storage.crash_to_durable();
+
+    // Life 3: cold start. WAL replay restores the tables, the Sys* rows
+    // and the watermark; the anti-entropy sweep then fires the three
+    // missed occurrences — and only those.
+    {
+        let server = durable_server(&storage);
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        agent.wait_detached();
+        let client = agent.client("db", "u");
+        let r = client.execute("select count(*) from audit").unwrap();
+        assert_eq!(
+            r.server.scalar(),
+            Some(&Value::Int(5)),
+            "2 already-watermarked firings not repeated, 3 missed ones repaired"
+        );
+        assert_eq!(agent.stats().gaps_repaired, 3);
+
+        // Detection still works end to end after the crash.
+        client.execute("insert t values (5)").unwrap();
+        agent.wait_detached();
+        let r = client.execute("select count(*) from audit").unwrap();
+        assert_eq!(r.server.scalar(), Some(&Value::Int(6)));
+    }
+    storage.crash_to_durable();
+
+    // Life 4: a second cold start re-fires nothing.
+    let server = durable_server(&storage);
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    agent.wait_detached();
+    let client = agent.client("db", "u");
+    let r = client.execute("select count(*) from audit").unwrap();
+    assert_eq!(
+        r.server.scalar(),
+        Some(&Value::Int(6)),
+        "no double-fire across repeated cold restarts"
+    );
+    assert_eq!(agent.stats().gaps_repaired, 0);
+}
+
+#[test]
+fn eca_agent_open_recovers_from_a_real_data_dir() {
+    let dir = std::env::temp_dir().join(format!("eca_persist_open_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let agent = EcaAgent::open(
+            &dir,
+            relsql::DurabilityConfig::default(),
+            AgentConfig::default(),
+        )
+        .unwrap();
+        let client = agent.client("db", "u");
+        client.execute("create table t (a int)").unwrap();
+        client
+            .execute("create trigger tr on t for insert event e as print 'x'")
+            .unwrap();
+        client.execute("insert t values (1)").unwrap();
+    }
+    let agent = EcaAgent::open(
+        &dir,
+        relsql::DurabilityConfig::default(),
+        AgentConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        agent.trigger_names().iter().any(|t| t.ends_with("tr")),
+        "rules recover from disk"
+    );
+    let client = agent.client("db", "u");
+    let r = client.execute("select count(*) from t").unwrap();
+    assert_eq!(r.server.scalar(), Some(&Value::Int(1)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
