@@ -520,10 +520,12 @@ impl SqlServer {
         let engine = Engine::with_config(config);
         let clock = engine.clock();
 
+        let mut snap_seq = 0u64;
         if let Some(bytes) = storage.load(SNAPSHOT_FILE)? {
-            let (db, snap_clock) = decode_snapshot(&bytes)?;
+            let (db, snap_clock, last_seq) = decode_snapshot(&bytes)?;
             engine.restore_database(db);
             clock.set(snap_clock);
+            snap_seq = last_seq;
         }
 
         let wal_bytes = storage.load(WAL_FILE)?.unwrap_or_default();
@@ -536,13 +538,22 @@ impl SqlServer {
                 ),
             });
         }
+        // Records at or below the snapshot's high-water mark are already in
+        // the restored state: a crash between the checkpoint's snapshot
+        // replace and its WAL truncation leaves them on disk, and replaying
+        // them would apply every batch twice.
+        let mut replayed = 0u64;
         for r in &scan.records {
+            if r.seq <= snap_seq {
+                continue;
+            }
             // Re-seed the clock so getdate() reproduces the original
             // timestamps, then replay the batch verbatim. Errors are
             // deliberately ignored: a batch that failed live fails replaying
             // with the same partial effects (no implicit transaction).
             clock.set(r.clock);
             let _ = engine.execute(&r.sql, &SessionCtx::new(&r.db, &r.user));
+            replayed += 1;
         }
         if engine.in_tx() {
             // The crash implicitly rolled back whatever transaction was open.
@@ -555,12 +566,15 @@ impl SqlServer {
         }
 
         let torn = matches!(scan.tail, WalTail::Torn { .. });
+        let skipped = scan.records.len() as u64 - replayed;
         let mut wal_len = wal_bytes.len() as u64;
-        if torn || scan.duplicates_skipped > 0 {
-            // Rewrite the log as the canonical accepted prefix so the next
-            // append lands after well-formed bytes.
+        if torn || scan.duplicates_skipped > 0 || skipped > 0 {
+            // Rewrite the log as the canonical accepted suffix so the next
+            // append lands after well-formed bytes. Dropping snapshot-covered
+            // records also finishes the truncation an interrupted checkpoint
+            // never got to.
             let mut canonical = Vec::with_capacity(scan.valid_len as usize);
-            for r in &scan.records {
+            for r in scan.records.iter().filter(|r| r.seq > snap_seq) {
                 canonical.extend(encode_record(
                     r.seq,
                     r.clock,
@@ -571,12 +585,15 @@ impl SqlServer {
             storage.replace(WAL_FILE, &canonical)?;
             wal_len = canonical.len() as u64;
         }
-        let next_seq = scan.records.last().map(|r| r.seq + 1).unwrap_or(1);
+        let next_seq = scan
+            .records
+            .last()
+            .map(|r| r.seq + 1)
+            .unwrap_or(1)
+            .max(snap_seq + 1);
 
         let wal = Wal::new(storage, durability, next_seq, wal_len);
-        wal.counters
-            .replayed
-            .store(scan.records.len() as u64, Ordering::Relaxed);
+        wal.counters.replayed.store(replayed, Ordering::Relaxed);
         wal.counters.torn_tail.store(torn as u64, Ordering::Relaxed);
 
         Ok(Arc::new(SqlServer {
@@ -624,9 +641,13 @@ impl SqlServer {
     /// Write the snapshot + truncate the log. Caller holds the exclusive
     /// schedule lock and has verified no transaction is open.
     fn checkpoint_locked(&self, wal: &Wal) -> Result<()> {
+        // Stamp the snapshot with the WAL high-water mark so recovery can
+        // skip records the snapshot already contains — the crash window
+        // between the snapshot replace and the WAL truncation (or a
+        // truncation that fails outright) must not double-replay.
         let snapshot = {
             let db = self.engine.database();
-            encode_snapshot(&db, self.clock.peek())
+            encode_snapshot(&db, self.clock.peek(), wal.last_seq())
         };
         wal.checkpoint(&snapshot)
     }

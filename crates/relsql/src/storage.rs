@@ -96,11 +96,19 @@ impl Storage for FsStorage {
     fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
         let mut handles = self.handles.lock();
         if !handles.contains_key(name) {
+            let created = !self.path(name).exists();
             let f = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(self.path(name))
                 .map_err(|e| io_err("open for append", name, e))?;
+            if created {
+                // Make the new directory entry durable immediately;
+                // otherwise a power loss after the first fsynced commits
+                // can lose the whole file — acknowledged bytes included —
+                // because only the file's *data* was ever synced.
+                self.sync_dir()?;
+            }
             handles.insert(name.to_string(), f);
         }
         let f = handles.get_mut(name).expect("just inserted");
@@ -153,6 +161,11 @@ pub struct DiskFaultPlan {
     /// Fail (with an I/O error) every fsync after this many fsyncs have
     /// succeeded. `None` disables.
     pub fail_fsyncs_after: Option<u64>,
+    /// Fail (with an I/O error) every atomic replace after this many have
+    /// succeeded (`reset` counts — it is a replace-with-empty). `None`
+    /// disables. `Some(1)` at checkpoint time is exactly the crash window
+    /// between the snapshot replace and the WAL truncation.
+    pub fail_replaces_after: Option<u64>,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -180,6 +193,7 @@ pub struct FaultyStorage {
     plan: DiskFaultPlan,
     appends: AtomicU64,
     fsyncs: AtomicU64,
+    replaces: AtomicU64,
     dropped_fsyncs: AtomicU64,
 }
 
@@ -319,6 +333,14 @@ impl Storage for FaultyStorage {
     }
 
     fn replace(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        if let Some(limit) = self.plan.fail_replaces_after {
+            if self.replaces.load(Ordering::Relaxed) >= limit {
+                return Err(Error::Io {
+                    msg: format!("injected replace failure on '{name}'"),
+                });
+            }
+        }
+        self.replaces.fetch_add(1, Ordering::Relaxed);
         // Atomic rename: all-or-nothing and immediately durable.
         let mut files = self.files.lock();
         let f = files.entry(name.to_string()).or_default();
@@ -385,6 +407,20 @@ mod tests {
         assert!(matches!(s.append("f", b"c"), Err(Error::Io { .. })));
         s.sync("f").unwrap();
         assert!(matches!(s.sync("f"), Err(Error::Io { .. })));
+    }
+
+    #[test]
+    fn injected_replace_failures_fire_on_schedule() {
+        let s = FaultyStorage::with_plan(DiskFaultPlan {
+            fail_replaces_after: Some(1),
+            ..Default::default()
+        });
+        s.replace("snap", b"new").unwrap();
+        // The second replace — a reset counts — fails: exactly the shape of
+        // a checkpoint interrupted between snapshot replace and WAL reset.
+        assert!(matches!(s.reset("wal"), Err(Error::Io { .. })));
+        assert!(matches!(s.replace("snap", b"x"), Err(Error::Io { .. })));
+        assert_eq!(s.load("snap").unwrap().unwrap(), b"new");
     }
 
     #[test]

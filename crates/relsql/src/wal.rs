@@ -266,7 +266,27 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
             Some(rec) => {
                 let next = rec.end as usize;
                 match last_seq {
-                    Some(prev) if rec.seq <= prev => duplicates += 1, // retried write
+                    Some(prev) if rec.seq <= prev => {
+                        // A retried write must reproduce the frame it
+                        // duplicates byte-for-byte (the encoding is a pure
+                        // function of the fields, so field equality is byte
+                        // equality). A checksum-valid frame with a stale seq
+                        // but *different* content is damage, not a retry.
+                        let matches_accepted = records
+                            .iter()
+                            .rev()
+                            .find(|p| p.seq == rec.seq)
+                            .is_some_and(|p| {
+                                p.clock == rec.clock
+                                    && p.db == rec.db
+                                    && p.user == rec.user
+                                    && p.sql == rec.sql
+                            });
+                        if !matches_accepted {
+                            break WalTail::Corrupt { at: offset as u64 };
+                        }
+                        duplicates += 1;
+                    }
                     Some(prev) if rec.seq > prev + 1 => {
                         // A record vanished in the middle: loud corruption.
                         break WalTail::Corrupt { at: offset as u64 };
@@ -303,7 +323,7 @@ pub fn scan_wal(bytes: &[u8]) -> WalScan {
 // Snapshot codec
 // ---------------------------------------------------------------------------
 
-const SNAP_MAGIC: &[u8; 8] = b"RSQLSNP1";
+const SNAP_MAGIC: &[u8; 8] = b"RSQLSNP2";
 
 fn corrupt(msg: impl Into<String>) -> Error {
     Error::Io {
@@ -373,13 +393,20 @@ fn get_type(r: &mut Reader<'_>) -> Result<DataType> {
     })
 }
 
-/// Serialize the full catalog plus the logical-clock reading. Tables,
-/// triggers and procedures are emitted in sorted order so identical states
-/// produce identical bytes.
-pub fn encode_snapshot(db: &Database, clock: i64) -> Vec<u8> {
+/// Serialize the full catalog plus the logical-clock reading and the
+/// sequence number of the last WAL record whose effects the snapshot
+/// contains (`0` = none). Recovery skips WAL records with `seq <=
+/// last_seq`, which is what makes the checkpoint's two disk steps
+/// (replace snapshot, then truncate WAL) safe to interrupt: a crash
+/// between them leaves the new snapshot plus the full old log, and
+/// without the high-water mark every record would replay *twice*.
+/// Tables, triggers and procedures are emitted in sorted order so
+/// identical states produce identical bytes.
+pub fn encode_snapshot(db: &Database, clock: i64, last_seq: u64) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(SNAP_MAGIC);
     buf.extend_from_slice(&clock.to_le_bytes());
+    buf.extend_from_slice(&last_seq.to_le_bytes());
 
     let names = db.table_names();
     buf.extend_from_slice(&(names.len() as u32).to_le_bytes());
@@ -435,14 +462,16 @@ pub fn encode_snapshot(db: &Database, clock: i64) -> Vec<u8> {
     buf
 }
 
-/// Rebuild a catalog (and the clock reading) from snapshot bytes. Trigger
-/// and procedure bodies are re-parsed from their persisted source.
-pub fn decode_snapshot(bytes: &[u8]) -> Result<(Database, i64)> {
+/// Rebuild a catalog (plus the clock reading and the last-applied WAL
+/// sequence number) from snapshot bytes. Trigger and procedure bodies are
+/// re-parsed from their persisted source.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(Database, i64, u64)> {
     let mut r = Reader::new(bytes);
     if r.take(8) != Some(SNAP_MAGIC.as_slice()) {
         return Err(corrupt("bad magic"));
     }
     let clock = r.i64().ok_or_else(|| corrupt("clock"))?;
+    let last_seq = r.u64().ok_or_else(|| corrupt("last seq"))?;
     let mut db = Database::new();
 
     let n_tables = r.u32().ok_or_else(|| corrupt("table count"))?;
@@ -533,7 +562,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(Database, i64)> {
     if r.pos != bytes.len() {
         return Err(corrupt("trailing bytes"));
     }
-    Ok((db, clock))
+    Ok((db, clock, last_seq))
 }
 
 // ---------------------------------------------------------------------------
@@ -607,6 +636,14 @@ impl Wal {
 
     pub fn config(&self) -> DurabilityConfig {
         self.config
+    }
+
+    /// Sequence number of the last appended record (0 = none yet). Under
+    /// the exclusive schedule lock every appended record has also been
+    /// executed, so this is the high-water mark a checkpoint snapshot must
+    /// carry for recovery to skip already-applied WAL records.
+    pub(crate) fn last_seq(&self) -> u64 {
+        self.appended_seq.load(Ordering::SeqCst)
     }
 
     /// True once a storage error has poisoned the log.
@@ -810,6 +847,35 @@ mod tests {
     }
 
     #[test]
+    fn scan_rejects_divergent_stale_seq_frames() {
+        // A frame with a stale seq that does NOT byte-match the accepted
+        // record it claims to duplicate is corruption, not a retried write.
+        let mut log = rec(1, "a");
+        log.extend(rec(2, "b"));
+        let divergent_at = log.len();
+        log.extend(rec(2, "something else entirely"));
+        let scan = scan_wal(&log);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.duplicates_skipped, 0);
+        assert!(
+            matches!(scan.tail, WalTail::Corrupt { at } if at == divergent_at as u64),
+            "{:?}",
+            scan.tail
+        );
+    }
+
+    #[test]
+    fn scan_rejects_stale_seq_below_the_log_start() {
+        // A log that starts at seq 10 (post-checkpoint) cannot verify a
+        // frame claiming seq 3 against anything: treat it as damage.
+        let mut log = rec(10, "a");
+        log.extend(rec(3, "ghost"));
+        let scan = scan_wal(&log);
+        assert_eq!(scan.records.len(), 1);
+        assert!(matches!(scan.tail, WalTail::Corrupt { .. }));
+    }
+
+    #[test]
     fn snapshot_roundtrips_catalog_and_clock() {
         use crate::engine::Engine;
         let engine = Engine::new();
@@ -829,10 +895,11 @@ mod tests {
             .unwrap();
         let bytes = {
             let db = engine.database();
-            encode_snapshot(&db, 12345)
+            encode_snapshot(&db, 12345, 42)
         };
-        let (restored, clock) = decode_snapshot(&bytes).unwrap();
+        let (restored, clock, last_seq) = decode_snapshot(&bytes).unwrap();
         assert_eq!(clock, 12345);
+        assert_eq!(last_seq, 42, "WAL high-water mark round-trips");
         let db = engine.database();
         assert_eq!(restored.table_names(), db.table_names());
         let (a, b) = (restored.table("t").unwrap(), db.table("t").unwrap());
@@ -846,7 +913,7 @@ mod tests {
         );
         assert_eq!(restored.index_table_key("ix_a"), Some("t"));
         // Determinism: identical states encode to identical bytes.
-        assert_eq!(bytes, encode_snapshot(&db, 12345));
+        assert_eq!(bytes, encode_snapshot(&db, 12345, 42));
     }
 
     #[test]
@@ -855,7 +922,7 @@ mod tests {
         let engine = Engine::new();
         let s = SessionCtx::new("db", "u");
         engine.execute("create table t (a int)", &s).unwrap();
-        let bytes = encode_snapshot(&engine.database(), 1);
+        let bytes = encode_snapshot(&engine.database(), 1, 0);
         assert!(decode_snapshot(&bytes[..bytes.len() - 1]).is_err());
         let mut bad = bytes.clone();
         bad[0] ^= 0xFF;
