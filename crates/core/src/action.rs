@@ -11,26 +11,36 @@
 //! On top of the paper's fire-and-forget execution this handler layers a
 //! reliability pipeline: transiently failing actions are retried under a
 //! configurable [`RetryPolicy`] (exponential backoff with deterministic
-//! jitter), panicking action paths are caught and reported as failed
-//! outcomes instead of unwinding a thread away, and actions that exhaust
-//! their attempts land in a [`DeadLetter`] queue that can be inspected and
-//! requeued.
+//! jitter, optional per-attempt wall-clock timeout), panicking action
+//! paths are caught and reported as failed outcomes instead of unwinding
+//! a thread away, and actions that exhaust their attempts land in a
+//! [`DeadLetter`] queue — mirrored into the durable `SysDeadLetter` table
+//! when the agent runs on persistent storage, so `\deadletters` and
+//! `\requeue` keep working across process lives.
+//!
+//! Rules whose action is a saga declaration ([`crate::saga::SagaSpec`])
+//! are routed to the [`SagaExecutor`] instead of the single-procedure
+//! path; see `saga.rs` and DESIGN.md §12.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use led::{CouplingMode, Firing, Occurrence, ParameterContext};
+use led::{CouplingMode, Firing, Occurrence, Param, ParameterContext};
 use parking_lot::Mutex;
 use relsql::{BatchResult, SessionCtx};
 
+use crate::codegen::sql_quote;
 use crate::context_proc::sys_context_sql;
 use crate::error::Result;
 use crate::gateway::Gateway;
+use crate::saga::{
+    encode_params, occurrence_vno, SagaDisposition, SagaExecutor, SagaRun, SagaSpec,
+};
 
 /// The paper's `NotiStr`: everything needed to invoke one SQL action.
 #[derive(Debug, Clone)]
@@ -44,6 +54,9 @@ pub struct ActionRequest {
     /// The triggering rule (for reporting).
     pub rule: String,
     pub occurrence: Occurrence,
+    /// When the rule's action is a saga, its step list; `None` for the
+    /// paper's single-procedure actions.
+    pub saga: Option<Arc<SagaSpec>>,
 }
 
 impl ActionRequest {
@@ -54,6 +67,7 @@ impl ActionRequest {
             context: firing.context,
             rule: firing.rule.clone(),
             occurrence: firing.occurrence.clone(),
+            saga: None,
         }
     }
 }
@@ -65,8 +79,12 @@ pub struct ActionOutcome {
     pub event: String,
     pub coupling: CouplingMode,
     /// How many attempts were made (1 = succeeded or gave up first try).
+    /// For sagas this counts step/compensation attempts across the run.
     pub attempts: u32,
     pub result: std::result::Result<BatchResult, String>,
+    /// How the saga ended, when the action was one; lets clients tell
+    /// "saga compensated" (settled, by design) from "action dead-lettered".
+    pub saga: Option<SagaDisposition>,
 }
 
 /// Retry behaviour for failing actions.
@@ -75,13 +93,18 @@ pub struct ActionOutcome {
 /// original fire-once semantics. Backoff grows exponentially from
 /// `base_backoff`, is capped at `max_backoff`, and carries a deterministic
 /// jitter derived from the rule name and attempt number (so concurrent
-/// retries de-synchronize without nondeterminism in tests).
+/// retries de-synchronize without nondeterminism in tests). When
+/// `attempt_timeout` is set, each attempt is abandoned after that much
+/// wall-clock time and counts as a failure — a hung step fails over to
+/// retry/compensation instead of stalling the pump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (minimum 1).
     pub max_attempts: u32,
     pub base_backoff: Duration,
     pub max_backoff: Duration,
+    /// Per-attempt wall-clock deadline; `None` = wait forever.
+    pub attempt_timeout: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -90,6 +113,7 @@ impl Default for RetryPolicy {
             max_attempts: 1,
             base_backoff: Duration::ZERO,
             max_backoff: Duration::ZERO,
+            attempt_timeout: None,
         }
     }
 }
@@ -100,7 +124,14 @@ impl RetryPolicy {
             max_attempts: max_attempts.max(1),
             base_backoff,
             max_backoff,
+            attempt_timeout: None,
         }
+    }
+
+    /// Builder: bound each attempt by a wall-clock deadline.
+    pub fn with_attempt_timeout(mut self, timeout: Duration) -> Self {
+        self.attempt_timeout = Some(timeout);
+        self
     }
 
     /// The delay to sleep after `failed_attempt` (1-based) before the next
@@ -135,9 +166,28 @@ pub struct DeadLetter {
     pub attempts: u32,
 }
 
+/// The `SysDeadLetter` row mirroring one dead letter (satellite: the
+/// queue survives a cold restart). Occurrence params are text-encoded via
+/// [`encode_params`]; the saga flag lets recovery re-attach the step list.
+fn dead_letter_insert_sql(dl: &DeadLetter) -> String {
+    format!(
+        "insert SysDeadLetter values ({}, {}, {}, {}, {}, {}, {}, {}, {})",
+        sql_quote(&dl.request.rule),
+        sql_quote(&dl.request.event),
+        sql_quote(&dl.request.proc_name),
+        sql_quote(dl.coupling.as_str()),
+        sql_quote(dl.request.context.as_str()),
+        occurrence_vno(&dl.request.occurrence),
+        dl.attempts,
+        sql_quote(&dl.error),
+        sql_quote(&encode_params(&dl.request.occurrence)),
+    )
+}
+
 /// Test/chaos hook: invoked before each attempt with the request and the
 /// 1-based attempt number; returning `Some(err)` fails that attempt,
-/// panicking simulates a crashing action path.
+/// panicking simulates a crashing action path. Saga step attempts flow
+/// through the same injector, with `proc_name` set to the step procedure.
 pub type FaultInjector = Arc<dyn Fn(&ActionRequest, u32) -> Option<String> + Send + Sync>;
 
 struct DetachedHandle {
@@ -152,11 +202,15 @@ pub struct ActionHandler {
     /// Identity the action SQL runs under.
     session: SessionCtx,
     policy: RetryPolicy,
-    injector: Mutex<Option<FaultInjector>>,
+    injector: Arc<Mutex<Option<FaultInjector>>>,
+    saga: SagaExecutor,
     detached: Mutex<Vec<DetachedHandle>>,
     detached_outcomes: Arc<Mutex<Vec<ActionOutcome>>>,
     dead_letters: Mutex<Vec<DeadLetter>>,
-    retries: AtomicU64,
+    /// When set (durable agents), dead letters are mirrored into the
+    /// `SysDeadLetter` table so they survive a cold restart.
+    durable_dlq: AtomicBool,
+    retries: Arc<AtomicU64>,
     dead_lettered: AtomicU64,
 }
 
@@ -166,28 +220,57 @@ impl ActionHandler {
     }
 
     pub fn with_policy(gateway: Arc<Gateway>, policy: RetryPolicy) -> Self {
+        let session = SessionCtx::new("master", "eca_agent");
+        let injector: Arc<Mutex<Option<FaultInjector>>> = Arc::new(Mutex::new(None));
+        let retries = Arc::new(AtomicU64::new(0));
+        let saga = SagaExecutor::new(
+            Arc::clone(&gateway),
+            session.clone(),
+            policy.clone(),
+            Arc::clone(&injector),
+            Arc::clone(&retries),
+        );
         ActionHandler {
             gateway,
-            session: SessionCtx::new("master", "eca_agent"),
+            session,
             policy,
-            injector: Mutex::new(None),
+            injector,
+            saga,
             detached: Mutex::new(Vec::new()),
             detached_outcomes: Arc::new(Mutex::new(Vec::new())),
             dead_letters: Mutex::new(Vec::new()),
-            retries: AtomicU64::new(0),
+            durable_dlq: AtomicBool::new(false),
+            retries,
             dead_lettered: AtomicU64::new(0),
         }
     }
 
-    /// Install (or clear) the per-attempt fault injector.
+    /// Install (or clear) the per-attempt fault injector (shared with the
+    /// saga executor).
     pub fn set_fault_injector(&self, injector: Option<FaultInjector>) {
         *self.injector.lock() = injector;
+    }
+
+    /// The saga executor (crash hook installation, counters, journal
+    /// inspection).
+    pub fn saga_executor(&self) -> &SagaExecutor {
+        &self.saga
+    }
+
+    /// Mirror dead letters into the durable `SysDeadLetter` table from now
+    /// on (called by the agent once the system tables exist).
+    pub fn set_durable_dead_letters(&self, on: bool) {
+        self.durable_dlq.store(on, Ordering::Relaxed);
     }
 
     /// Execute an action synchronously (IMMEDIATE and flushed DEFERRED
     /// rules) and return the outcome, retrying per the policy. An outcome
     /// that is still failed after the last attempt is also dead-lettered.
+    /// Saga-valued requests route to the saga executor.
     pub fn execute(&self, request: &ActionRequest, coupling: CouplingMode) -> ActionOutcome {
+        if let Some(spec) = &request.saga {
+            return self.execute_saga(request, &Arc::clone(spec), coupling);
+        }
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
         let mut last_err;
@@ -201,6 +284,7 @@ impl ActionHandler {
                         coupling,
                         attempts: attempt,
                         result: Ok(batch),
+                        saga: None,
                     }
                 }
                 Err(e) => last_err = e,
@@ -214,8 +298,7 @@ impl ActionHandler {
                 std::thread::sleep(delay);
             }
         }
-        self.dead_lettered.fetch_add(1, Ordering::Relaxed);
-        self.dead_letters.lock().push(DeadLetter {
+        self.dead_letter(DeadLetter {
             request: request.clone(),
             coupling,
             error: last_err.clone(),
@@ -227,10 +310,79 @@ impl ActionHandler {
             coupling,
             attempts: attempt,
             result: Err(last_err),
+            saga: None,
         }
     }
 
-    /// One attempt: fault injection, then the real SQL, with panics caught
+    /// Run a saga-valued request through the executor. A `Compensated`
+    /// outcome is settled by design and is NOT dead-lettered; a `Parked`
+    /// one (compensation failure) is, so `\requeue` can resume it.
+    fn execute_saga(
+        &self,
+        request: &ActionRequest,
+        spec: &Arc<SagaSpec>,
+        coupling: CouplingMode,
+    ) -> ActionOutcome {
+        let run = SagaRun {
+            rule: &request.rule,
+            event: &request.event,
+            vno: occurrence_vno(&request.occurrence),
+            spec,
+            occurrence: request.occurrence.clone(),
+            context_sql: Some(sys_context_sql(&request.occurrence, request.context)),
+            coupling,
+        };
+        let outcome = self.saga.execute(&run);
+        if let Err(err) = &outcome.result {
+            if !matches!(outcome.saga, Some(SagaDisposition::Compensated { .. })) {
+                self.dead_letter(DeadLetter {
+                    request: request.clone(),
+                    coupling,
+                    error: err.clone(),
+                    attempts: outcome.attempts,
+                });
+            }
+        }
+        outcome
+    }
+
+    /// Resume an in-flight saga found in the journal at cold restart. The
+    /// occurrence is synthetic (a single param carrying the journaled
+    /// `vNo`): the journal plan is never `Fresh` here, so no context
+    /// refresh happens and the params are only used for keying.
+    pub fn resume_saga(
+        &self,
+        rule: &str,
+        event: &str,
+        vno: i64,
+        spec: &Arc<SagaSpec>,
+        coupling: CouplingMode,
+    ) -> ActionOutcome {
+        let request = ActionRequest {
+            proc_name: String::new(),
+            event: event.to_string(),
+            context: ParameterContext::Recent,
+            rule: rule.to_string(),
+            occurrence: Occurrence::point(event, 0, vec![Param::db(event, "", vno, 0)]),
+            saga: Some(Arc::clone(spec)),
+        };
+        self.execute_saga(&request, spec, coupling)
+    }
+
+    fn dead_letter(&self, dl: DeadLetter) {
+        self.dead_lettered.fetch_add(1, Ordering::Relaxed);
+        if self.durable_dlq.load(Ordering::Relaxed) {
+            // Best effort: a failed mirror write must not mask the action
+            // error itself (the in-memory queue still holds the letter).
+            let _ = self
+                .gateway
+                .internal(&dead_letter_insert_sql(&dl), &self.session);
+        }
+        self.dead_letters.lock().push(dl);
+    }
+
+    /// One attempt: fault injection, then the real SQL (under the
+    /// per-attempt deadline when one is configured), with panics caught
     /// and converted into ordinary errors.
     fn attempt(
         &self,
@@ -239,12 +391,31 @@ impl ActionHandler {
     ) -> std::result::Result<BatchResult, String> {
         let injector = self.injector.lock().clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(inject) = &injector {
-                if let Some(err) = inject(request, attempt) {
-                    return Err(err);
+            // The injector runs inside the timed region: a hung dependency
+            // (simulated by a sleeping injector) counts against the deadline.
+            match self.policy.attempt_timeout {
+                None => {
+                    if let Some(inject) = &injector {
+                        if let Some(err) = inject(request, attempt) {
+                            return Err(err);
+                        }
+                    }
+                    run_action(&self.gateway, &self.session, request).map_err(|e| e.to_string())
+                }
+                Some(t) => {
+                    let gw = Arc::clone(&self.gateway);
+                    let sess = self.session.clone();
+                    let req = request.clone();
+                    run_with_timeout(t, move || {
+                        if let Some(inject) = &injector {
+                            if let Some(err) = inject(&req, attempt) {
+                                return Err(err);
+                            }
+                        }
+                        run_action(&gw, &sess, &req).map_err(|e| e.to_string())
+                    })
                 }
             }
-            self.run(request).map_err(|e| e.to_string())
         }));
         match outcome {
             Ok(r) => r,
@@ -284,6 +455,7 @@ impl ActionHandler {
                     coupling: CouplingMode::Detached,
                     attempts: 0,
                     result: Err("detached action thread panicked before reporting".into()),
+                    saga: None,
                 });
             }
         }
@@ -300,18 +472,28 @@ impl ActionHandler {
         self.dead_letters.lock().clone()
     }
 
+    /// Adopt dead letters recovered from the durable table at cold restart
+    /// (already persisted — not re-mirrored, not re-counted).
+    pub fn seed_dead_letters(&self, letters: Vec<DeadLetter>) {
+        self.dead_letters.lock().extend(letters);
+    }
+
     /// Drain the dead-letter queue and re-execute every entry (with the
     /// full retry policy again); entries that fail again re-enter the
-    /// queue. Returns the requeue outcomes.
+    /// queue (and the durable mirror). Returns the requeue outcomes.
     pub fn requeue_dead_letters(&self) -> Vec<ActionOutcome> {
         let letters: Vec<DeadLetter> = std::mem::take(&mut *self.dead_letters.lock());
+        if self.durable_dlq.load(Ordering::Relaxed) && !letters.is_empty() {
+            let _ = self.gateway.internal("delete SysDeadLetter", &self.session);
+        }
         letters
             .into_iter()
             .map(|dl| self.execute(&dl.request, dl.coupling))
             .collect()
     }
 
-    /// Retries performed (attempts beyond the first, across all actions).
+    /// Retries performed (attempts beyond the first, across all actions
+    /// and saga steps).
     pub fn retry_count(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
     }
@@ -320,20 +502,91 @@ impl ActionHandler {
     pub fn dead_letter_count(&self) -> u64 {
         self.dead_lettered.load(Ordering::Relaxed)
     }
+}
 
-    fn run(&self, request: &ActionRequest) -> Result<BatchResult> {
-        // Step 3 of §5.6: refresh sysContext from the LED's parameter list.
-        let ctx_sql = sys_context_sql(&request.occurrence, request.context);
-        if !ctx_sql.is_empty() {
-            self.gateway.internal(&ctx_sql, &self.session)?;
+/// The single-procedure action body (steps 3–4 of §5.6): refresh
+/// `sysContext` from the LED's parameter list, then run the stored
+/// procedure (context join + action).
+fn run_action(
+    gateway: &Gateway,
+    session: &SessionCtx,
+    request: &ActionRequest,
+) -> Result<BatchResult> {
+    let ctx_sql = sys_context_sql(&request.occurrence, request.context);
+    if !ctx_sql.is_empty() {
+        gateway.internal(&ctx_sql, session)?;
+    }
+    gateway.internal(&format!("execute {}", request.proc_name), session)
+}
+
+/// One saga step/compensation attempt: fault injection, then the step's
+/// `EXECUTE` + journal-row batch as a single server call (one WAL record),
+/// under the per-attempt deadline. Panics are caught here — the saga
+/// crash hook fires *outside* this function, so chaos-induced process
+/// death still unwinds the whole executor.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attempt_batch(
+    gateway: &Arc<Gateway>,
+    session: &SessionCtx,
+    injector: Option<FaultInjector>,
+    request: &ActionRequest,
+    attempt: u32,
+    timeout: Option<Duration>,
+    sql: String,
+) -> std::result::Result<BatchResult, String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| match timeout {
+        None => {
+            if let Some(inject) = &injector {
+                if let Some(err) = inject(request, attempt) {
+                    return Err(err);
+                }
+            }
+            gateway.internal(&sql, session).map_err(|e| e.to_string())
         }
-        // Step 4: run the stored procedure (context join + action).
-        self.gateway
-            .internal(&format!("execute {}", request.proc_name), &self.session)
+        Some(t) => {
+            let gw = Arc::clone(gateway);
+            let sess = session.clone();
+            let req = request.clone();
+            run_with_timeout(t, move || {
+                if let Some(inject) = &injector {
+                    if let Some(err) = inject(&req, attempt) {
+                        return Err(err);
+                    }
+                }
+                gw.internal(&sql, &sess).map_err(|e| e.to_string())
+            })
+        }
+    }));
+    match outcome {
+        Ok(r) => r,
+        Err(panic) => Err(panic_message(panic)),
     }
 }
 
-fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+/// Run `f` on a worker thread and give up after `timeout`. An abandoned
+/// attempt's thread keeps running to completion in the background (the
+/// engine has no statement kill switch) — its effects, if any, land under
+/// the same idempotency protections as a crash, and the worker's result
+/// is discarded.
+pub(crate) fn run_with_timeout(
+    timeout: Duration,
+    f: impl FnOnce() -> std::result::Result<BatchResult, String> + Send + 'static,
+) -> std::result::Result<BatchResult, String> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let r = catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|p| Err(panic_message(p)));
+        let _ = tx.send(r);
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(r) => r,
+        Err(_) => Err(format!(
+            "action attempt exceeded its {}ms deadline and was abandoned",
+            timeout.as_millis()
+        )),
+    }
+}
+
+pub(crate) fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         format!("action panicked: {s}")
     } else if let Some(s) = panic.downcast_ref::<String>() {
@@ -369,6 +622,7 @@ mod tests {
             context: ParameterContext::Recent,
             rule: "r".into(),
             occurrence: occ,
+            saga: None,
         }
     }
 
@@ -519,5 +773,63 @@ mod tests {
             "jitter varies by rule"
         );
         assert_eq!(RetryPolicy::default().backoff_after("r", 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn hung_attempt_times_out_and_fails_over_to_retry() {
+        let (gw, ctx) = setup();
+        gw.internal("create table log (a int)", &ctx).unwrap();
+        gw.internal("create procedure p as insert log values (1)", &ctx)
+            .unwrap();
+        let handler = ActionHandler::with_policy(
+            Arc::clone(&gw),
+            RetryPolicy::retries(2, Duration::ZERO, Duration::ZERO)
+                .with_attempt_timeout(Duration::from_millis(50)),
+        );
+        // First attempt hangs well past the deadline; second sails through.
+        handler.set_fault_injector(Some(Arc::new(|_, attempt| {
+            if attempt == 1 {
+                std::thread::sleep(Duration::from_secs(2));
+            }
+            None
+        })));
+        let occ = Occurrence::point("e", 1, vec![]);
+        let start = std::time::Instant::now();
+        let outcome = handler.execute(&request("p", occ), CouplingMode::Immediate);
+        assert!(outcome.result.is_ok(), "{:?}", outcome.result);
+        assert_eq!(outcome.attempts, 2);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "the hung attempt must be abandoned, not awaited"
+        );
+    }
+
+    #[test]
+    fn timeout_error_names_the_deadline() {
+        let err = run_with_timeout(Duration::from_millis(10), || {
+            std::thread::sleep(Duration::from_secs(1));
+            Ok(BatchResult::default())
+        })
+        .unwrap_err();
+        assert!(err.contains("10ms"), "{err}");
+        assert!(err.contains("abandoned"), "{err}");
+    }
+
+    #[test]
+    fn dead_letter_sql_parses_and_quotes() {
+        let dl = DeadLetter {
+            request: request(
+                "db.u.p",
+                Occurrence::point("e", 1, vec![Param::db("e", "s", 3, 1)]),
+            ),
+            coupling: CouplingMode::Immediate,
+            error: "it's broken".into(),
+            attempts: 2,
+        };
+        let sql = dead_letter_insert_sql(&dl);
+        relsql::parser::parse_script(&sql).unwrap();
+        assert!(sql.contains("'it''s broken'"), "{sql}");
+        assert!(sql.contains("'IMMEDIATE'"), "{sql}");
+        assert!(sql.contains("'s,3,1'"), "{sql}");
     }
 }

@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
-use led::{Condition, CouplingMode, Detector, Firing, Param, ParameterContext, RuleSpec};
+use led::{
+    Condition, CouplingMode, Detector, Firing, Occurrence, Param, ParameterContext, RuleSpec,
+};
 use parking_lot::Mutex;
 use relsql::ast::TriggerOp;
 use relsql::notify::{ChannelSink, ChaosSink, Datagram, FaultPlan, NotificationSink};
@@ -37,6 +39,10 @@ use crate::registry::{
     CompositeEventInfo, PrimitiveEventInfo, Registry, ShadowKind, TriggerInfo, TriggerKind,
 };
 use crate::reliability::{Admission, ReliabilityTracker};
+use crate::saga::{
+    persist_saga_steps_sql, plan_from_journal, SagaCrashHook, SagaJournalRow, SagaPlan, SagaSpec,
+    SagaStep,
+};
 
 /// Agent configuration.
 ///
@@ -243,6 +249,18 @@ pub struct AgentStats {
     pub wal_records_replayed: u64,
     /// 1 if recovery trimmed a torn WAL tail (mid-write crash signature).
     pub wal_torn_tail: u64,
+    /// Saga instances started fresh (journal `started` rows written).
+    pub sagas_started: u64,
+    /// Sagas that committed (every forward step applied).
+    pub sagas_committed: u64,
+    /// Sagas that failed forward and fully compensated backward.
+    pub sagas_compensated: u64,
+    /// In-flight sagas resumed from the journal (restart or requeue).
+    pub sagas_resumed: u64,
+    /// Forward saga steps applied (journaled `done`).
+    pub saga_steps_executed: u64,
+    /// Compensations applied (journaled `done`).
+    pub saga_compensations: u64,
 }
 
 /// Named fault counters from the notification channel's chaos sink.
@@ -387,7 +405,13 @@ impl EcaAgent {
                 last_loss_signal: AtomicU64::new(0),
             }),
         };
+        agent.inner.action.set_durable_dead_letters(true);
         agent.recover()?;
+        agent.recover_dead_letters()?;
+        // Settle in-flight sagas from the journal *before* watermark replay
+        // re-raises their occurrences: the journal makes the re-raised
+        // firing a no-op (AlreadySettled) instead of a double-apply.
+        agent.recover_sagas()?;
         agent.recovery_replay()?;
         Ok(agent)
     }
@@ -427,6 +451,7 @@ impl EcaAgent {
     pub fn stats(&self) -> AgentStats {
         let tracker = self.inner.tracker.lock();
         let server = self.server().server_stats();
+        let saga = self.inner.action.saga_executor().counters();
         AgentStats {
             eca_commands: self.inner.eca_commands.load(Ordering::Relaxed),
             notifications: self.inner.notifications.load(Ordering::Relaxed),
@@ -454,6 +479,12 @@ impl EcaAgent {
             wal_checkpoints: server.wal_checkpoints,
             wal_records_replayed: server.wal_records_replayed,
             wal_torn_tail: server.wal_torn_tail,
+            sagas_started: saga.started.load(Ordering::Relaxed),
+            sagas_committed: saga.committed.load(Ordering::Relaxed),
+            sagas_compensated: saga.compensated.load(Ordering::Relaxed),
+            sagas_resumed: saga.resumed.load(Ordering::Relaxed),
+            saga_steps_executed: saga.steps_executed.load(Ordering::Relaxed),
+            saga_compensations: saga.comps_executed.load(Ordering::Relaxed),
         }
     }
 
@@ -571,6 +602,7 @@ impl EcaAgent {
         let primitives = self.inner.persist.load_primitives()?;
         let composites = self.inner.persist.load_composites()?;
         let triggers = self.inner.persist.load_triggers()?;
+        let mut saga_steps = self.inner.persist.load_saga_steps()?;
         // Validate the enum columns up front: a corrupted system-table row
         // must fail recovery loudly, not silently fall back to the default
         // coupling/context and change rule semantics.
@@ -649,6 +681,17 @@ impl EcaAgent {
                 )
                 .map_err(|e| AgentError::Recovery(e.to_string()))?;
             }
+            let saga = saga_steps.remove(&t.name).map(|steps| {
+                Arc::new(SagaSpec {
+                    steps: steps
+                        .into_iter()
+                        .map(|s| SagaStep {
+                            proc: s.step_proc,
+                            compensation: s.comp_proc,
+                        })
+                        .collect(),
+                })
+            });
             registry.add_trigger(TriggerInfo {
                 name: t.name.clone(),
                 event: t.event.clone(),
@@ -657,7 +700,97 @@ impl EcaAgent {
                 coupling,
                 context,
                 priority: t.priority,
+                saga,
             })?;
+        }
+        Ok(())
+    }
+
+    /// Re-seed the in-memory dead-letter queue from `SysDeadLetter` so
+    /// `\requeue` works across process lives, not just within one.
+    fn recover_dead_letters(&self) -> Result<()> {
+        let rows = self.inner.persist.load_dead_letters()?;
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let mut letters = Vec::with_capacity(rows.len());
+        for r in rows {
+            let coupling = parse_recovered_coupling(&r.coupling, &r.trigger)?;
+            let context = parse_recovered_context(&r.context, "SysDeadLetter", &r.trigger)?;
+            let params = crate::saga::decode_params(&r.event, &r.params);
+            let saga = self
+                .inner
+                .registry
+                .lock()
+                .trigger(&r.trigger)
+                .and_then(|t| t.saga.clone());
+            letters.push(DeadLetter {
+                request: ActionRequest {
+                    proc_name: r.proc_name,
+                    event: r.event,
+                    context,
+                    rule: r.trigger,
+                    occurrence: Occurrence::point("", 0, params),
+                    saga,
+                },
+                coupling,
+                error: r.error,
+                attempts: r.attempts as u32,
+            });
+        }
+        self.inner.action.seed_dead_letters(letters);
+        Ok(())
+    }
+
+    /// Scan `SysSagaJournal` for sagas left in flight by a crash and settle
+    /// each one deterministically: resume forward if every journaled step
+    /// succeeded so far, compensate backward if a forward step failed.
+    /// Outcomes land in the async-outcome mailbox.
+    fn recover_sagas(&self) -> Result<()> {
+        let journal = self.inner.persist.load_saga_journal()?;
+        if journal.is_empty() {
+            return Ok(());
+        }
+        // Group by saga key, preserving first-seen (journal append) order.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: std::collections::HashMap<String, Vec<SagaJournalRow>> =
+            std::collections::HashMap::new();
+        for row in journal {
+            if !groups.contains_key(&row.key) {
+                order.push(row.key.clone());
+            }
+            groups.entry(row.key.clone()).or_default().push(row);
+        }
+        let mut outcomes = Vec::new();
+        for key in order {
+            let rows = &groups[&key];
+            if matches!(plan_from_journal(rows), SagaPlan::Settled { .. }) {
+                continue;
+            }
+            let first = &rows[0];
+            let (spec, coupling) = {
+                let registry = self.inner.registry.lock();
+                match registry.trigger(&first.rule) {
+                    Some(t) => match &t.saga {
+                        Some(spec) => (Arc::clone(spec), t.coupling),
+                        // Trigger no longer declares a saga: the journal rows
+                        // are orphans; leave them for inspection.
+                        None => continue,
+                    },
+                    None => continue,
+                }
+            };
+            let outcome = self.inner.action.resume_saga(
+                &first.rule,
+                &first.event,
+                first.vno,
+                &spec,
+                coupling,
+            );
+            outcomes.push(outcome);
+        }
+        if !outcomes.is_empty() {
+            self.inner.async_outcomes.lock().extend(outcomes);
         }
         Ok(())
     }
@@ -1045,16 +1178,31 @@ impl EcaAgent {
         self.inner.listeners.lock().push(listener);
     }
 
+    /// The full saga journal in append order — the `\sagas` inspection
+    /// surface. Each row is one journaled boundary (saga started/settled,
+    /// step done/failed, compensation done).
+    pub fn saga_journal(&self) -> Result<Vec<SagaJournalRow>> {
+        self.inner.persist.load_saga_journal()
+    }
+
+    /// Install (or clear) a crash hook fired at every saga journal
+    /// boundary — the chaos harness uses this to `panic!` the executor at a
+    /// chosen boundary and simulate a process death mid-saga.
+    pub fn set_saga_crash_hook(&self, hook: Option<SagaCrashHook>) {
+        self.inner.action.saga_executor().set_crash_hook(hook);
+    }
+
     fn dispatch(&self, firings: Vec<Firing>, resp: &mut AgentResponse) -> Result<()> {
         for firing in firings {
-            let proc_name = {
+            let (proc_name, saga) = {
                 let registry = self.inner.registry.lock();
                 match registry.trigger(&firing.rule) {
-                    Some(t) => t.proc_name.clone(),
+                    Some(t) => (t.proc_name.clone(), t.saga.clone()),
                     None => continue,
                 }
             };
-            let request = ActionRequest::from_firing(&firing, proc_name);
+            let mut request = ActionRequest::from_firing(&firing, proc_name);
+            request.saga = saga;
             self.inner.actions_executed.fetch_add(1, Ordering::Relaxed);
             match firing.coupling {
                 CouplingMode::Detached => self.inner.action.execute_detached(request),
@@ -1080,6 +1228,25 @@ impl EcaAgent {
 
     fn has_server_table(&self, name: &str) -> bool {
         self.server().inspect(|e| e.database().has_table(name))
+    }
+
+    /// Every step and compensation procedure of a saga must already exist
+    /// in the server — a saga declaration never creates procedures, so a
+    /// typo would otherwise surface only at firing time.
+    fn validate_saga_procs(&self, spec: &SagaSpec) -> Result<()> {
+        for step in &spec.steps {
+            for proc in std::iter::once(&step.proc).chain(step.compensation.as_ref()) {
+                let found = self
+                    .server()
+                    .inspect(|e| e.database().procedure(proc, None).is_some());
+                if !found {
+                    return Err(AgentError::Naming(format!(
+                        "saga step procedure '{proc}' does not exist"
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Resolve an event reference: try the §5.1 expansion first, then the
@@ -1168,16 +1335,31 @@ impl EcaAgent {
             shadow_deleted: naming::shadow_deleted(&event_i),
             version_table: naming::version_table(&event_i),
         };
-        let proc_name = naming::action_proc(&trigger_i);
+        // Saga action bodies declare step/compensation procedures instead of
+        // inline SQL: no action procedure is generated, and the trigger is
+        // always LED-routed (the agent must journal each step).
+        let saga_spec = SagaSpec::parse_action(action, &|n| naming::internal(ctx, n))?;
+        if let Some(spec) = &saga_spec {
+            self.validate_saga_procs(spec)?;
+        }
+        let proc_name = if saga_spec.is_some() {
+            String::new()
+        } else {
+            naming::action_proc(&trigger_i)
+        };
         // Rewrite TableName.inserted/.deleted context accessors.
-        let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
-            self.resolve_table(t, ctx)
-                .unwrap_or_else(|_| naming::internal(ctx, t))
-        });
+        let (rewritten, refs) = if saga_spec.is_some() {
+            (String::new(), Vec::new())
+        } else {
+            codegen::rewrite_context_refs(action, |t| {
+                self.resolve_table(t, ctx)
+                    .unwrap_or_else(|_| naming::internal(ctx, t))
+            })
+        };
         // --- install in the server (Figure 3 step 5), via the gateway.
         // On any failure, roll the already-installed artifacts back so the
         // command can be retried after the user fixes it.
-        let kind = if clauses.coupling == CouplingMode::Immediate {
+        let kind = if saga_spec.is_none() && clauses.coupling == CouplingMode::Immediate {
             TriggerKind::Native
         } else {
             TriggerKind::Led
@@ -1186,13 +1368,15 @@ impl EcaAgent {
             self.inner
                 .gateway
                 .internal(&codegen::primitive_event_setup(&info, table), ctx)?;
-            for r in &refs {
-                self.ensure_tmp_table(r, &info, ctx)?;
+            if saga_spec.is_none() {
+                for r in &refs {
+                    self.ensure_tmp_table(r, &info, ctx)?;
+                }
+                self.inner.gateway.internal(
+                    &codegen::native_action_proc(&proc_name, &info, &refs, &rewritten),
+                    ctx,
+                )?;
             }
-            self.inner.gateway.internal(
-                &codegen::native_action_proc(&proc_name, &info, &refs, &rewritten),
-                ctx,
-            )?;
             let immediate_procs = if kind == TriggerKind::Native {
                 vec![proc_name.clone()]
             } else {
@@ -1246,6 +1430,11 @@ impl EcaAgent {
                 "led"
             },
         ))?;
+        if let Some(spec) = &saga_spec {
+            self.inner
+                .persist
+                .run(&persist_saga_steps_sql(&trigger_i, spec))?;
+        }
         // A fresh event starts with watermark 0 (no occurrences raised).
         self.inner.persist.save_watermark(&event_i, 0)?;
         self.inner.tracker.lock().seed_event(&event_i, 0);
@@ -1272,6 +1461,7 @@ impl EcaAgent {
                 coupling: clauses.coupling,
                 context: clauses.context,
                 priority: clauses.priority,
+                saga: saga_spec.map(Arc::new),
             })?;
         }
         let mut resp = AgentResponse::default();
@@ -1326,11 +1516,23 @@ impl EcaAgent {
             .lock()
             .define_composite(&event_i, &expr_internal, clauses.context)?;
         let result = (|| -> Result<AgentResponse> {
-            let proc_name = naming::action_proc(&trigger_i);
-            let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
-                self.resolve_table(t, ctx)
-                    .unwrap_or_else(|_| naming::internal(ctx, t))
-            });
+            let saga_spec = SagaSpec::parse_action(action, &|n| naming::internal(ctx, n))?;
+            if let Some(spec) = &saga_spec {
+                self.validate_saga_procs(spec)?;
+            }
+            let proc_name = if saga_spec.is_some() {
+                String::new()
+            } else {
+                naming::action_proc(&trigger_i)
+            };
+            let (rewritten, refs) = if saga_spec.is_some() {
+                (String::new(), Vec::new())
+            } else {
+                codegen::rewrite_context_refs(action, |t| {
+                    self.resolve_table(t, ctx)
+                        .unwrap_or_else(|_| naming::internal(ctx, t))
+                })
+            };
             // Context sources: shadows of the transitive primitive
             // constituents matching each referenced (table, kind). The new
             // composite is not in the registry yet, so walk from its
@@ -1369,10 +1571,12 @@ impl EcaAgent {
             for r in &refs {
                 self.ensure_tmp_from_refs(r, ctx)?;
             }
-            self.inner.gateway.internal(
-                &codegen::led_action_proc(&proc_name, clauses.context, &sources, &rewritten),
-                ctx,
-            )?;
+            if saga_spec.is_none() {
+                self.inner.gateway.internal(
+                    &codegen::led_action_proc(&proc_name, clauses.context, &sources, &rewritten),
+                    ctx,
+                )?;
+            }
             self.inner.persist.run(&codegen::persist_composite_sql(
                 &ctx.database,
                 &ctx.user,
@@ -1393,6 +1597,11 @@ impl EcaAgent {
                 clauses.priority,
                 "led",
             ))?;
+            if let Some(spec) = &saga_spec {
+                self.inner
+                    .persist
+                    .run(&persist_saga_steps_sql(&trigger_i, spec))?;
+            }
             self.inner.led.lock().add_rule(
                 RuleSpec::new(&trigger_i, &event_i)
                     .with_coupling(clauses.coupling)
@@ -1412,6 +1621,7 @@ impl EcaAgent {
                 coupling: clauses.coupling,
                 context: clauses.context,
                 priority: clauses.priority,
+                saga: saga_spec.map(Arc::new),
             })?;
             let mut resp = AgentResponse::default();
             resp.messages.push(format!(
@@ -1446,14 +1656,26 @@ impl EcaAgent {
                 )));
             }
         }
-        let proc_name = naming::action_proc(&trigger_i);
-        let (rewritten, refs) = codegen::rewrite_context_refs(action, |t| {
-            self.resolve_table(t, ctx)
-                .unwrap_or_else(|_| naming::internal(ctx, t))
-        });
+        let saga_spec = SagaSpec::parse_action(action, &|n| naming::internal(ctx, n))?;
+        if let Some(spec) = &saga_spec {
+            self.validate_saga_procs(spec)?;
+        }
+        let proc_name = if saga_spec.is_some() {
+            String::new()
+        } else {
+            naming::action_proc(&trigger_i)
+        };
+        let (rewritten, refs) = if saga_spec.is_some() {
+            (String::new(), Vec::new())
+        } else {
+            codegen::rewrite_context_refs(action, |t| {
+                self.resolve_table(t, ctx)
+                    .unwrap_or_else(|_| naming::internal(ctx, t))
+            })
+        };
         let primitive_info = self.inner.registry.lock().primitive(&event_i).cloned();
         let kind = match (&primitive_info, clauses.coupling) {
-            (Some(_), CouplingMode::Immediate) => TriggerKind::Native,
+            (Some(_), CouplingMode::Immediate) if saga_spec.is_none() => TriggerKind::Native,
             _ => TriggerKind::Led,
         };
         match kind {
@@ -1518,10 +1740,12 @@ impl EcaAgent {
                         .map(|c| c.context)
                         .unwrap_or(clauses.context)
                 };
-                self.inner.gateway.internal(
-                    &codegen::led_action_proc(&proc_name, context, &sources, &rewritten),
-                    ctx,
-                )?;
+                if saga_spec.is_none() {
+                    self.inner.gateway.internal(
+                        &codegen::led_action_proc(&proc_name, context, &sources, &rewritten),
+                        ctx,
+                    )?;
+                }
                 self.inner.led.lock().add_rule(
                     RuleSpec::new(&trigger_i, &event_i)
                         .with_coupling(clauses.coupling)
@@ -1544,6 +1768,11 @@ impl EcaAgent {
                 "led"
             },
         ))?;
+        if let Some(spec) = &saga_spec {
+            self.inner
+                .persist
+                .run(&persist_saga_steps_sql(&trigger_i, spec))?;
+        }
         self.inner.registry.lock().add_trigger(TriggerInfo {
             name: trigger_i.clone(),
             event: event_i.clone(),
@@ -1552,6 +1781,7 @@ impl EcaAgent {
             coupling: clauses.coupling,
             context: clauses.context,
             priority: clauses.priority,
+            saga: saga_spec.map(Arc::new),
         })?;
         let mut resp = AgentResponse::default();
         resp.messages.push(format!(
@@ -1698,9 +1928,15 @@ impl EcaAgent {
                 self.regenerate_native_trigger(&primitive, ctx, &procs)?;
             }
         }
-        self.inner
-            .gateway
-            .internal(&format!("drop procedure {}", info.proc_name), ctx)?;
+        if info.saga.is_none() {
+            // Saga triggers own no generated action procedure; their step
+            // procedures belong to the user and stay.
+            self.inner
+                .gateway
+                .internal(&format!("drop procedure {}", info.proc_name), ctx)?;
+        } else {
+            self.inner.persist.delete_saga_steps(&info.name)?;
+        }
         self.inner.persist.delete_trigger_row(&info.name)?;
         self.inner.registry.lock().remove_trigger(&info.name);
         let mut resp = AgentResponse::default();

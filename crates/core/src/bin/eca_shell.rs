@@ -19,6 +19,7 @@
 //! - `\drain` / `\resume` — quiesce the service / accept statements again
 //! - `\deadletters` — inspect the action dead-letter queue
 //! - `\requeue` — re-execute everything in the dead-letter queue
+//! - `\sagas` — inspect the saga journal (step/compensation history)
 //! - `\quit`
 //!
 //! Demo state (a `stock` table and the paper's Example 1/2 rules) is
@@ -127,7 +128,7 @@ fn handle_meta(meta: &str, agent: &EcaAgent, service: &dyn ActiveService) -> boo
         "help" => {
             println!(
                 "\\events  \\triggers  \\describe <event>  \\advance <seconds>  \\stats  \
-                 \\checkpoint  \\drain  \\resume  \\deadletters  \\requeue  \\quit"
+                 \\checkpoint  \\drain  \\resume  \\deadletters  \\requeue  \\sagas  \\quit"
             );
         }
         "events" => {
@@ -183,6 +184,16 @@ fn handle_meta(meta: &str, agent: &EcaAgent, service: &dyn ActiveService) -> boo
             println!(
                 "  actions: {} retries, {} dead-lettered",
                 s.retries, s.dead_lettered
+            );
+            println!(
+                "  sagas: {} started, {} committed, {} compensated, {} resumed \
+                 ({} step(s), {} compensation(s) run)",
+                s.sagas_started,
+                s.sagas_committed,
+                s.sagas_compensated,
+                s.sagas_resumed,
+                s.saga_steps_executed,
+                s.saga_compensations
             );
             if let Some(c) = agent.channel_fault_counts() {
                 println!(
@@ -255,6 +266,20 @@ fn handle_meta(meta: &str, agent: &EcaAgent, service: &dyn ActiveService) -> boo
                 );
             }
         }
+        "sagas" => match agent.saga_journal() {
+            Ok(rows) => {
+                if rows.is_empty() {
+                    println!("  saga journal is empty");
+                }
+                for r in &rows {
+                    println!(
+                        "  {} [{}] {} step {} -> {} ({})",
+                        r.key, r.phase, r.rule, r.step, r.state, r.idem
+                    );
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        },
         "requeue" => {
             let outcomes = agent.requeue_dead_letters();
             let failed = outcomes.iter().filter(|o| o.result.is_err()).count();

@@ -76,6 +76,37 @@ pub fn system_tables_ddl() -> Vec<(&'static str, String)> {
              create hash index ix_SysAgentWatermark_event on SysAgentWatermark (eventName)"
                 .to_string(),
         ),
+        (
+            "SysSagaStep",
+            "create table SysSagaStep (\
+             triggerName varchar(120) not null, stepIdx int not null, \
+             stepProc varchar(160) not null, compProc varchar(160) null)\n\
+             create hash index ix_SysSagaStep_trigger on SysSagaStep (triggerName)"
+                .to_string(),
+        ),
+        (
+            "SysSagaJournal",
+            // Deliberately no timestamp column: a saga resumed after a
+            // crash must journal byte-identically to an uninterrupted run
+            // (DESIGN.md §12), and post-recovery clock values differ.
+            "create table SysSagaJournal (\
+             sagaKey varchar(200) not null, triggerName varchar(120) not null, \
+             eventName varchar(120) not null, vNo int not null, \
+             stepIdx int not null, phase char(8) not null, \
+             state char(12) not null, idemKey varchar(240) not null)\n\
+             create hash index ix_SysSagaJournal_key on SysSagaJournal (sagaKey)"
+                .to_string(),
+        ),
+        (
+            "SysDeadLetter",
+            "create table SysDeadLetter (\
+             triggerName varchar(120) not null, eventName varchar(120) not null, \
+             procName varchar(160) not null, coupling char(10) not null, \
+             context char(12) not null, vNo int not null, attempts int not null, \
+             errorText text not null, params text not null)\n\
+             create hash index ix_SysDeadLetter_trigger on SysDeadLetter (triggerName)"
+                .to_string(),
+        ),
     ]
 }
 

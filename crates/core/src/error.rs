@@ -26,6 +26,11 @@ pub enum EcaError {
     Naming(String),
     /// Recovery failed (corrupt or cyclic persisted state).
     Recovery(String),
+    /// A saga step or compensation failed (declaration, journal, or
+    /// recovery-time resumption problems). Distinct from plain `Sql` so
+    /// wire clients can tell "saga compensated/parked" from "action
+    /// dead-lettered".
+    Saga(String),
     /// The service is draining or shut down and rejects new work.
     Unavailable(String),
 }
@@ -51,6 +56,8 @@ pub enum EcaErrorKind {
     Naming,
     /// Persisted-state recovery.
     Recovery,
+    /// Saga step/compensation execution.
+    Saga,
     /// Service draining / shut down.
     Unavailable,
     /// Storage-layer failure (WAL append/fsync, snapshot I/O). The server
@@ -68,6 +75,7 @@ impl EcaErrorKind {
             EcaErrorKind::Sql => "SQL",
             EcaErrorKind::Naming => "NAMING",
             EcaErrorKind::Recovery => "RECOVERY",
+            EcaErrorKind::Saga => "SAGA",
             EcaErrorKind::Unavailable => "UNAVAILABLE",
             EcaErrorKind::Io => "IO",
         }
@@ -82,6 +90,7 @@ impl EcaErrorKind {
             "SQL" => EcaErrorKind::Sql,
             "NAMING" => EcaErrorKind::Naming,
             "RECOVERY" => EcaErrorKind::Recovery,
+            "SAGA" => EcaErrorKind::Saga,
             "UNAVAILABLE" => EcaErrorKind::Unavailable,
             "IO" => EcaErrorKind::Io,
             _ => return None,
@@ -108,6 +117,7 @@ impl EcaError {
             EcaError::Sql(_) => EcaErrorKind::Sql,
             EcaError::Naming(_) => EcaErrorKind::Naming,
             EcaError::Recovery(_) => EcaErrorKind::Recovery,
+            EcaError::Saga(_) => EcaErrorKind::Saga,
             EcaError::Unavailable(_) => EcaErrorKind::Unavailable,
         }
     }
@@ -127,6 +137,7 @@ impl fmt::Display for EcaError {
             EcaError::Sql(e) => write!(f, "SQL error: {e}"),
             EcaError::Naming(m) => write!(f, "naming error: {m}"),
             EcaError::Recovery(m) => write!(f, "recovery error: {m}"),
+            EcaError::Saga(m) => write!(f, "saga error: {m}"),
             EcaError::Unavailable(m) => write!(f, "service unavailable: {m}"),
         }
     }
@@ -185,6 +196,9 @@ mod tests {
         assert!(EcaError::Recovery("r".into())
             .to_string()
             .contains("recovery"));
+        assert!(EcaError::Saga("rolled back".into())
+            .to_string()
+            .contains("saga"));
         assert!(EcaError::Unavailable("drained".into())
             .to_string()
             .contains("unavailable"));
@@ -225,6 +239,11 @@ mod tests {
                 EcaError::Recovery("r".into()),
                 EcaErrorKind::Recovery,
                 "RECOVERY",
+            ),
+            (
+                EcaError::Saga("comp failed".into()),
+                EcaErrorKind::Saga,
+                "SAGA",
             ),
             (
                 EcaError::Unavailable("d".into()),

@@ -50,6 +50,7 @@ pub mod notifier;
 pub mod persist;
 pub mod registry;
 pub mod reliability;
+pub mod saga;
 pub mod service;
 
 pub use action::{
@@ -68,4 +69,8 @@ pub use persist::PersistentManager;
 pub use registry::{Registry, TriggerKind};
 pub use reliability::{Admission, ReliabilityTracker};
 pub use relsql::notify::FaultPlan;
+pub use saga::{
+    plan_from_journal, saga_key, SagaBoundary, SagaCrashHook, SagaDisposition, SagaJournalRow,
+    SagaPlan, SagaSpec, SagaStep,
+};
 pub use service::{ActiveService, DrainReport};

@@ -2,18 +2,24 @@
 //!
 //! Runs over its own high-privilege connection to the SQL server and owns
 //! the agent's system tables (`SysPrimitiveEvent`, `SysCompositeEvent`,
-//! `SysEcaTrigger`, `sysContext`, `SysAgentWatermark`). All ECA rules are
-//! persisted through here and restored from here when the agent starts
-//! over an existing database; the watermark table additionally records,
-//! per event, the highest occurrence number the agent has raised, so a
-//! restarted agent can replay occurrences it missed while down.
+//! `SysEcaTrigger`, `sysContext`, `SysAgentWatermark`, `SysSagaStep`,
+//! `SysSagaJournal`, `SysDeadLetter`). All ECA rules are persisted through
+//! here and restored from here when the agent starts over an existing
+//! database; the watermark table additionally records, per event, the
+//! highest occurrence number the agent has raised, so a restarted agent
+//! can replay occurrences it missed while down. The saga tables record
+//! step lists and the per-instance execution journal (DESIGN.md §12);
+//! the dead-letter table mirrors the action handler's queue so parked
+//! actions survive a cold restart.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use relsql::{BatchResult, Session, SqlServer, Value};
 
 use crate::codegen::{sql_quote, system_tables_ddl};
 use crate::error::{AgentError, Result};
+use crate::saga::SagaJournalRow;
 
 /// A `SysPrimitiveEvent` row, decoded.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +56,29 @@ pub struct PersistedTrigger {
     pub context: String,
     pub priority: i32,
     pub kind: String,
+}
+
+/// A `SysSagaStep` row, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedSagaStep {
+    pub trigger: String,
+    pub step_idx: i64,
+    pub step_proc: String,
+    pub comp_proc: Option<String>,
+}
+
+/// A `SysDeadLetter` row, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedDeadLetter {
+    pub trigger: String,
+    pub event: String,
+    pub proc_name: String,
+    pub coupling: String,
+    pub context: String,
+    pub vno: i64,
+    pub attempts: i64,
+    pub error: String,
+    pub params: String,
 }
 
 /// The Persistent Manager.
@@ -317,6 +346,85 @@ impl PersistentManager {
             })
             .collect()
     }
+
+    /// Load every trigger's persisted saga step list, keyed by trigger
+    /// name, each list in step order.
+    pub fn load_saga_steps(&self) -> Result<HashMap<String, Vec<PersistedSagaStep>>> {
+        let r = self.run(
+            "select triggerName, stepIdx, stepProc, compProc \
+             from SysSagaStep order by triggerName, stepIdx",
+        )?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(HashMap::new()),
+        };
+        let mut out: HashMap<String, Vec<PersistedSagaStep>> = HashMap::new();
+        for row in rows {
+            let step = PersistedSagaStep {
+                trigger: str_at(row, 0)?,
+                step_idx: int_at(row, 1)?,
+                step_proc: str_at(row, 2)?,
+                comp_proc: match row.get(3) {
+                    Some(Value::Null) | None => None,
+                    _ => Some(str_at(row, 3)?),
+                },
+            };
+            out.entry(step.trigger.clone()).or_default().push(step);
+        }
+        Ok(out)
+    }
+
+    pub fn delete_saga_steps(&self, trigger: &str) -> Result<()> {
+        self.run(&format!(
+            "delete SysSagaStep where triggerName = {}",
+            sql_quote(trigger)
+        ))?;
+        Ok(())
+    }
+
+    /// The full saga journal, in insertion order (recovery groups it by
+    /// saga key itself).
+    pub fn load_saga_journal(&self) -> Result<Vec<SagaJournalRow>> {
+        let r = self.run(
+            "select sagaKey, triggerName, eventName, vNo, stepIdx, phase, state, idemKey \
+             from SysSagaJournal",
+        )?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(Vec::new()),
+        };
+        Ok(rows
+            .iter()
+            .filter_map(|r| SagaJournalRow::decode(r))
+            .collect())
+    }
+
+    /// The durable dead-letter mirror, in insertion order.
+    pub fn load_dead_letters(&self) -> Result<Vec<PersistedDeadLetter>> {
+        let r = self.run(
+            "select triggerName, eventName, procName, coupling, context, \
+             vNo, attempts, errorText, params from SysDeadLetter",
+        )?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(Vec::new()),
+        };
+        rows.iter()
+            .map(|row| {
+                Ok(PersistedDeadLetter {
+                    trigger: str_at(row, 0)?,
+                    event: str_at(row, 1)?,
+                    proc_name: str_at(row, 2)?,
+                    coupling: str_at(row, 3)?,
+                    context: str_at(row, 4)?,
+                    vno: int_at(row, 5)?,
+                    attempts: int_at(row, 6)?,
+                    error: str_at(row, 7)?,
+                    params: str_at(row, 8)?,
+                })
+            })
+            .collect()
+    }
 }
 
 fn str_at(row: &[Value], i: usize) -> Result<String> {
@@ -344,10 +452,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ensure_creates_all_five_tables_idempotently() {
+    fn ensure_creates_all_eight_tables_idempotently() {
         let server = SqlServer::new();
         let pm = PersistentManager::new(&server);
-        assert_eq!(pm.ensure_system_tables().unwrap(), 5);
+        assert_eq!(pm.ensure_system_tables().unwrap(), 8);
         assert_eq!(pm.ensure_system_tables().unwrap(), 0);
         for t in [
             "SysPrimitiveEvent",
@@ -355,9 +463,63 @@ mod tests {
             "SysEcaTrigger",
             "sysContext",
             "SysAgentWatermark",
+            "SysSagaStep",
+            "SysSagaJournal",
+            "SysDeadLetter",
         ] {
             assert!(server.inspect(|e| e.database().has_table(t)), "{t}");
         }
+    }
+
+    #[test]
+    fn saga_steps_roundtrip_grouped_and_ordered() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        pm.run(
+            "insert SysSagaStep values ('db.u.t1', 1, 'db.u.p2', null)\n\
+             insert SysSagaStep values ('db.u.t1', 0, 'db.u.p1', 'db.u.c1')\n\
+             insert SysSagaStep values ('db.u.t2', 0, 'db.u.q1', null)",
+        )
+        .unwrap();
+        let steps = pm.load_saga_steps().unwrap();
+        assert_eq!(steps.len(), 2);
+        let t1 = &steps["db.u.t1"];
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1[0].step_idx, 0, "ordered by stepIdx");
+        assert_eq!(t1[0].comp_proc.as_deref(), Some("db.u.c1"));
+        assert_eq!(t1[1].comp_proc, None);
+        pm.delete_saga_steps("db.u.t1").unwrap();
+        assert_eq!(pm.load_saga_steps().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn saga_journal_and_dead_letters_roundtrip() {
+        let server = SqlServer::new();
+        let pm = PersistentManager::new(&server);
+        pm.ensure_system_tables().unwrap();
+        pm.run(
+            "insert SysSagaJournal values \
+             ('db.u.t#3', 'db.u.t', 'db.u.e', 3, -1, 'saga', 'started', 'db.u.t#3/saga-1')",
+        )
+        .unwrap();
+        let journal = pm.load_saga_journal().unwrap();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal[0].key, "db.u.t#3");
+        assert_eq!(journal[0].step, -1);
+        // char() padding is trimmed on load.
+        assert_eq!(journal[0].phase, "saga");
+        assert_eq!(journal[0].state, "started");
+        pm.run(
+            "insert SysDeadLetter values \
+             ('db.u.t', 'db.u.e', 'db.u.p', 'IMMEDIATE', 'RECENT', 3, 2, 'boom', 's,3,1')",
+        )
+        .unwrap();
+        let letters = pm.load_dead_letters().unwrap();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].coupling, "IMMEDIATE");
+        assert_eq!(letters[0].vno, 3);
+        assert_eq!(letters[0].params, "s,3,1");
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! rebuilt from those tables on recovery.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use led::{CouplingMode, ParameterContext};
 use relsql::ast::TriggerOp;
 
 use crate::error::{AgentError, Result};
+use crate::saga::SagaSpec;
 
 /// A primitive event: a (table, operation) pair with named, reusable
 /// identity (the thing native Sybase cannot do — §2.2).
@@ -78,6 +80,11 @@ pub struct TriggerInfo {
     pub coupling: CouplingMode,
     pub context: ParameterContext,
     pub priority: i32,
+    /// When the action is a saga, its ordered step/compensation list
+    /// (DESIGN.md §12); `None` for single-procedure actions. Saga-valued
+    /// triggers are always [`TriggerKind::Led`] — the executor owns the
+    /// journal protocol, so the action is never embedded natively.
+    pub saga: Option<Arc<SagaSpec>>,
 }
 
 /// The registry proper.
@@ -278,6 +285,7 @@ mod tests {
             coupling: CouplingMode::Immediate,
             context: ParameterContext::Recent,
             priority,
+            saga: None,
         }
     }
 

@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eca_core::service::{ActiveService, DrainReport};
-use eca_core::AgentResponse;
+use eca_core::{AgentResponse, SagaDisposition};
 use parking_lot::Mutex;
 use relsql::SessionCtx;
 
@@ -336,6 +336,25 @@ fn render_exec(resp: &AgentResponse) -> Response {
                 text.push_str(&format!("[{}] action error: {e}\n", action.rule));
             }
         }
+        match action.saga {
+            Some(SagaDisposition::Compensated {
+                failed_step,
+                compensations,
+            }) => {
+                text.push_str(&format!(
+                    "[{}] saga compensated: step {failed_step} failed, \
+                     {compensations} compensation(s) applied\n",
+                    action.rule
+                ));
+            }
+            Some(SagaDisposition::Parked { failed_step }) => {
+                text.push_str(&format!(
+                    "[{}] saga parked at step {failed_step}: dead-lettered for requeue\n",
+                    action.rule
+                ));
+            }
+            _ => {}
+        }
     }
     Response::Exec {
         actions: resp.actions.len() as u64,
@@ -382,6 +401,12 @@ fn stats_response(
         ("wal_checkpoints", a.wal_checkpoints),
         ("wal_records_replayed", a.wal_records_replayed),
         ("wal_torn_tail", a.wal_torn_tail),
+        ("sagas_started", a.sagas_started),
+        ("sagas_committed", a.sagas_committed),
+        ("sagas_compensated", a.sagas_compensated),
+        ("sagas_resumed", a.sagas_resumed),
+        ("saga_steps_executed", a.saga_steps_executed),
+        ("saga_compensations", a.saga_compensations),
         ("sessions_opened", s.sessions_opened),
         ("sessions_active", s.sessions_active),
         ("sessions_rejected", s.sessions_rejected),

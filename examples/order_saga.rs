@@ -1,0 +1,110 @@
+//! Transactional action sagas (DESIGN.md §12): an order-fulfillment rule
+//! whose action is a journaled step/compensation pipeline.
+//!
+//! ```text
+//! cargo run --example order_saga
+//! ```
+//!
+//! The trigger's action declares three steps — reserve inventory, charge
+//! the card, ship — with compensations for the first two. Every step runs
+//! as one server batch together with its `SysSagaJournal` row, so a replay
+//! or retry never double-applies; when a step fails, the applied steps are
+//! compensated in reverse order and the saga settles as `compensated`.
+
+use std::sync::Arc;
+
+use eca_core::{EcaAgent, SagaDisposition};
+use relsql::SqlServer;
+
+fn main() {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let client = agent.client("shopdb", "ops");
+
+    for sql in [
+        "create table orders (id int, status varchar(10))",
+        "create table inventory (item varchar(10), qty int)",
+        "create table payments (oid int, amount int)",
+        "create table shipments (oid int)",
+        "insert inventory values ('widget', 5)",
+        // Step and compensation procedures are ordinary user procedures,
+        // created under their internal (db.user.name) names.
+        "create procedure shopdb.ops.p_reserve as \
+         update inventory set qty = qty - 1 where item = 'widget'",
+        "create procedure shopdb.ops.c_release as \
+         update inventory set qty = qty + 1 where item = 'widget'",
+        "create procedure shopdb.ops.p_charge as insert payments values (1, 100)",
+        "create procedure shopdb.ops.c_refund as delete payments",
+        "create procedure shopdb.ops.p_ship as insert shipments values (1)",
+    ] {
+        client.execute(sql).unwrap();
+    }
+
+    client
+        .execute(
+            "create trigger t_order on orders for insert event newOrder as saga \
+             step p_reserve compensate c_release \
+             step p_charge compensate c_refund \
+             step p_ship",
+        )
+        .unwrap();
+
+    println!("== A clean order: all three steps commit ==");
+    let resp = client.execute("insert orders values (1, 'new')").unwrap();
+    for a in &resp.actions {
+        println!("  rule {} on {}: {:?}", a.rule, a.event, a.saga);
+    }
+
+    println!("\n== Shipping goes down: the saga compensates ==");
+    agent.set_action_fault_injector(Some(Arc::new(|req, _| {
+        if req.proc_name.ends_with("p_ship") {
+            Some("shipping service unreachable".into())
+        } else {
+            None
+        }
+    })));
+    let resp = client.execute("insert orders values (2, 'new')").unwrap();
+    for a in &resp.actions {
+        match a.saga {
+            Some(SagaDisposition::Compensated {
+                failed_step,
+                compensations,
+            }) => println!(
+                "  rule {}: step {failed_step} failed, {compensations} compensation(s) \
+                 rolled the order back",
+                a.rule
+            ),
+            other => println!("  rule {}: {other:?}", a.rule),
+        }
+    }
+
+    let qty = client.execute("select qty from inventory").unwrap();
+    println!("\n== Net state ==");
+    println!(
+        "  inventory qty: {:?} (one reserved, one released)",
+        qty.server.scalar()
+    );
+    let pay = client.execute("select count(*) from payments").unwrap();
+    println!(
+        "  payments:      {:?} (second charge refunded)",
+        pay.server.scalar()
+    );
+
+    println!("\n== The journal is just a table ==");
+    for row in agent.saga_journal().unwrap() {
+        println!(
+            "  {} [{}] step {} -> {} ({})",
+            row.key, row.phase, row.step, row.state, row.idem
+        );
+    }
+
+    let s = agent.stats();
+    println!(
+        "\n  sagas: {} started, {} committed, {} compensated; {} step(s), {} compensation(s)",
+        s.sagas_started,
+        s.sagas_committed,
+        s.sagas_compensated,
+        s.saga_steps_executed,
+        s.saga_compensations
+    );
+}

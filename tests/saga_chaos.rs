@@ -1,0 +1,268 @@
+//! Crash-point chaos for sagas (EXPERIMENTS.md E15): kill the process at
+//! **every** journal boundary a saga run crosses and prove the recovered
+//! state is byte-identical to an uninterrupted run — exactly-one net
+//! application of every step and compensation.
+//!
+//! Harness shape:
+//!   1. A reference run (no crashes) executes the workload on a durable
+//!      server and counts the saga boundaries crossed via the crash hook.
+//!   2. For each boundary `k`: a fresh durable server runs the same
+//!      workload with a hook that panics at the k-th boundary (simulated
+//!      process death, caught with `catch_unwind`), the storage is cut to
+//!      its fsynced prefix, and a cold-started agent recovers — settling
+//!      in-flight sagas from the journal before watermark replay re-raises
+//!      their occurrences. The remaining workload then runs and the full
+//!      table dump must equal the reference byte for byte.
+//!
+//! The workload crosses both saga fates: one saga commits, one fails a
+//! step *inside SQL* (its procedure references a missing table, so the
+//! failure is deterministic in every life) and compensates.
+//!
+//! `SAGA_CHAOS_STRIDE=n` tests every n-th boundary (CI smoke); default 1.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use eca_core::EcaAgent;
+use relsql::{FaultyStorage, SqlServer};
+
+/// The injected crashes panic on purpose, dozens of times per run; keep
+/// their backtrace spam out of the test output while letting every other
+/// panic (a real assertion failure) print as usual.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("saga chaos:") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn durable_server(storage: &Arc<FaultyStorage>) -> Arc<SqlServer> {
+    let storage: Arc<dyn relsql::Storage> = storage.clone();
+    SqlServer::open_with_storage(
+        storage,
+        relsql::DurabilityConfig {
+            fsync: relsql::FsyncPolicy::Always,
+            checkpoint_bytes: 0,
+        },
+        relsql::EngineConfig::default(),
+    )
+    .expect("open durable server")
+}
+
+fn setup_schema(agent: &EcaAgent) {
+    let client = agent.client("db", "u");
+    for sql in [
+        "create table orders (id int)",
+        "create table txns (id int)",
+        "create table holds (txn int)",
+        "create table inventory (item varchar(10), qty int)",
+        "create table payments (oid int, amount int)",
+        "create table shipments (oid int)",
+        "insert inventory values ('widget', 10)",
+        "create procedure db.u.p_reserve as \
+         update inventory set qty = qty - 1 where item = 'widget'",
+        "create procedure db.u.c_release as \
+         update inventory set qty = qty + 1 where item = 'widget'",
+        "create procedure db.u.p_charge as insert payments values (1, 100)",
+        "create procedure db.u.c_refund as delete payments",
+        "create procedure db.u.p_ship as insert shipments values (1)",
+        "create procedure db.u.p_hold as insert holds values (1)",
+        "create procedure db.u.c_unhold as delete holds",
+        // Deterministic failure: fraud_review never exists, and the error
+        // fires before any mutation, so the step fails identically live,
+        // on WAL replay, and on post-recovery resume.
+        "create procedure db.u.p_review as insert fraud_review values (1)",
+    ] {
+        client.execute(sql).unwrap();
+    }
+    client
+        .execute(
+            "create trigger t_order on orders for insert event newOrder as saga \
+             step p_reserve compensate c_release \
+             step p_charge compensate c_refund \
+             step p_ship",
+        )
+        .unwrap();
+    client
+        .execute(
+            "create trigger t_fraud on txns for insert event bigTxn as saga \
+             step p_hold compensate c_unhold \
+             step p_review",
+        )
+        .unwrap();
+}
+
+/// The workload statements that fire sagas, in order. Each is issued in
+/// its own `catch_unwind` so an injected crash identifies the statement
+/// in flight; statements after the crash run in the recovered life.
+const WORKLOAD: [&str; 2] = [
+    "insert orders values (1)", // saga commits (3 steps)
+    "insert txns values (99)",  // saga fails step 1 in SQL and compensates
+];
+
+/// Canonical dump of every table: names sorted, rows in stored order.
+/// This is the byte-identity witness — it covers the user tables, the
+/// saga journal, the dead-letter table and the agent watermarks alike.
+fn dump(server: &Arc<SqlServer>) -> String {
+    server.inspect(|e| {
+        let db = e.database();
+        let mut out = String::new();
+        for name in db.table_names() {
+            let t = db.table(&name.to_ascii_lowercase()).expect("listed table");
+            out.push_str(&format!("== {name} ==\n"));
+            for row in t.rows().iter() {
+                out.push_str(&format!("{row:?}\n"));
+            }
+        }
+        out
+    })
+}
+
+/// Run the full workload uninterrupted, returning (dump, boundary count).
+fn reference_run() -> (String, usize) {
+    let storage = FaultyStorage::new();
+    let server = durable_server(&storage);
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    setup_schema(&agent);
+    let crossings = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&crossings);
+    agent.set_saga_crash_hook(Some(Arc::new(move |_| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        false
+    })));
+    let client = agent.client("db", "u");
+    for sql in WORKLOAD {
+        client.execute(sql).unwrap();
+    }
+    agent.wait_detached();
+    (dump(&server), crossings.load(Ordering::SeqCst))
+}
+
+#[test]
+fn every_crash_point_recovers_to_exactly_one_net_application() {
+    quiet_injected_panics();
+    let (reference, boundaries) = reference_run();
+    assert!(
+        boundaries >= 15,
+        "the workload should cross many saga boundaries, saw {boundaries}"
+    );
+    let stride: usize = std::env::var("SAGA_CHAOS_STRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+
+    for k in (0..boundaries).step_by(stride) {
+        let storage = FaultyStorage::new();
+
+        // Life 1: run until the k-th boundary kills the "process".
+        let mut completed = 0usize;
+        {
+            let server = durable_server(&storage);
+            let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+            setup_schema(&agent);
+            let crossings = Arc::new(AtomicUsize::new(0));
+            let counter = Arc::clone(&crossings);
+            agent.set_saga_crash_hook(Some(Arc::new(move |_| {
+                counter.fetch_add(1, Ordering::SeqCst) == k
+            })));
+            let client = agent.client("db", "u");
+            let mut crashed = false;
+            for sql in WORKLOAD {
+                match catch_unwind(AssertUnwindSafe(|| client.execute(sql).unwrap())) {
+                    Ok(_) => completed += 1,
+                    Err(_) => {
+                        crashed = true;
+                        break;
+                    }
+                }
+            }
+            assert!(
+                crashed,
+                "boundary {k} of {boundaries} was counted in the reference \
+                 run but never crossed under chaos"
+            );
+            // The process is dead: no drain, no shutdown — the agent is
+            // simply discarded and only fsynced bytes survive.
+        }
+        storage.crash_to_durable();
+
+        // Life 2: cold start. Opening the agent replays the WAL, settles
+        // the in-flight saga from its journal, and replays the watermark
+        // gap; the statement that was in flight is already durable, so it
+        // is NOT re-issued — only the never-issued remainder runs.
+        let server = durable_server(&storage);
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        agent.wait_detached();
+        let client = agent.client("db", "u");
+        for sql in WORKLOAD.iter().skip(completed + 1) {
+            client.execute(sql).unwrap();
+        }
+        agent.wait_detached();
+
+        let recovered = dump(&server);
+        assert_eq!(
+            recovered, reference,
+            "state diverged after crash at boundary {k}/{boundaries}"
+        );
+    }
+}
+
+#[test]
+fn double_cold_restart_after_crash_changes_nothing() {
+    // Crash mid-saga, recover, then cold-restart again: the second
+    // recovery must be a pure no-op (idempotent journal settlement).
+    quiet_injected_panics();
+    let (reference, boundaries) = reference_run();
+    let k = boundaries / 2;
+    let storage = FaultyStorage::new();
+    {
+        let server = durable_server(&storage);
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        setup_schema(&agent);
+        let crossings = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&crossings);
+        agent.set_saga_crash_hook(Some(Arc::new(move |_| {
+            counter.fetch_add(1, Ordering::SeqCst) == k
+        })));
+        let client = agent.client("db", "u");
+        let mut completed = 0usize;
+        for sql in WORKLOAD {
+            match catch_unwind(AssertUnwindSafe(|| client.execute(sql).unwrap())) {
+                Ok(_) => completed += 1,
+                Err(_) => break,
+            }
+        }
+        storage.crash_to_durable();
+        let server = durable_server(&storage);
+        let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+        agent.wait_detached();
+        let client = agent.client("db", "u");
+        for sql in WORKLOAD.iter().skip(completed + 1) {
+            client.execute(sql).unwrap();
+        }
+        agent.wait_detached();
+    }
+    storage.crash_to_durable();
+    let server = durable_server(&storage);
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
+    agent.wait_detached();
+    assert_eq!(
+        dump(&server),
+        reference,
+        "second cold restart re-applied work"
+    );
+    assert_eq!(agent.stats().sagas_resumed, 0, "nothing left in flight");
+}
