@@ -1,0 +1,202 @@
+//! E16 — lock-free MVCC snapshot reads under a concurrent writer: 32
+//! reader clients hammer point selects against one table while a single
+//! writer continuously inserts into the *same* table. Under the old
+//! footprint scheduler every read serialized against the writer's table
+//! lock; with epoch-pinned snapshots the readers never touch the lock
+//! manager, so aggregate read throughput must stay close to a writer-free
+//! baseline of the identical read workload.
+//!
+//! Plain `fn main` (harness = false): a fixed workload with correctness
+//! assertions, not a statistical micro-benchmark.
+//!
+//! The ≥ 0.8x throughput-retention bar is enforced automatically at full
+//! scale on hosts with at least 4 CPUs; on fewer cores the writer steals
+//! the readers' only CPU and the ratio is informational — there the run
+//! instead proves the mechanism directly: reader `lock_waits == 0` and
+//! `snapshot_reads` accounts for every read batch (both asserted
+//! unconditionally). Set `E16_MIN_RATIO` to override the bar either way.
+//!
+//! ```text
+//! cargo bench -p eca-bench --bench e16_mvcc
+//! E16_READERS=8 E16_STATEMENTS=100 cargo bench -p eca-bench --bench e16_mvcc
+//! E16_MIN_RATIO=0.8 cargo bench -p eca-bench --bench e16_mvcc   # enforce the bar
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eca_core::{ActiveService, EcaAgent};
+use eca_serve::{EcaServer, ServeClient, ServeConfig, ServeHandle};
+use relsql::SqlServer;
+
+const SEED_ROWS: usize = 256;
+
+fn main() {
+    let readers: usize = env_or("E16_READERS", 32);
+    let per_reader: usize = env_or("E16_STATEMENTS", 250);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The bar only applies where the hardware can express it: a writer
+    // thread on a saturated single core halves everyone's throughput no
+    // matter how the scheduler behaves.
+    let default_bar = (cores >= 4 && readers >= 32 && per_reader >= 250).then_some(0.8);
+    let min_ratio: Option<f64> = std::env::var("E16_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .or(default_bar);
+    println!(
+        "# E16 — MVCC snapshot reads: {readers} readers x {per_reader} selects, \
+         1 writer on the same table, {cores} CPUs\n"
+    );
+    println!("| phase | read stmt/s | p50 | p99 | snapshot reads | lock waits |");
+    println!("|---|---|---|---|---|---|");
+
+    // Phase A — writer-free baseline of the identical read workload.
+    let (base_rate, base_stats) = run_phase(readers, per_reader, false);
+    // Phase B — same readers with a writer mutating the table they read.
+    let (cont_rate, cont_stats) = run_phase(readers, per_reader, true);
+
+    let ratio = cont_rate.rate / base_rate.rate;
+    println!(
+        "\nwriter batches during contended phase: {}",
+        cont_stats.writer_batches
+    );
+    println!("read throughput retained under the writer: {ratio:.2}x of baseline");
+
+    // The mechanism, asserted unconditionally: every read batch in both
+    // phases was served from a snapshot, and no reader ever blocked on a
+    // table lock (the writer is single-threaded, so any lock wait at all
+    // would mean a reader touched the lock manager).
+    for (name, s) in [("baseline", &base_stats), ("contended", &cont_stats)] {
+        assert!(
+            s.snapshot_reads >= (readers * per_reader) as u64,
+            "{name}: only {} snapshot reads for {} read batches",
+            s.snapshot_reads,
+            readers * per_reader
+        );
+        assert_eq!(s.lock_waits, 0, "{name}: a read batch waited on a lock");
+    }
+    assert!(
+        cont_stats.writer_batches > 0,
+        "writer made no progress — readers starved it out"
+    );
+
+    if let Some(bar) = min_ratio {
+        assert!(
+            ratio >= bar,
+            "contended read throughput {ratio:.2}x of baseline, below the required {bar:.2}x"
+        );
+    }
+}
+
+struct PhaseRate {
+    rate: f64,
+}
+
+struct PhaseStats {
+    snapshot_reads: u64,
+    lock_waits: u64,
+    writer_batches: u64,
+}
+
+fn run_phase(readers: usize, per_reader: usize, with_writer: bool) -> (PhaseRate, PhaseStats) {
+    let (handle, addr) = start_server();
+    let (mut admin, _) = ServeClient::connect_as(addr, "db", "admin").unwrap();
+    admin.exec("create table items (k int, v int)").unwrap();
+    for k in 0..SEED_ROWS {
+        admin
+            .exec(&format!("insert items values ({k}, {k})"))
+            .unwrap();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = with_writer.then(|| {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (mut c, _) = ServeClient::connect_as(addr, "db", "writer").unwrap();
+            let mut batches = 0u64;
+            let mut k = SEED_ROWS;
+            while !stop.load(Ordering::Relaxed) {
+                c.exec(&format!("insert items values ({k}, {k})")).unwrap();
+                k += 1;
+                batches += 1;
+            }
+            c.quit().unwrap();
+            batches
+        })
+    });
+
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for r in 0..readers {
+        threads.push(std::thread::spawn(move || {
+            let (mut c, _) = ServeClient::connect_as(addr, "db", &format!("r{r}")).unwrap();
+            let mut latencies = Vec::with_capacity(per_reader);
+            for i in 0..per_reader {
+                let k = (r * per_reader + i) % SEED_ROWS;
+                let t = Instant::now();
+                let resp = c
+                    .exec(&format!("select v from items where k = {k}"))
+                    .unwrap();
+                latencies.push(t.elapsed());
+                assert!(resp.rows >= 1, "reader {r}: seeded row {k} missing");
+            }
+            c.quit().unwrap();
+            latencies
+        }));
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(readers * per_reader);
+    for t in threads {
+        latencies.extend(t.join().unwrap());
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let writer_batches = writer.map(|w| w.join().unwrap()).unwrap_or(0);
+
+    let snapshot_reads = admin.stat_u64("snapshot_reads").unwrap();
+    let lock_waits = admin.stat_u64("lock_waits").unwrap();
+    admin.quit().unwrap();
+    assert!(handle.shutdown().quiescent, "run must drain clean");
+
+    latencies.sort();
+    let total = latencies.len();
+    let p = |q: f64| latencies[((total as f64 * q) as usize).min(total - 1)];
+    let rate = total as f64 / wall_secs;
+    println!(
+        "| {} | {rate:.0} | {:.0} us | {:.0} us | {snapshot_reads} | {lock_waits} |",
+        if with_writer {
+            "contended (1 writer)"
+        } else {
+            "baseline (no writer)"
+        },
+        p(0.50).as_secs_f64() * 1e6,
+        p(0.99).as_secs_f64() * 1e6,
+    );
+    (
+        PhaseRate { rate },
+        PhaseStats {
+            snapshot_reads,
+            lock_waits,
+            writer_batches,
+        },
+    )
+}
+
+fn env_or(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn start_server() -> (ServeHandle, SocketAddr) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let service: Arc<dyn ActiveService> = Arc::new(agent);
+    let handle = EcaServer::start(service, ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+    (handle, addr)
+}

@@ -193,7 +193,7 @@ fn e5_codegen() {
     client
         .execute("create trigger t on stock for insert event e as select * from stock.inserted")
         .unwrap();
-    let tables = agent.server().inspect(|e| e.database().table_names());
+    let tables = agent.server().snapshot().database().table_names();
     let shadows = tables
         .iter()
         .filter(|t| t.contains("_inserted") || t.contains("_deleted"))

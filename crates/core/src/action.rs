@@ -220,7 +220,10 @@ impl ActionHandler {
     }
 
     pub fn with_policy(gateway: Arc<Gateway>, policy: RetryPolicy) -> Self {
-        let session = SessionCtx::new("master", "eca_agent");
+        // Live reads: action/saga batches react to datagrams enqueued
+        // mid-batch, before the triggering batch publishes its MVCC
+        // versions, so their reads must see live rows (see `SessionCtx`).
+        let session = SessionCtx::new("master", "eca_agent").with_live_reads();
         let injector: Arc<Mutex<Option<FaultInjector>>> = Arc::new(Mutex::new(None));
         let retries = Arc::new(AtomicU64::new(0));
         let saga = SagaExecutor::new(

@@ -227,6 +227,10 @@ pub struct AgentStats {
     pub batches_parallel: u64,
     /// Batches the server ran exclusively (DDL, transactions).
     pub batches_exclusive: u64,
+    /// Read-pure batches served lock-free from an MVCC snapshot.
+    pub snapshot_reads: u64,
+    /// Current MVCC publication epoch (advances by two per publishing batch).
+    pub snapshot_epoch: u64,
     /// Peak number of footprint-scheduled batches executing at once.
     pub batches_inflight_peak: u64,
     /// Table accesses the engine served through a secondary index.
@@ -468,6 +472,8 @@ impl EcaAgent {
             lock_waits: server.lock_waits,
             batches_parallel: server.batches_parallel,
             batches_exclusive: server.batches_exclusive,
+            snapshot_reads: server.snapshot_reads,
+            snapshot_epoch: server.snapshot_epoch,
             batches_inflight_peak: server.batches_inflight_peak,
             index_hits: server.index_hits,
             index_misses: server.index_misses,
@@ -973,7 +979,7 @@ impl EcaAgent {
     /// at send time, rollbacks inside the ROLLBACK statement), so by the
     /// time that statement's own pump runs, the signal has already moved.
     fn loss_signal(&self) -> u64 {
-        let rollbacks = self.server().inspect(|e| e.rollback_count());
+        let rollbacks = self.server().rollback_count();
         let chaos = self
             .inner
             .chaos
@@ -1219,26 +1225,24 @@ impl EcaAgent {
 
     fn resolve_table(&self, name: &str, ctx: &SessionCtx) -> Result<String> {
         self.server()
-            .inspect(|e| {
-                e.database()
-                    .resolve_table_key(name, Some((&ctx.database, &ctx.user)))
-            })
+            .snapshot()
+            .database()
+            .resolve_table_key(name, Some((&ctx.database, &ctx.user)))
             .ok_or_else(|| AgentError::Naming(format!("table '{name}' does not exist")))
     }
 
     fn has_server_table(&self, name: &str) -> bool {
-        self.server().inspect(|e| e.database().has_table(name))
+        self.server().snapshot().database().has_table(name)
     }
 
     /// Every step and compensation procedure of a saga must already exist
     /// in the server — a saga declaration never creates procedures, so a
     /// typo would otherwise surface only at firing time.
     fn validate_saga_procs(&self, spec: &SagaSpec) -> Result<()> {
+        let snap = self.server().snapshot();
         for step in &spec.steps {
             for proc in std::iter::once(&step.proc).chain(step.compensation.as_ref()) {
-                let found = self
-                    .server()
-                    .inspect(|e| e.database().procedure(proc, None).is_some());
+                let found = snap.database().procedure(proc, None).is_some();
                 if !found {
                     return Err(AgentError::Naming(format!(
                         "saga step procedure '{proc}' does not exist"

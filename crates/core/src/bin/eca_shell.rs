@@ -212,6 +212,15 @@ fn handle_meta(meta: &str, agent: &EcaAgent, service: &dyn ActiveService) -> boo
                 "  server: {} session(s) opened, {} statement(s) executed",
                 sv.sessions_opened, sv.statements
             );
+            println!(
+                "  scheduler: {} snapshot read(s) (epoch {}), {} parallel, {} exclusive, \
+                 {} lock wait(s)",
+                sv.snapshot_reads,
+                sv.snapshot_epoch,
+                sv.batches_parallel,
+                sv.batches_exclusive,
+                sv.lock_waits
+            );
             if agent.server().is_durable() {
                 println!(
                     "  wal: {} record(s) / {} byte(s) appended, {} fsync(s), \

@@ -91,7 +91,10 @@ impl PersistentManager {
     /// it can create system tables).
     pub fn new(server: &Arc<SqlServer>) -> Self {
         PersistentManager {
-            session: server.session("master", "eca_admin"),
+            // Live reads: the manager is queried from the agent's pump,
+            // which reacts to datagrams enqueued before the triggering
+            // batch publishes its MVCC versions (see `SessionCtx`).
+            session: server.session("master", "eca_admin").with_live_reads(),
         }
     }
 
@@ -99,10 +102,7 @@ impl PersistentManager {
     pub fn ensure_system_tables(&self) -> Result<usize> {
         let mut created = 0;
         for (name, ddl) in system_tables_ddl() {
-            let exists = self
-                .session
-                .server()
-                .inspect(|e| e.database().has_table(name));
+            let exists = self.session.server().snapshot().database().has_table(name);
             if !exists {
                 self.session.execute(&ddl)?;
                 created += 1;
@@ -170,6 +170,10 @@ impl PersistentManager {
     /// batch per save), but the watermark survives hard process death,
     /// which is the whole point of opening from a data dir.
     pub fn save_watermark(&self, event: &str, hwm: i64) -> Result<()> {
+        // `inspect` (not `snapshot`) on purpose: this is a *write* — it must
+        // land in the live rows, and `rows_mut` republishes the table's MVCC
+        // version when the guard drops, so snapshot readers see it too.
+        #[allow(deprecated)]
         let updated = !self.session.server().is_durable()
             && self.session.server().inspect(|e| {
                 let db = e.database();
@@ -215,23 +219,29 @@ impl PersistentManager {
     /// there; `SysPrimitiveEvent.vNo` is the definition-time seed and the
     /// fallback when the version table is missing (e.g. a half-installed
     /// event).
-    /// Reads engine state directly (like `ensure_system_tables`) instead of
-    /// issuing SQL: the exactly-once pump calls this on every anti-entropy
-    /// pass, and a scheduled `select` per event would both pay per-batch
-    /// scheduling overhead and contend on the very version tables every
-    /// evented DML holds in its lock footprint — serializing the
-    /// disjoint-table batches the scheduler exists to parallelize.
+    /// Reads a [`SqlServer::snapshot`] (like `ensure_system_tables`)
+    /// instead of issuing SQL: the exactly-once pump calls this on every
+    /// anti-entropy pass, and a scheduled `select` per event would both pay
+    /// per-batch scheduling overhead and contend on the very version tables
+    /// every evented DML holds in its lock footprint — serializing the
+    /// disjoint-table batches the scheduler exists to parallelize. The
+    /// snapshot pins *live* rows (not the published MVCC versions), so a
+    /// counter bumped by a batch that has executed but not yet published is
+    /// still visible — `observe_durable` must never see a counter below a
+    /// vNo the admission tracker already admitted, or it would read the dip
+    /// as a rollback and re-fire the action.
     pub fn load_durable_vnos(&self) -> Result<Vec<(String, i64)>> {
-        Ok(self.session.server().inspect(|e| {
-            let db = e.database();
+        let snap = self.session.server().snapshot();
+        Ok({
+            let db = snap.database();
             let spe = match db.table("sysprimitiveevent") {
                 Some(t) => t,
-                None => return Vec::new(),
+                None => return Ok(Vec::new()),
             };
             let (ev_i, vno_i) = match (spe.schema.index_of("eventName"), spe.schema.index_of("vNo"))
             {
                 (Some(e), Some(v)) => (e, v),
-                _ => return Vec::new(),
+                _ => return Ok(Vec::new()),
             };
             let seeds: Vec<(String, i64)> = spe
                 .rows()
@@ -256,7 +266,7 @@ impl PersistentManager {
                 .collect();
             out.sort();
             out
-        }))
+        })
     }
 
     pub fn load_primitives(&self) -> Result<Vec<PersistedPrimitive>> {
@@ -467,7 +477,7 @@ mod tests {
             "SysSagaJournal",
             "SysDeadLetter",
         ] {
-            assert!(server.inspect(|e| e.database().has_table(t)), "{t}");
+            assert!(server.snapshot().database().has_table(t), "{t}");
         }
     }
 

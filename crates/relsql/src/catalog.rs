@@ -117,6 +117,42 @@ impl Database {
         self.tables.len()
     }
 
+    /// Build a detached snapshot database holding the **published**
+    /// versions of the given tables plus the given procedure definitions —
+    /// the pinned footprint a read-pure batch executes against (see
+    /// [`Table::pinned`]). The pins share `Arc`s; nothing is copied.
+    ///
+    /// Returns `None` if any key is missing: the classifier resolved every
+    /// name against this same catalog moments ago, so a miss means
+    /// concurrent DDL intervened and the caller must fall back to the
+    /// locked lane.
+    pub fn pin_published(
+        &self,
+        tables: &std::collections::BTreeSet<String>,
+        procedures: &std::collections::BTreeSet<String>,
+    ) -> Option<Database> {
+        let mut snap = Database::new();
+        for key in tables {
+            let t = self.tables.get(key)?;
+            snap.tables.insert(key.clone(), t.pinned());
+        }
+        for key in procedures {
+            let p = self.procedures.get(key)?;
+            snap.procedures.insert(key.clone(), p.clone());
+        }
+        Some(snap)
+    }
+
+    /// Publish every table's current live state as its batch-consistent
+    /// version (see [`Table::publish`]). The server calls this at the end
+    /// of exclusive (barrier) batches — DDL, transactions, recovery — where
+    /// the precise write set is unknown.
+    pub fn publish_all(&self) {
+        for t in self.tables.values() {
+            t.publish();
+        }
+    }
+
     /// Resolve a table reference to its catalog key.
     ///
     /// Resolution order: exact match; `db.user.name` expansion (when a

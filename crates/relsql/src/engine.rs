@@ -289,6 +289,137 @@ impl Engine {
         Ok(())
     }
 
+    /// Execute one pre-parsed **read-pure** batch against a pinned snapshot
+    /// database — the MVCC read lane. Takes no engine locks at all: the
+    /// snapshot owns (shares `Arc`s of) everything the batch can touch, so
+    /// evaluation proceeds concurrently with writers, DDL, and other
+    /// readers. Shares the engine's logical clock and scan counters, and
+    /// runs the *same* `run_select` evaluator as the locked path, so
+    /// results are byte-identical for any batch the classifier marks
+    /// `ReadPure`.
+    ///
+    /// Callers must only pass batches classified read-pure; any statement
+    /// with effects (DML, DDL, transaction control) is rejected as an
+    /// internal error rather than silently half-executed.
+    pub fn run_snapshot_stmts(
+        &self,
+        snap: &Database,
+        stmts: &[Stmt],
+        params: &[Value],
+        session: &SessionCtx,
+        out: &mut BatchResult,
+    ) -> Result<()> {
+        let sink = self.sink.read().clone();
+        let state = ExecState {
+            scope: Vec::new(),
+            params,
+        };
+        for stmt in stmts {
+            self.exec_snapshot_stmt(snap, sink.as_deref(), stmt, session, &state, out, 0)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_snapshot_stmt(
+        &self,
+        snap: &Database,
+        sink: Option<&dyn NotificationSink>,
+        stmt: &Stmt,
+        session: &SessionCtx,
+        state: &ExecState<'_>,
+        out: &mut BatchResult,
+        depth: usize,
+    ) -> Result<()> {
+        if depth > self.config.max_depth {
+            return Err(Error::TriggerDepth {
+                limit: self.config.max_depth,
+            });
+        }
+        let ctx = QueryCtx {
+            db: snap,
+            session,
+            scope: &state.scope,
+            clock: &self.clock,
+            sink,
+            datagram_seq: &self.datagram_seq,
+            params: state.params,
+            stats: &self.scan_stats,
+        };
+        match stmt {
+            Stmt::Select(sel) if sel.into.is_none() => {
+                let (columns, rows) = run_select(&ctx, sel, None)?;
+                let affected = rows.len();
+                out.results.push(QueryResult {
+                    columns,
+                    rows,
+                    rows_affected: affected,
+                });
+                Ok(())
+            }
+            Stmt::Print(expr) => {
+                let v = eval_expr(&ctx, &RowEnv::empty(), expr)?;
+                out.messages.push(v.to_string());
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let truthy = eval_expr(&ctx, &RowEnv::empty(), cond)?.is_truthy();
+                if truthy {
+                    self.exec_snapshot_stmt(snap, sink, then_branch, session, state, out, depth)?;
+                } else if let Some(e) = else_branch {
+                    self.exec_snapshot_stmt(snap, sink, e, session, state, out, depth)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let mut iterations = 0usize;
+                loop {
+                    let truthy = eval_expr(&ctx, &RowEnv::empty(), cond)?.is_truthy();
+                    if !truthy {
+                        break;
+                    }
+                    iterations += 1;
+                    if iterations > self.config.max_while_iterations {
+                        return Err(Error::exec(format!(
+                            "WHILE exceeded {} iterations",
+                            self.config.max_while_iterations
+                        )));
+                    }
+                    self.exec_snapshot_stmt(snap, sink, body, session, state, out, depth)?;
+                }
+                Ok(())
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_snapshot_stmt(snap, sink, s, session, state, out, depth)?;
+                }
+                Ok(())
+            }
+            Stmt::Execute { name } => {
+                // The classifier pinned every reachable procedure into the
+                // snapshot, so resolution here mirrors the live path.
+                let proc = snap
+                    .procedure(name, Some(session.prefix()))
+                    .ok_or_else(|| Error::NotFound {
+                        kind: ObjectKind::Procedure,
+                        name: name.clone(),
+                    })?
+                    .clone();
+                for s in &proc.body {
+                    self.exec_snapshot_stmt(snap, sink, s, session, state, out, depth + 1)?;
+                }
+                Ok(())
+            }
+            other => Err(Error::exec(format!(
+                "internal: statement {other:?} reached the snapshot lane but is not read-pure"
+            ))),
+        }
+    }
+
     fn exec_stmt(
         &self,
         stmt: &Stmt,

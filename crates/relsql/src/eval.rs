@@ -18,6 +18,14 @@ use crate::value::Value;
 pub struct SessionCtx {
     pub database: String,
     pub user: String,
+    /// When `true`, read-pure batches from this session bypass the MVCC
+    /// snapshot lane and read *live* rows under lock scheduling. Agent
+    /// internals (the exactly-once pump, action/saga handlers) set this:
+    /// they react to datagrams that are enqueued mid-batch, *before* the
+    /// triggering batch publishes its versions, so a published-snapshot
+    /// read could lag the very shadow/`_ver` row the datagram announced.
+    /// Client sessions keep the default (`false`) and get lock-free reads.
+    pub live_reads: bool,
 }
 
 impl SessionCtx {
@@ -25,7 +33,14 @@ impl SessionCtx {
         SessionCtx {
             database: database.into(),
             user: user.into(),
+            live_reads: false,
         }
+    }
+
+    /// Builder-style toggle for [`SessionCtx::live_reads`].
+    pub fn with_live_reads(mut self) -> Self {
+        self.live_reads = true;
+        self
     }
 
     pub fn prefix(&self) -> (&str, &str) {

@@ -1,19 +1,35 @@
-//! Batch footprint analysis: which tables will a batch touch?
+//! Batch classification: what will a batch read, what will it write, and
+//! which scheduling lane does that put it in?
 //!
-//! The server's per-table lock scheduler runs each batch under either an
-//! exclusive schedule lock (DDL, transactions, anything unresolvable) or a
-//! canonical-order group of per-table locks. The footprint walk covers every
-//! statement, every expression subquery, procedure bodies reachable through
-//! `EXECUTE`, and — crucially — the bodies of native triggers the batch's
-//! DML will fire, so the shadow (`_inserted`/`_deleted`) and version
-//! (`_ver`) tables a generated trigger touches are part of the footprint
-//! and same-event batches stay strictly serialized (vNo sequencing and
-//! Sybase trigger-order semantics preserved).
+//! The analysis produces a typed [`BatchPlan`] from two conceptual passes
+//! over the parsed statements (the lix `sql2` shape):
 //!
-//! The analysis is deliberately conservative: when in doubt (unknown table,
-//! unknown procedure, recursion deeper than the walker tracks), it answers
-//! [`Footprint::Exclusive`] and the batch runs alone — correctness never
-//! depends on the analysis being sharp, only on it never *missing* a table.
+//! - [`derive_requirements`] — the **read set**: every table a SELECT, a
+//!   subquery, a WHERE clause, or a reachable procedure/trigger body scans.
+//! - [`derive_effects`] — the **write set**: every DML target, including
+//!   the targets inside the bodies of native triggers the batch's DML will
+//!   fire. This is why the generated shadow (`_inserted`/`_deleted`) and
+//!   version (`_ver`) tables stay in the write set: the native trigger
+//!   writes them on every evented DML, so same-event batches must stay
+//!   strictly serialized (vNo sequencing and Sybase trigger-order
+//!   semantics preserved).
+//!
+//! From the two sets falls out the [`BatchClass`]:
+//!
+//! - [`BatchClass::ReadPure`] — no effects, no `syb_sendmsg`, every name
+//!   resolved. Eligible for the server's lock-free MVCC snapshot lane.
+//! - [`BatchClass::Effectful`] — writes rows or sends datagrams; scheduled
+//!   under per-table lock groups over `requirements ∪ effects`.
+//! - [`BatchClass::Barrier`] — DDL, transaction control, `SELECT INTO`,
+//!   unresolvable names, or the walk gave up; runs alone under the
+//!   exclusive schedule lock.
+//!
+//! The walk covers every statement, every expression subquery, procedure
+//! bodies reachable through `EXECUTE`, and trigger bodies reachable from
+//! DML targets. It is deliberately conservative: when in doubt (unknown
+//! table, unknown procedure, recursion deeper than the walker tracks) it
+//! answers Barrier — correctness never depends on the analysis being
+//! sharp, only on it never *missing* a table.
 
 use std::collections::{BTreeSet, HashSet};
 
@@ -21,7 +37,101 @@ use crate::ast::{Expr, InsertSource, SelectStmt, Stmt, TriggerOp};
 use crate::catalog::Database;
 use crate::eval::SessionCtx;
 
+/// The tables a batch reads (catalog keys, canonically sorted).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReadSet {
+    pub tables: BTreeSet<String>,
+}
+
+/// The tables a batch writes (catalog keys, canonically sorted), including
+/// every table written by native trigger bodies its DML fires.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WriteSet {
+    pub tables: BTreeSet<String>,
+}
+
+/// Which scheduling lane a batch belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchClass {
+    /// No effects at all: eligible for lock-free MVCC snapshot execution.
+    ReadPure,
+    /// Writes rows and/or sends datagrams: per-table lock scheduling over
+    /// `requirements ∪ effects`.
+    Effectful,
+    /// DDL, transaction control, or unresolvable: exclusive schedule lock.
+    Barrier,
+}
+
+/// The typed result of batch classification — what the server's scheduler
+/// consumes instead of the old untyped [`Footprint`] enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Tables the batch reads.
+    pub requirements: ReadSet,
+    /// Tables the batch writes (trigger bodies included).
+    pub effects: WriteSet,
+    /// The scheduling lane the two sets imply.
+    pub class: BatchClass,
+    /// Catalog keys (`name_key` of the stored name) of every procedure the
+    /// batch `EXECUTE`s, transitively. Snapshot execution pins these
+    /// definitions alongside the read-set tables. Best-effort for Barrier
+    /// plans.
+    pub procedures: BTreeSet<String>,
+}
+
+impl BatchPlan {
+    /// Classify a parsed batch against the current catalog. One walk
+    /// computes both passes ([`derive_requirements`] and
+    /// [`derive_effects`] are projections of the same analysis).
+    pub fn derive(db: &Database, stmts: &[Stmt], session: &SessionCtx) -> BatchPlan {
+        let w = Analysis::run(db, stmts, session);
+        let class = if w.barrier {
+            BatchClass::Barrier
+        } else if !w.writes.is_empty() || w.sends_messages {
+            BatchClass::Effectful
+        } else {
+            BatchClass::ReadPure
+        };
+        BatchPlan {
+            requirements: ReadSet { tables: w.reads },
+            effects: WriteSet { tables: w.writes },
+            class,
+            procedures: w.procedures,
+        }
+    }
+
+    /// The canonical per-table lock acquisition set for the Effectful
+    /// lane: everything the batch reads or writes, sorted (the sorted
+    /// order is what makes lock grouping deadlock-free).
+    pub fn lock_tables(&self) -> BTreeSet<String> {
+        self.requirements
+            .tables
+            .union(&self.effects.tables)
+            .cloned()
+            .collect()
+    }
+}
+
+/// The read-set pass: which tables must be readable for this batch?
+/// `None` means the batch is a [`BatchClass::Barrier`] (analysis gave up).
+pub fn derive_requirements(db: &Database, stmts: &[Stmt], session: &SessionCtx) -> Option<ReadSet> {
+    let w = Analysis::run(db, stmts, session);
+    (!w.barrier).then_some(ReadSet { tables: w.reads })
+}
+
+/// The write-set pass: which tables will this batch (and the native
+/// triggers its DML fires) mutate? `None` means the batch is a
+/// [`BatchClass::Barrier`] (analysis gave up).
+pub fn derive_effects(db: &Database, stmts: &[Stmt], session: &SessionCtx) -> Option<WriteSet> {
+    let w = Analysis::run(db, stmts, session);
+    (!w.barrier).then_some(WriteSet { tables: w.writes })
+}
+
 /// What a batch will touch, as decided by static analysis.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `BatchPlan::derive` — the typed read/write/class plan"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Footprint {
     /// The batch must run alone (DDL, transaction control, unresolvable
@@ -33,47 +143,66 @@ pub enum Footprint {
     Tables(BTreeSet<String>),
 }
 
-/// Maximum trigger/procedure recursion the walker follows before giving up
-/// and answering Exclusive. Matches the engine's default nesting limit.
-const MAX_WALK_DEPTH: usize = 16;
-
 /// Analyze a parsed batch against the current catalog.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `BatchPlan::derive` — the typed read/write/class plan"
+)]
+#[allow(deprecated)]
 pub fn analyze_batch(db: &Database, stmts: &[Stmt], session: &SessionCtx) -> Footprint {
-    let mut w = Walker {
-        db,
-        session,
-        keys: BTreeSet::new(),
-        exclusive: false,
-        seen_triggers: HashSet::new(),
-        seen_procs: HashSet::new(),
-    };
-    for s in stmts {
-        w.stmt(s, 0);
-        if w.exclusive {
-            return Footprint::Exclusive;
-        }
+    let plan = BatchPlan::derive(db, stmts, session);
+    match plan.class {
+        BatchClass::Barrier => Footprint::Exclusive,
+        _ => Footprint::Tables(plan.lock_tables()),
     }
-    Footprint::Tables(w.keys)
 }
 
-struct Walker<'a> {
+/// Maximum trigger/procedure recursion the walker follows before giving up
+/// and answering Barrier. Matches the engine's default nesting limit.
+const MAX_WALK_DEPTH: usize = 16;
+
+struct Analysis<'a> {
     db: &'a Database,
     session: &'a SessionCtx,
-    keys: BTreeSet<String>,
-    exclusive: bool,
+    reads: BTreeSet<String>,
+    writes: BTreeSet<String>,
+    procedures: BTreeSet<String>,
+    sends_messages: bool,
+    barrier: bool,
     seen_triggers: HashSet<(String, TriggerOp)>,
     seen_procs: HashSet<String>,
 }
 
-impl Walker<'_> {
-    fn give_up(&mut self) {
-        self.exclusive = true;
+impl<'a> Analysis<'a> {
+    fn run(db: &'a Database, stmts: &[Stmt], session: &'a SessionCtx) -> Self {
+        let mut w = Analysis {
+            db,
+            session,
+            reads: BTreeSet::new(),
+            writes: BTreeSet::new(),
+            procedures: BTreeSet::new(),
+            sends_messages: false,
+            barrier: false,
+            seen_triggers: HashSet::new(),
+            seen_procs: HashSet::new(),
+        };
+        for s in stmts {
+            w.stmt(s, 0);
+            if w.barrier {
+                break;
+            }
+        }
+        w
     }
 
-    /// Resolve and record a table name; pseudo-tables resolve to nothing
-    /// (they only exist inside a trigger scope and need no lock of their
-    /// own — the triggering table is already in the footprint).
-    fn table(&mut self, name: &str, depth: usize) -> Option<String> {
+    fn give_up(&mut self) {
+        self.barrier = true;
+    }
+
+    /// Resolve a table name to its catalog key; pseudo-tables resolve to
+    /// nothing (they only exist inside a trigger scope and need no lock of
+    /// their own — the triggering table is already in the footprint).
+    fn resolve(&mut self, name: &str, depth: usize) -> Option<String> {
         if name.eq_ignore_ascii_case("inserted") || name.eq_ignore_ascii_case("deleted") {
             return None;
         }
@@ -82,10 +211,7 @@ impl Walker<'_> {
             return None;
         }
         match self.db.resolve_table_key(name, Some(self.session.prefix())) {
-            Some(key) => {
-                self.keys.insert(key.clone());
-                Some(key)
-            }
+            Some(key) => Some(key),
             None => {
                 self.give_up();
                 None
@@ -93,12 +219,20 @@ impl Walker<'_> {
         }
     }
 
+    /// Record a table the batch reads.
+    fn read(&mut self, name: &str, depth: usize) {
+        if let Some(key) = self.resolve(name, depth) {
+            self.reads.insert(key);
+        }
+    }
+
     /// Record a DML target and recurse into the native trigger it fires.
     fn dml(&mut self, name: &str, op: TriggerOp, depth: usize) {
-        let Some(key) = self.table(name, depth) else {
+        let Some(key) = self.resolve(name, depth) else {
             return;
         };
-        if self.exclusive {
+        self.writes.insert(key.clone());
+        if self.barrier {
             return;
         }
         if let Some(def) = self.db.trigger_for(&key, op) {
@@ -113,7 +247,7 @@ impl Walker<'_> {
             let body: Vec<Stmt> = def.body.clone();
             for s in &body {
                 self.stmt(s, depth + 1);
-                if self.exclusive {
+                if self.barrier {
                     return;
                 }
             }
@@ -121,7 +255,7 @@ impl Walker<'_> {
     }
 
     fn stmt(&mut self, stmt: &Stmt, depth: usize) {
-        if self.exclusive {
+        if self.barrier {
             return;
         }
         if depth > MAX_WALK_DEPTH {
@@ -195,13 +329,14 @@ impl Walker<'_> {
                     return;
                 };
                 let key = def.name.to_ascii_lowercase();
+                self.procedures.insert(key.clone());
                 if !self.seen_procs.insert(key) {
                     return;
                 }
                 let body: Vec<Stmt> = def.body.clone();
                 for s in &body {
                     self.stmt(s, depth + 1);
-                    if self.exclusive {
+                    if self.barrier {
                         return;
                     }
                 }
@@ -225,7 +360,7 @@ impl Walker<'_> {
             Stmt::Block(stmts) => {
                 for s in stmts {
                     self.stmt(s, depth);
-                    if self.exclusive {
+                    if self.barrier {
                         return;
                     }
                 }
@@ -235,7 +370,7 @@ impl Walker<'_> {
 
     fn select(&mut self, sel: &SelectStmt, depth: usize) {
         for tref in &sel.from {
-            self.table(&tref.name, depth);
+            self.read(&tref.name, depth);
         }
         for item in &sel.projection {
             if let crate::ast::SelectItem::Expr { expr, .. } = item {
@@ -257,7 +392,7 @@ impl Walker<'_> {
     }
 
     fn expr(&mut self, expr: &Expr, depth: usize) {
-        if self.exclusive {
+        if self.barrier {
             return;
         }
         match expr {
@@ -267,7 +402,14 @@ impl Walker<'_> {
                 self.expr(left, depth);
                 self.expr(right, depth);
             }
-            Expr::Function { args, .. } => {
+            Expr::Function { name, args, .. } => {
+                // Sending a datagram is an effect even from inside a
+                // SELECT: the notification channel observes lock-order
+                // serialization, so sendmsg batches never ride the
+                // snapshot lane.
+                if name.eq_ignore_ascii_case("syb_sendmsg") {
+                    self.sends_messages = true;
+                }
                 for a in args {
                     self.expr(a, depth);
                 }
@@ -318,60 +460,93 @@ mod tests {
         (e, s)
     }
 
-    fn fp(e: &Engine, s: &SessionCtx, sql: &str) -> Footprint {
+    fn plan(e: &Engine, s: &SessionCtx, sql: &str) -> BatchPlan {
         let stmts = parse_script(sql).unwrap();
         let db = e.database();
-        analyze_batch(&db, &stmts, s)
+        BatchPlan::derive(&db, &stmts, s)
     }
 
-    fn tables(f: Footprint) -> Vec<String> {
-        match f {
-            Footprint::Tables(t) => t.into_iter().collect(),
-            Footprint::Exclusive => panic!("expected table footprint"),
-        }
+    fn vecs(set: &BTreeSet<String>) -> Vec<String> {
+        set.iter().cloned().collect()
     }
 
     #[test]
-    fn plain_dml_lists_its_table() {
+    fn plain_dml_lists_its_table_as_effect() {
         let (e, s) = setup();
-        assert_eq!(tables(fp(&e, &s, "insert t2 values (1)")), vec!["t2"]);
-        assert_eq!(
-            tables(fp(&e, &s, "select a from t2 where a > 1")),
-            vec!["t2"]
-        );
+        let p = plan(&e, &s, "insert t2 values (1)");
+        assert_eq!(p.class, BatchClass::Effectful);
+        assert_eq!(vecs(&p.effects.tables), vec!["t2"]);
+        assert!(p.requirements.tables.is_empty());
+        assert_eq!(vecs(&p.lock_tables()), vec!["t2"]);
     }
 
     #[test]
-    fn dml_footprint_includes_trigger_body_tables() {
+    fn plain_select_is_read_pure() {
+        let (e, s) = setup();
+        let p = plan(&e, &s, "select a from t2 where a > 1");
+        assert_eq!(p.class, BatchClass::ReadPure);
+        assert_eq!(vecs(&p.requirements.tables), vec!["t2"]);
+        assert!(p.effects.tables.is_empty());
+    }
+
+    #[test]
+    fn sendmsg_select_is_effectful_not_read_pure() {
+        let (e, s) = setup();
+        let p = plan(
+            &e,
+            &s,
+            "select syb_sendmsg('127.0.0.1', 1200, 'hi') from t2",
+        );
+        assert_eq!(p.class, BatchClass::Effectful);
+        assert_eq!(vecs(&p.requirements.tables), vec!["t2"]);
+        assert!(p.effects.tables.is_empty());
+    }
+
+    #[test]
+    fn dml_effects_include_trigger_body_tables() {
         let (e, s) = setup();
         // Inserting into t1 fires tr1, which writes audit.
-        assert_eq!(
-            tables(fp(&e, &s, "insert t1 values (1)")),
-            vec!["audit", "t1"]
-        );
+        let p = plan(&e, &s, "insert t1 values (1)");
+        assert_eq!(p.class, BatchClass::Effectful);
+        assert_eq!(vecs(&p.effects.tables), vec!["audit", "t1"]);
+        assert_eq!(vecs(&p.lock_tables()), vec!["audit", "t1"]);
     }
 
     #[test]
-    fn execute_recurses_into_procedure() {
+    fn execute_recurses_into_procedure_and_records_it() {
         let (e, s) = setup();
-        assert_eq!(tables(fp(&e, &s, "execute p1")), vec!["t2"]);
+        let p = plan(&e, &s, "execute p1");
+        assert_eq!(p.class, BatchClass::Effectful);
+        assert_eq!(vecs(&p.effects.tables), vec!["t2"]);
+        // Recorded under its catalog storage key (`name_key(def.name)`), so
+        // the snapshot pin can fetch it with a plain map lookup.
+        assert_eq!(vecs(&p.procedures), vec!["p1"]);
     }
 
     #[test]
     fn subqueries_are_walked() {
         let (e, s) = setup();
-        assert_eq!(
-            tables(fp(
-                &e,
-                &s,
-                "select a from t1 where a = (select max(a) from t2)"
-            )),
-            vec!["t1", "t2"]
-        );
+        let p = plan(&e, &s, "select a from t1 where a = (select max(a) from t2)");
+        assert_eq!(p.class, BatchClass::ReadPure);
+        assert_eq!(vecs(&p.requirements.tables), vec!["t1", "t2"]);
     }
 
     #[test]
-    fn ddl_tx_and_unknowns_are_exclusive() {
+    fn update_reads_its_sources_and_writes_its_target() {
+        let (e, s) = setup();
+        let p = plan(
+            &e,
+            &s,
+            "update t1 set a = (select max(a) from t2) where a > 0",
+        );
+        assert_eq!(p.class, BatchClass::Effectful);
+        assert_eq!(vecs(&p.requirements.tables), vec!["t2"]);
+        assert_eq!(vecs(&p.effects.tables), vec!["t1"]);
+        assert_eq!(vecs(&p.lock_tables()), vec!["t1", "t2"]);
+    }
+
+    #[test]
+    fn ddl_tx_and_unknowns_are_barriers() {
         let (e, s) = setup();
         for sql in [
             "create table x (a int)",
@@ -389,8 +564,22 @@ mod tests {
             "create unique hash index i2 on t2 (a)",
             "drop index i1",
         ] {
-            assert_eq!(fp(&e, &s, sql), Footprint::Exclusive, "{sql}");
+            assert_eq!(plan(&e, &s, sql).class, BatchClass::Barrier, "{sql}");
         }
+    }
+
+    #[test]
+    fn split_passes_project_the_same_analysis() {
+        let (e, s) = setup();
+        let stmts = parse_script("insert t1 select a from t2").unwrap();
+        let db = e.database();
+        let reqs = derive_requirements(&db, &stmts, &s).unwrap();
+        let effs = derive_effects(&db, &stmts, &s).unwrap();
+        assert_eq!(vecs(&reqs.tables), vec!["t2"]);
+        assert_eq!(vecs(&effs.tables), vec!["audit", "t1"]);
+        let barrier = parse_script("begin tran").unwrap();
+        assert!(derive_requirements(&db, &barrier, &s).is_none());
+        assert!(derive_effects(&db, &barrier, &s).is_none());
     }
 
     #[test]
@@ -402,6 +591,22 @@ mod tests {
             &s,
         )
         .unwrap();
-        assert_eq!(tables(fp(&e, &s, "insert r values (0)")), vec!["r"]);
+        let p = plan(&e, &s, "insert r values (0)");
+        assert_eq!(p.class, BatchClass::Effectful);
+        assert_eq!(vecs(&p.effects.tables), vec!["r"]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_footprint_shim_matches_plan() {
+        let (e, s) = setup();
+        let db = e.database();
+        let stmts = parse_script("insert t1 values (1)").unwrap();
+        match analyze_batch(&db, &stmts, &s) {
+            Footprint::Tables(t) => assert_eq!(vecs(&t), vec!["audit", "t1"]),
+            Footprint::Exclusive => panic!("expected table footprint"),
+        }
+        let ddl = parse_script("begin tran").unwrap();
+        assert_eq!(analyze_batch(&db, &ddl, &s), Footprint::Exclusive);
     }
 }

@@ -64,8 +64,12 @@ pub mod wal;
 pub use engine::{BatchResult, Engine, EngineConfig, QueryResult};
 pub use error::{Error, Result};
 pub use eval::{like_match, SessionCtx};
+#[allow(deprecated)]
 pub use footprint::{analyze_batch, Footprint};
-pub use server::{ServerStats, Session, SqlEndpoint, SqlServer};
+pub use footprint::{
+    derive_effects, derive_requirements, BatchClass, BatchPlan, ReadSet, WriteSet,
+};
+pub use server::{DbSnapshot, ServerStats, Session, SqlEndpoint, SqlServer};
 pub use storage::{DiskFaultPlan, FaultyStorage, FsStorage, Storage};
 pub use value::{DataType, Value};
 pub use wal::{DurabilityConfig, FsyncPolicy};

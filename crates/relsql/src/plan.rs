@@ -534,10 +534,7 @@ mod tests {
     }
 
     fn session() -> SessionCtx {
-        SessionCtx {
-            database: "db".into(),
-            user: "u".into(),
-        }
+        SessionCtx::new("db", "u")
     }
 
     fn col(name: &str) -> Expr {

@@ -9,24 +9,35 @@
 //! ## Scheduling model
 //!
 //! Earlier versions serialized every batch through one `Mutex<Engine>`. The
-//! server now schedules batches by their *table footprint*
-//! ([`crate::footprint::analyze_batch`]):
+//! server now schedules batches by their typed classification
+//! ([`crate::footprint::BatchPlan`]):
 //!
 //! 1. Every batch first takes the global `schedule` lock in **read** mode,
 //!    which freezes the catalog (DDL needs the write side), making the
-//!    footprint analysis and the trigger set stable for the batch's
-//!    duration.
-//! 2. Batches whose footprint is a concrete table set acquire those tables'
+//!    classification and the trigger set stable while the batch is admitted.
+//! 2. **Read-pure** batches take the lock-free MVCC lane: they pin the
+//!    *published* version of every table in their read set (an
+//!    epoch-consistent [`DbSnapshot`] of `Arc`-shared versions — see
+//!    `Table::pinned`), drop the schedule guard, and execute with zero
+//!    lock-manager interaction. Writers publish new versions at batch end
+//!    inside a seqlock-style epoch window (odd = swap in progress), so a
+//!    multi-table pin retries the nanoseconds-long window instead of ever
+//!    observing half a publication. Sessions flagged
+//!    [`SessionCtx::live_reads`] (agent internals reacting to mid-batch
+//!    datagrams) opt out and read live rows under lock scheduling.
+//! 3. **Effectful** batches acquire their `requirements ∪ effects` tables'
 //!    locks from the [`LockManager`] in one atomic all-or-nothing step
 //!    (no hold-and-wait, hence no deadlock) and run concurrently with any
-//!    batch touching disjoint tables. Because a DML batch's footprint
+//!    batch touching disjoint tables. Because a DML batch's write set
 //!    includes every table its native triggers touch — the shadow
 //!    `_inserted`/`_deleted` tables and the `_ver` version counters —
 //!    same-event batches stay strictly serial, preserving Sybase trigger
-//!    firing order and vNo sequencing.
-//! 3. DDL, transaction control, and anything the analysis cannot resolve
-//!    run under the **write** side of `schedule`: alone, after all in-flight
-//!    readers drain — exactly the old fully-serialized behaviour.
+//!    firing order and vNo sequencing. At batch end, still holding the
+//!    table locks, the batch publishes new versions of its write set.
+//! 4. **Barrier** batches — DDL, transaction control, anything the
+//!    analysis cannot resolve — run under the **write** side of
+//!    `schedule`: alone, after all in-flight readers drain — exactly the
+//!    old fully-serialized behaviour — and republish every table on exit.
 //!
 //! ## Plan cache
 //!
@@ -45,11 +56,12 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::ast::Stmt;
+use crate::catalog::Database;
 use crate::clock::LogicalClock;
 use crate::engine::{BatchResult, Engine, EngineConfig};
 use crate::error::{Error, Result};
 use crate::eval::SessionCtx;
-use crate::footprint::{analyze_batch, Footprint};
+use crate::footprint::{BatchClass, BatchPlan};
 use crate::lexer::{split_batches, tokenize, Token, TokenKind};
 use crate::notify::NotificationSink;
 use crate::parser::{parse_script, parse_script_with_tokens};
@@ -397,9 +409,37 @@ fn is_readonly(stmts: &[Stmt]) -> bool {
 // Server
 // ---------------------------------------------------------------------------
 
+/// A point-in-time, lock-free view of the database.
+///
+/// Obtained from [`SqlServer::snapshot`] (live rows, statement-consistent
+/// per table — the replacement for read-only [`SqlServer::inspect`] use)
+/// or pinned internally by the MVCC read lane (published versions,
+/// batch-consistent). Holding one blocks nothing: tables inside share
+/// `Arc`s with the server and stay valid indefinitely, simply growing
+/// stale as writers move on.
+pub struct DbSnapshot {
+    db: Database,
+    epoch: u64,
+}
+
+impl DbSnapshot {
+    /// The pinned catalog: query tables, schemas, and procedures freely —
+    /// no server locks are held.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The publish-epoch reading at pin time (even = no publication was in
+    /// flight). Monotonic across the server's lifetime.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
 /// A thread-safe SQL server wrapping one shared [`Engine`].
 ///
-/// Batches on disjoint table footprints execute in parallel; DDL and
+/// Read-pure batches execute lock-free against published MVCC versions;
+/// batches on disjoint table footprints execute in parallel; DDL and
 /// transactions run exclusively (see the module docs for the full
 /// scheduling model).
 pub struct SqlServer {
@@ -410,6 +450,13 @@ pub struct SqlServer {
     schedule: RwLock<()>,
     locks: Arc<LockManager>,
     plans: PlanCache,
+    /// Seqlock-style publication epoch: odd while a writer is swapping
+    /// published table versions, even otherwise. Snapshot pins retry the
+    /// (nanoseconds-long) odd window so multi-table publication is atomic
+    /// to readers.
+    publish_epoch: AtomicU64,
+    /// Read-pure batches served from the MVCC snapshot lane.
+    snapshot_reads: AtomicU64,
     /// Sessions handed out so far; doubles as the session id source.
     sessions_opened: AtomicU64,
     /// Statement batches executed (all sessions, including internal ones).
@@ -436,10 +483,20 @@ pub struct ServerStats {
     pub plan_cache_misses: u64,
     /// Lock-group acquisitions that had to block on a busy table.
     pub lock_waits: u64,
-    /// Batches scheduled concurrently under per-table locks.
+    /// Effectful batches scheduled concurrently under per-table locks.
+    /// Read-pure batches no longer count here (see `snapshot_reads`), so
+    /// `batches_parallel` + `batches_exclusive` now means *writes* —
+    /// except live-read batches from `SessionCtx::live_reads` sessions,
+    /// which still lock-schedule by design.
     pub batches_parallel: u64,
     /// Batches that ran exclusively (DDL, transactions, unresolvable).
     pub batches_exclusive: u64,
+    /// Read-pure batches served lock-free from pinned MVCC snapshots.
+    pub snapshot_reads: u64,
+    /// Publication-epoch reading: two ticks per version-publishing batch
+    /// (window open / window close). Growth proves writers are publishing;
+    /// an odd reading never escapes the publication critical section.
+    pub snapshot_epoch: u64,
     /// Highest number of footprint-scheduled batches observed executing
     /// simultaneously. Values ≥ 2 prove the scheduler genuinely overlapped
     /// disjoint-table work — evidence independent of wall-clock speedup,
@@ -484,6 +541,8 @@ impl SqlServer {
             schedule: RwLock::new(()),
             locks: LockManager::new(),
             plans: PlanCache::new(1024),
+            publish_epoch: AtomicU64::new(0),
+            snapshot_reads: AtomicU64::new(0),
             sessions_opened: AtomicU64::new(0),
             statements: AtomicU64::new(0),
             batches_parallel: AtomicU64::new(0),
@@ -596,12 +655,14 @@ impl SqlServer {
         wal.counters.replayed.store(replayed, Ordering::Relaxed);
         wal.counters.torn_tail.store(torn as u64, Ordering::Relaxed);
 
-        Ok(Arc::new(SqlServer {
+        let server = SqlServer {
             engine,
             clock,
             schedule: RwLock::new(()),
             locks: LockManager::new(),
             plans: PlanCache::new(1024),
+            publish_epoch: AtomicU64::new(0),
+            snapshot_reads: AtomicU64::new(0),
             sessions_opened: AtomicU64::new(0),
             statements: AtomicU64::new(0),
             batches_parallel: AtomicU64::new(0),
@@ -609,7 +670,12 @@ impl SqlServer {
             inflight: AtomicU64::new(0),
             inflight_peak: AtomicU64::new(0),
             wal: Some(wal),
-        }))
+        };
+        // Recovery replayed through the raw engine, which never publishes;
+        // seed the MVCC read lane with the recovered state before any
+        // session can pin a snapshot.
+        server.publish_all_tables();
+        Ok(Arc::new(server))
     }
 
     /// True when the server logs to a WAL (opened via [`Self::open`]).
@@ -683,6 +749,8 @@ impl SqlServer {
             lock_waits: self.locks.waits.load(Ordering::Relaxed),
             batches_parallel: self.batches_parallel.load(Ordering::Relaxed),
             batches_exclusive: self.batches_exclusive.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            snapshot_epoch: self.publish_epoch.load(Ordering::Relaxed),
             batches_inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
             index_hits: self.engine.scan_stats().hits(),
             index_misses: self.engine.scan_stats().misses(),
@@ -704,8 +772,99 @@ impl SqlServer {
     }
 
     /// Run a closure with read access to the engine (for introspection).
+    #[deprecated(
+        since = "0.7.0",
+        note = "holds engine locks for the closure's duration; use \
+                `SqlServer::snapshot()` for reads (or `rollback_count()` \
+                for the rollback counter)"
+    )]
     pub fn inspect<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
         f(&self.engine)
+    }
+
+    /// A point-in-time snapshot of the **live** database: every table is
+    /// cloned copy-on-write (O(1) per table, `Arc` bumps only) under the
+    /// catalog read guard, then all locks are released. This is the public
+    /// read API replacing read-only [`SqlServer::inspect`] uses.
+    ///
+    /// Live, not published: the snapshot includes rows written by batches
+    /// that have executed but not yet published their versions. Agent
+    /// internals depend on that — a durable `_ver` counter read here is
+    /// never behind a datagram the engine has already emitted, which is
+    /// what keeps exactly-once reconciliation from mistaking publication
+    /// lag for a rollback. Each table is statement-consistent; the set as
+    /// a whole is not a serialization point (same contract `inspect` had).
+    pub fn snapshot(&self) -> DbSnapshot {
+        let db = self.engine.database().clone();
+        DbSnapshot {
+            db,
+            epoch: self.publish_epoch.load(Ordering::Acquire),
+        }
+    }
+
+    /// Number of `ROLLBACK` statements that restored a database snapshot
+    /// (see [`Engine::rollback_count`]) — the agent's loss signal.
+    pub fn rollback_count(&self) -> u64 {
+        self.engine.rollback_count()
+    }
+
+    /// Pin an epoch-consistent snapshot of a read-pure plan's footprint:
+    /// published table versions plus the procedure definitions the batch
+    /// executes. Retries while a publication window is open (odd epoch) or
+    /// a publication landed mid-pin, so the pinned set is always a single
+    /// moment's published state.
+    ///
+    /// `None` means a table or procedure vanished since classification —
+    /// impossible while the caller holds the schedule read guard (DDL
+    /// needs the write side), but callers degrade to lock scheduling
+    /// rather than bank on that reasoning.
+    fn pin_published(&self, plan: &BatchPlan) -> Option<DbSnapshot> {
+        loop {
+            let e1 = self.publish_epoch.load(Ordering::Acquire);
+            if e1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = {
+                let db = self.engine.database();
+                db.pin_published(&plan.requirements.tables, &plan.procedures)?
+            };
+            let e2 = self.publish_epoch.load(Ordering::Acquire);
+            if e1 == e2 {
+                return Some(DbSnapshot {
+                    db: snap,
+                    epoch: e2,
+                });
+            }
+        }
+    }
+
+    /// Publish new versions of `tables` inside one epoch window. Called at
+    /// effectful-batch end while the batch still holds its table locks, so
+    /// the captured states are batch-consistent and no concurrent writer
+    /// of the same tables can interleave its own publication.
+    fn publish_tables(&self, tables: &BTreeSet<String>) {
+        if tables.is_empty() {
+            return;
+        }
+        let db = self.engine.database();
+        self.publish_epoch.fetch_add(1, Ordering::AcqRel);
+        for key in tables {
+            if let Some(t) = db.table(key) {
+                t.publish();
+            }
+        }
+        self.publish_epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Publish every table — barrier-batch exit (DDL, transaction end,
+    /// recovery), where the precise write set is unknown. Caller holds the
+    /// exclusive schedule lock (or is pre-service, during open).
+    fn publish_all_tables(&self) {
+        let db = self.engine.database();
+        self.publish_epoch.fetch_add(1, Ordering::AcqRel);
+        db.publish_all();
+        self.publish_epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Schedule and run one planned batch.
@@ -723,15 +882,45 @@ impl SqlServer {
         let log_durably = self.wal.is_some() && !is_readonly(&planned.stmts);
         let sched = self.schedule.read();
         // An open transaction owns the whole database snapshot, so anything
-        // running inside it must serialize; the footprint otherwise decides.
-        let footprint = if log_durably || self.engine.in_tx() {
-            Footprint::Exclusive
+        // running inside it — reads included, which must see the
+        // uncommitted state — serializes; classification otherwise decides.
+        // `in_tx` cannot flip under us: BEGIN TRAN is a barrier and needs
+        // the schedule write lock we are blocking.
+        let plan = if self.engine.in_tx() {
+            None
         } else {
             let db = self.engine.database();
-            analyze_batch(&db, &planned.stmts, session)
+            Some(BatchPlan::derive(&db, &planned.stmts, session))
         };
-        match footprint {
-            Footprint::Exclusive => {
+        match plan {
+            // MVCC read lane: pin the published versions of the read set
+            // under the schedule guard (so no DDL is mid-flight), then drop
+            // it — execution holds no server locks at all and blocks
+            // neither writers nor DDL. A read-pure batch is never WAL-
+            // logged even on a durable server: it has no effects to replay.
+            Some(plan) if plan.class == BatchClass::ReadPure && !session.live_reads => {
+                if let Some(snap) = self.pin_published(&plan) {
+                    drop(sched);
+                    self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                    return self.engine.run_snapshot_stmts(
+                        snap.database(),
+                        &planned.stmts,
+                        &planned.params,
+                        session,
+                        out,
+                    );
+                }
+                // A missed pin means the catalog changed since
+                // classification, which the schedule guard rules out — but
+                // degrade to lock scheduling rather than panic on that
+                // reasoning.
+                self.run_under_table_locks(&plan, planned, session, out)
+            }
+            Some(plan) if plan.class != BatchClass::Barrier && !log_durably => {
+                self.run_under_table_locks(&plan, planned, session, out)
+            }
+            // Barrier, open transaction, or durable write: exclusive lane.
+            plan => {
                 drop(sched);
                 let excl = self.schedule.write();
                 self.batches_exclusive.fetch_add(1, Ordering::Relaxed);
@@ -756,6 +945,20 @@ impl SqlServer {
                         let _ = self.checkpoint_locked(wal);
                     }
                 }
+                // Publish before releasing the schedule lock — a later
+                // exclusive batch must not be able to interleave its own
+                // mid-execution state into what we capture. Never publish
+                // while a transaction is open: uncommitted state must stay
+                // invisible to the snapshot lane until COMMIT (or be
+                // discarded by ROLLBACK), whose own batch republishes.
+                if !self.engine.in_tx() {
+                    match &plan {
+                        Some(p) if p.class != BatchClass::Barrier => {
+                            self.publish_tables(&p.effects.tables)
+                        }
+                        _ => self.publish_all_tables(),
+                    }
+                }
                 drop(excl);
                 if let Some(seq) = commit_seq {
                     // Wait for durability *after* releasing the schedule so
@@ -769,18 +972,32 @@ impl SqlServer {
                 }
                 r
             }
-            Footprint::Tables(tables) => {
-                self.batches_parallel.fetch_add(1, Ordering::Relaxed);
-                let _locks = self.locks.acquire(tables);
-                let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-                self.inflight_peak.fetch_max(now, Ordering::Relaxed);
-                let r = self
-                    .engine
-                    .run_stmts(&planned.stmts, &planned.params, session, out);
-                self.inflight.fetch_sub(1, Ordering::Relaxed);
-                r
-            }
         }
+    }
+
+    /// The effectful lane: all-or-nothing per-table lock group over
+    /// `requirements ∪ effects`, then publication of the write set while
+    /// the locks are still held.
+    fn run_under_table_locks(
+        &self,
+        plan: &BatchPlan,
+        planned: &Planned,
+        session: &SessionCtx,
+        out: &mut BatchResult,
+    ) -> Result<()> {
+        self.batches_parallel.fetch_add(1, Ordering::Relaxed);
+        let _locks = self.locks.acquire(plan.lock_tables());
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inflight_peak.fetch_max(now, Ordering::Relaxed);
+        let r = self
+            .engine
+            .run_stmts(&planned.stmts, &planned.params, session, out);
+        // Publish even when `r` is an error: without an explicit
+        // transaction, earlier statements' effects persist (real-server
+        // semantics), and the snapshot lane must see them.
+        self.publish_tables(&plan.effects.tables);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        r
     }
 }
 
@@ -810,6 +1027,17 @@ pub struct Session {
 impl Session {
     pub fn execute(&self, sql: &str) -> Result<BatchResult> {
         self.server.execute(sql, &self.ctx)
+    }
+
+    /// Opt this session out of the MVCC snapshot lane: its read-pure
+    /// batches execute against live rows under table locks instead of a
+    /// published version. Required for sessions whose reads must observe
+    /// effects of batches that have executed but not yet published — the
+    /// active agent's internal sessions, whose event datagrams are enqueued
+    /// mid-batch, before the triggering batch publishes at its end.
+    pub fn with_live_reads(mut self) -> Self {
+        self.ctx.live_reads = true;
+        self
     }
 
     pub fn ctx(&self) -> &SessionCtx {
@@ -897,8 +1125,11 @@ mod tests {
             .session("db", "u")
             .execute("create table t (a int)")
             .unwrap();
+        #[allow(deprecated)]
         let n = server.inspect(|e| e.database().table_count());
         assert_eq!(n, 1);
+        // The replacement API sees the same catalog without holding locks.
+        assert_eq!(server.snapshot().database().table_count(), 1);
     }
 
     #[test]
@@ -956,7 +1187,135 @@ mod tests {
         s.execute("select a from t").unwrap();
         let after_dml = server.server_stats();
         assert_eq!(after_dml.batches_exclusive, 1);
-        assert_eq!(after_dml.batches_parallel, 2);
+        // The insert takes table locks; the pure select rides the MVCC
+        // snapshot lane and touches no lock state at all.
+        assert_eq!(after_dml.batches_parallel, 1);
+        assert_eq!(after_dml.snapshot_reads, 1);
+    }
+
+    #[test]
+    fn snapshot_reads_see_every_completed_write() {
+        let server = SqlServer::new();
+        let s = server.session("db", "u");
+        s.execute("create table t (a int)").unwrap();
+        for i in 0..10i64 {
+            s.execute(&format!("insert t values ({i})")).unwrap();
+            let r = s.execute("select count(*) from t").unwrap();
+            assert_eq!(r.scalar(), Some(&Value::Int(i + 1)));
+        }
+        let stats = server.server_stats();
+        assert_eq!(stats.snapshot_reads, 10);
+        // Seqlock parity: even outside a publication window, and advanced
+        // by two per publishing batch (1 DDL + 10 inserts).
+        assert_eq!(stats.snapshot_epoch % 2, 0);
+        assert_eq!(stats.snapshot_epoch, 22);
+    }
+
+    #[test]
+    fn snapshot_readers_complete_while_a_writer_holds_table_locks() {
+        use crate::notify::{Datagram, NotificationSink};
+        use std::sync::mpsc;
+
+        struct ParkSink {
+            entered: mpsc::Sender<()>,
+            release: Mutex<mpsc::Receiver<()>>,
+        }
+        impl NotificationSink for ParkSink {
+            fn send(&self, _d: Datagram) {
+                self.entered.send(()).unwrap();
+                self.release.lock().recv().unwrap();
+            }
+        }
+
+        let server = SqlServer::new();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        server.set_sink(Arc::new(ParkSink {
+            entered: entered_tx,
+            release: Mutex::new(release_rx),
+        }));
+        let s = server.session("db", "u");
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert t values (1)").unwrap();
+        s.execute(
+            "create trigger trt on t for insert as \
+             select syb_sendmsg('10.0.0.1', 10011, 'parked') from t",
+        )
+        .unwrap();
+        let writer = {
+            let session = server.session("db", "u");
+            std::thread::spawn(move || session.execute("insert t values (2)").unwrap())
+        };
+        entered_rx.recv().unwrap(); // writer is inside the engine, lock held on `t`
+                                    // The reader would deadlock this single-threaded test if it touched
+                                    // the writer's lock; instead it pins the last *published* version —
+                                    // which does not yet contain the writer's in-flight row.
+        let r = s.execute("select count(*) from t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+        assert_eq!(server.server_stats().lock_waits, 0);
+        // The trigger scans two rows, so the sink parks once per row.
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        writer.join().unwrap();
+        // Once the writer's batch ends it publishes; the next read sees it.
+        let r = s.execute("select count(*) from t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+        assert_eq!(server.server_stats().snapshot_reads, 2);
+    }
+
+    #[test]
+    fn live_reads_sessions_stay_on_lock_scheduling() {
+        let server = SqlServer::new();
+        let s = server.session("db", "u");
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert t values (1)").unwrap();
+        let live = server.session("master", "eca_agent").with_live_reads();
+        let before = server.server_stats();
+        let r = live.execute("select a from t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+        let after = server.server_stats();
+        assert_eq!(after.snapshot_reads, before.snapshot_reads);
+        assert_eq!(after.batches_parallel - before.batches_parallel, 1);
+    }
+
+    #[test]
+    fn snapshot_api_pins_an_immutable_catalog() {
+        let server = SqlServer::new();
+        let s = server.session("db", "u");
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert t values (1)").unwrap();
+        let snap = server.snapshot();
+        let epoch = snap.epoch();
+        s.execute("insert t values (2)").unwrap();
+        // The pin is CoW: later writes do not leak into it.
+        assert_eq!(snap.database().table("t").unwrap().rows().len(), 1);
+        assert!(server.snapshot().epoch() > epoch);
+    }
+
+    #[test]
+    fn reads_inside_a_transaction_see_uncommitted_state() {
+        let server = SqlServer::new();
+        let s = server.session("db", "u");
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert t values (1)").unwrap();
+        s.execute("begin tran").unwrap();
+        s.execute("insert t values (2)").unwrap();
+        let before = server.server_stats();
+        // Inside the transaction even a pure select runs exclusively: it
+        // must observe the uncommitted row, which no snapshot contains.
+        let r = s.execute("select count(*) from t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+        let after = server.server_stats();
+        assert_eq!(after.snapshot_reads, before.snapshot_reads);
+        assert_eq!(after.batches_exclusive - before.batches_exclusive, 1);
+        s.execute("rollback").unwrap();
+        // Rollback republishes the surviving (pre-transaction) state.
+        let r = s.execute("select count(*) from t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+        assert_eq!(
+            server.server_stats().snapshot_reads,
+            before.snapshot_reads + 1
+        );
     }
 
     #[test]
@@ -1007,7 +1366,10 @@ mod tests {
             assert_eq!(r.scalar(), Some(&Value::Int(50)), "table t{i}");
         }
         let stats = server.server_stats();
-        assert_eq!(stats.batches_parallel, 4 * 50 + 4);
+        // The 200 inserts lock their tables; the 4 verification counts are
+        // read-pure and went through the snapshot lane instead.
+        assert_eq!(stats.batches_parallel, 4 * 50);
+        assert_eq!(stats.snapshot_reads, 4);
     }
 
     #[test]

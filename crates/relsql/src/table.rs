@@ -15,12 +15,25 @@
 //! rows) on every transaction regardless of what it touched.
 //!
 //! Indexes live beside the rows under their own lock ([`IndexState`]).
-//! **Lock order is always rows → indexes**; every path below acquires the
-//! row lock (read or write) before touching the index lock, so the two can
-//! never deadlock against each other. Engine DML maintains indexes
-//! incrementally through [`TableWrite`]; foreign mutators that use the raw
-//! [`Table::rows_mut`] escape hatch just mark the set dirty and the next
-//! probe rebuilds it lazily.
+//! **Lock order is always rows → indexes → published**; every path below
+//! acquires the row lock (read or write) before touching the index lock,
+//! and the published-version lock last, so the three can never deadlock
+//! against each other. Engine DML maintains indexes incrementally through
+//! [`TableWrite`]; foreign mutators that use the raw [`Table::rows_mut`]
+//! escape hatch just mark the set dirty and the next probe rebuilds it
+//! lazily.
+//!
+//! ## Published versions (MVCC)
+//!
+//! Beside the *live* rows every table keeps a **published** version: the
+//! `(rows, indexes)` pair as of the last batch-consistent point. The server
+//! calls [`Table::publish`] at the end of each write batch (while still
+//! holding that batch's scheduling locks, so the pair it captures is never
+//! a mid-batch state), and read-pure batches execute against [`Table::pinned`]
+//! clones of the published version — sharing the `Arc`s, holding no locks,
+//! and never observing a half-applied batch. The raw [`Table::rows_mut`]
+//! escape hatch republishes on guard drop so direct writes (e.g. watermark
+//! write-behind) cannot leave the published view stale forever.
 
 use std::sync::Arc;
 
@@ -99,8 +112,17 @@ impl Schema {
 /// A row is a vector of values, positionally matching the schema.
 pub type Row = Vec<Value>;
 
+/// The batch-consistent `(rows, indexes)` pair most recently published for
+/// a table — what MVCC snapshot readers pin instead of the live state.
+#[derive(Debug, Clone)]
+struct TableVersion {
+    rows: Arc<Vec<Row>>,
+    indexes: IndexState,
+}
+
 /// A heap table: schema plus rows behind a per-table row lock, plus the
-/// table's secondary indexes.
+/// table's secondary indexes and its last published (batch-consistent)
+/// version.
 #[derive(Debug)]
 pub struct Table {
     /// Canonical (as-created) full name, possibly dotted.
@@ -108,17 +130,20 @@ pub struct Table {
     pub schema: Schema,
     rows: RwLock<Arc<Vec<Row>>>,
     indexes: RwLock<IndexState>,
+    published: RwLock<TableVersion>,
 }
 
 impl Clone for Table {
-    /// O(1) copy-on-write snapshot: shares the row vector and the built
-    /// index set; whichever side mutates first pays the copy.
+    /// O(1) copy-on-write snapshot: shares the row vector, the built
+    /// index set, and the published version; whichever side mutates first
+    /// pays the copy.
     fn clone(&self) -> Self {
         Table {
             name: self.name.clone(),
             schema: self.schema.clone(),
             rows: RwLock::new(Arc::clone(&self.rows.read_recursive())),
             indexes: RwLock::new(self.indexes.read_recursive().clone()),
+            published: RwLock::new(self.published.read_recursive().clone()),
         }
     }
 }
@@ -139,22 +164,32 @@ impl PartialEq for Table {
 
 impl Table {
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let rows = Arc::new(Vec::new());
         Table {
             name: name.into(),
             schema,
-            rows: RwLock::new(Arc::new(Vec::new())),
+            rows: RwLock::new(Arc::clone(&rows)),
             indexes: RwLock::new(IndexState::default()),
+            published: RwLock::new(TableVersion {
+                rows,
+                indexes: IndexState::default(),
+            }),
         }
     }
 
     /// Build a table pre-populated with rows (used for the trigger
     /// `inserted`/`deleted` pseudo-tables and SELECT INTO).
     pub fn with_rows(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
+        let rows = Arc::new(rows);
         Table {
             name: name.into(),
             schema,
-            rows: RwLock::new(Arc::new(rows)),
+            rows: RwLock::new(Arc::clone(&rows)),
             indexes: RwLock::new(IndexState::default()),
+            published: RwLock::new(TableVersion {
+                rows,
+                indexes: IndexState::default(),
+            }),
         }
     }
 
@@ -191,11 +226,50 @@ impl Table {
     /// Exclusive write access to the raw rows — the escape hatch for
     /// callers outside the engine's DML paths. Marks the index set dirty;
     /// the next probe rebuilds it. Engine DML uses [`Table::write`]
-    /// instead, which maintains indexes incrementally.
+    /// instead, which maintains indexes incrementally. The guard
+    /// republishes the table on drop (single-table direct writes are their
+    /// own batch, so the post-write state is batch-consistent by
+    /// definition).
     pub fn rows_mut(&self) -> RowsWriteGuard<'_> {
         let guard = self.rows.write();
         self.indexes.write().dirty = true;
-        RowsWriteGuard(guard)
+        RowsWriteGuard { table: self, guard }
+    }
+
+    /// Publish the current live `(rows, indexes)` pair as the new
+    /// batch-consistent version that [`Table::pinned`] snapshots see.
+    ///
+    /// The caller must guarantee the live state *is* batch-consistent —
+    /// the server calls this at batch end while still holding the batch's
+    /// scheduling locks, so no concurrent writer can slip a half-applied
+    /// statement into the captured pair.
+    pub fn publish(&self) {
+        let rows = self.rows.read_recursive();
+        self.publish_version(Arc::clone(&rows));
+    }
+
+    /// Store `rows` plus the current index state as the published version.
+    /// Callers hold the row lock (read or write), keeping the pair
+    /// consistent; lock order rows → indexes → published.
+    fn publish_version(&self, rows: Arc<Vec<Row>>) {
+        let indexes = self.indexes.read().clone();
+        *self.published.write() = TableVersion { rows, indexes };
+    }
+
+    /// An O(1) clone of the last *published* version — the MVCC read pin.
+    /// Shares the published row vector and index set; never blocks on and
+    /// is never blocked by live-row writers. If the published index state
+    /// was dirty, the pinned table rebuilds it lazily over the pinned rows
+    /// on first probe.
+    pub fn pinned(&self) -> Table {
+        let v = self.published.read_recursive().clone();
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: RwLock::new(Arc::clone(&v.rows)),
+            indexes: RwLock::new(v.indexes.clone()),
+            published: RwLock::new(v),
+        }
     }
 
     /// Open an index-maintaining write handle (engine DML entry point).
@@ -353,18 +427,29 @@ impl std::ops::Deref for RowsReadGuard<'_> {
 
 /// Write guard over a table's rows. `DerefMut` unshares the copy-on-write
 /// vector on first use (`Arc::make_mut` is a refcount check when unique).
-pub struct RowsWriteGuard<'a>(RwLockWriteGuard<'a, Arc<Vec<Row>>>);
+/// Republishes the table's version on drop, while still holding the row
+/// lock, so snapshot readers always pin a whole direct write or none of it.
+pub struct RowsWriteGuard<'a> {
+    table: &'a Table,
+    guard: RwLockWriteGuard<'a, Arc<Vec<Row>>>,
+}
 
 impl std::ops::Deref for RowsWriteGuard<'_> {
     type Target = Vec<Row>;
     fn deref(&self) -> &Vec<Row> {
-        &self.0
+        &self.guard
     }
 }
 
 impl std::ops::DerefMut for RowsWriteGuard<'_> {
     fn deref_mut(&mut self) -> &mut Vec<Row> {
-        Arc::make_mut(&mut self.0)
+        Arc::make_mut(&mut self.guard)
+    }
+}
+
+impl Drop for RowsWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.table.publish_version(Arc::clone(&self.guard));
     }
 }
 
@@ -660,5 +745,63 @@ mod tests {
         // ... and vice versa.
         snapshot.write().truncate();
         assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn pinned_sees_published_version_not_live_rows() {
+        let t = Table::from_defs("stock", &defs()).unwrap();
+        t.write()
+            .append(&[vec![Value::Str("IBM".into()), Value::Float(1.0)]])
+            .unwrap();
+        // Engine DML (`write()`) does not publish — the server does that at
+        // batch end — so a pin still sees the initial empty version.
+        assert_eq!(t.pinned().row_count(), 0);
+        t.publish();
+        let pin = t.pinned();
+        assert_eq!(pin.row_count(), 1);
+        // Later live mutations never leak into an existing pin.
+        t.write()
+            .append(&[vec![Value::Str("SUN".into()), Value::Float(2.0)]])
+            .unwrap();
+        t.publish();
+        assert_eq!(pin.row_count(), 1);
+        assert_eq!(t.pinned().row_count(), 2);
+    }
+
+    #[test]
+    fn rows_mut_republishes_on_drop() {
+        let t = Table::from_defs("stock", &defs()).unwrap();
+        t.rows_mut()
+            .push(vec![Value::Str("IBM".into()), Value::Null]);
+        assert_eq!(
+            t.pinned().row_count(),
+            1,
+            "direct writes republish when the guard drops"
+        );
+    }
+
+    #[test]
+    fn pinned_rebuilds_dirty_index_over_pinned_rows() {
+        let t = Table::from_defs("stock", &defs()).unwrap();
+        t.create_index(ix("i_sym", "symbol", false, IndexKind::Hash))
+            .unwrap();
+        t.rows_mut()
+            .push(vec![Value::Str("IBM".into()), Value::Null]);
+        let pin = t.pinned();
+        // Mutate + republish the live table; the pin's lazy index rebuild
+        // must use the pinned rows, not the new live ones.
+        t.rows_mut()
+            .push(vec![Value::Str("SUN".into()), Value::Null]);
+        let set = pin.index_set();
+        let hits = set
+            .best_for(0, false)
+            .unwrap()
+            .probe_eq(&IndexKey::Str("IBM".into()));
+        assert_eq!(hits, &[0]);
+        assert!(set
+            .best_for(0, false)
+            .unwrap()
+            .probe_eq(&IndexKey::Str("SUN".into()))
+            .is_empty());
     }
 }

@@ -129,7 +129,7 @@ fn reopen_from(bytes: &[u8]) -> Arc<SqlServer> {
 }
 
 fn recovered_state(server: &SqlServer) -> Vec<u8> {
-    server.inspect(|e| encode_snapshot(&e.database(), 0, 0))
+    encode_snapshot(server.snapshot().database(), 0, 0)
 }
 
 #[test]
@@ -409,8 +409,11 @@ fn stale_wal_records_partially_covered_by_snapshot_replay_only_the_suffix() {
         for b in &batches[..m] {
             let _ = session.execute(b);
         }
-        let snap =
-            server.inspect(|e| encode_snapshot(&e.database(), server.clock().peek(), m as u64));
+        let snap = encode_snapshot(
+            server.snapshot().database(),
+            server.clock().peek(),
+            m as u64,
+        );
         for b in &batches[m..] {
             let _ = session.execute(b);
         }

@@ -390,6 +390,8 @@ fn stats_response(
         ("lock_waits", a.lock_waits),
         ("batches_parallel", a.batches_parallel),
         ("batches_exclusive", a.batches_exclusive),
+        ("snapshot_reads", a.snapshot_reads),
+        ("snapshot_epoch", a.snapshot_epoch),
         ("batches_inflight_peak", a.batches_inflight_peak),
         ("index_hits", a.index_hits),
         ("index_misses", a.index_misses),

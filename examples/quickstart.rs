@@ -86,6 +86,6 @@ fn main() {
     );
     println!(
         "  server tables: {:?}",
-        server.inspect(|e| e.database().table_names())
+        server.snapshot().database().table_names()
     );
 }

@@ -514,7 +514,9 @@ fn notification_never_precedes_its_shadow_row() {
             // Read-only inspection: `send` runs on the emitting session's
             // thread while it holds table locks, so going back through
             // `execute` would self-deadlock; `inspect` uses the recursive
-            // read lock instead.
+            // read lock instead (a `snapshot()` would clone every table and
+            // could block on the emitting batch's own row guards).
+            #[allow(deprecated)]
             let visible = self.server.inspect(|e| {
                 e.database()
                     .table("t_shadow")
@@ -576,7 +578,8 @@ fn notification_never_precedes_its_shadow_row() {
         0,
         "a notification was emitted before its shadow row became visible"
     );
-    let shadow_rows = server.inspect(|e| e.database().table("t_shadow").unwrap().rows().len());
+    let snap = server.snapshot();
+    let shadow_rows = snap.database().table("t_shadow").unwrap().rows().len();
     assert_eq!(shadow_rows, 100);
 }
 

@@ -116,9 +116,8 @@ fn recent_initiator_keeps_initiating() {
 fn syscontext_rows_reflect_last_firing() {
     let (agent, client) = setup("RECENT");
     three_a_one_b(&client);
-    let r = agent
-        .server()
-        .inspect(|e| e.database().table("syscontext").unwrap().rows().clone());
+    let snap = agent.server().snapshot();
+    let r = snap.database().table("syscontext").unwrap().rows();
     // Two rows: one per constituent shadow table of the occurrence.
     assert_eq!(r.len(), 2);
     let ea = r

@@ -243,7 +243,9 @@ fn drop_event_extension() {
     // Shadow tables are gone from the server.
     assert!(!agent
         .server()
-        .inspect(|e| e.database().has_table("sentineldb.sharma.addStk_inserted")));
+        .snapshot()
+        .database()
+        .has_table("sentineldb.sharma.addStk_inserted"));
     // The slot is free: a new event on (stock, insert) works.
     client
         .execute("create trigger t9 on stock for insert event fresh as print 'f'")
@@ -314,7 +316,9 @@ fn failed_primitive_creation_rolls_back_server_artifacts() {
     assert!(agent.event_names().is_empty());
     assert!(!agent
         .server()
-        .inspect(|e| e.database().has_table("sentineldb.sharma.addStk_inserted")));
+        .snapshot()
+        .database()
+        .has_table("sentineldb.sharma.addStk_inserted"));
     // ...so the same (corrected) command can be retried successfully.
     client
         .execute("create trigger t1 on stock for insert event addStk as print 'ok now'")

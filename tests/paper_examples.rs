@@ -44,14 +44,16 @@ fn example_1_primitive_trigger() {
         "sentineldb.sharma.addStk_ver",
     ] {
         assert!(
-            agent.server().inspect(|e| e.database().has_table(table)),
+            agent.server().snapshot().database().has_table(table),
             "{table} missing"
         );
     }
-    assert!(agent.server().inspect(|e| e
+    assert!(agent
+        .server()
+        .snapshot()
         .database()
         .procedure("sentineldb.sharma.t_addStk__Proc", None)
-        .is_some()));
+        .is_some());
 
     // Inserting fires the native trigger: action runs inside the server and
     // its output comes back with the client's own result.

@@ -163,16 +163,16 @@ fn system_tables_schema_matches_paper_figures() {
     let server = SqlServer::new();
     let _agent = EcaAgent::with_defaults(Arc::clone(&server)).unwrap();
     let names = |t: &str| {
-        server.inspect(|e| {
-            e.database()
-                .table(&t.to_ascii_lowercase())
-                .unwrap()
-                .schema
-                .names()
-                .iter()
-                .map(|n| n.to_string())
-                .collect::<Vec<_>>()
-        })
+        server
+            .snapshot()
+            .database()
+            .table(&t.to_ascii_lowercase())
+            .unwrap()
+            .schema
+            .names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
     };
     assert_eq!(
         names("SysPrimitiveEvent"),

@@ -116,8 +116,9 @@ const WORKLOAD: [&str; 2] = [
 /// This is the byte-identity witness — it covers the user tables, the
 /// saga journal, the dead-letter table and the agent watermarks alike.
 fn dump(server: &Arc<SqlServer>) -> String {
-    server.inspect(|e| {
-        let db = e.database();
+    {
+        let snap = server.snapshot();
+        let db = snap.database();
         let mut out = String::new();
         for name in db.table_names() {
             let t = db.table(&name.to_ascii_lowercase()).expect("listed table");
@@ -127,7 +128,7 @@ fn dump(server: &Arc<SqlServer>) -> String {
             }
         }
         out
-    })
+    }
 }
 
 /// Run the full workload uninterrupted, returning (dump, boundary count).
