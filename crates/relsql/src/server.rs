@@ -20,9 +20,11 @@
 //!    epoch-consistent [`DbSnapshot`] of `Arc`-shared versions — see
 //!    `Table::pinned`), drop the schedule guard, and execute with zero
 //!    lock-manager interaction. Writers publish new versions at batch end
-//!    inside a seqlock-style epoch window (odd = swap in progress), so a
-//!    multi-table pin retries the nanoseconds-long window instead of ever
-//!    observing half a publication. Sessions flagged
+//!    inside a seqlock-style epoch window (odd = swap in progress) that a
+//!    dedicated mutex serializes — one publication window at a time, even
+//!    for batches on disjoint tables — so a multi-table pin retries the
+//!    nanoseconds-long window instead of ever observing half a
+//!    publication. Sessions flagged
 //!    [`SessionCtx::live_reads`] (agent internals reacting to mid-batch
 //!    datagrams) opt out and read live rows under lock scheduling.
 //! 3. **Effectful** batches acquire their `requirements ∪ effects` tables'
@@ -429,8 +431,9 @@ impl DbSnapshot {
         &self.db
     }
 
-    /// The publish-epoch reading at pin time (even = no publication was in
-    /// flight). Monotonic across the server's lifetime.
+    /// The publish-epoch reading at pin time, rounded down to the last
+    /// *closed* publication window (always even). Monotonic across the
+    /// server's lifetime.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -455,6 +458,13 @@ pub struct SqlServer {
     /// (nanoseconds-long) odd window so multi-table publication is atomic
     /// to readers.
     publish_epoch: AtomicU64,
+    /// Serializes publication windows. A seqlock tolerates only one writer
+    /// at a time, but two effectful batches on disjoint tables both hold
+    /// the schedule *read* lock and reach publication concurrently — their
+    /// interleaved epoch increments would sum to even while both windows
+    /// were still open, letting a pin capture a torn multi-table state.
+    /// Every `publish_epoch` transition happens under this mutex.
+    publish_lock: Mutex<()>,
     /// Read-pure batches served from the MVCC snapshot lane.
     snapshot_reads: AtomicU64,
     /// Sessions handed out so far; doubles as the session id source.
@@ -494,8 +504,10 @@ pub struct ServerStats {
     /// Read-pure batches served lock-free from pinned MVCC snapshots.
     pub snapshot_reads: u64,
     /// Publication-epoch reading: two ticks per version-publishing batch
-    /// (window open / window close). Growth proves writers are publishing;
-    /// an odd reading never escapes the publication critical section.
+    /// (window open / window close). Growth proves writers are publishing.
+    /// The raw counter is sampled at an arbitrary instant — possibly while
+    /// a publication window is open — so the sample is rounded down to the
+    /// last *closed* window; consumers always see an even value.
     pub snapshot_epoch: u64,
     /// Highest number of footprint-scheduled batches observed executing
     /// simultaneously. Values ≥ 2 prove the scheduler genuinely overlapped
@@ -542,6 +554,7 @@ impl SqlServer {
             locks: LockManager::new(),
             plans: PlanCache::new(1024),
             publish_epoch: AtomicU64::new(0),
+            publish_lock: Mutex::new(()),
             snapshot_reads: AtomicU64::new(0),
             sessions_opened: AtomicU64::new(0),
             statements: AtomicU64::new(0),
@@ -662,6 +675,7 @@ impl SqlServer {
             locks: LockManager::new(),
             plans: PlanCache::new(1024),
             publish_epoch: AtomicU64::new(0),
+            publish_lock: Mutex::new(()),
             snapshot_reads: AtomicU64::new(0),
             sessions_opened: AtomicU64::new(0),
             statements: AtomicU64::new(0),
@@ -750,7 +764,9 @@ impl SqlServer {
             batches_parallel: self.batches_parallel.load(Ordering::Relaxed),
             batches_exclusive: self.batches_exclusive.load(Ordering::Relaxed),
             snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
-            snapshot_epoch: self.publish_epoch.load(Ordering::Relaxed),
+            // Racy sample: round an in-window (odd) reading down to the
+            // last closed window so parity stays meaningful downstream.
+            snapshot_epoch: self.publish_epoch.load(Ordering::Relaxed) & !1,
             batches_inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
             index_hits: self.engine.scan_stats().hits(),
             index_misses: self.engine.scan_stats().misses(),
@@ -798,7 +814,9 @@ impl SqlServer {
         let db = self.engine.database().clone();
         DbSnapshot {
             db,
-            epoch: self.publish_epoch.load(Ordering::Acquire),
+            // Racy sample (this pin does not synchronize with publication);
+            // round down so the reported epoch is always a closed window.
+            epoch: self.publish_epoch.load(Ordering::Acquire) & !1,
         }
     }
 
@@ -814,15 +832,35 @@ impl SqlServer {
     /// a publication landed mid-pin, so the pinned set is always a single
     /// moment's published state.
     ///
-    /// `None` means a table or procedure vanished since classification —
-    /// impossible while the caller holds the schedule read guard (DDL
-    /// needs the write side), but callers degrade to lock scheduling
-    /// rather than bank on that reasoning.
+    /// `None` means either a table or procedure vanished since
+    /// classification — impossible while the caller holds the schedule
+    /// read guard (DDL needs the write side) — or the retry bound was
+    /// exhausted because publications kept landing mid-pin (or a
+    /// publisher sat preempted inside its window). Both degrade to lock
+    /// scheduling, which is always correct.
     fn pin_published(&self, plan: &BatchPlan) -> Option<DbSnapshot> {
+        // Windows are nanoseconds long, so a handful of spins normally
+        // suffices; past that the publisher was likely descheduled, so
+        // yield the core to it instead of burning a full CPU under the
+        // schedule read lock — and past the hard bound, give up.
+        const SPINS_BEFORE_YIELD: u32 = 64;
+        const MAX_TRIES: u32 = 4096;
+        let mut tries = 0u32;
+        let backoff = |tries: u32| {
+            if tries < SPINS_BEFORE_YIELD {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        };
         loop {
             let e1 = self.publish_epoch.load(Ordering::Acquire);
             if e1 & 1 == 1 {
-                std::hint::spin_loop();
+                tries += 1;
+                if tries >= MAX_TRIES {
+                    return None;
+                }
+                backoff(tries);
                 continue;
             }
             let snap = {
@@ -836,18 +874,28 @@ impl SqlServer {
                     epoch: e2,
                 });
             }
+            // A publication landed mid-pin; counts toward the bound too.
+            tries += 1;
+            if tries >= MAX_TRIES {
+                return None;
+            }
+            backoff(tries);
         }
     }
 
     /// Publish new versions of `tables` inside one epoch window. Called at
     /// effectful-batch end while the batch still holds its table locks, so
     /// the captured states are batch-consistent and no concurrent writer
-    /// of the same tables can interleave its own publication.
+    /// of the same tables can republish them mid-window. Concurrent
+    /// batches on *disjoint* tables do reach here simultaneously, so the
+    /// whole window runs under `publish_lock` — the seqlock epoch needs a
+    /// single writer for its parity to mean "window open".
     fn publish_tables(&self, tables: &BTreeSet<String>) {
         if tables.is_empty() {
             return;
         }
         let db = self.engine.database();
+        let _window = self.publish_lock.lock();
         self.publish_epoch.fetch_add(1, Ordering::AcqRel);
         for key in tables {
             if let Some(t) = db.table(key) {
@@ -859,9 +907,12 @@ impl SqlServer {
 
     /// Publish every table — barrier-batch exit (DDL, transaction end,
     /// recovery), where the precise write set is unknown. Caller holds the
-    /// exclusive schedule lock (or is pre-service, during open).
+    /// exclusive schedule lock (or is pre-service, during open); the
+    /// window still takes `publish_lock` so epoch parity stays
+    /// single-writer everywhere.
     fn publish_all_tables(&self) {
         let db = self.engine.database();
+        let _window = self.publish_lock.lock();
         self.publish_epoch.fetch_add(1, Ordering::AcqRel);
         db.publish_all();
         self.publish_epoch.fetch_add(1, Ordering::AcqRel);
@@ -911,18 +962,31 @@ impl SqlServer {
                     );
                 }
                 // A missed pin means the catalog changed since
-                // classification, which the schedule guard rules out — but
-                // degrade to lock scheduling rather than panic on that
-                // reasoning.
+                // classification (which the schedule guard rules out) or
+                // publication churn exhausted the retry bound — either
+                // way, degrade to lock scheduling rather than spin or
+                // panic.
                 self.run_under_table_locks(&plan, planned, session, out)
             }
             Some(plan) if plan.class != BatchClass::Barrier && !log_durably => {
                 self.run_under_table_locks(&plan, planned, session, out)
             }
             // Barrier, open transaction, or durable write: exclusive lane.
-            plan => {
+            _ => {
                 drop(sched);
                 let excl = self.schedule.write();
+                // The admission plan was derived under the read guard we
+                // just released; another barrier batch (say CREATE TRIGGER
+                // on one of our targets) can run in that gap and grow the
+                // write set our triggers touch. Re-derive now that the
+                // catalog is frozen by the write lock, so the publication
+                // below covers what this batch actually writes.
+                let plan = if self.engine.in_tx() {
+                    None
+                } else {
+                    let db = self.engine.database();
+                    Some(BatchPlan::derive(&db, &planned.stmts, session))
+                };
                 self.batches_exclusive.fetch_add(1, Ordering::Relaxed);
                 let mut commit_seq = None;
                 if log_durably {

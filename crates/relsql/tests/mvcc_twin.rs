@@ -140,3 +140,75 @@ fn concurrent_snapshot_reads_are_epoch_consistent_and_lock_free() {
         "snapshot readers must never touch the lock manager"
     );
 }
+
+#[test]
+fn disjoint_writers_never_tear_each_others_publications() {
+    let server = SqlServer::new();
+    let s = server.session("db", "u");
+    for sql in [
+        "create table a (k int)",
+        "create table a_audit (k int)",
+        "create table b (k int)",
+        "create table b_audit (k int)",
+        // Triggers make each writer's publication multi-table: a torn
+        // epoch window would let a reader pin `a`'s new version together
+        // with `a_audit`'s old one.
+        "create trigger tra on a for insert as insert a_audit values (1)",
+        "create trigger trb on b for insert as insert b_audit values (1)",
+    ] {
+        s.execute(sql).unwrap();
+    }
+
+    // Two effectful writers with disjoint footprints run concurrently
+    // under the schedule *read* lock, so their publication windows race.
+    // The seqlock epoch tolerates only one writer at a time: interleaved
+    // open-increments (A: 0→1, B: 1→2) would read as "no window open"
+    // while both publications were still in flight, and a reader could
+    // accept a half-published pin.
+    let stop = Arc::new(AtomicBool::new(false));
+    let spawn_writer = |table: &'static str| {
+        let session = server.session("db", "w");
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut batches = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                session
+                    .execute(&format!("insert {table} values (1)"))
+                    .unwrap();
+                batches += 1;
+            }
+            batches
+        })
+    };
+    let writer_a = spawn_writer("a");
+    let writer_b = spawn_writer("b");
+
+    let reader = server.session("db", "r");
+    for _ in 0..300 {
+        let r = reader
+            .execute(
+                "select count(*) from a\nselect count(*) from a_audit\n\
+                 select count(*) from b\nselect count(*) from b_audit",
+            )
+            .unwrap();
+        let counts: Vec<i64> = r
+            .results
+            .iter()
+            .filter(|q| !q.columns.is_empty())
+            .map(|q| match q.scalar() {
+                Some(Value::Int(n)) => *n,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts[0], counts[1], "torn publication: a vs a_audit");
+        assert_eq!(counts[2], counts[3], "torn publication: b vs b_audit");
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    assert!(writer_a.join().unwrap() > 0, "writer a made no progress");
+    assert!(writer_b.join().unwrap() > 0, "writer b made no progress");
+    // Pins may rarely degrade to lock scheduling under publication churn
+    // (bounded retry), so assert the lane was used, not used exclusively.
+    assert!(server.server_stats().snapshot_reads > 0);
+}
