@@ -1,0 +1,215 @@
+//! E17 — compiled physical plans + vectorized batch execution vs the
+//! row-at-a-time interpreter, on the non-indexed hot path: full-scan
+//! filters, aggregates, GROUP BY, and selective DML over 10k/100k rows.
+//!
+//! Two [`SqlServer`]s run the identical statement stream — one with
+//! `compiled_exec: true` (the default), one with it off — so the
+//! comparison isolates exactly what plan lowering + 1024-row batch
+//! execution buys. Going through the server (not a bare `Engine`) also
+//! exercises the lowered-plan cache riding the masked-literal plan cache:
+//! per-op literals differ but the compiled program is reused.
+//!
+//! Every operation's result is asserted byte-identical between the two
+//! servers, and final table state must match: compiled execution may only
+//! change *how fast* answers arrive, never the answers.
+//!
+//! Plain `fn main` (harness = false): a fixed workload with correctness
+//! assertions, not a statistical micro-benchmark.
+//!
+//! The ≥ 5x speedup bar for scan-filter and aggregate shapes is enforced
+//! at the largest scale run when that scale is ≥ 100k rows (below that,
+//! per-statement fixed costs dilute the per-row win); `E17_MIN_SPEEDUP`
+//! overrides the bar either way.
+//!
+//! ```text
+//! cargo bench -p eca-bench --bench e17_compiled
+//! E17_ROWS=10000 E17_OPS=20 cargo bench -p eca-bench --bench e17_compiled  # CI smoke
+//! E17_MIN_SPEEDUP=5.0 cargo bench -p eca-bench --bench e17_compiled        # force the bar
+//! ```
+
+use std::time::Instant;
+
+use relsql::{EngineConfig, Session, SqlServer};
+
+fn main() {
+    let ops = env_or("E17_OPS", 100);
+    let max_rows = env_or("E17_ROWS", 100_000);
+    let bar_env: Option<f64> = std::env::var("E17_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    println!(
+        "# E17 — compiled/vectorized vs interpreted execution: {ops} ops per shape per scale\n"
+    );
+    println!(
+        "| rows | scan filter (c/i us) | speedup | aggregate (c/i us) | speedup | \
+         group by (c/i us) | speedup | update (c/i us) | speedup | batches | rows batched |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+
+    let mut largest: Option<(usize, ScaleResult)> = None;
+    for n in [10_000usize, 100_000] {
+        if n > max_rows {
+            continue;
+        }
+        let r = bench_scale(n, ops);
+        largest = Some((n, r));
+    }
+
+    let (n, r) = largest.expect("at least one scale must run");
+    let bar = bar_env.or_else(|| (n >= 100_000).then_some(5.0));
+    println!(
+        "\nlargest scale {n}: scan filter {:.1}x, aggregate {:.1}x, group by {:.1}x, update {:.1}x",
+        r.filter_speedup, r.agg_speedup, r.group_speedup, r.update_speedup
+    );
+    if let Some(bar) = bar {
+        assert!(
+            r.filter_speedup >= bar,
+            "scan-filter speedup {:.2}x below the required {bar:.2}x at {n} rows",
+            r.filter_speedup
+        );
+        assert!(
+            r.agg_speedup >= bar,
+            "aggregate speedup {:.2}x below the required {bar:.2}x at {n} rows",
+            r.agg_speedup
+        );
+    }
+}
+
+struct ScaleResult {
+    filter_speedup: f64,
+    agg_speedup: f64,
+    group_speedup: f64,
+    update_speedup: f64,
+}
+
+fn bench_scale(n: usize, ops: usize) -> ScaleResult {
+    let compiled_server = SqlServer::new();
+    let interp_server = SqlServer::with_config(EngineConfig {
+        compiled_exec: false,
+        ..Default::default()
+    });
+    let compiled = compiled_server.session("db", "u");
+    let interp = interp_server.session("db", "u");
+    for s in [&compiled, &interp] {
+        s.execute("create table t (k int, v int, g int)").unwrap();
+    }
+    // No indexes: this experiment measures the full-scan path E13 leaves
+    // uncovered. Load in 100-row batches to keep setup sane.
+    let mut i = 0usize;
+    while i < n {
+        let vals: Vec<String> = (i..(i + 100).min(n))
+            .map(|j| format!("({j}, {}, {})", (j * 7919 + 13) % 10_000, j % 23))
+            .collect();
+        let sql = format!("insert t values {}", vals.join(", "));
+        compiled.execute(&sql).unwrap();
+        interp.execute(&sql).unwrap();
+        i += 100;
+    }
+
+    // Full-scan filter: selective range predicate, no usable index.
+    let (fil_c, fil_i) = both(&compiled, &interp, ops, |i| {
+        let lo = (i * 131) % 9_000;
+        format!("select k, v from t where v > {lo} and v < {}", lo + 200)
+    });
+
+    // Whole-table aggregate behind a filter.
+    let (agg_c, agg_i) = both(&compiled, &interp, ops, |i| {
+        format!(
+            "select count(*), sum(v), min(v), max(v), avg(v) from t where k > {}",
+            (i * 977) % n
+        )
+    });
+
+    // GROUP BY with HAVING over every row.
+    let (grp_c, grp_i) = both(&compiled, &interp, ops, |i| {
+        format!(
+            "select g, count(*), sum(v) from t where v < {} group by g having count(*) > 2",
+            3_000 + (i * 59) % 4_000
+        )
+    });
+
+    // Selective non-indexed UPDATE: full scan to find 1 row of n.
+    let (upd_c, upd_i) = both(&compiled, &interp, ops, |i| {
+        format!("update t set v = v + 1 where k = {}", (i * 7919 + 13) % n)
+    });
+
+    // Final state identical: the updates landed on exactly the same rows.
+    for probe in ["select sum(v) from t", "select count(*) from t"] {
+        let a = compiled.execute(probe).unwrap();
+        let b = interp.execute(probe).unwrap();
+        assert_eq!(a.scalar(), b.scalar(), "{probe} diverged at n={n}");
+    }
+    let cs = compiled_server.server_stats();
+    assert!(cs.exec_compiled > 0, "compiled path never engaged at n={n}");
+    assert!(cs.batches_vectorized > 0, "no vectorized batches at n={n}");
+    assert!(
+        cs.plan_lowered_hits > 0,
+        "lowered plans were never reused at n={n}"
+    );
+    let is = interp_server.server_stats();
+    assert_eq!(is.exec_compiled, 0, "interpreter twin ran compiled plans");
+
+    let filter_speedup = fil_i.as_secs_f64() / fil_c.as_secs_f64();
+    let agg_speedup = agg_i.as_secs_f64() / agg_c.as_secs_f64();
+    let group_speedup = grp_i.as_secs_f64() / grp_c.as_secs_f64();
+    let update_speedup = upd_i.as_secs_f64() / upd_c.as_secs_f64();
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6 / ops as f64;
+    println!(
+        "| {n} | {:.0}/{:.0} | {filter_speedup:.1}x | {:.0}/{:.0} | {agg_speedup:.1}x | \
+         {:.0}/{:.0} | {group_speedup:.1}x | {:.0}/{:.0} | {update_speedup:.1}x | {} | {} |",
+        us(fil_c),
+        us(fil_i),
+        us(agg_c),
+        us(agg_i),
+        us(grp_c),
+        us(grp_i),
+        us(upd_c),
+        us(upd_i),
+        cs.batches_vectorized,
+        cs.rows_batched,
+    );
+    ScaleResult {
+        filter_speedup,
+        agg_speedup,
+        group_speedup,
+        update_speedup,
+    }
+}
+
+/// Run `ops` statements on both servers, assert identical results, and
+/// return (compiled, interpreted) wall time.
+fn both(
+    compiled: &Session,
+    interp: &Session,
+    ops: usize,
+    stmt: impl Fn(usize) -> String,
+) -> (std::time::Duration, std::time::Duration) {
+    let stmts: Vec<String> = (0..ops).map(&stmt).collect();
+    let t0 = Instant::now();
+    let mut c_results = Vec::with_capacity(ops);
+    for q in &stmts {
+        c_results.push(compiled.execute(q).unwrap());
+    }
+    let c = t0.elapsed();
+    let t1 = Instant::now();
+    let mut i_results = Vec::with_capacity(ops);
+    for q in &stmts {
+        i_results.push(interp.execute(q).unwrap());
+    }
+    let i = t1.elapsed();
+    for (k, (a, b)) in c_results.iter().zip(&i_results).enumerate() {
+        assert_eq!(a.results.len(), b.results.len(), "stmt {k}: {}", stmts[k]);
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            assert_eq!(ra.columns, rb.columns, "stmt {k}: {}", stmts[k]);
+            assert_eq!(ra.rows, rb.rows, "stmt {k}: {}", stmts[k]);
+        }
+    }
+    (c, i)
+}
+
+fn env_or(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -239,6 +239,24 @@ pub struct AgentStats {
     pub index_misses: u64,
     /// Candidate rows the engine visited (scans + index probes).
     pub rows_scanned: u64,
+    /// Statements executed through a compiled physical plan.
+    pub exec_compiled: u64,
+    /// Statements executed by the tree-walking interpreter.
+    pub exec_interpreted: u64,
+    /// Interpreter fallbacks: unsupported statement shape.
+    pub exec_fallback_expr: u64,
+    /// Interpreter fallbacks: statement ran inside a trigger scope.
+    pub exec_fallback_scope: u64,
+    /// Interpreter fallbacks: compiled execution disabled by config.
+    pub exec_fallback_disabled: u64,
+    /// Vectorized batches executed (chunks of candidate tuples).
+    pub batches_vectorized: u64,
+    /// Candidate tuples processed through vectorized batches.
+    pub rows_batched: u64,
+    /// Lowered-plan cache hits (compiled program reused).
+    pub plan_lowered_hits: u64,
+    /// Lowered-plan cache misses (statement lowered from scratch).
+    pub plan_lowered_misses: u64,
     /// WAL records appended (0 unless the server was opened durable).
     pub wal_records: u64,
     /// WAL bytes appended.
@@ -478,6 +496,15 @@ impl EcaAgent {
             index_hits: server.index_hits,
             index_misses: server.index_misses,
             rows_scanned: server.rows_scanned,
+            exec_compiled: server.exec_compiled,
+            exec_interpreted: server.exec_interpreted,
+            exec_fallback_expr: server.exec_fallback_expr,
+            exec_fallback_scope: server.exec_fallback_scope,
+            exec_fallback_disabled: server.exec_fallback_disabled,
+            batches_vectorized: server.batches_vectorized,
+            rows_batched: server.rows_batched,
+            plan_lowered_hits: server.plan_lowered_hits,
+            plan_lowered_misses: server.plan_lowered_misses,
             wal_records: server.wal_records,
             wal_bytes: server.wal_bytes,
             wal_fsyncs: server.wal_fsyncs,

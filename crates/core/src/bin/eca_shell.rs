@@ -221,6 +221,24 @@ fn handle_meta(meta: &str, agent: &EcaAgent, service: &dyn ActiveService) -> boo
                 sv.batches_exclusive,
                 sv.lock_waits
             );
+            println!(
+                "  executor: {} compiled, {} interpreted ({} expr / {} scope / {} disabled), \
+                 {} vectorized batch(es) over {} row(s)",
+                sv.exec_compiled,
+                sv.exec_interpreted,
+                sv.exec_fallback_expr,
+                sv.exec_fallback_scope,
+                sv.exec_fallback_disabled,
+                sv.batches_vectorized,
+                sv.rows_batched
+            );
+            println!(
+                "  plans: {} parse hit(s) / {} miss(es), {} lowered hit(s) / {} miss(es)",
+                sv.plan_cache_hits,
+                sv.plan_cache_misses,
+                sv.plan_lowered_hits,
+                sv.plan_lowered_misses
+            );
             if agent.server().is_durable() {
                 println!(
                     "  wal: {} record(s) / {} byte(s) appended, {} fsync(s), \

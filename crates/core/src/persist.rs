@@ -170,27 +170,23 @@ impl PersistentManager {
     /// batch per save), but the watermark survives hard process death,
     /// which is the whole point of opening from a data dir.
     pub fn save_watermark(&self, event: &str, hwm: i64) -> Result<()> {
-        // `inspect` (not `snapshot`) on purpose: this is a *write* — it must
-        // land in the live rows, and `rows_mut` republishes the table's MVCC
-        // version when the guard drops, so snapshot readers see it too.
-        #[allow(deprecated)]
+        // Live-row write (not `snapshot`) on purpose: `with_table_rows_mut`
+        // republishes the table's MVCC version when the guard drops, so
+        // snapshot readers see the new watermark too.
         let updated = !self.session.server().is_durable()
-            && self.session.server().inspect(|e| {
-                let db = e.database();
-                let t = match db.table("sysagentwatermark") {
-                    Some(t) => t,
-                    None => return false,
-                };
-                let mut rows = t.rows_mut();
-                match rows
-                    .iter_mut()
-                    .find(|r| matches!(r.first(), Some(Value::Str(ev)) if ev == event))
-                {
-                    Some(row) => row[1] = Value::Int(hwm),
-                    None => rows.push(vec![Value::Str(event.to_string()), Value::Int(hwm)]),
-                }
-                true
-            });
+            && self
+                .session
+                .server()
+                .with_table_rows_mut("sysagentwatermark", |rows| {
+                    match rows
+                        .iter_mut()
+                        .find(|r| matches!(r.first(), Some(Value::Str(ev)) if ev == event))
+                    {
+                        Some(row) => row[1] = Value::Int(hwm),
+                        None => rows.push(vec![Value::Str(event.to_string()), Value::Int(hwm)]),
+                    }
+                })
+                .is_some();
         if updated {
             return Ok(());
         }

@@ -28,7 +28,10 @@ struct RunResult {
 ///   - `t_seq` — `ea ; eb` CHRONICLE into `audit_seq`
 ///   - `t_and` — `ea ^ eb` CHRONICLE into `audit_and`
 fn run_workload(plan: Option<FaultPlan>) -> RunResult {
-    let server = SqlServer::new();
+    run_workload_on(SqlServer::new(), plan)
+}
+
+fn run_workload_on(server: Arc<SqlServer>, plan: Option<FaultPlan>) -> RunResult {
     let agent = EcaAgent::new(
         Arc::clone(&server),
         match plan {
@@ -285,4 +288,40 @@ mod roundtrip {
             prop_assert_eq!(decode(&dg), Some(n));
         }
     }
+}
+
+/// Compiled physical-plan execution in the substrate must not perturb the
+/// exactly-once pipeline: the same chaos workload produces identical rule
+/// firings whether the server runs vectorized compiled plans (default) or
+/// the row-at-a-time interpreter — and the compiled run really did take
+/// the fast path for the agent's own probe/action SQL.
+#[test]
+fn chaos_firings_are_identical_across_compiled_and_interpreted_substrates() {
+    let plan = FaultPlan {
+        drop: 0.3,
+        duplicate: 0.15,
+        reorder_window: 6,
+        seed: 20260808,
+        ..FaultPlan::default()
+    };
+    let compiled_server = SqlServer::new();
+    let compiled = run_workload_on(Arc::clone(&compiled_server), Some(plan.clone()));
+    let interp_server = SqlServer::with_config(relsql::EngineConfig {
+        compiled_exec: false,
+        ..Default::default()
+    });
+    let interpreted = run_workload_on(Arc::clone(&interp_server), Some(plan));
+
+    assert_eq!(
+        compiled.occurrences, interpreted.occurrences,
+        "firings diverged between compiled and interpreted substrates"
+    );
+    assert_eq!(compiled.audits, interpreted.audits);
+    assert_eq!(compiled.audits, (250, 250, 250));
+
+    let cs = compiled_server.server_stats();
+    assert!(cs.exec_compiled > 0, "compiled path never engaged: {cs:?}");
+    let is = interp_server.server_stats();
+    assert_eq!(is.exec_compiled, 0);
+    assert!(is.exec_fallback_disabled > 0);
 }

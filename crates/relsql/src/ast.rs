@@ -236,6 +236,8 @@ pub enum Expr {
         args: Vec<Expr>,
         /// `count(*)` marker.
         star: bool,
+        /// `count(distinct col)` marker — only meaningful on aggregates.
+        distinct: bool,
     },
     IsNull {
         operand: Box<Expr>,
@@ -364,6 +366,7 @@ mod tests {
             name: "COUNT".into(),
             args: vec![],
             star: true,
+            distinct: false,
         };
         assert!(agg.contains_aggregate());
         let nested = Expr::Binary {
@@ -377,6 +380,7 @@ mod tests {
             name: "getdate".into(),
             args: vec![],
             star: false,
+            distinct: false,
         };
         assert!(!scalar.contains_aggregate());
     }

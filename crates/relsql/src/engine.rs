@@ -29,12 +29,12 @@ use crate::clock::LogicalClock;
 use crate::error::{Error, ObjectKind, Result};
 use crate::eval::Frame;
 use crate::eval::{eval_expr, PseudoFrame, QueryCtx, RowEnv, SessionCtx};
+use crate::exec::{self, LoweredCache};
 use crate::index::{IndexDef, IndexKind, IndexSet};
 use crate::lexer::split_batches;
 use crate::notify::NotificationSink;
 use crate::parser::parse_script;
 use crate::plan::{self, SlotMeta};
-use crate::select::{run_select, run_select_typed};
 use crate::table::{Row, Schema, Table};
 use crate::value::Value;
 
@@ -48,6 +48,26 @@ pub struct ScanStats {
     pub index_hits: AtomicU64,
     pub index_misses: AtomicU64,
     pub rows_scanned: AtomicU64,
+    /// Statements executed through the compiled physical-plan executor.
+    pub exec_compiled: AtomicU64,
+    /// Statements that ran the row-at-a-time interpreter instead (sum of
+    /// the three fallback-reason counters below).
+    pub exec_interpreted: AtomicU64,
+    /// Interpreter fallbacks because the statement shape isn't lowerable
+    /// (subqueries, rejected projections).
+    pub exec_fallback_expr: AtomicU64,
+    /// Interpreter fallbacks because execution was inside a trigger scope.
+    pub exec_fallback_scope: AtomicU64,
+    /// Interpreter fallbacks because `EngineConfig::compiled_exec` is off.
+    pub exec_fallback_disabled: AtomicU64,
+    /// Candidate batches pushed through the vectorized filter pipeline.
+    pub batches_vectorized: AtomicU64,
+    /// Candidate tuples carried in those batches.
+    pub rows_batched: AtomicU64,
+    /// Lowered-plan cache hits (per statement execution).
+    pub plan_lowered_hits: AtomicU64,
+    /// Lowered-plan cache misses (statement had to be lowered).
+    pub plan_lowered_misses: AtomicU64,
 }
 
 impl ScanStats {
@@ -61,6 +81,42 @@ impl ScanStats {
 
     pub fn scanned(&self) -> u64 {
         self.rows_scanned.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn compiled(&self) -> u64 {
+        self.exec_compiled.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn interpreted(&self) -> u64 {
+        self.exec_interpreted.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn fallback_expr(&self) -> u64 {
+        self.exec_fallback_expr.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn fallback_scope(&self) -> u64 {
+        self.exec_fallback_scope.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn fallback_disabled(&self) -> u64 {
+        self.exec_fallback_disabled.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn batches(&self) -> u64 {
+        self.batches_vectorized.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn batched_rows(&self) -> u64 {
+        self.rows_batched.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn lowered_hits(&self) -> u64 {
+        self.plan_lowered_hits.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn lowered_misses(&self) -> u64 {
+        self.plan_lowered_misses.load(AtomicOrdering::Relaxed)
     }
 }
 
@@ -123,6 +179,11 @@ pub struct EngineConfig {
     pub fire_triggers: bool,
     /// Safety valve for `WHILE` loops.
     pub max_while_iterations: usize,
+    /// Run top-level SELECT/DML through the compiled physical-plan executor
+    /// ([`crate::exec`]) when the statement shape allows it. Off means every
+    /// statement takes the row-at-a-time interpreter; results are
+    /// byte-identical either way (the twin-run suite pins this).
+    pub compiled_exec: bool,
 }
 
 impl Default for EngineConfig {
@@ -131,15 +192,19 @@ impl Default for EngineConfig {
             max_depth: 16,
             fire_triggers: true,
             max_while_iterations: 100_000,
+            compiled_exec: true,
         }
     }
 }
 
 /// Per-execution state threaded through statement dispatch: the trigger
-/// pseudo-table scope stack and the bound parameters of the current batch.
+/// pseudo-table scope stack, the bound parameters of the current batch, and
+/// the batch's lowered-plan cache (shared with the server's masked-literal
+/// plan cache entry; `None` for uncached executions).
 struct ExecState<'p> {
     scope: Vec<PseudoFrame>,
     params: &'p [Value],
+    lowered: Option<&'p LoweredCache>,
 }
 
 /// The in-memory SQL engine ("the SQL Server" of Figure 1). Shareable
@@ -181,6 +246,7 @@ impl<'e> EngineRead<'e> {
             datagram_seq: &self.engine.datagram_seq,
             params: state.params,
             stats: &self.engine.scan_stats,
+            compiled: self.engine.config.compiled_exec,
         }
     }
 }
@@ -279,9 +345,25 @@ impl Engine {
         session: &SessionCtx,
         out: &mut BatchResult,
     ) -> Result<()> {
+        self.run_stmts_with(stmts, params, session, out, None)
+    }
+
+    /// [`Engine::run_stmts`] with the batch's lowered-plan cache attached.
+    /// The cache is keyed by statement address, so `stmts` must be the same
+    /// allocation the cache entry was created for (the server guarantees
+    /// this by storing both in one `CachedPlan`).
+    pub(crate) fn run_stmts_with(
+        &self,
+        stmts: &[Stmt],
+        params: &[Value],
+        session: &SessionCtx,
+        out: &mut BatchResult,
+        lowered: Option<&LoweredCache>,
+    ) -> Result<()> {
         let mut state = ExecState {
             scope: Vec::new(),
             params,
+            lowered,
         };
         for stmt in stmts {
             self.exec_stmt(stmt, session, &mut state, out, 0)?;
@@ -309,10 +391,26 @@ impl Engine {
         session: &SessionCtx,
         out: &mut BatchResult,
     ) -> Result<()> {
+        self.run_snapshot_stmts_with(snap, stmts, params, session, out, None)
+    }
+
+    /// [`Engine::run_snapshot_stmts`] with the batch's lowered-plan cache
+    /// attached, so the MVCC read lane runs compiled plans against pinned
+    /// versions too.
+    pub(crate) fn run_snapshot_stmts_with(
+        &self,
+        snap: &Database,
+        stmts: &[Stmt],
+        params: &[Value],
+        session: &SessionCtx,
+        out: &mut BatchResult,
+        lowered: Option<&LoweredCache>,
+    ) -> Result<()> {
         let sink = self.sink.read().clone();
         let state = ExecState {
             scope: Vec::new(),
             params,
+            lowered,
         };
         for stmt in stmts {
             self.exec_snapshot_stmt(snap, sink.as_deref(), stmt, session, &state, out, 0)?;
@@ -345,10 +443,11 @@ impl Engine {
             datagram_seq: &self.datagram_seq,
             params: state.params,
             stats: &self.scan_stats,
+            compiled: self.config.compiled_exec,
         };
         match stmt {
             Stmt::Select(sel) if sel.into.is_none() => {
-                let (columns, rows) = run_select(&ctx, sel, None)?;
+                let (columns, rows, _) = exec::run_select_exec(&ctx, sel, state.lowered)?;
                 let affected = rows.len();
                 out.results.push(QueryResult {
                     columns,
@@ -409,8 +508,15 @@ impl Engine {
                         name: name.clone(),
                     })?
                     .clone();
+                // The body is a per-execution clone: its statement addresses
+                // are transient, so it must not touch the lowered-plan cache.
+                let body_state = ExecState {
+                    scope: state.scope.clone(),
+                    params: state.params,
+                    lowered: None,
+                };
                 for s in &proc.body {
-                    self.exec_snapshot_stmt(snap, sink, s, session, state, out, depth + 1)?;
+                    self.exec_snapshot_stmt(snap, sink, s, session, &body_state, out, depth + 1)?;
                 }
                 Ok(())
             }
@@ -464,6 +570,7 @@ impl Engine {
                 state,
                 out,
                 depth,
+                stmt as *const Stmt as usize,
             ),
             Stmt::Update {
                 table,
@@ -477,10 +584,17 @@ impl Engine {
                 state,
                 out,
                 depth,
+                stmt as *const Stmt as usize,
             ),
-            Stmt::Delete { table, selection } => {
-                self.exec_delete(table, selection.as_ref(), session, state, out, depth)
-            }
+            Stmt::Delete { table, selection } => self.exec_delete(
+                table,
+                selection.as_ref(),
+                session,
+                state,
+                out,
+                depth,
+                stmt as *const Stmt as usize,
+            ),
             Stmt::Truncate { table } => {
                 let n = {
                     let rd = self.read();
@@ -526,8 +640,9 @@ impl Engine {
                 if let Some(into) = &sel.into {
                     let (names, rows, cols) = {
                         let rd = self.read();
+                        let lowered = state.lowered;
                         let ctx = rd.ctx(session, state);
-                        run_select_typed(&ctx, sel, None)?
+                        exec::run_select_exec(&ctx, sel, lowered)?
                     };
                     let mut db = self.db.write();
                     if db.has_table(into) {
@@ -561,10 +676,11 @@ impl Engine {
                     let _ = names;
                     out.results.push(QueryResult::affected(n));
                 } else {
-                    let (columns, rows) = {
+                    let (columns, rows, _) = {
                         let rd = self.read();
+                        let lowered = state.lowered;
                         let ctx = rd.ctx(session, state);
-                        run_select(&ctx, sel, None)?
+                        exec::run_select_exec(&ctx, sel, lowered)?
                     };
                     let affected = rows.len();
                     out.results.push(QueryResult {
@@ -627,10 +743,18 @@ impl Engine {
                         })?
                         .clone()
                 };
-                for s in &proc.body {
-                    self.exec_stmt(s, session, state, out, depth + 1)?;
-                }
-                Ok(())
+                // The body is a per-execution clone: its statement addresses
+                // are transient, so it must not touch the lowered-plan cache
+                // (a later allocation could reuse an address and collide).
+                let saved = state.lowered.take();
+                let result = (|| {
+                    for s in &proc.body {
+                        self.exec_stmt(s, session, state, out, depth + 1)?;
+                    }
+                    Ok(())
+                })();
+                state.lowered = saved;
+                result
             }
             Stmt::Print(expr) => {
                 let v = {
@@ -777,6 +901,7 @@ impl Engine {
     }
 
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn exec_insert(
         &self,
         table: &str,
@@ -786,6 +911,7 @@ impl Engine {
         state: &mut ExecState<'_>,
         out: &mut BatchResult,
         depth: usize,
+        stmt_key: usize,
     ) -> Result<()> {
         // `INSERT inserted/deleted` is nonsense we reject early.
         if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
@@ -794,23 +920,29 @@ impl Engine {
         let (key, checked) = {
             let rd = self.read();
             let key = Self::resolve_in(&rd.db, table, session)?;
+            let lowered = state.lowered;
             // Immutable phase: compute the source rows.
             let source_rows: Vec<Row> = {
                 let ctx = rd.ctx(session, state);
                 match source {
                     InsertSource::Values(rows) => {
-                        let env = RowEnv::empty();
-                        let mut acc = Vec::with_capacity(rows.len());
-                        for exprs in rows {
-                            let mut row = Vec::with_capacity(exprs.len());
-                            for e in exprs {
-                                row.push(eval_expr(&ctx, &env, e)?);
+                        match exec::plan_insert(&ctx, lowered, stmt_key, rows) {
+                            Some(ci) => exec::eval_insert_rows(&ctx, &ci)?,
+                            None => {
+                                let env = RowEnv::empty();
+                                let mut acc = Vec::with_capacity(rows.len());
+                                for exprs in rows {
+                                    let mut row = Vec::with_capacity(exprs.len());
+                                    for e in exprs {
+                                        row.push(eval_expr(&ctx, &env, e)?);
+                                    }
+                                    acc.push(row);
+                                }
+                                acc
                             }
-                            acc.push(row);
                         }
-                        acc
                     }
-                    InsertSource::Select(sel) => run_select(&ctx, sel, None)?.1,
+                    InsertSource::Select(sel) => exec::run_select_exec(&ctx, sel, lowered)?.1,
                 }
             };
             let t = rd.db.table(&key).expect("resolved");
@@ -879,6 +1011,7 @@ impl Engine {
         state: &mut ExecState<'_>,
         out: &mut BatchResult,
         depth: usize,
+        stmt_key: usize,
     ) -> Result<()> {
         if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
             return Err(Error::exec("cannot modify trigger pseudo-tables"));
@@ -887,6 +1020,7 @@ impl Engine {
             let rd = self.read();
             let key = Self::resolve_in(&rd.db, table, session)?;
             let t = rd.db.table(&key).expect("resolved");
+            let lowered = state.lowered;
             // Immutable phase: find matching rows and compute replacements.
             // Candidates come from an index probe when the WHERE clause
             // allows it; the full predicate is still evaluated per candidate.
@@ -899,36 +1033,48 @@ impl Engine {
                 let set = t.index_set();
                 let candidates =
                     self.dml_candidates(t, &set, rows.len(), selection, session, state.params);
-                for i in candidates {
-                    let row = &rows[i];
-                    let env = RowEnv {
-                        frames: vec![Frame {
-                            alias: None,
-                            table_name: t.name.clone(),
-                            schema: &t.schema,
-                            row,
-                        }],
-                        parent: None,
-                    };
-                    let matches = match selection {
-                        Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
-                        None => true,
-                    };
-                    if !matches {
-                        continue;
+                match exec::plan_update(&ctx, lowered, stmt_key, t, assignments, selection) {
+                    Some(cu) => {
+                        let (u, o, n) =
+                            exec::run_update_compiled(&ctx, &cu, t, &rows, &candidates)?;
+                        updates = u;
+                        old_rows = o;
+                        new_rows = n;
                     }
-                    let mut new_row = row.clone();
-                    for (col, e) in assignments {
-                        let idx = t.schema.index_of(col).ok_or_else(|| Error::NotFound {
-                            kind: ObjectKind::Column,
-                            name: col.clone(),
-                        })?;
-                        new_row[idx] = eval_expr(&ctx, &env, e)?;
+                    None => {
+                        for i in candidates {
+                            let row = &rows[i];
+                            let env = RowEnv {
+                                frames: vec![Frame {
+                                    alias: None,
+                                    table_name: t.name.clone(),
+                                    schema: &t.schema,
+                                    row,
+                                }],
+                                parent: None,
+                            };
+                            let matches = match selection {
+                                Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
+                                None => true,
+                            };
+                            if !matches {
+                                continue;
+                            }
+                            let mut new_row = row.clone();
+                            for (col, e) in assignments {
+                                let idx =
+                                    t.schema.index_of(col).ok_or_else(|| Error::NotFound {
+                                        kind: ObjectKind::Column,
+                                        name: col.clone(),
+                                    })?;
+                                new_row[idx] = eval_expr(&ctx, &env, e)?;
+                            }
+                            let new_row = t.check_row(new_row)?;
+                            old_rows.push(row.clone());
+                            new_rows.push(new_row.clone());
+                            updates.push((i, new_row));
+                        }
                     }
-                    let new_row = t.check_row(new_row)?;
-                    old_rows.push(row.clone());
-                    new_rows.push(new_row.clone());
-                    updates.push((i, new_row));
                 }
             }
             t.write().apply_updates(&updates)?;
@@ -947,6 +1093,7 @@ impl Engine {
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_delete(
         &self,
         table: &str,
@@ -955,6 +1102,7 @@ impl Engine {
         state: &mut ExecState<'_>,
         out: &mut BatchResult,
         depth: usize,
+        stmt_key: usize,
     ) -> Result<()> {
         if table.eq_ignore_ascii_case("inserted") || table.eq_ignore_ascii_case("deleted") {
             return Err(Error::exec("cannot modify trigger pseudo-tables"));
@@ -963,6 +1111,7 @@ impl Engine {
             let rd = self.read();
             let key = Self::resolve_in(&rd.db, table, session)?;
             let t = rd.db.table(&key).expect("resolved");
+            let lowered = state.lowered;
             let mut doomed = Vec::new();
             {
                 let ctx = rd.ctx(session, state);
@@ -970,23 +1119,30 @@ impl Engine {
                 let set = t.index_set();
                 let candidates =
                     self.dml_candidates(t, &set, rows.len(), selection, session, state.params);
-                for i in candidates {
-                    let row = &rows[i];
-                    let env = RowEnv {
-                        frames: vec![Frame {
-                            alias: None,
-                            table_name: t.name.clone(),
-                            schema: &t.schema,
-                            row,
-                        }],
-                        parent: None,
-                    };
-                    let matches = match selection {
-                        Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
-                        None => true,
-                    };
-                    if matches {
-                        doomed.push(i);
+                match exec::plan_delete(&ctx, lowered, stmt_key, t, selection) {
+                    Some(cd) => {
+                        doomed = exec::run_delete_compiled(&ctx, &cd, &rows, &candidates)?;
+                    }
+                    None => {
+                        for i in candidates {
+                            let row = &rows[i];
+                            let env = RowEnv {
+                                frames: vec![Frame {
+                                    alias: None,
+                                    table_name: t.name.clone(),
+                                    schema: &t.schema,
+                                    row,
+                                }],
+                                parent: None,
+                            };
+                            let matches = match selection {
+                                Some(cond) => eval_expr(&ctx, &env, cond)?.is_truthy(),
+                                None => true,
+                            };
+                            if matches {
+                                doomed.push(i);
+                            }
+                        }
                     }
                 }
             }

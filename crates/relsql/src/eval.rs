@@ -75,6 +75,11 @@ pub(crate) struct QueryCtx<'e> {
     pub params: &'e [Value],
     /// Access-path counters (index hits/misses, rows scanned).
     pub stats: &'e ScanStats,
+    /// When true, top-level SELECT/DML statements may run through the
+    /// compiled physical-plan executor ([`crate::exec`]); when false (or
+    /// for any shape the lowerer rejects) the row-at-a-time interpreter
+    /// runs. Results are byte-identical either way.
+    pub compiled: bool,
 }
 
 impl<'e> QueryCtx<'e> {
@@ -112,30 +117,42 @@ pub(crate) struct Frame<'r> {
 impl Frame<'_> {
     /// Does `qualifier` denote this frame?
     fn matches_qualifier(&self, qualifier: &str, session: &SessionCtx) -> bool {
-        if let Some(alias) = &self.alias {
-            if alias.eq_ignore_ascii_case(qualifier) {
-                return true;
-            }
-            // An explicit alias hides the underlying table name in Sybase,
-            // but generated code never aliases, so we stay permissive and
-            // fall through to name matching as well.
-        }
-        if self.table_name.eq_ignore_ascii_case(qualifier) {
-            return true;
-        }
-        let tn = self.table_name.to_ascii_lowercase();
-        let q = qualifier.to_ascii_lowercase();
-        if tn.ends_with(&format!(".{q}")) {
-            return true;
-        }
-        let (db, user) = session.prefix();
-        tn == format!(
-            "{}.{}.{}",
-            db.to_ascii_lowercase(),
-            user.to_ascii_lowercase(),
-            q
-        )
+        qualifier_matches(self.alias.as_deref(), &self.table_name, qualifier, session)
     }
+}
+
+/// Does `qualifier` denote a FROM slot with this alias / table name? Shared
+/// by row-environment lookup and the compiled executor's column binder so
+/// both resolve names identically.
+pub(crate) fn qualifier_matches(
+    alias: Option<&str>,
+    table_name: &str,
+    qualifier: &str,
+    session: &SessionCtx,
+) -> bool {
+    if let Some(alias) = alias {
+        if alias.eq_ignore_ascii_case(qualifier) {
+            return true;
+        }
+        // An explicit alias hides the underlying table name in Sybase,
+        // but generated code never aliases, so we stay permissive and
+        // fall through to name matching as well.
+    }
+    if table_name.eq_ignore_ascii_case(qualifier) {
+        return true;
+    }
+    let tn = table_name.to_ascii_lowercase();
+    let q = qualifier.to_ascii_lowercase();
+    if tn.ends_with(&format!(".{q}")) {
+        return true;
+    }
+    let (db, user) = session.prefix();
+    tn == format!(
+        "{}.{}.{}",
+        db.to_ascii_lowercase(),
+        user.to_ascii_lowercase(),
+        q
+    )
 }
 
 /// The set of frames a row expression can see. `parent` chains to the
@@ -218,7 +235,12 @@ pub(crate) fn eval_expr(ctx: &QueryCtx<'_>, env: &RowEnv<'_>, expr: &Expr) -> Re
             }
         }
         Expr::Binary { op, left, right } => eval_binary(ctx, env, *op, left, right),
-        Expr::Function { name, args, star } => eval_function(ctx, env, name, args, *star),
+        Expr::Function {
+            name,
+            args,
+            star,
+            distinct,
+        } => eval_function(ctx, env, name, args, *star, *distinct),
         Expr::IsNull { operand, negated } => {
             let v = eval_expr(ctx, env, operand)?;
             let is_null = v.is_null();
@@ -498,15 +520,39 @@ fn eval_function(
     name: &str,
     args: &[Expr],
     star: bool,
+    distinct: bool,
 ) -> Result<Value> {
     if is_aggregate_name(name) {
         return Err(Error::exec(format!(
             "aggregate '{name}' is not allowed in this position"
         )));
     }
+    if distinct {
+        return Err(Error::exec(format!(
+            "DISTINCT is not allowed in scalar function '{name}'"
+        )));
+    }
+    scalar_fn_lazy(ctx, name, args.len(), star, |i| {
+        eval_expr(ctx, env, &args[i])
+    })
+}
+
+/// Evaluate a scalar built-in with lazily-supplied arguments: `arg(i)`
+/// produces the i-th argument value on demand, preserving evaluation order
+/// and laziness (`isnull`/`coalesce` stop at the first non-NULL). Shared by
+/// the row-at-a-time interpreter and the compiled executor so side effects
+/// (`syb_sendmsg`, `getdate` clock ticks) and error text are identical on
+/// both paths.
+pub(crate) fn scalar_fn_lazy(
+    ctx: &QueryCtx<'_>,
+    name: &str,
+    nargs: usize,
+    star: bool,
+    mut arg: impl FnMut(usize) -> Result<Value>,
+) -> Result<Value> {
     let lname = name.to_ascii_lowercase();
     let need = |n: usize| -> Result<()> {
-        if args.len() == n && !star {
+        if nargs == n && !star {
             Ok(())
         } else {
             Err(Error::exec(format!("{name}() expects {n} argument(s)")))
@@ -529,9 +575,9 @@ fn eval_function(
         // datagram; returns 0 on success, as Sybase does.
         "syb_sendmsg" => {
             need(3)?;
-            let host = eval_expr(ctx, env, &args[0])?;
-            let port = eval_expr(ctx, env, &args[1])?;
-            let payload = eval_expr(ctx, env, &args[2])?;
+            let host = arg(0)?;
+            let port = arg(1)?;
+            let payload = arg(2)?;
             let port = match port.coerce_to(crate::value::DataType::Int)? {
                 Value::Int(p) if (0..=65535).contains(&p) => p as u16,
                 other => return Err(Error::exec(format!("bad port {other}"))),
@@ -549,28 +595,28 @@ fn eval_function(
         }
         "upper" => {
             need(1)?;
-            match eval_expr(ctx, env, &args[0])? {
+            match arg(0)? {
                 Value::Null => Ok(Value::Null),
                 v => Ok(Value::Str(v.to_string().to_uppercase())),
             }
         }
         "lower" => {
             need(1)?;
-            match eval_expr(ctx, env, &args[0])? {
+            match arg(0)? {
                 Value::Null => Ok(Value::Null),
                 v => Ok(Value::Str(v.to_string().to_lowercase())),
             }
         }
         "len" | "char_length" => {
             need(1)?;
-            match eval_expr(ctx, env, &args[0])? {
+            match arg(0)? {
                 Value::Null => Ok(Value::Null),
                 v => Ok(Value::Int(v.to_string().chars().count() as i64)),
             }
         }
         "abs" => {
             need(1)?;
-            match eval_expr(ctx, env, &args[0])? {
+            match arg(0)? {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(i.abs())),
                 Value::Float(f) => Ok(Value::Float(f.abs())),
@@ -578,12 +624,12 @@ fn eval_function(
             }
         }
         "round" => {
-            if args.is_empty() || args.len() > 2 {
+            if nargs == 0 || nargs > 2 {
                 return Err(Error::exec("round() expects 1 or 2 arguments"));
             }
-            let v = eval_expr(ctx, env, &args[0])?;
-            let digits = if args.len() == 2 {
-                match eval_expr(ctx, env, &args[1])? {
+            let v = arg(0)?;
+            let digits = if nargs == 2 {
+                match arg(1)? {
                     Value::Int(d) => d,
                     other => return Err(Error::type_err(format!("round() digits {other}"))),
                 }
@@ -601,11 +647,11 @@ fn eval_function(
             }
         }
         "isnull" | "coalesce" => {
-            if args.is_empty() {
+            if nargs == 0 {
                 return Err(Error::exec("isnull() expects arguments"));
             }
-            for a in args {
-                let v = eval_expr(ctx, env, a)?;
+            for i in 0..nargs {
+                let v = arg(i)?;
                 if !v.is_null() {
                     return Ok(v);
                 }
@@ -614,7 +660,7 @@ fn eval_function(
         }
         "str" | "convert_str" => {
             need(1)?;
-            Ok(Value::Str(eval_expr(ctx, env, &args[0])?.to_string()))
+            Ok(Value::Str(arg(0)?.to_string()))
         }
         other => Err(Error::NotFound {
             kind: ObjectKind::Function,

@@ -1,0 +1,1772 @@
+//! Compiled physical plans + vectorized batch execution.
+//!
+//! The interpreter in [`crate::select`] re-resolves every column name and
+//! rebuilds a [`crate::eval::RowEnv`] (cloning alias/table-name strings) for
+//! *every candidate row*. This module lowers a statement **once** into a
+//! typed program — column references become `(slot, col)` ordinals, scalar
+//! sub-expressions become [`PExpr`] nodes, aggregate expressions become
+//! [`PAgg`] nodes — and then executes the scan/filter/aggregate pipeline
+//! over ~[`BATCH_ROWS`]-row batches of *row positions*, reading cell values
+//! straight out of the table guards without materializing joined rows.
+//!
+//! # Byte-identity contract
+//!
+//! Every observable behaviour is pinned to the interpreter:
+//!
+//! - **Access paths and counters**: the executor re-runs [`plan::plan`] per
+//!   execution (the greedy join order depends on live table sizes) and calls
+//!   the same [`enumerate_candidates`], so `index_hits`/`index_misses`/
+//!   `rows_scanned` and the visit order match exactly.
+//! - **3VL + errors**: `PExpr` evaluation copies the interpreter's AND/OR
+//!   short-circuiting, `IN`/`BETWEEN`/`LIKE` NULL handling, and shares
+//!   [`scalar_fn_lazy`]/[`apply_binary_values`]/[`finish_aggregate`]/
+//!   [`finish_rows`] so side effects (`syb_sendmsg`, `getdate` ticks) and
+//!   error text cannot drift. Name-resolution failures (ambiguous/unknown
+//!   columns, aggregates in row position) are lowered into deferred
+//!   [`PExpr::Raise`] nodes that only error if the interpreter would have
+//!   evaluated that node — short-circuiting hides them identically.
+//! - **Fallback**: any shape the lowerer cannot compile (subqueries,
+//!   `EXISTS`), any trigger-scope execution, and `compiled_exec = false` all
+//!   run the whole statement through the interpreter. There is no partial
+//!   compilation, so a fallback is identical-by-construction.
+//!
+//! Lowered programs are cached per statement pointer inside the server's
+//! masked-literal plan cache ([`LoweredCache`] rides in each `CachedPlan`),
+//! so they share its DDL-epoch invalidation; a cheap per-execution bind
+//! check ([`CSlot::binds`]) re-lowers if a same-named table was re-created
+//! with a different shape.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ast::{is_aggregate_name, BinaryOp, Expr, SelectItem, SelectStmt, UnaryOp};
+use crate::error::{Error, ObjectKind, Result};
+use crate::eval::{apply_binary_values, like_match, qualifier_matches, scalar_fn_lazy, QueryCtx};
+use crate::index::IndexSet;
+use crate::plan::{self, Access, SlotMeta};
+use crate::select::{
+    cmp_key, enumerate_candidates, finish_aggregate, finish_rows, output_columns, run_select_typed,
+    JoinedMeta, TypedRows,
+};
+use crate::table::{Column, Row, RowsReadGuard, Table};
+use crate::value::Value;
+
+/// Rows per execution batch. Filters/aggregates run over chunks of this many
+/// candidate tuples between counter ticks.
+pub(crate) const BATCH_ROWS: usize = 1024;
+
+fn tick(counter: &AtomicU64) {
+    counter.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Lowered-plan cache
+// ---------------------------------------------------------------------------
+
+/// Lowered physical plans for one cached batch, keyed by statement address
+/// within the batch's `Arc<Vec<Stmt>>` (stable for the cache entry's
+/// lifetime; the server drops the whole entry on DDL-epoch bumps). Trigger
+/// and procedure bodies are cloned per execution — their statement addresses
+/// are transient — so the engine runs trigger bodies interpreted (scope
+/// gate) and clears the cache reference around procedure bodies.
+#[derive(Default)]
+pub(crate) struct LoweredCache {
+    selects: PlanMap<CompiledSelect>,
+    inserts: PlanMap<CompiledInsert>,
+    updates: PlanMap<CompiledUpdate>,
+    deletes: PlanMap<CompiledDelete>,
+}
+
+/// One statement-address → lowered-plan slot map. `None` entries pin
+/// "unsupported shape, stay on the interpreter" so the lowering cost is paid
+/// once per cached batch.
+type PlanMap<T> = Mutex<HashMap<usize, Option<Arc<T>>>>;
+
+impl std::fmt::Debug for LoweredCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoweredCache")
+            .field("selects", &self.selects.lock().len())
+            .field("inserts", &self.inserts.lock().len())
+            .field("updates", &self.updates.lock().len())
+            .field("deletes", &self.deletes.lock().len())
+            .finish()
+    }
+}
+
+/// Shared cache lookup: hit → bind-check → reuse or re-lower; miss → lower
+/// and remember the outcome (including `None` = "this shape stays on the
+/// interpreter", so unsupported statements don't re-lower every execution).
+fn cached_plan<T>(
+    ctx: &QueryCtx<'_>,
+    map: Option<&PlanMap<T>>,
+    key: usize,
+    still_binds: impl Fn(&T) -> bool,
+    lower: impl FnOnce() -> Option<T>,
+) -> Option<Arc<T>> {
+    if let Some(map) = map {
+        if let Some(entry) = map.lock().get(&key).cloned() {
+            tick(&ctx.stats.plan_lowered_hits);
+            return match entry {
+                Some(p) if still_binds(&p) => Some(p),
+                Some(_) => {
+                    // Same statement text, different table shape (drop +
+                    // re-create without a DDL-epoch bump reaching us first).
+                    let fresh = lower().map(Arc::new);
+                    map.lock().insert(key, fresh.clone());
+                    fresh
+                }
+                None => None,
+            };
+        }
+        tick(&ctx.stats.plan_lowered_misses);
+        let fresh = lower().map(Arc::new);
+        map.lock().insert(key, fresh.clone());
+        return fresh;
+    }
+    tick(&ctx.stats.plan_lowered_misses);
+    lower().map(Arc::new)
+}
+
+/// Common execution gates. A `false` means the caller must run the
+/// interpreter; the reason counters are ticked here.
+fn gate(ctx: &QueryCtx<'_>) -> bool {
+    if !ctx.compiled {
+        tick(&ctx.stats.exec_interpreted);
+        tick(&ctx.stats.exec_fallback_disabled);
+        return false;
+    }
+    if !ctx.scope.is_empty() {
+        // Trigger bodies see `inserted`/`deleted` pseudo-tables and run from
+        // per-firing statement clones; both break plan caching, so the whole
+        // scope runs interpreted.
+        tick(&ctx.stats.exec_interpreted);
+        tick(&ctx.stats.exec_fallback_scope);
+        return false;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Compiled program types
+// ---------------------------------------------------------------------------
+
+/// What one FROM slot was lowered against, for per-execution bind checks.
+struct CSlot {
+    table_name: String,
+    columns: Vec<Column>,
+}
+
+impl CSlot {
+    fn of(t: &Table) -> CSlot {
+        CSlot {
+            table_name: t.name.clone(),
+            columns: t.schema.columns.clone(),
+        }
+    }
+
+    /// Does the live table still look exactly like it did at lowering time?
+    fn binds(&self, t: &Table) -> bool {
+        t.name == self.table_name
+            && t.schema.columns.len() == self.columns.len()
+            && t.schema.columns.iter().zip(&self.columns).all(|(a, b)| {
+                a.name == b.name && a.data_type == b.data_type && a.nullable == b.nullable
+            })
+    }
+}
+
+/// A deferred name-resolution error: raised only if the node is actually
+/// evaluated, mirroring the interpreter's evaluation-time resolution.
+#[derive(Debug, Clone)]
+enum PErr {
+    /// Column name matched in two FROM slots.
+    Ambiguous(String),
+    /// Column (pre-formatted `q.name` or `name`) matched nowhere.
+    NotFoundColumn(String),
+    /// Aggregate function referenced in row (non-group) position.
+    AggPosition(String),
+    /// `DISTINCT` inside a scalar function call.
+    DistinctScalar(String),
+}
+
+impl PErr {
+    fn raise(&self) -> Error {
+        match self {
+            PErr::Ambiguous(name) => Error::exec(format!("ambiguous column name '{name}'")),
+            PErr::NotFoundColumn(name) => Error::NotFound {
+                kind: ObjectKind::Column,
+                name: name.clone(),
+            },
+            PErr::AggPosition(name) => Error::exec(format!(
+                "aggregate '{name}' is not allowed in this position"
+            )),
+            PErr::DistinctScalar(name) => Error::exec(format!(
+                "DISTINCT is not allowed in scalar function '{name}'"
+            )),
+        }
+    }
+}
+
+/// A pre-compiled row-context predicate/scalar program. Column references
+/// are `(slot, col)` ordinals into the current candidate tuple.
+#[derive(Debug, Clone)]
+enum PExpr {
+    Lit(Value),
+    Param(usize),
+    Col {
+        slot: usize,
+        col: usize,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<PExpr>,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<PExpr>,
+        right: Box<PExpr>,
+    },
+    Func {
+        name: String,
+        args: Vec<PExpr>,
+        star: bool,
+    },
+    IsNull {
+        operand: Box<PExpr>,
+        negated: bool,
+    },
+    InList {
+        operand: Box<PExpr>,
+        list: Vec<PExpr>,
+        negated: bool,
+    },
+    Between {
+        operand: Box<PExpr>,
+        low: Box<PExpr>,
+        high: Box<PExpr>,
+        negated: bool,
+    },
+    Like {
+        operand: Box<PExpr>,
+        pattern: Box<PExpr>,
+        negated: bool,
+    },
+    Raise(PErr),
+}
+
+/// A pre-compiled group-context program, mirroring
+/// `select::eval_grouped`'s dispatch.
+#[derive(Debug, Clone)]
+enum PAgg {
+    /// Non-aggregate expression: value from the group's first row (Sybase
+    /// leniency), NULL for an empty group.
+    First(PExpr),
+    /// An aggregate call. `arg` is `Some` only when exactly one argument
+    /// was supplied; the arity error is raised at evaluation time.
+    Agg {
+        name: String,
+        arg: Option<Box<PExpr>>,
+        nargs: usize,
+        star: bool,
+        distinct: bool,
+    },
+    /// Both sides evaluate (no short-circuit), exactly like `eval_grouped`.
+    Bin {
+        op: BinaryOp,
+        left: Box<PAgg>,
+        right: Box<PAgg>,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<PAgg>,
+    },
+    IsNull {
+        operand: Box<PAgg>,
+        negated: bool,
+    },
+    /// Shape the grouped evaluator rejects; message pre-formatted at
+    /// lowering, raised per group evaluated.
+    RaiseGroup(String),
+}
+
+/// An infallible, side-effect-free scalar atom: a literal, a bound
+/// statement parameter, or a column ordinal. Evaluating one cannot error
+/// (parameter arity is checked once per execution before the fast paths
+/// engage), so fused loops may skip or reorder atom reads freely without
+/// breaking interpreter identity.
+#[derive(Debug, Clone)]
+enum PAtom {
+    Lit(Value),
+    Param(usize),
+    Col { slot: usize, col: usize },
+}
+
+impl PAtom {
+    #[inline]
+    fn get<'a>(&'a self, rows: &[&'a [Value]], params: &'a [Value]) -> &'a Value {
+        match self {
+            PAtom::Lit(v) => v,
+            PAtom::Param(i) => &params[*i],
+            PAtom::Col { slot, col } => &rows[*slot][*col],
+        }
+    }
+}
+
+/// One conjunct of a fused filter: a comparison (or NULL test) between two
+/// atoms. `keeps` returns the exact truthiness the interpreter's 3VL would
+/// produce for the enclosing AND chain: a NULL comparison is never truthy,
+/// and under AND a single non-truthy conjunct makes the whole predicate
+/// non-truthy regardless of the others, so short-circuiting over infallible
+/// conjuncts is unobservable.
+#[derive(Debug, Clone)]
+enum PCmp {
+    Cmp {
+        op: BinaryOp,
+        left: PAtom,
+        right: PAtom,
+    },
+    IsNull {
+        operand: PAtom,
+        negated: bool,
+    },
+}
+
+impl PCmp {
+    #[inline]
+    fn keeps(&self, rows: &[&[Value]], params: &[Value]) -> bool {
+        match self {
+            PCmp::Cmp { op, left, right } => {
+                use std::cmp::Ordering::*;
+                match left.get(rows, params).sql_cmp(right.get(rows, params)) {
+                    Some(ord) => match op {
+                        BinaryOp::Eq => ord == Equal,
+                        BinaryOp::Neq => ord != Equal,
+                        BinaryOp::Lt => ord == Less,
+                        BinaryOp::Le => ord != Greater,
+                        BinaryOp::Gt => ord == Greater,
+                        BinaryOp::Ge => ord != Less,
+                        _ => unreachable!("non-comparison op in fused conjunct"),
+                    },
+                    None => false,
+                }
+            }
+            PCmp::IsNull { operand, negated } => operand.get(rows, params).is_null() != *negated,
+        }
+    }
+}
+
+/// A WHERE clause fused into an AND-list of infallible conjuncts — the
+/// value-at-a-time `PExpr` walk (with its per-node `Result` wrapping and
+/// `Value` clones) replaced by borrowed `sql_cmp` calls.
+#[derive(Debug)]
+struct FastFilter {
+    conjuncts: Vec<PCmp>,
+    /// Parameter slots the conjuncts read; the fast path engages only when
+    /// the execution binds at least this many (an unbound slot must raise
+    /// through the general evaluator instead).
+    params_needed: usize,
+}
+
+impl FastFilter {
+    /// The conjunct list, if this execution's bindings make it infallible.
+    fn usable(&self, ctx: &QueryCtx<'_>) -> Option<&[PCmp]> {
+        (self.params_needed <= ctx.params.len()).then_some(&self.conjuncts[..])
+    }
+}
+
+/// Record an atom read into `needed` (the minimum parameter arity) and
+/// lower it, or `None` if the expression is not an atom.
+fn fuse_atom(e: &PExpr, needed: &mut usize) -> Option<PAtom> {
+    match e {
+        PExpr::Lit(v) => Some(PAtom::Lit(v.clone())),
+        PExpr::Param(i) => {
+            *needed = (*needed).max(i + 1);
+            Some(PAtom::Param(*i))
+        }
+        PExpr::Col { slot, col } => Some(PAtom::Col {
+            slot: *slot,
+            col: *col,
+        }),
+        _ => None,
+    }
+}
+
+/// Fuse a lowered filter into conjuncts, or `None` when any part of it
+/// needs the general evaluator (OR, arithmetic, functions, LIKE, ...).
+fn fuse_filter(filter: Option<&PExpr>) -> Option<FastFilter> {
+    fn walk(e: &PExpr, out: &mut Vec<PCmp>, needed: &mut usize) -> bool {
+        match e {
+            PExpr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => walk(left, out, needed) && walk(right, out, needed),
+            PExpr::Binary { op, left, right }
+                if matches!(
+                    op,
+                    BinaryOp::Eq
+                        | BinaryOp::Neq
+                        | BinaryOp::Lt
+                        | BinaryOp::Le
+                        | BinaryOp::Gt
+                        | BinaryOp::Ge
+                ) =>
+            {
+                match (fuse_atom(left, needed), fuse_atom(right, needed)) {
+                    (Some(l), Some(r)) => {
+                        out.push(PCmp::Cmp {
+                            op: *op,
+                            left: l,
+                            right: r,
+                        });
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            PExpr::IsNull { operand, negated } => match fuse_atom(operand, needed) {
+                Some(a) => {
+                    out.push(PCmp::IsNull {
+                        operand: a,
+                        negated: *negated,
+                    });
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+    let e = filter?;
+    let mut conjuncts = Vec::new();
+    let mut needed = 0usize;
+    walk(e, &mut conjuncts, &mut needed).then_some(FastFilter {
+        conjuncts,
+        params_needed: needed,
+    })
+}
+
+/// One fused aggregate-projection item: its non-null inputs are collected
+/// in a single pass over the group's rows (instead of one full walk per
+/// item), then finished with the shared [`finish_aggregate`] in item order
+/// — identical inputs, identical results and error order, because atom
+/// collection itself cannot error or observe side effects.
+#[derive(Debug)]
+enum FAgg {
+    /// `count(*)`: the group size, no row walk at all.
+    CountStar,
+    /// Non-aggregate item: the atom from the group's first row.
+    First(PAtom),
+    /// A one-argument aggregate over an atom.
+    Agg {
+        name: String,
+        arg: PAtom,
+        distinct: bool,
+    },
+}
+
+/// The aggregate select list fused for single-pass collection.
+#[derive(Debug)]
+struct FusedAggs {
+    items: Vec<FAgg>,
+    params_needed: usize,
+}
+
+/// Fuse an aggregate projection, or `None` when any item needs the general
+/// per-item [`eval_pagg`] walk (nested expressions, wildcards, non-atom
+/// arguments, `count(*)` shapes that must raise).
+fn fuse_aggs(items: &[PAggItem]) -> Option<FusedAggs> {
+    let mut needed = 0usize;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let PAggItem::Value(pa) = item else {
+            return None;
+        };
+        out.push(match pa {
+            PAgg::First(e) => FAgg::First(fuse_atom(e, &mut needed)?),
+            PAgg::Agg {
+                name,
+                arg,
+                nargs,
+                star,
+                distinct,
+            } => {
+                if *star {
+                    // Only `count(*)` without DISTINCT evaluates infallibly;
+                    // every other star shape raises per group.
+                    if name.eq_ignore_ascii_case("count") && !*distinct {
+                        FAgg::CountStar
+                    } else {
+                        return None;
+                    }
+                } else if *nargs == 1 {
+                    let arg = arg.as_deref().expect("nargs == 1 implies lowered arg");
+                    FAgg::Agg {
+                        name: name.clone(),
+                        arg: fuse_atom(arg, &mut needed)?,
+                        distinct: *distinct,
+                    }
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        });
+    }
+    Some(FusedAggs {
+        items: out,
+        params_needed: needed,
+    })
+}
+
+/// One projection item of a non-aggregate SELECT.
+#[derive(Debug, Clone)]
+enum PProj {
+    /// `*`: every slot's full row.
+    AllSlots,
+    /// `t.*` resolved to one slot.
+    Slot(usize),
+    Expr(PExpr),
+}
+
+/// One projection item of an aggregate/GROUP BY SELECT.
+#[derive(Debug, Clone)]
+enum PAggItem {
+    Value(PAgg),
+    /// `*` under GROUP BY: errors per emitted group, as the interpreter does.
+    WildcardErr,
+}
+
+/// One ORDER BY key source.
+#[derive(Debug, Clone)]
+enum POrder {
+    /// Output-column reference (ordinal or alias hit).
+    Out(usize),
+    /// Out-of-range ordinal: errors per emitted row.
+    OrdinalErr(i64),
+    /// Row-context expression (non-aggregate SELECT).
+    Row(PExpr),
+    /// Group-context expression (aggregate SELECT).
+    Group(PAgg),
+}
+
+/// A fully lowered SELECT.
+pub(crate) struct CompiledSelect {
+    slots: Vec<CSlot>,
+    filter: Option<PExpr>,
+    /// Conjunct-fused twin of `filter`, when every part of it is fusable.
+    fast_filter: Option<FastFilter>,
+    /// Single-pass twin of `agg_proj`, when every item is fusable.
+    fused_aggs: Option<FusedAggs>,
+    has_aggregates: bool,
+    out_names: Vec<Arc<str>>,
+    out_types: Vec<Column>,
+    proj: Vec<PProj>,
+    agg_proj: Vec<PAggItem>,
+    group_by: Vec<PExpr>,
+    having: Option<PAgg>,
+    order: Vec<POrder>,
+}
+
+/// A fully lowered single-table UPDATE.
+pub(crate) struct CompiledUpdate {
+    slot: CSlot,
+    filter: Option<PExpr>,
+    fast_filter: Option<FastFilter>,
+    /// `(resolved column ordinal, source column name, value program)` —
+    /// the ordinal is `None` for an unknown column, raised only when a row
+    /// actually matches (interpreter parity).
+    assigns: Vec<(Option<usize>, String, PExpr)>,
+}
+
+/// A fully lowered single-table DELETE.
+pub(crate) struct CompiledDelete {
+    slot: CSlot,
+    filter: Option<PExpr>,
+    fast_filter: Option<FastFilter>,
+}
+
+/// Lowered `INSERT ... VALUES` row programs (no FROM slots: column
+/// references become deferred not-found errors, as with `RowEnv::empty()`).
+pub(crate) struct CompiledInsert {
+    rows: Vec<Vec<PExpr>>,
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+struct Lowerer<'a> {
+    ctx: &'a QueryCtx<'a>,
+    metas: &'a [JoinedMeta],
+}
+
+impl Lowerer<'_> {
+    /// Resolve a column reference to ordinals, mirroring `RowEnv::lookup`
+    /// over the FROM frames (top-level statements have no parent
+    /// environment). Failures lower to deferred raise nodes.
+    fn lower_col(&self, qualifier: Option<&str>, name: &str) -> PExpr {
+        let mut found: Option<(usize, usize)> = None;
+        for (slot, m) in self.metas.iter().enumerate() {
+            if let Some(q) = qualifier {
+                if !qualifier_matches(m.alias.as_deref(), &m.table_name, q, self.ctx.session) {
+                    continue;
+                }
+            }
+            if let Some(col) = m.schema.index_of(name) {
+                if found.is_some() {
+                    return PExpr::Raise(PErr::Ambiguous(name.to_string()));
+                }
+                found = Some((slot, col));
+            }
+        }
+        match found {
+            Some((slot, col)) => PExpr::Col { slot, col },
+            None => PExpr::Raise(PErr::NotFoundColumn(match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            })),
+        }
+    }
+
+    /// Lower a row-context expression. `None` = shape not compilable
+    /// (subqueries); the whole statement then stays on the interpreter.
+    fn lower_pexpr(&self, e: &Expr) -> Option<PExpr> {
+        Some(match e {
+            Expr::Literal(v) => PExpr::Lit(v.clone()),
+            Expr::Param(i) => PExpr::Param(*i),
+            Expr::Column { qualifier, name } => self.lower_col(qualifier.as_deref(), name),
+            Expr::Unary { op, operand } => PExpr::Unary {
+                op: *op,
+                operand: Box::new(self.lower_pexpr(operand)?),
+            },
+            Expr::Binary { op, left, right } => PExpr::Binary {
+                op: *op,
+                left: Box::new(self.lower_pexpr(left)?),
+                right: Box::new(self.lower_pexpr(right)?),
+            },
+            Expr::Function {
+                name,
+                args,
+                star,
+                distinct,
+            } => {
+                // Same rejection order as `eval_function`: aggregate-in-row
+                // position first, then DISTINCT-on-scalar.
+                if is_aggregate_name(name) {
+                    PExpr::Raise(PErr::AggPosition(name.clone()))
+                } else if *distinct {
+                    PExpr::Raise(PErr::DistinctScalar(name.clone()))
+                } else {
+                    let mut lowered = Vec::with_capacity(args.len());
+                    for a in args {
+                        lowered.push(self.lower_pexpr(a)?);
+                    }
+                    PExpr::Func {
+                        name: name.clone(),
+                        args: lowered,
+                        star: *star,
+                    }
+                }
+            }
+            Expr::IsNull { operand, negated } => PExpr::IsNull {
+                operand: Box::new(self.lower_pexpr(operand)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                operand,
+                list,
+                negated,
+            } => {
+                let mut lowered = Vec::with_capacity(list.len());
+                for item in list {
+                    lowered.push(self.lower_pexpr(item)?);
+                }
+                PExpr::InList {
+                    operand: Box::new(self.lower_pexpr(operand)?),
+                    list: lowered,
+                    negated: *negated,
+                }
+            }
+            Expr::Between {
+                operand,
+                low,
+                high,
+                negated,
+            } => PExpr::Between {
+                operand: Box::new(self.lower_pexpr(operand)?),
+                low: Box::new(self.lower_pexpr(low)?),
+                high: Box::new(self.lower_pexpr(high)?),
+                negated: *negated,
+            },
+            Expr::Like {
+                operand,
+                pattern,
+                negated,
+            } => PExpr::Like {
+                operand: Box::new(self.lower_pexpr(operand)?),
+                pattern: Box::new(self.lower_pexpr(pattern)?),
+                negated: *negated,
+            },
+            Expr::Exists(_) | Expr::Subquery(_) => return None,
+        })
+    }
+
+    /// Lower a group-context expression, mirroring `eval_grouped`'s
+    /// dispatch order.
+    fn lower_pagg(&self, e: &Expr) -> Option<PAgg> {
+        if !e.contains_aggregate() {
+            return Some(PAgg::First(self.lower_pexpr(e)?));
+        }
+        Some(match e {
+            Expr::Function {
+                name,
+                args,
+                star,
+                distinct,
+            } if is_aggregate_name(name) => {
+                let arg = if args.len() == 1 {
+                    Some(Box::new(self.lower_pexpr(&args[0])?))
+                } else {
+                    None
+                };
+                PAgg::Agg {
+                    name: name.clone(),
+                    arg,
+                    nargs: args.len(),
+                    star: *star,
+                    distinct: *distinct,
+                }
+            }
+            Expr::Binary { op, left, right } => PAgg::Bin {
+                op: *op,
+                left: Box::new(self.lower_pagg(left)?),
+                right: Box::new(self.lower_pagg(right)?),
+            },
+            Expr::Unary { op, operand } => PAgg::Unary {
+                op: *op,
+                operand: Box::new(self.lower_pagg(operand)?),
+            },
+            Expr::IsNull { operand, negated } => PAgg::IsNull {
+                operand: Box::new(self.lower_pagg(operand)?),
+                negated: *negated,
+            },
+            Expr::Function { name, .. } => PAgg::RaiseGroup(format!(
+                "cannot nest scalar function '{name}' over aggregates"
+            )),
+            other => PAgg::RaiseGroup(format!("unsupported aggregate expression: {other:?}")),
+        })
+    }
+}
+
+/// Find the slot a `t.*` wildcard denotes — the same three-way match
+/// `output_columns` uses.
+fn find_wildcard_slot(metas: &[JoinedMeta], q: &str) -> Option<usize> {
+    metas.iter().position(|m| {
+        m.alias
+            .as_deref()
+            .is_some_and(|a| a.eq_ignore_ascii_case(q))
+            || m.table_name.eq_ignore_ascii_case(q)
+            || m.table_name
+                .to_ascii_lowercase()
+                .ends_with(&format!(".{}", q.to_ascii_lowercase()))
+    })
+}
+
+fn lower_select(
+    ctx: &QueryCtx<'_>,
+    stmt: &SelectStmt,
+    metas: &[JoinedMeta],
+    tables: &[&Table],
+) -> Option<CompiledSelect> {
+    let lw = Lowerer { ctx, metas };
+    // A projection the interpreter would reject errors identically via the
+    // fallback, so an `Err` here just bails.
+    let (out_names, out_types) = output_columns(metas, &stmt.projection).ok()?;
+    let has_aggregates = !stmt.group_by.is_empty()
+        || stmt
+            .projection
+            .iter()
+            .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || stmt.having.as_ref().is_some_and(Expr::contains_aggregate);
+
+    let filter = match &stmt.selection {
+        Some(cond) => Some(lw.lower_pexpr(cond)?),
+        None => None,
+    };
+
+    let mut group_by = Vec::with_capacity(stmt.group_by.len());
+    for g in &stmt.group_by {
+        group_by.push(lw.lower_pexpr(g)?);
+    }
+    // HAVING only applies on the aggregate path (interpreter parity: a
+    // HAVING on a non-aggregate SELECT is ignored there too).
+    let having = if has_aggregates {
+        match &stmt.having {
+            Some(h) => Some(lw.lower_pagg(h)?),
+            None => None,
+        }
+    } else {
+        None
+    };
+
+    let mut proj = Vec::new();
+    let mut agg_proj = Vec::new();
+    if has_aggregates {
+        for item in &stmt.projection {
+            agg_proj.push(match item {
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => PAggItem::WildcardErr,
+                SelectItem::Expr { expr, .. } => PAggItem::Value(lw.lower_pagg(expr)?),
+            });
+        }
+    } else {
+        for item in &stmt.projection {
+            proj.push(match item {
+                SelectItem::Wildcard => PProj::AllSlots,
+                SelectItem::QualifiedWildcard(q) => PProj::Slot(find_wildcard_slot(metas, q)?),
+                SelectItem::Expr { expr, .. } => PProj::Expr(lw.lower_pexpr(expr)?),
+            });
+        }
+    }
+
+    let mut order = Vec::with_capacity(stmt.order_by.len());
+    for item in &stmt.order_by {
+        // Mirror `output_ref`: ordinal and bare-alias references resolve
+        // against the output row; everything else evaluates in context.
+        let resolved = match &item.expr {
+            Expr::Literal(Value::Int(n)) => {
+                let idx = *n as usize;
+                if idx == 0 || idx > out_names.len() {
+                    Some(POrder::OrdinalErr(*n))
+                } else {
+                    Some(POrder::Out(idx - 1))
+                }
+            }
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => out_names
+                .iter()
+                .position(|on| on.eq_ignore_ascii_case(name))
+                .map(POrder::Out),
+            _ => None,
+        };
+        order.push(match resolved {
+            Some(p) => p,
+            None if has_aggregates => POrder::Group(lw.lower_pagg(&item.expr)?),
+            None => POrder::Row(lw.lower_pexpr(&item.expr)?),
+        });
+    }
+
+    let fast_filter = fuse_filter(filter.as_ref());
+    let fused_aggs = if has_aggregates {
+        fuse_aggs(&agg_proj)
+    } else {
+        None
+    };
+    Some(CompiledSelect {
+        slots: tables.iter().map(|t| CSlot::of(t)).collect(),
+        filter,
+        fast_filter,
+        fused_aggs,
+        has_aggregates,
+        out_names,
+        out_types,
+        proj,
+        agg_proj,
+        group_by,
+        having,
+        order,
+    })
+}
+
+fn single_meta(t: &Table) -> JoinedMeta {
+    JoinedMeta {
+        alias: None,
+        table_name: t.name.clone(),
+        schema: t.schema.clone(),
+        offset: 0,
+        width: t.schema.len(),
+    }
+}
+
+fn lower_update(
+    ctx: &QueryCtx<'_>,
+    t: &Table,
+    assignments: &[(String, Expr)],
+    selection: Option<&Expr>,
+) -> Option<CompiledUpdate> {
+    let metas = [single_meta(t)];
+    let lw = Lowerer { ctx, metas: &metas };
+    let filter = match selection {
+        Some(cond) => Some(lw.lower_pexpr(cond)?),
+        None => None,
+    };
+    let mut assigns = Vec::with_capacity(assignments.len());
+    for (col, e) in assignments {
+        assigns.push((t.schema.index_of(col), col.clone(), lw.lower_pexpr(e)?));
+    }
+    let fast_filter = fuse_filter(filter.as_ref());
+    Some(CompiledUpdate {
+        slot: CSlot::of(t),
+        filter,
+        fast_filter,
+        assigns,
+    })
+}
+
+fn lower_delete(ctx: &QueryCtx<'_>, t: &Table, selection: Option<&Expr>) -> Option<CompiledDelete> {
+    let metas = [single_meta(t)];
+    let lw = Lowerer { ctx, metas: &metas };
+    let filter = match selection {
+        Some(cond) => Some(lw.lower_pexpr(cond)?),
+        None => None,
+    };
+    let fast_filter = fuse_filter(filter.as_ref());
+    Some(CompiledDelete {
+        slot: CSlot::of(t),
+        filter,
+        fast_filter,
+    })
+}
+
+fn lower_insert(ctx: &QueryCtx<'_>, rows: &[Vec<Expr>]) -> Option<CompiledInsert> {
+    let lw = Lowerer { ctx, metas: &[] };
+    let mut lowered = Vec::with_capacity(rows.len());
+    for exprs in rows {
+        let mut row = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            row.push(lw.lower_pexpr(e)?);
+        }
+        lowered.push(row);
+    }
+    Some(CompiledInsert { rows: lowered })
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluate a compiled row program. `rows[slot]` is the candidate tuple's
+/// row slice for that FROM slot — borrowed straight from the table guards,
+/// never cloned or re-keyed.
+fn eval_p(ctx: &QueryCtx<'_>, rows: &[&[Value]], e: &PExpr) -> Result<Value> {
+    match e {
+        PExpr::Lit(v) => Ok(v.clone()),
+        PExpr::Param(i) => ctx
+            .params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::exec(format!("unbound statement parameter ${i}"))),
+        PExpr::Col { slot, col } => Ok(rows[*slot][*col].clone()),
+        PExpr::Unary { op, operand } => {
+            let v = eval_p(ctx, rows, operand)?;
+            match op {
+                UnaryOp::Not => Ok(match v {
+                    Value::Null => Value::Null,
+                    other => Value::Int(i64::from(!other.is_truthy())),
+                }),
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(Error::type_err(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        PExpr::Binary { op, left, right } => match op {
+            // AND/OR: the interpreter's exact short-circuit 3VL.
+            BinaryOp::And => {
+                let l = eval_p(ctx, rows, left)?;
+                if !l.is_null() && !l.is_truthy() {
+                    return Ok(Value::Int(0));
+                }
+                let r = eval_p(ctx, rows, right)?;
+                Ok(match (l.is_null(), r.is_null()) {
+                    (false, false) => Value::Int(i64::from(l.is_truthy() && r.is_truthy())),
+                    _ => {
+                        if !r.is_null() && !r.is_truthy() {
+                            Value::Int(0)
+                        } else {
+                            Value::Null
+                        }
+                    }
+                })
+            }
+            BinaryOp::Or => {
+                let l = eval_p(ctx, rows, left)?;
+                if !l.is_null() && l.is_truthy() {
+                    return Ok(Value::Int(1));
+                }
+                let r = eval_p(ctx, rows, right)?;
+                Ok(match (l.is_null(), r.is_null()) {
+                    (false, false) => Value::Int(i64::from(l.is_truthy() || r.is_truthy())),
+                    _ => {
+                        if !r.is_null() && r.is_truthy() {
+                            Value::Int(1)
+                        } else {
+                            Value::Null
+                        }
+                    }
+                })
+            }
+            _ => {
+                let l = eval_p(ctx, rows, left)?;
+                let r = eval_p(ctx, rows, right)?;
+                apply_binary_values(*op, l, r)
+            }
+        },
+        PExpr::Func { name, args, star } => scalar_fn_lazy(ctx, name, args.len(), *star, |i| {
+            eval_p(ctx, rows, &args[i])
+        }),
+        PExpr::IsNull { operand, negated } => {
+            let v = eval_p(ctx, rows, operand)?;
+            Ok(Value::Int(i64::from(v.is_null() != *negated)))
+        }
+        PExpr::InList {
+            operand,
+            list,
+            negated,
+        } => {
+            let v = eval_p(ctx, rows, operand)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval_p(ctx, rows, item)?;
+                if iv.is_null() {
+                    saw_null = true;
+                    continue;
+                }
+                if v.sql_cmp(&iv) == Some(std::cmp::Ordering::Equal) {
+                    return Ok(Value::Int(i64::from(!*negated)));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Int(i64::from(*negated)))
+            }
+        }
+        PExpr::Between {
+            operand,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_p(ctx, rows, operand)?;
+            let lo = eval_p(ctx, rows, low)?;
+            let hi = eval_p(ctx, rows, high)?;
+            match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+                    Ok(Value::Int(i64::from(inside != *negated)))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        PExpr::Like {
+            operand,
+            pattern,
+            negated,
+        } => {
+            let v = eval_p(ctx, rows, operand)?;
+            let p = eval_p(ctx, rows, pattern)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    Ok(Value::Int(i64::from(like_match(&s, &pat) != *negated)))
+                }
+                (a, b) => Err(Error::type_err(format!(
+                    "LIKE requires strings, got {a} LIKE {b}"
+                ))),
+            }
+        }
+        PExpr::Raise(p) => Err(p.raise()),
+    }
+}
+
+/// The filtered candidate set of one SELECT: a flat buffer of passing
+/// tuples (`stride` positions each) over the held row guards.
+struct BatchCtx<'a> {
+    guards: &'a [RowsReadGuard<'a>],
+    pass: &'a [usize],
+    stride: usize,
+    npass: usize,
+}
+
+impl BatchCtx<'_> {
+    fn tuple(&self, ti: usize) -> &[usize] {
+        &self.pass[ti * self.stride..(ti + 1) * self.stride]
+    }
+
+    /// Refill `rows` with the tuple's per-slot row slices.
+    fn load<'s>(&'s self, ti: usize, rows: &mut Vec<&'s [Value]>) {
+        rows.clear();
+        for (s, &pos) in self.tuple(ti).iter().enumerate() {
+            rows.push(self.guards[s][pos].as_slice());
+        }
+    }
+}
+
+/// Evaluate a compiled group program over `group` (indices of passing
+/// tuples), mirroring `eval_grouped` + `compute_aggregate`.
+fn eval_pagg(ctx: &QueryCtx<'_>, b: &BatchCtx<'_>, group: &[usize], pa: &PAgg) -> Result<Value> {
+    match pa {
+        PAgg::First(e) => match group.first() {
+            Some(&ti) => {
+                let mut rows = Vec::with_capacity(b.stride);
+                b.load(ti, &mut rows);
+                eval_p(ctx, &rows, e)
+            }
+            None => Ok(Value::Null),
+        },
+        PAgg::Agg {
+            name,
+            arg,
+            nargs,
+            star,
+            distinct,
+        } => {
+            if name.eq_ignore_ascii_case("count") && *star {
+                if *distinct {
+                    return Err(Error::exec("DISTINCT is not allowed with count(*)"));
+                }
+                return Ok(Value::Int(group.len() as i64));
+            }
+            if *nargs != 1 {
+                return Err(Error::exec(format!("{name}() expects one argument")));
+            }
+            let arg = arg.as_deref().expect("nargs == 1 implies lowered arg");
+            let mut vals = Vec::with_capacity(group.len());
+            let mut rows = Vec::with_capacity(b.stride);
+            for &ti in group {
+                b.load(ti, &mut rows);
+                let v = eval_p(ctx, &rows, arg)?;
+                if !v.is_null() {
+                    vals.push(v);
+                }
+            }
+            finish_aggregate(name, vals, *distinct)
+        }
+        PAgg::Bin { op, left, right } => {
+            let l = eval_pagg(ctx, b, group, left)?;
+            let r = eval_pagg(ctx, b, group, right)?;
+            apply_binary_values(*op, l, r)
+        }
+        PAgg::Unary { op, operand } => {
+            let v = eval_pagg(ctx, b, group, operand)?;
+            match op {
+                UnaryOp::Not => Ok(match v {
+                    Value::Null => Value::Null,
+                    other => Value::Int(i64::from(!other.is_truthy())),
+                }),
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(Error::type_err(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        PAgg::IsNull { operand, negated } => {
+            let v = eval_pagg(ctx, b, group, operand)?;
+            Ok(Value::Int(i64::from(v.is_null() != *negated)))
+        }
+        PAgg::RaiseGroup(msg) => Err(Error::exec(msg.clone())),
+    }
+}
+
+/// Advance a row-position odometer; `false` when exhausted.
+fn advance(idx: &mut [usize], sizes: &[usize]) -> bool {
+    for k in (0..idx.len()).rev() {
+        idx[k] += 1;
+        if idx[k] < sizes[k] {
+            return true;
+        }
+        idx[k] = 0;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// SELECT entry point
+// ---------------------------------------------------------------------------
+
+/// Execute a top-level SELECT through the compiled executor when possible,
+/// falling back to [`run_select_typed`] (whole-statement, so semantics are
+/// identical by construction) otherwise.
+pub(crate) fn run_select_exec(
+    ctx: &QueryCtx<'_>,
+    stmt: &SelectStmt,
+    lowered: Option<&LoweredCache>,
+) -> Result<TypedRows> {
+    if !gate(ctx) {
+        return run_select_typed(ctx, stmt, None);
+    }
+    // FROM resolution: same calls, same error order as the interpreter.
+    let mut metas: Vec<JoinedMeta> = Vec::with_capacity(stmt.from.len());
+    let mut tables: Vec<&Table> = Vec::with_capacity(stmt.from.len());
+    let mut offset = 0usize;
+    for tref in &stmt.from {
+        let table = ctx.resolve_table(&tref.name)?;
+        metas.push(JoinedMeta {
+            alias: tref.alias.clone(),
+            table_name: table.name.clone(),
+            schema: table.schema.clone(),
+            offset,
+            width: table.schema.len(),
+        });
+        offset += table.schema.len();
+        tables.push(table);
+    }
+
+    let key = stmt as *const SelectStmt as usize;
+    let compiled = cached_plan(
+        ctx,
+        lowered.map(|c| &c.selects),
+        key,
+        |cs: &CompiledSelect| {
+            cs.slots.len() == tables.len() && cs.slots.iter().zip(&tables).all(|(s, t)| s.binds(t))
+        },
+        || lower_select(ctx, stmt, &metas, &tables),
+    );
+    match compiled {
+        Some(cs) => {
+            tick(&ctx.stats.exec_compiled);
+            exec_select(ctx, stmt, &cs, &metas, &tables)
+        }
+        None => {
+            tick(&ctx.stats.exec_interpreted);
+            tick(&ctx.stats.exec_fallback_expr);
+            run_select_typed(ctx, stmt, None)
+        }
+    }
+}
+
+fn exec_select(
+    ctx: &QueryCtx<'_>,
+    stmt: &SelectStmt,
+    cs: &CompiledSelect,
+    metas: &[JoinedMeta],
+    tables: &[&Table],
+) -> Result<TypedRows> {
+    let nslots = tables.len();
+    // Guards are held through projection: recursive reads keep self-joins
+    // deadlock-free, compiled statements contain no subqueries, and sinks
+    // never touch tables, so nothing re-enters the row locks.
+    let guards: Vec<RowsReadGuard<'_>> = tables.iter().map(|t| t.rows()).collect();
+    let mut pass: Vec<usize> = Vec::new();
+    let mut npass = 0usize;
+    let mut rows_scratch: Vec<&[Value]> = Vec::with_capacity(nslots.max(1));
+    let fast = cs.fast_filter.as_ref().and_then(|ff| ff.usable(ctx));
+
+    if tables.is_empty() {
+        // Zero-table SELECT: one conceptual empty tuple through the filter.
+        let keep = match &cs.filter {
+            Some(f) => eval_p(ctx, &[], f)?.is_truthy(),
+            None => true,
+        };
+        if keep {
+            npass = 1;
+        }
+    } else {
+        let sets: Vec<Arc<IndexSet>> = tables.iter().map(|t| t.index_set()).collect();
+        let sizes: Vec<usize> = guards.iter().map(|g| g.len()).collect();
+        let slots: Vec<SlotMeta<'_>> = metas
+            .iter()
+            .map(|m| SlotMeta {
+                alias: m.alias.as_deref(),
+                table_name: &m.table_name,
+                schema: &m.schema,
+            })
+            .collect();
+        let set_refs: Vec<&IndexSet> = sets.iter().map(|s| s.as_ref()).collect();
+        // Re-plan per execution: the greedy join order depends on live table
+        // sizes, and matching the interpreter's order is part of the
+        // byte-identity contract (visit order, counters, error rows).
+        let aplan = plan::plan(
+            stmt.selection.as_ref(),
+            &slots,
+            &set_refs,
+            &sizes,
+            ctx.session,
+            ctx.params,
+        );
+        let mut visited: u64 = 0;
+        if aplan.any_index {
+            for (_, access) in &aplan.levels {
+                let counter = match access {
+                    Access::Full => &ctx.stats.index_misses,
+                    _ => &ctx.stats.index_hits,
+                };
+                counter.fetch_add(1, AtomicOrdering::Relaxed);
+            }
+            let static_cands: Vec<Option<Vec<usize>>> = aplan
+                .levels
+                .iter()
+                .map(|(slot, access)| plan::static_candidates(access, &sets[*slot]))
+                .collect();
+            let mut tuples: Vec<Vec<usize>> = Vec::new();
+            let mut current = vec![0usize; nslots];
+            enumerate_candidates(
+                0,
+                &aplan.levels,
+                &static_cands,
+                &guards,
+                &sets,
+                &sizes,
+                &mut current,
+                &mut tuples,
+                &mut visited,
+            );
+            tuples.sort_unstable();
+            for chunk in tuples.chunks(BATCH_ROWS) {
+                for tup in chunk {
+                    rows_scratch.clear();
+                    for (s, &pos) in tup.iter().enumerate() {
+                        rows_scratch.push(guards[s][pos].as_slice());
+                    }
+                    let keep = match (fast, &cs.filter) {
+                        (Some(cj), _) => cj.iter().all(|c| c.keeps(&rows_scratch, ctx.params)),
+                        (None, Some(f)) => eval_p(ctx, &rows_scratch, f)?.is_truthy(),
+                        (None, None) => true,
+                    };
+                    if keep {
+                        pass.extend_from_slice(tup);
+                        npass += 1;
+                    }
+                }
+                tick(&ctx.stats.batches_vectorized);
+                ctx.stats
+                    .rows_batched
+                    .fetch_add(chunk.len() as u64, AtomicOrdering::Relaxed);
+            }
+        } else if nslots == 1 {
+            // Single-table full scan: iterate the row vector directly in
+            // batch-sized spans — no odometer, no position buffer, and with
+            // a fused filter no per-row scratch rebuild either. Batch and
+            // scan counters land exactly as the odometer would have them.
+            ctx.stats.index_misses.fetch_add(1, AtomicOrdering::Relaxed);
+            let all: &[Row] = &guards[0];
+            let mut start = 0usize;
+            while start < all.len() {
+                let end = (start + BATCH_ROWS).min(all.len());
+                if let Some(cj) = fast {
+                    for (k, row) in all[start..end].iter().enumerate() {
+                        let r = [row.as_slice()];
+                        if cj.iter().all(|c| c.keeps(&r, ctx.params)) {
+                            pass.push(start + k);
+                            npass += 1;
+                        }
+                    }
+                } else {
+                    for (k, row) in all[start..end].iter().enumerate() {
+                        rows_scratch.clear();
+                        rows_scratch.push(row.as_slice());
+                        let keep = match &cs.filter {
+                            Some(f) => eval_p(ctx, &rows_scratch, f)?.is_truthy(),
+                            None => true,
+                        };
+                        if keep {
+                            pass.push(start + k);
+                            npass += 1;
+                        }
+                    }
+                }
+                visited += (end - start) as u64;
+                tick(&ctx.stats.batches_vectorized);
+                ctx.stats
+                    .rows_batched
+                    .fetch_add((end - start) as u64, AtomicOrdering::Relaxed);
+                start = end;
+            }
+        } else {
+            ctx.stats
+                .index_misses
+                .fetch_add(nslots as u64, AtomicOrdering::Relaxed);
+            if sizes.iter().all(|&n| n > 0) {
+                // Odometer over row positions, in batches: fill a flat
+                // position buffer, then filter it — never materializing the
+                // joined row the interpreter clones per candidate.
+                let mut buf: Vec<usize> = Vec::with_capacity(BATCH_ROWS * nslots);
+                let mut idx = vec![0usize; nslots];
+                let mut exhausted = false;
+                while !exhausted {
+                    buf.clear();
+                    let mut n_in = 0usize;
+                    while n_in < BATCH_ROWS {
+                        buf.extend_from_slice(&idx);
+                        n_in += 1;
+                        if !advance(&mut idx, &sizes) {
+                            exhausted = true;
+                            break;
+                        }
+                    }
+                    for ti in 0..n_in {
+                        let tup = &buf[ti * nslots..(ti + 1) * nslots];
+                        visited += 1;
+                        rows_scratch.clear();
+                        for (s, &pos) in tup.iter().enumerate() {
+                            rows_scratch.push(guards[s][pos].as_slice());
+                        }
+                        let keep = match (fast, &cs.filter) {
+                            (Some(cj), _) => cj.iter().all(|c| c.keeps(&rows_scratch, ctx.params)),
+                            (None, Some(f)) => eval_p(ctx, &rows_scratch, f)?.is_truthy(),
+                            (None, None) => true,
+                        };
+                        if keep {
+                            pass.extend_from_slice(tup);
+                            npass += 1;
+                        }
+                    }
+                    tick(&ctx.stats.batches_vectorized);
+                    ctx.stats
+                        .rows_batched
+                        .fetch_add(n_in as u64, AtomicOrdering::Relaxed);
+                }
+            }
+        }
+        // Interpreter parity: scanned count lands only after the whole
+        // filter phase succeeded (an error mid-scan skips it there too).
+        ctx.stats
+            .rows_scanned
+            .fetch_add(visited, AtomicOrdering::Relaxed);
+    }
+
+    let b = BatchCtx {
+        guards: &guards,
+        pass: &pass,
+        stride: nslots,
+        npass,
+    };
+    let out_names = cs.out_names.clone();
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+
+    if cs.has_aggregates {
+        // Group keys per passing tuple, sorted + partitioned into runs —
+        // the interpreter's exact grouping (and thus group emission order).
+        let groups: Vec<Vec<usize>> = if cs.group_by.is_empty() {
+            // One global group in scan order — exactly what sorting the
+            // all-empty key list yields, without materializing or sorting
+            // it. For `npass == 0` this is the single empty group the
+            // interpreter emits for a global aggregate over no rows.
+            vec![(0..b.npass).collect()]
+        } else {
+            let mut keys: Vec<Vec<Value>> = Vec::with_capacity(b.npass);
+            for ti in 0..b.npass {
+                b.load(ti, &mut rows_scratch);
+                let mut key = Vec::with_capacity(cs.group_by.len());
+                for g in &cs.group_by {
+                    key.push(eval_p(ctx, &rows_scratch, g)?);
+                }
+                keys.push(key);
+            }
+            let mut order: Vec<usize> = (0..b.npass).collect();
+            order.sort_by(|&x, &y| cmp_key(&keys[x], &keys[y]));
+
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut i = 0;
+            while i < order.len() {
+                let mut j = i + 1;
+                while j < order.len()
+                    && cmp_key(&keys[order[i]], &keys[order[j]]) == std::cmp::Ordering::Equal
+                {
+                    j += 1;
+                }
+                groups.push(order[i..j].to_vec());
+                i = j;
+            }
+            groups
+        };
+        let fused = cs
+            .fused_aggs
+            .as_ref()
+            .and_then(|fa| (fa.params_needed <= ctx.params.len()).then_some(&fa.items[..]));
+
+        for group in &groups {
+            if let Some(having) = &cs.having {
+                if !eval_pagg(ctx, &b, group, having)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut out_row = Vec::with_capacity(out_names.len());
+            if let Some(items) = fused {
+                // One pass over the group's rows fills every aggregate's
+                // non-null input vector; finishes then run in item order,
+                // feeding finish_aggregate the exact values the per-item
+                // walk would have collected.
+                let mut vals: Vec<Vec<Value>> = items
+                    .iter()
+                    .map(|fa| match fa {
+                        FAgg::Agg { .. } => Vec::with_capacity(group.len()),
+                        _ => Vec::new(),
+                    })
+                    .collect();
+                for &ti in group {
+                    b.load(ti, &mut rows_scratch);
+                    for (k, fa) in items.iter().enumerate() {
+                        if let FAgg::Agg { arg, .. } = fa {
+                            let v = arg.get(&rows_scratch, ctx.params);
+                            if !v.is_null() {
+                                vals[k].push(v.clone());
+                            }
+                        }
+                    }
+                }
+                for (k, fa) in items.iter().enumerate() {
+                    out_row.push(match fa {
+                        FAgg::CountStar => Value::Int(group.len() as i64),
+                        FAgg::First(a) => match group.first() {
+                            Some(&ti) => {
+                                b.load(ti, &mut rows_scratch);
+                                a.get(&rows_scratch, ctx.params).clone()
+                            }
+                            None => Value::Null,
+                        },
+                        FAgg::Agg { name, distinct, .. } => {
+                            finish_aggregate(name, std::mem::take(&mut vals[k]), *distinct)?
+                        }
+                    });
+                }
+            } else {
+                for item in &cs.agg_proj {
+                    match item {
+                        PAggItem::WildcardErr => {
+                            return Err(Error::exec(
+                                "wildcard projection is not allowed with GROUP BY/aggregates",
+                            ))
+                        }
+                        PAggItem::Value(pa) => out_row.push(eval_pagg(ctx, &b, group, pa)?),
+                    }
+                }
+            }
+            let mut key = Vec::with_capacity(cs.order.len());
+            for o in &cs.order {
+                key.push(match o {
+                    POrder::Out(i) => out_row[*i].clone(),
+                    POrder::OrdinalErr(n) => {
+                        return Err(Error::exec(format!("ORDER BY position {n} out of range")))
+                    }
+                    POrder::Group(pa) => eval_pagg(ctx, &b, group, pa)?,
+                    POrder::Row(_) => unreachable!("row-context key on aggregate path"),
+                });
+            }
+            keyed.push((key, out_row));
+        }
+    } else {
+        for ti in 0..b.npass {
+            b.load(ti, &mut rows_scratch);
+            let mut out_row = Vec::with_capacity(out_names.len());
+            for p in &cs.proj {
+                match p {
+                    PProj::AllSlots => {
+                        for slice in &rows_scratch {
+                            out_row.extend(slice.iter().cloned());
+                        }
+                    }
+                    PProj::Slot(s) => out_row.extend(rows_scratch[*s].iter().cloned()),
+                    PProj::Expr(e) => out_row.push(eval_p(ctx, &rows_scratch, e)?),
+                }
+            }
+            let mut key = Vec::with_capacity(cs.order.len());
+            for o in &cs.order {
+                key.push(match o {
+                    POrder::Out(i) => out_row[*i].clone(),
+                    POrder::OrdinalErr(n) => {
+                        return Err(Error::exec(format!("ORDER BY position {n} out of range")))
+                    }
+                    POrder::Row(e) => eval_p(ctx, &rows_scratch, e)?,
+                    POrder::Group(_) => unreachable!("group-context key on row path"),
+                });
+            }
+            keyed.push((key, out_row));
+        }
+    }
+
+    let rows = finish_rows(keyed, stmt.distinct, &stmt.order_by);
+    Ok((out_names, rows, cs.out_types.clone()))
+}
+
+// ---------------------------------------------------------------------------
+// DML entry points
+// ---------------------------------------------------------------------------
+
+/// Obtain (or lower) the compiled program for an UPDATE. `None` = run the
+/// interpreter loop; all fallback/`exec_compiled` counters tick here.
+pub(crate) fn plan_update(
+    ctx: &QueryCtx<'_>,
+    lowered: Option<&LoweredCache>,
+    stmt_key: usize,
+    t: &Table,
+    assignments: &[(String, Expr)],
+    selection: Option<&Expr>,
+) -> Option<Arc<CompiledUpdate>> {
+    if !gate(ctx) {
+        return None;
+    }
+    let cu = cached_plan(
+        ctx,
+        lowered.map(|c| &c.updates),
+        stmt_key,
+        |cu: &CompiledUpdate| cu.slot.binds(t),
+        || lower_update(ctx, t, assignments, selection),
+    );
+    note_dml_outcome(ctx, cu.is_some());
+    cu
+}
+
+/// Obtain (or lower) the compiled program for a DELETE.
+pub(crate) fn plan_delete(
+    ctx: &QueryCtx<'_>,
+    lowered: Option<&LoweredCache>,
+    stmt_key: usize,
+    t: &Table,
+    selection: Option<&Expr>,
+) -> Option<Arc<CompiledDelete>> {
+    if !gate(ctx) {
+        return None;
+    }
+    let cd = cached_plan(
+        ctx,
+        lowered.map(|c| &c.deletes),
+        stmt_key,
+        |cd: &CompiledDelete| cd.slot.binds(t),
+        || lower_delete(ctx, t, selection),
+    );
+    note_dml_outcome(ctx, cd.is_some());
+    cd
+}
+
+/// Obtain (or lower) the compiled row programs for an `INSERT ... VALUES`.
+pub(crate) fn plan_insert(
+    ctx: &QueryCtx<'_>,
+    lowered: Option<&LoweredCache>,
+    stmt_key: usize,
+    rows: &[Vec<Expr>],
+) -> Option<Arc<CompiledInsert>> {
+    if !gate(ctx) {
+        return None;
+    }
+    let ci = cached_plan(
+        ctx,
+        lowered.map(|c| &c.inserts),
+        stmt_key,
+        // VALUES programs reference no tables; shaping/validation use the
+        // live schema in the engine, so there is nothing to re-bind.
+        |_: &CompiledInsert| true,
+        || lower_insert(ctx, rows),
+    );
+    note_dml_outcome(ctx, ci.is_some());
+    ci
+}
+
+fn note_dml_outcome(ctx: &QueryCtx<'_>, compiled: bool) {
+    if compiled {
+        tick(&ctx.stats.exec_compiled);
+    } else {
+        tick(&ctx.stats.exec_interpreted);
+        tick(&ctx.stats.exec_fallback_expr);
+    }
+}
+
+/// `(row updates to apply, old rows, new rows)` for the trigger machinery.
+pub(crate) type UpdateSet = (Vec<(usize, Row)>, Vec<Row>, Vec<Row>);
+
+/// Run a compiled UPDATE's match/compute phase over the probe candidates.
+/// Mirrors the engine's interpreter loop row-for-row (filter, then resolve
+/// each assignment column, then evaluate, then `check_row`).
+pub(crate) fn run_update_compiled(
+    ctx: &QueryCtx<'_>,
+    cu: &CompiledUpdate,
+    t: &Table,
+    rows: &[Row],
+    candidates: &[usize],
+) -> Result<UpdateSet> {
+    let mut updates: Vec<(usize, Row)> = Vec::new();
+    let mut old_rows: Vec<Row> = Vec::new();
+    let mut new_rows: Vec<Row> = Vec::new();
+    let fast = cu.fast_filter.as_ref().and_then(|ff| ff.usable(ctx));
+    for chunk in candidates.chunks(BATCH_ROWS) {
+        for &i in chunk {
+            let sr = [rows[i].as_slice()];
+            let matches = match (fast, &cu.filter) {
+                (Some(cj), _) => cj.iter().all(|c| c.keeps(&sr, ctx.params)),
+                (None, Some(f)) => eval_p(ctx, &sr, f)?.is_truthy(),
+                (None, None) => true,
+            };
+            if !matches {
+                continue;
+            }
+            let mut new_row = rows[i].clone();
+            for (idx, name, e) in &cu.assigns {
+                let idx = idx.ok_or_else(|| Error::NotFound {
+                    kind: ObjectKind::Column,
+                    name: name.clone(),
+                })?;
+                new_row[idx] = eval_p(ctx, &sr, e)?;
+            }
+            let new_row = t.check_row(new_row)?;
+            old_rows.push(rows[i].clone());
+            new_rows.push(new_row.clone());
+            updates.push((i, new_row));
+        }
+        tick(&ctx.stats.batches_vectorized);
+        ctx.stats
+            .rows_batched
+            .fetch_add(chunk.len() as u64, AtomicOrdering::Relaxed);
+    }
+    Ok((updates, old_rows, new_rows))
+}
+
+/// Run a compiled DELETE's match phase; returns doomed row positions in
+/// ascending candidate order.
+pub(crate) fn run_delete_compiled(
+    ctx: &QueryCtx<'_>,
+    cd: &CompiledDelete,
+    rows: &[Row],
+    candidates: &[usize],
+) -> Result<Vec<usize>> {
+    let mut doomed = Vec::new();
+    let fast = cd.fast_filter.as_ref().and_then(|ff| ff.usable(ctx));
+    for chunk in candidates.chunks(BATCH_ROWS) {
+        for &i in chunk {
+            let sr = [rows[i].as_slice()];
+            let matches = match (fast, &cd.filter) {
+                (Some(cj), _) => cj.iter().all(|c| c.keeps(&sr, ctx.params)),
+                (None, Some(f)) => eval_p(ctx, &sr, f)?.is_truthy(),
+                (None, None) => true,
+            };
+            if matches {
+                doomed.push(i);
+            }
+        }
+        tick(&ctx.stats.batches_vectorized);
+        ctx.stats
+            .rows_batched
+            .fetch_add(chunk.len() as u64, AtomicOrdering::Relaxed);
+    }
+    Ok(doomed)
+}
+
+/// Evaluate a compiled VALUES list into source rows.
+pub(crate) fn eval_insert_rows(ctx: &QueryCtx<'_>, ci: &CompiledInsert) -> Result<Vec<Row>> {
+    let mut acc = Vec::with_capacity(ci.rows.len());
+    for exprs in &ci.rows {
+        let mut row = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            row.push(eval_p(ctx, &[], e)?);
+        }
+        acc.push(row);
+    }
+    if !ci.rows.is_empty() {
+        tick(&ctx.stats.batches_vectorized);
+        ctx.stats
+            .rows_batched
+            .fetch_add(ci.rows.len() as u64, AtomicOrdering::Relaxed);
+    }
+    Ok(acc)
+}

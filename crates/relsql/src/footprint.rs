@@ -63,7 +63,7 @@ pub enum BatchClass {
 }
 
 /// The typed result of batch classification — what the server's scheduler
-/// consumes instead of the old untyped [`Footprint`] enum.
+/// consumes (it replaced the old untyped `Footprint` enum).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchPlan {
     /// Tables the batch reads.
@@ -125,36 +125,6 @@ pub fn derive_requirements(db: &Database, stmts: &[Stmt], session: &SessionCtx) 
 pub fn derive_effects(db: &Database, stmts: &[Stmt], session: &SessionCtx) -> Option<WriteSet> {
     let w = Analysis::run(db, stmts, session);
     (!w.barrier).then_some(WriteSet { tables: w.writes })
-}
-
-/// What a batch will touch, as decided by static analysis.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `BatchPlan::derive` — the typed read/write/class plan"
-)]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Footprint {
-    /// The batch must run alone (DDL, transaction control, unresolvable
-    /// names, or analysis gave up).
-    Exclusive,
-    /// The batch touches exactly these catalog table keys. `BTreeSet` gives
-    /// the canonical (sorted) acquisition order that makes lock grouping
-    /// deadlock-free.
-    Tables(BTreeSet<String>),
-}
-
-/// Analyze a parsed batch against the current catalog.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `BatchPlan::derive` — the typed read/write/class plan"
-)]
-#[allow(deprecated)]
-pub fn analyze_batch(db: &Database, stmts: &[Stmt], session: &SessionCtx) -> Footprint {
-    let plan = BatchPlan::derive(db, stmts, session);
-    match plan.class {
-        BatchClass::Barrier => Footprint::Exclusive,
-        _ => Footprint::Tables(plan.lock_tables()),
-    }
 }
 
 /// Maximum trigger/procedure recursion the walker follows before giving up
@@ -597,16 +567,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_footprint_shim_matches_plan() {
+    fn lock_tables_covers_trigger_write_set_and_barrier_class() {
         let (e, s) = setup();
         let db = e.database();
         let stmts = parse_script("insert t1 values (1)").unwrap();
-        match analyze_batch(&db, &stmts, &s) {
-            Footprint::Tables(t) => assert_eq!(vecs(&t), vec!["audit", "t1"]),
-            Footprint::Exclusive => panic!("expected table footprint"),
-        }
+        let p = BatchPlan::derive(&db, &stmts, &s);
+        assert_eq!(vecs(&p.lock_tables()), vec!["audit", "t1"]);
         let ddl = parse_script("begin tran").unwrap();
-        assert_eq!(analyze_batch(&db, &ddl, &s), Footprint::Exclusive);
+        assert_eq!(BatchPlan::derive(&db, &ddl, &s).class, BatchClass::Barrier);
     }
 }

@@ -48,6 +48,7 @@ pub mod clock;
 pub mod engine;
 pub mod error;
 mod eval;
+mod exec;
 pub mod footprint;
 pub mod index;
 pub mod lexer;
@@ -64,8 +65,6 @@ pub mod wal;
 pub use engine::{BatchResult, Engine, EngineConfig, QueryResult};
 pub use error::{Error, Result};
 pub use eval::{like_match, SessionCtx};
-#[allow(deprecated)]
-pub use footprint::{analyze_batch, Footprint};
 pub use footprint::{
     derive_effects, derive_requirements, BatchClass, BatchPlan, ReadSet, WriteSet,
 };

@@ -950,6 +950,9 @@ impl<'a> Parser<'a> {
                     self.advance();
                     let mut args = Vec::new();
                     let mut star = false;
+                    // `count(distinct col)` — the keyword is reserved, so it
+                    // can never be an expression head here.
+                    let distinct = self.eat_kw("distinct");
                     if self.eat(&TokenKind::Star) {
                         star = true;
                     } else if !matches!(self.peek(), TokenKind::RParen) {
@@ -965,6 +968,7 @@ impl<'a> Parser<'a> {
                         name: word,
                         args,
                         star,
+                        distinct,
                     });
                 }
                 // Column reference, possibly with a dotted qualifier.
@@ -1223,7 +1227,9 @@ mod tests {
     fn function_calls() {
         let e = parse_expr_str("syb_sendmsg('128.227.205.215', 10006, 'msg')").unwrap();
         match e {
-            Expr::Function { name, args, star } => {
+            Expr::Function {
+                name, args, star, ..
+            } => {
                 assert_eq!(name, "syb_sendmsg");
                 assert_eq!(args.len(), 3);
                 assert!(!star);
@@ -1238,6 +1244,20 @@ mod tests {
             parse_expr_str("getdate()").unwrap(),
             Expr::Function { .. }
         ));
+        match parse_expr_str("count(distinct sym)").unwrap() {
+            Expr::Function {
+                name,
+                args,
+                star,
+                distinct,
+            } => {
+                assert_eq!(name, "count");
+                assert_eq!(args.len(), 1);
+                assert!(!star);
+                assert!(distinct);
+            }
+            _ => panic!(),
+        }
     }
 
     #[test]

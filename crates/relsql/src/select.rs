@@ -24,12 +24,12 @@ use crate::table::{Column, Row, RowsReadGuard, Schema};
 use crate::value::{DataType, Value};
 
 /// Metadata for one FROM-table's slice of the joined row.
-struct JoinedMeta {
-    alias: Option<String>,
-    table_name: String,
-    schema: Schema,
-    offset: usize,
-    width: usize,
+pub(crate) struct JoinedMeta {
+    pub(crate) alias: Option<String>,
+    pub(crate) table_name: String,
+    pub(crate) schema: Schema,
+    pub(crate) offset: usize,
+    pub(crate) width: usize,
 }
 
 fn build_env<'r>(
@@ -66,7 +66,7 @@ pub(crate) fn run_select(
 /// level order. `current[slot]` holds the position bound for each slot;
 /// complete tuples (in slot order) are collected for re-sorting.
 #[allow(clippy::too_many_arguments)]
-fn enumerate_candidates(
+pub(crate) fn enumerate_candidates(
     level: usize,
     levels: &[(usize, Access)],
     static_cands: &[Option<Vec<usize>>],
@@ -383,15 +383,27 @@ pub(crate) fn run_select_typed<'r>(
         }
     }
 
+    let rows = finish_rows(keyed, stmt.distinct, &stmt.order_by);
+    Ok((out_names, rows, out_types))
+}
+
+/// Apply DISTINCT and ORDER BY to (sort-key, row) pairs and strip the keys.
+/// Shared by the interpreter and the compiled executor so ties break
+/// identically (stable sorts throughout).
+pub(crate) fn finish_rows(
+    mut keyed: Vec<(Vec<Value>, Row)>,
+    distinct: bool,
+    order_by: &[OrderByItem],
+) -> Vec<Row> {
     // ---- DISTINCT.
-    if stmt.distinct {
+    if distinct {
         keyed.sort_by(|a, b| cmp_key(&a.1, &b.1));
         keyed.dedup_by(|a, b| cmp_key(&a.1, &b.1) == std::cmp::Ordering::Equal);
     }
 
     // ---- ORDER BY (stable sort; DESC flags flip individual key parts).
-    if !stmt.order_by.is_empty() {
-        let descs: Vec<bool> = stmt.order_by.iter().map(|o| o.desc).collect();
+    if !order_by.is_empty() {
+        let descs: Vec<bool> = order_by.iter().map(|o| o.desc).collect();
         keyed.sort_by(|a, b| {
             for ((x, y), desc) in a.0.iter().zip(b.0.iter()).zip(&descs) {
                 let ord = x.total_cmp(y);
@@ -404,11 +416,10 @@ pub(crate) fn run_select_typed<'r>(
         });
     }
 
-    let rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
-    Ok((out_names, rows, out_types))
+    keyed.into_iter().map(|(_, r)| r).collect()
 }
 
-fn cmp_key(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+pub(crate) fn cmp_key(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
     for (x, y) in a.iter().zip(b.iter()) {
         let ord = x.total_cmp(y);
         if ord != std::cmp::Ordering::Equal {
@@ -459,7 +470,11 @@ fn order_keys_grouped(
 }
 
 /// ORDER BY ordinal (`order by 2`) or output-alias reference.
-fn output_ref(expr: &Expr, out_names: &[Arc<str>], out_row: &[Value]) -> Result<Option<Value>> {
+pub(crate) fn output_ref(
+    expr: &Expr,
+    out_names: &[Arc<str>],
+    out_row: &[Value],
+) -> Result<Option<Value>> {
     match expr {
         Expr::Literal(Value::Int(n)) => {
             let idx = *n as usize;
@@ -504,8 +519,13 @@ fn eval_grouped(
         };
     }
     match expr {
-        Expr::Function { name, args, star } if is_aggregate_name(name) => {
-            compute_aggregate(ctx, metas, group, name, args, *star)
+        Expr::Function {
+            name,
+            args,
+            star,
+            distinct,
+        } if is_aggregate_name(name) => {
+            compute_aggregate(ctx, metas, group, name, args, *star, *distinct)
         }
         Expr::Binary { op, left, right } => {
             let l = eval_grouped(ctx, metas, group, left)?;
@@ -547,9 +567,12 @@ fn compute_aggregate(
     name: &str,
     args: &[Expr],
     star: bool,
+    distinct: bool,
 ) -> Result<Value> {
-    let lname = name.to_ascii_lowercase();
-    if lname == "count" && star {
+    if name.eq_ignore_ascii_case("count") && star {
+        if distinct {
+            return Err(Error::exec("DISTINCT is not allowed with count(*)"));
+        }
         return Ok(Value::Int(group.len() as i64));
     }
     if args.len() != 1 {
@@ -562,6 +585,19 @@ fn compute_aggregate(
         if !v.is_null() {
             vals.push(v);
         }
+    }
+    finish_aggregate(name, vals, distinct)
+}
+
+/// Fold a group's null-filtered argument values into an aggregate result.
+/// `distinct` dedups values first for COUNT/SUM/AVG; MIN/MAX are unaffected
+/// by definition. Shared by the interpreter and the compiled executor so the
+/// two paths cannot drift.
+pub(crate) fn finish_aggregate(name: &str, mut vals: Vec<Value>, distinct: bool) -> Result<Value> {
+    let lname = name.to_ascii_lowercase();
+    if distinct && matches!(lname.as_str(), "count" | "sum" | "avg") {
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
     }
     match lname.as_str() {
         "count" => Ok(Value::Int(vals.len() as i64)),
@@ -626,7 +662,7 @@ fn compute_aggregate(
 /// wildcards are the schemas' interned handles; a plain column reference
 /// reuses the schema's handle when the query spelled it identically, so the
 /// common output paths never copy a name string per statement.
-fn output_columns(
+pub(crate) fn output_columns(
     metas: &[JoinedMeta],
     projection: &[SelectItem],
 ) -> Result<(Vec<Arc<str>>, Vec<Column>)> {

@@ -63,6 +63,7 @@ use crate::clock::LogicalClock;
 use crate::engine::{BatchResult, Engine, EngineConfig};
 use crate::error::{Error, Result};
 use crate::eval::SessionCtx;
+use crate::exec::LoweredCache;
 use crate::footprint::{BatchClass, BatchPlan};
 use crate::lexer::{split_batches, tokenize, Token, TokenKind};
 use crate::notify::NotificationSink;
@@ -162,6 +163,10 @@ const BARRIER_KEYWORDS: &[&str] = &[
 
 struct CachedPlan {
     stmts: Arc<Vec<Stmt>>,
+    /// Lowered physical plans for `stmts`, keyed by statement address —
+    /// valid precisely as long as it travels with the same `Arc<Vec<Stmt>>`,
+    /// which is why the two never separate.
+    lowered: Arc<LoweredCache>,
     epoch: u64,
     last_used: u64,
 }
@@ -182,6 +187,9 @@ struct PlanCache {
 struct Planned {
     stmts: Arc<Vec<Stmt>>,
     params: Vec<Value>,
+    /// The lowered-plan cache paired with `stmts` (fresh and unshared when
+    /// the batch missed the plan cache).
+    lowered: Arc<LoweredCache>,
 }
 
 impl PlanCache {
@@ -202,14 +210,14 @@ impl PlanCache {
         self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 
-    fn lookup(&self, key: &str) -> Option<Arc<Vec<Stmt>>> {
+    fn lookup(&self, key: &str) -> Option<(Arc<Vec<Stmt>>, Arc<LoweredCache>)> {
         let epoch = self.epoch.load(Ordering::SeqCst);
         let mut entries = self.entries.lock();
         match entries.get_mut(key) {
             Some(e) if e.epoch == epoch => {
                 e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&e.stmts))
+                Some((Arc::clone(&e.stmts), Arc::clone(&e.lowered)))
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -218,7 +226,7 @@ impl PlanCache {
         }
     }
 
-    fn insert(&self, key: String, stmts: Arc<Vec<Stmt>>) {
+    fn insert(&self, key: String, stmts: Arc<Vec<Stmt>>, lowered: Arc<LoweredCache>) {
         let epoch = self.epoch.load(Ordering::SeqCst);
         let mut entries = self.entries.lock();
         if entries.len() >= self.capacity && !entries.contains_key(&key) {
@@ -235,6 +243,7 @@ impl PlanCache {
             key,
             CachedPlan {
                 stmts,
+                lowered,
                 epoch,
                 last_used: self.tick.fetch_add(1, Ordering::Relaxed),
             },
@@ -249,6 +258,7 @@ impl PlanCache {
             return parse_script(batch).map(|s| Planned {
                 stmts: Arc::new(s),
                 params: Vec::new(),
+                lowered: Arc::new(LoweredCache::default()),
             });
         };
         let barrier = tokens.iter().any(|t| {
@@ -257,30 +267,42 @@ impl PlanCache {
         });
         if !barrier {
             let (key, masked, params) = mask(batch, &tokens);
-            if let Some(stmts) = self.lookup(&key) {
-                return Ok(Planned { stmts, params });
+            if let Some((stmts, lowered)) = self.lookup(&key) {
+                return Ok(Planned {
+                    stmts,
+                    params,
+                    lowered,
+                });
             }
             if let Ok(stmts) = parse_script_with_tokens(batch, masked) {
                 let stmts = Arc::new(stmts);
-                self.insert(key, Arc::clone(&stmts));
-                return Ok(Planned { stmts, params });
+                let lowered = Arc::new(LoweredCache::default());
+                self.insert(key, Arc::clone(&stmts), Arc::clone(&lowered));
+                return Ok(Planned {
+                    stmts,
+                    params,
+                    lowered,
+                });
             }
             // Masked parse failed (a literal was structural after all):
             // count the lookup back out and fall through to the exact path.
             self.misses.fetch_sub(1, Ordering::Relaxed);
         }
         let key = format!("={batch}");
-        if let Some(stmts) = self.lookup(&key) {
+        if let Some((stmts, lowered)) = self.lookup(&key) {
             return Ok(Planned {
                 stmts,
                 params: Vec::new(),
+                lowered,
             });
         }
         let stmts = Arc::new(parse_script(batch)?);
-        self.insert(key, Arc::clone(&stmts));
+        let lowered = Arc::new(LoweredCache::default());
+        self.insert(key, Arc::clone(&stmts), Arc::clone(&lowered));
         Ok(Planned {
             stmts,
             params: Vec::new(),
+            lowered,
         })
     }
 }
@@ -521,6 +543,28 @@ pub struct ServerStats {
     /// Candidate rows visited by scans and index probes combined. Flat
     /// growth under a growing table is the signature of indexed access.
     pub rows_scanned: u64,
+    /// Statements executed through a compiled physical plan.
+    pub exec_compiled: u64,
+    /// Statements executed by the tree-walking interpreter.
+    pub exec_interpreted: u64,
+    /// Interpreter fallbacks because the statement used an unsupported
+    /// shape (subqueries, EXISTS, non-lowerable expressions).
+    pub exec_fallback_expr: u64,
+    /// Interpreter fallbacks because the statement ran inside a trigger
+    /// scope (`inserted`/`deleted` pseudo-tables, per-firing clones).
+    pub exec_fallback_scope: u64,
+    /// Interpreter fallbacks because compiled execution was disabled by
+    /// [`EngineConfig::compiled_exec`].
+    pub exec_fallback_disabled: u64,
+    /// Vectorized batches executed (chunks of up to 1024 candidate tuples
+    /// pushed through a compiled filter/aggregate program).
+    pub batches_vectorized: u64,
+    /// Candidate tuples processed through vectorized batches.
+    pub rows_batched: u64,
+    /// Lowered-plan cache hits (statement reused its compiled program).
+    pub plan_lowered_hits: u64,
+    /// Lowered-plan cache misses (statement was lowered from scratch).
+    pub plan_lowered_misses: u64,
     /// WAL records appended this process lifetime (0 without a data dir).
     pub wal_records: u64,
     /// WAL bytes appended this process lifetime.
@@ -771,6 +815,15 @@ impl SqlServer {
             index_hits: self.engine.scan_stats().hits(),
             index_misses: self.engine.scan_stats().misses(),
             rows_scanned: self.engine.scan_stats().scanned(),
+            exec_compiled: self.engine.scan_stats().compiled(),
+            exec_interpreted: self.engine.scan_stats().interpreted(),
+            exec_fallback_expr: self.engine.scan_stats().fallback_expr(),
+            exec_fallback_scope: self.engine.scan_stats().fallback_scope(),
+            exec_fallback_disabled: self.engine.scan_stats().fallback_disabled(),
+            batches_vectorized: self.engine.scan_stats().batches(),
+            rows_batched: self.engine.scan_stats().batched_rows(),
+            plan_lowered_hits: self.engine.scan_stats().lowered_hits(),
+            plan_lowered_misses: self.engine.scan_stats().lowered_misses(),
             wal_records: self.wal_counter(|c| &c.records),
             wal_bytes: self.wal_counter(|c| &c.bytes),
             wal_fsyncs: self.wal_counter(|c| &c.fsyncs),
@@ -787,15 +840,43 @@ impl SqlServer {
             .map_or(0, |w| f(&w.counters).load(Ordering::Relaxed))
     }
 
-    /// Run a closure with read access to the engine (for introspection).
-    #[deprecated(
-        since = "0.7.0",
-        note = "holds engine locks for the closure's duration; use \
-                `SqlServer::snapshot()` for reads (or `rollback_count()` \
-                for the rollback counter)"
-    )]
-    pub fn inspect<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
-        f(&self.engine)
+    /// Run a closure over one live table's row store under its row
+    /// write-lock. Returns `None` when the table does not exist.
+    ///
+    /// This is the narrow seam that replaced write-side `inspect` uses: the
+    /// write guard republishes the table's MVCC version when it drops, so
+    /// snapshot readers observe the edit. It bypasses the WAL — durable
+    /// servers must route writes through SQL instead — and the scheduler,
+    /// so callers must own the table exclusively (the agent's watermark
+    /// store does) or tolerate racing batches.
+    pub fn with_table_rows_mut<R>(
+        &self,
+        table: &str,
+        f: impl FnOnce(&mut Vec<crate::table::Row>) -> R,
+    ) -> Option<R> {
+        let db = self.engine.database();
+        let t = db.table(table)?;
+        let mut rows = t.rows_mut();
+        Some(f(&mut rows))
+    }
+
+    /// Read-only companion to [`Self::with_table_rows_mut`]: run a closure
+    /// over one live table's rows under its recursive read lock. Returns
+    /// `None` when the table does not exist.
+    ///
+    /// Unlike [`Self::snapshot`] this sees *live* (unpublished) rows and
+    /// takes no clones, so it is safe from notification sinks running on
+    /// the emitting session's thread — the recursive read lock cannot
+    /// self-deadlock against row guards that thread already holds.
+    pub fn with_table_rows<R>(
+        &self,
+        table: &str,
+        f: impl FnOnce(&[crate::table::Row]) -> R,
+    ) -> Option<R> {
+        let db = self.engine.database();
+        let t = db.table(table)?;
+        let rows = t.rows();
+        Some(f(&rows))
     }
 
     /// A point-in-time snapshot of the **live** database: every table is
@@ -953,12 +1034,13 @@ impl SqlServer {
                 if let Some(snap) = self.pin_published(&plan) {
                     drop(sched);
                     self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
-                    return self.engine.run_snapshot_stmts(
+                    return self.engine.run_snapshot_stmts_with(
                         snap.database(),
                         &planned.stmts,
                         &planned.params,
                         session,
                         out,
+                        Some(&planned.lowered),
                     );
                 }
                 // A missed pin means the catalog changed since
@@ -995,9 +1077,13 @@ impl SqlServer {
                     // degradation) no state changes and the client sees Io.
                     commit_seq = Some(wal.append(self.clock.peek(), session, batch)?);
                 }
-                let r = self
-                    .engine
-                    .run_stmts(&planned.stmts, &planned.params, session, out);
+                let r = self.engine.run_stmts_with(
+                    &planned.stmts,
+                    &planned.params,
+                    session,
+                    out,
+                    Some(&planned.lowered),
+                );
                 if mutates_catalog(&planned.stmts) {
                     self.plans.invalidate();
                 }
@@ -1053,9 +1139,13 @@ impl SqlServer {
         let _locks = self.locks.acquire(plan.lock_tables());
         let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         self.inflight_peak.fetch_max(now, Ordering::Relaxed);
-        let r = self
-            .engine
-            .run_stmts(&planned.stmts, &planned.params, session, out);
+        let r = self.engine.run_stmts_with(
+            &planned.stmts,
+            &planned.params,
+            session,
+            out,
+            Some(&planned.lowered),
+        );
         // Publish even when `r` is an error: without an explicit
         // transaction, earlier statements' effects persist (real-server
         // semantics), and the snapshot lane must see them.
@@ -1183,17 +1273,33 @@ mod tests {
     }
 
     #[test]
-    fn inspect_gives_catalog_access() {
+    fn snapshot_gives_catalog_access() {
         let server = SqlServer::new();
         server
             .session("db", "u")
             .execute("create table t (a int)")
             .unwrap();
-        #[allow(deprecated)]
-        let n = server.inspect(|e| e.database().table_count());
-        assert_eq!(n, 1);
-        // The replacement API sees the same catalog without holding locks.
+        // The lock-free snapshot sees the full catalog.
         assert_eq!(server.snapshot().database().table_count(), 1);
+    }
+
+    #[test]
+    fn with_table_rows_mut_edits_live_and_published_rows() {
+        let server = SqlServer::new();
+        let s = server.session("db", "u");
+        s.execute("create table t (a int)").unwrap();
+        s.execute("insert t values (1)").unwrap();
+        let hit = server.with_table_rows_mut("t", |rows| {
+            rows[0][0] = Value::Int(42);
+        });
+        assert!(hit.is_some());
+        assert!(server.with_table_rows_mut("missing", |_| ()).is_none());
+        // Both the live read path and the MVCC snapshot lane see the edit.
+        let r = s.execute("select a from t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(42)));
+        let snap = server.snapshot();
+        let t = snap.database().table("t").unwrap();
+        assert_eq!(t.rows()[0][0], Value::Int(42));
     }
 
     #[test]

@@ -364,3 +364,140 @@ fn division_by_zero_is_an_error_not_a_panic() {
     let err = s.execute("select 5 % a from t").unwrap_err();
     assert!(err.to_string().contains("division"));
 }
+
+/// Run the same scenario against a compiled-execution server and an
+/// interpreter-only server; both must agree (the satellite surface tests
+/// below all go through this).
+fn on_both_paths(f: impl Fn(&relsql::Session)) {
+    let compiled = SqlServer::new();
+    f(&compiled.session("appdb", "app"));
+    let interpreted = SqlServer::with_config(relsql::EngineConfig {
+        compiled_exec: false,
+        ..Default::default()
+    });
+    f(&interpreted.session("appdb", "app"));
+}
+
+#[test]
+fn count_distinct_aggregates() {
+    on_both_paths(|s| {
+        s.execute("create table trades (sym varchar(8), qty int, px float)")
+            .unwrap();
+        s.execute(
+            "insert trades values ('IBM', 100, 10.0), ('IBM', 100, 11.0), \
+             ('HP', 200, 12.0), ('HP', 300, 12.0), ('SUN', 100, 10.0)",
+        )
+        .unwrap();
+        let r = s.execute("select count(distinct sym) from trades").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+        // DISTINCT dedups values, not rows: three distinct qty values.
+        let r = s
+            .execute("select count(distinct qty), sum(distinct qty) from trades")
+            .unwrap();
+        let rows = &r.last_select().unwrap().rows;
+        assert_eq!(rows[0][0], Value::Int(3));
+        assert_eq!(rows[0][1], Value::Int(600));
+        // avg(distinct px): (10 + 11 + 12) / 3.
+        let r = s.execute("select avg(distinct px) from trades").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Float(11.0)));
+        // Per-group distinct counts.
+        let r = s
+            .execute(
+                "select sym, count(distinct px) from trades \
+                 group by sym order by sym",
+            )
+            .unwrap();
+        let rows = &r.last_select().unwrap().rows;
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][1], Value::Int(1)); // HP: 12.0 twice
+        assert_eq!(rows[1][1], Value::Int(2)); // IBM: 10.0, 11.0
+                                               // NULLs are excluded before dedup, as for plain aggregates.
+        s.execute("insert trades (sym) values ('IBM')").unwrap();
+        let r = s.execute("select count(distinct qty) from trades").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+        // count(distinct *) is rejected.
+        let err = s
+            .execute("select count(distinct *) from trades")
+            .unwrap_err();
+        assert!(err.to_string().contains("DISTINCT"));
+        // DISTINCT inside a scalar function is rejected.
+        let err = s
+            .execute("select abs(distinct qty) from trades")
+            .unwrap_err();
+        assert!(err.to_string().contains("DISTINCT"));
+    });
+}
+
+#[test]
+fn having_aggregate_not_in_select_list() {
+    on_both_paths(|s| {
+        s.execute("create table orders (cust varchar(8), amount int)")
+            .unwrap();
+        s.execute("insert orders values ('a', 10), ('a', 20), ('b', 5), ('b', 1), ('c', 100)")
+            .unwrap();
+        // HAVING filters on sum(amount) which the projection never mentions.
+        let r = s
+            .execute(
+                "select cust from orders group by cust \
+                 having sum(amount) > 20 order by cust",
+            )
+            .unwrap();
+        let rows = &r.last_select().unwrap().rows;
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Str("a".into()));
+        assert_eq!(rows[1][0], Value::Str("c".into()));
+        // Same with a distinct aggregate in HAVING only.
+        let r = s
+            .execute(
+                "select cust from orders group by cust \
+                 having count(distinct amount) = 2 order by cust",
+            )
+            .unwrap();
+        let rows = &r.last_select().unwrap().rows;
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Str("a".into()));
+        assert_eq!(rows[1][0], Value::Str("b".into()));
+        // Global group (no GROUP BY): HAVING on an unprojected aggregate.
+        let r = s
+            .execute("select count(*) from orders having sum(amount) > 1000")
+            .unwrap();
+        assert_eq!(r.last_select().unwrap().rows.len(), 0);
+    });
+}
+
+#[test]
+fn compiled_execution_counters_tick() {
+    let server = SqlServer::new();
+    let s = server.session("appdb", "app");
+    s.execute("create table t (a int, b int)").unwrap();
+    for i in 0..50 {
+        s.execute(&format!("insert t values ({i}, {})", i % 7))
+            .unwrap();
+    }
+    for _ in 0..3 {
+        let r = s.execute("select count(*) from t where b = 3").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(7)));
+    }
+    let stats = server.server_stats();
+    assert!(
+        stats.exec_compiled > 0,
+        "compiled path never ran: {stats:?}"
+    );
+    assert!(stats.batches_vectorized > 0);
+    assert!(stats.rows_batched >= 50);
+    // Repeated shapes reuse the lowered plan through the masked-literal
+    // cache entry.
+    assert!(stats.plan_lowered_hits > 0, "{stats:?}");
+    // An interpreter-only server ticks the disabled-fallback reason.
+    let off = SqlServer::with_config(relsql::EngineConfig {
+        compiled_exec: false,
+        ..Default::default()
+    });
+    let s = off.session("appdb", "app");
+    s.execute("create table t (a int)").unwrap();
+    s.execute("insert t values (1)").unwrap();
+    s.execute("select a from t").unwrap();
+    let stats = off.server_stats();
+    assert_eq!(stats.exec_compiled, 0);
+    assert!(stats.exec_fallback_disabled > 0);
+}

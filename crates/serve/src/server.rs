@@ -396,6 +396,15 @@ fn stats_response(
         ("index_hits", a.index_hits),
         ("index_misses", a.index_misses),
         ("rows_scanned", a.rows_scanned),
+        ("exec_compiled", a.exec_compiled),
+        ("exec_interpreted", a.exec_interpreted),
+        ("exec_fallback_expr", a.exec_fallback_expr),
+        ("exec_fallback_scope", a.exec_fallback_scope),
+        ("exec_fallback_disabled", a.exec_fallback_disabled),
+        ("batches_vectorized", a.batches_vectorized),
+        ("rows_batched", a.rows_batched),
+        ("plan_lowered_hits", a.plan_lowered_hits),
+        ("plan_lowered_misses", a.plan_lowered_misses),
         ("wal_records", a.wal_records),
         ("wal_bytes", a.wal_bytes),
         ("wal_fsyncs", a.wal_fsyncs),

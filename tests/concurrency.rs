@@ -513,20 +513,15 @@ fn notification_never_precedes_its_shadow_row() {
                 .expect("payload ends with the vNo");
             // Read-only inspection: `send` runs on the emitting session's
             // thread while it holds table locks, so going back through
-            // `execute` would self-deadlock; `inspect` uses the recursive
-            // read lock instead (a `snapshot()` would clone every table and
-            // could block on the emitting batch's own row guards).
-            #[allow(deprecated)]
-            let visible = self.server.inspect(|e| {
-                e.database()
-                    .table("t_shadow")
-                    .map(|t| {
-                        t.rows()
-                            .iter()
-                            .any(|row| row.last() == Some(&Value::Int(vno)))
-                    })
-                    .unwrap_or(false)
-            });
+            // `execute` would self-deadlock; `with_table_rows` uses the
+            // recursive read lock instead (a `snapshot()` would clone every
+            // table and could block on the emitting batch's own row guards).
+            let visible = self
+                .server
+                .with_table_rows("t_shadow", |rows| {
+                    rows.iter().any(|row| row.last() == Some(&Value::Int(vno)))
+                })
+                .unwrap_or(false);
             if !visible {
                 self.violations.fetch_add(1, Ordering::SeqCst);
             }
