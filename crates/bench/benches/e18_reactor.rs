@@ -1,0 +1,372 @@
+//! E18 — sharded reactor scalability: a large idle-session fleet plus a
+//! hot core, all served by a fixed thread pool. The experiment opens
+//! `E18_IDLE` sessions that say HELLO and then go quiet, verifies the
+//! server adds **zero threads** and stays under a per-idle-session
+//! memory budget, then drives `E18_HOT` concurrent writers through a
+//! trigger workload with the idle fleet still resident — asserting
+//! **zero lost firings** (every insert fires its rule exactly once).
+//! A final leg compares 8-client p99 latency against an in-bench
+//! thread-per-connection baseline, the architecture the reactor
+//! replaced.
+//!
+//! Plain `fn main` (harness = false): fixed workload with correctness
+//! assertions, not a statistical micro-benchmark.
+//!
+//! ```text
+//! cargo bench -p eca-bench --bench e18_reactor
+//! E18_IDLE=256 E18_HOT=16 E18_OPS=50 cargo bench -p eca-bench --bench e18_reactor
+//! ```
+//!
+//! The idle fleet needs one file descriptor per session on each side;
+//! the bench reads the soft `RLIMIT_NOFILE` from `/proc/self/limits`
+//! and scales the fleet down (with a note) if the limit is too low.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eca_core::{ActiveService, EcaAgent};
+use eca_serve::{EcaServer, ServeClient, ServeConfig, ServeHandle};
+use relsql::{SessionCtx, SqlServer};
+
+/// Per-idle-session RSS budget (bytes). Generous: the measurement
+/// charges the server *and* the in-process client side of each session
+/// to the same budget.
+const IDLE_SESSION_BUDGET: u64 = 20 * 1024;
+
+fn main() {
+    let mut idle: usize = env_or("E18_IDLE", 10_000);
+    let hot: usize = env_or("E18_HOT", 64);
+    let ops: usize = env_or("E18_OPS", 200);
+
+    // Both sides of every session live in this process: ~2 fds each,
+    // plus the listener, poller fds, and stdio.
+    let fd_limit = max_open_files();
+    let fd_needed = 2 * (idle + hot) + 64;
+    if fd_needed > fd_limit {
+        let fit = (fd_limit.saturating_sub(2 * hot + 64)) / 2;
+        println!("(RLIMIT_NOFILE {fd_limit} < {fd_needed} needed; idle fleet {idle} -> {fit})");
+        idle = fit;
+    }
+    assert!(idle >= 16, "fd limit too low to run E18 at all");
+
+    println!("# E18 — reactor fleet: {idle} idle + {hot} hot sessions on a fixed thread pool\n");
+
+    let (handle, addr) = start_server(idle + hot + 8);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "## topology: {} shard(s) + {} exec worker(s) = {} serve threads ({cores} cores)",
+        handle.reactor_shards(),
+        handle.exec_workers(),
+        handle.serve_threads()
+    );
+    assert!(
+        handle.serve_threads() <= cores + 2,
+        "serve layer must fit in cores + 2 threads"
+    );
+
+    let (mut admin, _) = ServeClient::connect_as(addr, "db", "admin").unwrap();
+    setup_schema(&mut admin);
+
+    // --- idle fleet: memory and thread budget -------------------------
+    let rss_before = vm_rss_bytes();
+    let threads_before = proc_threads();
+    let t0 = Instant::now();
+    let mut fleet = Vec::with_capacity(idle);
+    for k in 0..idle {
+        let (c, _) = ServeClient::connect_as(addr, "db", &format!("idle{k}")).unwrap();
+        fleet.push(c);
+    }
+    let connect_secs = t0.elapsed().as_secs_f64();
+    let rss_after = vm_rss_bytes();
+    let threads_after = proc_threads();
+    let per_session = rss_after.saturating_sub(rss_before) / idle as u64;
+    println!("\n## idle fleet ({idle} sessions, {connect_secs:.2} s to connect)");
+    println!(
+        "  rss {:.1} MiB -> {:.1} MiB  ({per_session} B/session, budget {IDLE_SESSION_BUDGET})",
+        rss_before as f64 / (1024.0 * 1024.0),
+        rss_after as f64 / (1024.0 * 1024.0)
+    );
+    println!("  process threads {threads_before} -> {threads_after}");
+    assert_eq!(
+        threads_before, threads_after,
+        "idle sessions must not spawn threads"
+    );
+    assert!(
+        per_session < IDLE_SESSION_BUDGET,
+        "idle session overhead {per_session} B exceeds {IDLE_SESSION_BUDGET} B budget"
+    );
+
+    // --- hot core with the fleet resident -----------------------------
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for k in 0..hot {
+        workers.push(std::thread::spawn(move || {
+            let (mut c, _) = ServeClient::connect_as(addr, "db", &format!("hot{k}")).unwrap();
+            let mut lat = Vec::with_capacity(ops);
+            for i in 0..ops {
+                let t = Instant::now();
+                let r = c.exec(&format!("insert t values ({k}, {i})")).unwrap();
+                lat.push(t.elapsed());
+                assert_eq!(r.failed, 0, "hot client {k} op {i} failed an action");
+            }
+            c.quit().unwrap();
+            lat
+        }));
+    }
+    let mut lat: Vec<Duration> = Vec::with_capacity(hot * ops);
+    for w in workers {
+        lat.extend(w.join().unwrap());
+    }
+    let hot_secs = t0.elapsed().as_secs_f64();
+
+    // Zero lost firings: IMMEDIATE coupling means every insert fired the
+    // audit rule exactly once before its EXEC was answered.
+    let inserts = (hot * ops) as u64;
+    let firings = admin.exec("select * from audit").unwrap().rows;
+    let rows = admin.exec("select * from t").unwrap().rows;
+    assert_eq!(rows, inserts, "lost DML under the idle fleet");
+    assert_eq!(firings, inserts, "lost firings under the idle fleet");
+
+    lat.sort();
+    let hot_p99 = percentile(&lat, 0.99);
+    println!("\n## hot core ({hot} clients x {ops} ops, {idle} idle sessions resident)");
+    println!(
+        "  {inserts:>7} inserts in {hot_secs:6.2} s  ({:8.0} stmt/s)",
+        inserts as f64 / hot_secs
+    );
+    println!(
+        "  latency p50 {:7.1} us   p99 {:7.1} us   max {:7.1} us",
+        percentile(&lat, 0.50).as_secs_f64() * 1e6,
+        hot_p99.as_secs_f64() * 1e6,
+        lat[lat.len() - 1].as_secs_f64() * 1e6
+    );
+    println!("  firings: {firings} (= inserts: zero lost)");
+
+    // Pings across the fleet still answer promptly while stats settle.
+    for c in fleet.iter_mut().take(64) {
+        c.ping().unwrap();
+    }
+    let stats = handle.serve_stats();
+    println!(
+        "  serve: {} sessions active, {} requests, {} wakeups, {} partial reads, {} write-blocked",
+        stats.sessions_active,
+        stats.requests,
+        stats.wakeups,
+        stats.partial_reads,
+        stats.write_blocked
+    );
+    for c in fleet {
+        c.quit().unwrap();
+    }
+    admin.quit().unwrap();
+    let report = handle.shutdown();
+    assert!(report.quiescent, "fleet run must drain clean");
+
+    // --- p99 vs thread-per-connection baseline (8 clients) ------------
+    let reactor_p99 = latency_leg_reactor(ops);
+    let threaded_p99 = latency_leg_threaded(ops);
+    println!("\n## p99 @ 8 clients: reactor vs thread-per-connection baseline");
+    println!(
+        "  reactor  {:7.1} us\n  threaded {:7.1} us  ({:.2}x)",
+        reactor_p99.as_secs_f64() * 1e6,
+        threaded_p99.as_secs_f64() * 1e6,
+        reactor_p99.as_secs_f64() / threaded_p99.as_secs_f64()
+    );
+    // Within noise: the reactor must not regress tail latency by more
+    // than 3x or 2 ms, whichever is larger (CI boxes are jittery).
+    let bound = std::cmp::max(threaded_p99 * 3, threaded_p99 + Duration::from_millis(2));
+    assert!(
+        reactor_p99 <= bound,
+        "reactor p99 {reactor_p99:?} exceeds noise bound {bound:?} vs threaded {threaded_p99:?}"
+    );
+    println!("\nE18 ok");
+}
+
+fn env_or(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn start_server(max_sessions: usize) -> (ServeHandle, SocketAddr) {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let service: Arc<dyn ActiveService> = Arc::new(agent);
+    let config = ServeConfig::default().with_max_sessions(max_sessions);
+    let handle = EcaServer::start(service, config).expect("bind");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+fn setup_schema(c: &mut ServeClient) {
+    c.exec("create table t (k int, i int)").unwrap();
+    c.exec("create table audit (n int)").unwrap();
+    c.exec("create trigger tr on t for insert event e as insert audit values (1)")
+        .unwrap();
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)]
+}
+
+/// 8 clients x `ops` inserts against the reactor server; returns p99.
+fn latency_leg_reactor(ops: usize) -> Duration {
+    let (handle, addr) = start_server(32);
+    let (mut admin, _) = ServeClient::connect_as(addr, "db", "admin").unwrap();
+    setup_schema(&mut admin);
+    let mut lat = run_clients(
+        8,
+        ops,
+        move |k, i, buf: &mut ServeClient| {
+            let t = Instant::now();
+            buf.exec(&format!("insert t values ({k}, {i})")).unwrap();
+            t.elapsed()
+        },
+        move || {
+            let (c, _) = ServeClient::connect_as(addr, "db", "lat").unwrap();
+            c
+        },
+    );
+    admin.quit().unwrap();
+    handle.shutdown();
+    lat.sort();
+    percentile(&lat, 0.99)
+}
+
+/// The architecture the reactor replaced, reconstructed in-bench: one
+/// accept loop, one thread and one blocking `BufReader` per connection,
+/// plain SQL lines in, `OK`/`ERR` lines out, same `ActiveService`
+/// underneath. 8 clients x `ops` inserts; returns p99.
+fn latency_leg_threaded(ops: usize) -> Duration {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let service: Arc<dyn ActiveService> = Arc::new(agent);
+    let ctx = SessionCtx::new("db", "bench");
+    for sql in [
+        "create table t (k int, i int)",
+        "create table audit (n int)",
+    ] {
+        service.execute(sql, &ctx).unwrap();
+    }
+    service
+        .define_trigger(
+            "create trigger tr on t for insert event e as insert audit values (1)",
+            &ctx,
+        )
+        .unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let svc = Arc::clone(&service);
+    let accept = std::thread::spawn(move || {
+        let mut conns = Vec::new();
+        // 8 latency clients, one thread each — the old model.
+        for _ in 0..8 {
+            let (stream, _) = listener.accept().unwrap();
+            let svc = Arc::clone(&svc);
+            conns.push(std::thread::spawn(move || {
+                let ctx = SessionCtx::new("db", "bench");
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        return;
+                    }
+                    let reply = match svc.execute(line.trim_end(), &ctx) {
+                        Ok(_) => "OK\n",
+                        Err(_) => "ERR\n",
+                    };
+                    if stream.write_all(reply.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+    });
+
+    let mut lat = run_clients(
+        8,
+        ops,
+        move |k, i, conn: &mut (BufReader<TcpStream>, TcpStream)| {
+            let t = Instant::now();
+            conn.1
+                .write_all(format!("insert t values ({k}, {i})\n").as_bytes())
+                .unwrap();
+            let mut reply = String::new();
+            conn.0.read_line(&mut reply).unwrap();
+            assert_eq!(reply.trim_end(), "OK");
+            t.elapsed()
+        },
+        move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            (BufReader::new(stream.try_clone().unwrap()), stream)
+        },
+    );
+    drop(accept); // per-conn threads exit on client EOF; don't block on join
+    lat.sort();
+    percentile(&lat, 0.99)
+}
+
+/// Fan `n` clients out on threads, each running `ops` timed operations
+/// through its own connection; returns all latencies.
+fn run_clients<C: Send + 'static>(
+    n: usize,
+    ops: usize,
+    op: impl Fn(usize, usize, &mut C) -> Duration + Send + Sync + 'static,
+    connect: impl Fn() -> C + Send + Sync + 'static,
+) -> Vec<Duration> {
+    let op = Arc::new(op);
+    let connect = Arc::new(connect);
+    let mut threads = Vec::new();
+    for k in 0..n {
+        let op = Arc::clone(&op);
+        let connect = Arc::clone(&connect);
+        threads.push(std::thread::spawn(move || {
+            let mut conn = connect();
+            (0..ops).map(|i| op(k, i, &mut conn)).collect::<Vec<_>>()
+        }));
+    }
+    threads
+        .into_iter()
+        .flat_map(|t| t.join().unwrap())
+        .collect()
+}
+
+/// Resident set size in bytes, from `/proc/self/status` (`VmRSS:` kB).
+fn vm_rss_bytes() -> u64 {
+    proc_status_field("VmRSS:") * 1024
+}
+
+/// Thread count of this process, from `/proc/self/status`.
+fn proc_threads() -> u64 {
+    proc_status_field("Threads:")
+}
+
+fn proc_status_field(key: &str) -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Soft open-file limit, from `/proc/self/limits` (falls back to 1024).
+fn max_open_files() -> usize {
+    let limits = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+    limits
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}

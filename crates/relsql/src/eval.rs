@@ -662,10 +662,215 @@ pub(crate) fn scalar_fn_lazy(
             need(1)?;
             Ok(Value::Str(arg(0)?.to_string()))
         }
+        // T-SQL date arithmetic. The parser rewrites a bare datepart
+        // identifier (`datediff(day, a, b)`) into a string literal, so
+        // by the time either execution path gets here the datepart is a
+        // plain constant.
+        "datediff" => {
+            need(3)?;
+            let part = datepart_arg(name, arg(0)?)?;
+            let start = datetime_micros(name, arg(1)?)?;
+            let end = datetime_micros(name, arg(2)?)?;
+            match (start, end) {
+                (Some(start), Some(end)) => Ok(Value::Int(date_diff(part, start, end))),
+                _ => Ok(Value::Null),
+            }
+        }
+        "dateadd" => {
+            need(3)?;
+            let part = datepart_arg(name, arg(0)?)?;
+            let n = match arg(1)? {
+                Value::Null => {
+                    arg(2)?; // preserve evaluation of every argument
+                    return Ok(Value::Null);
+                }
+                Value::Int(n) => n,
+                // T-SQL truncates a fractional count toward zero.
+                Value::Float(f) => f.trunc() as i64,
+                other => return Err(Error::type_err(format!("dateadd() count {other}"))),
+            };
+            match datetime_micros(name, arg(2)?)? {
+                Some(t) => Ok(Value::DateTime(date_add(part, n, t))),
+                None => Ok(Value::Null),
+            }
+        }
         other => Err(Error::NotFound {
             kind: ObjectKind::Function,
             name: other.to_string(),
         }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// T-SQL date arithmetic: DATEDIFF / DATEADD over the micros-since-epoch
+// DateTime representation. DATEDIFF counts *boundary crossings* of the
+// datepart (T-SQL semantics: `datediff(day, 23:59, 00:01)` is 1), not
+// elapsed units; DATEADD clamps to the last day of the target month.
+// ---------------------------------------------------------------------------
+
+/// The dateparts `datediff`/`dateadd` understand, with their T-SQL
+/// abbreviations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DatePart {
+    Year,
+    Quarter,
+    Month,
+    Week,
+    Day,
+    Hour,
+    Minute,
+    Second,
+    Millisecond,
+    Microsecond,
+}
+
+/// Recognize a datepart name or abbreviation. Shared with the parser,
+/// which rewrites bare datepart identifiers into string literals.
+pub(crate) fn datepart_from_name(s: &str) -> Option<DatePart> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "year" | "yy" | "yyyy" => DatePart::Year,
+        "quarter" | "qq" | "q" => DatePart::Quarter,
+        "month" | "mm" | "m" => DatePart::Month,
+        "week" | "wk" | "ww" => DatePart::Week,
+        "day" | "dd" | "d" | "dayofyear" | "dy" => DatePart::Day,
+        "hour" | "hh" => DatePart::Hour,
+        "minute" | "mi" | "n" => DatePart::Minute,
+        "second" | "ss" | "s" => DatePart::Second,
+        "millisecond" | "ms" => DatePart::Millisecond,
+        "microsecond" | "mcs" | "us" => DatePart::Microsecond,
+        _ => return None,
+    })
+}
+
+fn datepart_arg(fname: &str, v: Value) -> Result<DatePart> {
+    match v {
+        Value::Str(s) => datepart_from_name(&s)
+            .ok_or_else(|| Error::exec(format!("{fname}(): unknown datepart '{s}'"))),
+        other => Err(Error::exec(format!(
+            "{fname}(): datepart must be an identifier or string, got {other}"
+        ))),
+    }
+}
+
+/// A datetime operand: `DateTime` micros, or an `Int` treated as micros
+/// (the same coercion the comparison operators apply). NULL propagates.
+fn datetime_micros(fname: &str, v: Value) -> Result<Option<i64>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::DateTime(t) | Value::Int(t) => Ok(Some(t)),
+        other => Err(Error::type_err(format!("{fname}() on {other}"))),
+    }
+}
+
+const MICROS_PER_SECOND: i64 = 1_000_000;
+const MICROS_PER_DAY: i64 = 86_400 * MICROS_PER_SECOND;
+
+fn floor_div(a: i64, b: i64) -> i64 {
+    a.div_euclid(b)
+}
+
+/// Proleptic-Gregorian civil date from days since 1970-01-01 (Howard
+/// Hinnant's `civil_from_days` algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Days since 1970-01-01 from a civil date (inverse of
+/// [`civil_from_days`]).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = i64::from(if m > 2 { m - 3 } else { m + 9 });
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+fn last_day_of_month(y: i64, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        _ => {
+            if y % 4 == 0 && (y % 100 != 0 || y % 400 == 0) {
+                29
+            } else {
+                28
+            }
+        }
+    }
+}
+
+/// `(year, month)` of the civil date holding micros `t`.
+fn year_month(t: i64) -> (i64, u32) {
+    let (y, m, _) = civil_from_days(floor_div(t, MICROS_PER_DAY));
+    (y, m)
+}
+
+fn date_diff(part: DatePart, start: i64, end: i64) -> i64 {
+    let unit_diff = |unit: i64| floor_div(end, unit) - floor_div(start, unit);
+    match part {
+        DatePart::Microsecond => end - start,
+        DatePart::Millisecond => unit_diff(1_000),
+        DatePart::Second => unit_diff(MICROS_PER_SECOND),
+        DatePart::Minute => unit_diff(60 * MICROS_PER_SECOND),
+        DatePart::Hour => unit_diff(3_600 * MICROS_PER_SECOND),
+        DatePart::Day => unit_diff(MICROS_PER_DAY),
+        DatePart::Week => {
+            // T-SQL weeks begin on Sunday; 1969-12-28 (day -4) was one,
+            // so shifting by +4 Sunday-aligns the floor.
+            let weeks = |t: i64| floor_div(floor_div(t, MICROS_PER_DAY) + 4, 7);
+            weeks(end) - weeks(start)
+        }
+        DatePart::Month => {
+            let (ys, ms) = year_month(start);
+            let (ye, me) = year_month(end);
+            (ye * 12 + i64::from(me)) - (ys * 12 + i64::from(ms))
+        }
+        DatePart::Quarter => {
+            let (ys, ms) = year_month(start);
+            let (ye, me) = year_month(end);
+            (ye * 4 + i64::from((me - 1) / 3)) - (ys * 4 + i64::from((ms - 1) / 3))
+        }
+        DatePart::Year => {
+            let (ys, _) = year_month(start);
+            let (ye, _) = year_month(end);
+            ye - ys
+        }
+    }
+}
+
+fn date_add(part: DatePart, n: i64, t: i64) -> i64 {
+    let add_months = |t: i64, months: i64| -> i64 {
+        let days = floor_div(t, MICROS_PER_DAY);
+        let tod = t - days * MICROS_PER_DAY;
+        let (y, m, d) = civil_from_days(days);
+        let total = y * 12 + i64::from(m) - 1 + months;
+        let (ny, nm) = (floor_div(total, 12), (total.rem_euclid(12)) as u32 + 1);
+        // `jan 31 + 1 month` lands on the last day of February.
+        let nd = d.min(last_day_of_month(ny, nm));
+        days_from_civil(ny, nm, nd) * MICROS_PER_DAY + tod
+    };
+    match part {
+        DatePart::Microsecond => t + n,
+        DatePart::Millisecond => t + n * 1_000,
+        DatePart::Second => t + n * MICROS_PER_SECOND,
+        DatePart::Minute => t + n * 60 * MICROS_PER_SECOND,
+        DatePart::Hour => t + n * 3_600 * MICROS_PER_SECOND,
+        DatePart::Day => t + n * MICROS_PER_DAY,
+        DatePart::Week => t + n * 7 * MICROS_PER_DAY,
+        DatePart::Month => add_months(t, n),
+        DatePart::Quarter => add_months(t, n * 3),
+        DatePart::Year => add_months(t, n * 12),
     }
 }
 
@@ -711,5 +916,108 @@ mod tests {
         assert!(like_match("abcdef", "a%c%f"));
         assert!(!like_match("abcdef", "a%c%g"));
         assert!(like_match("aaa", "%a%a%"));
+    }
+
+    // Reference micros (UTC): 1999-01-01 00:00 is the engine's default
+    // clock epoch, which pins the civil-calendar conversion.
+    const D1999_01_01: i64 = 915_148_800_000_000;
+    const D1999_01_31: i64 = 917_740_800_000_000;
+    const D1999_02_01: i64 = 917_827_200_000_000;
+    const D1999_02_28: i64 = 920_160_000_000_000;
+    const D1998_12_31: i64 = 915_062_400_000_000;
+    const SAT_1999_01_02: i64 = 915_235_200_000_000;
+    const SUN_1999_01_03: i64 = 915_321_600_000_000;
+    const D2000_02_29: i64 = 951_782_400_000_000;
+    const D2001_02_28: i64 = 983_318_400_000_000;
+
+    #[test]
+    fn civil_calendar_roundtrip() {
+        assert_eq!(civil_from_days(D1999_01_01 / MICROS_PER_DAY), (1999, 1, 1));
+        assert_eq!(days_from_civil(1999, 1, 1) * MICROS_PER_DAY, D1999_01_01);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+        for day in [-1_000_000i64, -1, 0, 1, 10_592, 365_000] {
+            let (y, m, d) = civil_from_days(day);
+            assert_eq!(days_from_civil(y, m, d), day, "roundtrip day {day}");
+        }
+    }
+
+    #[test]
+    fn datediff_counts_boundary_crossings() {
+        // 23:59 → next-day 00:01: one day boundary, although only 2min.
+        let t2359 = D1999_01_01 + (23 * 3600 + 59 * 60) * MICROS_PER_SECOND;
+        let t0001 = D1999_01_01 + MICROS_PER_DAY + 60 * MICROS_PER_SECOND;
+        assert_eq!(date_diff(DatePart::Day, t2359, t0001), 1);
+        assert_eq!(date_diff(DatePart::Hour, t2359, t0001), 1);
+        assert_eq!(date_diff(DatePart::Minute, t2359, t0001), 2);
+        assert_eq!(date_diff(DatePart::Second, t2359, t0001), 120);
+        // Jan 31 → Feb 1: one month boundary, one day.
+        assert_eq!(date_diff(DatePart::Month, D1999_01_31, D1999_02_01), 1);
+        assert_eq!(date_diff(DatePart::Day, D1999_01_31, D1999_02_01), 1);
+        assert_eq!(date_diff(DatePart::Quarter, D1999_01_31, D1999_02_01), 0);
+        // Dec 31 → Jan 1: year, quarter and month all cross.
+        assert_eq!(date_diff(DatePart::Year, D1998_12_31, D1999_01_01), 1);
+        assert_eq!(date_diff(DatePart::Quarter, D1998_12_31, D1999_01_01), 1);
+        assert_eq!(date_diff(DatePart::Month, D1998_12_31, D1999_01_01), 1);
+        // Saturday → Sunday crosses a (Sunday-start) week boundary.
+        assert_eq!(date_diff(DatePart::Week, SAT_1999_01_02, SUN_1999_01_03), 1);
+        assert_eq!(date_diff(DatePart::Week, SUN_1999_01_03, SUN_1999_01_03), 0);
+        // Signed: reversed operands negate.
+        assert_eq!(date_diff(DatePart::Day, D1999_02_01, D1999_01_31), -1);
+        assert_eq!(date_diff(DatePart::Microsecond, 5, 12), 7);
+        assert_eq!(date_diff(DatePart::Millisecond, 0, 2_500), 2);
+    }
+
+    #[test]
+    fn dateadd_clamps_to_month_end() {
+        assert_eq!(date_add(DatePart::Month, 1, D1999_01_31), D1999_02_28);
+        assert_eq!(date_add(DatePart::Year, 1, D2000_02_29), D2001_02_28);
+        assert_eq!(date_add(DatePart::Month, -11, D1999_12_31()), D1999_01_31);
+        assert_eq!(date_add(DatePart::Day, -1, D1999_01_01), D1998_12_31);
+        assert_eq!(
+            date_add(DatePart::Week, 2, D1999_01_01),
+            D1999_01_01 + 14 * MICROS_PER_DAY
+        );
+        // Time-of-day survives calendar moves.
+        let t = D1999_01_31 + 6 * 3600 * MICROS_PER_SECOND;
+        assert_eq!(
+            date_add(DatePart::Month, 1, t),
+            D1999_02_28 + 6 * 3600 * MICROS_PER_SECOND
+        );
+        assert_eq!(
+            date_add(DatePart::Quarter, 1, D1999_01_31),
+            days_from_civil(1999, 4, 30) * MICROS_PER_DAY
+        );
+    }
+
+    #[allow(non_snake_case)]
+    fn D1999_12_31() -> i64 {
+        days_from_civil(1999, 12, 31) * MICROS_PER_DAY
+    }
+
+    #[test]
+    fn datepart_abbreviations_resolve() {
+        for (names, part) in [
+            (&["year", "yy", "yyyy"][..], DatePart::Year),
+            (&["quarter", "qq", "q"][..], DatePart::Quarter),
+            (&["month", "mm", "m"][..], DatePart::Month),
+            (&["week", "wk", "ww"][..], DatePart::Week),
+            (&["day", "dd", "d", "dayofyear", "dy"][..], DatePart::Day),
+            (&["hour", "hh"][..], DatePart::Hour),
+            (&["minute", "mi", "n"][..], DatePart::Minute),
+            (&["second", "ss", "s"][..], DatePart::Second),
+            (&["millisecond", "ms"][..], DatePart::Millisecond),
+            (&["microsecond", "mcs", "us"][..], DatePart::Microsecond),
+        ] {
+            for n in names {
+                assert_eq!(datepart_from_name(n), Some(part), "{n}");
+                assert_eq!(
+                    datepart_from_name(&n.to_uppercase()),
+                    Some(part),
+                    "{n} uppercase"
+                );
+            }
+        }
+        assert_eq!(datepart_from_name("fortnight"), None);
     }
 }

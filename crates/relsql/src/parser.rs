@@ -964,6 +964,25 @@ impl<'a> Parser<'a> {
                         }
                     }
                     self.expect(&TokenKind::RParen, "')'")?;
+                    // T-SQL datepart keywords are bare identifiers:
+                    // `datediff(day, a, b)`. Rewrite the first argument
+                    // into a string literal at parse time so both
+                    // execution paths (and the masked-literal plan
+                    // cache) see a plain constant.
+                    if (word.eq_ignore_ascii_case("datediff")
+                        || word.eq_ignore_ascii_case("dateadd"))
+                        && !args.is_empty()
+                    {
+                        if let Expr::Column {
+                            qualifier: None,
+                            name,
+                        } = &args[0]
+                        {
+                            if crate::eval::datepart_from_name(name).is_some() {
+                                args[0] = Expr::Literal(Value::Str(name.to_ascii_lowercase()));
+                            }
+                        }
+                    }
                     return Ok(Expr::Function {
                         name: word,
                         args,

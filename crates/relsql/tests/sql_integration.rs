@@ -501,3 +501,80 @@ fn compiled_execution_counters_tick() {
     assert_eq!(stats.exec_compiled, 0);
     assert!(stats.exec_fallback_disabled > 0);
 }
+
+#[test]
+fn datediff_dateadd_parity_on_both_paths() {
+    // Micros since the Unix epoch (UTC): the engine's DateTime unit.
+    const D1999_01_01: i64 = 915_148_800_000_000;
+    const D1999_01_31: i64 = 917_740_800_000_000;
+    const D1999_02_01: i64 = 917_827_200_000_000;
+    const D1999_02_28: i64 = 920_160_000_000_000;
+    const D1998_12_31: i64 = 915_062_400_000_000;
+    const D2000_02_29: i64 = 951_782_400_000_000;
+    const D2001_02_28: i64 = 983_318_400_000_000;
+    on_both_paths(|s| {
+        s.execute("create table spans (id int, lo datetime, hi datetime)")
+            .unwrap();
+        s.execute(&format!(
+            "insert spans values (1, {D1999_01_31}, {D1999_02_01}), \
+             (2, {D1998_12_31}, {D1999_01_01}), (3, NULL, {D1999_01_01})"
+        ))
+        .unwrap();
+        // Bare datepart identifiers, T-SQL style, over column operands.
+        let r = s
+            .execute("select datediff(day, lo, hi) from spans where id = 1")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+        let r = s
+            .execute("select datediff(month, lo, hi) from spans where id = 1")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+        let r = s
+            .execute("select datediff(yy, lo, hi) from spans where id = 2")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+        // NULL operand propagates.
+        let r = s
+            .execute("select datediff(day, lo, hi) from spans where id = 3")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Null));
+        // Quoted datepart works too (what the parser rewrite desugars to).
+        let r = s
+            .execute("select datediff('day', lo, hi) from spans where id = 1")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+        // dateadd: month-end clamping and leap-year handling.
+        let r = s
+            .execute(&format!("select dateadd(month, 1, {D1999_01_31})"))
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::DateTime(D1999_02_28)));
+        let r = s
+            .execute(&format!("select dateadd(year, 1, {D2000_02_29})"))
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::DateTime(D2001_02_28)));
+        let r = s
+            .execute(&format!("select dateadd(day, -1, {D1999_01_01})"))
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::DateTime(D1998_12_31)));
+        // datediff composes with dateadd and WHERE filtering.
+        let r = s
+            .execute(
+                "select count(*) from spans \
+                 where datediff(day, lo, dateadd(day, 1, lo)) = 1",
+            )
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+        // Unknown datepart: identical error text on both paths.
+        let e = s
+            .execute("select datediff('fortnight', lo, hi) from spans")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("unknown datepart 'fortnight'"), "{e}");
+        // A datepart name that is also a real column still resolves as a
+        // column in non-datepart positions.
+        s.execute("create table cal (day int)").unwrap();
+        s.execute("insert cal values (7)").unwrap();
+        let r = s.execute("select day from cal").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(7)));
+    });
+}

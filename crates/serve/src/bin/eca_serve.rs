@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p eca-serve --bin eca_serve -- [--addr HOST:PORT] [--demo]
 //!                                           [--max-sessions N] [--queue-depth N]
+//!                                           [--shards N] [--exec-workers N]
 //!                                           [--data-dir PATH]
 //! ```
 //!
@@ -44,6 +45,14 @@ fn main() {
             "--queue-depth" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n > 0 => config.queue_depth = n,
                 _ => usage("--queue-depth needs a positive number"),
+            },
+            "--shards" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => config.shards = n,
+                _ => usage("--shards needs a positive number"),
+            },
+            "--exec-workers" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => config.exec_workers = n,
+                _ => usage("--exec-workers needs a positive number"),
             },
             "--demo" => demo = true,
             "--help" | "-h" => usage(""),
@@ -88,6 +97,12 @@ fn main() {
         }
     };
     println!("eca_serve listening on {}", handle.addr());
+    println!(
+        "(reactor: {} shard(s) + {} exec worker(s) = {} serve threads)",
+        handle.reactor_shards(),
+        handle.exec_workers(),
+        handle.serve_threads()
+    );
     println!("(EOF or 'quit' on stdin shuts down gracefully)");
 
     let stdin = std::io::stdin();
@@ -103,6 +118,19 @@ fn main() {
     }
 
     let stats = handle.serve_stats();
+    for shard in handle.reactor_stats() {
+        println!(
+            "shard {}: {} session(s) ({} idle), {} wakeup(s), {} partial read(s), \
+             {} blocked write(s), {} accept overflow(s)",
+            shard.shard,
+            shard.sessions,
+            shard.sessions_idle,
+            shard.wakeups,
+            shard.partial_reads,
+            shard.write_blocked,
+            shard.accept_overflows
+        );
+    }
     let report = handle.shutdown();
     println!(
         "shutdown: {} session(s) served, {} request(s), {} error(s)",
@@ -137,7 +165,7 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage: eca_serve [--addr HOST:PORT] [--demo] [--max-sessions N] [--queue-depth N] \
-         [--data-dir PATH]"
+         [--shards N] [--exec-workers N] [--data-dir PATH]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

@@ -10,10 +10,10 @@
 //!   the server's bounded-queue backpressure.
 
 use std::fmt;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::proto::{ProtoError, Request, Response};
+use crate::proto::{FrameDecoder, ProtoError, Request, Response};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -58,19 +58,22 @@ impl From<ProtoError> for ClientError {
     }
 }
 
-/// One connection to an `eca_serve` server.
+/// One connection to an `eca_serve` server. Responses are reassembled
+/// through the same incremental [`FrameDecoder`] the server's reactor
+/// uses, so both halves of the protocol exercise one codec.
 pub struct ServeClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    stream: TcpStream,
+    decoder: FrameDecoder,
 }
 
 impl ServeClient {
     /// Connect without binding an identity (server defaults apply).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let writer = BufWriter::new(stream);
-        Ok(ServeClient { reader, writer })
+        Ok(ServeClient {
+            stream,
+            decoder: FrameDecoder::new(),
+        })
     }
 
     /// Connect and bind a session identity; returns the server-assigned
@@ -87,8 +90,9 @@ impl ServeClient {
 
     /// Send one frame without waiting for the reply (pipelining).
     pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
-        writeln!(self.writer, "{}", req.encode())?;
-        self.writer.flush()?;
+        let mut line = req.encode();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
         Ok(())
     }
 
@@ -96,15 +100,26 @@ impl ServeClient {
     /// `Ok(Response::Err { .. })` here — use the typed helpers to turn them
     /// into [`ClientError::Server`].
     pub fn recv(&mut self) -> Result<Response, ClientError> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
+        let mut chunk = [0u8; 4096];
+        loop {
+            while let Some(frame) = self.decoder.next_frame() {
+                let text = String::from_utf8(frame)
+                    .map_err(|_| ClientError::Proto(ProtoError::new("non-UTF-8 frame")))?;
+                let trimmed = text.trim_end_matches(['\n', '\r']);
+                if trimmed.is_empty() {
+                    continue;
+                }
+                return Ok(Response::parse(trimmed)?);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.decoder.feed(&chunk[..n]);
         }
-        Ok(Response::parse(line.trim_end_matches(['\n', '\r']))?)
     }
 
     /// Send one frame and block for its reply, mapping `ERR` to

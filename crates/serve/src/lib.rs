@@ -11,8 +11,14 @@
 //!   shared by server and client so the grammar cannot drift;
 //! - a **session manager** ([`session`]) with a hard session limit and
 //!   per-session + aggregate counters surfaced through `STATS`;
-//! - a **bounded per-session submission queue** ([`server`]) whose full
-//!   state blocks the socket reader — backpressure reaches the client as
+//! - a **sharded reactor pool** ([`reactor`] behind [`server`]): N
+//!   event-loop threads own slabs of nonblocking sessions via hand-rolled
+//!   readiness polling ([`poll`] — epoll on Linux, poll(2) elsewhere),
+//!   decode frames incrementally ([`proto::FrameDecoder`]) and hand
+//!   statements to a small execution worker pool, so 10k+ sessions ride
+//!   on a fixed `cores + 2` thread budget;
+//! - a **bounded per-session submission queue** whose full state parks
+//!   the session's read interest — backpressure reaches the client as
 //!   TCP flow control rather than unbounded memory growth;
 //! - **graceful shutdown** ([`ServeHandle::shutdown`]) that half-closes
 //!   read sides, answers everything already queued, then drains the
@@ -21,7 +27,8 @@
 //!   and raw pipelining for throughput work.
 //!
 //! The `eca_serve` binary wires this to a fresh agent; the E11 experiment
-//! in `crates/bench` measures 8 clients × 1,000 statements against it.
+//! in `crates/bench` measures 8 clients × 1,000 statements against it and
+//! E18 holds 10k idle sessions plus 64 hot ones on the fixed thread pool.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -40,11 +47,13 @@
 //! ```
 
 pub mod client;
+pub mod poll;
 pub mod proto;
+mod reactor;
 pub mod server;
 pub mod session;
 
 pub use client::{ClientError, ExecResult, ServeClient};
-pub use proto::{Request, Response, CODE_BUSY, CODE_PROTO};
+pub use proto::{FrameDecoder, Request, Response, CODE_BUSY, CODE_PROTO};
 pub use server::{EcaServer, ServeConfig, ServeHandle};
-pub use session::{ServeStats, SessionSnapshot};
+pub use session::{ReactorShardSnapshot, ServeStats, SessionSnapshot};

@@ -1,0 +1,486 @@
+//! Thin readiness-polling abstraction for the reactor shards.
+//!
+//! Dependency-light by design (ROADMAP: "hand-rolled readiness polling
+//! ... to stay dependency-light"): on Linux this is raw `epoll(7)` via
+//! `extern "C"` declarations against the libc every Rust binary already
+//! links — no `libc`/`mio` crate. Elsewhere on unix it falls back to
+//! `poll(2)` over the registered fd set. Both backends expose the same
+//! level-triggered interface:
+//!
+//! - [`Poller::add`]/[`Poller::modify`]/[`Poller::remove`] manage fds with
+//!   a caller-chosen `u64` token and an [`Interest`] (read/write);
+//! - [`Poller::wait`] blocks for readiness [`Event`]s;
+//! - [`Waker`] wakes a blocked `wait` from another thread (eventfd on
+//!   Linux, a self-pipe on the fallback), the completion-notification path
+//!   from the execution workers back to the owning shard.
+//!
+//! Registration is single-threaded (the owning shard); only
+//! [`Waker::wake`] crosses threads.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// What readiness a registered fd should report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub read: bool,
+    pub write: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+
+    pub fn new(read: bool, write: bool) -> Interest {
+        Interest { read, write }
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error / hangup on the fd; the owner should try the I/O and let it
+    /// fail (or see EOF) rather than interpret this directly.
+    pub error: bool,
+}
+
+fn last_errno_io() -> io::Error {
+    io::Error::last_os_error()
+}
+
+fn is_eintr(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Interrupted
+}
+
+// ---------------------------------------------------------------------------
+// Linux backend: epoll + eventfd.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::*;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // The kernel's epoll_event is packed on x86-64 only.
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn interest_mask(interest: Interest) -> u32 {
+        let mut mask = 0;
+        if interest.read {
+            mask |= EPOLLIN;
+        }
+        if interest.write {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Level-triggered epoll instance owned by one reactor shard.
+    pub struct Poller {
+        epfd: RawFd,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(last_errno_io());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_mask(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                Err(last_errno_io())
+            } else {
+                Ok(())
+            }
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::new(false, false))
+        }
+
+        /// Block for readiness; `timeout_ms < 0` waits forever. Fills
+        /// `events` (cleared first). EINTR retries.
+        pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            events.clear();
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let e = last_errno_io();
+                if !is_eintr(&e) {
+                    return Err(e);
+                }
+            };
+            for raw in &self.buf[..n] {
+                let bits = raw.events;
+                events.push(Event {
+                    token: raw.data,
+                    readable: bits & (EPOLLIN | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// Cross-thread wakeup: a nonblocking eventfd registered with the
+    /// shard's poller under a reserved token.
+    pub struct Waker {
+        efd: RawFd,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let efd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if efd < 0 {
+                return Err(last_errno_io());
+            }
+            Ok(Waker { efd })
+        }
+
+        /// The fd to register for read interest with the shard's poller.
+        pub fn read_fd(&self) -> RawFd {
+            self.efd
+        }
+
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            // EAGAIN means the counter is already non-zero — a wake is
+            // pending, which is all we need.
+            unsafe { write(self.efd, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Consume pending wakes (called by the owning shard).
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { read(self.efd, buf.as_mut_ptr().cast(), 8) };
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe { close(self.efd) };
+        }
+    }
+
+    // Safety: the eventfd is just an fd; write/read on it are thread-safe.
+    unsafe impl Send for Waker {}
+    unsafe impl Sync for Waker {}
+}
+
+// ---------------------------------------------------------------------------
+// Portable unix fallback: poll(2) + self-pipe.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::*;
+    use std::os::raw::{c_int, c_short, c_void};
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn interest_mask(interest: Interest) -> c_short {
+        let mut mask = 0;
+        if interest.read {
+            mask |= POLLIN;
+        }
+        if interest.write {
+            mask |= POLLOUT;
+        }
+        mask
+    }
+
+    /// poll(2) over the registered fd set. Registration mutates the local
+    /// table; only `wait` touches the kernel.
+    pub struct Poller {
+        fds: Vec<PollFd>,
+        tokens: Vec<u64>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+            })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.fds.push(PollFd {
+                fd,
+                events: interest_mask(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            for (slot, tok) in self.fds.iter_mut().zip(self.tokens.iter_mut()) {
+                if slot.fd == fd {
+                    slot.events = interest_mask(interest);
+                    *tok = token;
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            if let Some(i) = self.fds.iter().position(|p| p.fd == fd) {
+                self.fds.swap_remove(i);
+                self.tokens.swap_remove(i);
+                Ok(())
+            } else {
+                Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+            }
+        }
+
+        pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            events.clear();
+            loop {
+                let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len(), timeout_ms) };
+                if rc >= 0 {
+                    break;
+                }
+                let e = last_errno_io();
+                if !is_eintr(&e) {
+                    return Err(e);
+                }
+            }
+            for (slot, tok) in self.fds.iter().zip(self.tokens.iter()) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token: *tok,
+                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                    error: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// Self-pipe wakeup for the poll(2) backend.
+    pub struct Waker {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let mut fds: [c_int; 2] = [0; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(last_errno_io());
+            }
+            Ok(Waker {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub fn read_fd(&self) -> RawFd {
+            self.read_fd
+        }
+
+        pub fn wake(&self) {
+            let b = [1u8];
+            unsafe { write(self.write_fd, b.as_ptr().cast(), 1) };
+        }
+
+        pub fn drain(&self) {
+            // The pipe is readable (poll said so); one read empties the
+            // coalesced wakes it holds right now.
+            let mut buf = [0u8; 64];
+            unsafe { read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    unsafe impl Send for Waker {}
+    unsafe impl Sync for Waker {}
+}
+
+#[cfg(not(unix))]
+compile_error!("the eca-serve reactor requires a unix-like platform (epoll or poll(2))");
+
+pub use sys::{Poller, Waker};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn readiness_and_interest_transitions() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "nothing pending yet");
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "pending connection reports read readiness"
+        );
+
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller
+            .add(server_side.as_raw_fd(), 9, Interest::READ)
+            .unwrap();
+        client.write_all(b"hi").unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.readable));
+
+        // Write interest on an empty send buffer reports writable.
+        poller
+            .modify(server_side.as_raw_fd(), 9, Interest::new(true, true))
+            .unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.writable));
+
+        let mut buf = [0u8; 8];
+        let mut s = &server_side;
+        assert_eq!(s.read(&mut buf).unwrap(), 2);
+        poller.remove(server_side.as_raw_fd()).unwrap();
+        poller.remove(listener.as_raw_fd()).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "removed fds stay silent");
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_coalesces() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Arc::new(Waker::new().unwrap());
+        poller.add(waker.read_fd(), 0, Interest::READ).unwrap();
+
+        let w = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w.wake();
+            w.wake(); // coalesces with the first
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, 5000).unwrap();
+        assert!(events.iter().any(|e| e.token == 0 && e.readable));
+        t.join().unwrap();
+        waker.drain();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(
+            events.is_empty(),
+            "drained waker reports no further readiness"
+        );
+    }
+}

@@ -158,6 +158,72 @@ impl Request {
     }
 }
 
+/// Incremental frame decoder: feed raw socket bytes in whatever chunks
+/// the kernel hands over, pull complete frames (lines) back out. This is
+/// what the reactor shards use instead of a blocking `read_line`, and what
+/// [`crate::ServeClient`] uses for responses — both ends decode through
+/// the same code, and `tests/proto_decode.rs` pins byte-at-a-time feeding
+/// to whole-buffer parsing.
+///
+/// Frames come back as raw bytes (without the terminating `\n`); the
+/// caller decides UTF-8 policy, mirroring how a failed `read_line` used to
+/// end a session.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily).
+    start: usize,
+}
+
+/// Shrink-back threshold: a session that once buffered a huge frame should
+/// not pin that allocation forever (idle-session memory budget).
+const DECODER_SHRINK_BYTES: usize = 16 * 1024;
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, or `None` if the buffer holds only a
+    /// partial line (or nothing).
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        let rest = &self.buf[self.start..];
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        let line = rest[..nl].to_vec();
+        self.start += nl + 1;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            if self.buf.capacity() > DECODER_SHRINK_BYTES {
+                self.buf.shrink_to(DECODER_SHRINK_BYTES);
+            }
+        } else if self.start > DECODER_SHRINK_BYTES {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Some(line)
+    }
+
+    /// Bytes of an incomplete frame still waiting for more input.
+    pub fn partial_len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when `feed` bytes arrived that do not yet form a full frame.
+    pub fn has_partial(&self) -> bool {
+        self.partial_len() > 0
+    }
+}
+
 /// A malformed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtoError {
@@ -429,6 +495,28 @@ mod tests {
         assert!(Response::parse("YES fine").is_err());
         assert!(Response::parse("OK EXEC actions=x failed=0 rows=0 text=").is_err());
         assert!(Response::parse("ERR JUSTCODE").is_err());
+    }
+
+    #[test]
+    fn decoder_reassembles_split_frames() {
+        let mut d = FrameDecoder::new();
+        d.feed(b"PI");
+        assert_eq!(d.next_frame(), None);
+        assert!(d.has_partial());
+        d.feed(b"NG\nSTATS\nQU");
+        assert_eq!(d.next_frame().as_deref(), Some(&b"PING"[..]));
+        assert_eq!(d.next_frame().as_deref(), Some(&b"STATS"[..]));
+        assert_eq!(d.next_frame(), None);
+        assert_eq!(d.partial_len(), 2);
+        d.feed(b"IT\n");
+        assert_eq!(d.next_frame().as_deref(), Some(&b"QUIT"[..]));
+        assert!(!d.has_partial());
+        // Empty lines are frames too (the caller skips them, as the old
+        // reader loop did).
+        d.feed(b"\n\nPING\n");
+        assert_eq!(d.next_frame().as_deref(), Some(&b""[..]));
+        assert_eq!(d.next_frame().as_deref(), Some(&b""[..]));
+        assert_eq!(d.next_frame().as_deref(), Some(&b"PING"[..]));
     }
 
     #[test]

@@ -1,0 +1,804 @@
+//! The sharded reactor: N event-loop threads, each owning a slab of
+//! nonblocking sessions, plus a small execution worker pool.
+//!
+//! Shard ownership: a session's socket, decode buffer, bounded frame
+//! queue and write buffer live on exactly one shard and are touched by
+//! exactly one thread — no per-connection locks. Shard 0 additionally
+//! owns the listener and accepts via readiness events (no sleep
+//! backoff); new sessions are handed to shards round-robin through a
+//! per-shard inbox + waker.
+//!
+//! Execution: cheap control frames (`HELLO`, `PING`, `QUIT`, `RESUME`,
+//! protocol errors) are answered inline on the shard. Frames that can
+//! block or run long (`EXEC`, `STATS`, `DRAIN`) are dispatched to the
+//! worker pool — at most one in flight per session — and the completion
+//! is pushed back to the owning shard's inbox followed by a waker nudge
+//! (eventfd on Linux, self-pipe otherwise). The shard never blocks on
+//! the service.
+//!
+//! Backpressure: a session's read interest is dropped while its frame
+//! queue sits at `queue_depth` or its write buffer is above the
+//! high-water mark; the kernel receive buffer then fills and TCP flow
+//! control pushes back on the client — same contract as the old
+//! thread-pair model, without the threads. Writes that hit `WOULDBLOCK`
+//! register write interest and resume on writability.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use eca_core::service::ActiveService;
+use parking_lot::Mutex;
+use relsql::SessionCtx;
+
+use crate::poll::{Event, Interest, Poller, Waker};
+use crate::proto::{FrameDecoder, ProtoError, Request, Response, CODE_PROTO};
+use crate::server::process;
+use crate::session::{ReactorShardStats, SessionCounters, SessionManager};
+
+/// Reserved token for the shard's waker fd.
+const TOKEN_WAKER: u64 = 0;
+/// Reserved token for the listener (shard 0 only).
+const TOKEN_LISTENER: u64 = 1;
+/// Connection tokens start here; token = TOKEN_BASE + slab slot.
+const TOKEN_BASE: u64 = 2;
+
+/// Stop reading a session once this much response data is waiting to be
+/// written — a slow reader should not buffer unboundedly server-side.
+const WBUF_HIGH: usize = 256 * 1024;
+/// Compact the write buffer once the consumed prefix passes this.
+const WBUF_COMPACT: usize = 64 * 1024;
+/// Shared per-shard read scratch buffer size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// During drain, a session with in-flight work is closed only once it
+/// has been quiet this long — pipelined frames still on the wire when
+/// shutdown starts get read, executed and answered first.
+const DRAIN_QUIET_GRACE: Duration = Duration::from_millis(25);
+/// Poll cadence while draining live sessions.
+const DRAIN_TICK_MS: i32 = 5;
+
+/// A statement dispatched to the execution worker pool.
+pub(crate) struct Job {
+    shard: usize,
+    token: u64,
+    session_id: u64,
+    req: Request,
+    ctx: SessionCtx,
+    counters: Arc<SessionCounters>,
+}
+
+/// A finished job on its way back to the owning shard.
+pub(crate) struct Completion {
+    token: u64,
+    session_id: u64,
+    resp: Response,
+    quit: bool,
+}
+
+/// A freshly admitted connection on its way to its owning shard.
+pub(crate) struct NewSession {
+    pub stream: TcpStream,
+    pub id: u64,
+    pub counters: Arc<SessionCounters>,
+}
+
+/// Cross-thread mailbox for one shard; producers push then wake.
+#[derive(Default)]
+pub(crate) struct Inbox {
+    new_conns: Vec<NewSession>,
+    completions: Vec<Completion>,
+}
+
+/// The shared face of one shard: how other threads reach it.
+pub(crate) struct ShardHandle {
+    pub waker: Arc<Waker>,
+    pub inbox: Arc<Mutex<Inbox>>,
+    pub stats: Arc<ReactorShardStats>,
+}
+
+impl ShardHandle {
+    pub(crate) fn send_new_session(&self, ns: NewSession) {
+        self.inbox.lock().new_conns.push(ns);
+        self.waker.wake();
+    }
+
+    fn send_completion(&self, c: Completion) {
+        self.inbox.lock().completions.push(c);
+        self.waker.wake();
+    }
+
+    /// Shutdown sweep: release sessions handed to a shard that had
+    /// already exited (an accept racing the stop flag). Called after
+    /// every shard thread is joined.
+    pub(crate) fn close_stranded(&self, manager: &SessionManager) {
+        let mut inbox = self.inbox.lock();
+        for ns in inbox.new_conns.drain(..) {
+            manager.close(ns.id);
+        }
+        inbox.completions.clear();
+    }
+}
+
+/// One session as its owning shard sees it.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Parsed frames awaiting execution; bounded by `queue_depth` (read
+    /// interest is parked at the limit, so growth past it is capped by
+    /// what one read chunk decodes to).
+    queue: VecDeque<Result<Request, ProtoError>>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// A job for this session is in flight on the worker pool.
+    busy: bool,
+    /// Socket failed while a job was in flight: resources are released,
+    /// the slot waits for the completion before being reused.
+    dead: bool,
+    read_closed: bool,
+    /// Answer what is buffered, flush, then close.
+    closing: bool,
+    interest: Interest,
+    idle: bool,
+    /// Last moment this session read bytes or finished a response —
+    /// drives the drain quiet-grace decision.
+    last_active: Instant,
+    ctx: SessionCtx,
+    counters: Arc<SessionCounters>,
+}
+
+impl Conn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// Everything one shard thread owns and runs on.
+pub(crate) struct Shard {
+    pub index: usize,
+    pub poller: Poller,
+    pub waker: Arc<Waker>,
+    pub listener: Option<TcpListener>,
+    pub handles: Arc<Vec<ShardHandle>>,
+    pub inbox: Arc<Mutex<Inbox>>,
+    pub stats: Arc<ReactorShardStats>,
+    pub manager: Arc<SessionManager>,
+    pub service: Arc<dyn ActiveService>,
+    pub job_tx: Sender<Job>,
+    pub stop: Arc<AtomicBool>,
+    pub queue_depth: usize,
+    pub drain_timeout: Duration,
+    pub default_ctx: SessionCtx,
+}
+
+/// Per-thread reactor state (the non-shared parts live here).
+struct Reactor {
+    s: Shard,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Slots freed mid-batch; reusable only after the batch completes so
+    /// stale readiness events cannot land on a recycled slot.
+    deferred_free: Vec<usize>,
+    scratch: Vec<u8>,
+    /// Accept failed hard (fd exhaustion); listener is parked and
+    /// re-armed after a short poll timeout instead of spinning.
+    listener_parked: bool,
+    draining: bool,
+    /// Hard stop for the drain: sessions still live past this point are
+    /// half-closed regardless of activity.
+    drain_deadline: Option<Instant>,
+    next_shard: usize,
+}
+
+fn token_for(slot: usize) -> u64 {
+    TOKEN_BASE + slot as u64
+}
+
+fn slot_for(token: u64) -> usize {
+    (token - TOKEN_BASE) as usize
+}
+
+/// Pull bytes until `WOULDBLOCK`/EOF or the queue/write-buffer gates
+/// close, decoding frames incrementally as they arrive.
+fn read_some(conn: &mut Conn, scratch: &mut [u8], stats: &ReactorShardStats, queue_depth: usize) {
+    while !conn.read_closed
+        && !conn.closing
+        && conn.queue.len() < queue_depth
+        && conn.pending_write() < WBUF_HIGH
+    {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.read_closed = true;
+            }
+            Ok(n) => {
+                conn.last_active = Instant::now();
+                conn.decoder.feed(&scratch[..n]);
+                while let Some(line) = conn.decoder.next_frame() {
+                    let Ok(text) = String::from_utf8(line) else {
+                        // Parity with the old buffered-reader path: a
+                        // non-UTF-8 line ends the read side; frames
+                        // already queued still execute and answer.
+                        conn.read_closed = true;
+                        conn.decoder = FrameDecoder::new();
+                        break;
+                    };
+                    let trimmed = text.trim_end_matches(['\n', '\r']);
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    conn.counters.received.fetch_add(1, Ordering::Relaxed);
+                    conn.queue.push_back(Request::parse(trimmed));
+                    conn.counters.observe_queue_depth(conn.queue.len());
+                }
+                if conn.decoder.has_partial() {
+                    stats.partial_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                if n < scratch.len() {
+                    break; // short read: the kernel buffer is drained
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.read_closed = true;
+            }
+        }
+    }
+}
+
+/// Append an encoded response to the write buffer and bump counters —
+/// the single point every answered frame funnels through.
+fn finish_response(conn: &mut Conn, resp: Response, quit: bool) {
+    conn.last_active = Instant::now();
+    conn.counters.executed.fetch_add(1, Ordering::Relaxed);
+    if matches!(resp, Response::Err { .. }) {
+        conn.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    conn.wbuf.extend_from_slice(resp.encode().as_bytes());
+    conn.wbuf.push(b'\n');
+    if quit {
+        // BYE answers immediately; anything still queued is dropped,
+        // matching the old worker loop which returned on quit.
+        conn.queue.clear();
+        conn.closing = true;
+        let _ = conn.stream.shutdown(Shutdown::Read);
+    }
+}
+
+/// True for frames that may block or run long — these go to the worker
+/// pool so the shard's event loop stays responsive.
+fn needs_worker(req: &Request) -> bool {
+    matches!(req, Request::Exec { .. } | Request::Stats | Request::Drain)
+}
+
+/// Drain the frame queue: answer cheap frames inline, dispatch at most
+/// one worker job, stop at the write high-water mark.
+#[allow(clippy::too_many_arguments)]
+fn pump(
+    conn: &mut Conn,
+    shard: usize,
+    token: u64,
+    job_tx: &Sender<Job>,
+    service: &Arc<dyn ActiveService>,
+    manager: &SessionManager,
+    drain_timeout: Duration,
+) {
+    while !conn.busy && !conn.closing && conn.pending_write() < WBUF_HIGH {
+        let Some(frame) = conn.queue.pop_front() else {
+            break;
+        };
+        match frame {
+            Err(proto) => finish_response(
+                conn,
+                Response::Err {
+                    code: CODE_PROTO.into(),
+                    message: proto.message,
+                },
+                false,
+            ),
+            Ok(req) if needs_worker(&req) => {
+                conn.busy = true;
+                let _ = job_tx.send(Job {
+                    shard,
+                    token,
+                    session_id: conn.id,
+                    req,
+                    ctx: conn.ctx.clone(),
+                    counters: Arc::clone(&conn.counters),
+                });
+            }
+            Ok(req) => {
+                let (resp, quit) = process(
+                    req,
+                    service,
+                    &conn.counters,
+                    manager,
+                    conn.id,
+                    &mut conn.ctx,
+                    drain_timeout,
+                );
+                finish_response(conn, resp, quit);
+            }
+        }
+    }
+    // EOF with nothing left to do: the session is over once the write
+    // buffer flushes.
+    if conn.read_closed && conn.queue.is_empty() && !conn.busy {
+        conn.closing = true;
+    }
+}
+
+/// Write as much buffered response data as the socket accepts. Returns
+/// `false` on a fatal socket error.
+fn flush(conn: &mut Conn, stats: &ReactorShardStats) -> bool {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                stats.write_blocked.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        if conn.wbuf.capacity() > WBUF_COMPACT {
+            conn.wbuf.shrink_to(READ_CHUNK);
+        }
+    } else if conn.wpos > WBUF_COMPACT {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    true
+}
+
+fn desired_interest(conn: &Conn, queue_depth: usize) -> Interest {
+    let read = !conn.read_closed
+        && !conn.closing
+        && conn.queue.len() < queue_depth
+        && conn.pending_write() < WBUF_HIGH;
+    let write = conn.pending_write() > 0;
+    Interest::new(read, write)
+}
+
+impl Reactor {
+    fn new(s: Shard) -> Reactor {
+        Reactor {
+            s,
+            conns: Vec::new(),
+            free: Vec::new(),
+            deferred_free: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+            listener_parked: false,
+            draining: false,
+            drain_deadline: None,
+            next_shard: 0,
+        }
+    }
+
+    fn live(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn set_idle(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let idle = !conn.busy
+            && conn.queue.is_empty()
+            && conn.pending_write() == 0
+            && !conn.closing
+            && !conn.dead;
+        if idle != conn.idle {
+            conn.idle = idle;
+            if idle {
+                self.s.stats.sessions_idle.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.s.stats.sessions_idle.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Tear a session down: deregister, release the admission slot, and
+    /// free (or park, if a job is still in flight) the slab slot.
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.dead {
+            return; // already torn down, waiting on its completion
+        }
+        if conn.idle {
+            conn.idle = false;
+            self.s.stats.sessions_idle.fetch_sub(1, Ordering::Relaxed);
+        }
+        let fd = conn.stream.as_raw_fd();
+        let _ = self.s.poller.remove(fd);
+        self.s.manager.close(conn.id);
+        self.s.stats.sessions.fetch_sub(1, Ordering::Relaxed);
+        if conn.busy {
+            // The worker still holds this session's token: keep the slot
+            // reserved (and the fd open) until the completion arrives.
+            conn.dead = true;
+        } else {
+            self.conns[slot] = None;
+            self.deferred_free.push(slot);
+        }
+    }
+
+    /// Post-I/O bookkeeping for one session: close it if finished,
+    /// otherwise refresh poller interest and the idle gauge.
+    fn settle(&mut self, slot: usize, io_ok: bool) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.dead {
+            return;
+        }
+        if !io_ok || (conn.closing && conn.pending_write() == 0) {
+            self.close_conn(slot);
+            return;
+        }
+        let want = desired_interest(conn, self.s.queue_depth);
+        if want != conn.interest {
+            conn.interest = want;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.s.poller.modify(fd, token_for(slot), want);
+        }
+        self.set_idle(slot);
+    }
+
+    /// Run the full I/O cycle for one session after a readiness event.
+    fn service_conn(&mut self, slot: usize, readable: bool, writable: bool) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return; // freed earlier in this batch
+        };
+        if conn.dead {
+            return;
+        }
+        let mut ok = true;
+        if writable {
+            ok = flush(conn, &self.s.stats);
+        }
+        if ok && readable {
+            read_some(conn, &mut self.scratch, &self.s.stats, self.s.queue_depth);
+        }
+        if ok {
+            pump(
+                conn,
+                self.s.index,
+                token_for(slot),
+                &self.s.job_tx,
+                &self.s.service,
+                &self.s.manager,
+                self.s.drain_timeout,
+            );
+            ok = flush(conn, &self.s.stats);
+        }
+        self.settle(slot, ok);
+    }
+
+    /// Adopt a new session into the slab (it may have been accepted on
+    /// another shard).
+    fn install(&mut self, ns: NewSession) {
+        if self.draining || ns.stream.set_nonblocking(true).is_err() {
+            self.s.manager.close(ns.id);
+            return;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let fd = ns.stream.as_raw_fd();
+        if self
+            .s
+            .poller
+            .add(fd, token_for(slot), Interest::READ)
+            .is_err()
+        {
+            self.free.push(slot);
+            self.s.manager.close(ns.id);
+            return;
+        }
+        self.conns[slot] = Some(Conn {
+            id: ns.id,
+            stream: ns.stream,
+            decoder: FrameDecoder::new(),
+            queue: VecDeque::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            busy: false,
+            dead: false,
+            read_closed: false,
+            closing: false,
+            interest: Interest::READ,
+            idle: false,
+            last_active: Instant::now(),
+            ctx: self.s.default_ctx.clone(),
+            counters: ns.counters,
+        });
+        self.s.stats.sessions.fetch_add(1, Ordering::Relaxed);
+        self.set_idle(slot);
+    }
+
+    fn apply_completion(&mut self, c: Completion) {
+        let Some(conn) = self
+            .conns
+            .get_mut(slot_for(c.token))
+            .and_then(|s| s.as_mut())
+        else {
+            return;
+        };
+        if conn.id != c.session_id {
+            return; // slot was recycled; the original session is gone
+        }
+        let slot = slot_for(c.token);
+        conn.busy = false;
+        if conn.dead {
+            // Socket died while the job ran; resources were already
+            // released — just free the parked slot.
+            self.conns[slot] = None;
+            self.deferred_free.push(slot);
+            return;
+        }
+        finish_response(conn, c.resp, c.quit);
+        pump(
+            conn,
+            self.s.index,
+            c.token,
+            &self.s.job_tx,
+            &self.s.service,
+            &self.s.manager,
+            self.s.drain_timeout,
+        );
+        // The queue may have room again: pull whatever the kernel
+        // buffered while read interest was parked.
+        read_some(conn, &mut self.scratch, &self.s.stats, self.s.queue_depth);
+        pump(
+            conn,
+            self.s.index,
+            c.token,
+            &self.s.job_tx,
+            &self.s.service,
+            &self.s.manager,
+            self.s.drain_timeout,
+        );
+        let ok = flush(conn, &self.s.stats);
+        self.settle(slot, ok);
+    }
+
+    /// Accept everything pending (shard 0 only). Hard accept failures
+    /// park the listener briefly instead of spinning.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.s.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => match self.s.manager.try_open() {
+                    None => reject_busy(&stream),
+                    Some((id, counters)) => {
+                        let ns = NewSession {
+                            stream,
+                            id,
+                            counters,
+                        };
+                        let target = self.next_shard;
+                        self.next_shard = (self.next_shard + 1) % self.s.handles.len();
+                        if target == self.s.index {
+                            self.install(ns);
+                        } else {
+                            self.s.handles[target].send_new_session(ns);
+                        }
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Accept-queue overflow (fd exhaustion, aborted
+                    // connection storms): count it, park the listener and
+                    // retry after a short poll timeout.
+                    self.s
+                        .stats
+                        .accept_overflows
+                        .fetch_add(1, Ordering::Relaxed);
+                    let fd = listener.as_raw_fd();
+                    let _ = self.s.poller.remove(fd);
+                    self.listener_parked = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn drain_inbox(&mut self) {
+        let (completions, new_conns) = {
+            let mut inbox = self.s.inbox.lock();
+            (
+                std::mem::take(&mut inbox.completions),
+                std::mem::take(&mut inbox.new_conns),
+            )
+        };
+        for c in completions {
+            self.apply_completion(c);
+        }
+        for ns in new_conns {
+            self.install(ns);
+        }
+    }
+
+    /// Shutdown entry: stop accepting and start sweeping sessions out.
+    /// Sessions with in-flight work stay open until they go quiet (or
+    /// the deadline hits) so pipelined frames still on the wire are read,
+    /// executed and answered — the "answer what was already queued"
+    /// shutdown contract, without a thread blocked per session.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + self.s.drain_timeout);
+        if let Some(listener) = self.s.listener.take() {
+            let _ = self.s.poller.remove(listener.as_raw_fd());
+            self.listener_parked = false;
+        }
+        self.sweep_drain();
+    }
+
+    /// One drain pass: half-close and retire every session that has been
+    /// quiet for [`DRAIN_QUIET_GRACE`] (idle sessions qualify at once);
+    /// past the deadline, everyone is half-closed regardless and only
+    /// the already-queued frames are answered.
+    fn sweep_drain(&mut self) {
+        let deadline_passed = self.drain_deadline.is_some_and(|d| Instant::now() >= d);
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if conn.dead || conn.closing || conn.read_closed {
+                continue;
+            }
+            let quiet = !conn.busy && conn.queue.is_empty() && conn.pending_write() == 0;
+            let grace_over = quiet && conn.last_active.elapsed() >= DRAIN_QUIET_GRACE;
+            if !deadline_passed && !grace_over {
+                continue;
+            }
+            // Final read: anything that raced the close decision onto the
+            // wire is pulled in now (unbounded — nothing more will ever
+            // be read past this point).
+            read_some(conn, &mut self.scratch, &self.s.stats, usize::MAX);
+            let woke = conn.busy
+                || !conn.queue.is_empty()
+                || conn.pending_write() > 0
+                || conn.last_active.elapsed() < DRAIN_QUIET_GRACE;
+            if deadline_passed || !woke {
+                let _ = conn.stream.shutdown(Shutdown::Read);
+                conn.read_closed = true;
+            }
+            pump(
+                conn,
+                self.s.index,
+                token_for(slot),
+                &self.s.job_tx,
+                &self.s.service,
+                &self.s.manager,
+                self.s.drain_timeout,
+            );
+            let ok = flush(conn, &self.s.stats);
+            self.settle(slot, ok);
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = if self.listener_parked || self.draining {
+                DRAIN_TICK_MS
+            } else {
+                -1
+            };
+            if self.s.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            let mut accept = false;
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOKEN_WAKER => {
+                        self.s.waker.drain();
+                        self.s.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+                    }
+                    TOKEN_LISTENER => accept = true,
+                    token => self.service_conn(slot_for(token), ev.readable, ev.writable),
+                }
+            }
+            events = batch;
+            // Slots freed during the batch become reusable only now, so
+            // stale events above could not land on a recycled slot.
+            self.free.append(&mut self.deferred_free);
+            self.drain_inbox();
+            if self.listener_parked {
+                if let Some(listener) = self.s.listener.as_ref() {
+                    if self
+                        .s
+                        .poller
+                        .add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+                        .is_ok()
+                    {
+                        self.listener_parked = false;
+                        accept = true;
+                    }
+                }
+            }
+            if accept {
+                self.accept_ready();
+            }
+            if self.s.stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            } else if self.draining {
+                self.sweep_drain();
+            }
+            if self.draining && self.live() == 0 {
+                // One last inbox sweep: a handoff or completion racing
+                // the exit is closed out rather than stranded.
+                self.drain_inbox();
+                if self.live() == 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Over the session limit: answer `ERR BUSY` on the still-blocking
+/// accepted socket and drop it.
+fn reject_busy(stream: &TcpStream) {
+    let mut s = stream;
+    let resp = Response::Err {
+        code: crate::proto::CODE_BUSY.into(),
+        message: "session limit reached".into(),
+    };
+    let _ = s.write_all(format!("{}\n", resp.encode()).as_bytes());
+    let _ = s.flush();
+}
+
+/// Entry point for one shard thread.
+pub(crate) fn run_shard(shard: Shard) {
+    Reactor::new(shard).run();
+}
+
+/// Entry point for one execution worker thread. Exits when the job
+/// channel disconnects (all shards gone).
+pub(crate) fn run_worker(
+    rx: Receiver<Job>,
+    service: Arc<dyn ActiveService>,
+    manager: Arc<SessionManager>,
+    handles: Arc<Vec<ShardHandle>>,
+    drain_timeout: Duration,
+) {
+    while let Ok(job) = rx.recv() {
+        let mut ctx = job.ctx;
+        let (resp, quit) = process(
+            job.req,
+            &service,
+            &job.counters,
+            &manager,
+            job.session_id,
+            &mut ctx,
+            drain_timeout,
+        );
+        handles[job.shard].send_completion(Completion {
+            token: job.token,
+            session_id: job.session_id,
+            resp,
+            quit,
+        });
+    }
+}

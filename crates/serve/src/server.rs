@@ -1,34 +1,43 @@
-//! The TCP server: an accept loop, two threads per connection (reader /
-//! worker) joined by a bounded submission queue, and a graceful drain.
+//! The TCP server: a sharded reactor pool (see [`crate::reactor`])
+//! fronted by one listener, plus a small execution worker pool — a fixed
+//! thread budget regardless of how many sessions are connected.
 //!
-//! Backpressure: the reader parses frames off the socket and pushes them
-//! into a bounded crossbeam channel. When a session outruns the agent the
-//! channel fills, the reader blocks, the kernel receive buffer fills, and
-//! TCP flow control pushes back on the client — no unbounded queue
-//! anywhere. The queue's high-water mark is tracked per session and
-//! surfaced through `STATS`.
+//! Topology: `shards` event-loop threads each own a slab of nonblocking
+//! sessions; `exec_workers` threads run statements so a long `EXEC`
+//! never stalls a shard. With the auto defaults the total is exactly
+//! `cores + 2` threads, whether 64 sessions are connected or 10 000.
 //!
-//! Shutdown ([`ServeHandle::shutdown`]): stop accepting, half-close every
-//! session's read side (readers see EOF, workers finish the frames already
-//! queued and answer them), join all threads, then drain the
-//! [`ActiveService`] itself — quiescing the notifier pump and in-flight
-//! actions — and report what that accomplished.
+//! Backpressure: a session whose frame queue reaches `queue_depth` (or
+//! whose write buffer backs up) has its read interest parked; the kernel
+//! receive buffer fills and TCP flow control pushes back on the client —
+//! no unbounded queue anywhere. The queue's high-water mark is tracked
+//! per session and surfaced through `STATS`.
+//!
+//! Shutdown ([`ServeHandle::shutdown`]): stop accepting, pull what each
+//! client already sent, half-close the read sides, answer and flush the
+//! queued frames, join every thread, then drain the [`ActiveService`]
+//! itself — quiescing the notifier pump and in-flight actions — and
+//! report what that accomplished.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::unbounded;
 use eca_core::service::{ActiveService, DrainReport};
 use eca_core::{AgentResponse, SagaDisposition};
-use parking_lot::Mutex;
 use relsql::SessionCtx;
 
-use crate::proto::{ProtoError, Request, Response, CODE_BUSY, CODE_PROTO};
-use crate::session::{ServeStats, SessionCounters, SessionManager, SessionSnapshot};
+use crate::poll::{Interest, Poller, Waker};
+use crate::proto::{Request, Response};
+use crate::reactor::{self, Inbox, Shard, ShardHandle};
+use crate::session::{
+    ReactorShardSnapshot, ReactorShardStats, ServeStats, SessionCounters, SessionManager,
+    SessionSnapshot,
+};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -44,6 +53,11 @@ pub struct ServeConfig {
     /// Session identity for connections that skip `HELLO`.
     pub default_db: String,
     pub default_user: String,
+    /// Reactor shard count; 0 picks `clamp(cores / 2, 1, 8)`.
+    pub shards: usize,
+    /// Execution worker count; 0 picks `max(2, cores + 2 - shards)` so
+    /// the auto topology lands on exactly `cores + 2` threads.
+    pub exec_workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +69,8 @@ impl Default for ServeConfig {
             drain_timeout: Duration::from_secs(2),
             default_db: "servedb".into(),
             default_user: "client".into(),
+            shards: 0,
+            exec_workers: 0,
         }
     }
 }
@@ -79,11 +95,39 @@ impl ServeConfig {
         self.drain_timeout = t;
         self
     }
+
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    pub fn with_exec_workers(mut self, n: usize) -> Self {
+        self.exec_workers = n;
+        self
+    }
+
+    /// Resolve the auto topology: `(shards, exec_workers)`.
+    pub fn topology(&self) -> (usize, usize) {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let shards = if self.shards > 0 {
+            self.shards
+        } else {
+            (cores / 2).clamp(1, 8)
+        };
+        let workers = if self.exec_workers > 0 {
+            self.exec_workers
+        } else {
+            (cores + 2).saturating_sub(shards).max(2)
+        };
+        (shards, workers)
+    }
 }
 
-/// The serving layer. [`EcaServer::start`] binds, spawns the accept loop
-/// and returns a [`ServeHandle`]; everything else happens on background
-/// threads.
+/// The serving layer. [`EcaServer::start`] binds, spawns the reactor
+/// shards and worker pool, and returns a [`ServeHandle`]; everything
+/// else happens on those fixed background threads.
 pub struct EcaServer;
 
 impl EcaServer {
@@ -94,175 +138,94 @@ impl EcaServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let (nshards, nworkers) = config.topology();
         let stop = Arc::new(AtomicBool::new(false));
         let manager = Arc::new(SessionManager::new(config.max_sessions));
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let accept_thread = {
-            let stop = Arc::clone(&stop);
-            let manager = Arc::clone(&manager);
-            let workers = Arc::clone(&workers);
+        // Build every shard's shared face first so any shard can hand
+        // sessions (and workers completions) to any other.
+        let mut pollers = Vec::with_capacity(nshards);
+        let mut handles = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let mut poller = Poller::new()?;
+            let waker = Arc::new(Waker::new()?);
+            poller.add(waker.read_fd(), 0, Interest::READ)?;
+            if i == 0 {
+                poller.add(listener.as_raw_fd(), 1, Interest::READ)?;
+            }
+            handles.push(ShardHandle {
+                waker,
+                inbox: Arc::new(parking_lot::Mutex::new(Inbox::default())),
+                stats: Arc::new(ReactorShardStats::default()),
+            });
+            pollers.push(poller);
+        }
+        manager.set_reactors(handles.iter().map(|h| Arc::clone(&h.stats)).collect());
+        let handles = Arc::new(handles);
+
+        let (job_tx, job_rx) = unbounded();
+        let mut worker_threads = Vec::with_capacity(nworkers);
+        for i in 0..nworkers {
+            let rx = job_rx.clone();
             let service = Arc::clone(&service);
-            let config = config.clone();
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            accept_connection(&service, &manager, &workers, &config, stream);
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
-                        Err(_) => break,
-                    }
-                }
-                // Listener drops here: further connects are refused.
-            })
-        };
+            let manager = Arc::clone(&manager);
+            let handles = Arc::clone(&handles);
+            let drain_timeout = config.drain_timeout;
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("eca-serve-exec-{i}"))
+                    .spawn(move || {
+                        reactor::run_worker(rx, service, manager, handles, drain_timeout)
+                    })?,
+            );
+        }
+
+        let mut shard_threads = Vec::with_capacity(nshards);
+        let mut listener = Some(listener);
+        for (i, poller) in pollers.into_iter().enumerate() {
+            let shard = Shard {
+                index: i,
+                poller,
+                waker: Arc::clone(&handles[i].waker),
+                listener: if i == 0 { listener.take() } else { None },
+                handles: Arc::clone(&handles),
+                inbox: Arc::clone(&handles[i].inbox),
+                stats: Arc::clone(&handles[i].stats),
+                manager: Arc::clone(&manager),
+                service: Arc::clone(&service),
+                job_tx: job_tx.clone(),
+                stop: Arc::clone(&stop),
+                queue_depth: config.queue_depth,
+                drain_timeout: config.drain_timeout,
+                default_ctx: SessionCtx::new(&config.default_db, &config.default_user),
+            };
+            shard_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("eca-serve-shard-{i}"))
+                    .spawn(move || reactor::run_shard(shard))?,
+            );
+        }
+        drop(job_tx); // workers exit when the last shard drops its clone
 
         Ok(ServeHandle {
             addr,
             stop,
-            accept_thread: Some(accept_thread),
+            shard_threads,
+            worker_threads,
+            handles,
             manager,
-            workers,
             service,
             drain_timeout: config.drain_timeout,
+            nshards,
+            nworkers,
         })
-    }
-}
-
-fn accept_connection(
-    service: &Arc<dyn ActiveService>,
-    manager: &Arc<SessionManager>,
-    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    config: &ServeConfig,
-    stream: TcpStream,
-) {
-    let Some((id, counters)) = manager.try_open(&stream) else {
-        // Over the session limit: say so and close.
-        let mut w = BufWriter::new(&stream);
-        let _ = writeln!(
-            w,
-            "{}",
-            Response::Err {
-                code: CODE_BUSY.into(),
-                message: "session limit reached".into(),
-            }
-            .encode()
-        );
-        let _ = w.flush();
-        return;
-    };
-    let (tx, rx) = bounded::<Result<Request, ProtoError>>(config.queue_depth);
-    // Reader: socket → bounded queue. Blocks when the queue is full, which
-    // is the backpressure point.
-    let reader_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => {
-            manager.close(id);
-            return;
-        }
-    };
-    let reader = {
-        let counters = Arc::clone(&counters);
-        std::thread::spawn(move || read_loop(reader_stream, &tx, &counters))
-    };
-    // Worker: bounded queue → service → socket.
-    let worker = {
-        let service = Arc::clone(service);
-        let manager = Arc::clone(manager);
-        let counters = Arc::clone(&counters);
-        let default_ctx = SessionCtx::new(&config.default_db, &config.default_user);
-        let drain_timeout = config.drain_timeout;
-        let unblock = stream.try_clone().ok();
-        std::thread::spawn(move || {
-            work_loop(
-                stream,
-                &rx,
-                &service,
-                &counters,
-                &manager,
-                id,
-                default_ctx,
-                drain_timeout,
-            );
-            // The reader may be blocked in read_line on a client that never
-            // closes its end; half-close the read side so it sees EOF.
-            if let Some(s) = unblock {
-                let _ = s.shutdown(std::net::Shutdown::Read);
-            }
-            manager.close(id);
-            let _ = reader.join();
-        })
-    };
-    workers.lock().push(worker);
-}
-
-fn read_loop(
-    stream: TcpStream,
-    tx: &Sender<Result<Request, ProtoError>>,
-    counters: &SessionCounters,
-) {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // EOF or socket gone
-            Ok(_) => {}
-        }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed.is_empty() {
-            continue;
-        }
-        counters.received.fetch_add(1, Ordering::Relaxed);
-        if tx.send(Request::parse(trimmed)).is_err() {
-            return; // worker gone
-        }
-        counters.observe_queue_depth(tx.len());
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn work_loop(
-    stream: TcpStream,
-    rx: &Receiver<Result<Request, ProtoError>>,
-    service: &Arc<dyn ActiveService>,
-    counters: &SessionCounters,
-    manager: &SessionManager,
-    id: u64,
-    mut ctx: SessionCtx,
-    drain_timeout: Duration,
-) {
-    let mut writer = BufWriter::new(stream);
-    while let Ok(frame) = rx.recv() {
-        let (response, quit) = match frame {
-            Err(proto) => (
-                Response::Err {
-                    code: CODE_PROTO.into(),
-                    message: proto.message,
-                },
-                false,
-            ),
-            Ok(req) => process(req, service, counters, manager, id, &mut ctx, drain_timeout),
-        };
-        counters.executed.fetch_add(1, Ordering::Relaxed);
-        if matches!(response, Response::Err { .. }) {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        if writeln!(writer, "{}", response.encode()).is_err() || writer.flush().is_err() {
-            return;
-        }
-        if quit {
-            return; // socket closes when writer/stream drop
-        }
     }
 }
 
 /// Execute one well-formed request. Returns the response and whether the
-/// session should close.
-fn process(
+/// session should close. Called inline on a shard for cheap control
+/// frames and from the worker pool for everything else.
+pub(crate) fn process(
     req: Request,
     service: &Arc<dyn ActiveService>,
     counters: &SessionCounters,
@@ -364,8 +327,9 @@ fn render_exec(resp: &AgentResponse) -> Response {
     }
 }
 
-/// The `STATS` frame: agent counters, serve aggregates, and this session's
-/// own counters, in stable key order.
+/// The `STATS` frame: agent counters, serve aggregates (including the
+/// reactor shard counters), and this session's own counters, in stable
+/// key order.
 fn stats_response(
     service: &Arc<dyn ActiveService>,
     counters: &SessionCounters,
@@ -423,6 +387,12 @@ fn stats_response(
         ("sessions_rejected", s.sessions_rejected),
         ("requests", s.requests),
         ("errors", s.errors),
+        ("reactor_shards", s.reactor_shards),
+        ("sessions_idle", s.sessions_idle),
+        ("wakeups", s.wakeups),
+        ("partial_reads", s.partial_reads),
+        ("write_blocked", s.write_blocked),
+        ("accept_overflows", s.accept_overflows),
         ("session_id", id),
         (
             "session_received",
@@ -446,16 +416,19 @@ fn stats_response(
 }
 
 /// Running server handle. Dropping it without calling
-/// [`ServeHandle::shutdown`] aborts the accept loop but leaves sessions to
-/// die with the process — call `shutdown` for the graceful path.
+/// [`ServeHandle::shutdown`] leaves the reactor threads serving until
+/// the process exits — call `shutdown` for the graceful path.
 pub struct ServeHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    handles: Arc<Vec<ShardHandle>>,
     manager: Arc<SessionManager>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     service: Arc<dyn ActiveService>,
     drain_timeout: Duration,
+    nshards: usize,
+    nworkers: usize,
 }
 
 impl ServeHandle {
@@ -474,19 +447,46 @@ impl ServeHandle {
         self.manager.sessions()
     }
 
-    /// Graceful shutdown: stop accepting, half-close session read sides so
-    /// queued frames still execute and answer, join every thread, then
-    /// quiesce the service itself (notifier pump, DETACHED actions,
+    /// Per-shard reactor counter snapshots.
+    pub fn reactor_stats(&self) -> Vec<ReactorShardSnapshot> {
+        self.manager.reactor_stats()
+    }
+
+    /// Reactor shard count.
+    pub fn reactor_shards(&self) -> usize {
+        self.nshards
+    }
+
+    /// Execution worker count.
+    pub fn exec_workers(&self) -> usize {
+        self.nworkers
+    }
+
+    /// Total serve-layer threads (shards + execution workers) — the
+    /// fixed budget that holds at any session count.
+    pub fn serve_threads(&self) -> usize {
+        self.nshards + self.nworkers
+    }
+
+    /// Graceful shutdown: stop accepting, half-close session read sides
+    /// so queued frames still execute and answer, join every thread,
+    /// then quiesce the service itself (notifier pump, DETACHED actions,
     /// watermarks). Returns what the final drain accomplished.
     pub fn shutdown(mut self) -> DrainReport {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
+        for h in self.handles.iter() {
+            h.waker.wake();
+        }
+        for t in std::mem::take(&mut self.shard_threads) {
             let _ = t.join();
         }
-        self.manager.shutdown_sockets();
-        let workers = std::mem::take(&mut *self.workers.lock());
-        for w in workers {
-            let _ = w.join();
+        for h in self.handles.iter() {
+            h.close_stranded(&self.manager);
+        }
+        // Every shard has dropped its job sender by now, so the channel
+        // disconnects and the workers run dry.
+        for t in std::mem::take(&mut self.worker_threads) {
+            let _ = t.join();
         }
         self.service.drain(self.drain_timeout)
     }

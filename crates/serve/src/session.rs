@@ -1,15 +1,18 @@
-//! Session bookkeeping: one entry per live TCP connection, plus the
-//! aggregate counters the `STATS` frame reports.
+//! Session bookkeeping: one entry per live TCP connection, the per-shard
+//! reactor counters, and the aggregate counters the `STATS` frame reports.
+//!
+//! Sessions no longer own threads — a reactor shard owns the socket and
+//! the manager only tracks admission (the `max_sessions` limit), the
+//! per-session counters, and the aggregates folded from closed sessions.
 
 use std::collections::HashMap;
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-/// Per-session counters, shared between the session's reader/worker
-/// threads and the stats reporting path.
+/// Per-session counters, shared between the owning reactor shard, the
+/// execution workers and the stats reporting path.
 #[derive(Debug, Default)]
 pub struct SessionCounters {
     /// Frames read off the socket (well-formed or not).
@@ -20,7 +23,7 @@ pub struct SessionCounters {
     /// Frames answered with an `ERR` response.
     pub errors: AtomicU64,
     /// High-water mark of the bounded submission queue — how close this
-    /// session came to blocking its reader (backpressure).
+    /// session came to having its read interest parked (backpressure).
     pub queue_high_water: AtomicUsize,
 }
 
@@ -44,9 +47,44 @@ pub struct SessionSnapshot {
 pub(crate) struct SessionEntry {
     pub id: u64,
     pub counters: Arc<SessionCounters>,
-    /// Kept so shutdown can close the socket out from under a blocked
-    /// reader.
-    pub stream: TcpStream,
+}
+
+/// Counters one reactor shard maintains about itself. Aggregated across
+/// shards into [`ServeStats`] and surfaced per shard through
+/// [`crate::ServeHandle::reactor_stats`].
+#[derive(Debug, Default)]
+pub struct ReactorShardStats {
+    /// Live sessions owned by this shard (gauge).
+    pub sessions: AtomicU64,
+    /// Of those, sessions with nothing queued, nothing executing and
+    /// nothing waiting to be written (gauge).
+    pub sessions_idle: AtomicU64,
+    /// Times the shard's waker fired (completion notifications, new-session
+    /// handoffs, shutdown).
+    pub wakeups: AtomicU64,
+    /// Socket reads that left an incomplete frame in the decode buffer —
+    /// the signature of incremental decoding at work.
+    pub partial_reads: AtomicU64,
+    /// Socket writes that hit `WOULDBLOCK` and registered write interest —
+    /// slow readers exerting real TCP backpressure.
+    pub write_blocked: AtomicU64,
+    /// Accept-queue overflow events: `accept(2)` failures other than
+    /// "nothing pending" (fd exhaustion, aborted connections). The shard
+    /// throttles briefly and retries; the counter makes the pressure
+    /// visible.
+    pub accept_overflows: AtomicU64,
+}
+
+/// Immutable snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorShardSnapshot {
+    pub shard: usize,
+    pub sessions: u64,
+    pub sessions_idle: u64,
+    pub wakeups: u64,
+    pub partial_reads: u64,
+    pub write_blocked: u64,
+    pub accept_overflows: u64,
 }
 
 /// Aggregate serve-layer counters (the per-server half of `STATS`).
@@ -62,6 +100,19 @@ pub struct ServeStats {
     pub requests: u64,
     /// Frames answered with `ERR` across all sessions.
     pub errors: u64,
+    /// Reactor shards serving connections (fixed at start).
+    pub reactor_shards: u64,
+    /// Sessions currently idle (empty queue, nothing in flight or pending
+    /// write) across all shards.
+    pub sessions_idle: u64,
+    /// Shard wakeups across all shards.
+    pub wakeups: u64,
+    /// Reads that left a partial frame buffered, across all shards.
+    pub partial_reads: u64,
+    /// Writes parked on `WOULDBLOCK`, across all shards.
+    pub write_blocked: u64,
+    /// Accept-queue overflow events, across all shards.
+    pub accept_overflows: u64,
 }
 
 /// Tracks every live session and the aggregate counters.
@@ -73,6 +124,8 @@ pub struct SessionManager {
     requests: AtomicU64,
     errors: AtomicU64,
     active: Mutex<HashMap<u64, SessionEntry>>,
+    /// Per-shard reactor counters, installed once at server start.
+    reactors: Mutex<Vec<Arc<ReactorShardStats>>>,
 }
 
 impl SessionManager {
@@ -85,12 +138,18 @@ impl SessionManager {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             active: Mutex::new(HashMap::new()),
+            reactors: Mutex::new(Vec::new()),
         }
     }
 
+    /// Install the reactor shard counters (server start, before accepts).
+    pub(crate) fn set_reactors(&self, shards: Vec<Arc<ReactorShardStats>>) {
+        *self.reactors.lock() = shards;
+    }
+
     /// Admit a connection, or reject it at the session limit. The returned
-    /// counters are shared with the entry kept here for stats/shutdown.
-    pub(crate) fn try_open(&self, stream: &TcpStream) -> Option<(u64, Arc<SessionCounters>)> {
+    /// counters are shared with the entry kept here for stats.
+    pub(crate) fn try_open(&self) -> Option<(u64, Arc<SessionCounters>)> {
         let mut active = self.active.lock();
         if active.len() >= self.max_sessions {
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -102,7 +161,6 @@ impl SessionManager {
         let entry = SessionEntry {
             id,
             counters: Arc::clone(&counters),
-            stream: stream.try_clone().ok()?,
         };
         active.insert(id, entry);
         Some((id, counters))
@@ -124,17 +182,26 @@ impl SessionManager {
         }
     }
 
-    /// Half-close every live session's read side. Blocked readers see EOF
-    /// and exit; workers still answer the frames already queued, because
-    /// the write side stays open until the worker finishes.
-    pub(crate) fn shutdown_sockets(&self) {
-        for entry in self.active.lock().values() {
-            let _ = entry.stream.shutdown(std::net::Shutdown::Read);
-        }
-    }
-
     pub fn active_count(&self) -> usize {
         self.active.lock().len()
+    }
+
+    /// Per-shard reactor counter snapshots, shard-ordered.
+    pub fn reactor_stats(&self) -> Vec<ReactorShardSnapshot> {
+        self.reactors
+            .lock()
+            .iter()
+            .enumerate()
+            .map(|(shard, r)| ReactorShardSnapshot {
+                shard,
+                sessions: r.sessions.load(Ordering::Relaxed),
+                sessions_idle: r.sessions_idle.load(Ordering::Relaxed),
+                wakeups: r.wakeups.load(Ordering::Relaxed),
+                partial_reads: r.partial_reads.load(Ordering::Relaxed),
+                write_blocked: r.write_blocked.load(Ordering::Relaxed),
+                accept_overflows: r.accept_overflows.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Aggregate counters. Live sessions' in-progress counts are folded in
@@ -147,13 +214,24 @@ impl SessionManager {
             requests += entry.counters.executed.load(Ordering::Relaxed);
             errors += entry.counters.errors.load(Ordering::Relaxed);
         }
-        ServeStats {
+        let mut stats = ServeStats {
             sessions_opened: self.opened.load(Ordering::Relaxed),
             sessions_active: active.len() as u64,
             sessions_rejected: self.rejected.load(Ordering::Relaxed),
             requests,
             errors,
+            ..ServeStats::default()
+        };
+        drop(active);
+        for shard in self.reactors.lock().iter() {
+            stats.reactor_shards += 1;
+            stats.sessions_idle += shard.sessions_idle.load(Ordering::Relaxed);
+            stats.wakeups += shard.wakeups.load(Ordering::Relaxed);
+            stats.partial_reads += shard.partial_reads.load(Ordering::Relaxed);
+            stats.write_blocked += shard.write_blocked.load(Ordering::Relaxed);
+            stats.accept_overflows += shard.accept_overflows.load(Ordering::Relaxed);
         }
+        stats
     }
 
     /// Per-session snapshots, id-ordered (for diagnostics).

@@ -1,0 +1,172 @@
+//! Property/fuzz coverage for incremental frame decoding: however a byte
+//! stream is split across reads — one byte at a time, or at random
+//! boundaries — the [`FrameDecoder`] must yield exactly the frames (and
+//! the parser exactly the `PROTO` errors) that whole-buffer line
+//! splitting yields. This is the invariant the reactor's per-session
+//! decode path rests on.
+
+use eca_serve::proto::{FrameDecoder, ProtoError, Request};
+
+/// Deterministic xorshift64* — no external PRNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A corpus that exercises every parser edge: valid frames, escapes,
+/// malformed verbs, bad argument arity, empty and whitespace lines,
+/// CR-LF endings, long payloads and multi-byte UTF-8 (so random splits
+/// land mid-character).
+fn corpus() -> Vec<u8> {
+    let frames: Vec<String> = vec![
+        "HELLO db user".into(),
+        "HELLO db\\x20with\\x20space user".into(),
+        "EXEC select 1".into(),
+        "EXEC insert t values (1, 'a b c')".into(),
+        format!("EXEC insert wide values ('{}')", "x".repeat(4000)),
+        "EXEC sélect «naïve» — über".into(), // multi-byte UTF-8
+        "STATS".into(),
+        "PING".into(),
+        "DRAIN".into(),
+        "RESUME".into(),
+        "BOGUS frame".into(),
+        "HELLO".into(),       // missing args
+        "HELLO a b c".into(), // too many args
+        "".into(),            // empty line: skipped, not a frame
+        "   ".into(),         // whitespace-only: parses (as error)
+        "exec lowercase verb".into(),
+        "QUIT".into(),
+    ];
+    let mut bytes = Vec::new();
+    for (i, f) in frames.iter().enumerate() {
+        bytes.extend_from_slice(f.as_bytes());
+        // Alternate line endings; both must decode identically.
+        if i % 3 == 1 {
+            bytes.extend_from_slice(b"\r\n");
+        } else {
+            bytes.push(b'\n');
+        }
+    }
+    bytes
+}
+
+/// Reference semantics: whole-buffer split on '\n', trim trailing CR,
+/// skip empty lines, parse the rest — exactly what the old
+/// `BufReader::read_line` server loop did.
+fn reference_parse(bytes: &[u8]) -> Vec<Result<Request, ProtoError>> {
+    String::from_utf8(bytes.to_vec())
+        .unwrap()
+        .split('\n')
+        .map(|l| l.trim_end_matches(['\n', '\r']))
+        .filter(|l| !l.is_empty())
+        .map(Request::parse)
+        .collect()
+}
+
+/// Run the same bytes through a [`FrameDecoder`] fed in the given
+/// chunks, mirroring the reactor's read path (skip empty frames, parse
+/// the rest).
+fn decode_in_chunks(bytes: &[u8], chunks: &[usize]) -> Vec<Result<Request, ProtoError>> {
+    let mut decoder = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    for &len in chunks {
+        decoder.feed(&bytes[pos..pos + len]);
+        pos += len;
+        while let Some(frame) = decoder.next_frame() {
+            let text = String::from_utf8(frame).expect("corpus is valid UTF-8");
+            let trimmed = text.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            out.push(Request::parse(trimmed));
+        }
+    }
+    assert_eq!(pos, bytes.len(), "chunk plan must cover the input");
+    out
+}
+
+#[test]
+fn byte_at_a_time_matches_whole_buffer() {
+    let bytes = corpus();
+    let expected = reference_parse(&bytes);
+    let chunks = vec![1; bytes.len()];
+    let got = decode_in_chunks(&bytes, &chunks);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn random_split_points_match_whole_buffer() {
+    let bytes = corpus();
+    let expected = reference_parse(&bytes);
+    assert!(
+        expected.iter().any(|r| r.is_err()),
+        "corpus must include frames that yield PROTO errors"
+    );
+    assert!(
+        expected.iter().any(|r| r.is_ok()),
+        "corpus must include well-formed frames"
+    );
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    for round in 0..500 {
+        let mut chunks = Vec::new();
+        let mut left = bytes.len();
+        while left > 0 {
+            // Mix tiny splits (1..8) with larger ones so boundaries land
+            // both mid-frame and mid-UTF-8-character.
+            let cap = if round % 2 == 0 { 8 } else { 300 };
+            let take = 1 + rng.below(cap.min(left));
+            chunks.push(take);
+            left -= take;
+        }
+        let got = decode_in_chunks(&bytes, &chunks);
+        assert_eq!(got, expected, "split plan {chunks:?} diverged");
+    }
+}
+
+#[test]
+fn split_inside_crlf_yields_no_phantom_frame() {
+    // A read boundary landing between CR and LF must not produce a
+    // spurious frame or leak the CR into the next one.
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(b"PING\r");
+    assert!(
+        decoder.next_frame().is_none(),
+        "CR without LF must not terminate a frame"
+    );
+    assert!(decoder.has_partial());
+    assert_eq!(decoder.partial_len(), 5);
+    decoder.feed(b"\nSTATS\n");
+    // The frame comes back with its CR (the caller trims, matching what
+    // read_line-based loops always saw).
+    assert_eq!(decoder.next_frame().unwrap(), b"PING\r".to_vec());
+    assert_eq!(decoder.next_frame().unwrap(), b"STATS".to_vec());
+    assert!(decoder.next_frame().is_none());
+    assert!(!decoder.has_partial());
+}
+
+#[test]
+fn decoder_buffer_does_not_grow_without_bound() {
+    // Long sessions must not accumulate capacity: after a burst of big
+    // frames, the retained buffer shrinks back under the documented cap.
+    let mut decoder = FrameDecoder::new();
+    let big = format!("EXEC insert t values ('{}')\n", "y".repeat(100_000));
+    for _ in 0..4 {
+        decoder.feed(big.as_bytes());
+        while decoder.next_frame().is_some() {}
+    }
+    assert!(!decoder.has_partial());
+    assert_eq!(decoder.partial_len(), 0);
+}
