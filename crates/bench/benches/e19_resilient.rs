@@ -1,0 +1,211 @@
+//! E19 — resilient wire sessions under a reconnect storm. Two identical
+//! trigger-firing workloads run through a proxy: a fault-free reference,
+//! then a chaos leg where every `E19_KILL_EVERY`-th connection is killed
+//! at a seeded mid-stream byte offset. The resilient clients must ride
+//! the storm with **exactly-once** EXEC — final table cardinality and
+//! rule firings equal to the fault-free totals, every lost response
+//! resupplied from the replay window — while steady-state throughput
+//! stays within `E19_MIN_RATIO` (default 0.9x) of the clean run.
+//!
+//! Plain `fn main` (harness = false): fixed workload with correctness
+//! assertions, not a statistical micro-benchmark.
+//!
+//! ```text
+//! cargo bench -p eca-bench --bench e19_resilient
+//! E19_CLIENTS=4 E19_OPS=50 E19_KILL_EVERY=2 cargo bench -p eca-bench --bench e19_resilient
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eca_core::{ActiveService, EcaAgent};
+use eca_serve::{
+    ChaosListener, ConnPlan, EcaServer, ReconnectPolicy, ServeClient, ServeConfig, ServeHandle,
+};
+use relsql::SqlServer;
+
+fn main() {
+    let clients: usize = env_or("E19_CLIENTS", 8);
+    let ops: usize = env_or("E19_OPS", 200);
+    let kill_every: u64 = env_or("E19_KILL_EVERY", 2) as u64;
+    let min_ratio: f64 = std::env::var("E19_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.9);
+    let total = (clients * ops) as u64;
+
+    println!(
+        "# E19 — resilient sessions: {clients} clients x {ops} ops; \
+         chaos leg kills every {kill_every}th connection mid-stream\n"
+    );
+
+    // Both legs traverse the proxy, so the ratio isolates the cost of the
+    // faults (reconnect + ATTACH + replay), not the proxy hop itself.
+    let base = run(clients, ops, None);
+    println!("## fault-free reference (clean proxy)");
+    report(&base, total);
+    assert_eq!(base.reconnects, 0, "clean leg must not reconnect");
+
+    let chaos = run(clients, ops, Some(kill_every));
+    println!("\n## chaos leg (every {kill_every}th connection killed)");
+    report(&chaos, total);
+    assert!(chaos.killed > 0, "the chaos plan never fired");
+    assert!(chaos.reconnects > 0, "kills must force client reconnects");
+    assert!(
+        chaos.resumed > 0,
+        "reconnects must resurrect sessions via ATTACH"
+    );
+
+    let ratio = base.secs / chaos.secs;
+    println!(
+        "\n## steady-state throughput: {:.0} stmt/s clean vs {:.0} stmt/s chaos ({ratio:.2}x, bar {min_ratio:.2}x)",
+        total as f64 / base.secs,
+        total as f64 / chaos.secs
+    );
+    assert!(
+        ratio >= min_ratio,
+        "chaos throughput ratio {ratio:.2} below {min_ratio:.2} bar"
+    );
+    println!("\nE19 ok");
+}
+
+struct RunOut {
+    secs: f64,
+    /// Client-side reconnections summed over the fleet.
+    reconnects: u64,
+    /// Server-side ATTACH resurrections.
+    resumed: u64,
+    /// Responses resupplied from replay windows.
+    replays: u64,
+    /// EXECs journaled for idempotency.
+    journaled: u64,
+    /// Connections the proxy killed.
+    killed: u64,
+}
+
+fn run(clients: usize, ops: usize, kill_every: Option<u64>) -> RunOut {
+    let handle = start_server(clients * 4 + 8);
+    let direct = handle.addr();
+    // Kill offsets scale with the workload (~32 bytes per stamped insert)
+    // so the budget is reachable however small the run: each doomed
+    // connection still forwards a couple hundred bytes of useful work
+    // before the wire dies somewhere unpredictable.
+    let span = (ops as u64 * 16).max(600);
+    let proxy = ChaosListener::start(direct, move |idx| match kill_every {
+        Some(k) if (idx + 1) % k == 0 => {
+            let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ idx.wrapping_mul(0xD134_2543_DE82_EF95);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Alternate directions: request-side kills force re-sends,
+            // response-side kills lose already-computed answers and make
+            // the replay window earn its keep.
+            if x & 1 == 0 {
+                ConnPlan::kill_c2s(200 + x % span)
+            } else {
+                ConnPlan::kill_s2c(200 + x % span)
+            }
+        }
+        _ => ConnPlan::clean(),
+    })
+    .expect("chaos proxy");
+    let addr = proxy.addr().to_string();
+
+    // Admin rides the direct address: setup and verification must not be
+    // subject to the fault plan.
+    let (mut admin, _) = ServeClient::connect_as(direct, "db", "admin").unwrap();
+    admin.exec("create table t (k int, i int)").unwrap();
+    admin.exec("create table audit (n int)").unwrap();
+    admin
+        .exec("create trigger tr on t for insert event e as insert audit values (1)")
+        .unwrap();
+
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for k in 0..clients {
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            let policy = ReconnectPolicy {
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(50),
+                max_retries: 500,
+                seed: 0xE19 + k as u64,
+            };
+            let (mut c, _) = loop {
+                match ServeClient::connect_resilient(&addr, "db", &format!("u{k}"), policy.clone())
+                {
+                    Ok(pair) => break pair,
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            };
+            for i in 0..ops {
+                let r = c.exec(&format!("insert t values ({k}, {i})")).unwrap();
+                assert_eq!(r.failed, 0, "client {k} op {i} failed an action");
+            }
+            let reconnects = c.reconnects();
+            let _ = c.quit();
+            reconnects
+        }));
+    }
+    let reconnects: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    let secs = t0.elapsed().as_secs_f64();
+
+    // Exactly-once: every insert landed exactly once and fired its rule
+    // exactly once, reconnect storm or not.
+    let total = (clients * ops) as u64;
+    let rows = admin.exec("select * from t").unwrap().rows;
+    let firings = admin.exec("select * from audit").unwrap().rows;
+    assert_eq!(rows, total, "lost or duplicated DML");
+    assert_eq!(firings, total, "lost or duplicated firings");
+    let journaled = admin.stat_u64("wire_journaled").unwrap();
+    assert!(
+        journaled >= total,
+        "every stamped EXEC must be journaled ({journaled} < {total})"
+    );
+
+    let stats = handle.serve_stats();
+    let killed = proxy.counters().killed.load(Ordering::Relaxed);
+    admin.quit().unwrap();
+    drop(proxy);
+    handle.shutdown();
+    RunOut {
+        secs,
+        reconnects,
+        resumed: stats.sessions_resumed,
+        replays: stats.replays_served,
+        journaled,
+        killed,
+    }
+}
+
+fn report(out: &RunOut, total: u64) {
+    println!(
+        "  {total:>6} inserts in {:6.2} s  ({:8.0} stmt/s)",
+        out.secs,
+        total as f64 / out.secs
+    );
+    println!(
+        "  {} connection(s) killed, {} client reconnect(s), {} session(s) resumed, \
+         {} replay(s) served, {} EXEC(s) journaled",
+        out.killed, out.reconnects, out.resumed, out.replays, out.journaled
+    );
+}
+
+fn env_or(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn start_server(max_sessions: usize) -> ServeHandle {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    let service: Arc<dyn ActiveService> = Arc::new(agent);
+    EcaServer::start(
+        service,
+        ServeConfig::default().with_max_sessions(max_sessions),
+    )
+    .expect("bind")
+}

@@ -283,6 +283,11 @@ pub struct AgentStats {
     pub saga_steps_executed: u64,
     /// Compensations applied (journaled `done`).
     pub saga_compensations: u64,
+    /// Stamped wire requests journaled into `SysWireJournal`.
+    pub wire_journaled: u64,
+    /// Stamped wire requests deduplicated against the journal (answered
+    /// as replays instead of re-applied).
+    pub wire_replays: u64,
 }
 
 /// Named fault counters from the notification channel's chaos sink.
@@ -322,6 +327,20 @@ impl AgentResponse {
     pub fn action_of(&self, rule_suffix: &str) -> Option<&ActionOutcome> {
         self.actions.iter().find(|a| a.rule.ends_with(rule_suffix))
     }
+}
+
+/// What [`EcaAgent::execute_once`] produced for an idempotency-keyed
+/// request (DESIGN.md §16).
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// First application: the batch ran and these are its results.
+    Fresh(AgentResponse),
+    /// The key was already journaled — the batch's effects are in the
+    /// engine from an earlier submission and were **not** re-applied. The
+    /// payload is the recorded response line if the backfill ran before
+    /// the crash/reconnect, else `None` (caller answers with a
+    /// placeholder).
+    Replayed(Option<String>),
 }
 
 /// Callback invoked for every primitive-event occurrence the agent raises
@@ -366,6 +385,11 @@ struct Inner {
     /// when this moves — in a loss-free steady state the sweep is pure
     /// overhead and serializes disjoint-table clients on the tracker lock.
     last_loss_signal: AtomicU64,
+    /// Stamped wire requests journaled into `SysWireJournal`.
+    wire_journaled: AtomicU64,
+    /// Stamped wire requests answered from the journal instead of
+    /// re-applied (the exactly-once dedup firing).
+    wire_replays: AtomicU64,
 }
 
 /// The agent. Cheap to clone (all state shared).
@@ -425,6 +449,8 @@ impl EcaAgent {
                 malformed: AtomicU64::new(0),
                 actions_executed: AtomicU64::new(0),
                 last_loss_signal: AtomicU64::new(0),
+                wire_journaled: AtomicU64::new(0),
+                wire_replays: AtomicU64::new(0),
             }),
         };
         agent.inner.action.set_durable_dead_letters(true);
@@ -518,6 +544,8 @@ impl EcaAgent {
             sagas_resumed: saga.resumed.load(Ordering::Relaxed),
             saga_steps_executed: saga.steps_executed.load(Ordering::Relaxed),
             saga_compensations: saga.comps_executed.load(Ordering::Relaxed),
+            wire_journaled: self.inner.wire_journaled.load(Ordering::Relaxed),
+            wire_replays: self.inner.wire_replays.load(Ordering::Relaxed),
         }
     }
 
@@ -2091,6 +2119,102 @@ impl EcaAgent {
                 Ok(resp)
             }
         }
+    }
+
+    /// Execute a batch **exactly once** under the idempotency key
+    /// `token#seq` — the serve layer's resilient-session entry point
+    /// (DESIGN.md §16). If the key was already journaled the batch is NOT
+    /// re-applied and the recorded response (if any) comes back as
+    /// [`ExecOutcome::Replayed`].
+    ///
+    /// Atomicity: for pass-through SQL the journal insert is *prepended*
+    /// to the client batch, so journal row and user effects commit in one
+    /// WAL record — after any crash, either both exist or neither does.
+    /// The unique index on `idemKey` turns a concurrent or re-submitted
+    /// duplicate into an engine error that is mapped to a replay here.
+    /// ECA commands journal *after* they apply (they mutate agent
+    /// registries, not just engine tables); a crash between the two can
+    /// surface an "already exists" error on re-submission, which is
+    /// state-consistent — documented in DESIGN.md §16.
+    pub fn execute_once(
+        &self,
+        sql: &str,
+        ctx: &SessionCtx,
+        token: &str,
+        seq: u64,
+    ) -> Result<ExecOutcome> {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            return Err(AgentError::Unavailable(
+                "agent is draining; no new statements accepted".into(),
+            ));
+        }
+        let idem = format!("{token}#{seq}");
+        if let Some(recorded) = self.inner.persist.wire_journal_lookup(&idem)? {
+            self.inner.wire_replays.fetch_add(1, Ordering::Relaxed);
+            return Ok(ExecOutcome::Replayed(recorded));
+        }
+        let journal_insert = format!(
+            "insert SysWireJournal values ({}, {}, {}, NULL)",
+            codegen::sql_quote(&idem),
+            codegen::sql_quote(token),
+            seq as i64,
+        );
+        // Classify the ORIGINAL text: the prepended insert must not turn
+        // an ECA command into pass-through SQL.
+        match classify(sql) {
+            Classification::Eca(_) => {
+                let resp = self.handle_eca(sql, ctx)?;
+                self.inner.persist.run(&journal_insert)?;
+                self.inner.wire_journaled.fetch_add(1, Ordering::Relaxed);
+                Ok(ExecOutcome::Fresh(resp))
+            }
+            Classification::PassThrough => {
+                let batch = format!("{journal_insert}\n{sql}");
+                let server = match self.inner.gateway.forward(&batch, ctx) {
+                    Ok(server) => server,
+                    // The journal insert runs first, so a duplicate-key
+                    // violation on *our* index means a racing submission
+                    // of the same seq won — nothing else was applied.
+                    Err(e) if e.to_string().contains("ux_SysWireJournal") => {
+                        self.inner.wire_replays.fetch_add(1, Ordering::Relaxed);
+                        let recorded = self.inner.persist.wire_journal_lookup(&idem)?.flatten();
+                        return Ok(ExecOutcome::Replayed(recorded));
+                    }
+                    Err(e) => return Err(e),
+                };
+                self.inner.wire_journaled.fetch_add(1, Ordering::Relaxed);
+                let mut resp = AgentResponse {
+                    server,
+                    ..Default::default()
+                };
+                // Drop the journal insert's own result entry so the
+                // response is indistinguishable from an unstamped execute.
+                if !resp.server.results.is_empty() {
+                    resp.server.results.remove(0);
+                }
+                self.pump(&mut resp)?;
+                if contains_commit(sql) {
+                    let deferred = self.flush_deferred()?;
+                    resp.actions.extend(deferred.actions);
+                }
+                Ok(ExecOutcome::Fresh(resp))
+            }
+        }
+    }
+
+    /// Backfill the rendered response for a journaled request so a
+    /// replay after process restart can answer verbatim.
+    pub fn record_wire_response(&self, token: &str, seq: u64, line: &str) -> Result<()> {
+        self.inner
+            .persist
+            .wire_journal_record(&format!("{token}#{seq}"), line)
+    }
+
+    /// Forget journal rows for `token` below `below_seq` (acknowledged
+    /// prefix), or the whole session with `u64::MAX`.
+    pub fn forget_wire_session(&self, token: &str, below_seq: u64) -> Result<()> {
+        let below = i64::try_from(below_seq).unwrap_or(i64::MAX);
+        self.inner.persist.wire_journal_prune(token, below)
     }
 }
 

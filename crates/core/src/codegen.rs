@@ -98,6 +98,21 @@ pub fn system_tables_ddl() -> Vec<(&'static str, String)> {
                 .to_string(),
         ),
         (
+            "SysWireJournal",
+            // The serve layer's exactly-once EXEC journal (DESIGN.md §16).
+            // One row per stamped wire request; the insert is prepended to
+            // the client batch so journal row + user effects commit in one
+            // WAL record, and the unique index turns a re-submitted seq
+            // into a duplicate-key error the agent maps to a replay. No
+            // timestamp column for the same reason as `SysSagaJournal`:
+            // a replayed request must journal byte-identically.
+            "create table SysWireJournal (\
+             idemKey varchar(200) not null, sessionToken varchar(120) not null, \
+             reqSeq int not null, response text null)\n\
+             create unique hash index ux_SysWireJournal on SysWireJournal (idemKey)"
+                .to_string(),
+        ),
+        (
             "SysDeadLetter",
             "create table SysDeadLetter (\
              triggerName varchar(120) not null, eventName varchar(120) not null, \

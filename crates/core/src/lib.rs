@@ -58,7 +58,7 @@ pub use action::{
 };
 pub use agent::{
     AgentConfig, AgentConfigBuilder, AgentResponse, AgentStats, ChannelFaultCounts, EcaAgent,
-    EcaClient,
+    EcaClient, ExecOutcome,
 };
 pub use baseline::{EmbeddedCheckClient, PollingMonitor, Situation};
 pub use eca_parser::{parse_eca, EcaCommand, TriggerClauses};

@@ -3,7 +3,8 @@
 //! Runs over its own high-privilege connection to the SQL server and owns
 //! the agent's system tables (`SysPrimitiveEvent`, `SysCompositeEvent`,
 //! `SysEcaTrigger`, `sysContext`, `SysAgentWatermark`, `SysSagaStep`,
-//! `SysSagaJournal`, `SysDeadLetter`). All ECA rules are persisted through
+//! `SysSagaJournal`, `SysWireJournal`, `SysDeadLetter`). All ECA rules are
+//! persisted through
 //! here and restored from here when the agent starts over an existing
 //! database; the watermark table additionally records, per event, the
 //! highest occurrence number the agent has raised, so a restarted agent
@@ -202,6 +203,53 @@ impl PersistentManager {
         self.run(&format!(
             "delete SysAgentWatermark where eventName = {}",
             sql_quote(event)
+        ))?;
+        Ok(())
+    }
+
+    /// Probe the wire-journal for an idempotency key (DESIGN.md §16).
+    ///
+    /// `None` — the key was never journaled (the request is fresh).
+    /// `Some(None)` — journaled, effects applied, but the rendered
+    /// response was never backfilled (a crash hit the window between
+    /// applying and recording; the caller answers with a placeholder).
+    /// `Some(Some(line))` — journaled with its recorded response line.
+    pub fn wire_journal_lookup(&self, idem_key: &str) -> Result<Option<Option<String>>> {
+        let r = self.run(&format!(
+            "select response from SysWireJournal where idemKey = {}",
+            sql_quote(idem_key)
+        ))?;
+        let rows = match r.last_select() {
+            Some(q) => &q.rows,
+            None => return Ok(None),
+        };
+        match rows.first().map(|row| row.first()) {
+            None => Ok(None),
+            Some(Some(Value::Str(s))) => Ok(Some(Some(s.clone()))),
+            Some(_) => Ok(Some(None)),
+        }
+    }
+
+    /// Backfill the rendered response line for a journaled request. A
+    /// separate (second) WAL record on purpose: the effects + journal row
+    /// committed atomically already, and a crash before this backfill only
+    /// degrades a replay to a placeholder — never to a re-application.
+    pub fn wire_journal_record(&self, idem_key: &str, line: &str) -> Result<()> {
+        self.run(&format!(
+            "update SysWireJournal set response = {} where idemKey = {}",
+            sql_quote(line),
+            sql_quote(idem_key)
+        ))?;
+        Ok(())
+    }
+
+    /// Drop journal rows a session no longer needs: everything below
+    /// `below_seq` for `token` (the client acknowledged past them), or the
+    /// whole session when `below_seq` is `i64::MAX` (QUIT / expiry).
+    pub fn wire_journal_prune(&self, token: &str, below_seq: i64) -> Result<()> {
+        self.run(&format!(
+            "delete SysWireJournal where sessionToken = {} and reqSeq < {below_seq}",
+            sql_quote(token)
         ))?;
         Ok(())
     }
@@ -458,10 +506,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ensure_creates_all_eight_tables_idempotently() {
+    fn ensure_creates_all_nine_tables_idempotently() {
         let server = SqlServer::new();
         let pm = PersistentManager::new(&server);
-        assert_eq!(pm.ensure_system_tables().unwrap(), 8);
+        assert_eq!(pm.ensure_system_tables().unwrap(), 9);
         assert_eq!(pm.ensure_system_tables().unwrap(), 0);
         for t in [
             "SysPrimitiveEvent",
@@ -471,6 +519,7 @@ mod tests {
             "SysAgentWatermark",
             "SysSagaStep",
             "SysSagaJournal",
+            "SysWireJournal",
             "SysDeadLetter",
         ] {
             assert!(server.snapshot().database().has_table(t), "{t}");

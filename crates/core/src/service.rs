@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use relsql::SessionCtx;
 
-use crate::agent::{AgentResponse, AgentStats, EcaAgent};
+use crate::agent::{AgentResponse, AgentStats, EcaAgent, ExecOutcome};
 use crate::error::{EcaError, Result};
 use crate::filter::{classify, Classification, EcaKind};
 
@@ -67,6 +67,33 @@ pub trait ActiveService: Send + Sync {
 
     /// Whether the service is currently draining/drained.
     fn is_draining(&self) -> bool;
+
+    /// Execute a batch exactly once under the idempotency key
+    /// `token#seq` (resilient wire sessions, DESIGN.md §16). The default
+    /// has no journal: it simply executes, which keeps non-durable test
+    /// doubles compiling — dedup across resubmission then rests solely on
+    /// the caller's in-memory replay window.
+    fn execute_once(
+        &self,
+        sql: &str,
+        ctx: &SessionCtx,
+        _token: &str,
+        _seq: u64,
+    ) -> Result<ExecOutcome> {
+        self.execute(sql, ctx).map(ExecOutcome::Fresh)
+    }
+
+    /// Backfill the rendered response line for a journaled request so
+    /// post-restart replays answer verbatim. Default: no journal, no-op.
+    fn record_response(&self, _token: &str, _seq: u64, _line: &str) -> Result<()> {
+        Ok(())
+    }
+
+    /// Drop journal state for `token` below `below_seq` (`u64::MAX` on
+    /// session end). Default: no journal, no-op.
+    fn forget_session(&self, _token: &str, _below_seq: u64) -> Result<()> {
+        Ok(())
+    }
 }
 
 impl ActiveService for EcaAgent {
@@ -104,6 +131,24 @@ impl ActiveService for EcaAgent {
 
     fn is_draining(&self) -> bool {
         EcaAgent::is_draining(self)
+    }
+
+    fn execute_once(
+        &self,
+        sql: &str,
+        ctx: &SessionCtx,
+        token: &str,
+        seq: u64,
+    ) -> Result<ExecOutcome> {
+        EcaAgent::execute_once(self, sql, ctx, token, seq)
+    }
+
+    fn record_response(&self, token: &str, seq: u64, line: &str) -> Result<()> {
+        EcaAgent::record_wire_response(self, token, seq, line)
+    }
+
+    fn forget_session(&self, token: &str, below_seq: u64) -> Result<()> {
+        EcaAgent::forget_wire_session(self, token, below_seq)
     }
 }
 

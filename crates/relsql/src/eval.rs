@@ -559,7 +559,10 @@ pub(crate) fn scalar_fn_lazy(
         }
     };
     match lname.as_str() {
-        "getdate" => {
+        // The engine's logical clock runs in UTC, so GETDATE and
+        // GETUTCDATE read the same instant (a server with no civil
+        // timezone has no local offset to add).
+        "getdate" | "getutcdate" => {
             need(0)?;
             Ok(Value::DateTime(ctx.clock.now()))
         }
@@ -676,6 +679,22 @@ pub(crate) fn scalar_fn_lazy(
                 _ => Ok(Value::Null),
             }
         }
+        "datepart" => {
+            need(2)?;
+            let part = datepart_arg(name, arg(0)?)?;
+            match datetime_micros(name, arg(1)?)? {
+                Some(t) => Ok(Value::Int(date_part(part, t))),
+                None => Ok(Value::Null),
+            }
+        }
+        "datename" => {
+            need(2)?;
+            let part = datepart_arg(name, arg(0)?)?;
+            match datetime_micros(name, arg(1)?)? {
+                Some(t) => Ok(Value::Str(date_name(part, t))),
+                None => Ok(Value::Null),
+            }
+        }
         "dateadd" => {
             need(3)?;
             let part = datepart_arg(name, arg(0)?)?;
@@ -717,6 +736,8 @@ pub(crate) enum DatePart {
     Month,
     Week,
     Day,
+    DayOfYear,
+    Weekday,
     Hour,
     Minute,
     Second,
@@ -732,7 +753,9 @@ pub(crate) fn datepart_from_name(s: &str) -> Option<DatePart> {
         "quarter" | "qq" | "q" => DatePart::Quarter,
         "month" | "mm" | "m" => DatePart::Month,
         "week" | "wk" | "ww" => DatePart::Week,
-        "day" | "dd" | "d" | "dayofyear" | "dy" => DatePart::Day,
+        "day" | "dd" | "d" => DatePart::Day,
+        "dayofyear" | "dy" => DatePart::DayOfYear,
+        "weekday" | "dw" => DatePart::Weekday,
         "hour" | "hh" => DatePart::Hour,
         "minute" | "mi" | "n" => DatePart::Minute,
         "second" | "ss" | "s" => DatePart::Second,
@@ -824,7 +847,8 @@ fn date_diff(part: DatePart, start: i64, end: i64) -> i64 {
         DatePart::Second => unit_diff(MICROS_PER_SECOND),
         DatePart::Minute => unit_diff(60 * MICROS_PER_SECOND),
         DatePart::Hour => unit_diff(3_600 * MICROS_PER_SECOND),
-        DatePart::Day => unit_diff(MICROS_PER_DAY),
+        // T-SQL: DATEDIFF over dayofyear/weekday counts day boundaries.
+        DatePart::Day | DatePart::DayOfYear | DatePart::Weekday => unit_diff(MICROS_PER_DAY),
         DatePart::Week => {
             // T-SQL weeks begin on Sunday; 1969-12-28 (day -4) was one,
             // so shifting by +4 Sunday-aligns the floor.
@@ -866,11 +890,85 @@ fn date_add(part: DatePart, n: i64, t: i64) -> i64 {
         DatePart::Second => t + n * MICROS_PER_SECOND,
         DatePart::Minute => t + n * 60 * MICROS_PER_SECOND,
         DatePart::Hour => t + n * 3_600 * MICROS_PER_SECOND,
-        DatePart::Day => t + n * MICROS_PER_DAY,
+        DatePart::Day | DatePart::DayOfYear | DatePart::Weekday => t + n * MICROS_PER_DAY,
         DatePart::Week => t + n * 7 * MICROS_PER_DAY,
         DatePart::Month => add_months(t, n),
         DatePart::Quarter => add_months(t, n * 3),
         DatePart::Year => add_months(t, n * 12),
+    }
+}
+
+/// Day-of-week with T-SQL's default `@@DATEFIRST` of 7: Sunday = 1 …
+/// Saturday = 7. Day 0 (1970-01-01) was a Thursday.
+fn weekday_1_sunday(days: i64) -> i64 {
+    (days + 4).rem_euclid(7) + 1
+}
+
+/// `DATEPART(part, t)`: extract one civil-calendar field. Weeks are
+/// Sunday-started and counted from 1 at Jan 1, matching `DATEDIFF`'s
+/// week-boundary convention above.
+fn date_part(part: DatePart, t: i64) -> i64 {
+    let days = floor_div(t, MICROS_PER_DAY);
+    let tod = t - days * MICROS_PER_DAY;
+    let (y, m, d) = civil_from_days(days);
+    match part {
+        DatePart::Year => y,
+        DatePart::Quarter => i64::from((m - 1) / 3) + 1,
+        DatePart::Month => i64::from(m),
+        DatePart::Day => i64::from(d),
+        DatePart::DayOfYear => days - days_from_civil(y, 1, 1) + 1,
+        DatePart::Weekday => weekday_1_sunday(days),
+        DatePart::Week => {
+            let jan1 = days_from_civil(y, 1, 1);
+            let jan1_dow0 = weekday_1_sunday(jan1) - 1; // 0 = Sunday
+            (days - jan1 + jan1_dow0) / 7 + 1
+        }
+        DatePart::Hour => tod / (3_600 * MICROS_PER_SECOND),
+        DatePart::Minute => tod / (60 * MICROS_PER_SECOND) % 60,
+        DatePart::Second => tod / MICROS_PER_SECOND % 60,
+        DatePart::Millisecond => tod / 1_000 % 1_000,
+        DatePart::Microsecond => tod % MICROS_PER_SECOND,
+    }
+}
+
+const MONTH_NAMES: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+const DAY_NAMES: [&str; 7] = [
+    "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+];
+
+/// `DATENAME(part, t)`: month and weekday get their English names,
+/// every other datepart renders its `DATEPART` number — T-SQL semantics.
+fn date_name(part: DatePart, t: i64) -> String {
+    match part {
+        DatePart::Month => {
+            let idx = (date_part(DatePart::Month, t) - 1) as usize;
+            MONTH_NAMES[idx].to_string()
+        }
+        DatePart::Weekday => {
+            let idx = (date_part(DatePart::Weekday, t) - 1) as usize;
+            DAY_NAMES[idx].to_string()
+        }
+        other => date_part(other, t).to_string(),
     }
 }
 
@@ -996,13 +1094,58 @@ mod tests {
     }
 
     #[test]
+    fn date_part_extracts_civil_fields() {
+        // 1999-01-01 was a Friday (Sunday = 1 ⇒ weekday 6, week 1).
+        let noonish = D1999_01_01 + (13 * 3600 + 7 * 60 + 9) * MICROS_PER_SECOND + 123_456;
+        assert_eq!(date_part(DatePart::Year, noonish), 1999);
+        assert_eq!(date_part(DatePart::Quarter, noonish), 1);
+        assert_eq!(date_part(DatePart::Month, noonish), 1);
+        assert_eq!(date_part(DatePart::Day, noonish), 1);
+        assert_eq!(date_part(DatePart::DayOfYear, noonish), 1);
+        assert_eq!(date_part(DatePart::Weekday, noonish), 6);
+        assert_eq!(date_part(DatePart::Week, noonish), 1);
+        assert_eq!(date_part(DatePart::Hour, noonish), 13);
+        assert_eq!(date_part(DatePart::Minute, noonish), 7);
+        assert_eq!(date_part(DatePart::Second, noonish), 9);
+        assert_eq!(date_part(DatePart::Millisecond, noonish), 123);
+        assert_eq!(date_part(DatePart::Microsecond, noonish), 123_456);
+        // Sunday 1999-01-03 starts week 2; Saturday the 2nd closes week 1.
+        assert_eq!(date_part(DatePart::Weekday, SAT_1999_01_02), 7);
+        assert_eq!(date_part(DatePart::Week, SAT_1999_01_02), 1);
+        assert_eq!(date_part(DatePart::Weekday, SUN_1999_01_03), 1);
+        assert_eq!(date_part(DatePart::Week, SUN_1999_01_03), 2);
+        // Day-of-year counts across month boundaries (and leap years).
+        assert_eq!(date_part(DatePart::DayOfYear, D1999_02_28), 59);
+        assert_eq!(date_part(DatePart::DayOfYear, D2000_02_29), 60);
+        assert_eq!(date_part(DatePart::DayOfYear, D1998_12_31), 365);
+        // Pre-epoch dates stay on the civil calendar.
+        assert_eq!(date_part(DatePart::Year, -MICROS_PER_DAY), 1969);
+        assert_eq!(date_part(DatePart::Month, -MICROS_PER_DAY), 12);
+        assert_eq!(date_part(DatePart::Day, -MICROS_PER_DAY), 31);
+    }
+
+    #[test]
+    fn date_name_spells_months_and_weekdays() {
+        assert_eq!(date_name(DatePart::Month, D1999_01_01), "January");
+        assert_eq!(date_name(DatePart::Month, D1999_02_28), "February");
+        assert_eq!(date_name(DatePart::Month, D1999_12_31()), "December");
+        assert_eq!(date_name(DatePart::Weekday, D1999_01_01), "Friday");
+        assert_eq!(date_name(DatePart::Weekday, SUN_1999_01_03), "Sunday");
+        // Every other datepart renders its number, T-SQL style.
+        assert_eq!(date_name(DatePart::Year, D1999_01_01), "1999");
+        assert_eq!(date_name(DatePart::Day, D1999_02_28), "28");
+    }
+
+    #[test]
     fn datepart_abbreviations_resolve() {
         for (names, part) in [
             (&["year", "yy", "yyyy"][..], DatePart::Year),
             (&["quarter", "qq", "q"][..], DatePart::Quarter),
             (&["month", "mm", "m"][..], DatePart::Month),
             (&["week", "wk", "ww"][..], DatePart::Week),
-            (&["day", "dd", "d", "dayofyear", "dy"][..], DatePart::Day),
+            (&["day", "dd", "d"][..], DatePart::Day),
+            (&["dayofyear", "dy"][..], DatePart::DayOfYear),
+            (&["weekday", "dw"][..], DatePart::Weekday),
             (&["hour", "hh"][..], DatePart::Hour),
             (&["minute", "mi", "n"][..], DatePart::Minute),
             (&["second", "ss", "s"][..], DatePart::Second),

@@ -970,7 +970,9 @@ impl<'a> Parser<'a> {
                     // execution paths (and the masked-literal plan
                     // cache) see a plain constant.
                     if (word.eq_ignore_ascii_case("datediff")
-                        || word.eq_ignore_ascii_case("dateadd"))
+                        || word.eq_ignore_ascii_case("dateadd")
+                        || word.eq_ignore_ascii_case("datepart")
+                        || word.eq_ignore_ascii_case("datename"))
                         && !args.is_empty()
                     {
                         if let Expr::Column {

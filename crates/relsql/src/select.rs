@@ -760,10 +760,12 @@ fn infer_type(metas: &[JoinedMeta], expr: &Expr) -> DataType {
         Expr::Function { name, .. } => {
             let lname = name.to_ascii_lowercase();
             match lname.as_str() {
-                "getdate" => DataType::DateTime,
-                "count" | "len" | "char_length" | "syb_sendmsg" => DataType::Int,
+                "getdate" | "getutcdate" | "dateadd" => DataType::DateTime,
+                "count" | "len" | "char_length" | "syb_sendmsg" | "datepart" | "datediff" => {
+                    DataType::Int
+                }
                 "sum" | "min" | "max" | "abs" | "round" | "avg" => DataType::Float,
-                "upper" | "lower" | "str" | "db_name" | "user_name" => DataType::Text,
+                "upper" | "lower" | "str" | "db_name" | "user_name" | "datename" => DataType::Text,
                 _ => DataType::Text,
             }
         }

@@ -578,3 +578,91 @@ fn datediff_dateadd_parity_on_both_paths() {
         assert_eq!(r.scalar(), Some(&Value::Int(7)));
     });
 }
+
+#[test]
+fn datepart_datename_getutcdate_parity_on_both_paths() {
+    // Micros since the Unix epoch (UTC). 1999-01-01 was a Friday.
+    const D1999_01_01: i64 = 915_148_800_000_000;
+    const SUN_1999_01_03: i64 = 915_321_600_000_000;
+    const D2000_02_29: i64 = 951_782_400_000_000;
+    on_both_paths(|s| {
+        s.execute("create table dates (id int, d datetime)")
+            .unwrap();
+        let friday_afternoon = D1999_01_01 + (14 * 3600 + 30 * 60 + 5) * 1_000_000;
+        s.execute(&format!(
+            "insert dates values (1, {friday_afternoon}), (2, {SUN_1999_01_03}), \
+             (3, {D2000_02_29}), (4, NULL)"
+        ))
+        .unwrap();
+        // Bare datepart identifiers over column operands, T-SQL style.
+        for (part, want) in [
+            ("year", 1999),
+            ("quarter", 1),
+            ("month", 1),
+            ("day", 1),
+            ("dayofyear", 1),
+            ("weekday", 6), // Sunday = 1 ⇒ Friday = 6
+            ("week", 1),
+            ("hour", 14),
+            ("minute", 30),
+            ("second", 5),
+        ] {
+            let r = s
+                .execute(&format!(
+                    "select datepart({part}, d) from dates where id = 1"
+                ))
+                .unwrap();
+            assert_eq!(r.scalar(), Some(&Value::Int(want)), "datepart({part})");
+        }
+        // Abbreviations hit the same parts; Sunday opens week 2.
+        let r = s
+            .execute("select datepart(dw, d), datepart(wk, d) from dates where id = 2")
+            .unwrap();
+        let rows = &r.last_select().unwrap().rows;
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(2)]);
+        // Leap-year day-of-year through a quoted datepart.
+        let r = s
+            .execute("select datepart('dy', d) from dates where id = 3")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(60)));
+        // DATENAME: month/weekday names, numeric text elsewhere.
+        let r = s
+            .execute(
+                "select datename(month, d), datename(weekday, d), datename(yy, d) \
+                      from dates where id = 1",
+            )
+            .unwrap();
+        let rows = &r.last_select().unwrap().rows;
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::Str("January".into()),
+                Value::Str("Friday".into()),
+                Value::Str("1999".into()),
+            ]
+        );
+        // NULL propagates through both functions.
+        let r = s
+            .execute("select datepart(day, d), datename(month, d) from dates where id = 4")
+            .unwrap();
+        assert_eq!(
+            r.last_select().unwrap().rows[0],
+            vec![Value::Null, Value::Null]
+        );
+        // Unknown datepart: identical error text on both paths.
+        let e = s
+            .execute("select datepart('era', d) from dates")
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("unknown datepart 'era'"), "{e}");
+        // GETUTCDATE reads the same deterministic logical clock as
+        // GETDATE, so the engine's UTC clock makes them equal and both
+        // compose with the other date functions.
+        let r = s
+            .execute("select datediff(day, getutcdate(), getutcdate())")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+        let r = s.execute("select datepart(year, getutcdate())").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1999)));
+    });
+}

@@ -4,7 +4,8 @@
 //! cargo run -p eca-serve --bin eca_serve -- [--addr HOST:PORT] [--demo]
 //!                                           [--max-sessions N] [--queue-depth N]
 //!                                           [--shards N] [--exec-workers N]
-//!                                           [--data-dir PATH]
+//!                                           [--data-dir PATH] [--idle-timeout SECS]
+//!                                           [--request-timeout-ms MS]
 //! ```
 //!
 //! The server prints the bound address, then blocks reading stdin; EOF or
@@ -53,6 +54,18 @@ fn main() {
             "--exec-workers" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n > 0 => config.exec_workers = n,
                 _ => usage("--exec-workers needs a positive number"),
+            },
+            "--idle-timeout" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(secs) if secs > 0 => {
+                    config.idle_timeout = Some(std::time::Duration::from_secs(secs))
+                }
+                _ => usage("--idle-timeout needs a positive number of seconds"),
+            },
+            "--request-timeout-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(ms) if ms > 0 => {
+                    config.request_timeout = Some(std::time::Duration::from_millis(ms))
+                }
+                _ => usage("--request-timeout-ms needs a positive number of milliseconds"),
             },
             "--demo" => demo = true,
             "--help" | "-h" => usage(""),
@@ -165,7 +178,8 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage: eca_serve [--addr HOST:PORT] [--demo] [--max-sessions N] [--queue-depth N] \
-         [--shards N] [--exec-workers N] [--data-dir PATH]"
+         [--shards N] [--exec-workers N] [--data-dir PATH] [--idle-timeout SECS] \
+         [--request-timeout-ms MS]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

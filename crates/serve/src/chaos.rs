@@ -1,0 +1,376 @@
+//! Fault-injecting transport for resilience tests (DESIGN.md §16).
+//!
+//! Two layers, both deterministic under a caller-supplied plan so every
+//! failure a test provokes is reproducible from its seed:
+//!
+//! - [`ChaosStream`] wraps any `Read + Write` and enforces a byte-level
+//!   fault plan on it: writes die at a chosen offset (mid-frame kills),
+//!   and are optionally fragmented into tiny chunks (truncated/coalesced
+//!   write boundaries for the incremental decoder).
+//! - [`ChaosListener`] is a TCP proxy: tests point a real client at it,
+//!   it forwards to the real server, and per connection it kills the
+//!   link after an exact number of forwarded bytes in either direction —
+//!   or refuses the connection outright (accept-time partition). This
+//!   injects faults *between* unmodified endpoints, so the server's
+//!   reactor and the client's reconnect logic are exercised verbatim,
+//!   including across a `kill -9`ed and restarted server process.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection fault plan for [`ChaosListener`] (and the write half
+/// of [`ChaosStream`]). The default plan is a transparent proxy.
+#[derive(Debug, Clone)]
+pub struct ConnPlan {
+    /// Refuse the connection at accept time (network partition).
+    pub deny: bool,
+    /// Kill the link after forwarding this many client→server bytes.
+    /// Offsets inside a frame produce mid-frame kills; offsets on frame
+    /// boundaries exercise the lost-response window.
+    pub kill_c2s_after: Option<u64>,
+    /// Kill the link after forwarding this many server→client bytes.
+    pub kill_s2c_after: Option<u64>,
+    /// Forward in chunks of at most this many bytes (write truncation /
+    /// coalescing boundaries for the incremental decoder).
+    pub chunk: usize,
+    /// Pause between forwarded chunks (delayed writes).
+    pub chunk_delay: Duration,
+}
+
+impl Default for ConnPlan {
+    fn default() -> Self {
+        ConnPlan {
+            deny: false,
+            kill_c2s_after: None,
+            kill_s2c_after: None,
+            chunk: 64 * 1024,
+            chunk_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl ConnPlan {
+    /// Transparent pass-through.
+    pub fn clean() -> ConnPlan {
+        ConnPlan::default()
+    }
+
+    /// Kill after `n` client→server bytes.
+    pub fn kill_c2s(n: u64) -> ConnPlan {
+        ConnPlan {
+            kill_c2s_after: Some(n),
+            ..ConnPlan::default()
+        }
+    }
+
+    /// Kill after `n` server→client bytes.
+    pub fn kill_s2c(n: u64) -> ConnPlan {
+        ConnPlan {
+            kill_s2c_after: Some(n),
+            ..ConnPlan::default()
+        }
+    }
+
+    /// Refuse the connection at accept.
+    pub fn denied() -> ConnPlan {
+        ConnPlan {
+            deny: true,
+            ..ConnPlan::default()
+        }
+    }
+
+    /// Fragment forwarded data into `chunk`-byte writes with `delay`
+    /// between them.
+    pub fn fragmented(chunk: usize, delay: Duration) -> ConnPlan {
+        ConnPlan {
+            chunk: chunk.max(1),
+            chunk_delay: delay,
+            ..ConnPlan::default()
+        }
+    }
+}
+
+/// Counters the proxy keeps (all lifetime totals).
+#[derive(Debug, Default)]
+pub struct ChaosCounters {
+    pub accepted: AtomicU64,
+    pub denied: AtomicU64,
+    pub killed: AtomicU64,
+}
+
+/// A fault-injecting TCP proxy. Connections are numbered in accept
+/// order (0-based) and each gets the plan the planner returns for its
+/// index — fully deterministic for a deterministic planner.
+pub struct ChaosListener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ChaosCounters>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosListener {
+    /// Start proxying `upstream` on an ephemeral local port. `planner`
+    /// maps the accept index to that connection's fault plan.
+    pub fn start(
+        upstream: impl ToSocketAddrs,
+        planner: impl Fn(u64) -> ConnPlan + Send + 'static,
+    ) -> std::io::Result<ChaosListener> {
+        let upstream: SocketAddr = upstream
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("upstream resolved to nothing"))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ChaosCounters::default());
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("chaos-accept".into())
+                .spawn(move || {
+                    let mut idx: u64 = 0;
+                    loop {
+                        let Ok((down, _)) = listener.accept() else {
+                            break;
+                        };
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let plan = planner(idx);
+                        idx += 1;
+                        if plan.deny {
+                            counters.denied.fetch_add(1, Ordering::Relaxed);
+                            let _ = down.shutdown(Shutdown::Both);
+                            continue;
+                        }
+                        let Ok(up) = TcpStream::connect(upstream) else {
+                            let _ = down.shutdown(Shutdown::Both);
+                            continue;
+                        };
+                        counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        spawn_pipes(down, up, plan, Arc::clone(&counters));
+                    }
+                })?
+        };
+        Ok(ChaosListener {
+            addr,
+            stop,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn counters(&self) -> &ChaosCounters {
+        &self.counters
+    }
+
+    /// Stop accepting. Existing pipes run until their streams close.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosListener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Forward both directions, killing the whole link the moment either
+/// direction crosses its byte budget.
+fn spawn_pipes(down: TcpStream, up: TcpStream, plan: ConnPlan, counters: Arc<ChaosCounters>) {
+    let (Ok(down2), Ok(up2)) = (down.try_clone(), up.try_clone()) else {
+        let _ = down.shutdown(Shutdown::Both);
+        let _ = up.shutdown(Shutdown::Both);
+        return;
+    };
+    let p = plan.clone();
+    let c = Arc::clone(&counters);
+    let _ = std::thread::Builder::new().name("chaos-c2s".into()).spawn({
+        let kill_all = move |a: &TcpStream, b: &TcpStream| {
+            let _ = a.shutdown(Shutdown::Both);
+            let _ = b.shutdown(Shutdown::Both);
+        };
+        move || {
+            pipe(&down, &up, p.kill_c2s_after, p.chunk, p.chunk_delay, &c);
+            kill_all(&down, &up);
+        }
+    });
+    let _ = std::thread::Builder::new()
+        .name("chaos-s2c".into())
+        .spawn(move || {
+            pipe(
+                &up2,
+                &down2,
+                plan.kill_s2c_after,
+                plan.chunk,
+                plan.chunk_delay,
+                &counters,
+            );
+            let _ = up2.shutdown(Shutdown::Both);
+            let _ = down2.shutdown(Shutdown::Both);
+        });
+}
+
+/// Copy `src` → `dst` honoring a byte budget and chunking. Returns when
+/// the budget is spent, the source closes, or the sink fails.
+fn pipe(
+    mut src: &TcpStream,
+    mut dst: &TcpStream,
+    budget: Option<u64>,
+    chunk: usize,
+    delay: Duration,
+    counters: &ChaosCounters,
+) {
+    let mut remaining = budget;
+    let mut buf = vec![0u8; 16 * 1024];
+    loop {
+        let want = buf.len().min(chunk.max(1));
+        let n = match src.read(&mut buf[..want]) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        let allowed = match remaining {
+            None => n,
+            Some(r) => (r.min(n as u64)) as usize,
+        };
+        if allowed > 0 && dst.write_all(&buf[..allowed]).is_err() {
+            return;
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        if let Some(r) = remaining.as_mut() {
+            *r -= allowed as u64;
+            if *r == 0 {
+                // Budget spent: the caller severs both directions.
+                counters.killed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// A `Read + Write` wrapper enforcing a byte-level write fault plan —
+/// for in-process tests of the frame codec across kill boundaries.
+pub struct ChaosStream<S> {
+    inner: S,
+    /// Remaining write budget; crossing it "kills the wire".
+    write_budget: Option<u64>,
+    /// Largest single write passed through (fragmentation).
+    chunk: usize,
+    dead: bool,
+}
+
+impl<S> ChaosStream<S> {
+    pub fn new(inner: S) -> ChaosStream<S> {
+        ChaosStream {
+            inner,
+            write_budget: None,
+            chunk: usize::MAX,
+            dead: false,
+        }
+    }
+
+    /// Kill the stream after `n` written bytes.
+    pub fn with_write_budget(mut self, n: u64) -> Self {
+        self.write_budget = Some(n);
+        self
+    }
+
+    /// Fragment writes to at most `n` bytes each.
+    pub fn with_chunk(mut self, n: usize) -> Self {
+        self.chunk = n.max(1);
+        self
+    }
+
+    /// Whether the fault plan has severed the stream.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Write> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "chaos: connection killed",
+            ));
+        }
+        let mut allowed = buf.len().min(self.chunk);
+        if let Some(budget) = self.write_budget {
+            allowed = allowed.min(budget as usize);
+            if allowed == 0 {
+                self.dead = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "chaos: write budget exhausted",
+                ));
+            }
+        }
+        let n = self.inner.write(&buf[..allowed])?;
+        if let Some(budget) = self.write_budget.as_mut() {
+            *budget -= n as u64;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: Read> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "chaos: connection killed",
+            ));
+        }
+        self.inner.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_stream_kills_at_exact_offset() {
+        let mut s = ChaosStream::new(Vec::new()).with_write_budget(5);
+        assert_eq!(s.write(b"abc").unwrap(), 3);
+        assert_eq!(s.write(b"defg").unwrap(), 2); // truncated at the budget
+        let err = s.write(b"h").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert!(s.is_dead());
+        assert_eq!(s.get_ref(), b"abcde");
+    }
+
+    #[test]
+    fn chaos_stream_fragments_writes() {
+        let mut s = ChaosStream::new(Vec::new()).with_chunk(2);
+        assert_eq!(s.write(b"abcdef").unwrap(), 2);
+        assert_eq!(s.get_ref(), b"ab");
+    }
+}

@@ -12,8 +12,11 @@
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use crate::proto::{FrameDecoder, ProtoError, Request, Response};
+use crate::proto::{
+    busy_retry_hint, stamp, strip_stamp, FrameDecoder, ProtoError, Request, Response, CODE_BUSY,
+};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -58,12 +61,64 @@ impl From<ProtoError> for ClientError {
     }
 }
 
+/// Reconnect/backoff tuning for [`ServeClient::connect_resilient`]:
+/// capped exponential backoff with deterministic (seeded) jitter.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// First-retry delay; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Reconnect attempts per call before giving up with an I/O error.
+    pub max_retries: u32,
+    /// Jitter seed — two clients with different seeds desynchronize
+    /// their retry storms.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(250),
+            max_retries: 32,
+            seed: 0x5EED_F00D,
+        }
+    }
+}
+
+/// State behind a resilient session (DESIGN.md §16): the resume token,
+/// the request seq cursor, and the reconnect policy.
+struct ResilientState {
+    addr: String,
+    db: String,
+    user: String,
+    /// Seq to stamp on the next request.
+    next_seq: u64,
+    /// Highest seq whose response this client has consumed.
+    last_acked: u64,
+    policy: ReconnectPolicy,
+    rng: u64,
+    /// Reconnections performed over this client's lifetime.
+    reconnects: u64,
+}
+
 /// One connection to an `eca_serve` server. Responses are reassembled
 /// through the same incremental [`FrameDecoder`] the server's reactor
 /// uses, so both halves of the protocol exercise one codec.
+///
+/// A client built with [`ServeClient::connect_resilient`] additionally
+/// stamps every request with a session-monotonic seq and transparently
+/// reconnects on socket failure: it re-`ATTACH`es with its resume token,
+/// consumes the server's replay window, and only re-submits a request
+/// the server provably never saw — making [`ServeClient::call`]
+/// exactly-once across connection loss.
 pub struct ServeClient {
     stream: TcpStream,
     decoder: FrameDecoder,
+    /// Resume token from the `HELLO` response (empty before `hello`).
+    token: String,
+    resilient: Option<ResilientState>,
 }
 
 impl ServeClient {
@@ -73,6 +128,8 @@ impl ServeClient {
         Ok(ServeClient {
             stream,
             decoder: FrameDecoder::new(),
+            token: String::new(),
+            resilient: None,
         })
     }
 
@@ -88,6 +145,39 @@ impl ServeClient {
         Ok((client, session))
     }
 
+    /// Connect in resilient mode: every subsequent [`ServeClient::call`]
+    /// is stamped and survives connection loss exactly-once.
+    pub fn connect_resilient(
+        addr: &str,
+        db: &str,
+        user: &str,
+        policy: ReconnectPolicy,
+    ) -> Result<(ServeClient, u64), ClientError> {
+        let mut client = ServeClient::connect(addr)?;
+        let session = client.hello(db, user)?;
+        client.resilient = Some(ResilientState {
+            addr: addr.to_string(),
+            db: db.to_string(),
+            user: user.to_string(),
+            next_seq: 1,
+            last_acked: 0,
+            rng: policy.seed | 1,
+            policy,
+            reconnects: 0,
+        });
+        Ok((client, session))
+    }
+
+    /// The resume token the server issued at `HELLO` (empty before).
+    pub fn resume_token(&self) -> &str {
+        &self.token
+    }
+
+    /// Reconnections this client has performed (resilient mode only).
+    pub fn reconnects(&self) -> u64 {
+        self.resilient.as_ref().map_or(0, |st| st.reconnects)
+    }
+
     /// Send one frame without waiting for the reply (pipelining).
     pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
         let mut line = req.encode();
@@ -96,10 +186,8 @@ impl ServeClient {
         Ok(())
     }
 
-    /// Block for the next response frame. `ERR` frames are returned as
-    /// `Ok(Response::Err { .. })` here — use the typed helpers to turn them
-    /// into [`ClientError::Server`].
-    pub fn recv(&mut self) -> Result<Response, ClientError> {
+    /// Block for the next raw (trimmed, possibly stamped) response line.
+    fn recv_line(&mut self) -> Result<String, ClientError> {
         let mut chunk = [0u8; 4096];
         loop {
             while let Some(frame) = self.decoder.next_frame() {
@@ -109,7 +197,7 @@ impl ServeClient {
                 if trimmed.is_empty() {
                     continue;
                 }
-                return Ok(Response::parse(trimmed)?);
+                return Ok(trimmed.to_string());
             }
             let n = self.stream.read(&mut chunk)?;
             if n == 0 {
@@ -122,9 +210,21 @@ impl ServeClient {
         }
     }
 
+    /// Block for the next response frame. `ERR` frames are returned as
+    /// `Ok(Response::Err { .. })` here — use the typed helpers to turn them
+    /// into [`ClientError::Server`].
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let line = self.recv_line()?;
+        Ok(Response::parse(&line)?)
+    }
+
     /// Send one frame and block for its reply, mapping `ERR` to
-    /// [`ClientError::Server`].
+    /// [`ClientError::Server`]. In resilient mode the request is stamped
+    /// and transparently retried across reconnects, exactly-once.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.resilient.is_some() {
+            return self.call_resilient(req);
+        }
         self.send(req)?;
         match self.recv()? {
             Response::Err { code, message } => Err(ClientError::Server { code, message }),
@@ -132,13 +232,152 @@ impl ServeClient {
         }
     }
 
-    /// Bind this session's identity; returns the session id.
+    fn call_resilient(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let (seq, line) = {
+            let st = self.resilient.as_ref().expect("resilient mode");
+            (st.next_seq, stamp(st.next_seq, &req.encode()))
+        };
+        let resp = self.roundtrip_stamped(seq, &line)?;
+        let st = self.resilient.as_mut().expect("resilient mode");
+        st.last_acked = seq;
+        st.next_seq = seq + 1;
+        match resp {
+            Response::Err { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Drive one stamped request to its response, reconnecting (and
+    /// consuming the server's replay window) as often as the policy
+    /// allows. At most one request is ever outstanding, so a response
+    /// stamped `seq` is unambiguous.
+    fn roundtrip_stamped(&mut self, seq: u64, line: &str) -> Result<Response, ClientError> {
+        let mut attempt: u32 = 0;
+        let mut need_send = true;
+        loop {
+            let tried: Result<Response, ClientError> = (|| {
+                if need_send {
+                    self.stream.write_all(line.as_bytes())?;
+                    self.stream.write_all(b"\n")?;
+                }
+                loop {
+                    let text = self.recv_line()?;
+                    let (s, rest) = strip_stamp(&text);
+                    if s == Some(seq) {
+                        return Ok(Response::parse(rest)?);
+                    }
+                    // A stale replay of an earlier seq (already consumed)
+                    // or leftover noise: skip and keep reading.
+                }
+            })();
+            match tried {
+                Ok(resp) => return Ok(resp),
+                Err(ClientError::Io(_)) => match self.reattach(seq, &mut attempt)? {
+                    Some(resp) => return Ok(resp),
+                    None => need_send = true,
+                },
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reconnect and `ATTACH`. Returns `Ok(Some(resp))` when the replay
+    /// window already held the answer for `seq`, `Ok(None)` when the
+    /// server provably never received it (safe to re-send).
+    fn reattach(&mut self, seq: u64, attempt: &mut u32) -> Result<Option<Response>, ClientError> {
+        loop {
+            let (addr, attach_line, delay) = {
+                let st = self.resilient.as_mut().expect("resilient mode");
+                if *attempt >= st.policy.max_retries {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "reconnect retries exhausted",
+                    )));
+                }
+                let delay = backoff_delay(st, *attempt);
+                let req = Request::Attach {
+                    token: self.token.clone(),
+                    last_acked: st.last_acked,
+                    db: st.db.clone(),
+                    user: st.user.clone(),
+                };
+                (st.addr.clone(), req.encode(), delay)
+            };
+            *attempt += 1;
+            std::thread::sleep(delay);
+            let Ok(stream) = TcpStream::connect(&addr) else {
+                continue;
+            };
+            self.stream = stream;
+            self.decoder = FrameDecoder::new();
+            if let Some(st) = self.resilient.as_mut() {
+                st.reconnects += 1;
+            }
+            if self
+                .stream
+                .write_all(format!("{attach_line}\n").as_bytes())
+                .is_err()
+            {
+                continue;
+            }
+            let Ok(first) = self.recv_line() else {
+                continue;
+            };
+            match Response::parse(&first) {
+                Ok(Response::Attach {
+                    replayed, inflight, ..
+                }) => {
+                    let mut answer = None;
+                    let mut io_ok = true;
+                    for _ in 0..replayed {
+                        let Ok(l) = self.recv_line() else {
+                            io_ok = false;
+                            break;
+                        };
+                        let (s, rest) = strip_stamp(&l);
+                        if s == Some(seq) {
+                            answer = Some(Response::parse(rest)?);
+                        }
+                    }
+                    if let Some(resp) = answer {
+                        return Ok(Some(resp));
+                    }
+                    if !io_ok {
+                        continue; // died mid-replay: attach again
+                    }
+                    if inflight == Some(seq) {
+                        // Still executing server-side; its response will
+                        // land in the window — poll by re-attaching.
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                Ok(Response::Err { code, message }) if code == CODE_BUSY => {
+                    // Honor the server's backoff hint before retrying.
+                    if let Some(ms) = busy_retry_hint(&message) {
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    continue;
+                }
+                Ok(Response::Err { code, message }) => {
+                    return Err(ClientError::Server { code, message })
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Bind this session's identity; returns the session id and stores
+    /// the resume token for later `ATTACH`es.
     pub fn hello(&mut self, db: &str, user: &str) -> Result<u64, ClientError> {
         match self.call(&Request::Hello {
             db: db.into(),
             user: user.into(),
         })? {
-            Response::Hello { session } => Ok(session),
+            Response::Hello { session, token } => {
+                self.token = token;
+                Ok(session)
+            }
             other => Err(unexpected(other)),
         }
     }
@@ -216,6 +455,19 @@ impl ServeClient {
             other => Err(unexpected(other)),
         }
     }
+}
+
+/// Capped exponential backoff with deterministic xorshift jitter in
+/// `[d/2, d]` — two clients with different seeds spread their retries.
+fn backoff_delay(st: &mut ResilientState, attempt: u32) -> Duration {
+    let base = st.policy.base_delay.as_millis().max(1) as u64;
+    let max = st.policy.max_delay.as_millis().max(1) as u64;
+    let d = base.saturating_mul(1u64 << attempt.min(16)).min(max);
+    st.rng ^= st.rng << 13;
+    st.rng ^= st.rng >> 7;
+    st.rng ^= st.rng << 17;
+    let jitter = st.rng % (d / 2 + 1);
+    Duration::from_millis(d / 2 + jitter)
 }
 
 fn unexpected(resp: Response) -> ClientError {

@@ -46,6 +46,7 @@
 //! assert!(report.quiescent);
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod poll;
 pub mod proto;
@@ -53,7 +54,11 @@ mod reactor;
 pub mod server;
 pub mod session;
 
-pub use client::{ClientError, ExecResult, ServeClient};
-pub use proto::{FrameDecoder, Request, Response, CODE_BUSY, CODE_PROTO};
+pub use chaos::{ChaosCounters, ChaosListener, ChaosStream, ConnPlan};
+pub use client::{ClientError, ExecResult, ReconnectPolicy, ServeClient};
+pub use proto::{
+    busy_message, busy_retry_hint, stamp, strip_stamp, FrameDecoder, Request, Response, CODE_BUSY,
+    CODE_PROTO, CODE_SEQ, CODE_TIMEOUT,
+};
 pub use server::{EcaServer, ServeConfig, ServeHandle};
 pub use session::{ReactorShardSnapshot, ServeStats, SessionSnapshot};

@@ -5,17 +5,20 @@
 //! The grammar (documented normatively in DESIGN.md §7):
 //!
 //! ```text
-//! request  := "HELLO" SP db SP user
-//!           | "EXEC" SP sql            ; sql is escaped
-//!           | "STATS"
-//!           | "DRAIN"
+//! request  := stamp? "HELLO" SP db SP user
+//!           | stamp? "EXEC" SP sql     ; sql is escaped
+//!           | "ATTACH" SP token SP last_acked (SP db SP user)?
+//!           | stamp? "STATS"
+//!           | stamp? "DRAIN"
 //!           | "RESUME"
 //!           | "PING"
 //!           | "QUIT"
-//! response := "OK" SP body
-//!           | "ERR" SP code SP message ; message is escaped
-//! body     := "HELLO" SP "session=" n
+//! response := stamp? "OK" SP body
+//!           | stamp? "ERR" SP code SP message ; message is escaped
+//! stamp    := "@" seq SP               ; monotonically increasing per session
+//! body     := "HELLO" SP "session=" n (SP "token=" tok)?
 //!           | "EXEC" SP "actions=" n SP "failed=" n SP "rows=" n SP "text=" escaped
+//!           | "ATTACH" SP "session=" n SP "replayed=" n SP "next=" n (SP "inflight=" n)?
 //!           | "STATS" (SP key "=" value)*
 //!           | "DRAIN" SP "quiescent=" bool SP "detached=" n SP "outcomes=" n
 //!           | "RESUME" | "PONG" | "BYE"
@@ -23,9 +26,20 @@
 //!
 //! `code` on an `ERR` frame is either a stable agent error code
 //! ([`eca_core::EcaErrorKind::code`]) or one of the serve-layer codes
-//! `PROTO` (malformed frame) and `BUSY` (session limit reached).
+//! `PROTO` (malformed frame), `BUSY` (session limit reached — the message
+//! starts with a `retry_after_ms=<n>` hint), `TIMEOUT` (request expired
+//! before execution, or a partial frame starved the reactor) and `SEQ`
+//! (an `ATTACH` acknowledged responses the server never produced).
 //! Both ends share these encode/parse routines, so the grammar cannot
 //! drift between server and client.
+//!
+//! Resilient sessions (DESIGN.md §16): `HELLO` returns a resume token;
+//! clients that stamp requests with `@seq` get stamped responses the
+//! server also keeps in a bounded replay window. After a connection dies,
+//! `ATTACH token last_acked` on a fresh connection adopts the old session
+//! and replays every stored response above `last_acked`; re-submitted
+//! stamped `EXEC`s are deduplicated against the `SysWireJournal` table,
+//! so each applies to the engine exactly once.
 
 use std::fmt;
 
@@ -33,6 +47,42 @@ use std::fmt;
 pub const CODE_PROTO: &str = "PROTO";
 /// Serve-layer error code for connections rejected at the session limit.
 pub const CODE_BUSY: &str = "BUSY";
+/// Serve-layer error code for requests that expired before execution
+/// (queue-wait deadline) or a partial frame that outlived the deadline.
+pub const CODE_TIMEOUT: &str = "TIMEOUT";
+/// Serve-layer error code for an `ATTACH` whose `last_acked` is ahead of
+/// anything the session produced (protocol violation).
+pub const CODE_SEQ: &str = "SEQ";
+
+/// Prefix a frame line with a request/response sequence stamp.
+pub fn stamp(seq: u64, line: &str) -> String {
+    format!("@{seq} {line}")
+}
+
+/// Split a sequence stamp off a frame line: `"@12 EXEC ..."` becomes
+/// `(Some(12), "EXEC ...")`; unstamped lines pass through unchanged.
+pub fn strip_stamp(line: &str) -> (Option<u64>, &str) {
+    if let Some(rest) = line.strip_prefix('@') {
+        if let Some((num, payload)) = rest.split_once(' ') {
+            if let Ok(seq) = num.parse::<u64>() {
+                return (Some(seq), payload);
+            }
+        }
+    }
+    (None, line)
+}
+
+/// Render the `BUSY` error message with its machine-readable retry hint.
+pub fn busy_message(retry_after_ms: u64, detail: &str) -> String {
+    format!("retry_after_ms={retry_after_ms} {detail}")
+}
+
+/// Extract the `retry_after_ms` hint from a `BUSY` error message.
+pub fn busy_retry_hint(message: &str) -> Option<u64> {
+    let rest = message.strip_prefix("retry_after_ms=")?;
+    let end = rest.find(' ').unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
 
 /// Escape a payload for embedding in a single-line frame.
 pub fn escape(s: &str) -> String {
@@ -94,6 +144,16 @@ pub enum Request {
     Hello { db: String, user: String },
     /// Execute one batch (SQL or ECA command).
     Exec { sql: String },
+    /// Adopt a detached (or restarted-away) session after a reconnect.
+    /// `last_acked` is the highest stamped response sequence the client
+    /// processed; `db`/`user` restore the identity when the server no
+    /// longer remembers the token (process restart).
+    Attach {
+        token: String,
+        last_acked: u64,
+        db: String,
+        user: String,
+    },
     /// Read agent + serve counters.
     Stats,
     /// Quiesce the service (notifier pump, in-flight actions).
@@ -112,6 +172,17 @@ impl Request {
         match self {
             Request::Hello { db, user } => format!("HELLO {} {}", escape(db), escape(user)),
             Request::Exec { sql } => format!("EXEC {}", escape(sql)),
+            Request::Attach {
+                token,
+                last_acked,
+                db,
+                user,
+            } => format!(
+                "ATTACH {} {last_acked} {} {}",
+                escape_token(token),
+                escape_token(db),
+                escape_token(user)
+            ),
             Request::Stats => "STATS".into(),
             Request::Drain => "DRAIN".into(),
             Request::Resume => "RESUME".into(),
@@ -146,6 +217,26 @@ impl Request {
                 }
                 Ok(Request::Exec {
                     sql: unescape(rest),
+                })
+            }
+            "ATTACH" => {
+                let mut parts = rest.split(' ').filter(|p| !p.is_empty());
+                let (Some(token), Some(acked)) = (parts.next(), parts.next()) else {
+                    return Err(ProtoError::new("ATTACH needs <token> <last_acked>"));
+                };
+                let last_acked: u64 = acked
+                    .parse()
+                    .map_err(|_| ProtoError::new("ATTACH last_acked is not a number"))?;
+                let db = parts.next().map(unescape).unwrap_or_default();
+                let user = parts.next().map(unescape).unwrap_or_default();
+                if parts.next().is_some() {
+                    return Err(ProtoError::new("ATTACH has trailing garbage"));
+                }
+                Ok(Request::Attach {
+                    token: unescape(token),
+                    last_acked,
+                    db,
+                    user,
                 })
             }
             "STATS" if rest.is_empty() => Ok(Request::Stats),
@@ -249,9 +340,22 @@ impl std::error::Error for ProtoError {}
 /// One server→client frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
-    /// Session bound; `session` is the server-unique session id.
+    /// Session bound; `session` is the server-unique session id and
+    /// `token` the resume token an `ATTACH` presents after a reconnect
+    /// (empty from pre-resilience servers).
     Hello {
         session: u64,
+        token: String,
+    },
+    /// Session adopted: `replayed` stored stamped response lines follow
+    /// this frame; `next` is the lowest request seq the server has no
+    /// response for; `inflight` is a seq still executing (re-attach after
+    /// a short wait to collect it rather than re-submitting).
+    Attach {
+        session: u64,
+        replayed: u64,
+        next: u64,
+        inflight: Option<u64>,
     },
     /// Batch executed. `actions`/`failed` count rule actions triggered by
     /// the batch; `rows` counts result rows; `text` carries the rendered
@@ -286,7 +390,26 @@ impl Response {
     /// Render as a single frame line (no trailing newline).
     pub fn encode(&self) -> String {
         match self {
-            Response::Hello { session } => format!("OK HELLO session={session}"),
+            Response::Hello { session, token } => {
+                if token.is_empty() {
+                    format!("OK HELLO session={session}")
+                } else {
+                    format!("OK HELLO session={session} token={}", escape_token(token))
+                }
+            }
+            Response::Attach {
+                session,
+                replayed,
+                next,
+                inflight,
+            } => {
+                let mut line =
+                    format!("OK ATTACH session={session} replayed={replayed} next={next}");
+                if let Some(seq) = inflight {
+                    line.push_str(&format!(" inflight={seq}"));
+                }
+                line
+            }
             Response::Exec {
                 actions,
                 failed,
@@ -340,8 +463,17 @@ impl Response {
         match body {
             "HELLO" => {
                 let session = field_u64(args, "session")?;
-                Ok(Response::Hello { session })
+                // Token is optional for compatibility with pre-resilience
+                // servers (field_str tolerates extra fields either way).
+                let token = field_str(args, "token").map(unescape).unwrap_or_default();
+                Ok(Response::Hello { session, token })
             }
+            "ATTACH" => Ok(Response::Attach {
+                session: field_u64(args, "session")?,
+                replayed: field_u64(args, "replayed")?,
+                next: field_u64(args, "next")?,
+                inflight: field_u64(args, "inflight").ok(),
+            }),
             "EXEC" => {
                 let actions = field_u64(args, "actions")?;
                 let failed = field_u64(args, "failed")?;
@@ -441,6 +573,12 @@ mod tests {
             Request::Exec {
                 sql: "insert t values (1)\nselect * from t".into(),
             },
+            Request::Attach {
+                token: "tok-1f2e".into(),
+                last_acked: 41,
+                db: "db".into(),
+                user: "u".into(),
+            },
             Request::Stats,
             Request::Drain,
             Request::Resume,
@@ -455,7 +593,26 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let cases = vec![
-            Response::Hello { session: 7 },
+            Response::Hello {
+                session: 7,
+                token: "tok-9a".into(),
+            },
+            Response::Hello {
+                session: 7,
+                token: String::new(),
+            },
+            Response::Attach {
+                session: 3,
+                replayed: 2,
+                next: 12,
+                inflight: Some(11),
+            },
+            Response::Attach {
+                session: 3,
+                replayed: 0,
+                next: 1,
+                inflight: None,
+            },
             Response::Exec {
                 actions: 2,
                 failed: 1,
@@ -492,9 +649,39 @@ mod tests {
         assert!(Request::parse("EXEC").is_err());
         assert!(Request::parse("HELLO justdb").is_err());
         assert!(Request::parse("NOSUCH op").is_err());
+        assert!(Request::parse("ATTACH tokonly").is_err());
+        assert!(Request::parse("ATTACH tok notanumber").is_err());
+        assert!(Request::parse("ATTACH tok 3 db u extra").is_err());
         assert!(Response::parse("YES fine").is_err());
         assert!(Response::parse("OK EXEC actions=x failed=0 rows=0 text=").is_err());
         assert!(Response::parse("ERR JUSTCODE").is_err());
+    }
+
+    #[test]
+    fn stamps_round_trip_and_pass_through() {
+        assert_eq!(stamp(12, "EXEC select 1"), "@12 EXEC select 1");
+        assert_eq!(
+            strip_stamp("@12 EXEC select 1"),
+            (Some(12), "EXEC select 1")
+        );
+        assert_eq!(strip_stamp("EXEC select 1"), (None, "EXEC select 1"));
+        // Not a stamp: no space, non-numeric, or empty seq.
+        assert_eq!(strip_stamp("@12"), (None, "@12"));
+        assert_eq!(strip_stamp("@x PING"), (None, "@x PING"));
+        assert_eq!(strip_stamp("@ PING"), (None, "@ PING"));
+        // Stamped request/response lines parse after stripping.
+        let (seq, rest) = strip_stamp("@3 PING");
+        assert_eq!(seq, Some(3));
+        assert_eq!(Request::parse(rest), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn busy_retry_hint_round_trips() {
+        let msg = busy_message(250, "session limit reached");
+        assert_eq!(msg, "retry_after_ms=250 session limit reached");
+        assert_eq!(busy_retry_hint(&msg), Some(250));
+        assert_eq!(busy_retry_hint("session limit reached"), None);
+        assert_eq!(busy_retry_hint("retry_after_ms=x y"), None);
     }
 
     #[test]

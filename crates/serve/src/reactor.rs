@@ -22,6 +22,17 @@
 //! control pushes back on the client — same contract as the old
 //! thread-pair model, without the threads. Writes that hit `WOULDBLOCK`
 //! register write interest and resume on writability.
+//!
+//! Resilience (DESIGN.md §16): connections and sessions are decoupled.
+//! A connection that dies without `QUIT` *detaches* its session — the
+//! [`ResumeState`] (replay window, seq cursor, identity) parks under the
+//! session's resume token until an `ATTACH` adopts it or its TTL runs
+//! out. Stamped requests (`@<seq> EXEC …`) are triaged against the
+//! window so re-submissions replay the recorded response verbatim;
+//! stamped `EXEC`s additionally run through the service's durable
+//! journal ([`ActiveService::execute_once`]) so exactly-once holds even
+//! across a `kill -9` and restart. Per-request deadlines and an idle
+//! reaper bound how long a slow or silent peer can hold resources.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -33,13 +44,19 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use eca_core::service::ActiveService;
+use eca_core::ExecOutcome;
 use parking_lot::Mutex;
 use relsql::SessionCtx;
 
 use crate::poll::{Event, Interest, Poller, Waker};
-use crate::proto::{FrameDecoder, ProtoError, Request, Response, CODE_PROTO};
-use crate::server::process;
-use crate::session::{ReactorShardStats, SessionCounters, SessionManager};
+use crate::proto::{
+    busy_message, stamp, strip_stamp, FrameDecoder, ProtoError, Request, Response, CODE_BUSY,
+    CODE_PROTO, CODE_SEQ, CODE_TIMEOUT,
+};
+use crate::server::{process, render_exec};
+use crate::session::{
+    AttachOutcome, ReactorShardStats, ResumeState, SessionCounters, SessionManager,
+};
 
 /// Reserved token for the shard's waker fd.
 const TOKEN_WAKER: u64 = 0;
@@ -62,22 +79,37 @@ const READ_CHUNK: usize = 16 * 1024;
 const DRAIN_QUIET_GRACE: Duration = Duration::from_millis(25);
 /// Poll cadence while draining live sessions.
 const DRAIN_TICK_MS: i32 = 5;
+/// Poll cadence on shard 0 while detached sessions await expiry and no
+/// finer-grained timer is configured.
+const DETACHED_TICK_MS: u64 = 250;
+/// Every this-many stamped requests, a worker prunes the session's
+/// acked journal rows (piggybacked on execution, no dedicated timer).
+const JOURNAL_PRUNE_STRIDE: u64 = 64;
 
 /// A statement dispatched to the execution worker pool.
 pub(crate) struct Job {
     shard: usize,
     token: u64,
     session_id: u64,
+    /// Request stamp — `Some` routes the job through the exactly-once
+    /// journal and the replay window.
+    seq: Option<u64>,
+    /// The session's resume token (idempotency-key prefix).
+    wire_token: String,
+    resume: Arc<Mutex<ResumeState>>,
     req: Request,
     ctx: SessionCtx,
     counters: Arc<SessionCounters>,
 }
 
-/// A finished job on its way back to the owning shard.
+/// A finished job on its way back to the owning shard. The response is
+/// pre-encoded (and stamped, for stamped requests) on the worker so the
+/// exact bytes recorded in the replay window are the bytes written.
 pub(crate) struct Completion {
     token: u64,
     session_id: u64,
-    resp: Response,
+    line: String,
+    is_err: bool,
     quit: bool,
 }
 
@@ -85,7 +117,9 @@ pub(crate) struct Completion {
 pub(crate) struct NewSession {
     pub stream: TcpStream,
     pub id: u64,
+    pub token: String,
     pub counters: Arc<SessionCounters>,
+    pub resume: Arc<Mutex<ResumeState>>,
 }
 
 /// Cross-thread mailbox for one shard; producers push then wake.
@@ -125,6 +159,14 @@ impl ShardHandle {
     }
 }
 
+/// One parsed (or unparseable) frame waiting its turn, with the stamp
+/// it arrived under and its arrival time for the request deadline.
+struct QueuedFrame {
+    seq: Option<u64>,
+    req: Result<Request, ProtoError>,
+    at: Instant,
+}
+
 /// One session as its owning shard sees it.
 struct Conn {
     id: u64,
@@ -133,7 +175,7 @@ struct Conn {
     /// Parsed frames awaiting execution; bounded by `queue_depth` (read
     /// interest is parked at the limit, so growth past it is capped by
     /// what one read chunk decodes to).
-    queue: VecDeque<Result<Request, ProtoError>>,
+    queue: VecDeque<QueuedFrame>,
     wbuf: Vec<u8>,
     wpos: usize,
     /// A job for this session is in flight on the worker pool.
@@ -144,11 +186,26 @@ struct Conn {
     read_closed: bool,
     /// Answer what is buffered, flush, then close.
     closing: bool,
+    /// The client said goodbye (`QUIT`) — close the session for good
+    /// instead of parking it for resurrection.
+    quit: bool,
+    /// A newer `ATTACH` adopted this connection's session; stand down
+    /// without touching the session on the way out.
+    stolen: bool,
     interest: Interest,
     idle: bool,
     /// Last moment this session read bytes or finished a response —
-    /// drives the drain quiet-grace decision.
+    /// drives the drain quiet-grace decision and the idle reaper.
     last_active: Instant,
+    /// When the decode buffer first held an incomplete frame — a peer
+    /// trickling bytes forever (slow loris) trips the request deadline.
+    partial_since: Option<Instant>,
+    /// Resume token (also the idempotency-key prefix in the journal).
+    token: String,
+    /// Attach generation this connection adopted the session at; the
+    /// session's [`ResumeState`] moving past it means it was stolen.
+    generation: u64,
+    resume: Arc<Mutex<ResumeState>>,
     ctx: SessionCtx,
     counters: Arc<SessionCounters>,
 }
@@ -175,6 +232,11 @@ pub(crate) struct Shard {
     pub queue_depth: usize,
     pub drain_timeout: Duration,
     pub default_ctx: SessionCtx,
+    pub idle_timeout: Option<Duration>,
+    pub request_timeout: Option<Duration>,
+    pub replay_window: usize,
+    pub detached_ttl: Duration,
+    pub busy_retry_ms: u64,
 }
 
 /// Per-thread reactor state (the non-shared parts live here).
@@ -205,7 +267,8 @@ fn slot_for(token: u64) -> usize {
 }
 
 /// Pull bytes until `WOULDBLOCK`/EOF or the queue/write-buffer gates
-/// close, decoding frames incrementally as they arrive.
+/// close, decoding frames incrementally as they arrive. Stamps are
+/// stripped here so the queue holds `(seq, request)` pairs.
 fn read_some(conn: &mut Conn, scratch: &mut [u8], stats: &ReactorShardStats, queue_depth: usize) {
     while !conn.read_closed
         && !conn.closing
@@ -233,7 +296,12 @@ fn read_some(conn: &mut Conn, scratch: &mut [u8], stats: &ReactorShardStats, que
                         continue;
                     }
                     conn.counters.received.fetch_add(1, Ordering::Relaxed);
-                    conn.queue.push_back(Request::parse(trimmed));
+                    let (seq, rest) = strip_stamp(trimmed);
+                    conn.queue.push_back(QueuedFrame {
+                        seq,
+                        req: Request::parse(rest),
+                        at: Instant::now(),
+                    });
                     conn.counters.observe_queue_depth(conn.queue.len());
                 }
                 if conn.decoder.has_partial() {
@@ -250,25 +318,53 @@ fn read_some(conn: &mut Conn, scratch: &mut [u8], stats: &ReactorShardStats, que
             }
         }
     }
+    if conn.decoder.has_partial() {
+        if conn.partial_since.is_none() {
+            conn.partial_since = Some(Instant::now());
+        }
+    } else {
+        conn.partial_since = None;
+    }
 }
 
-/// Append an encoded response to the write buffer and bump counters —
-/// the single point every answered frame funnels through.
-fn finish_response(conn: &mut Conn, resp: Response, quit: bool) {
+/// Append a pre-encoded response line to the write buffer and bump
+/// counters — the single point every answered frame funnels through.
+fn finish_line(conn: &mut Conn, line: &str, is_err: bool, quit: bool) {
     conn.last_active = Instant::now();
     conn.counters.executed.fetch_add(1, Ordering::Relaxed);
-    if matches!(resp, Response::Err { .. }) {
+    if is_err {
         conn.counters.errors.fetch_add(1, Ordering::Relaxed);
     }
-    conn.wbuf.extend_from_slice(resp.encode().as_bytes());
+    conn.wbuf.extend_from_slice(line.as_bytes());
     conn.wbuf.push(b'\n');
     if quit {
         // BYE answers immediately; anything still queued is dropped,
         // matching the old worker loop which returned on quit.
+        conn.quit = true;
         conn.queue.clear();
         conn.closing = true;
         let _ = conn.stream.shutdown(Shutdown::Read);
     }
+}
+
+/// Answer a frame: stamped responses are recorded in the replay window
+/// under the exact bytes written, unstamped ones go straight out.
+fn answer(conn: &mut Conn, seq: Option<u64>, resp: Response, quit: bool, replay_window: usize) {
+    let is_err = matches!(resp, Response::Err { .. });
+    match seq {
+        Some(s) => {
+            let line = stamp(s, &resp.encode());
+            conn.resume.lock().record(s, line.clone(), replay_window);
+            finish_line(conn, &line, is_err, quit);
+        }
+        None => finish_line(conn, &resp.encode(), is_err, quit),
+    }
+}
+
+/// Whether a (possibly stamped) encoded response line is an `ERR`.
+fn line_is_err(line: &str) -> bool {
+    let (_, rest) = strip_stamp(line);
+    rest.starts_with("ERR")
 }
 
 /// True for frames that may block or run long — these go to the worker
@@ -277,61 +373,15 @@ fn needs_worker(req: &Request) -> bool {
     matches!(req, Request::Exec { .. } | Request::Stats | Request::Drain)
 }
 
-/// Drain the frame queue: answer cheap frames inline, dispatch at most
-/// one worker job, stop at the write high-water mark.
-#[allow(clippy::too_many_arguments)]
-fn pump(
-    conn: &mut Conn,
-    shard: usize,
-    token: u64,
-    job_tx: &Sender<Job>,
-    service: &Arc<dyn ActiveService>,
-    manager: &SessionManager,
-    drain_timeout: Duration,
-) {
-    while !conn.busy && !conn.closing && conn.pending_write() < WBUF_HIGH {
-        let Some(frame) = conn.queue.pop_front() else {
-            break;
-        };
-        match frame {
-            Err(proto) => finish_response(
-                conn,
-                Response::Err {
-                    code: CODE_PROTO.into(),
-                    message: proto.message,
-                },
-                false,
-            ),
-            Ok(req) if needs_worker(&req) => {
-                conn.busy = true;
-                let _ = job_tx.send(Job {
-                    shard,
-                    token,
-                    session_id: conn.id,
-                    req,
-                    ctx: conn.ctx.clone(),
-                    counters: Arc::clone(&conn.counters),
-                });
-            }
-            Ok(req) => {
-                let (resp, quit) = process(
-                    req,
-                    service,
-                    &conn.counters,
-                    manager,
-                    conn.id,
-                    &mut conn.ctx,
-                    drain_timeout,
-                );
-                finish_response(conn, resp, quit);
-            }
-        }
-    }
-    // EOF with nothing left to do: the session is over once the write
-    // buffer flushes.
-    if conn.read_closed && conn.queue.is_empty() && !conn.busy {
-        conn.closing = true;
-    }
+/// What the replay-window triage decided for a stamped request.
+enum Triage {
+    /// Already answered: write the recorded line verbatim.
+    Replay(String),
+    /// Currently executing: drop the duplicate; the client discovers the
+    /// in-flight seq via `ATTACH` and polls.
+    Drop,
+    /// Fresh: execute it.
+    Run,
 }
 
 /// Write as much buffered response data as the socket accepts. Returns
@@ -409,8 +459,11 @@ impl Reactor {
         }
     }
 
-    /// Tear a session down: deregister, release the admission slot, and
-    /// free (or park, if a job is still in flight) the slab slot.
+    /// Tear a connection down. What happens to its *session* depends on
+    /// how it ended: `QUIT` (or server drain) closes it for good and
+    /// drops its journal rows; a stolen connection leaves the session —
+    /// now owned by a newer `ATTACH` — untouched; anything else (socket
+    /// death, EOF, reaper) parks it for resurrection.
     fn close_conn(&mut self, slot: usize) {
         let Some(conn) = self.conns[slot].as_mut() else {
             return;
@@ -424,7 +477,18 @@ impl Reactor {
         }
         let fd = conn.stream.as_raw_fd();
         let _ = self.s.poller.remove(fd);
-        self.s.manager.close(conn.id);
+        if conn.stolen {
+            // The session lives on under another connection.
+        } else if conn.quit || self.draining {
+            if conn.quit {
+                let _ = self.s.service.forget_session(&conn.token, u64::MAX);
+            }
+            self.s.manager.close(conn.id);
+        } else {
+            self.s.manager.detach(conn.id, self.s.detached_ttl);
+            // Shard 0 runs the TTL sweep; make sure it starts ticking.
+            self.s.handles[0].waker.wake();
+        }
         self.s.stats.sessions.fetch_sub(1, Ordering::Relaxed);
         if conn.busy {
             // The worker still holds this session's token: keep the slot
@@ -458,32 +522,226 @@ impl Reactor {
         self.set_idle(slot);
     }
 
+    /// Drain the frame queue: answer cheap frames inline (replaying from
+    /// the window where the stamp says so), dispatch at most one worker
+    /// job, stop at the write high-water mark.
+    fn pump(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.busy || conn.closing || conn.pending_write() >= WBUF_HIGH {
+                break;
+            }
+            if conn.resume.lock().generation != conn.generation {
+                // A newer ATTACH took the session; this connection is a
+                // zombie the client already abandoned.
+                conn.stolen = true;
+                conn.queue.clear();
+                conn.closing = true;
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                break;
+            }
+            let Some(frame) = conn.queue.pop_front() else {
+                break;
+            };
+            if self
+                .s
+                .request_timeout
+                .is_some_and(|rt| frame.at.elapsed() >= rt)
+            {
+                self.s.manager.note_timeout();
+                answer(
+                    conn,
+                    frame.seq,
+                    Response::Err {
+                        code: CODE_TIMEOUT.into(),
+                        message: "request deadline exceeded before execution".into(),
+                    },
+                    false,
+                    self.s.replay_window,
+                );
+                continue;
+            }
+            match frame.req {
+                Err(proto) => answer(
+                    conn,
+                    frame.seq,
+                    Response::Err {
+                        code: CODE_PROTO.into(),
+                        message: proto.message,
+                    },
+                    false,
+                    self.s.replay_window,
+                ),
+                Ok(Request::Attach {
+                    token,
+                    last_acked,
+                    db,
+                    user,
+                }) => {
+                    self.handle_attach(slot, token, last_acked, db, user);
+                    continue;
+                }
+                Ok(req) => {
+                    if let Some(s) = frame.seq {
+                        let triage = {
+                            let mut st = conn.resume.lock();
+                            if let Some(line) = st.lookup(s) {
+                                Triage::Replay(line.clone())
+                            } else if st.busy_seq == Some(s) {
+                                Triage::Drop
+                            } else {
+                                if needs_worker(&req) {
+                                    st.busy_seq = Some(s);
+                                }
+                                Triage::Run
+                            }
+                        };
+                        match triage {
+                            Triage::Replay(line) => {
+                                self.s.manager.note_replay();
+                                let is_err = line_is_err(&line);
+                                finish_line(conn, &line, is_err, false);
+                                continue;
+                            }
+                            Triage::Drop => continue,
+                            Triage::Run => {}
+                        }
+                    }
+                    if needs_worker(&req) {
+                        conn.busy = true;
+                        let _ = self.s.job_tx.send(Job {
+                            shard: self.s.index,
+                            token: token_for(slot),
+                            session_id: conn.id,
+                            seq: frame.seq,
+                            wire_token: conn.token.clone(),
+                            resume: Arc::clone(&conn.resume),
+                            req,
+                            ctx: conn.ctx.clone(),
+                            counters: Arc::clone(&conn.counters),
+                        });
+                    } else {
+                        let (resp, quit) = process(
+                            req,
+                            &self.s.service,
+                            &conn.counters,
+                            &self.s.manager,
+                            conn.id,
+                            &conn.token,
+                            &mut conn.ctx,
+                            self.s.drain_timeout,
+                        );
+                        answer(conn, frame.seq, resp, quit, self.s.replay_window);
+                    }
+                }
+            }
+        }
+        // EOF with nothing left to do: the session is over once the
+        // write buffer flushes.
+        if let Some(conn) = self.conns[slot].as_mut() {
+            if conn.read_closed && conn.queue.is_empty() && !conn.busy {
+                conn.closing = true;
+            }
+        }
+    }
+
+    /// Resolve an `ATTACH` frame: rebind this connection to the token's
+    /// session and replay the un-acked window.
+    fn handle_attach(
+        &mut self,
+        slot: usize,
+        token: String,
+        last_acked: u64,
+        db: String,
+        user: String,
+    ) {
+        let outcome = self
+            .s
+            .manager
+            .attach(&token, last_acked, &db, &user, &self.s.default_ctx);
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        match outcome {
+            AttachOutcome::Attached {
+                id,
+                counters,
+                resume,
+                generation,
+                ctx,
+                replay,
+                next,
+                inflight,
+            } => {
+                let old_id = conn.id;
+                conn.id = id;
+                conn.counters = counters;
+                conn.resume = resume;
+                conn.token = token;
+                conn.generation = generation;
+                conn.ctx = ctx;
+                if old_id != id {
+                    // Release the provisional admission this connection
+                    // held since accept.
+                    self.s.manager.close(old_id);
+                }
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    return;
+                };
+                let resp = Response::Attach {
+                    session: id,
+                    replayed: replay.len() as u64,
+                    next,
+                    inflight,
+                };
+                finish_line(conn, &resp.encode(), false, false);
+                for line in &replay {
+                    conn.wbuf.extend_from_slice(line.as_bytes());
+                    conn.wbuf.push(b'\n');
+                    self.s.manager.note_replay();
+                }
+            }
+            AttachOutcome::Busy => {
+                let resp = Response::Err {
+                    code: CODE_BUSY.into(),
+                    message: busy_message(self.s.busy_retry_ms, "session limit reached"),
+                };
+                finish_line(conn, &resp.encode(), true, true);
+            }
+            AttachOutcome::SeqAhead => {
+                let resp = Response::Err {
+                    code: CODE_SEQ.into(),
+                    message: "last_acked is ahead of this session's responses".into(),
+                };
+                finish_line(conn, &resp.encode(), true, true);
+            }
+        }
+    }
+
     /// Run the full I/O cycle for one session after a readiness event.
     fn service_conn(&mut self, slot: usize, readable: bool, writable: bool) {
-        let Some(conn) = self.conns[slot].as_mut() else {
-            return; // freed earlier in this batch
-        };
-        if conn.dead {
-            return;
-        }
         let mut ok = true;
-        if writable {
-            ok = flush(conn, &self.s.stats);
-        }
-        if ok && readable {
-            read_some(conn, &mut self.scratch, &self.s.stats, self.s.queue_depth);
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return; // freed earlier in this batch
+            };
+            if conn.dead {
+                return;
+            }
+            if writable {
+                ok = flush(conn, &self.s.stats);
+            }
+            if ok && readable {
+                read_some(conn, &mut self.scratch, &self.s.stats, self.s.queue_depth);
+            }
         }
         if ok {
-            pump(
-                conn,
-                self.s.index,
-                token_for(slot),
-                &self.s.job_tx,
-                &self.s.service,
-                &self.s.manager,
-                self.s.drain_timeout,
-            );
-            ok = flush(conn, &self.s.stats);
+            self.pump(slot);
+            if let Some(conn) = self.conns[slot].as_mut() {
+                ok = flush(conn, &self.s.stats);
+            }
         }
         self.settle(slot, ok);
     }
@@ -521,9 +779,15 @@ impl Reactor {
             dead: false,
             read_closed: false,
             closing: false,
+            quit: false,
+            stolen: false,
             interest: Interest::READ,
             idle: false,
             last_active: Instant::now(),
+            partial_since: None,
+            token: ns.token,
+            generation: 0,
+            resume: ns.resume,
             ctx: self.s.default_ctx.clone(),
             counters: ns.counters,
         });
@@ -532,48 +796,49 @@ impl Reactor {
     }
 
     fn apply_completion(&mut self, c: Completion) {
-        let Some(conn) = self
-            .conns
-            .get_mut(slot_for(c.token))
-            .and_then(|s| s.as_mut())
-        else {
-            return;
-        };
-        if conn.id != c.session_id {
-            return; // slot was recycled; the original session is gone
-        }
         let slot = slot_for(c.token);
-        conn.busy = false;
-        if conn.dead {
-            // Socket died while the job ran; resources were already
-            // released — just free the parked slot.
-            self.conns[slot] = None;
-            self.deferred_free.push(slot);
-            return;
+        {
+            let Some(conn) = self.conns.get_mut(slot).and_then(|s| s.as_mut()) else {
+                return;
+            };
+            if conn.id != c.session_id {
+                return; // slot was recycled; the original session is gone
+            }
+            conn.busy = false;
+            if conn.dead {
+                // Socket died while the job ran; resources were already
+                // released — just free the parked slot. The response is
+                // safe in the replay window for the next ATTACH.
+                self.conns[slot] = None;
+                self.deferred_free.push(slot);
+                return;
+            }
+            if conn.resume.lock().generation != conn.generation {
+                // Stolen mid-job: the adopting connection replays the
+                // recorded response; this one stands down silently.
+                conn.stolen = true;
+                conn.queue.clear();
+                conn.closing = true;
+            } else {
+                finish_line(conn, &c.line, c.is_err, c.quit);
+            }
         }
-        finish_response(conn, c.resp, c.quit);
-        pump(
-            conn,
-            self.s.index,
-            c.token,
-            &self.s.job_tx,
-            &self.s.service,
-            &self.s.manager,
-            self.s.drain_timeout,
-        );
+        self.pump(slot);
         // The queue may have room again: pull whatever the kernel
         // buffered while read interest was parked.
-        read_some(conn, &mut self.scratch, &self.s.stats, self.s.queue_depth);
-        pump(
-            conn,
-            self.s.index,
-            c.token,
-            &self.s.job_tx,
-            &self.s.service,
-            &self.s.manager,
-            self.s.drain_timeout,
-        );
-        let ok = flush(conn, &self.s.stats);
+        if let Some(conn) = self.conns[slot].as_mut() {
+            if !conn.dead {
+                read_some(conn, &mut self.scratch, &self.s.stats, self.s.queue_depth);
+            }
+        }
+        self.pump(slot);
+        let mut ok = true;
+        if let Some(conn) = self.conns[slot].as_mut() {
+            if conn.dead {
+                return;
+            }
+            ok = flush(conn, &self.s.stats);
+        }
         self.settle(slot, ok);
     }
 
@@ -585,13 +850,15 @@ impl Reactor {
                 return;
             };
             match listener.accept() {
-                Ok((stream, _peer)) => match self.s.manager.try_open() {
-                    None => reject_busy(&stream),
-                    Some((id, counters)) => {
+                Ok((stream, _peer)) => match self.s.manager.try_open(self.s.default_ctx.clone()) {
+                    None => reject_busy(&stream, self.s.busy_retry_ms),
+                    Some(adm) => {
                         let ns = NewSession {
                             stream,
-                            id,
-                            counters,
+                            id: adm.id,
+                            token: adm.token,
+                            counters: adm.counters,
+                            resume: adm.resume,
                         };
                         let target = self.next_shard;
                         self.next_shard = (self.next_shard + 1) % self.s.handles.len();
@@ -637,6 +904,83 @@ impl Reactor {
         }
     }
 
+    /// Timer sweep, run on every timed poll tick: per-request deadlines
+    /// (queue wait and slow-loris partial frames) and the idle reaper.
+    fn sweep_timers(&mut self) {
+        if self.s.request_timeout.is_none() && self.s.idle_timeout.is_none() {
+            return;
+        }
+        for slot in 0..self.conns.len() {
+            let mut reap = false;
+            let mut touched = false;
+            {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    continue;
+                };
+                if conn.dead || conn.closing {
+                    continue;
+                }
+                if let Some(rt) = self.s.request_timeout {
+                    if conn.partial_since.is_some_and(|t| t.elapsed() >= rt) {
+                        // Slow loris: a frame trickling in forever. No
+                        // seq is known yet, so close outright.
+                        self.s.manager.note_timeout();
+                        finish_line(
+                            conn,
+                            &Response::Err {
+                                code: CODE_TIMEOUT.into(),
+                                message: "partial frame exceeded request deadline".into(),
+                            }
+                            .encode(),
+                            true,
+                            true,
+                        );
+                        touched = true;
+                    } else {
+                        // Expire queued frames oldest-first, even while a
+                        // job is in flight ahead of them.
+                        while conn.queue.front().is_some_and(|f| f.at.elapsed() >= rt) {
+                            let frame = conn.queue.pop_front().expect("checked front");
+                            self.s.manager.note_timeout();
+                            answer(
+                                conn,
+                                frame.seq,
+                                Response::Err {
+                                    code: CODE_TIMEOUT.into(),
+                                    message: "request deadline exceeded before execution".into(),
+                                },
+                                false,
+                                self.s.replay_window,
+                            );
+                            touched = true;
+                        }
+                    }
+                }
+                if !touched {
+                    if let Some(it) = self.s.idle_timeout {
+                        if conn.idle && conn.last_active.elapsed() >= it {
+                            reap = true;
+                        }
+                    }
+                }
+            }
+            if reap {
+                // Reaped sessions detach (the work they might want to
+                // resume is exactly why the reaper is safe to run).
+                self.s.manager.note_reaped();
+                self.close_conn(slot);
+                continue;
+            }
+            if touched {
+                let mut ok = true;
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    ok = flush(conn, &self.s.stats);
+                }
+                self.settle(slot, ok);
+            }
+        }
+    }
+
     /// Shutdown entry: stop accepting and start sweeping sessions out.
     /// Sessions with in-flight work stay open until they go quiet (or
     /// the deadline hits) so pipelined frames still on the wire are read,
@@ -659,51 +1003,68 @@ impl Reactor {
     fn sweep_drain(&mut self) {
         let deadline_passed = self.drain_deadline.is_some_and(|d| Instant::now() >= d);
         for slot in 0..self.conns.len() {
-            let Some(conn) = self.conns[slot].as_mut() else {
-                continue;
-            };
-            if conn.dead || conn.closing || conn.read_closed {
-                continue;
+            {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    continue;
+                };
+                if conn.dead || conn.closing || conn.read_closed {
+                    continue;
+                }
+                let quiet = !conn.busy && conn.queue.is_empty() && conn.pending_write() == 0;
+                let grace_over = quiet && conn.last_active.elapsed() >= DRAIN_QUIET_GRACE;
+                if !deadline_passed && !grace_over {
+                    continue;
+                }
+                // Final read: anything that raced the close decision onto
+                // the wire is pulled in now (unbounded — nothing more
+                // will ever be read past this point).
+                read_some(conn, &mut self.scratch, &self.s.stats, usize::MAX);
+                let woke = conn.busy
+                    || !conn.queue.is_empty()
+                    || conn.pending_write() > 0
+                    || conn.last_active.elapsed() < DRAIN_QUIET_GRACE;
+                if deadline_passed || !woke {
+                    let _ = conn.stream.shutdown(Shutdown::Read);
+                    conn.read_closed = true;
+                }
             }
-            let quiet = !conn.busy && conn.queue.is_empty() && conn.pending_write() == 0;
-            let grace_over = quiet && conn.last_active.elapsed() >= DRAIN_QUIET_GRACE;
-            if !deadline_passed && !grace_over {
-                continue;
+            self.pump(slot);
+            let mut ok = true;
+            if let Some(conn) = self.conns[slot].as_mut() {
+                if conn.dead {
+                    continue;
+                }
+                ok = flush(conn, &self.s.stats);
             }
-            // Final read: anything that raced the close decision onto the
-            // wire is pulled in now (unbounded — nothing more will ever
-            // be read past this point).
-            read_some(conn, &mut self.scratch, &self.s.stats, usize::MAX);
-            let woke = conn.busy
-                || !conn.queue.is_empty()
-                || conn.pending_write() > 0
-                || conn.last_active.elapsed() < DRAIN_QUIET_GRACE;
-            if deadline_passed || !woke {
-                let _ = conn.stream.shutdown(Shutdown::Read);
-                conn.read_closed = true;
-            }
-            pump(
-                conn,
-                self.s.index,
-                token_for(slot),
-                &self.s.job_tx,
-                &self.s.service,
-                &self.s.manager,
-                self.s.drain_timeout,
-            );
-            let ok = flush(conn, &self.s.stats);
             self.settle(slot, ok);
         }
+    }
+
+    /// Poll timeout: event-driven (-1) unless something needs a clock —
+    /// draining, a parked listener, configured deadline/idle timers, or
+    /// (shard 0) detached sessions whose TTLs need sweeping.
+    fn tick_timeout(&self) -> i32 {
+        if self.listener_parked || self.draining {
+            return DRAIN_TICK_MS;
+        }
+        let mut tick: Option<u64> = None;
+        for d in [self.s.idle_timeout, self.s.request_timeout]
+            .into_iter()
+            .flatten()
+        {
+            let q = (d.as_millis() as u64 / 4).clamp(5, 1000);
+            tick = Some(tick.map_or(q, |t| t.min(q)));
+        }
+        if tick.is_none() && self.s.index == 0 && self.s.manager.has_detached() {
+            tick = Some(DETACHED_TICK_MS);
+        }
+        tick.map_or(-1, |t| t as i32)
     }
 
     fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
         loop {
-            let timeout = if self.listener_parked || self.draining {
-                DRAIN_TICK_MS
-            } else {
-                -1
-            };
+            let timeout = self.tick_timeout();
             if self.s.poller.wait(&mut events, timeout).is_err() {
                 break;
             }
@@ -724,6 +1085,12 @@ impl Reactor {
             // stale events above could not land on a recycled slot.
             self.free.append(&mut self.deferred_free);
             self.drain_inbox();
+            if self.s.index == 0 && self.s.manager.has_detached() {
+                for token in self.s.manager.sweep_expired() {
+                    let _ = self.s.service.forget_session(&token, u64::MAX);
+                }
+            }
+            self.sweep_timers();
             if self.listener_parked {
                 if let Some(listener) = self.s.listener.as_ref() {
                     if self
@@ -757,13 +1124,13 @@ impl Reactor {
     }
 }
 
-/// Over the session limit: answer `ERR BUSY` on the still-blocking
-/// accepted socket and drop it.
-fn reject_busy(stream: &TcpStream) {
+/// Over the session limit: answer `ERR BUSY` (with the retry-after
+/// backoff hint) on the still-blocking accepted socket and drop it.
+fn reject_busy(stream: &TcpStream, retry_ms: u64) {
     let mut s = stream;
     let resp = Response::Err {
-        code: crate::proto::CODE_BUSY.into(),
-        message: "session limit reached".into(),
+        code: CODE_BUSY.into(),
+        message: busy_message(retry_ms, "session limit reached"),
     };
     let _ = s.write_all(format!("{}\n", resp.encode()).as_bytes());
     let _ = s.flush();
@@ -774,6 +1141,75 @@ pub(crate) fn run_shard(shard: Shard) {
     Reactor::new(shard).run();
 }
 
+/// Execute one stamped request on a worker: `EXEC` goes through the
+/// durable exactly-once journal, everything else executes normally.
+/// Returns the final (stamped) line, whether it is an error, and quit.
+fn execute_stamped(
+    job: &mut Job,
+    seq: u64,
+    service: &Arc<dyn ActiveService>,
+    manager: &SessionManager,
+    ctx: &mut SessionCtx,
+    drain_timeout: Duration,
+) -> (String, bool, bool) {
+    match std::mem::replace(&mut job.req, Request::Ping) {
+        Request::Exec { sql } => match service.execute_once(&sql, ctx, &job.wire_token, seq) {
+            Ok(ExecOutcome::Fresh(resp)) => {
+                let line = stamp(seq, &render_exec(&resp).encode());
+                // Backfill the journal row so a replay after a process
+                // restart answers with these exact bytes.
+                let _ = service.record_response(&job.wire_token, seq, &line);
+                (line, false, false)
+            }
+            Ok(ExecOutcome::Replayed(Some(stored))) => {
+                manager.note_replay();
+                let is_err = line_is_err(&stored);
+                (stored, is_err, false)
+            }
+            Ok(ExecOutcome::Replayed(None)) => {
+                // Journaled (the effects applied) but the response line
+                // was lost to a crash before backfill: acknowledge the
+                // application without inventing a result.
+                manager.note_replay();
+                let resp = Response::Exec {
+                    actions: 0,
+                    failed: 0,
+                    rows: 0,
+                    text: "(replayed: applied before restart)".into(),
+                };
+                let line = stamp(seq, &resp.encode());
+                let _ = service.record_response(&job.wire_token, seq, &line);
+                (line, false, false)
+            }
+            Err(e) => {
+                let resp = Response::Err {
+                    code: e.code().into(),
+                    message: e.to_string(),
+                };
+                let line = stamp(seq, &resp.encode());
+                // A failed attempt is an attempt: journal the ERR too so
+                // a post-restart replay does not re-run the batch.
+                let _ = service.record_response(&job.wire_token, seq, &line);
+                (line, true, false)
+            }
+        },
+        other => {
+            let (resp, quit) = process(
+                other,
+                service,
+                &job.counters,
+                manager,
+                job.session_id,
+                &job.wire_token,
+                ctx,
+                drain_timeout,
+            );
+            let is_err = matches!(resp, Response::Err { .. });
+            (stamp(seq, &resp.encode()), is_err, quit)
+        }
+    }
+}
+
 /// Entry point for one execution worker thread. Exits when the job
 /// channel disconnects (all shards gone).
 pub(crate) fn run_worker(
@@ -782,22 +1218,53 @@ pub(crate) fn run_worker(
     manager: Arc<SessionManager>,
     handles: Arc<Vec<ShardHandle>>,
     drain_timeout: Duration,
+    replay_window: usize,
 ) {
-    while let Ok(job) = rx.recv() {
-        let mut ctx = job.ctx;
-        let (resp, quit) = process(
-            job.req,
-            &service,
-            &job.counters,
-            &manager,
-            job.session_id,
-            &mut ctx,
-            drain_timeout,
-        );
+    while let Ok(mut job) = rx.recv() {
+        let mut ctx = job.ctx.clone();
+        let (line, is_err, quit) = match job.seq {
+            Some(seq) => {
+                let out =
+                    execute_stamped(&mut job, seq, &service, &manager, &mut ctx, drain_timeout);
+                // Record the response in the replay window *before*
+                // posting the completion: if the connection is already
+                // dead, the next ATTACH still finds the answer.
+                {
+                    let mut st = job.resume.lock();
+                    st.record(seq, out.0.clone(), replay_window);
+                    if st.busy_seq == Some(seq) {
+                        st.busy_seq = None;
+                    }
+                }
+                // Piggybacked journal upkeep: rows the client can no
+                // longer re-ask about (far behind the window) go away.
+                if seq % JOURNAL_PRUNE_STRIDE == 0 {
+                    let below = seq.saturating_sub(2 * replay_window as u64);
+                    let _ = service.forget_session(&job.wire_token, below);
+                }
+                out
+            }
+            None => {
+                let req = std::mem::replace(&mut job.req, Request::Ping);
+                let (resp, quit) = process(
+                    req,
+                    &service,
+                    &job.counters,
+                    &manager,
+                    job.session_id,
+                    &job.wire_token,
+                    &mut ctx,
+                    drain_timeout,
+                );
+                let is_err = matches!(resp, Response::Err { .. });
+                (resp.encode(), is_err, quit)
+            }
+        };
         handles[job.shard].send_completion(Completion {
             token: job.token,
             session_id: job.session_id,
-            resp,
+            line,
+            is_err,
             quit,
         });
     }

@@ -58,6 +58,20 @@ pub struct ServeConfig {
     /// Execution worker count; 0 picks `max(2, cores + 2 - shards)` so
     /// the auto topology lands on exactly `cores + 2` threads.
     pub exec_workers: usize,
+    /// Reap sessions idle longer than this (nothing queued, in flight or
+    /// pending write). `None` disables the reaper.
+    pub idle_timeout: Option<Duration>,
+    /// Per-request deadline: queued frames older than this answer
+    /// `ERR TIMEOUT` instead of executing, and a partial frame sitting in
+    /// the decode buffer longer than this closes the connection
+    /// (slow-loris protection). `None` disables both.
+    pub request_timeout: Option<Duration>,
+    /// Stamped responses retained per session for `ATTACH` replay.
+    pub replay_window: usize,
+    /// How long a detached session awaits an `ATTACH` before expiring.
+    pub detached_ttl: Duration,
+    /// `retry_after_ms` hint attached to `ERR BUSY` responses.
+    pub busy_retry_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +85,11 @@ impl Default for ServeConfig {
             default_user: "client".into(),
             shards: 0,
             exec_workers: 0,
+            idle_timeout: None,
+            request_timeout: None,
+            replay_window: 64,
+            detached_ttl: Duration::from_secs(60),
+            busy_retry_ms: 100,
         }
     }
 }
@@ -103,6 +122,31 @@ impl ServeConfig {
 
     pub fn with_exec_workers(mut self, n: usize) -> Self {
         self.exec_workers = n;
+        self
+    }
+
+    pub fn with_idle_timeout(mut self, t: Option<Duration>) -> Self {
+        self.idle_timeout = t;
+        self
+    }
+
+    pub fn with_request_timeout(mut self, t: Option<Duration>) -> Self {
+        self.request_timeout = t;
+        self
+    }
+
+    pub fn with_replay_window(mut self, n: usize) -> Self {
+        self.replay_window = n.max(1);
+        self
+    }
+
+    pub fn with_detached_ttl(mut self, t: Duration) -> Self {
+        self.detached_ttl = t;
+        self
+    }
+
+    pub fn with_busy_retry_ms(mut self, ms: u64) -> Self {
+        self.busy_retry_ms = ms;
         self
     }
 
@@ -171,11 +215,19 @@ impl EcaServer {
             let manager = Arc::clone(&manager);
             let handles = Arc::clone(&handles);
             let drain_timeout = config.drain_timeout;
+            let replay_window = config.replay_window;
             worker_threads.push(
                 std::thread::Builder::new()
                     .name(format!("eca-serve-exec-{i}"))
                     .spawn(move || {
-                        reactor::run_worker(rx, service, manager, handles, drain_timeout)
+                        reactor::run_worker(
+                            rx,
+                            service,
+                            manager,
+                            handles,
+                            drain_timeout,
+                            replay_window,
+                        )
                     })?,
             );
         }
@@ -198,6 +250,11 @@ impl EcaServer {
                 queue_depth: config.queue_depth,
                 drain_timeout: config.drain_timeout,
                 default_ctx: SessionCtx::new(&config.default_db, &config.default_user),
+                idle_timeout: config.idle_timeout,
+                request_timeout: config.request_timeout,
+                replay_window: config.replay_window,
+                detached_ttl: config.detached_ttl,
+                busy_retry_ms: config.busy_retry_ms,
             };
             shard_threads.push(
                 std::thread::Builder::new()
@@ -225,19 +282,27 @@ impl EcaServer {
 /// Execute one well-formed request. Returns the response and whether the
 /// session should close. Called inline on a shard for cheap control
 /// frames and from the worker pool for everything else.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn process(
     req: Request,
     service: &Arc<dyn ActiveService>,
     counters: &SessionCounters,
     manager: &SessionManager,
     id: u64,
+    token: &str,
     ctx: &mut SessionCtx,
     drain_timeout: Duration,
 ) -> (Response, bool) {
     match req {
         Request::Hello { db, user } => {
             *ctx = SessionCtx::new(&db, &user);
-            (Response::Hello { session: id }, false)
+            (
+                Response::Hello {
+                    session: id,
+                    token: token.to_string(),
+                },
+                false,
+            )
         }
         Request::Exec { sql } => match service.execute(&sql, ctx) {
             Ok(resp) => (render_exec(&resp), false),
@@ -267,12 +332,21 @@ pub(crate) fn process(
         }
         Request::Ping => (Response::Pong, false),
         Request::Quit => (Response::Bye, true),
+        // ATTACH is resolved inline on the shard (it rebinds the
+        // connection to another session); one arriving here means a bug.
+        Request::Attach { .. } => (
+            Response::Err {
+                code: crate::proto::CODE_PROTO.into(),
+                message: "ATTACH must be the first frame on a connection".into(),
+            },
+            true,
+        ),
     }
 }
 
 /// Flatten an [`AgentResponse`] into one `EXEC` frame: counts plus the
 /// rendered messages (agent, server, then per-action output).
-fn render_exec(resp: &AgentResponse) -> Response {
+pub(crate) fn render_exec(resp: &AgentResponse) -> Response {
     let mut text = String::new();
     for m in &resp.messages {
         text.push_str(m);
@@ -382,6 +456,8 @@ fn stats_response(
         ("sagas_resumed", a.sagas_resumed),
         ("saga_steps_executed", a.saga_steps_executed),
         ("saga_compensations", a.saga_compensations),
+        ("wire_journaled", a.wire_journaled),
+        ("wire_replays", a.wire_replays),
         ("sessions_opened", s.sessions_opened),
         ("sessions_active", s.sessions_active),
         ("sessions_rejected", s.sessions_rejected),
@@ -393,6 +469,12 @@ fn stats_response(
         ("partial_reads", s.partial_reads),
         ("write_blocked", s.write_blocked),
         ("accept_overflows", s.accept_overflows),
+        ("sessions_resumed", s.sessions_resumed),
+        ("sessions_expired", s.sessions_expired),
+        ("sessions_reaped", s.sessions_reaped),
+        ("sessions_detached", s.sessions_detached),
+        ("replays_served", s.replays_served),
+        ("requests_timed_out", s.requests_timed_out),
         ("session_id", id),
         (
             "session_received",

@@ -5,11 +5,13 @@
 //! the manager only tracks admission (the `max_sessions` limit), the
 //! per-session counters, and the aggregates folded from closed sessions.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
+use relsql::SessionCtx;
 
 /// Per-session counters, shared between the owning reactor shard, the
 /// execution workers and the stats reporting path.
@@ -44,9 +46,108 @@ pub struct SessionSnapshot {
     pub queue_high_water: usize,
 }
 
+/// The survivable half of a session (DESIGN.md §16): everything a fresh
+/// connection needs to pick up where a dead one left off. Shared between
+/// the owning reactor shard and the worker executing the session's
+/// in-flight job; the worker records the response here *before* posting
+/// its completion, so a connection dying at any moment never loses it.
+#[derive(Debug)]
+pub(crate) struct ResumeState {
+    /// Lowest request seq with no recorded response yet.
+    pub next_seq: u64,
+    /// Request seq currently executing on the worker pool.
+    pub busy_seq: Option<u64>,
+    /// `(seq, stamped encoded response line)` ascending — the bounded
+    /// replay window `ATTACH` serves lost responses from.
+    pub window: VecDeque<(u64, String)>,
+    /// Attach generation: bumped whenever a connection adopts the
+    /// session. A conn holding a stale generation has been stolen by a
+    /// newer `ATTACH` and must stand down.
+    pub generation: u64,
+    /// Session identity to restore on re-attach.
+    pub ctx: SessionCtx,
+}
+
+impl ResumeState {
+    pub fn new(ctx: SessionCtx) -> ResumeState {
+        ResumeState {
+            next_seq: 1,
+            busy_seq: None,
+            window: VecDeque::new(),
+            generation: 0,
+            ctx,
+        }
+    }
+
+    /// Record a response line for `seq`, bounding the window to `cap`.
+    pub fn record(&mut self, seq: u64, line: String, cap: usize) {
+        self.window.push_back((seq, line));
+        while self.window.len() > cap {
+            self.window.pop_front();
+        }
+        if seq >= self.next_seq {
+            self.next_seq = seq + 1;
+        }
+    }
+
+    /// The stored response line for `seq`, if still windowed.
+    pub fn lookup(&self, seq: u64) -> Option<&String> {
+        self.window
+            .iter()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, line)| line)
+    }
+
+    /// Drop window entries the client has acknowledged.
+    pub fn ack(&mut self, last_acked: u64) {
+        while self.window.front().is_some_and(|(s, _)| *s <= last_acked) {
+            self.window.pop_front();
+        }
+    }
+}
+
 pub(crate) struct SessionEntry {
     pub id: u64,
     pub counters: Arc<SessionCounters>,
+    /// Resume token handed out by `HELLO`; empty only for the stranded
+    /// provisional entries closed during `ATTACH` adoption.
+    pub token: String,
+    pub resume: Arc<Mutex<ResumeState>>,
+}
+
+/// A session whose connection died, parked until its TTL or an `ATTACH`.
+struct DetachedEntry {
+    entry: SessionEntry,
+    expires_at: Instant,
+}
+
+/// What [`SessionManager::try_open`] hands a freshly admitted connection.
+pub(crate) struct Admitted {
+    pub id: u64,
+    pub token: String,
+    pub counters: Arc<SessionCounters>,
+    pub resume: Arc<Mutex<ResumeState>>,
+}
+
+/// What [`SessionManager::attach`] decided.
+pub(crate) enum AttachOutcome {
+    /// The token was adopted (or, for an unknown token, re-created so the
+    /// durable journal can dedup). `replay` holds the stored stamped
+    /// response lines above the client's `last_acked`, in seq order.
+    Attached {
+        id: u64,
+        counters: Arc<SessionCounters>,
+        resume: Arc<Mutex<ResumeState>>,
+        generation: u64,
+        ctx: SessionCtx,
+        replay: Vec<String>,
+        next: u64,
+        inflight: Option<u64>,
+    },
+    /// Unknown token and the session limit is full.
+    Busy,
+    /// The client acknowledged responses this session never produced.
+    SeqAhead,
 }
 
 /// Counters one reactor shard maintains about itself. Aggregated across
@@ -113,6 +214,19 @@ pub struct ServeStats {
     pub write_blocked: u64,
     /// Accept-queue overflow events, across all shards.
     pub accept_overflows: u64,
+    /// Sessions adopted by an `ATTACH` after their connection died.
+    pub sessions_resumed: u64,
+    /// Detached sessions that outlived their TTL and were dropped.
+    pub sessions_expired: u64,
+    /// Idle sessions closed by the reaper (`idle_timeout`).
+    pub sessions_reaped: u64,
+    /// Sessions currently parked awaiting an `ATTACH` (gauge).
+    pub sessions_detached: u64,
+    /// Responses served from a replay window instead of re-execution.
+    pub replays_served: u64,
+    /// Requests answered `ERR TIMEOUT` (queue-wait deadline) plus
+    /// partial-frame (slow-loris) expiries.
+    pub requests_timed_out: u64,
 }
 
 /// Tracks every live session and the aggregate counters.
@@ -123,7 +237,18 @@ pub struct SessionManager {
     rejected: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    resumed: AtomicU64,
+    expired: AtomicU64,
+    reaped: AtomicU64,
+    replays: AtomicU64,
+    timeouts: AtomicU64,
+    /// Mirror of `detached.len()`, readable without the map lock.
+    detached_count: AtomicU64,
     active: Mutex<HashMap<u64, SessionEntry>>,
+    /// Resume token → active session id.
+    tokens: Mutex<HashMap<String, u64>>,
+    /// Resume token → parked session awaiting `ATTACH` (or expiry).
+    detached: Mutex<HashMap<String, DetachedEntry>>,
     /// Per-shard reactor counters, installed once at server start.
     reactors: Mutex<Vec<Arc<ReactorShardStats>>>,
 }
@@ -137,9 +262,36 @@ impl SessionManager {
             rejected: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            detached_count: AtomicU64::new(0),
             active: Mutex::new(HashMap::new()),
+            tokens: Mutex::new(HashMap::new()),
+            detached: Mutex::new(HashMap::new()),
             reactors: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Mint a resume token: unique within the process (a counter) and
+    /// unique across restarts with high probability (clock + pid mixed
+    /// through an xorshift64* finalizer) — a restarted server must never
+    /// alias a pre-restart token, or stale `SysWireJournal` rows could
+    /// masquerade as replays for a brand-new session.
+    fn issue_token(&self, id: u64) -> String {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos() as u64;
+        let mut x =
+            nanos ^ ((std::process::id() as u64) << 32) ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        format!("s{id:x}-{x:016x}")
     }
 
     /// Install the reactor shard counters (server start, before accepts).
@@ -148,8 +300,8 @@ impl SessionManager {
     }
 
     /// Admit a connection, or reject it at the session limit. The returned
-    /// counters are shared with the entry kept here for stats.
-    pub(crate) fn try_open(&self) -> Option<(u64, Arc<SessionCounters>)> {
+    /// counters/resume state are shared with the entry kept here.
+    pub(crate) fn try_open(&self, ctx: SessionCtx) -> Option<Admitted> {
         let mut active = self.active.lock();
         if active.len() >= self.max_sessions {
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -157,29 +309,205 @@ impl SessionManager {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         self.opened.fetch_add(1, Ordering::Relaxed);
+        let token = self.issue_token(id);
         let counters = Arc::new(SessionCounters::default());
-        let entry = SessionEntry {
+        let resume = Arc::new(Mutex::new(ResumeState::new(ctx)));
+        active.insert(
             id,
-            counters: Arc::clone(&counters),
-        };
-        active.insert(id, entry);
-        Some((id, counters))
+            SessionEntry {
+                id,
+                counters: Arc::clone(&counters),
+                token: token.clone(),
+                resume: Arc::clone(&resume),
+            },
+        );
+        drop(active);
+        self.tokens.lock().insert(token.clone(), id);
+        Some(Admitted {
+            id,
+            token,
+            counters,
+            resume,
+        })
     }
 
-    /// Session finished: fold its counters into the aggregate and forget
-    /// it.
+    fn fold(&self, entry: &SessionEntry) {
+        self.requests.fetch_add(
+            entry.counters.executed.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.errors.fetch_add(
+            entry.counters.errors.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Session finished for good: fold its counters into the aggregate
+    /// and forget it (token included — no `ATTACH` can revive it).
     pub(crate) fn close(&self, id: u64) {
         let entry = self.active.lock().remove(&id);
         if let Some(entry) = entry {
-            self.requests.fetch_add(
-                entry.counters.executed.load(Ordering::Relaxed),
-                Ordering::Relaxed,
-            );
-            self.errors.fetch_add(
-                entry.counters.errors.load(Ordering::Relaxed),
-                Ordering::Relaxed,
-            );
+            self.tokens.lock().remove(&entry.token);
+            self.fold(&entry);
         }
+    }
+
+    /// Connection died but the session may be resurrected: park the entry
+    /// under its token until `ttl` runs out or an `ATTACH` adopts it.
+    pub(crate) fn detach(&self, id: u64, ttl: Duration) {
+        let entry = self.active.lock().remove(&id);
+        if let Some(entry) = entry {
+            self.tokens.lock().remove(&entry.token);
+            let token = entry.token.clone();
+            let mut detached = self.detached.lock();
+            detached.insert(
+                token,
+                DetachedEntry {
+                    entry,
+                    expires_at: Instant::now() + ttl,
+                },
+            );
+            self.detached_count
+                .store(detached.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop detached sessions past their TTL. Returns the expired tokens
+    /// so the caller can prune their `SysWireJournal` rows.
+    pub(crate) fn sweep_expired(&self) -> Vec<String> {
+        let now = Instant::now();
+        let mut detached = self.detached.lock();
+        let expired: Vec<String> = detached
+            .iter()
+            .filter(|(_, e)| now >= e.expires_at)
+            .map(|(t, _)| t.clone())
+            .collect();
+        for token in &expired {
+            if let Some(e) = detached.remove(token) {
+                self.fold(&e.entry);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.detached_count
+            .store(detached.len() as u64, Ordering::Relaxed);
+        expired
+    }
+
+    /// Resolve an `ATTACH`: adopt the token's parked (or still-active)
+    /// session, or — unknown token, e.g. after a process restart — mint a
+    /// fresh session whose seq space starts where the client left off so
+    /// the durable journal can dedup re-submissions.
+    pub(crate) fn attach(
+        &self,
+        token: &str,
+        last_acked: u64,
+        db: &str,
+        user: &str,
+        default_ctx: &SessionCtx,
+    ) -> AttachOutcome {
+        // Adopt from the detached pool, or steal from a live connection
+        // (the client gave up on it; latest ATTACH wins).
+        let entry = {
+            let mut detached = self.detached.lock();
+            let found = detached.remove(token);
+            self.detached_count
+                .store(detached.len() as u64, Ordering::Relaxed);
+            drop(detached);
+            match found {
+                Some(e) => Some(e.entry),
+                None => {
+                    let id = self.tokens.lock().get(token).copied();
+                    id.and_then(|id| self.active.lock().remove(&id))
+                }
+            }
+        };
+        let (entry, resumed) = match entry {
+            Some(e) => (e, true),
+            None => {
+                // Unknown token: mint a session that continues the
+                // client's seq space. Dedup of re-submitted EXECs then
+                // rests on the durable journal alone.
+                let Some(admitted) = self.try_open(default_ctx.clone()) else {
+                    return AttachOutcome::Busy;
+                };
+                // Re-key the minted entry under the client's token (the
+                // journal rows to dedup against carry *that* token) and
+                // continue the client's seq space.
+                let mut entry = self
+                    .active
+                    .lock()
+                    .remove(&admitted.id)
+                    .expect("just admitted");
+                self.tokens.lock().remove(&entry.token);
+                entry.token = token.to_string();
+                entry.resume.lock().next_seq = last_acked + 1;
+                (entry, false)
+            }
+        };
+        let (generation, ctx, replay, next, inflight) = {
+            let mut st = entry.resume.lock();
+            if last_acked + 1 > st.next_seq && st.busy_seq.is_none() && resumed {
+                // The client claims acks for responses never produced.
+                // Put the entry back where it came from and refuse.
+                drop(st);
+                let token = entry.token.clone();
+                let id = entry.id;
+                self.active.lock().insert(id, entry);
+                self.tokens.lock().insert(token, id);
+                return AttachOutcome::SeqAhead;
+            }
+            st.generation += 1;
+            st.ack(last_acked);
+            if !db.is_empty() {
+                st.ctx = SessionCtx::new(db, user);
+            }
+            let replay: Vec<String> = st.window.iter().map(|(_, line)| line.clone()).collect();
+            (
+                st.generation,
+                st.ctx.clone(),
+                replay,
+                st.next_seq,
+                st.busy_seq,
+            )
+        };
+        let id = entry.id;
+        let counters = Arc::clone(&entry.counters);
+        let resume = Arc::clone(&entry.resume);
+        self.active.lock().insert(id, entry);
+        self.tokens.lock().insert(token.to_string(), id);
+        if resumed {
+            self.resumed.fetch_add(1, Ordering::Relaxed);
+        }
+        AttachOutcome::Attached {
+            id,
+            counters,
+            resume,
+            generation,
+            ctx,
+            replay,
+            next,
+            inflight,
+        }
+    }
+
+    /// Idle-reaper bookkeeping (the shard detached the session already).
+    pub(crate) fn note_reaped(&self) {
+        self.reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A response was served from a replay window / the durable journal.
+    pub(crate) fn note_replay(&self) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request expired before execution (or a partial frame timed out).
+    pub(crate) fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether any detached sessions are parked (drives the reactor tick).
+    pub(crate) fn has_detached(&self) -> bool {
+        self.detached_count.load(Ordering::Relaxed) > 0
     }
 
     pub fn active_count(&self) -> usize {
@@ -214,15 +542,28 @@ impl SessionManager {
             requests += entry.counters.executed.load(Ordering::Relaxed);
             errors += entry.counters.errors.load(Ordering::Relaxed);
         }
+        let sessions_active = active.len() as u64;
+        drop(active);
+        // Parked sessions' in-progress counts must not vanish from the
+        // aggregate while they await an ATTACH.
+        for parked in self.detached.lock().values() {
+            requests += parked.entry.counters.executed.load(Ordering::Relaxed);
+            errors += parked.entry.counters.errors.load(Ordering::Relaxed);
+        }
         let mut stats = ServeStats {
             sessions_opened: self.opened.load(Ordering::Relaxed),
-            sessions_active: active.len() as u64,
+            sessions_active,
             sessions_rejected: self.rejected.load(Ordering::Relaxed),
             requests,
             errors,
+            sessions_resumed: self.resumed.load(Ordering::Relaxed),
+            sessions_expired: self.expired.load(Ordering::Relaxed),
+            sessions_reaped: self.reaped.load(Ordering::Relaxed),
+            sessions_detached: self.detached_count.load(Ordering::Relaxed),
+            replays_served: self.replays.load(Ordering::Relaxed),
+            requests_timed_out: self.timeouts.load(Ordering::Relaxed),
             ..ServeStats::default()
         };
-        drop(active);
         for shard in self.reactors.lock().iter() {
             stats.reactor_shards += 1;
             stats.sessions_idle += shard.sessions_idle.load(Ordering::Relaxed);

@@ -1,0 +1,492 @@
+//! Transport-chaos suite (DESIGN.md §16): deterministic faults injected
+//! between unmodified endpoints, verifying that the resilient client +
+//! session-resurrection protocol deliver exactly-once EXEC:
+//!
+//! - kill the connection at **every frame boundary** of a trigger-firing
+//!   workload (and at seeded mid-frame offsets, in both directions) and
+//!   demand the recovered run be response-for-response identical to a
+//!   fault-free reference — no lost firings, no duplicated inserts;
+//! - a property test that the server's replay window hands back **byte
+//!   identical** response lines under random kill points × ack lags;
+//! - a `kill -9`ed and restarted `eca_serve` process, where the durable
+//!   wire journal (not the in-memory window) must dedup a resubmitted
+//!   in-flight EXEC;
+//! - deadline/reaper behavior: slow-loris partial frames answered
+//!   `ERR TIMEOUT`, idle sessions reaped and counted.
+//!
+//! `CHAOS_STRIDE=n` thins the frame-boundary sweep for quick CI runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eca_core::{ActiveService, EcaAgent};
+use eca_serve::{
+    stamp, strip_stamp, ChaosListener, ClientError, ConnPlan, EcaServer, ExecResult,
+    ReconnectPolicy, Request, ServeClient, ServeConfig, ServeHandle,
+};
+use relsql::SqlServer;
+
+fn start(config: ServeConfig) -> ServeHandle {
+    let server = SqlServer::new();
+    let agent = EcaAgent::with_defaults(Arc::clone(&server)).expect("agent start");
+    EcaServer::start(Arc::new(agent) as Arc<dyn ActiveService>, config).expect("bind")
+}
+
+/// Tight backoff so a test-sized retry storm resolves in milliseconds.
+fn fast_policy(seed: u64) -> ReconnectPolicy {
+    ReconnectPolicy {
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(20),
+        max_retries: 500,
+        seed,
+    }
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+const INSERTS: u64 = 6;
+
+/// A trigger-firing workload: every insert fires a native rule writing
+/// `audit`, and the two trailing selects pin both cardinalities into the
+/// response stream so a duplicated or lost EXEC changes the transcript.
+fn workload() -> Vec<String> {
+    let mut v = vec![
+        "create table t (a int)".to_string(),
+        "create table audit (n int)".to_string(),
+        "create trigger tr on t for insert event e as insert audit values (1)".to_string(),
+    ];
+    for i in 0..INSERTS {
+        v.push(format!("insert t values ({i})"));
+    }
+    v.push("select * from t".to_string());
+    v.push("select * from audit".to_string());
+    v
+}
+
+/// Drive the workload through a resilient client. The initial connect is
+/// retried because a fault plan may sever the link inside the `HELLO`
+/// exchange, before resilient mode has a token to `ATTACH` with.
+fn run_workload(addr: &str, seed: u64) -> Vec<ExecResult> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut client = loop {
+        match ServeClient::connect_resilient(addr, "db", "u", fast_policy(seed)) {
+            Ok((c, _)) => break c,
+            Err(ClientError::Io(_)) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2))
+            }
+            Err(e) => panic!("connect through chaos proxy: {e}"),
+        }
+    };
+    let results = workload()
+        .iter()
+        .map(|sql| client.exec(sql).expect("resilient exec"))
+        .collect();
+    let _ = client.quit();
+    results
+}
+
+/// Client→server byte offsets of every frame boundary the workload
+/// produces: the `HELLO` line, then each stamped `EXEC` (seqs 1..).
+fn c2s_frame_boundaries() -> Vec<u64> {
+    let hello = Request::Hello {
+        db: "db".into(),
+        user: "u".into(),
+    };
+    let mut total = hello.encode().len() as u64 + 1;
+    let mut offsets = vec![total];
+    for (i, sql) in workload().into_iter().enumerate() {
+        let line = stamp(i as u64 + 1, &Request::Exec { sql }.encode());
+        total += line.len() as u64 + 1;
+        offsets.push(total);
+    }
+    offsets
+}
+
+fn reference_run() -> Vec<ExecResult> {
+    let handle = start(ServeConfig::default());
+    let reference = run_workload(&handle.addr().to_string(), 1);
+    handle.shutdown();
+    assert_eq!(reference.len(), workload().len());
+    let n = reference.len();
+    assert_eq!(reference[n - 2].rows, INSERTS, "reference: rows in t");
+    assert_eq!(reference[n - 1].rows, INSERTS, "reference: audit firings");
+    reference
+}
+
+#[test]
+fn kill_at_every_frame_boundary_matches_fault_free_run() {
+    let reference = reference_run();
+    let stride: usize = std::env::var("CHAOS_STRIDE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    for (i, offset) in c2s_frame_boundaries().into_iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        let handle = start(ServeConfig::default());
+        let proxy = ChaosListener::start(handle.addr(), move |idx| {
+            if idx == 0 {
+                ConnPlan::kill_c2s(offset)
+            } else {
+                ConnPlan::clean()
+            }
+        })
+        .expect("proxy");
+        let got = run_workload(&proxy.addr().to_string(), 2 + i as u64);
+        assert_eq!(
+            got, reference,
+            "kill at c2s frame boundary {i} (byte {offset}) must replay to the reference transcript"
+        );
+        let stats = handle.serve_stats();
+        if i > 0 {
+            // Post-HELLO kills force at least one ATTACH resurrection
+            // (kills inside the HELLO exchange may retry from scratch).
+            assert!(
+                stats.sessions_resumed >= 1,
+                "boundary {i}: expected a session resurrection, stats {stats:?}"
+            );
+        }
+        assert_eq!(proxy.counters().killed.load(Ordering::Relaxed), 1);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn seeded_midframe_and_s2c_kills_stay_exactly_once() {
+    let reference = reference_run();
+    let total_c2s = *c2s_frame_boundaries().last().unwrap();
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+    let mut plans = Vec::new();
+    for _ in 0..4 {
+        rng = xorshift(rng);
+        // Mid-frame offsets: anywhere in the request stream, including
+        // inside a frame — the decoder never sees the tail.
+        plans.push(ConnPlan::kill_c2s(1 + rng % total_c2s));
+    }
+    for _ in 0..4 {
+        rng = xorshift(rng);
+        // Server→client kills lose already-computed responses; the replay
+        // window must resupply them on ATTACH.
+        plans.push(ConnPlan::kill_s2c(1 + rng % 400));
+    }
+    // Truncated/coalesced/delayed writes: every frame arrives in 3-byte
+    // shreds, exercising the incremental decoder on both ends.
+    plans.push(ConnPlan::fragmented(3, Duration::from_micros(100)));
+    for (case, plan) in plans.into_iter().enumerate() {
+        let handle = start(ServeConfig::default());
+        let p = plan.clone();
+        let proxy = ChaosListener::start(handle.addr(), move |idx| {
+            if idx == 0 {
+                p.clone()
+            } else {
+                ConnPlan::clean()
+            }
+        })
+        .expect("proxy");
+        let got = run_workload(&proxy.addr().to_string(), 100 + case as u64);
+        assert_eq!(got, reference, "case {case} ({plan:?})");
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn accept_partition_heals_through_client_backoff() {
+    let handle = start(ServeConfig::default());
+    let reference = reference_run();
+    // The first three connection attempts are refused at accept — a
+    // transient partition the client's capped backoff must ride out.
+    let proxy = ChaosListener::start(handle.addr(), |idx| {
+        if idx < 3 {
+            ConnPlan::denied()
+        } else {
+            ConnPlan::clean()
+        }
+    })
+    .expect("proxy");
+    let got = run_workload(&proxy.addr().to_string(), 7);
+    assert_eq!(got, reference);
+    assert_eq!(proxy.counters().denied.load(Ordering::Relaxed), 3);
+    handle.shutdown();
+}
+
+/// Raw newline-protocol connection for tests that drive `ATTACH` and the
+/// stamped framing by hand.
+struct RawConn {
+    w: TcpStream,
+    r: BufReader<TcpStream>,
+}
+
+impl RawConn {
+    fn connect(addr: SocketAddr) -> RawConn {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let s = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "connect {addr}: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        RawConn {
+            r: BufReader::new(s.try_clone().expect("clone")),
+            w: s,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.w.write_all(line.as_bytes()).expect("send");
+        self.w.write_all(b"\n").expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.r.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end_matches(['\r', '\n']).to_string()
+    }
+
+    fn exec_stamped(&mut self, seq: u64, sql: &str) -> String {
+        self.send(&stamp(seq, &Request::Exec { sql: sql.into() }.encode()));
+        self.recv()
+    }
+
+    /// Drop without `QUIT` — the abrupt disconnect that parks the
+    /// session in the detached pool.
+    fn drop_abruptly(self) {
+        let _ = self.w.shutdown(Shutdown::Both);
+    }
+}
+
+/// Parse `OK HELLO session=<id> token=<tok>`.
+fn parse_hello(line: &str) -> (u64, String) {
+    let id = line
+        .split("session=")
+        .nth(1)
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no session id in {line:?}"));
+    let token = line
+        .split("token=")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no token in {line:?}"))
+        .to_string();
+    (id, token)
+}
+
+#[test]
+fn replay_window_is_byte_identical_across_random_kills_and_ack_lags() {
+    let handle = start(ServeConfig::default().with_replay_window(64));
+    let addr = handle.addr();
+    let mut conn = RawConn::connect(addr);
+    conn.send("HELLO db u");
+    let (id, token) = parse_hello(&conn.recv());
+
+    let mut seq: u64 = 1;
+    let mut responses = vec![String::new()]; // 1-indexed by seq
+    responses.push(conn.exec_stamped(seq, "create table t (a int)"));
+
+    // Random kill points × random ack lags: whatever the client claims
+    // to have consumed, the window must resupply the rest **verbatim**.
+    let mut rng = 0xC0FF_EE11_D00D_F00Du64;
+    let mut floor: u64 = 0; // highest last_acked ever presented
+    for round in 0..10 {
+        rng = xorshift(rng);
+        for _ in 0..(1 + rng % 4) {
+            seq += 1;
+            responses.push(conn.exec_stamped(seq, &format!("insert t values ({seq})")));
+        }
+        conn.drop_abruptly();
+        rng = xorshift(rng);
+        let lag = rng % (seq - floor + 1);
+        let last_acked = seq - lag;
+        floor = floor.max(last_acked);
+        conn = RawConn::connect(addr);
+        conn.send(&format!("ATTACH {token} {last_acked} db u"));
+        assert_eq!(
+            conn.recv(),
+            format!("OK ATTACH session={id} replayed={lag} next={}", seq + 1),
+            "round {round}"
+        );
+        for k in 1..=lag {
+            let at = (last_acked + k) as usize;
+            assert_eq!(
+                conn.recv(),
+                responses[at],
+                "round {round}: replayed line for seq {at} must be byte-identical"
+            );
+        }
+    }
+
+    // Acking a seq the server never answered is a protocol breach,
+    // rejected with the stable SEQ code instead of a silent resync.
+    conn.drop_abruptly();
+    conn = RawConn::connect(addr);
+    conn.send(&format!("ATTACH {token} {} db u", seq + 5));
+    let line = conn.recv();
+    assert!(line.starts_with("ERR SEQ "), "got {line:?}");
+    assert!(handle.serve_stats().replays_served >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_frame_times_out_with_stable_code() {
+    let handle =
+        start(ServeConfig::default().with_request_timeout(Some(Duration::from_millis(80))));
+    let mut conn = RawConn::connect(handle.addr());
+    conn.send("HELLO db u");
+    conn.recv();
+    // A frame that trickles in and never finishes must not pin the
+    // session forever: the deadline sweep answers and disconnects.
+    conn.w.write_all(b"EXEC insert ").expect("partial write");
+    let line = conn.recv();
+    assert!(line.starts_with("ERR TIMEOUT "), "got {line:?}");
+    let mut rest = String::new();
+    assert_eq!(
+        conn.r.read_line(&mut rest).expect("eof"),
+        0,
+        "conn must close"
+    );
+    assert!(handle.serve_stats().requests_timed_out >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_reaped_and_counted() {
+    let handle = start(ServeConfig::default().with_idle_timeout(Some(Duration::from_millis(60))));
+    let (mut c, _) = ServeClient::connect_as(handle.addr(), "db", "u").expect("connect");
+    c.ping().expect("ping");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.serve_stats().sessions_reaped == 0 {
+        assert!(Instant::now() < deadline, "idle session never reaped");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The reaped session's socket is really gone.
+    match c.ping() {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("reaped session still answers: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Spawn a real `eca_serve` process on an ephemeral port with a durable
+/// data dir, parsing the bound address off its stdout.
+fn spawn_server(data_dir: &std::path::Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_eca_serve"))
+        .args(["--addr", "127.0.0.1:0", "--data-dir"])
+        .arg(data_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn eca_serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("server stdout");
+        assert!(n > 0, "server exited before printing its address");
+        if let Some(rest) = line.trim().strip_prefix("eca_serve listening on ") {
+            break rest.parse().expect("listen addr");
+        }
+    };
+    // Drain stdout forever so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+#[test]
+fn kill_nine_restart_dedups_inflight_exec_via_durable_journal() {
+    let dir = std::env::temp_dir().join(format!("eca_chaos_k9_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let (mut child, addr) = spawn_server(&dir);
+    let mut conn = RawConn::connect(addr);
+    conn.send("HELLO db u");
+    let (_, token) = parse_hello(&conn.recv());
+    let mut seq: u64 = 0;
+    for sql in workload().iter().take(3) {
+        seq += 1;
+        let resp = conn.exec_stamped(seq, sql);
+        assert!(resp.contains("OK EXEC"), "setup: {resp}");
+    }
+    for i in 0..(INSERTS - 1) {
+        seq += 1;
+        conn.exec_stamped(seq, &format!("insert t values ({i})"));
+    }
+    let last_acked = seq;
+
+    // Send the final insert but DO NOT read its response; wait (via a
+    // second session) until it has verifiably been applied, then SIGKILL
+    // the server — the classic "did my write land?" ambiguity.
+    let inflight = seq + 1;
+    conn.send(&stamp(
+        inflight,
+        &Request::Exec {
+            sql: "insert t values (99)".into(),
+        }
+        .encode(),
+    ));
+    let mut probe = RawConn::connect(addr);
+    probe.send("HELLO db probe");
+    probe.recv();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        probe.send("EXEC select * from t");
+        let line = probe.recv();
+        if line.contains(&format!("rows={INSERTS}")) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "in-flight insert never applied: {line}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Restart from the same data dir. The in-memory replay window died
+    // with the process; only the journaled idempotency key survives.
+    let (mut child2, addr2) = spawn_server(&dir);
+    let mut conn = RawConn::connect(addr2);
+    conn.send(&format!("ATTACH {token} {last_acked} db u"));
+    let head = conn.recv();
+    assert!(head.starts_with("OK ATTACH "), "got {head:?}");
+
+    // Resubmitting the in-flight EXEC must succeed without re-applying.
+    let resp = conn.exec_stamped(inflight, "insert t values (99)");
+    let (s, rest) = strip_stamp(&resp);
+    assert_eq!(s, Some(inflight));
+    assert!(rest.starts_with("OK EXEC"), "resubmit answered {resp:?}");
+
+    seq = inflight;
+    for table in ["t", "audit"] {
+        seq += 1;
+        let line = conn.exec_stamped(seq, &format!("select * from {table}"));
+        assert!(
+            line.contains(&format!("rows={INSERTS}")),
+            "exactly-once violated for {table}: {line}"
+        );
+    }
+    child2.kill().expect("cleanup kill");
+    let _ = child2.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -136,6 +136,53 @@ fn random_split_points_match_whole_buffer() {
     }
 }
 
+fn push_parsed(out: &mut Vec<Result<Request, ProtoError>>, frame: Vec<u8>) {
+    let text = String::from_utf8(frame).expect("corpus is valid UTF-8");
+    let trimmed = text.trim_end_matches(['\n', '\r']);
+    if !trimmed.is_empty() {
+        out.push(Request::parse(trimmed));
+    }
+}
+
+#[test]
+fn kill_and_reconnect_boundary_loses_no_frame_and_duplicates_none() {
+    // A connection killed mid-frame abandons its decoder — and the
+    // partial tail with it. After reconnect the sender re-transmits from
+    // the last *frame boundary* (what a seq-stamped resilient client
+    // does: whole frames are acknowledged, partial ones re-sent). For
+    // every seeded kill point the pre-kill frames plus the re-fed stream
+    // must decode to exactly the whole-buffer reference: no frame lost
+    // at the boundary, none duplicated by the re-transmission.
+    let bytes = corpus();
+    let expected = reference_parse(&bytes);
+    let mut rng = Rng(0x5EED_CAFE_F00D_BEEF);
+    for _ in 0..200 {
+        let kill = 1 + rng.below(bytes.len() - 1);
+        let mut decoder = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut consumed = 0; // bytes up to the last completed frame
+        let mut pos = 0;
+        while pos < kill {
+            let take = 1 + rng.below((kill - pos).min(64));
+            decoder.feed(&bytes[pos..pos + take]);
+            pos += take;
+            while let Some(frame) = decoder.next_frame() {
+                consumed += frame.len() + 1; // +1 for the terminating LF
+                push_parsed(&mut out, frame);
+            }
+        }
+        // The kill: whatever was mid-frame dies with the connection. A
+        // fresh decoder picks up from the last frame boundary.
+        drop(decoder);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes[consumed..]);
+        while let Some(frame) = decoder.next_frame() {
+            push_parsed(&mut out, frame);
+        }
+        assert_eq!(out, expected, "kill at byte {kill} diverged");
+    }
+}
+
 #[test]
 fn split_inside_crlf_yields_no_phantom_frame() {
     // A read boundary landing between CR and LF must not produce a
